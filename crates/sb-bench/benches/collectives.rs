@@ -1,0 +1,75 @@
+//! Collective-algorithm ablation: the flat shared-slot collectives of
+//! `sb-comm` vs. binomial-tree reduce/broadcast over point-to-point
+//! messages, at several rank counts and payload sizes.
+//!
+//! On a few thread-ranks sharing a node the flat rendezvous is hard to
+//! beat (one lock, one fold); the tree's O(log n) rounds pay off as ranks
+//! and payloads grow — the same trade real MPI implementations navigate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_comm::{launch, tree};
+use std::hint::black_box;
+
+const ROUNDS: u64 = 10;
+
+fn vec_sum(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x += y;
+    }
+    a
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for &nranks in &[2usize, 4, 8] {
+        for &len in &[1_000usize, 100_000] {
+            group.throughput(Throughput::Bytes(ROUNDS * (len * 8 * nranks) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("flat_{nranks}ranks"), len),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        launch(nranks, |comm| {
+                            for _ in 0..ROUNDS {
+                                let v = vec![comm.rank() as f64; len];
+                                black_box(comm.allreduce(v, vec_sum));
+                            }
+                        })
+                        .unwrap()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("tree_{nranks}ranks"), len),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        launch(nranks, |comm| {
+                            for _ in 0..ROUNDS {
+                                let v = vec![comm.rank() as f64; len];
+                                black_box(tree::tree_allreduce(&comm, v, vec_sum));
+                            }
+                        })
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = collectives;
+    config = configured();
+    targets = bench_allreduce
+}
+criterion_main!(collectives);

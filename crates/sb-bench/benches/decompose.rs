@@ -1,0 +1,63 @@
+//! Decomposition-strategy ablation: slab (slowest-dim) blocks vs a
+//! near-square grid, measured by the cost of the resulting MxN assembly —
+//! slabs give long contiguous runs, grids give many short ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_data::decompose::{decompose_along, decompose_grid};
+use sb_data::region::copy_region;
+use sb_data::{Buffer, DType, Region, Shape, Variable};
+use std::hint::black_box;
+
+/// Scatter a tagged array into `regions` chunks, then gather it back into
+/// one buffer through `copy_region` — the transport's assembly path.
+fn scatter_gather(source: &Variable, regions: &[Region]) -> Buffer {
+    let shape = &source.shape;
+    let whole = Region::whole(shape);
+    let chunks: Vec<(Region, Buffer)> = regions
+        .iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| (r.clone(), source.extract(r).unwrap().data))
+        .collect();
+    let mut out = Buffer::zeros(DType::F64, shape.total_len());
+    for (region, data) in &chunks {
+        copy_region(data, region, &mut out, &whole, region).unwrap();
+    }
+    out
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_assembly");
+    let shape = Shape::of(&[("rows", 1024), ("cols", 1024)]);
+    let source = Variable::new(
+        "x",
+        shape.clone(),
+        Buffer::F64((0..shape.total_len()).map(|i| i as f64).collect()),
+    )
+    .unwrap();
+    group.throughput(Throughput::Bytes((shape.total_len() * 8) as u64));
+    for nparts in [4usize, 16, 64] {
+        let slabs = decompose_along(&shape, 0, nparts);
+        let grid = decompose_grid(&shape, nparts);
+        group.bench_with_input(BenchmarkId::new("slab", nparts), &slabs, |b, regions| {
+            b.iter(|| black_box(scatter_gather(&source, regions)));
+        });
+        group.bench_with_input(BenchmarkId::new("grid", nparts), &grid, |b, regions| {
+            b.iter(|| black_box(scatter_gather(&source, regions)));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = decompose;
+    config = configured();
+    targets = bench_strategies
+}
+criterion_main!(decompose);

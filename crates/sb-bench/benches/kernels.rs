@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks of the pure component kernels: the per-step
+//! compute cost each SmartBlock component adds to a pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_data::{Buffer, Shape, Variable};
+use smartblock::all_pairs::pairwise_distances;
+use smartblock::dim_reduce::dim_reduce;
+use smartblock::histogram::bin_counts;
+use smartblock::magnitude::vector_magnitudes;
+use smartblock::reduce::{reduce_axis, ReduceOp};
+use smartblock::select::select_rows;
+use smartblock::threshold::{threshold_filter, Predicate};
+use smartblock::transpose::permute_axes;
+use std::hint::black_box;
+
+fn particles_variable(n: usize, props: usize) -> Variable {
+    let data: Vec<f64> = (0..n * props).map(|i| (i as f64 * 0.37).sin()).collect();
+    Variable::new(
+        "atoms",
+        Shape::of(&[("particles", n), ("props", props)]),
+        data.into(),
+    )
+    .unwrap()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_rows");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let v = particles_variable(n, 5);
+        group.throughput(Throughput::Bytes((n * 3 * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| select_rows(black_box(v), 1, &[2, 3, 4]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_magnitude(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_magnitudes");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let v = particles_variable(n, 3);
+        group.throughput(Throughput::Bytes((n * 3 * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| vector_magnitudes(black_box(v)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dim_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dim_reduce");
+    // The GTCP shapes: [T, G, 1] fast-ish (remove last into middle) and
+    // the fast path [T, G] remove-0-grow-1, plus a genuinely permuting
+    // case (remove last into first).
+    for &(t, g) in &[(64usize, 256usize), (128, 512)] {
+        let cells = t * g;
+        let v3 = Variable::new(
+            "p",
+            Shape::of(&[("t", t), ("g", g), ("q", 1)]),
+            Buffer::F64((0..cells).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        let v2 = Variable::new(
+            "p",
+            Shape::of(&[("t", t), ("g", g)]),
+            Buffer::F64((0..cells).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        group.throughput(Throughput::Bytes((cells * 8) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("gtcp_stage1_remove2_grow1", cells),
+            &v3,
+            |b, v| b.iter(|| dim_reduce(black_box(v), 2, 1).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fast_path_remove0_grow1", cells),
+            &v2,
+            |b, v| b.iter(|| dim_reduce(black_box(v), 0, 1).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("permuting_remove1_grow0", cells),
+            &v2,
+            |b, v| b.iter(|| dim_reduce(black_box(v), 1, 0).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_counts");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| bin_counts(black_box(v), -1.0, 1.0, 64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_distances");
+    for &n in &[100usize, 400, 1_000] {
+        let v = particles_variable(n, 3);
+        group.throughput(Throughput::Elements((n * (n - 1) / 2) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| pairwise_distances(black_box(v), 0, v.shape.size(0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_axis");
+    for &(t, g) in &[(64usize, 512usize), (256, 512)] {
+        let cells = t * g;
+        let v = Variable::new(
+            "p",
+            Shape::of(&[("t", t), ("g", g)]),
+            Buffer::F64((0..cells).map(|i| (i as f64 * 0.1).sin()).collect()),
+        )
+        .unwrap();
+        group.throughput(Throughput::Bytes((cells * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("sum_axis1", cells), &v, |b, v| {
+            b.iter(|| reduce_axis(black_box(v), 1, ReduceOp::Sum).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_axis0", cells), &v, |b, v| {
+            b.iter(|| reduce_axis(black_box(v), 0, ReduceOp::Sum).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permute_axes");
+    for &n in &[256usize, 512] {
+        let v = Variable::new(
+            "m",
+            Shape::of(&[("r", n), ("c", n)]),
+            Buffer::F64((0..n * n).map(|i| i as f64).collect()),
+        )
+        .unwrap();
+        group.throughput(Throughput::Bytes((n * n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("transpose_2d", n), &v, |b, v| {
+            b.iter(|| permute_axes(black_box(v), &[1, 0]).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("identity", n), &v, |b, v| {
+            b.iter(|| permute_axes(black_box(v), &[0, 1]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_filter");
+    for &n in &[100_000usize, 1_000_000] {
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| threshold_filter(black_box(v), Predicate::AbsGreaterThan(0.9), 0));
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = kernels;
+    config = configured();
+    targets = bench_select, bench_magnitude, bench_dim_reduce, bench_histogram, bench_all_pairs,
+        bench_reduce, bench_transpose, bench_threshold
+}
+criterion_main!(kernels);

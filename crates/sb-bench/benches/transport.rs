@@ -1,0 +1,181 @@
+//! Transport ablations: what FlexPath-style buffering buys, what the MxN
+//! exchange costs, and what a whole componentized pipeline hop adds.
+//!
+//! These benches back the DESIGN.md ablation table:
+//! * `overlap/*` — writer-side async buffering (queue depth 1..8) vs the
+//!   synchronous rendezvous hand-off;
+//! * `mxn/*` — M-writer x N-reader redistribution cost at fixed volume;
+//! * `pipeline/*` — one stream hop vs an in-process function call.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_comm::LaunchHandle;
+use sb_data::decompose::default_partition;
+use sb_data::{Buffer, Chunk, DType, Shape, Variable, VariableMeta};
+use sb_stream::{StepStatus, StreamHub, WriterOptions};
+use std::hint::black_box;
+
+const STEPS: u64 = 8;
+
+/// One writer group and one reader group pumping `steps` steps of an
+/// `n x 3` array through a stream; the reader simulates `work` per step.
+/// Returns when the stream is drained.
+fn pump(
+    writers: usize,
+    readers: usize,
+    n: usize,
+    options: WriterOptions,
+    writer_work: Duration,
+    reader_work: Duration,
+) {
+    let hub = StreamHub::new();
+    let shape = Shape::of(&[("rows", n), ("cols", 3)]);
+    let hub_w = Arc::clone(&hub);
+    let shape_w = shape.clone();
+    let w = LaunchHandle::spawn("bw", writers, move |comm| {
+        let mut writer = hub_w.open_writer("bench.fp", comm.rank(), comm.size(), options);
+        let region = default_partition(&shape_w, comm.size(), comm.rank());
+        let data = Buffer::F64(vec![1.0; region.len()]);
+        let meta = VariableMeta::new("x", shape_w.clone(), DType::F64);
+        for _ in 0..STEPS {
+            if !writer_work.is_zero() {
+                std::thread::sleep(writer_work); // the producer's compute
+            }
+            writer.begin_step();
+            writer.put(Chunk::new(meta.clone(), region.clone(), data.clone()).unwrap());
+            writer.end_step();
+        }
+        writer.close();
+    })
+    .unwrap();
+    let hub_r = Arc::clone(&hub);
+    let r = LaunchHandle::spawn("br", readers, move |comm| {
+        let mut reader = hub_r.open_reader("bench.fp", comm.rank(), comm.size());
+        let region = default_partition(&shape, comm.size(), comm.rank());
+        while let StepStatus::Ready(_) = reader.begin_step() {
+            let v = reader.get("x", &region).unwrap();
+            black_box(v.data.len());
+            if !reader_work.is_zero() {
+                std::thread::sleep(reader_work);
+            }
+            reader.end_step();
+        }
+    })
+    .unwrap();
+    w.join().unwrap();
+    r.join().unwrap();
+}
+
+/// Overlap ablation: producer and consumer each "compute" for 1ms per
+/// step. With writer-side buffering the phases overlap (~1ms/step end to
+/// end); with the rendezvous hand-off they serialize (~2ms/step) — exactly
+/// the FlexPath asynchrony benefit the paper invokes in §IV.
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(10);
+    let n = 20_000;
+    let work = Duration::from_millis(1);
+    for depth in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("buffered_depth", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| pump(1, 1, n, WriterOptions::buffered(depth), work, work));
+            },
+        );
+    }
+    group.bench_function("rendezvous", |b| {
+        b.iter(|| pump(1, 1, n, WriterOptions::rendezvous(), work, work));
+    });
+    group.finish();
+}
+
+/// MxN exchange cost at a fixed data volume.
+fn bench_mxn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mxn");
+    group.sample_size(10);
+    let n = 60_000;
+    group.throughput(Throughput::Bytes(STEPS * (n as u64) * 3 * 8));
+    for (m, r) in [(1usize, 1usize), (2, 2), (4, 2), (2, 4), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("writers_x_readers", format!("{m}x{r}")),
+            &(m, r),
+            |b, &(m, r)| {
+                b.iter(|| pump(m, r, n, WriterOptions::default(), Duration::ZERO, Duration::ZERO));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Componentization cost in isolation: the same Magnitude kernel applied
+/// (a) through a stream hop between two thread groups, and (b) as a plain
+/// function call — an upper bound on what one SmartBlock stage adds.
+fn bench_pipeline_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let n = 50_000;
+    let var = Variable::new(
+        "v",
+        Shape::of(&[("rows", n), ("cols", 3)]),
+        Buffer::F64((0..n * 3).map(|i| i as f64).collect()),
+    )
+    .unwrap();
+
+    group.bench_function("fused_function_call", |b| {
+        b.iter(|| {
+            for _ in 0..STEPS {
+                black_box(smartblock::magnitude::vector_magnitudes(black_box(&var)).unwrap());
+            }
+        })
+    });
+
+    group.bench_function("stream_hop", |b| {
+        let var = var.clone();
+        b.iter(|| {
+            let hub = StreamHub::new();
+            let hub_w = Arc::clone(&hub);
+            let var_w = var.clone();
+            let w = LaunchHandle::spawn("pw", 1, move |comm| {
+                let mut writer =
+                    hub_w.open_writer("p.fp", comm.rank(), comm.size(), WriterOptions::default());
+                for _ in 0..STEPS {
+                    writer.begin_step();
+                    writer.put(Chunk::whole(var_w.clone()));
+                    writer.end_step();
+                }
+                writer.close();
+            })
+            .unwrap();
+            let hub_r = Arc::clone(&hub);
+            let r = LaunchHandle::spawn("pr", 1, move |comm| {
+                let mut reader = hub_r.open_reader("p.fp", comm.rank(), comm.size());
+                while let StepStatus::Ready(_) = reader.begin_step() {
+                    let v = reader.get_whole("v").unwrap();
+                    black_box(smartblock::magnitude::vector_magnitudes(&v).unwrap());
+                    reader.end_step();
+                }
+            })
+            .unwrap();
+            w.join().unwrap();
+            r.join().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = transport;
+    config = configured();
+    targets = bench_overlap, bench_mxn, bench_pipeline_hop
+}
+criterion_main!(transport);

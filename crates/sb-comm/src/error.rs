@@ -1,0 +1,46 @@
+//! Error types for the rank runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the rank runtime.
+///
+/// Most communicator misuse (rank out of range, mismatched collective
+/// payloads) panics, mirroring how MPI aborts the job; `CommError` covers
+/// conditions a caller can reasonably handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank thread panicked; the payload's `Display` is preserved when the
+    /// panic carried a string.
+    RankPanicked {
+        /// Rank whose thread panicked.
+        rank: usize,
+        /// Stringified panic payload, if one could be extracted.
+        message: String,
+    },
+    /// `launch` was asked for zero ranks.
+    ZeroRanks,
+    /// A peer's endpoint disappeared mid-`recv` (its thread exited).
+    PeerGone {
+        /// The rank whose message was awaited.
+        from: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            CommError::ZeroRanks => write!(f, "cannot launch a communicator with zero ranks"),
+            CommError::PeerGone { from } => {
+                write!(f, "peer rank {from} exited before sending an awaited message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Convenience alias used throughout the crate.
+pub type CommResult<T> = Result<T, CommError>;

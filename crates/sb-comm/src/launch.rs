@@ -1,0 +1,193 @@
+//! Launching communicators: scoped (blocking) and detached (joinable)
+//! thread-per-rank execution.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::collective::Communicator;
+use crate::error::{CommError, CommResult};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` on `nranks` thread-ranks sharing one fresh communicator and
+/// blocks until all ranks return. Results are ordered by rank.
+///
+/// This is the moral equivalent of `mpirun -n <nranks> <f>`.
+pub fn launch<T, F>(nranks: usize, f: F) -> CommResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    launch_named("ranks", nranks, f)
+}
+
+/// [`launch`] with a thread-name prefix, which makes panics and profiles
+/// attributable to a component ("select/3" and so on).
+pub fn launch_named<T, F>(name: &str, nranks: usize, f: F) -> CommResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Communicator) -> T + Send + Sync,
+{
+    if nranks == 0 {
+        return Err(CommError::ZeroRanks);
+    }
+    let comms = Communicator::create(nranks);
+    let f = &f;
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                std::thread::Builder::new()
+                    .name(format!("{name}/{rank}"))
+                    .spawn_scoped(scope, move || f(comm))
+                    .expect("spawning a rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().map_err(|payload| CommError::RankPanicked {
+                    rank,
+                    message: panic_message(payload),
+                })
+            })
+            .collect::<CommResult<Vec<T>>>()
+    })?;
+    Ok(results)
+}
+
+/// A detached, joinable launch of one communicator — the building block the
+/// SmartBlock workflow runtime uses to run many components concurrently.
+pub struct LaunchHandle<T> {
+    name: String,
+    joins: Vec<JoinHandle<T>>,
+}
+
+impl<T: Send + 'static> LaunchHandle<T> {
+    /// Spawns `nranks` detached thread-ranks over a fresh communicator.
+    ///
+    /// Unlike [`launch`], the closure must be `'static`: each rank thread
+    /// holds an `Arc` of it for the duration of the run.
+    pub fn spawn<F>(name: &str, nranks: usize, f: F) -> CommResult<LaunchHandle<T>>
+    where
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        if nranks == 0 {
+            return Err(CommError::ZeroRanks);
+        }
+        let f = Arc::new(f);
+        let comms = Communicator::create(nranks);
+        let joins = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let f = Arc::clone(&f);
+                std::thread::Builder::new()
+                    .name(format!("{name}/{rank}"))
+                    .spawn(move || {
+                        // Catch and re-raise so the join side can report the
+                        // rank id alongside the panic message.
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                            Ok(v) => v,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    })
+                    .expect("spawning a rank thread")
+            })
+            .collect();
+        Ok(LaunchHandle {
+            name: name.to_string(),
+            joins,
+        })
+    }
+
+    /// The launch name this handle was created under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ranks still attached to this handle.
+    pub fn nranks(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Blocks until all ranks finish; results are ordered by rank.
+    pub fn join(self) -> CommResult<Vec<T>> {
+        self.joins
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().map_err(|payload| CommError::RankPanicked {
+                    rank,
+                    message: panic_message(payload),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_zero_ranks_is_an_error() {
+        let r = launch(0, |_comm| ());
+        assert_eq!(r.unwrap_err(), CommError::ZeroRanks);
+    }
+
+    #[test]
+    fn launch_returns_results_in_rank_order() {
+        let out = launch(6, |comm| comm.rank() * comm.rank()).unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn rank_panic_is_reported_with_rank_and_message() {
+        let r = launch(3, |comm| {
+            if comm.rank() == 2 {
+                panic!("boom in rank two");
+            }
+        });
+        match r {
+            Err(CommError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 2);
+                assert!(message.contains("boom"), "message was: {message}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detached_launch_joins_with_results() {
+        let h = LaunchHandle::spawn("detached-test", 4, |comm| comm.allreduce(1u32, |a, b| a + b))
+            .unwrap();
+        assert_eq!(h.name(), "detached-test");
+        assert_eq!(h.nranks(), 4);
+        let out = h.join().unwrap();
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn two_detached_communicators_run_concurrently() {
+        // Two separate communicators must not share collective state: run
+        // them simultaneously with different sizes and check isolation.
+        let a = LaunchHandle::spawn("a", 3, |comm| comm.allreduce(comm.rank(), |x, y| x + y))
+            .unwrap();
+        let b = LaunchHandle::spawn("b", 5, |comm| comm.allreduce(comm.rank(), |x, y| x + y))
+            .unwrap();
+        assert!(a.join().unwrap().iter().all(|&v| v == 3));
+        assert!(b.join().unwrap().iter().all(|&v| v == 10));
+    }
+}

@@ -1,0 +1,178 @@
+//! Tree-based collective algorithms over point-to-point messages.
+//!
+//! The default [`crate::Communicator`] collectives rendezvous through one
+//! shared slot: simple, deterministic, and fine for the rank counts a
+//! single node hosts. Real MPI implementations use logarithmic
+//! communication trees instead; this module provides binomial-tree
+//! reduce/broadcast built purely on `send`/`recv`, both as an ablation
+//! target (`cargo bench -p sb-bench` compares the two) and as the natural
+//! choice when the reduction operand is large and the flat gather's
+//! all-inputs-in-one-place behaviour hurts.
+//!
+//! Determinism note: the tree folds in a fixed structure —
+//! `op(subtree_low, subtree_high)` at every merge — so results are
+//! reproducible across runs, but the *grouping* differs from the flat
+//! fold's strict rank order. For non-associative floating-point ops the
+//! two variants may differ in the last bits; tests pin both behaviours.
+
+use crate::collective::Communicator;
+
+const TREE_TAG: u64 = u64::MAX - 77;
+
+/// Binomial-tree reduction to rank 0: `O(log n)` rounds of pairwise
+/// merges. Returns `Some` on rank 0, `None` elsewhere.
+///
+/// Collective: every rank must call it with a semantically identical `op`.
+pub fn tree_reduce<T, F>(comm: &Communicator, value: T, op: F) -> Option<T>
+where
+    T: Send + 'static,
+    F: Fn(T, T) -> T,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = value;
+    let mut stride = 1usize;
+    while stride < size {
+        if rank.is_multiple_of(2 * stride) {
+            let partner = rank + stride;
+            if partner < size {
+                let other: T = comm.recv(partner, TREE_TAG);
+                acc = op(acc, other);
+            }
+        } else {
+            let partner = rank - stride;
+            comm.send(partner, TREE_TAG, acc);
+            return None;
+        }
+        stride *= 2;
+    }
+    Some(acc)
+}
+
+/// Binomial-tree broadcast from rank 0: the mirror image of
+/// [`tree_reduce`].
+///
+/// Collective: rank 0 passes `Some(value)`, the rest pass `None`.
+pub fn tree_broadcast<T>(comm: &Communicator, value: Option<T>) -> T
+where
+    T: Clone + Send + 'static,
+{
+    let rank = comm.rank();
+    let size = comm.size();
+    assert_eq!(
+        rank == 0,
+        value.is_some(),
+        "tree_broadcast: exactly rank 0 must supply Some(value)"
+    );
+    // Receive from the parent (highest set bit), then forward down.
+    let mut have: Option<T> = value;
+    if rank != 0 {
+        // Parent: clear the lowest set bit of rank.
+        let parent = rank & (rank - 1);
+        have = Some(comm.recv(parent, TREE_TAG + 1));
+    }
+    let v = have.expect("received or supplied");
+    // Children: rank + 2^k for each k above rank's lowest set bit range.
+    let lowest = if rank == 0 {
+        usize::BITS
+    } else {
+        rank.trailing_zeros()
+    };
+    let mut k = 0u32;
+    while k < lowest {
+        let child = rank + (1usize << k);
+        if child >= size {
+            break;
+        }
+        comm.send(child, TREE_TAG + 1, v.clone());
+        k += 1;
+    }
+    v
+}
+
+/// Tree-based allreduce: reduce to rank 0, then broadcast back.
+pub fn tree_allreduce<T, F>(comm: &Communicator, value: T, op: F) -> T
+where
+    T: Clone + Send + 'static,
+    F: Fn(T, T) -> T,
+{
+    let reduced = tree_reduce(comm, value, op);
+    tree_broadcast(comm, reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch;
+
+    #[test]
+    fn tree_reduce_matches_serial_fold_for_associative_ops() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16] {
+            let out = launch(n, |comm| tree_reduce(&comm, comm.rank() as u64 + 1, |a, b| a + b))
+                .unwrap();
+            let expect: u64 = (1..=n as u64).sum();
+            assert_eq!(out[0], Some(expect), "n={n}");
+            assert!(out[1..].iter().all(Option::is_none), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_every_rank() {
+        for n in [1usize, 2, 3, 6, 9, 16] {
+            let out = launch(n, |comm| {
+                let v = (comm.rank() == 0).then(|| vec![42u8, 7]);
+                tree_broadcast(&comm, v)
+            })
+            .unwrap();
+            assert!(out.iter().all(|v| v == &vec![42u8, 7]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_agrees_with_flat_allreduce() {
+        for n in [1usize, 3, 5, 8, 13] {
+            let out = launch(n, |comm| {
+                let v = (comm.rank() * 3 + 1) as i64;
+                let tree = tree_allreduce(&comm, v, |a, b| a + b);
+                let flat = comm.allreduce(v, |a, b| a + b);
+                (tree, flat)
+            })
+            .unwrap();
+            for (tree, flat) in out {
+                assert_eq!(tree, flat, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_ops_work_on_large_payloads() {
+        let out = launch(6, |comm| {
+            let v = vec![comm.rank() as f64; 10_000];
+            tree_allreduce(&comm, v, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            })
+        })
+        .unwrap();
+        let expect = (0..6).sum::<usize>() as f64;
+        for v in out {
+            assert_eq!(v.len(), 10_000);
+            assert!(v.iter().all(|&x| x == expect));
+        }
+    }
+
+    #[test]
+    fn tree_and_flat_interleave_without_cross_talk() {
+        launch(4, |comm| {
+            for round in 0..20u64 {
+                let t = tree_allreduce(&comm, round, |a, b| a + b);
+                assert_eq!(t, 4 * round);
+                let f = comm.allreduce(round + 1, |a, b| a + b);
+                assert_eq!(f, 4 * (round + 1));
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Writer-side chunks: the local portion of a global variable that one rank
+//! contributes to a step, plus the global metadata that makes the stream
+//! self-describing.
+
+use std::collections::BTreeMap;
+
+use crate::buffer::{Buffer, DType};
+use crate::dims::Shape;
+use crate::error::{DataError, DataResult};
+use crate::region::Region;
+use crate::variable::AttrValue;
+
+/// Global metadata of a variable as visible to stream readers *before* any
+/// payload is transferred — the self-description contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableMeta {
+    /// Array name within the stream.
+    pub name: String,
+    /// Global shape (named dims).
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+    /// Per-dimension quantity headers.
+    pub labels: BTreeMap<usize, Vec<String>>,
+    /// Free-form attributes.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl VariableMeta {
+    /// Builds bare metadata with no headers or attributes.
+    pub fn new(name: impl Into<String>, shape: Shape, dtype: DType) -> VariableMeta {
+        VariableMeta {
+            name: name.into(),
+            shape,
+            dtype,
+            labels: BTreeMap::new(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// The metadata describing an existing variable — what a writer
+    /// publishes when forwarding a variable it holds.
+    pub fn describing(var: &crate::variable::Variable) -> VariableMeta {
+        VariableMeta {
+            name: var.name.clone(),
+            shape: var.shape.clone(),
+            dtype: var.data.dtype(),
+            labels: var.labels.clone(),
+            attrs: var.attrs.clone(),
+        }
+    }
+
+    /// The header of dimension `dim`, if present.
+    pub fn header(&self, dim: usize) -> Option<&[String]> {
+        self.labels.get(&dim).map(|v| v.as_slice())
+    }
+
+    /// Resolves quantity `label` to a row index of dimension `dim`.
+    pub fn resolve_label(&self, dim: usize, label: &str) -> DataResult<usize> {
+        let header = self
+            .labels
+            .get(&dim)
+            .ok_or(DataError::MissingHeader { dim })?;
+        header
+            .iter()
+            .position(|n| n == label)
+            .ok_or_else(|| DataError::NoSuchLabel {
+                label: label.to_string(),
+                dim,
+            })
+    }
+
+    /// Total global payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.shape.total_len() * self.dtype.elem_bytes()
+    }
+}
+
+/// One writer rank's contribution to one variable in one step: the region of
+/// the global array it covers and the matching payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Metadata of the global variable this chunk belongs to.
+    pub meta: VariableMeta,
+    /// The box of the global array this payload covers.
+    pub region: Region,
+    /// Row-major payload over `region.count()`.
+    pub data: Buffer,
+}
+
+impl Chunk {
+    /// Builds a chunk, validating region-vs-shape and payload length.
+    pub fn new(meta: VariableMeta, region: Region, data: Buffer) -> DataResult<Chunk> {
+        region.validate(&meta.shape)?;
+        if data.len() != region.len() {
+            return Err(DataError::ShapeMismatch {
+                data_len: data.len(),
+                shape_len: region.len(),
+            });
+        }
+        if data.dtype() != meta.dtype {
+            return Err(DataError::DTypeMismatch {
+                expected: meta.dtype,
+                found: data.dtype(),
+            });
+        }
+        Ok(Chunk { meta, region, data })
+    }
+
+    /// Builds the chunk for a writer that owns the *whole* variable (the
+    /// common single-writer case), deriving metadata from the variable.
+    pub fn whole(var: crate::variable::Variable) -> Chunk {
+        let meta = VariableMeta {
+            name: var.name,
+            shape: var.shape.clone(),
+            dtype: var.data.dtype(),
+            labels: var.labels,
+            attrs: var.attrs,
+        };
+        let region = Region::whole(&var.shape);
+        Chunk {
+            meta,
+            region,
+            data: var.data,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.byte_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::Variable;
+
+    fn meta() -> VariableMeta {
+        let mut m = VariableMeta::new("field", Shape::of(&[("rows", 4), ("cols", 3)]), DType::F64);
+        m.labels.insert(1, vec!["a".into(), "b".into(), "c".into()]);
+        m
+    }
+
+    #[test]
+    fn chunk_validation() {
+        let m = meta();
+        let ok = Chunk::new(
+            m.clone(),
+            Region::new(vec![2, 0], vec![2, 3]),
+            Buffer::F64(vec![0.0; 6]),
+        );
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().byte_len(), 48);
+
+        let bad_region = Chunk::new(
+            m.clone(),
+            Region::new(vec![3, 0], vec![2, 3]),
+            Buffer::F64(vec![0.0; 6]),
+        );
+        assert!(bad_region.is_err());
+
+        let bad_len = Chunk::new(
+            m.clone(),
+            Region::new(vec![0, 0], vec![2, 3]),
+            Buffer::F64(vec![0.0; 5]),
+        );
+        assert!(matches!(bad_len, Err(DataError::ShapeMismatch { .. })));
+
+        let bad_dtype = Chunk::new(
+            m,
+            Region::new(vec![0, 0], vec![2, 3]),
+            Buffer::F32(vec![0.0; 6]),
+        );
+        assert!(matches!(bad_dtype, Err(DataError::DTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn meta_label_resolution() {
+        let m = meta();
+        assert_eq!(m.resolve_label(1, "b").unwrap(), 1);
+        assert!(m.resolve_label(0, "b").is_err());
+        assert_eq!(m.byte_len(), 4 * 3 * 8);
+        assert_eq!(m.header(1).unwrap().len(), 3);
+        assert!(m.header(0).is_none());
+    }
+
+    #[test]
+    fn whole_chunk_from_variable() {
+        let v = Variable::new("v", Shape::of(&[("n", 2), ("p", 2)]), Buffer::F64(vec![1.0; 4]))
+            .unwrap()
+            .with_labels(1, &["x", "y"])
+            .unwrap();
+        let c = Chunk::whole(v);
+        assert_eq!(c.region, Region::new(vec![0, 0], vec![2, 2]));
+        assert_eq!(c.meta.header(1).unwrap(), &["x".to_string(), "y".into()]);
+    }
+}

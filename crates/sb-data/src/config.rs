@@ -1,0 +1,442 @@
+//! ADIOS-style output group configuration.
+//!
+//! The paper instruments each simulation with "an approximately 25-line XML
+//! file" that names the output variables and binds their dimensions; ADIOS
+//! reads it at run time so the simulation code never hard-codes metadata.
+//! This module implements that contract with a small, dependency-free parser
+//! for the XML subset such files actually use:
+//!
+//! ```xml
+//! <adios-group name="particles">
+//!   <!-- dimensions are named; sizes are bound at write time -->
+//!   <var name="atoms" type="f64" dimensions="nparticles,props"/>
+//!   <header var="atoms" dim="1" labels="ID,Type,vx,vy,vz"/>
+//!   <attribute var="atoms" name="units" value="lj"/>
+//! </adios-group>
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::buffer::DType;
+use crate::chunk::VariableMeta;
+use crate::dims::{Dim, Shape};
+use crate::error::{DataError, DataResult};
+use crate::variable::AttrValue;
+
+/// Declaration of one output variable inside a group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarConfig {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Named dimensions, slowest-varying first; sizes bound at write time.
+    pub dim_names: Vec<String>,
+    /// Per-dimension quantity headers declared in the file.
+    pub headers: BTreeMap<usize, Vec<String>>,
+    /// Attributes declared in the file.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+/// A parsed `<adios-group>` block.
+///
+/// ```
+/// use sb_data::GroupConfig;
+/// let g = GroupConfig::parse(r#"
+///     <adios-group name="demo">
+///       <var name="atoms" type="f64" dimensions="n,props"/>
+///       <header var="atoms" dim="1" labels="vx,vy,vz"/>
+///     </adios-group>
+/// "#).unwrap();
+/// let meta = g.describe("atoms", &[100, 3]).unwrap();
+/// assert_eq!(meta.resolve_label(1, "vy").unwrap(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupConfig {
+    /// Group name.
+    pub name: String,
+    /// Variables in declaration order.
+    pub vars: Vec<VarConfig>,
+}
+
+impl GroupConfig {
+    /// Looks a variable up by name.
+    pub fn var(&self, name: &str) -> Option<&VarConfig> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Binds runtime dimension sizes to a declared variable, producing the
+    /// self-describing [`VariableMeta`] a writer publishes.
+    pub fn describe(&self, var_name: &str, sizes: &[usize]) -> DataResult<VariableMeta> {
+        let var = self.var(var_name).ok_or_else(|| DataError::ConfigParse {
+            line: 0,
+            detail: format!("no variable {var_name:?} in group {:?}", self.name),
+        })?;
+        if sizes.len() != var.dim_names.len() {
+            return Err(DataError::ShapeMismatch {
+                data_len: sizes.len(),
+                shape_len: var.dim_names.len(),
+            });
+        }
+        let shape = Shape::new(
+            var.dim_names
+                .iter()
+                .zip(sizes)
+                .map(|(n, &s)| Dim::new(n.clone(), s))
+                .collect(),
+        );
+        // Validate headers against the bound sizes.
+        for (&dim, labels) in &var.headers {
+            if dim >= shape.ndims() {
+                return Err(DataError::NoSuchDimension {
+                    index: dim,
+                    ndims: shape.ndims(),
+                });
+            }
+            if labels.len() != shape.size(dim) {
+                return Err(DataError::ShapeMismatch {
+                    data_len: labels.len(),
+                    shape_len: shape.size(dim),
+                });
+            }
+        }
+        let mut meta = VariableMeta::new(var.name.clone(), shape, var.dtype);
+        meta.labels = var.headers.clone();
+        meta.attrs = var.attrs.clone();
+        Ok(meta)
+    }
+
+    /// Parses a group configuration document.
+    pub fn parse(text: &str) -> DataResult<GroupConfig> {
+        let mut group_name: Option<String> = None;
+        let mut vars: Vec<VarConfig> = Vec::new();
+        let mut closed = false;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let mut s = raw.trim();
+            if s.is_empty() {
+                continue;
+            }
+            // Strip full-line comments; embedded comments are rejected by
+            // the tag parser below, which keeps the grammar honest.
+            if s.starts_with("<!--") {
+                if !s.ends_with("-->") {
+                    return Err(DataError::ConfigParse {
+                        line,
+                        detail: "multi-line comments are not supported".into(),
+                    });
+                }
+                continue;
+            }
+            if s == "</adios-group>" {
+                if group_name.is_none() {
+                    return Err(DataError::ConfigParse {
+                        line,
+                        detail: "</adios-group> before <adios-group>".into(),
+                    });
+                }
+                closed = true;
+                continue;
+            }
+            if closed {
+                return Err(DataError::ConfigParse {
+                    line,
+                    detail: "content after </adios-group>".into(),
+                });
+            }
+            if !s.starts_with('<') || !s.ends_with('>') {
+                return Err(DataError::ConfigParse {
+                    line,
+                    detail: format!("expected a tag, found {s:?}"),
+                });
+            }
+            s = &s[1..s.len() - 1];
+            let self_closing = s.ends_with('/');
+            if self_closing {
+                s = &s[..s.len() - 1];
+            }
+            let (tag, attrs) = parse_tag(s, line)?;
+            match tag.as_str() {
+                "adios-group" => {
+                    if group_name.is_some() {
+                        return Err(DataError::ConfigParse {
+                            line,
+                            detail: "nested <adios-group> is not allowed".into(),
+                        });
+                    }
+                    group_name = Some(require(&attrs, "name", line)?);
+                }
+                "var" => {
+                    if group_name.is_none() {
+                        return Err(DataError::ConfigParse {
+                            line,
+                            detail: "<var> outside <adios-group>".into(),
+                        });
+                    }
+                    let name = require(&attrs, "name", line)?;
+                    let ty = require(&attrs, "type", line)?;
+                    let dtype = DType::parse(&ty).ok_or_else(|| DataError::ConfigParse {
+                        line,
+                        detail: format!("unknown type {ty:?}"),
+                    })?;
+                    let dims = require(&attrs, "dimensions", line)?;
+                    let dim_names: Vec<String> = dims
+                        .split(',')
+                        .map(|d| d.trim().to_string())
+                        .filter(|d| !d.is_empty())
+                        .collect();
+                    if dim_names.is_empty() {
+                        return Err(DataError::ConfigParse {
+                            line,
+                            detail: "a <var> needs at least one dimension".into(),
+                        });
+                    }
+                    if vars.iter().any(|v| v.name == name) {
+                        return Err(DataError::ConfigParse {
+                            line,
+                            detail: format!("duplicate variable {name:?}"),
+                        });
+                    }
+                    vars.push(VarConfig {
+                        name,
+                        dtype,
+                        dim_names,
+                        headers: BTreeMap::new(),
+                        attrs: BTreeMap::new(),
+                    });
+                }
+                "header" => {
+                    let var = require(&attrs, "var", line)?;
+                    let dim: usize =
+                        require(&attrs, "dim", line)?
+                            .parse()
+                            .map_err(|_| DataError::ConfigParse {
+                                line,
+                                detail: "dim must be an integer".into(),
+                            })?;
+                    let labels: Vec<String> = require(&attrs, "labels", line)?
+                        .split(',')
+                        .map(|l| l.trim().to_string())
+                        .collect();
+                    let v = vars
+                        .iter_mut()
+                        .find(|v| v.name == var)
+                        .ok_or_else(|| DataError::ConfigParse {
+                            line,
+                            detail: format!("<header> references unknown var {var:?}"),
+                        })?;
+                    if dim >= v.dim_names.len() {
+                        return Err(DataError::ConfigParse {
+                            line,
+                            detail: format!("<header> dim {dim} out of range for {var:?}"),
+                        });
+                    }
+                    v.headers.insert(dim, labels);
+                }
+                "attribute" => {
+                    let var = require(&attrs, "var", line)?;
+                    let name = require(&attrs, "name", line)?;
+                    let value = require(&attrs, "value", line)?;
+                    let v = vars
+                        .iter_mut()
+                        .find(|v| v.name == var)
+                        .ok_or_else(|| DataError::ConfigParse {
+                            line,
+                            detail: format!("<attribute> references unknown var {var:?}"),
+                        })?;
+                    let parsed = if let Ok(i) = value.parse::<i64>() {
+                        AttrValue::Int(i)
+                    } else if let Ok(x) = value.parse::<f64>() {
+                        AttrValue::Float(x)
+                    } else {
+                        AttrValue::Text(value)
+                    };
+                    v.attrs.insert(name, parsed);
+                }
+                other => {
+                    return Err(DataError::ConfigParse {
+                        line,
+                        detail: format!("unknown tag <{other}>"),
+                    })
+                }
+            }
+        }
+
+        let name = group_name.ok_or(DataError::ConfigParse {
+            line: 0,
+            detail: "no <adios-group> found".into(),
+        })?;
+        if !closed {
+            return Err(DataError::ConfigParse {
+                line: 0,
+                detail: "missing </adios-group>".into(),
+            });
+        }
+        Ok(GroupConfig { name, vars })
+    }
+}
+
+/// Splits `tag attr="v" attr2="v2"` into the tag name and attribute map.
+fn parse_tag(s: &str, line: usize) -> DataResult<(String, BTreeMap<String, String>)> {
+    let mut chars = s.char_indices().peekable();
+    let mut tag = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if c.is_whitespace() {
+            break;
+        }
+        tag.push(c);
+        chars.next();
+    }
+    if tag.is_empty() {
+        return Err(DataError::ConfigParse {
+            line,
+            detail: "empty tag".into(),
+        });
+    }
+    let mut attrs = BTreeMap::new();
+    loop {
+        while matches!(chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        while let Some(&(_, c)) = chars.peek() {
+            if c == '=' || c.is_whitespace() {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if !matches!(chars.next(), Some((_, '='))) {
+            return Err(DataError::ConfigParse {
+                line,
+                detail: format!("attribute {key:?} is missing '='"),
+            });
+        }
+        if !matches!(chars.next(), Some((_, '"'))) {
+            return Err(DataError::ConfigParse {
+                line,
+                detail: format!("attribute {key:?} value must be double-quoted"),
+            });
+        }
+        let mut value = String::new();
+        let mut terminated = false;
+        for (_, c) in chars.by_ref() {
+            if c == '"' {
+                terminated = true;
+                break;
+            }
+            value.push(c);
+        }
+        if !terminated {
+            return Err(DataError::ConfigParse {
+                line,
+                detail: format!("attribute {key:?} value is unterminated"),
+            });
+        }
+        attrs.insert(key, value);
+    }
+    Ok((tag, attrs))
+}
+
+fn require(attrs: &BTreeMap<String, String>, key: &str, line: usize) -> DataResult<String> {
+    attrs.get(key).cloned().ok_or_else(|| DataError::ConfigParse {
+        line,
+        detail: format!("missing required attribute {key:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMMPS_GROUP: &str = r#"
+        <adios-group name="particles">
+          <!-- LAMMPS dump: 5 properties per particle -->
+          <var name="atoms" type="f64" dimensions="nparticles,props"/>
+          <header var="atoms" dim="1" labels="ID,Type,vx,vy,vz"/>
+          <attribute var="atoms" name="units" value="lj"/>
+          <attribute var="atoms" name="dt" value="0.005"/>
+          <attribute var="atoms" name="seed" value="42"/>
+        </adios-group>
+    "#;
+
+    #[test]
+    fn parses_the_lammps_style_group() {
+        let g = GroupConfig::parse(LAMMPS_GROUP).unwrap();
+        assert_eq!(g.name, "particles");
+        assert_eq!(g.vars.len(), 1);
+        let v = g.var("atoms").unwrap();
+        assert_eq!(v.dtype, DType::F64);
+        assert_eq!(v.dim_names, vec!["nparticles", "props"]);
+        assert_eq!(v.headers[&1], vec!["ID", "Type", "vx", "vy", "vz"]);
+        assert_eq!(v.attrs["units"], AttrValue::Text("lj".into()));
+        assert_eq!(v.attrs["dt"], AttrValue::Float(0.005));
+        assert_eq!(v.attrs["seed"], AttrValue::Int(42));
+    }
+
+    #[test]
+    fn describe_binds_sizes_and_headers() {
+        let g = GroupConfig::parse(LAMMPS_GROUP).unwrap();
+        let meta = g.describe("atoms", &[1000, 5]).unwrap();
+        assert_eq!(meta.shape, Shape::of(&[("nparticles", 1000), ("props", 5)]));
+        assert_eq!(meta.resolve_label(1, "vy").unwrap(), 3);
+        // Header length must match the bound size.
+        assert!(g.describe("atoms", &[1000, 4]).is_err());
+        // Rank must match.
+        assert!(g.describe("atoms", &[1000]).is_err());
+        assert!(g.describe("missing", &[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for (doc, what) in [
+            ("<var name=\"x\"/>", "var outside group"),
+            ("<adios-group name=\"g\">\n<bogus a=\"1\"/>\n</adios-group>", "unknown tag"),
+            ("<adios-group name=\"g\">", "unclosed group"),
+            ("<adios-group name=\"g\">\n<var name=\"x\" type=\"f99\" dimensions=\"a\"/>\n</adios-group>", "bad type"),
+            ("<adios-group name=\"g\">\n<var name=\"x\" type=\"f64\"/>\n</adios-group>", "missing dims"),
+            ("<adios-group name=\"g\">\n<header var=\"x\" dim=\"0\" labels=\"a\"/>\n</adios-group>", "header before var"),
+            ("<adios-group name=\"g\">\n<var name=\"x\" type=\"f64\" dimensions=\"a\"/>\n<var name=\"x\" type=\"f64\" dimensions=\"a\"/>\n</adios-group>", "duplicate var"),
+            ("<adios-group name=\"g\">\n<var name=\"x\" type=\"f64\" dimensions=\"a\"/>\n<header var=\"x\" dim=\"5\" labels=\"a\"/>\n</adios-group>", "header dim range"),
+            ("plain text", "not a tag"),
+        ] {
+            assert!(GroupConfig::parse(doc).is_err(), "should reject: {what}");
+        }
+    }
+
+    #[test]
+    fn attribute_values_parse_by_type() {
+        let doc = r#"
+            <adios-group name="g">
+              <var name="x" type="i32" dimensions="n"/>
+              <attribute var="x" name="label" value="hello world"/>
+              <attribute var="x" name="n_over" value="-12"/>
+              <attribute var="x" name="scale" value="1.5e3"/>
+            </adios-group>
+        "#;
+        let g = GroupConfig::parse(doc).unwrap();
+        let v = g.var("x").unwrap();
+        assert_eq!(v.attrs["label"], AttrValue::Text("hello world".into()));
+        assert_eq!(v.attrs["n_over"], AttrValue::Int(-12));
+        assert_eq!(v.attrs["scale"], AttrValue::Float(1500.0));
+    }
+
+    #[test]
+    fn multiple_vars_in_one_group() {
+        let doc = r#"
+            <adios-group name="fields">
+              <var name="pressure" type="f64" dimensions="slices,points"/>
+              <var name="ids" type="u64" dimensions="points"/>
+            </adios-group>
+        "#;
+        let g = GroupConfig::parse(doc).unwrap();
+        assert_eq!(g.vars.len(), 2);
+        let m = g.describe("ids", &[77]).unwrap();
+        assert_eq!(m.dtype, DType::U64);
+        assert_eq!(m.shape.total_len(), 77);
+    }
+}

@@ -1,0 +1,253 @@
+//! Named dimensions and row-major shape arithmetic.
+//!
+//! ADIOS keeps the number of dimensions and their sizes as stream metadata;
+//! SmartBlock components additionally rely on *names* for dimensions so a
+//! launch script can refer to "the dimension spanning the particles" without
+//! recompiling anything. [`Shape`] carries both.
+
+use crate::error::{DataError, DataResult};
+
+/// One named dimension of a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Human-readable dimension name (e.g. `"particles"`, `"props"`).
+    pub name: String,
+    /// Extent of this dimension.
+    pub size: usize,
+}
+
+impl Dim {
+    /// Constructs a dimension.
+    pub fn new(name: impl Into<String>, size: usize) -> Dim {
+        Dim {
+            name: name.into(),
+            size,
+        }
+    }
+}
+
+/// A row-major shape: an ordered list of named dimensions.
+///
+/// The last dimension varies fastest in memory — the layout the paper's
+/// Dim-Reduce discussion (§III-F) revolves around.
+///
+/// ```
+/// use sb_data::Shape;
+/// let s = Shape::of(&[("particles", 100), ("props", 5)]);
+/// assert_eq!(s.total_len(), 500);
+/// assert_eq!(s.strides(), vec![5, 1]);
+/// assert_eq!(s.dim_index("props"), Some(1));
+/// assert_eq!(s.linear_index(&[3, 2]), 17);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<Dim>,
+}
+
+impl Shape {
+    /// Builds a shape from `(name, size)` pairs.
+    pub fn new(dims: Vec<Dim>) -> Shape {
+        Shape { dims }
+    }
+
+    /// Convenience constructor from `(name, size)` tuples.
+    pub fn of(pairs: &[(&str, usize)]) -> Shape {
+        Shape {
+            dims: pairs.iter().map(|(n, s)| Dim::new(*n, *s)).collect(),
+        }
+    }
+
+    /// A one-dimensional shape.
+    pub fn linear(name: impl Into<String>, size: usize) -> Shape {
+        Shape {
+            dims: vec![Dim::new(name, size)],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimensions, slowest-varying first.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Per-dimension extents, slowest-varying first.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.size).collect()
+    }
+
+    /// Extent of dimension `i`.
+    pub fn size(&self, i: usize) -> usize {
+        self.dims[i].size
+    }
+
+    /// Name of dimension `i`.
+    pub fn dim_name(&self, i: usize) -> &str {
+        &self.dims[i].name
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn total_len(&self) -> usize {
+        self.dims.iter().map(|d| d.size).product()
+    }
+
+    /// Row-major strides: `strides[i]` is the linear distance between
+    /// consecutive indices of dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1].size;
+        }
+        strides
+    }
+
+    /// Linear offset of the multi-index `idx`.
+    ///
+    /// Panics if `idx` has the wrong rank or exceeds an extent — indexing
+    /// errors are programming bugs, exactly like slice indexing.
+    pub fn linear_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.ndims(), "index rank mismatch");
+        let strides = self.strides();
+        idx.iter()
+            .zip(&self.dims)
+            .zip(&strides)
+            .map(|((&i, d), &s)| {
+                assert!(i < d.size, "index {i} out of range for dim {:?}", d.name);
+                i * s
+            })
+            .sum()
+    }
+
+    /// Inverse of [`Shape::linear_index`].
+    pub fn multi_index(&self, mut linear: usize) -> Vec<usize> {
+        assert!(linear < self.total_len().max(1), "linear index out of range");
+        let strides = self.strides();
+        strides
+            .iter()
+            .map(|&s| {
+                let i = linear / s;
+                linear %= s;
+                i
+            })
+            .collect()
+    }
+
+    /// Index of the dimension called `name`, if any.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// Checks that `dim` is a valid dimension index.
+    pub fn check_dim(&self, dim: usize) -> DataResult<()> {
+        if dim < self.ndims() {
+            Ok(())
+        } else {
+            Err(DataError::NoSuchDimension {
+                index: dim,
+                ndims: self.ndims(),
+            })
+        }
+    }
+
+    /// A copy with dimension `dim` resized to `size`.
+    pub fn with_dim_size(&self, dim: usize, size: usize) -> Shape {
+        let mut s = self.clone();
+        s.dims[dim].size = size;
+        s
+    }
+
+    /// A copy with dimension `dim` removed.
+    pub fn without_dim(&self, dim: usize) -> Shape {
+        let mut s = self.clone();
+        s.dims.remove(dim);
+        s
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", d.name, d.size)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Shape {
+        Shape::of(&[("slice", 4), ("grid", 5), ("prop", 7)])
+    }
+
+    #[test]
+    fn basic_queries() {
+        let s = sample();
+        assert_eq!(s.ndims(), 3);
+        assert_eq!(s.total_len(), 140);
+        assert_eq!(s.sizes(), vec![4, 5, 7]);
+        assert_eq!(s.dim_name(1), "grid");
+        assert_eq!(s.dim_index("prop"), Some(2));
+        assert_eq!(s.dim_index("nope"), None);
+        assert_eq!(format!("{s}"), "[slice=4, grid=5, prop=7]");
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(sample().strides(), vec![35, 7, 1]);
+        assert_eq!(Shape::linear("x", 9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn linear_and_multi_index_are_inverses() {
+        let s = sample();
+        for lin in [0usize, 1, 7, 34, 35, 139] {
+            let idx = s.multi_index(lin);
+            assert_eq!(s.linear_index(&idx), lin);
+        }
+        assert_eq!(s.linear_index(&[3, 4, 6]), 139);
+        assert_eq!(s.multi_index(139), vec![3, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_checks_extents() {
+        sample().linear_index(&[0, 5, 0]);
+    }
+
+    #[test]
+    fn dim_edits() {
+        let s = sample();
+        assert_eq!(s.with_dim_size(0, 2).total_len(), 70);
+        let dropped = s.without_dim(1);
+        assert_eq!(dropped.sizes(), vec![4, 7]);
+        assert_eq!(dropped.dim_name(1), "prop");
+    }
+
+    #[test]
+    fn check_dim_bounds() {
+        let s = sample();
+        assert!(s.check_dim(2).is_ok());
+        assert!(matches!(
+            s.check_dim(3),
+            Err(DataError::NoSuchDimension { index: 3, ndims: 3 })
+        ));
+    }
+
+    #[test]
+    fn rank_zero_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.ndims(), 0);
+        assert_eq!(s.total_len(), 1);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+        assert_eq!(s.linear_index(&[]), 0);
+    }
+}

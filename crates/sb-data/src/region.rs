@@ -1,0 +1,402 @@
+//! Bounding boxes and block copies — the MxN redistribution primitive.
+//!
+//! ADIOS lets every reading process declare a bounding box of the global
+//! array; FlexPath then assembles that box from however many writers hold
+//! pieces of it. The algebra needed for that — intersection, containment,
+//! rebasing, and strided block copies between differently shaped buffers —
+//! lives here.
+
+use crate::buffer::Buffer;
+use crate::dims::Shape;
+use crate::error::{DataError, DataResult};
+
+/// An axis-aligned box in the index space of a global array:
+/// `offset[i] .. offset[i] + count[i]` along each dimension.
+///
+/// ```
+/// use sb_data::Region;
+/// let a = Region::new(vec![0, 0], vec![4, 4]);
+/// let b = Region::new(vec![2, 2], vec![4, 4]);
+/// let i = a.intersect(&b).unwrap();
+/// assert_eq!(i, Region::new(vec![2, 2], vec![2, 2]));
+/// assert!(a.contains(&i));
+/// assert_eq!(i.relative_to(&a).offset(), &[2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    offset: Vec<usize>,
+    count: Vec<usize>,
+}
+
+impl Region {
+    /// Builds a region; `offset` and `count` must have equal rank.
+    pub fn new(offset: Vec<usize>, count: Vec<usize>) -> Region {
+        assert_eq!(offset.len(), count.len(), "region rank mismatch");
+        Region { offset, count }
+    }
+
+    /// The region covering all of `shape`.
+    pub fn whole(shape: &Shape) -> Region {
+        Region {
+            offset: vec![0; shape.ndims()],
+            count: shape.sizes(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Per-dimension start coordinates.
+    pub fn offset(&self) -> &[usize] {
+        &self.offset
+    }
+
+    /// Per-dimension extents.
+    pub fn count(&self) -> &[usize] {
+        &self.count
+    }
+
+    /// First coordinate past the end along dimension `i`.
+    pub fn end(&self, i: usize) -> usize {
+        self.offset[i] + self.count[i]
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.count.iter().product()
+    }
+
+    /// True when any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.count.contains(&0)
+    }
+
+    /// Checks that the region fits inside `shape`.
+    pub fn validate(&self, shape: &Shape) -> DataResult<()> {
+        if self.ndims() != shape.ndims() {
+            return Err(DataError::RegionOutOfBounds {
+                detail: format!(
+                    "region rank {} does not match shape rank {}",
+                    self.ndims(),
+                    shape.ndims()
+                ),
+            });
+        }
+        for i in 0..self.ndims() {
+            let end = self.offset[i].checked_add(self.count[i]).ok_or_else(|| {
+                DataError::RegionOutOfBounds {
+                    detail: format!("dim {i}: offset + count overflows usize"),
+                }
+            })?;
+            if end > shape.size(i) {
+                return Err(DataError::RegionOutOfBounds {
+                    detail: format!(
+                        "dim {i}: {}..{end} exceeds extent {}",
+                        self.offset[i],
+                        shape.size(i)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The overlap of two regions, or `None` when they are disjoint (or
+    /// overlap in zero volume).
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        assert_eq!(self.ndims(), other.ndims(), "region rank mismatch");
+        let mut offset = Vec::with_capacity(self.ndims());
+        let mut count = Vec::with_capacity(self.ndims());
+        for i in 0..self.ndims() {
+            let lo = self.offset[i].max(other.offset[i]);
+            let hi = self.end(i).min(other.end(i));
+            if hi <= lo {
+                return None;
+            }
+            offset.push(lo);
+            count.push(hi - lo);
+        }
+        Some(Region { offset, count })
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Region) -> bool {
+        assert_eq!(self.ndims(), other.ndims(), "region rank mismatch");
+        (0..self.ndims())
+            .all(|i| other.offset[i] >= self.offset[i] && other.end(i) <= self.end(i))
+    }
+
+    /// True when the point `idx` lies inside the region.
+    pub fn contains_point(&self, idx: &[usize]) -> bool {
+        assert_eq!(self.ndims(), idx.len(), "point rank mismatch");
+        (0..self.ndims()).all(|i| idx[i] >= self.offset[i] && idx[i] < self.end(i))
+    }
+
+    /// Rebases this region into the local coordinates of `outer` (which must
+    /// contain it): the result's offsets are `self.offset - outer.offset`.
+    pub fn relative_to(&self, outer: &Region) -> Region {
+        assert!(
+            outer.contains(self),
+            "relative_to: {self:?} not contained in {outer:?}"
+        );
+        Region {
+            offset: self
+                .offset
+                .iter()
+                .zip(&outer.offset)
+                .map(|(a, b)| a - b)
+                .collect(),
+            count: self.count.clone(),
+        }
+    }
+
+    /// The local shape of a buffer covering exactly this region, reusing the
+    /// dimension names of `global`.
+    pub fn local_shape(&self, global: &Shape) -> Shape {
+        assert_eq!(self.ndims(), global.ndims(), "region rank mismatch");
+        Shape::new(
+            global
+                .dims()
+                .iter()
+                .zip(&self.count)
+                .map(|(d, &c)| crate::dims::Dim::new(d.name.clone(), c))
+                .collect(),
+        )
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for i in 0..self.ndims() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}..{}", self.offset[i], self.end(i))?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Copies the global region `xfer` from a source buffer covering `src_box`
+/// into a destination buffer covering `dst_box`.
+///
+/// Both buffers are row-major over their own box extents. `xfer` must be
+/// contained in both boxes; the innermost dimension is copied as contiguous
+/// runs. This single function implements the data movement of the FlexPath
+/// MxN exchange.
+pub fn copy_region(
+    src: &Buffer,
+    src_box: &Region,
+    dst: &mut Buffer,
+    dst_box: &Region,
+    xfer: &Region,
+) -> DataResult<()> {
+    let ndims = xfer.ndims();
+    if !src_box.contains(xfer) || !dst_box.contains(xfer) {
+        return Err(DataError::RegionOutOfBounds {
+            detail: format!("transfer {xfer} not contained in src {src_box} / dst {dst_box}"),
+        });
+    }
+    if src.len() != src_box.len() || dst.len() != dst_box.len() {
+        return Err(DataError::ShapeMismatch {
+            data_len: src.len(),
+            shape_len: src_box.len(),
+        });
+    }
+    if xfer.is_empty() {
+        return Ok(());
+    }
+    let src_local = xfer.relative_to(src_box);
+    let dst_local = xfer.relative_to(dst_box);
+
+    // Row-major strides of the two local buffers.
+    let strides = |count: &[usize]| -> Vec<usize> {
+        let mut s = vec![1usize; count.len()];
+        for i in (0..count.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * count[i + 1];
+        }
+        s
+    };
+    let src_strides = strides(src_box.count());
+    let dst_strides = strides(dst_box.count());
+
+    if ndims == 0 {
+        return dst.copy_from(0, src, 0, 1);
+    }
+
+    // Iterate an odometer over all but the last dimension; copy the last
+    // dimension as one contiguous run.
+    let run = xfer.count()[ndims - 1];
+    let outer_dims = ndims - 1;
+    let mut idx = vec![0usize; outer_dims];
+    loop {
+        let mut src_off = src_local.offset()[ndims - 1];
+        let mut dst_off = dst_local.offset()[ndims - 1];
+        for d in 0..outer_dims {
+            src_off += (src_local.offset()[d] + idx[d]) * src_strides[d];
+            dst_off += (dst_local.offset()[d] + idx[d]) * dst_strides[d];
+        }
+        dst.copy_from(dst_off, src, src_off, run)?;
+
+        // Advance the odometer.
+        let mut d = outer_dims;
+        loop {
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < xfer.count()[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DType;
+
+    #[test]
+    fn whole_and_len() {
+        let s = Shape::of(&[("a", 3), ("b", 4)]);
+        let r = Region::whole(&s);
+        assert_eq!(r.offset(), &[0, 0]);
+        assert_eq!(r.count(), &[3, 4]);
+        assert_eq!(r.len(), 12);
+        assert!(!r.is_empty());
+        assert!(Region::new(vec![0], vec![0]).is_empty());
+    }
+
+    #[test]
+    fn validate_against_shape() {
+        let s = Shape::of(&[("a", 3), ("b", 4)]);
+        assert!(Region::new(vec![1, 2], vec![2, 2]).validate(&s).is_ok());
+        assert!(Region::new(vec![1, 2], vec![3, 2]).validate(&s).is_err());
+        assert!(Region::new(vec![0], vec![3]).validate(&s).is_err());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Region::new(vec![0, 0], vec![4, 4]);
+        let b = Region::new(vec![2, 2], vec![4, 4]);
+        assert_eq!(a.intersect(&b), Some(Region::new(vec![2, 2], vec![2, 2])));
+        let c = Region::new(vec![4, 0], vec![1, 1]);
+        assert_eq!(a.intersect(&c), None);
+        // Touching edges do not overlap.
+        let d = Region::new(vec![0, 4], vec![2, 2]);
+        assert_eq!(a.intersect(&d), None);
+    }
+
+    #[test]
+    fn containment_and_rebase() {
+        let outer = Region::new(vec![2, 3], vec![5, 5]);
+        let inner = Region::new(vec![3, 4], vec![2, 2]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        let rel = inner.relative_to(&outer);
+        assert_eq!(rel, Region::new(vec![1, 1], vec![2, 2]));
+        assert!(outer.contains_point(&[6, 7]));
+        assert!(!outer.contains_point(&[7, 3]));
+    }
+
+    #[test]
+    fn local_shape_reuses_names() {
+        let g = Shape::of(&[("rows", 10), ("cols", 8)]);
+        let r = Region::new(vec![2, 0], vec![3, 8]);
+        let local = r.local_shape(&g);
+        assert_eq!(local, Shape::of(&[("rows", 3), ("cols", 8)]));
+    }
+
+    /// Builds an f64 buffer whose element at global index (i, j, ...) of the
+    /// covering box encodes that index, so copies can be verified exactly.
+    fn tagged(bx: &Region) -> Buffer {
+        let shape = Shape::new(
+            bx.count()
+                .iter()
+                .map(|&c| crate::dims::Dim::new("d", c))
+                .collect(),
+        );
+        let v: Vec<f64> = (0..bx.len())
+            .map(|lin| {
+                let local = shape.multi_index(lin);
+                local
+                    .iter()
+                    .zip(bx.offset())
+                    .fold(0.0, |acc, (a, b)| acc * 1000.0 + (a + b) as f64)
+            })
+            .collect();
+        Buffer::F64(v)
+    }
+
+    #[test]
+    fn copy_region_2d_exact() {
+        let src_box = Region::new(vec![0, 0], vec![4, 6]);
+        let dst_box = Region::new(vec![1, 2], vec![3, 4]);
+        let xfer = Region::new(vec![1, 2], vec![2, 3]);
+        let src = tagged(&src_box);
+        let mut dst = Buffer::zeros(DType::F64, dst_box.len());
+        copy_region(&src, &src_box, &mut dst, &dst_box, &xfer).unwrap();
+        // Verify each transferred element landed at its global position.
+        let expected = tagged(&dst_box);
+        let dshape = Shape::of(&[("r", 3), ("c", 4)]);
+        for lin in 0..dst_box.len() {
+            let local = dshape.multi_index(lin);
+            let global = [local[0] + 1, local[1] + 2];
+            let inside = xfer.contains_point(&global);
+            let got = dst.get_f64(lin);
+            if inside {
+                assert_eq!(got, expected.get_f64(lin), "at {global:?}");
+            } else {
+                assert_eq!(got, 0.0, "untouched at {global:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_region_1d_and_0d() {
+        let src_box = Region::new(vec![10], vec![5]);
+        let dst_box = Region::new(vec![12], vec![6]);
+        let xfer = Region::new(vec![12], vec![3]);
+        let src = Buffer::F64(vec![10.0, 11.0, 12.0, 13.0, 14.0]);
+        let mut dst = Buffer::zeros(DType::F64, 6);
+        copy_region(&src, &src_box, &mut dst, &dst_box, &xfer).unwrap();
+        assert_eq!(dst, Buffer::F64(vec![12.0, 13.0, 14.0, 0.0, 0.0, 0.0]));
+
+        let point = Region::new(vec![], vec![]);
+        let src = Buffer::F64(vec![7.0]);
+        let mut dst = Buffer::F64(vec![0.0]);
+        copy_region(&src, &point, &mut dst, &point, &point).unwrap();
+        assert_eq!(dst, Buffer::F64(vec![7.0]));
+    }
+
+    #[test]
+    fn copy_region_rejects_uncontained_transfer() {
+        let src_box = Region::new(vec![0], vec![4]);
+        let dst_box = Region::new(vec![0], vec![4]);
+        let xfer = Region::new(vec![2], vec![4]);
+        let src = Buffer::zeros(DType::F64, 4);
+        let mut dst = Buffer::zeros(DType::F64, 4);
+        assert!(copy_region(&src, &src_box, &mut dst, &dst_box, &xfer).is_err());
+    }
+
+    #[test]
+    fn copy_region_3d_full_reassembly() {
+        // Split a 4x4x3 global array into two writer halves, then read the
+        // whole thing back into one buffer — a 2-writer/1-reader exchange.
+        let global = Region::new(vec![0, 0, 0], vec![4, 4, 3]);
+        let top = Region::new(vec![0, 0, 0], vec![2, 4, 3]);
+        let bottom = Region::new(vec![2, 0, 0], vec![2, 4, 3]);
+        let src_top = tagged(&top);
+        let src_bottom = tagged(&bottom);
+        let mut dst = Buffer::zeros(DType::F64, global.len());
+        copy_region(&src_top, &top, &mut dst, &global, &top).unwrap();
+        copy_region(&src_bottom, &bottom, &mut dst, &global, &bottom).unwrap();
+        assert_eq!(dst, tagged(&global));
+    }
+}

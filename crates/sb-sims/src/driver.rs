@@ -1,0 +1,168 @@
+//! The shared simulation driver loop: advance fine-grained substeps, emit
+//! one stream step per coarse I/O interval.
+//!
+//! The paper (§V-A) distinguishes the simulation's fine time stepping from
+//! the coarser intervals at which state is output — "from this point on, we
+//! refer to these larger I/O intervals as timesteps". [`drive`] implements
+//! that loop once for all three simulations, with the output optionally
+//! disabled so the Table II "LMP only" column (simulation with its output
+//! routines removed) can be measured with the same code path.
+
+use std::time::Duration;
+
+use sb_comm::{Communicator, Stopwatch};
+use sb_data::Chunk;
+use sb_stream::StreamWriter;
+
+/// One rank's view of a running simulation.
+///
+/// Implementations advance local state in `substep` (communicating with
+/// their peers as the physics requires) and expose the local portion of the
+/// output array as a self-describing chunk.
+pub trait SimRank {
+    /// Short name used in logs and thread names.
+    fn name(&self) -> &'static str;
+
+    /// Advances the local state by one fine-grained simulation step.
+    fn substep(&mut self, comm: &Communicator);
+
+    /// This rank's chunk of the output variable for the current state.
+    fn output_chunk(&self) -> Chunk;
+}
+
+/// Wall-clock accounting of one rank's run.
+#[derive(Debug, Clone, Default)]
+pub struct SimRunStats {
+    /// Coarse I/O steps emitted (or that would have been emitted).
+    pub io_steps: u64,
+    /// Fine substeps advanced.
+    pub substeps: u64,
+    /// Payload bytes this rank contributed to the stream.
+    pub bytes_output: u64,
+    /// Time inside `substep` calls.
+    pub compute_time: Duration,
+    /// Time inside stream output (begin/put/end).
+    pub io_time: Duration,
+}
+
+/// Runs `sim` for `io_steps` coarse steps of `substeps_per_io` fine steps
+/// each, writing one stream step per coarse step when `writer` is given.
+///
+/// With `writer = None` the loop performs identical computation but no
+/// output — the paper's "output routines removed" baseline.
+pub fn drive<S: SimRank>(
+    sim: &mut S,
+    comm: &Communicator,
+    mut writer: Option<&mut StreamWriter>,
+    io_steps: u64,
+    substeps_per_io: u64,
+) -> SimRunStats {
+    let mut stats = SimRunStats::default();
+    let mut sw = Stopwatch::started();
+    for _ in 0..io_steps {
+        sw.lap();
+        for _ in 0..substeps_per_io {
+            sim.substep(comm);
+            stats.substeps += 1;
+        }
+        stats.compute_time += sw.lap();
+        if let Some(w) = writer.as_deref_mut() {
+            let chunk = sim.output_chunk();
+            stats.bytes_output += chunk.byte_len() as u64;
+            w.begin_step();
+            w.put(chunk);
+            w.end_step();
+            stats.io_time += sw.lap();
+        }
+        stats.io_steps += 1;
+    }
+    if let Some(w) = writer {
+        w.close();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_data::{Buffer, DType, Region, Shape, VariableMeta};
+    use sb_stream::{StepStatus, StreamHub, WriterOptions};
+
+    /// A trivial sim: a counter per rank, output as a 1-d array.
+    struct Counter {
+        rank: usize,
+        nranks: usize,
+        value: f64,
+    }
+
+    impl SimRank for Counter {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn substep(&mut self, _comm: &Communicator) {
+            self.value += 1.0;
+        }
+        fn output_chunk(&self) -> Chunk {
+            let meta = VariableMeta::new("c", Shape::linear("ranks", self.nranks), DType::F64);
+            Chunk::new(
+                meta,
+                Region::new(vec![self.rank], vec![1]),
+                Buffer::F64(vec![self.value]),
+            )
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn drive_emits_one_stream_step_per_io_interval() {
+        let hub = StreamHub::new();
+        let hub_w = std::sync::Arc::clone(&hub);
+        let writers = sb_comm::LaunchHandle::spawn("sim", 3, move |comm| {
+            let mut sim = Counter {
+                rank: comm.rank(),
+                nranks: comm.size(),
+                value: 0.0,
+            };
+            let mut w = hub_w.open_writer("c.fp", comm.rank(), comm.size(), WriterOptions::default());
+            drive(&mut sim, &comm, Some(&mut w), 4, 10)
+        })
+        .unwrap();
+
+        let mut r = hub.open_reader("c.fp", 0, 1);
+        let mut seen = Vec::new();
+        while let StepStatus::Ready(_) = r.begin_step() {
+            let v = r.get_whole("c").unwrap();
+            seen.push(v.data.to_f64_vec());
+            r.end_step();
+        }
+        let stats = writers.join().unwrap();
+        assert_eq!(seen.len(), 4);
+        // After k I/O intervals of 10 substeps, every rank's counter is 10k.
+        for (k, step) in seen.iter().enumerate() {
+            assert_eq!(step, &vec![10.0 * (k + 1) as f64; 3]);
+        }
+        for s in stats {
+            assert_eq!(s.io_steps, 4);
+            assert_eq!(s.substeps, 40);
+            assert_eq!(s.bytes_output, 4 * 8);
+        }
+    }
+
+    #[test]
+    fn drive_without_writer_skips_io() {
+        let stats = sb_comm::launch(2, |comm| {
+            let mut sim = Counter {
+                rank: comm.rank(),
+                nranks: comm.size(),
+                value: 0.0,
+            };
+            drive(&mut sim, &comm, None, 3, 5)
+        })
+        .unwrap();
+        for s in stats {
+            assert_eq!(s.substeps, 15);
+            assert_eq!(s.bytes_output, 0);
+            assert_eq!(s.io_time, Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # sb-sims — miniature simulation drivers
+//!
+//! The paper drives its three workflows with LAMMPS (a notched-plate
+//! "crack" run), GTCP (a particle-in-cell tokamak code) and GROMACS
+//! (biomolecular dynamics). Those codes are hundreds of thousands of lines
+//! of C/C++/Fortran and need real clusters; what the *workflows* consume is
+//! only each code's per-timestep output array, its self-describing shape,
+//! and a physically plausible evolution of the values.
+//!
+//! This crate therefore implements three small-but-real simulations that
+//! produce exactly those outputs from actual dynamics:
+//!
+//! * [`lammps`] — a Lennard-Jones velocity-Verlet MD of a notched thin
+//!   plate pulled apart ("crack"), emitting `particles × {ID, Type, vx, vy,
+//!   vz}`;
+//! * [`gtcp`] — a toroidal drift-advection/diffusion solver over
+//!   `toroidal-slices × grid-points × 7 plasma properties`;
+//! * [`gromacs`] — bead-spring polymer chains under Langevin dynamics,
+//!   emitting `atoms × {x, y, z}`.
+//!
+//! Each simulation is rank-parallel over an `sb-comm` communicator and
+//! exposes its per-rank output as an [`sb_data::Chunk`], which the shared
+//! [`driver`] loop publishes on an `sb-stream` stream — the moral
+//! equivalent of the "roughly 70 lines" of ADIOS output code the paper adds
+//! to each simulation. The corresponding ADIOS-style group configuration
+//! for each code lives in [`adapter`].
+
+pub mod adapter;
+pub mod driver;
+pub mod gromacs;
+pub mod gtcp;
+pub mod lammps;
+
+pub use driver::{drive, SimRank, SimRunStats};
+pub use gromacs::{GromacsConfig, GromacsSim};
+pub use gtcp::{GtcpConfig, GtcpSim};
+pub use lammps::{LammpsConfig, LammpsSim};

@@ -1,0 +1,139 @@
+//! The stream registry where writer and reader groups rendezvous by name.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::metrics::StreamMetrics;
+use crate::reader::StreamReader;
+use crate::stream::{Stream, WriterOptions};
+use crate::writer::StreamWriter;
+
+/// Default time a blocked stream operation may wait before panicking with a
+/// deadlock diagnostic. Generous enough for heavily oversubscribed CI
+/// machines, short enough that a mis-wired workflow fails loudly.
+pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The per-workflow registry of named streams.
+///
+/// Components never hold references to each other — they only share a hub
+/// and agree on stream names, exactly as FlexPath endpoints agree on contact
+/// strings. Opening a writer or reader on a name that does not exist yet
+/// creates the stream; the other side may attach at any later time
+/// (launch-order independence).
+///
+/// ```
+/// use sb_stream::{StreamHub, StepStatus, WriterOptions};
+/// use sb_data::{Buffer, Shape, Variable};
+///
+/// let hub = StreamHub::new();
+/// let mut w = hub.open_writer("demo.fp", 0, 1, WriterOptions::default());
+/// w.begin_step();
+/// w.put_whole(Variable::new("x", Shape::linear("n", 3), Buffer::F64(vec![1.0, 2.0, 3.0])).unwrap());
+/// w.end_step();
+/// w.close();
+///
+/// let mut r = hub.open_reader("demo.fp", 0, 1);
+/// assert_eq!(r.begin_step(), StepStatus::Ready(0));
+/// assert_eq!(r.get_whole("x").unwrap().data.to_f64_vec(), vec![1.0, 2.0, 3.0]);
+/// r.end_step();
+/// assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+/// ```
+pub struct StreamHub {
+    streams: Mutex<HashMap<String, Arc<Stream>>>,
+    wait_timeout: Duration,
+}
+
+impl StreamHub {
+    /// Creates a hub with the default deadlock timeout.
+    pub fn new() -> Arc<StreamHub> {
+        Self::with_timeout(DEFAULT_WAIT_TIMEOUT)
+    }
+
+    /// Creates a hub whose blocking operations panic after `wait_timeout`.
+    pub fn with_timeout(wait_timeout: Duration) -> Arc<StreamHub> {
+        Arc::new(StreamHub {
+            streams: Mutex::new(HashMap::new()),
+            wait_timeout,
+        })
+    }
+
+    fn stream(&self, name: &str) -> Arc<Stream> {
+        let mut streams = self.streams.lock();
+        Arc::clone(
+            streams
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Stream::new(name.to_string(), self.wait_timeout))),
+        )
+    }
+
+    /// Opens the writer side of `name` for rank `rank` of a `nranks`-rank
+    /// writer group. Every rank of the group must call this with the same
+    /// `nranks` and `options`.
+    pub fn open_writer(
+        &self,
+        name: &str,
+        rank: usize,
+        nranks: usize,
+        options: WriterOptions,
+    ) -> StreamWriter {
+        assert!(rank < nranks, "writer rank out of range");
+        let stream = self.stream(name);
+        stream.register_writer(nranks, options);
+        StreamWriter::new(stream, rank, nranks)
+    }
+
+    /// Opens the reader side of `name` for rank `rank` of a `nranks`-rank
+    /// reader group (the anonymous `"default"` group).
+    pub fn open_reader(&self, name: &str, rank: usize, nranks: usize) -> StreamReader {
+        self.open_reader_grouped(name, "default", rank, nranks)
+    }
+
+    /// Opens the reader side of `name` for a *named* reader group.
+    ///
+    /// Several groups may subscribe to one stream independently — the ADIOS
+    /// "write groups" capability the paper's future work wants for DAG
+    /// workflows. Every group sees every step from the moment it attaches;
+    /// a step is released (and writer buffer space freed) only when all
+    /// subscribed groups have consumed it.
+    pub fn open_reader_grouped(
+        &self,
+        name: &str,
+        group: &str,
+        rank: usize,
+        nranks: usize,
+    ) -> StreamReader {
+        assert!(rank < nranks, "reader rank out of range");
+        let stream = self.stream(name);
+        let first_step = stream.register_reader(group, nranks);
+        StreamReader::new(stream, group.to_string(), rank, nranks, first_step)
+    }
+
+    /// Names of all streams that have been opened on this hub.
+    pub fn stream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.streams.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A snapshot of one stream's transfer counters.
+    pub fn metrics(&self, name: &str) -> Option<StreamMetrics> {
+        self.streams
+            .lock()
+            .get(name)
+            .map(|s| s.counters.snapshot(name))
+    }
+
+    /// Snapshots of every stream, sorted by name.
+    pub fn all_metrics(&self) -> Vec<StreamMetrics> {
+        let streams = self.streams.lock();
+        let mut out: Vec<StreamMetrics> = streams
+            .iter()
+            .map(|(name, s)| s.counters.snapshot(name))
+            .collect();
+        out.sort_by(|a, b| a.stream.cmp(&b.stream));
+        out
+    }
+}

@@ -1,0 +1,45 @@
+//! # sb-stream — stream-based publish/subscribe transport
+//!
+//! FlexPath, the transport under the paper's SmartBlock components, provides
+//! four behaviours the components lean on (§IV):
+//!
+//! 1. **Name-based connection** — a writer group and a reader group meet on
+//!    a stream *name*; launch scripts wire workflows purely by matching
+//!    output names to input names.
+//! 2. **Launch-order independence** — readers block until the corresponding
+//!    writers exist and have data; writers buffer until readers attach.
+//! 3. **MxN redistribution** — M writer ranks and N reader ranks never need
+//!    to agree on counts: each reader declares a bounding box of the global
+//!    array and receives it assembled from every intersecting writer chunk.
+//! 4. **Compute/I-O overlap** — a bounded writer-side queue lets a component
+//!    proceed to its next timestep while downstream is still consuming the
+//!    previous one; a rendezvous mode exists for the overlap ablation.
+//!
+//! This crate implements all four in process: ranks are threads (see
+//! `sb-comm`), streams live in a shared [`StreamHub`], and payloads move as
+//! [`sb_data::Chunk`]s. Because memory is shared, the "data exchange thread"
+//! of FlexPath degenerates to a reader-side gather
+//! ([`sb_data::region::copy_region`]) out of the committed step slots — the
+//! queueing, blocking and backpressure semantics are preserved exactly.
+//!
+//! ## Step lifecycle
+//!
+//! Writers (every rank of the writer group, in lockstep):
+//! `begin_step` → [`StreamWriter::put`] chunks → `end_step` → … → `close`.
+//!
+//! Readers (every rank of the reader group, in lockstep):
+//! `begin_step` → inspect [`StreamReader::variables`]/[`StreamReader::meta`]
+//! → [`StreamReader::get`] bounding boxes → `end_step` → … until
+//! [`StepStatus::EndOfStream`].
+
+mod hub;
+mod metrics;
+mod reader;
+mod stream;
+mod writer;
+
+pub use hub::StreamHub;
+pub use metrics::StreamMetrics;
+pub use reader::{StepStatus, StreamReader};
+pub use stream::WriterOptions;
+pub use writer::StreamWriter;

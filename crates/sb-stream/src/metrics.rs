@@ -1,0 +1,80 @@
+//! Per-stream transfer counters.
+//!
+//! The paper's evaluation reports per-component and end-to-end throughput in
+//! KB/s; these counters are what the bench harnesses read to compute the
+//! same numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters updated by writer and reader ranks of one stream.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub bytes_written: AtomicU64,
+    pub bytes_read: AtomicU64,
+    pub steps_committed: AtomicU64,
+    pub steps_consumed: AtomicU64,
+    pub writer_wait_ns: AtomicU64,
+    pub reader_wait_ns: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn add_written(&self, bytes: usize) {
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_read(&self, bytes: usize) {
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_writer_wait(&self, d: Duration) {
+        self.writer_wait_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_reader_wait(&self, d: Duration) {
+        self.reader_wait_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> StreamMetrics {
+        StreamMetrics {
+            stream: name.to_string(),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            steps_committed: self.steps_committed.load(Ordering::Relaxed),
+            steps_consumed: self.steps_consumed.load(Ordering::Relaxed),
+            writer_wait: Duration::from_nanos(self.writer_wait_ns.load(Ordering::Relaxed)),
+            reader_wait: Duration::from_nanos(self.reader_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one stream's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamMetrics {
+    /// Stream name.
+    pub stream: String,
+    /// Payload bytes committed by writer ranks.
+    pub bytes_written: u64,
+    /// Payload bytes assembled into reader bounding boxes.
+    pub bytes_read: u64,
+    /// Steps fully committed by the writer group.
+    pub steps_committed: u64,
+    /// Steps fully released by the reader group.
+    pub steps_consumed: u64,
+    /// Total time writer ranks spent blocked (backpressure/rendezvous).
+    pub writer_wait: Duration,
+    /// Total time reader ranks spent blocked waiting for data.
+    pub reader_wait: Duration,
+}
+
+impl StreamMetrics {
+    /// Writer-side throughput over `elapsed`, in KB/s (the paper's unit).
+    pub fn write_throughput_kbs(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes_written as f64 / 1024.0 / elapsed.as_secs_f64()
+    }
+}

@@ -1,0 +1,186 @@
+//! The per-rank reader handle: step discovery and bounding-box gets.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sb_data::region::copy_region;
+use sb_data::{Buffer, DataError, DataResult, Region, Variable, VariableMeta};
+
+use crate::stream::{StepContents, Stream};
+
+/// What [`StreamReader::begin_step`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// A step is open; its transport step id is given.
+    Ready(u64),
+    /// All writer ranks closed and every step has been consumed.
+    EndOfStream,
+}
+
+/// One reader rank's handle onto a stream.
+///
+/// Between `begin_step` and `end_step` the handle exposes the step's
+/// self-describing metadata and serves bounding-box [`StreamReader::get`]
+/// requests, assembling each box from every intersecting writer chunk —
+/// FlexPath's MxN exchange.
+pub struct StreamReader {
+    stream: Arc<Stream>,
+    group: String,
+    rank: usize,
+    nranks: usize,
+    next_step: u64,
+    current: Option<StepContents>,
+}
+
+impl StreamReader {
+    pub(crate) fn new(
+        stream: Arc<Stream>,
+        group: String,
+        rank: usize,
+        nranks: usize,
+        first_step: u64,
+    ) -> StreamReader {
+        StreamReader {
+            stream,
+            group,
+            rank,
+            nranks,
+            next_step: first_step,
+            current: None,
+        }
+    }
+
+    /// The reader group this handle belongs to.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// This rank's id within the reader group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Size of the reader group.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Blocks until the next step is available (or the stream ended).
+    pub fn begin_step(&mut self) -> StepStatus {
+        assert!(self.current.is_none(), "begin_step inside an open step");
+        match self.stream.reader_begin_step(self.next_step) {
+            Some(contents) => {
+                self.current = Some(contents);
+                StepStatus::Ready(self.next_step)
+            }
+            None => StepStatus::EndOfStream,
+        }
+    }
+
+    fn contents(&self) -> &StepContents {
+        self.current
+            .as_ref()
+            .expect("no step is open; call begin_step first")
+    }
+
+    /// Names of the variables present in the open step.
+    pub fn variables(&self) -> Vec<String> {
+        self.contents().keys().cloned().collect()
+    }
+
+    /// Self-describing metadata of `name` in the open step.
+    pub fn meta(&self, name: &str) -> Option<&VariableMeta> {
+        self.contents().get(name).map(|v| &v.meta)
+    }
+
+    /// Reads the bounding box `region` of variable `name`, assembled from
+    /// all intersecting writer chunks.
+    ///
+    /// Fails if the variable is unknown, the region exceeds the global
+    /// shape, or the writer chunks do not tile the requested box exactly.
+    pub fn get(&self, name: &str, region: &Region) -> DataResult<Variable> {
+        let slot = self
+            .contents()
+            .get(name)
+            .ok_or_else(|| DataError::Container {
+                detail: format!("no variable {name:?} in step"),
+            })?;
+        let meta = &slot.meta;
+        region.validate(&meta.shape)?;
+        let mut out = Buffer::zeros(meta.dtype, region.len());
+        let mut covered = 0usize;
+        let mut overlaps: Vec<sb_data::Region> = Vec::new();
+        for chunk in &slot.chunks {
+            if let Some(overlap) = chunk.region.intersect(region) {
+                // Chunks must tile: any pairwise overlap inside the box
+                // means double-written elements (and, since the total is
+                // checked below, a matching hole elsewhere).
+                if overlaps.iter().any(|o| o.intersect(&overlap).is_some()) {
+                    return Err(DataError::RegionOutOfBounds {
+                        detail: format!(
+                            "writer chunks of {name:?} overlap inside the requested box {region}"
+                        ),
+                    });
+                }
+                copy_region(&chunk.data, &chunk.region, &mut out, region, &overlap)?;
+                covered += overlap.len();
+                overlaps.push(overlap);
+            }
+        }
+        if covered != region.len() {
+            return Err(DataError::RegionOutOfBounds {
+                detail: format!(
+                    "writer chunks covered {covered} of {} requested elements of {name:?} \
+                     (overlapping or missing chunks)",
+                    region.len()
+                ),
+            });
+        }
+        self.stream.counters.add_read(out.byte_len());
+
+        // Carry labels through, sliced to the requested box, and keep the
+        // global dimension names on the local shape.
+        let shape = region.local_shape(&meta.shape);
+        let mut labels = BTreeMap::new();
+        for (&dim, names) in &meta.labels {
+            let lo = region.offset()[dim];
+            let hi = region.end(dim);
+            labels.insert(dim, names[lo..hi].to_vec());
+        }
+        let mut var = Variable::new(meta.name.clone(), shape, out)?;
+        var.labels = labels;
+        var.attrs = meta.attrs.clone();
+        Ok(var)
+    }
+
+    /// Reads the entire global array of `name`.
+    pub fn get_whole(&self, name: &str) -> DataResult<Variable> {
+        let shape = self
+            .meta(name)
+            .ok_or_else(|| DataError::Container {
+                detail: format!("no variable {name:?} in step"),
+            })?
+            .shape
+            .clone();
+        self.get(name, &Region::whole(&shape))
+    }
+
+    /// Steps the writer group has committed so far (diagnostics; the
+    /// backpressure tests read this to observe writer progress).
+    pub fn stream_committed(&self) -> u64 {
+        self.stream
+            .counters
+            .steps_committed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Releases the open step; once every reader rank has done so, the
+    /// writer-side buffer slot is freed.
+    pub fn end_step(&mut self) {
+        assert!(self.current.is_some(), "end_step without begin_step");
+        self.current = None;
+        self.stream
+            .reader_end_step(&self.group, self.next_step, self.nranks);
+        self.next_step += 1;
+    }
+}

@@ -1,0 +1,390 @@
+//! The per-stream state machine: writer registration, step slots, bounded
+//! buffering, and the completion/consumption protocol.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use sb_data::{Chunk, VariableMeta};
+
+use crate::metrics::Counters;
+
+/// Writer-side buffering policy, fixed by the first writer rank to open the
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriterOptions {
+    /// Maximum steps buffered (committed or in progress) before
+    /// `begin_step` blocks — FlexPath's "buffer data up to a certain size".
+    pub queue_capacity: usize,
+    /// When true, `end_step` blocks until the reader group has fully
+    /// consumed the step — the no-overlap mode used by the overlap ablation.
+    pub rendezvous: bool,
+    /// Number of reader groups the writer expects (ADIOS declares its
+    /// "write groups" up front). Steps are retained until at least this
+    /// many groups have subscribed *and* consumed them, so no declared
+    /// subscriber can miss data by attaching late.
+    pub expected_reader_groups: usize,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions {
+            queue_capacity: 4,
+            rendezvous: false,
+            expected_reader_groups: 1,
+        }
+    }
+}
+
+impl WriterOptions {
+    /// Buffered (overlapping) mode with the given queue depth.
+    pub fn buffered(queue_capacity: usize) -> WriterOptions {
+        assert!(queue_capacity >= 1, "queue capacity must be at least 1");
+        WriterOptions {
+            queue_capacity,
+            ..WriterOptions::default()
+        }
+    }
+
+    /// Synchronous hand-off: every step is exchanged before the writer may
+    /// proceed. Used to measure what FlexPath's asynchrony buys.
+    pub fn rendezvous() -> WriterOptions {
+        WriterOptions {
+            queue_capacity: 1,
+            rendezvous: true,
+            ..WriterOptions::default()
+        }
+    }
+
+    /// Declares how many reader groups will subscribe (builder style).
+    pub fn with_reader_groups(mut self, groups: usize) -> WriterOptions {
+        assert!(groups >= 1, "a stream needs at least one reader group");
+        self.expected_reader_groups = groups;
+        self
+    }
+}
+
+/// One variable inside one step: global metadata plus the writer chunks
+/// received so far.
+#[derive(Debug)]
+pub(crate) struct VarSlot {
+    pub(crate) meta: VariableMeta,
+    pub(crate) chunks: Vec<Chunk>,
+}
+
+/// The frozen contents of a fully committed step.
+pub(crate) type StepContents = Arc<BTreeMap<String, VarSlot>>;
+
+#[derive(Debug, Default)]
+struct Slot {
+    committed: usize,
+    /// Per reader group: ranks that have released this step.
+    done_by: HashMap<String, usize>,
+    staging: BTreeMap<String, VarSlot>,
+    ready: Option<StepContents>,
+}
+
+/// One subscribed reader group: its size and the first step it observes
+/// (groups attaching after steps were consumed start at the then-current
+/// front of the queue).
+struct ReaderGroup {
+    nranks: usize,
+    first_step: u64,
+}
+
+struct State {
+    writer_nranks: Option<usize>,
+    reader_groups: HashMap<String, ReaderGroup>,
+    options: WriterOptions,
+    closed_writers: usize,
+    closed: bool,
+    /// Step id of `queue[0]`.
+    base_step: u64,
+    queue: VecDeque<Slot>,
+}
+
+impl State {
+    /// True when the front slot has been released by every group that can
+    /// see it. Streams with no subscribers retain their steps (they will be
+    /// delivered to whichever group attaches first).
+    fn front_fully_consumed(&self) -> bool {
+        if self.reader_groups.len() < self.options.expected_reader_groups.max(1) {
+            return false;
+        }
+        let Some(front) = self.queue.front() else {
+            return false;
+        };
+        if front.ready.is_none() {
+            return false;
+        }
+        self.reader_groups.iter().all(|(name, g)| {
+            g.first_step > self.base_step
+                || front.done_by.get(name).copied().unwrap_or(0) == g.nranks
+        })
+    }
+}
+
+/// A named stream connecting one writer group to one reader group.
+pub(crate) struct Stream {
+    pub(crate) name: String,
+    state: Mutex<State>,
+    cond: Condvar,
+    pub(crate) counters: Counters,
+    wait_timeout: Duration,
+}
+
+impl Stream {
+    pub(crate) fn new(name: String, wait_timeout: Duration) -> Stream {
+        Stream {
+            name,
+            state: Mutex::new(State {
+                writer_nranks: None,
+                reader_groups: HashMap::new(),
+                options: WriterOptions::default(),
+                closed_writers: 0,
+                closed: false,
+                base_step: 0,
+                queue: VecDeque::new(),
+            }),
+            cond: Condvar::new(),
+            counters: Counters::default(),
+            wait_timeout,
+        }
+    }
+
+    /// Blocks on `cond` until `pred` holds, panicking after the hub timeout
+    /// with a description — a hung workflow surfaces as a diagnosable panic
+    /// instead of a silent deadlock.
+    fn wait_until<T>(
+        &self,
+        state: &mut parking_lot::MutexGuard<'_, State>,
+        what: &str,
+        mut pred: impl FnMut(&mut State) -> Option<T>,
+    ) -> T {
+        let deadline = Instant::now() + self.wait_timeout;
+        loop {
+            if let Some(v) = pred(state) {
+                return v;
+            }
+            if self.cond.wait_until(state, deadline).timed_out() {
+                panic!(
+                    "stream {:?}: timed out after {:?} waiting for {what} \
+                     (writers={:?} readers={:?} closed={} base_step={} queued={})",
+                    self.name,
+                    self.wait_timeout,
+                    state.writer_nranks,
+                    state
+                        .reader_groups
+                        .iter()
+                        .map(|(n, g)| (n.clone(), g.nranks))
+                        .collect::<Vec<_>>(),
+                    state.closed,
+                    state.base_step,
+                    state.queue.len(),
+                );
+            }
+        }
+    }
+
+    // ---- writer-group protocol -------------------------------------------------
+
+    pub(crate) fn register_writer(&self, nranks: usize, options: WriterOptions) {
+        assert!(nranks > 0, "writer group must have at least one rank");
+        let mut state = self.state.lock();
+        match state.writer_nranks {
+            None => {
+                state.writer_nranks = Some(nranks);
+                state.options = options;
+                self.cond.notify_all();
+            }
+            Some(existing) => {
+                assert_eq!(
+                    existing, nranks,
+                    "stream {:?}: writer ranks disagree on group size",
+                    self.name
+                );
+                assert_eq!(
+                    state.options, options,
+                    "stream {:?}: writer ranks disagree on options",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// A writer rank starts `step`; blocks while the buffer is full.
+    pub(crate) fn writer_begin_step(&self, step: u64) {
+        let mut state = self.state.lock();
+        let capacity = state.options.queue_capacity as u64;
+        let start = Instant::now();
+        self.wait_until(&mut state, "buffer space", |s| {
+            (step < s.base_step + capacity).then_some(())
+        });
+        self.counters.add_writer_wait(start.elapsed());
+        // Create slots up through `step` (ranks run in lockstep, so this
+        // extends by at most one in practice).
+        while state.base_step + state.queue.len() as u64 <= step {
+            state.queue.push_back(Slot::default());
+        }
+    }
+
+    /// A writer rank contributes a chunk to `step`.
+    pub(crate) fn writer_put(&self, step: u64, chunk: Chunk) {
+        let mut state = self.state.lock();
+        let idx = (step - state.base_step) as usize;
+        let slot = &mut state.queue[idx];
+        assert!(
+            slot.ready.is_none(),
+            "stream {:?}: put after the step was committed",
+            self.name
+        );
+        let bytes = chunk.byte_len();
+        let entry = slot
+            .staging
+            .entry(chunk.meta.name.clone())
+            .or_insert_with(|| VarSlot {
+                meta: chunk.meta.clone(),
+                chunks: Vec::new(),
+            });
+        assert_eq!(
+            entry.meta, chunk.meta,
+            "stream {:?}: writer ranks disagree on metadata of {:?}",
+            self.name, chunk.meta.name
+        );
+        entry.chunks.push(chunk);
+        drop(state);
+        self.counters.add_written(bytes);
+    }
+
+    /// A writer rank finishes `step`; the last rank freezes the slot. In
+    /// rendezvous mode, blocks until the reader group releases the step.
+    pub(crate) fn writer_end_step(&self, step: u64, nranks: usize) {
+        let mut state = self.state.lock();
+        let idx = (step - state.base_step) as usize;
+        let slot = &mut state.queue[idx];
+        slot.committed += 1;
+        assert!(
+            slot.committed <= nranks,
+            "stream {:?}: more end_step calls than writer ranks",
+            self.name
+        );
+        if slot.committed == nranks {
+            let staged = std::mem::take(&mut slot.staging);
+            slot.ready = Some(Arc::new(staged));
+            self.counters
+                .steps_committed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.cond.notify_all();
+        }
+        if state.options.rendezvous {
+            let start = Instant::now();
+            self.wait_until(&mut state, "rendezvous consumption", |s| {
+                (s.base_step > step).then_some(())
+            });
+            self.counters.add_writer_wait(start.elapsed());
+        }
+    }
+
+    /// A writer rank closes; the last one marks the stream ended.
+    pub(crate) fn writer_close(&self, nranks: usize) {
+        let mut state = self.state.lock();
+        state.closed_writers += 1;
+        if state.closed_writers == nranks {
+            state.closed = true;
+            self.cond.notify_all();
+        }
+    }
+
+    // ---- reader-group protocol -------------------------------------------------
+
+    /// Registers rank membership of reader group `group`; returns the first
+    /// step this group will observe.
+    pub(crate) fn register_reader(&self, group: &str, nranks: usize) -> u64 {
+        assert!(nranks > 0, "reader group must have at least one rank");
+        let mut state = self.state.lock();
+        let base = state.base_step;
+        match state.reader_groups.get(group) {
+            None => {
+                state.reader_groups.insert(
+                    group.to_string(),
+                    ReaderGroup {
+                        nranks,
+                        first_step: base,
+                    },
+                );
+                self.cond.notify_all();
+                base
+            }
+            Some(existing) => {
+                assert_eq!(
+                    existing.nranks, nranks,
+                    "stream {:?}: ranks of reader group {group:?} disagree on group size",
+                    self.name
+                );
+                existing.first_step
+            }
+        }
+    }
+
+    /// A reader rank asks for `step`; returns its frozen contents, or `None`
+    /// at end of stream.
+    pub(crate) fn reader_begin_step(&self, step: u64) -> Option<StepContents> {
+        let mut state = self.state.lock();
+        let start = Instant::now();
+        let got = self.wait_until(&mut state, "a committed step", |s| {
+            let idx = step.checked_sub(s.base_step).map(|d| d as usize);
+            if let Some(idx) = idx {
+                if idx < s.queue.len() {
+                    if let Some(ready) = &s.queue[idx].ready {
+                        return Some(Some(Arc::clone(ready)));
+                    }
+                }
+            }
+            // No such committed step; if the writer group is done and will
+            // never produce it, report end of stream.
+            if s.closed {
+                let produced = s.base_step + s.queue.len() as u64;
+                let last_is_ready = s
+                    .queue
+                    .back()
+                    .map(|slot| slot.ready.is_some())
+                    .unwrap_or(true);
+                if step >= produced || (step + 1 == produced && !last_is_ready) {
+                    return Some(None);
+                }
+            }
+            None
+        });
+        self.counters.add_reader_wait(start.elapsed());
+        got
+    }
+
+    /// A rank of reader group `group` releases `step`; slots are popped off
+    /// the front once *every* subscribed group has released them, which
+    /// unblocks writers waiting on buffer capacity.
+    pub(crate) fn reader_end_step(&self, group: &str, step: u64, nranks: usize) {
+        let mut state = self.state.lock();
+        let idx = (step - state.base_step) as usize;
+        let slot = &mut state.queue[idx];
+        let done = slot.done_by.entry(group.to_string()).or_insert(0);
+        *done += 1;
+        assert!(
+            *done <= nranks,
+            "stream {:?}: more end_step calls than ranks in reader group {group:?}",
+            self.name
+        );
+        let mut popped = false;
+        while state.front_fully_consumed() {
+            state.queue.pop_front();
+            state.base_step += 1;
+            popped = true;
+            self.counters
+                .steps_consumed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        if popped {
+            self.cond.notify_all();
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The per-rank writer handle.
+
+use std::sync::Arc;
+
+use sb_data::{Chunk, Variable};
+
+use crate::stream::Stream;
+
+/// One writer rank's handle onto a stream.
+///
+/// All ranks of the writer group advance through steps in lockstep:
+/// `begin_step` → one or more [`StreamWriter::put`] calls → `end_step`.
+/// Dropping the handle closes this rank's side of the stream; when every
+/// rank has closed, readers observe end-of-stream.
+pub struct StreamWriter {
+    stream: Arc<Stream>,
+    rank: usize,
+    nranks: usize,
+    next_step: u64,
+    in_step: bool,
+    closed: bool,
+}
+
+impl StreamWriter {
+    pub(crate) fn new(stream: Arc<Stream>, rank: usize, nranks: usize) -> StreamWriter {
+        StreamWriter {
+            stream,
+            rank,
+            nranks,
+            next_step: 0,
+            in_step: false,
+            closed: false,
+        }
+    }
+
+    /// This rank's id within the writer group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Size of the writer group.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The step the handle is currently in (or will enter next).
+    pub fn current_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Opens the next step, blocking while the writer-side buffer is full.
+    pub fn begin_step(&mut self) {
+        assert!(!self.closed, "begin_step on a closed writer");
+        assert!(!self.in_step, "begin_step called twice without end_step");
+        self.stream.writer_begin_step(self.next_step);
+        self.in_step = true;
+    }
+
+    /// Contributes one chunk of a variable to the open step.
+    pub fn put(&mut self, chunk: Chunk) {
+        assert!(self.in_step, "put outside begin_step/end_step");
+        self.stream.writer_put(self.next_step, chunk);
+    }
+
+    /// Convenience: contributes an entire variable as this rank's chunk
+    /// (the single-writer or replicated-metadata case).
+    pub fn put_whole(&mut self, var: Variable) {
+        self.put(Chunk::whole(var));
+    }
+
+    /// Commits the open step. The last committing rank publishes it to
+    /// readers; in rendezvous mode this blocks until it is consumed.
+    pub fn end_step(&mut self) {
+        assert!(self.in_step, "end_step without begin_step");
+        self.stream.writer_end_step(self.next_step, self.nranks);
+        self.in_step = false;
+        self.next_step += 1;
+    }
+
+    /// Closes this rank's side of the stream. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        assert!(!self.in_step, "close inside an open step");
+        if !self.closed {
+            self.closed = true;
+            self.stream.writer_close(self.nranks);
+        }
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        if !self.closed && !self.in_step {
+            self.closed = true;
+            self.stream.writer_close(self.nranks);
+        }
+    }
+}

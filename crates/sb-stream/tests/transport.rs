@@ -1,0 +1,369 @@
+//! Transport behaviour tests: the four FlexPath properties the paper's
+//! components rely on, exercised with real thread-ranks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sb_comm::LaunchHandle;
+use sb_data::decompose::{default_partition, split_1d_part};
+use sb_data::{Buffer, Chunk, DType, Region, Shape, Variable, VariableMeta};
+use sb_stream::{StepStatus, StreamHub, WriterOptions};
+
+/// A 2-d test variable whose element (i, j) equals `1000*i + j`, making
+/// reassembly failures pinpointable.
+fn tagged_variable(name: &str, rows: usize, cols: usize) -> Variable {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|lin| ((lin / cols) * 1000 + lin % cols) as f64)
+        .collect();
+    Variable::new(name, Shape::of(&[("rows", rows), ("cols", cols)]), data.into()).unwrap()
+}
+
+#[test]
+fn single_writer_single_reader_three_steps() {
+    let hub = StreamHub::new();
+    let hub_w = Arc::clone(&hub);
+    let hub_r = Arc::clone(&hub);
+
+    let writer = std::thread::spawn(move || {
+        let mut w = hub_w.open_writer("lmp.fp", 0, 1, WriterOptions::default());
+        for step in 0..3u64 {
+            w.begin_step();
+            let mut var = tagged_variable("atoms", 4, 5);
+            var.set_labels(1, vec!["ID".into(), "Type".into(), "vx".into(), "vy".into(), "vz".into()])
+                .unwrap();
+            var.attrs
+                .insert("step".into(), sb_data::AttrValue::Int(step as i64));
+            w.put_whole(var);
+            w.end_step();
+        }
+        w.close();
+    });
+
+    let reader = std::thread::spawn(move || {
+        let mut r = hub_r.open_reader("lmp.fp", 0, 1);
+        let mut steps = 0u64;
+        while let StepStatus::Ready(s) = r.begin_step() {
+            assert_eq!(s, steps);
+            assert_eq!(r.variables(), vec!["atoms".to_string()]);
+            let meta = r.meta("atoms").unwrap();
+            assert_eq!(meta.shape.ndims(), 2);
+            assert_eq!(meta.shape.sizes(), vec![4, 5]);
+            assert_eq!(meta.resolve_label(1, "vx").unwrap(), 2);
+            let v = r.get_whole("atoms").unwrap();
+            assert_eq!(v.get(&[3, 4]), 3004.0);
+            assert_eq!(v.attrs["step"], sb_data::AttrValue::Int(steps as i64));
+            r.end_step();
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+    });
+
+    writer.join().unwrap();
+    reader.join().unwrap();
+}
+
+#[test]
+fn mxn_redistribution_reassembles_exactly() {
+    // 4 writer ranks each own a row-block of a 37x8 array; 3 reader ranks
+    // each read their own (different) row-block. Every reader box straddles
+    // writer boundaries.
+    let rows = 37;
+    let cols = 8;
+    let hub = StreamHub::new();
+    let source = tagged_variable("field", rows, cols);
+    let shape = source.shape.clone();
+
+    let hub_w = Arc::clone(&hub);
+    let src_w = source.clone();
+    let writers = LaunchHandle::spawn("writers", 4, move |comm| {
+        let mut w = hub_w.open_writer("field.fp", comm.rank(), comm.size(), WriterOptions::default());
+        let region = default_partition(&src_w.shape, comm.size(), comm.rank());
+        let local = src_w.extract(&region).unwrap();
+        let meta = VariableMeta::new("field", src_w.shape.clone(), DType::F64);
+        w.begin_step();
+        w.put(Chunk::new(meta, region, local.data).unwrap());
+        w.end_step();
+        w.close();
+    })
+    .unwrap();
+
+    let hub_r = Arc::clone(&hub);
+    let shape_r = shape.clone();
+    let readers = LaunchHandle::spawn("readers", 3, move |comm| {
+        let mut r = hub_r.open_reader("field.fp", comm.rank(), comm.size());
+        assert_eq!(r.begin_step(), StepStatus::Ready(0));
+        let region = default_partition(&shape_r, comm.size(), comm.rank());
+        let v = r.get("field", &region).unwrap();
+        r.end_step();
+        assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+        (region, v)
+    })
+    .unwrap();
+
+    writers.join().unwrap();
+    let parts = readers.join().unwrap();
+    // Stitch the three reader boxes back together and compare to source.
+    let mut rebuilt = Buffer::zeros(DType::F64, shape.total_len());
+    let whole = Region::whole(&shape);
+    for (region, v) in parts {
+        sb_data::region::copy_region(&v.data, &region, &mut rebuilt, &whole, &region).unwrap();
+    }
+    assert_eq!(rebuilt, source.data);
+}
+
+#[test]
+fn launch_order_does_not_matter() {
+    // Reader attaches long before any writer exists, and vice versa.
+    for writer_first in [true, false] {
+        let hub = StreamHub::new();
+        let hub_w = Arc::clone(&hub);
+        let hub_r = Arc::clone(&hub);
+        let (first_delay, second_delay) = if writer_first {
+            (Duration::ZERO, Duration::from_millis(100))
+        } else {
+            (Duration::from_millis(100), Duration::ZERO)
+        };
+
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(first_delay);
+            let mut w = hub_w.open_writer("s.fp", 0, 1, WriterOptions::default());
+            w.begin_step();
+            w.put_whole(tagged_variable("x", 2, 2));
+            w.end_step();
+            w.close();
+        });
+        let reader = std::thread::spawn(move || {
+            std::thread::sleep(second_delay);
+            let mut r = hub_r.open_reader("s.fp", 0, 1);
+            assert_eq!(r.begin_step(), StepStatus::Ready(0));
+            let v = r.get_whole("x").unwrap();
+            assert_eq!(v.get(&[1, 1]), 1001.0);
+            r.end_step();
+            assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}
+
+#[test]
+fn bounded_queue_applies_backpressure() {
+    let hub = StreamHub::new();
+    let committed = Arc::new(AtomicU64::new(0));
+    let hub_w = Arc::clone(&hub);
+    let committed_w = Arc::clone(&committed);
+
+    let writer = std::thread::spawn(move || {
+        let mut w = hub_w.open_writer("bp.fp", 0, 1, WriterOptions::buffered(2));
+        for _ in 0..6 {
+            w.begin_step();
+            w.put_whole(tagged_variable("x", 2, 2));
+            w.end_step();
+            committed_w.fetch_add(1, Ordering::SeqCst);
+        }
+        w.close();
+    });
+
+    // Give the writer time to run ahead; with capacity 2 it must stall
+    // after buffering two steps (begin of step 2 blocks).
+    std::thread::sleep(Duration::from_millis(200));
+    let ahead = committed.load(Ordering::SeqCst);
+    assert!(ahead <= 2, "writer ran {ahead} steps ahead despite capacity 2");
+
+    let mut r = hub.open_reader("bp.fp", 0, 1);
+    let mut steps = 0;
+    while let StepStatus::Ready(_) = r.begin_step() {
+        r.get_whole("x").unwrap();
+        r.end_step();
+        steps += 1;
+    }
+    assert_eq!(steps, 6);
+    writer.join().unwrap();
+}
+
+#[test]
+fn rendezvous_blocks_until_consumed() {
+    let hub = StreamHub::new();
+    let finished = Arc::new(AtomicU64::new(0));
+    let hub_w = Arc::clone(&hub);
+    let finished_w = Arc::clone(&finished);
+
+    let writer = std::thread::spawn(move || {
+        let mut w = hub_w.open_writer("rv.fp", 0, 1, WriterOptions::rendezvous());
+        w.begin_step();
+        w.put_whole(tagged_variable("x", 2, 2));
+        w.end_step(); // must block until the reader consumes the step
+        finished_w.store(1, Ordering::SeqCst);
+        w.close();
+    });
+
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        finished.load(Ordering::SeqCst),
+        0,
+        "rendezvous end_step returned before any reader consumed the step"
+    );
+
+    let mut r = hub.open_reader("rv.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    r.end_step();
+    writer.join().unwrap();
+    assert_eq!(finished.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn immediate_close_yields_end_of_stream() {
+    let hub = StreamHub::new();
+    {
+        let mut w = hub.open_writer("empty.fp", 0, 1, WriterOptions::default());
+        w.close();
+    }
+    let mut r = hub.open_reader("empty.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+}
+
+#[test]
+fn writer_drop_closes_the_stream() {
+    let hub = StreamHub::new();
+    {
+        let mut w = hub.open_writer("dropped.fp", 0, 1, WriterOptions::default());
+        w.begin_step();
+        w.put_whole(tagged_variable("x", 1, 1));
+        w.end_step();
+        // No explicit close: Drop must close.
+    }
+    let mut r = hub.open_reader("dropped.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    r.end_step();
+    assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+}
+
+#[test]
+fn get_errors_are_reported() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("err.fp", 0, 1, WriterOptions::default());
+    // Writer only covers rows 0..2 of a declared 4-row array.
+    let meta = VariableMeta::new("partial", Shape::of(&[("rows", 4), ("cols", 2)]), DType::F64);
+    w.begin_step();
+    w.put(Chunk::new(meta, Region::new(vec![0, 0], vec![2, 2]), Buffer::F64(vec![0.0; 4])).unwrap());
+    w.end_step();
+
+    let mut r = hub.open_reader("err.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    // Unknown variable.
+    assert!(r.get("nope", &Region::new(vec![0, 0], vec![1, 1])).is_err());
+    // Region outside the global shape.
+    assert!(r.get("partial", &Region::new(vec![0, 0], vec![5, 2])).is_err());
+    // Region inside the shape but not covered by any writer chunk.
+    assert!(r.get_whole("partial").is_err());
+    // Covered region succeeds.
+    assert!(r.get("partial", &Region::new(vec![0, 0], vec![2, 2])).is_ok());
+    r.end_step();
+    w.close();
+}
+
+#[test]
+fn multiple_variables_per_step() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("multi.fp", 0, 1, WriterOptions::default());
+    w.begin_step();
+    w.put_whole(tagged_variable("a", 2, 3));
+    w.put_whole(
+        Variable::new("ids", Shape::linear("n", 4), Buffer::U64(vec![1, 2, 3, 4])).unwrap(),
+    );
+    w.end_step();
+    w.close();
+
+    let mut r = hub.open_reader("multi.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.variables(), vec!["a".to_string(), "ids".to_string()]);
+    assert_eq!(r.meta("ids").unwrap().dtype, DType::U64);
+    let ids = r.get_whole("ids").unwrap();
+    assert_eq!(ids.data, Buffer::U64(vec![1, 2, 3, 4]));
+    r.end_step();
+}
+
+#[test]
+fn labels_are_sliced_to_the_read_box() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("lbl.fp", 0, 1, WriterOptions::default());
+    let var = tagged_variable("atoms", 3, 5)
+        .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
+        .unwrap();
+    w.begin_step();
+    w.put_whole(var);
+    w.end_step();
+    w.close();
+
+    let mut r = hub.open_reader("lbl.fp", 0, 1);
+    r.begin_step();
+    let v = r.get("atoms", &Region::new(vec![0, 2], vec![3, 3])).unwrap();
+    assert_eq!(
+        v.header(1).unwrap(),
+        &["vx".to_string(), "vy".into(), "vz".into()]
+    );
+    r.end_step();
+}
+
+#[test]
+fn many_writer_ranks_split_along_one_dim() {
+    // 5 writers each contribute a 1-d slice computed with split_1d_part,
+    // exercising empty chunks (len 12 over 5 parts leaves none empty, so
+    // use len 3 over 5 to get two empty writers).
+    let hub = StreamHub::new();
+    let hub_w = Arc::clone(&hub);
+    let writers = LaunchHandle::spawn("w", 5, move |comm| {
+        let mut w = hub_w.open_writer("thin.fp", comm.rank(), comm.size(), WriterOptions::default());
+        let (off, count) = split_1d_part(3, comm.size(), comm.rank());
+        let meta = VariableMeta::new("v", Shape::linear("n", 3), DType::F64);
+        w.begin_step();
+        if count > 0 {
+            let data: Vec<f64> = (off..off + count).map(|i| i as f64 * 10.0).collect();
+            w.put(Chunk::new(meta, Region::new(vec![off], vec![count]), data.into()).unwrap());
+        }
+        w.end_step();
+        w.close();
+    })
+    .unwrap();
+
+    let mut r = hub.open_reader("thin.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    let v = r.get_whole("v").unwrap();
+    assert_eq!(v.data, Buffer::F64(vec![0.0, 10.0, 20.0]));
+    r.end_step();
+    writers.join().unwrap();
+}
+
+#[test]
+fn metrics_count_bytes_and_steps() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("m.fp", 0, 1, WriterOptions::default());
+    for _ in 0..2 {
+        w.begin_step();
+        w.put_whole(tagged_variable("x", 2, 2)); // 4 f64 = 32 bytes
+        w.end_step();
+    }
+    w.close();
+    let mut r = hub.open_reader("m.fp", 0, 1);
+    while let StepStatus::Ready(_) = r.begin_step() {
+        r.get_whole("x").unwrap();
+        r.end_step();
+    }
+    let m = hub.metrics("m.fp").unwrap();
+    assert_eq!(m.bytes_written, 64);
+    assert_eq!(m.bytes_read, 64);
+    assert_eq!(m.steps_committed, 2);
+    assert_eq!(m.steps_consumed, 2);
+    assert!(hub.metrics("absent").is_none());
+    assert_eq!(hub.stream_names(), vec!["m.fp".to_string()]);
+    assert_eq!(hub.all_metrics().len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "timed out")]
+fn deadlock_panics_with_diagnostic() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(100));
+    let mut r = hub.open_reader("never.fp", 0, 1);
+    let _ = r.begin_step(); // no writer will ever appear
+}

@@ -1,0 +1,167 @@
+//! The all-in-one (AIO) baseline of the paper's §V-C comparison.
+//!
+//! To measure what fine-grained componentization costs, the paper writes "a
+//! custom, all-in-one (AIO) component that performs the same analytical
+//! procedure as all the components involved in the LAMMPS workflow":
+//! select the velocity columns, compute magnitudes, histogram — fused into
+//! one component with no intermediate streams. Table II compares its
+//! start-to-end time against the componentized pipeline.
+//!
+//! The AIO component reuses the same kernels as the generic components, so
+//! the comparison isolates exactly the cost of the extra stream hops.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sb_comm::Communicator;
+use sb_data::decompose::split_1d_part;
+use sb_data::{DataError, DataResult, Region};
+use sb_stream::StreamHub;
+
+use crate::component::{run_sink, Component, StreamArray};
+use crate::histogram::{bin_counts, HistogramResult};
+use crate::magnitude::vector_magnitudes;
+use crate::metrics::ComponentStats;
+use crate::select::select_rows;
+
+/// The fused Select + Magnitude + Histogram baseline.
+pub struct AllInOne {
+    /// Input stream/array (2-d, labelled on dimension 1).
+    pub input: StreamArray,
+    /// Names of the vector-component columns to select.
+    pub keep: Vec<String>,
+    /// Number of histogram bins.
+    pub num_bins: usize,
+    /// Reader-group name on the input stream.
+    pub reader_group: String,
+    results: Arc<Mutex<Vec<HistogramResult>>>,
+}
+
+impl AllInOne {
+    /// Builds the fused pipeline over the named columns.
+    pub fn new<I, K>(input: I, keep: K, num_bins: usize) -> AllInOne
+    where
+        I: Into<StreamArray>,
+        K: IntoIterator,
+        K::Item: Into<String>,
+    {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        AllInOne {
+            input: input.into(),
+            keep: keep.into_iter().map(Into::into).collect(),
+            num_bins,
+            reader_group: "default".into(),
+            results: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle to rank 0's accumulated histograms.
+    pub fn results_handle(&self) -> Arc<Mutex<Vec<HistogramResult>>> {
+        Arc::clone(&self.results)
+    }
+}
+
+impl Component for AllInOne {
+    fn label(&self) -> String {
+        "all-in-one".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        run_sink(
+            "all-in-one",
+            comm,
+            hub,
+            &self.input.stream,
+            &self.reader_group,
+            |reader, comm, step| {
+            let meta = reader
+                .meta(&self.input.array)
+                .ok_or_else(|| DataError::Container {
+                    detail: format!("no array {:?} in stream", self.input.array),
+                })?;
+            if meta.shape.ndims() != 2 {
+                return Err(DataError::RegionOutOfBounds {
+                    detail: format!(
+                        "all-in-one expects 2-d input, stream carries rank {}",
+                        meta.shape.ndims()
+                    ),
+                });
+            }
+            let indices: Vec<usize> = self
+                .keep
+                .iter()
+                .map(|n| meta.resolve_label(1, n))
+                .collect::<DataResult<_>>()?;
+            let n = meta.shape.size(0);
+            let m = meta.shape.size(1);
+            let (off, count) = split_1d_part(n, comm.size(), comm.rank());
+            let var = reader.get(&self.input.array, &Region::new(vec![off, 0], vec![count, m]))?;
+            let bytes_in = var.byte_len() as u64;
+
+            let kernel_start = Instant::now();
+            let selected = select_rows(&var, 1, &indices)?;
+            let mags = vector_magnitudes(&selected)?;
+            let (lmin, lmax) = mags
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                    (a.min(v), b.max(v))
+                });
+            let min = comm.allreduce(lmin, f64::min);
+            let max = comm.allreduce(lmax, f64::max);
+            let counts = bin_counts(&mags, min, max, self.num_bins);
+            let total = comm.reduce(0, counts, |a, b| {
+                a.iter().zip(&b).map(|(x, y)| x + y).collect()
+            });
+            let compute = kernel_start.elapsed();
+
+            if let Some(counts) = total {
+                self.results.lock().push(HistogramResult {
+                    step,
+                    min,
+                    max,
+                    counts,
+                });
+            }
+            Ok((bytes_in, compute))
+        })
+    }
+}
+
+impl std::fmt::Debug for AllInOne {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllInOne")
+            .field("input", &self.input)
+            .field("keep", &self.keep)
+            .field("num_bins", &self.num_bins)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_handles() {
+        let aio = AllInOne::new(("dump.fp", "atoms"), ["vx", "vy", "vz"], 16);
+        assert_eq!(aio.keep, vec!["vx", "vy", "vz"]);
+        let h = aio.results_handle();
+        assert!(h.lock().is_empty());
+        assert_eq!(aio.label(), "all-in-one");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = AllInOne::new(("a", "x"), ["vx"], 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The Combine component: element-wise join of two streams.
+//!
+//! Every paper component has exactly one input; real workflows also need
+//! joins — "richer workflows described by directed acyclic graphs" (§VI).
+//! Combine reads step *k* of two arrays (possibly produced by different
+//! components at different process counts), checks that their global
+//! shapes agree, and emits their element-wise combination. Steps are
+//! aligned by transport step index, which FlexPath-style lockstep
+//! guarantees matches producer timesteps.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_comm::Communicator;
+use sb_data::decompose::default_partition;
+use sb_data::{Buffer, Chunk, DType, VariableMeta};
+use sb_stream::{StepStatus, StreamHub, WriterOptions};
+
+use crate::component::{Component, StreamArray};
+use crate::metrics::ComponentStats;
+
+/// The element-wise operation applied to the two inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `left + right`
+    Add,
+    /// `left - right`
+    Sub,
+    /// `left * right`
+    Mul,
+    /// `left / right` (0 where `right == 0`)
+    Div,
+}
+
+impl BinaryOp {
+    /// Parses a launch-script operation name.
+    pub fn parse(name: &str) -> Option<BinaryOp> {
+        Some(match name {
+            "add" => BinaryOp::Add,
+            "sub" => BinaryOp::Sub,
+            "mul" => BinaryOp::Mul,
+            "div" => BinaryOp::Div,
+            _ => return None,
+        })
+    }
+
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// The Combine workflow component.
+#[derive(Debug, Clone)]
+pub struct Combine {
+    /// Left input endpoint.
+    pub left: StreamArray,
+    /// Right input endpoint.
+    pub right: StreamArray,
+    /// Element-wise operation.
+    pub op: BinaryOp,
+    /// Output stream/array names.
+    pub output: StreamArray,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+    /// Reader-group override for the left input (defaults to
+    /// `combine-left` when both inputs share a stream, else `default`).
+    pub left_group: Option<String>,
+    /// Reader-group override for the right input.
+    pub right_group: Option<String>,
+}
+
+impl Combine {
+    /// Builds a Combine of two endpoints.
+    pub fn new<L, R, O>(left: L, op: BinaryOp, right: R, output: O) -> Combine
+    where
+        L: Into<StreamArray>,
+        R: Into<StreamArray>,
+        O: Into<StreamArray>,
+    {
+        let left = left.into();
+        let right = right.into();
+        Combine {
+            left,
+            right,
+            op,
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+            left_group: None,
+            right_group: None,
+        }
+    }
+
+    /// Overrides the reader group of the *left* input (the script option
+    /// `group=`); use [`Combine::with_right_group`] for the right side.
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> Combine {
+        self.left_group = Some(group.into());
+        self
+    }
+
+    /// Overrides the reader group of the right input.
+    pub fn with_right_group(mut self, group: impl Into<String>) -> Combine {
+        self.right_group = Some(group.into());
+        self
+    }
+
+    fn reader_groups(&self) -> (String, String) {
+        // Reading both sides of one stream needs distinct groups; distinct
+        // streams can share the default group namespace per stream.
+        let (dl, dr) = if self.left.stream == self.right.stream {
+            ("combine-left", "combine-right")
+        } else {
+            ("default", "default")
+        };
+        (
+            self.left_group.clone().unwrap_or_else(|| dl.to_string()),
+            self.right_group.clone().unwrap_or_else(|| dr.to_string()),
+        )
+    }
+}
+
+impl Component for Combine {
+    fn label(&self) -> String {
+        "combine".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.left.stream.clone(), self.right.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        let (lg, rg) = self.reader_groups();
+        vec![(self.left.stream.clone(), lg), (self.right.stream.clone(), rg)]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let (lgroup, rgroup) = self.reader_groups();
+        let mut left =
+            hub.open_reader_grouped(&self.left.stream, &lgroup, comm.rank(), comm.size());
+        let mut right =
+            hub.open_reader_grouped(&self.right.stream, &rgroup, comm.rank(), comm.size());
+        let mut writer = hub.open_writer(
+            &self.output.stream,
+            comm.rank(),
+            comm.size(),
+            self.writer_options,
+        );
+        let mut stats = ComponentStats::default();
+        loop {
+            let step_start = Instant::now();
+            let l_status = left.begin_step();
+            if l_status == StepStatus::EndOfStream {
+                // Drain the other side so its producers can finish.
+                while let StepStatus::Ready(_) = right.begin_step() {
+                    right.end_step();
+                }
+                break;
+            }
+            if right.begin_step() == StepStatus::EndOfStream {
+                left.end_step();
+                while let StepStatus::Ready(_) = left.begin_step() {
+                    left.end_step();
+                }
+                break;
+            }
+            let wait = step_start.elapsed();
+
+            let lmeta = left
+                .meta(&self.left.array)
+                .unwrap_or_else(|| panic!("combine: no array {:?}", self.left.array))
+                .clone();
+            let rmeta = right
+                .meta(&self.right.array)
+                .unwrap_or_else(|| panic!("combine: no array {:?}", self.right.array))
+                .clone();
+            assert_eq!(
+                lmeta.shape.sizes(),
+                rmeta.shape.sizes(),
+                "combine: input shapes disagree ({} vs {})",
+                lmeta.shape,
+                rmeta.shape
+            );
+            let region = default_partition(&lmeta.shape, comm.size(), comm.rank());
+            let lv = left
+                .get(&self.left.array, &region)
+                .unwrap_or_else(|e| panic!("combine: {e}"));
+            let rv = right
+                .get(&self.right.array, &region)
+                .unwrap_or_else(|e| panic!("combine: {e}"));
+            left.end_step();
+            right.end_step();
+            stats.bytes_in += (lv.byte_len() + rv.byte_len()) as u64;
+
+            let kernel_start = Instant::now();
+            let a = lv.data.into_f64_vec();
+            let b = rv.data.into_f64_vec();
+            let out: Vec<f64> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| self.op.apply(x, y))
+                .collect();
+            let compute = kernel_start.elapsed();
+
+            let mut out_meta =
+                VariableMeta::new(self.output.array.clone(), lmeta.shape.clone(), DType::F64);
+            out_meta.labels = lmeta.labels.clone();
+            let chunk = Chunk::new(out_meta, region, Buffer::F64(out))
+                .expect("combine chunk is consistent");
+            stats.bytes_out += chunk.byte_len() as u64;
+            writer.begin_step();
+            writer.put(chunk);
+            writer.end_step();
+            stats.record_step(step_start.elapsed(), wait, compute);
+        }
+        writer.close();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_parsing_and_semantics() {
+        assert_eq!(BinaryOp::parse("add"), Some(BinaryOp::Add));
+        assert_eq!(BinaryOp::parse("sub"), Some(BinaryOp::Sub));
+        assert_eq!(BinaryOp::parse("mul"), Some(BinaryOp::Mul));
+        assert_eq!(BinaryOp::parse("div"), Some(BinaryOp::Div));
+        assert_eq!(BinaryOp::parse("pow"), None);
+        assert_eq!(BinaryOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinaryOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinaryOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinaryOp::Div.apply(6.0, 3.0), 2.0);
+        assert_eq!(BinaryOp::Div.apply(6.0, 0.0), 0.0, "guarded division");
+    }
+
+    #[test]
+    fn same_stream_inputs_use_distinct_groups() {
+        let c = Combine::new(("s.fp", "a"), BinaryOp::Add, ("s.fp", "b"), ("o.fp", "sum"));
+        assert_eq!(c.reader_groups(), ("combine-left".into(), "combine-right".into()));
+        let c = Combine::new(("l.fp", "a"), BinaryOp::Add, ("r.fp", "b"), ("o.fp", "sum"));
+        assert_eq!(c.reader_groups(), ("default".into(), "default".into()));
+        assert_eq!(c.input_streams(), vec!["l.fp", "r.fp"]);
+        let c = c.with_reader_group("mine").with_right_group("other");
+        assert_eq!(c.reader_groups(), ("mine".into(), "other".into()));
+    }
+}

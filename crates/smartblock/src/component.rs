@@ -1,0 +1,291 @@
+//! The component abstraction and the shared transform run-loop.
+//!
+//! A SmartBlock component is launched with a process count and run-time
+//! arguments only; it learns everything else (shapes, labels, types) from
+//! the stream. The [`Component`] trait captures that contract; the
+//! [`run_transform`] helper implements the step loop shared by every
+//! one-input/one-output transform component.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sb_comm::Communicator;
+use sb_data::{Chunk, DataResult};
+use sb_stream::{StepStatus, StreamHub, StreamReader, WriterOptions};
+
+use crate::metrics::ComponentStats;
+
+/// A `(stream, array)` name pair — the unit of workflow wiring.
+///
+/// Launch scripts connect components by using one component's output pair
+/// as another's input pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamArray {
+    /// Stream name (e.g. `"lmpselect.fp"`).
+    pub stream: String,
+    /// Array name within the stream (e.g. `"lmpsel"`).
+    pub array: String,
+}
+
+impl StreamArray {
+    /// Builds a pair from anything string-like.
+    pub fn new(stream: impl Into<String>, array: impl Into<String>) -> StreamArray {
+        StreamArray {
+            stream: stream.into(),
+            array: array.into(),
+        }
+    }
+}
+
+impl<S: Into<String>, A: Into<String>> From<(S, A)> for StreamArray {
+    fn from((stream, array): (S, A)) -> StreamArray {
+        StreamArray::new(stream, array)
+    }
+}
+
+impl std::fmt::Display for StreamArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.stream, self.array)
+    }
+}
+
+/// A runnable workflow component.
+///
+/// `run` is called once per rank, on that rank's thread, with the
+/// component's communicator and the workflow's stream hub. Implementations
+/// must be pure configuration (shared immutably across ranks).
+pub trait Component: Send + Sync + 'static {
+    /// Display label (also the default thread-name prefix).
+    fn label(&self) -> String;
+
+    /// Executes one rank of the component until its input ends.
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats;
+
+    /// Streams this component reads (for workflow wiring validation).
+    fn input_streams(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// `(stream, reader-group)` subscriptions this component opens. Two
+    /// components sharing a `(stream, group)` pair would corrupt each
+    /// other's step accounting; [`crate::Workflow::validate`] flags it.
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        self.input_streams()
+            .into_iter()
+            .map(|s| (s, "default".to_string()))
+            .collect()
+    }
+
+    /// Streams this component writes (for workflow wiring validation).
+    fn output_streams(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// What one rank produced for one step of a transform component.
+pub struct StepOutput {
+    /// This rank's chunk of the output array (may cover zero elements).
+    /// `None` means this rank contributes nothing this step (e.g. non-root
+    /// ranks of a scalar reduction) but still paces the output stream.
+    pub chunk: Option<Chunk>,
+    /// Bytes this rank read from the input stream this step.
+    pub bytes_in: u64,
+    /// Time spent in the compute kernel this step.
+    pub compute: Duration,
+}
+
+impl StepOutput {
+    /// An output contributing `chunk`.
+    pub fn chunk(chunk: Chunk, bytes_in: u64, compute: Duration) -> StepOutput {
+        StepOutput {
+            chunk: Some(chunk),
+            bytes_in,
+            compute,
+        }
+    }
+}
+
+/// The endpoints and policies of one transform component run — the
+/// argument bundle of [`run_transform`].
+pub struct TransformSpec<'a> {
+    /// Component label used in panics and thread names.
+    pub label: &'a str,
+    /// Input stream name.
+    pub input_stream: &'a str,
+    /// Reader-group name on the input stream.
+    pub reader_group: &'a str,
+    /// Output stream name.
+    pub output_stream: &'a str,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+}
+
+/// The step loop shared by every one-input/one-output transform component:
+/// open both ends, then per timestep read → transform → publish, until the
+/// upstream closes.
+///
+/// `per_step` receives the in-step reader and must return this rank's
+/// output chunk; the loop handles step lifecycles, end-of-stream
+/// propagation, timing and byte accounting. Errors from `per_step` panic
+/// with the component label — the moral equivalent of an MPI abort, and the
+/// behaviour the paper's components exhibit on malformed input.
+pub fn run_transform<F>(
+    spec: TransformSpec<'_>,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    mut per_step: F,
+) -> ComponentStats
+where
+    F: FnMut(&StreamReader, &Communicator) -> DataResult<StepOutput>,
+{
+    let label = spec.label;
+    let mut reader =
+        hub.open_reader_grouped(spec.input_stream, spec.reader_group, comm.rank(), comm.size());
+    let mut writer = hub.open_writer(
+        spec.output_stream,
+        comm.rank(),
+        comm.size(),
+        spec.writer_options,
+    );
+    let mut stats = ComponentStats::default();
+    loop {
+        let step_start = Instant::now();
+        match reader.begin_step() {
+            StepStatus::EndOfStream => break,
+            StepStatus::Ready(_) => {}
+        }
+        let wait = step_start.elapsed();
+        let out = per_step(&reader, comm)
+            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps));
+        reader.end_step();
+        stats.bytes_in += out.bytes_in;
+        writer.begin_step();
+        if let Some(chunk) = out.chunk {
+            stats.bytes_out += chunk.byte_len() as u64;
+            writer.put(chunk);
+        }
+        writer.end_step();
+        stats.record_step(step_start.elapsed(), wait, out.compute);
+    }
+    writer.close();
+    stats
+}
+
+/// The step loop for endpoint (sink) components: like [`run_transform`] but
+/// with no output stream. `per_step` returns the bytes read and compute
+/// time.
+pub fn run_sink<F>(
+    label: &str,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    input_stream: &str,
+    reader_group: &str,
+    mut per_step: F,
+) -> ComponentStats
+where
+    F: FnMut(&StreamReader, &Communicator, u64) -> DataResult<(u64, Duration)>,
+{
+    let mut reader =
+        hub.open_reader_grouped(input_stream, reader_group, comm.rank(), comm.size());
+    let mut stats = ComponentStats::default();
+    loop {
+        let step_start = Instant::now();
+        match reader.begin_step() {
+            StepStatus::EndOfStream => break,
+            StepStatus::Ready(_) => {}
+        }
+        let wait = step_start.elapsed();
+        let (bytes_in, compute) = per_step(&reader, comm, stats.steps)
+            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps));
+        reader.end_step();
+        stats.bytes_in += bytes_in;
+        stats.record_step(step_start.elapsed(), wait, compute);
+    }
+    stats
+}
+
+/// Writes one chunk per step from a producing closure — the loop used by
+/// source components ([`crate::FileRead`], ad-hoc test sources).
+pub fn run_source<F>(
+    label: &str,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    output_stream: &str,
+    writer_options: WriterOptions,
+    mut per_step: F,
+) -> ComponentStats
+where
+    F: FnMut(&Communicator, u64) -> DataResult<Option<Chunk>>,
+{
+    let mut writer = hub.open_writer(output_stream, comm.rank(), comm.size(), writer_options);
+    let mut stats = ComponentStats::default();
+    loop {
+        let step_start = Instant::now();
+        let chunk = match per_step(comm, stats.steps)
+            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps))
+        {
+            Some(c) => c,
+            None => break,
+        };
+        let compute = step_start.elapsed();
+        stats.bytes_out += chunk.byte_len() as u64;
+        writer.begin_step();
+        writer.put(chunk);
+        writer.end_step();
+        stats.record_step(step_start.elapsed(), Duration::ZERO, compute);
+    }
+    writer.close();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_array_construction_and_display() {
+        let sa = StreamArray::new("velos.fp", "velocities");
+        assert_eq!(sa.to_string(), "velos.fp:velocities");
+        let from_tuple: StreamArray = ("a.fp", "x").into();
+        assert_eq!(from_tuple, StreamArray::new("a.fp", "x"));
+    }
+
+    #[test]
+    fn source_to_sink_round_trip() {
+        use sb_data::{Buffer, Shape, Variable};
+
+        let hub = StreamHub::new();
+        let hub2 = Arc::clone(&hub);
+        let producer = sb_comm::LaunchHandle::spawn("src", 1, move |comm| {
+            run_source("src", &comm, &hub2, "t.fp", WriterOptions::default(), |_c, step| {
+                Ok((step < 4).then(|| {
+                    let v = Variable::new(
+                        "x",
+                        Shape::linear("n", 3),
+                        Buffer::F64(vec![step as f64; 3]),
+                    )
+                    .unwrap();
+                    Chunk::whole(v)
+                }))
+            })
+        })
+        .unwrap();
+
+        let hub3 = Arc::clone(&hub);
+        let consumer = sb_comm::LaunchHandle::spawn("sink", 1, move |comm| {
+            run_sink("sink", &comm, &hub3, "t.fp", "default", |reader, _c, step| {
+                let v = reader.get_whole("x")?;
+                assert_eq!(v.data.to_f64_vec(), vec![step as f64; 3]);
+                Ok((v.byte_len() as u64, Duration::ZERO))
+            })
+        })
+        .unwrap();
+
+        let src_stats = producer.join().unwrap().remove(0);
+        let sink_stats = consumer.join().unwrap().remove(0);
+        assert_eq!(src_stats.steps, 4);
+        assert_eq!(src_stats.bytes_out, 4 * 24);
+        assert_eq!(sink_stats.steps, 4);
+        assert_eq!(sink_stats.bytes_in, 4 * 24);
+    }
+}

@@ -1,0 +1,181 @@
+//! File endpoint components: storage-decoupled workflows (paper §VI).
+//!
+//! "Introducing new components that write and read from storage as part of
+//! a workflow can break that dependency" — the dependency being that all
+//! components of an in situ workflow must run simultaneously. [`FileWrite`]
+//! drains a stream into the versioned `sb-data` container format;
+//! [`FileRead`] replays a container file as a stream. A workflow can
+//! therefore be split into phases that run at different times.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sb_comm::Communicator;
+use sb_data::container::{ContainerReader, ContainerWriter};
+use sb_data::decompose::default_partition;
+use sb_data::{Chunk, VariableMeta};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::{run_sink, Component};
+use crate::metrics::ComponentStats;
+
+/// Drains an input stream to a container file (an endpoint component).
+///
+/// Rank 0 gathers each step's full variables through bounding-box reads and
+/// appends them to the file; other ranks pace the stream. The output of a
+/// workflow stage is thus a single self-contained artifact.
+#[derive(Debug, Clone)]
+pub struct FileWrite {
+    /// Input stream name (all arrays are persisted).
+    pub input: String,
+    /// Container file path.
+    pub path: PathBuf,
+}
+
+impl FileWrite {
+    /// Builds a FileWrite draining `input` into `path`.
+    pub fn new(input: impl Into<String>, path: impl Into<PathBuf>) -> FileWrite {
+        FileWrite {
+            input: input.into(),
+            path: path.into(),
+        }
+    }
+}
+
+impl Component for FileWrite {
+    fn label(&self) -> String {
+        "file-write".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let mut writer = if comm.rank() == 0 {
+            let file = std::fs::File::create(&self.path)
+                .unwrap_or_else(|e| panic!("file-write: cannot create {:?}: {e}", self.path));
+            Some(
+                ContainerWriter::new(std::io::BufWriter::new(file))
+                    .unwrap_or_else(|e| panic!("file-write: {e}")),
+            )
+        } else {
+            None
+        };
+        let stats = run_sink("file-write", comm, hub, &self.input, "default", |reader, _comm, step| {
+            let mut bytes_in = 0u64;
+            let start = Instant::now();
+            if let Some(w) = writer.as_mut() {
+                let mut vars = Vec::new();
+                for name in reader.variables() {
+                    let var = reader.get_whole(&name)?;
+                    bytes_in += var.byte_len() as u64;
+                    vars.push(var);
+                }
+                w.write_step(step, &vars)?;
+            }
+            Ok((bytes_in, start.elapsed()))
+        });
+        if let Some(w) = writer {
+            let mut sink = w.finish().unwrap_or_else(|e| panic!("file-write: {e}"));
+            use std::io::Write;
+            sink.flush()
+                .unwrap_or_else(|e| panic!("file-write: flushing {:?}: {e}", self.path));
+        }
+        stats
+    }
+}
+
+/// Replays a container file as a stream (a source component).
+///
+/// Every rank opens the file independently (no communication) and
+/// contributes its default partition of each variable, so downstream
+/// components see exactly the stream shape an in situ producer would have
+/// given them — self-description, labels and attributes included.
+#[derive(Debug, Clone)]
+pub struct FileRead {
+    /// Container file path.
+    pub path: PathBuf,
+    /// Output stream name.
+    pub output: String,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+}
+
+impl FileRead {
+    /// Builds a FileRead replaying `path` onto `output`.
+    pub fn new(path: impl Into<PathBuf>, output: impl Into<String>) -> FileRead {
+        FileRead {
+            path: path.into(),
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+        }
+    }
+}
+
+impl Component for FileRead {
+    fn label(&self) -> String {
+        "file-read".into()
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let file = std::fs::File::open(&self.path)
+            .unwrap_or_else(|e| panic!("file-read: cannot open {:?}: {e}", self.path));
+        let mut container = ContainerReader::new(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| panic!("file-read: {e}"));
+        let mut writer =
+            hub.open_writer(&self.output, comm.rank(), comm.size(), self.writer_options);
+        let mut stats = ComponentStats::default();
+        loop {
+            let start = Instant::now();
+            let vars = match container
+                .next_step()
+                .unwrap_or_else(|e| panic!("file-read: step {}: {e}", stats.steps))
+            {
+                Some((_, vars)) => vars,
+                None => break,
+            };
+            writer.begin_step();
+            for var in vars {
+                // Rank-0 (scalar) variables cannot be partitioned; only
+                // rank 0 replays them.
+                if var.shape.ndims() == 0 && comm.rank() != 0 {
+                    continue;
+                }
+                let meta = VariableMeta::describing(&var);
+                let region = default_partition(&var.shape, comm.size(), comm.rank());
+                let local = var
+                    .extract(&region)
+                    .unwrap_or_else(|e| panic!("file-read: {e}"));
+                let chunk = Chunk::new(meta, region, local.data)
+                    .unwrap_or_else(|e| panic!("file-read: {e}"));
+                stats.bytes_out += chunk.byte_len() as u64;
+                writer.put(chunk);
+            }
+            writer.end_step();
+            stats.record_step(start.elapsed(), Duration::ZERO, Duration::ZERO);
+        }
+        writer.close();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let w = FileWrite::new("s.fp", "/tmp/x.sbc");
+        assert_eq!(w.label(), "file-write");
+        assert_eq!(w.input, "s.fp");
+        let r = FileRead::new("/tmp/x.sbc", "replay.fp");
+        assert_eq!(r.label(), "file-read");
+        assert_eq!(r.output, "replay.fp");
+    }
+}

@@ -1,0 +1,149 @@
+//! The Fork component: one input stream replicated onto several output
+//! streams — the paper's §VI future-work enabler for DAG-shaped workflows
+//! ("leverage ADIOS' ability to have several 'write groups' so as to allow
+//! for the development of a Fork component").
+//!
+//! Fork copies *every* variable of each step to every output stream; each
+//! rank forwards its partition, so downstream components still enjoy full
+//! MxN re-partitioning freedom.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sb_comm::Communicator;
+use sb_data::decompose::default_partition;
+use sb_data::Chunk;
+use sb_stream::{StepStatus, StreamHub, WriterOptions};
+
+use crate::component::Component;
+use crate::metrics::ComponentStats;
+
+/// The Fork workflow component.
+#[derive(Debug, Clone)]
+pub struct Fork {
+    /// Input stream name (all arrays are forwarded).
+    pub input: String,
+    /// Output stream names; each receives a full copy of every step.
+    pub outputs: Vec<String>,
+    /// Buffering policy for the output streams.
+    pub writer_options: WriterOptions,
+}
+
+impl Fork {
+    /// Builds a Fork from `input` onto `outputs`.
+    pub fn new<I, O>(input: I, outputs: O) -> Fork
+    where
+        I: Into<String>,
+        O: IntoIterator,
+        O::Item: Into<String>,
+    {
+        let outputs: Vec<String> = outputs.into_iter().map(Into::into).collect();
+        assert!(!outputs.is_empty(), "fork needs at least one output stream");
+        Fork {
+            input: input.into(),
+            outputs,
+            writer_options: WriterOptions::default(),
+        }
+    }
+
+    /// Overrides the output buffering policy.
+    pub fn with_writer_options(mut self, options: WriterOptions) -> Fork {
+        self.writer_options = options;
+        self
+    }
+}
+
+impl Component for Fork {
+    fn label(&self) -> String {
+        "fork".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.clone(), "fork".to_string())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        self.outputs.clone()
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let mut reader = hub.open_reader_grouped(&self.input, "fork", comm.rank(), comm.size());
+        let mut writers: Vec<_> = self
+            .outputs
+            .iter()
+            .map(|name| hub.open_writer(name, comm.rank(), comm.size(), self.writer_options))
+            .collect();
+        let mut stats = ComponentStats::default();
+        loop {
+            let step_start = Instant::now();
+            match reader.begin_step() {
+                StepStatus::EndOfStream => break,
+                StepStatus::Ready(_) => {}
+            }
+            let wait = step_start.elapsed();
+            // Read this rank's partition of every variable once, then put
+            // it to every output.
+            let mut chunks: Vec<Chunk> = Vec::new();
+            for name in reader.variables() {
+                let meta = reader.meta(&name).expect("listed variable has meta").clone();
+                let region = default_partition(&meta.shape, comm.size(), comm.rank());
+                let var = reader
+                    .get(&name, &region)
+                    .unwrap_or_else(|e| panic!("fork: reading {name:?}: {e}"));
+                stats.bytes_in += var.byte_len() as u64;
+                chunks.push(
+                    Chunk::new(meta, region, var.data)
+                        .expect("partition chunk is consistent"),
+                );
+            }
+            reader.end_step();
+            // Stage every output before committing any: a downstream join
+            // reading two branches then sees both sides of a step as soon
+            // as the last end_step lands, instead of depending on the
+            // branch order above. (A rendezvous-mode Fork feeding a join is
+            // still a cyclic wait — use buffered options for fan-out.)
+            for w in writers.iter_mut() {
+                w.begin_step();
+                for c in &chunks {
+                    // Rank-0 (scalar) variables cannot be partitioned; only
+                    // rank 0 contributes them.
+                    if c.region.ndims() == 0 && comm.rank() != 0 {
+                        continue;
+                    }
+                    stats.bytes_out += c.byte_len() as u64;
+                    w.put(c.clone());
+                }
+            }
+            for w in writers.iter_mut() {
+                w.end_step();
+            }
+            stats.record_step(step_start.elapsed(), wait, Duration::ZERO);
+        }
+        for mut w in writers {
+            w.close();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let f = Fork::new("in.fp", ["a.fp", "b.fp"]);
+        assert_eq!(f.outputs.len(), 2);
+        assert_eq!(f.label(), "fork");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_outputs_rejected() {
+        let _ = Fork::new("in.fp", Vec::<String>::new());
+    }
+}

@@ -1,0 +1,345 @@
+//! The Histogram component: global distribution of a 1-d quantity (paper
+//! §III-E).
+//!
+//! The ranks partition the incoming one-dimensional array, communicate to
+//! find the global minimum and maximum, bin their local values, and reduce
+//! the counts to rank 0, which writes the result — the paper's endpoint
+//! behaviour ("one of the processes of Histogram writes the output to a
+//! file on disk"). Optionally the result is also published on an output
+//! stream (as `counts` + `bin_edges` arrays) so workflows can chain past
+//! it and tests can observe it in process.
+//!
+//! Usage (paper Fig. 2):
+//!
+//! ```text
+//! aprun histogram input-stream-name input-array-name num-bins
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use sb_comm::Communicator;
+use sb_data::decompose::split_1d_part;
+use sb_data::{AttrValue, Buffer, DataError, DataResult, Region, Shape, Variable};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::{run_sink, Component, StreamArray};
+use crate::metrics::ComponentStats;
+
+/// One timestep's histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramResult {
+    /// Transport step the histogram describes.
+    pub step: u64,
+    /// Global minimum of the data.
+    pub min: f64,
+    /// Global maximum of the data.
+    pub max: f64,
+    /// Per-bin counts over `[min, max]`, highest bin inclusive.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramResult {
+    /// Total number of binned values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `[lo, hi)` value range of bin `i` (`hi` inclusive for the last).
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (
+            self.min + i as f64 * width,
+            self.min + (i + 1) as f64 * width,
+        )
+    }
+}
+
+/// Bins `values` into `nbins` equal-width bins over `[min, max]`.
+///
+/// Values equal to `max` land in the last bin; a degenerate range
+/// (`min == max`) puts everything in bin 0. This is the pure local kernel
+/// of the Histogram component.
+pub fn bin_counts(values: &[f64], min: f64, max: f64, nbins: usize) -> Vec<u64> {
+    assert!(nbins > 0, "histogram needs at least one bin");
+    let mut counts = vec![0u64; nbins];
+    let width = max - min;
+    if width <= 0.0 {
+        counts[0] = values.len() as u64;
+        return counts;
+    }
+    let scale = nbins as f64 / width;
+    for &v in values {
+        let bin = (((v - min) * scale) as usize).min(nbins - 1);
+        counts[bin] += 1;
+    }
+    counts
+}
+
+/// The Histogram workflow component (an endpoint).
+pub struct Histogram {
+    /// Input stream/array names (must be 1-d).
+    pub input: StreamArray,
+    /// Number of equal-width bins.
+    pub num_bins: usize,
+    /// File rank 0 appends per-step histograms to, if any.
+    pub output_file: Option<PathBuf>,
+    /// Stream to publish `counts`/`bin_edges` on, if any.
+    pub output_stream: Option<String>,
+    /// Reader-group name on the input stream.
+    pub reader_group: String,
+    /// Buffering policy for the optional output stream.
+    pub writer_options: WriterOptions,
+    results: Arc<Mutex<Vec<HistogramResult>>>,
+}
+
+impl Histogram {
+    /// Builds a Histogram over `num_bins` bins.
+    pub fn new<I: Into<StreamArray>>(input: I, num_bins: usize) -> Histogram {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        Histogram {
+            input: input.into(),
+            num_bins,
+            output_file: None,
+            output_stream: None,
+            reader_group: "default".into(),
+            writer_options: WriterOptions::default(),
+            results: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Overrides the buffering policy of the optional output stream (e.g.
+    /// to declare several subscriber groups on the histogram results).
+    pub fn with_writer_options(mut self, options: WriterOptions) -> Histogram {
+        self.writer_options = options;
+        self
+    }
+
+    /// Subscribes under a named reader group (multi-subscriber streams).
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> Histogram {
+        self.reader_group = group.into();
+        self
+    }
+
+    /// Rank 0 appends each step's histogram to `path` (the paper's endpoint
+    /// behaviour).
+    pub fn with_output_file(mut self, path: impl Into<PathBuf>) -> Histogram {
+        self.output_file = Some(path.into());
+        self
+    }
+
+    /// Additionally publishes each histogram on stream `name`.
+    pub fn with_output_stream(mut self, name: impl Into<String>) -> Histogram {
+        self.output_stream = Some(name.into());
+        self
+    }
+
+    /// A handle to the in-memory results rank 0 accumulates; clone it
+    /// before moving the component into a workflow.
+    pub fn results_handle(&self) -> Arc<Mutex<Vec<HistogramResult>>> {
+        Arc::clone(&self.results)
+    }
+}
+
+impl Component for Histogram {
+    fn label(&self) -> String {
+        "histogram".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        self.output_stream.iter().cloned().collect()
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let mut writer = self
+            .output_stream
+            .as_ref()
+            .map(|s| hub.open_writer(s, comm.rank(), comm.size(), self.writer_options));
+        // Truncate at run start, then append one block per step: a rerun
+        // of the same workflow starts a fresh file instead of accumulating
+        // histograms from previous runs.
+        let mut file = match (&self.output_file, comm.rank()) {
+            (Some(path), 0) => Some(
+                std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("histogram: cannot open {path:?}: {e}")),
+            ),
+            _ => None,
+        };
+
+        let stats = run_sink(
+            "histogram",
+            comm,
+            hub,
+            &self.input.stream,
+            &self.reader_group,
+            |reader, comm, step| {
+            let meta = reader
+                .meta(&self.input.array)
+                .ok_or_else(|| DataError::Container {
+                    detail: format!("no array {:?} in stream", self.input.array),
+                })?;
+            if meta.shape.ndims() != 1 {
+                return Err(DataError::RegionOutOfBounds {
+                    detail: format!(
+                        "histogram expects 1-d input, stream carries rank {}",
+                        meta.shape.ndims()
+                    ),
+                });
+            }
+            let n = meta.shape.size(0);
+            let (off, count) = split_1d_part(n, comm.size(), comm.rank());
+            let var = reader.get(&self.input.array, &Region::new(vec![off], vec![count]))?;
+            let bytes_in = var.byte_len() as u64;
+
+            let kernel_start = Instant::now();
+            let local = var.data.into_f64_vec();
+            // Global extremes, then local binning, then a count reduction —
+            // the two communication rounds the paper describes.
+            let (lmin, lmax) = local.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
+            let min = comm.allreduce(lmin, f64::min);
+            let max = comm.allreduce(lmax, f64::max);
+            let counts = bin_counts(&local, min, max, self.num_bins);
+            let total = comm.reduce(0, counts, |a, b| {
+                a.iter().zip(&b).map(|(x, y)| x + y).collect()
+            });
+            let compute = kernel_start.elapsed();
+
+            if let Some(counts) = total {
+                // Rank 0 only: record, write file, publish.
+                let result = HistogramResult {
+                    step,
+                    min,
+                    max,
+                    counts,
+                };
+                if let Some(f) = file.as_mut() {
+                    write_histogram(f, &result)?;
+                }
+                if let Some(w) = writer.as_mut() {
+                    let nb = result.counts.len();
+                    let counts_var = Variable::new(
+                        "counts",
+                        Shape::linear("bins", nb),
+                        Buffer::U64(result.counts.clone()),
+                    )?
+                    .with_attr("min", AttrValue::Float(result.min))
+                    .with_attr("max", AttrValue::Float(result.max))
+                    .with_attr("source", AttrValue::Text(self.input.to_string()));
+                    let edges: Vec<f64> = (0..=nb)
+                        .map(|i| result.min + (result.max - result.min) * i as f64 / nb as f64)
+                        .collect();
+                    let edges_var = Variable::new(
+                        "bin_edges",
+                        Shape::linear("edges", nb + 1),
+                        Buffer::F64(edges),
+                    )?;
+                    w.begin_step();
+                    w.put_whole(counts_var);
+                    w.put_whole(edges_var);
+                    w.end_step();
+                }
+                self.results.lock().push(result);
+            } else if let Some(w) = writer.as_mut() {
+                // Non-root ranks pace the output stream without contributing.
+                w.begin_step();
+                w.end_step();
+            }
+            Ok((bytes_in, compute))
+        });
+        if let Some(mut w) = writer {
+            w.close();
+        }
+        stats
+    }
+}
+
+fn write_histogram(f: &mut std::fs::File, r: &HistogramResult) -> DataResult<()> {
+    writeln!(
+        f,
+        "# step {} min {:.6e} max {:.6e} total {}",
+        r.step,
+        r.min,
+        r.max,
+        r.total()
+    )?;
+    for (i, &c) in r.counts.iter().enumerate() {
+        let (lo, hi) = r.bin_range(i);
+        writeln!(f, "{lo:.6e} {hi:.6e} {c}")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("input", &self.input)
+            .field("num_bins", &self.num_bins)
+            .field("output_file", &self.output_file)
+            .field("output_stream", &self.output_stream)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_counts_basic() {
+        let values = [0.0, 0.5, 1.0, 2.5, 4.0];
+        let counts = bin_counts(&values, 0.0, 4.0, 4);
+        // Bins: [0,1) [1,2) [2,3) [3,4]: 0, 0.5 -> bin 0; 1.0 -> bin 1;
+        // 2.5 -> bin 2; 4.0 -> bin 3 (max lands in last bin).
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn bin_counts_degenerate_range() {
+        let counts = bin_counts(&[7.0, 7.0, 7.0], 7.0, 7.0, 5);
+        assert_eq!(counts, vec![3, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bin_counts_empty_input() {
+        assert_eq!(bin_counts(&[], 0.0, 1.0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn bin_counts_sum_matches_input_len() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin()).collect();
+        let counts = bin_counts(&values, -1.0, 1.0, 16);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn result_bin_ranges_tile_min_max() {
+        let r = HistogramResult {
+            step: 0,
+            min: -2.0,
+            max: 2.0,
+            counts: vec![1, 2, 3, 4],
+        };
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.bin_range(0), (-2.0, -1.0));
+        assert_eq!(r.bin_range(3), (1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(("a", "x"), 0);
+    }
+}

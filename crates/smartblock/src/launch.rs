@@ -1,0 +1,596 @@
+//! The launch-script grammar (paper Figs. 1–3 and 8).
+//!
+//! The paper assembles workflows as job scripts: every line launches one
+//! component with a process count and run-time arguments, all backgrounded
+//! and `wait`ed together. This module parses that grammar:
+//!
+//! ```text
+//! aprun -n 64  histogram velos.fp velocities 16 &
+//! aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &
+//! aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+//! aprun -n 1024 lammps < in.cracksm &
+//! wait
+//! ```
+//!
+//! `parse_script` turns such text into [`LaunchEntry`] values;
+//! [`crate::workflows::script_to_workflow`] turns those into a runnable
+//! [`crate::Workflow`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::component::StreamArray;
+use crate::combine::BinaryOp;
+use crate::reduce::ReduceOp;
+use crate::threshold::Predicate;
+
+/// A launch-script parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchError {
+    /// 1-based script line.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "launch script line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Which simulation code a script line launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimCode {
+    /// The mini-LAMMPS crack driver.
+    Lammps,
+    /// The mini-GTCP torus driver.
+    Gtcp,
+    /// The mini-GROMACS chain driver.
+    Gromacs,
+}
+
+impl SimCode {
+    /// The conventional output stream each code's ADIOS config names.
+    pub fn default_stream(self) -> &'static str {
+        match self {
+            SimCode::Lammps => "dump.custom.fp",
+            SimCode::Gtcp => "gtcp.fp",
+            SimCode::Gromacs => "gromacs.fp",
+        }
+    }
+}
+
+/// One parsed program invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Program {
+    /// `select in-stream in-array dim-index out-stream out-array names...`
+    Select {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Dimension to filter.
+        dim_index: usize,
+        /// Output endpoint.
+        output: StreamArray,
+        /// Row names to keep.
+        keep: Vec<String>,
+    },
+    /// `magnitude in-stream in-array out-stream out-array`
+    Magnitude {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `dim-reduce in-stream in-array remove grow out-stream out-array`
+    DimReduce {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Dimension to remove.
+        remove: usize,
+        /// Dimension that absorbs it.
+        grow: usize,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `histogram in-stream in-array num-bins [output-file]`
+    Histogram {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Bin count.
+        num_bins: usize,
+        /// Optional file rank 0 appends results to.
+        output_file: Option<String>,
+    },
+    /// `reduce in-stream in-array dim op out-stream out-array`
+    Reduce {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Dimension to collapse.
+        dim: usize,
+        /// Aggregation (`sum`, `mean`, `min`, `max`).
+        op: ReduceOp,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `threshold in-stream in-array mode value out-stream out-array`
+    Threshold {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Predicate (`gt`, `lt`, `abs-gt` with a threshold value).
+        predicate: Predicate,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `transpose in-stream in-array perm out-stream out-array`
+    Transpose {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Axis permutation (comma-separated indices).
+        perm: Vec<usize>,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `combine left-stream left-array op right-stream right-array out-stream out-array`
+    Combine {
+        /// Left input endpoint.
+        left: StreamArray,
+        /// Element-wise operation (`add`, `sub`, `mul`, `div`).
+        op: BinaryOp,
+        /// Right input endpoint.
+        right: StreamArray,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `temporal-mean in-stream in-array window out-stream out-array`
+    TemporalMean {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Steps to average over.
+        window: usize,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `stats in-stream in-array out-stream out-array`
+    Stats {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `all-pairs in-stream in-array out-stream out-array`
+    AllPairs {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Output endpoint.
+        output: StreamArray,
+    },
+    /// `fork in-stream out-stream...`
+    Fork {
+        /// Input stream.
+        input: String,
+        /// Output streams.
+        outputs: Vec<String>,
+    },
+    /// `aio in-stream in-array num-bins names...`
+    AllInOne {
+        /// Input endpoint.
+        input: StreamArray,
+        /// Bin count.
+        num_bins: usize,
+        /// Vector-component column names.
+        keep: Vec<String>,
+    },
+    /// `file-write in-stream path`
+    FileWrite {
+        /// Input stream.
+        input: String,
+        /// Container path.
+        path: String,
+    },
+    /// `file-read path out-stream`
+    FileRead {
+        /// Container path.
+        path: String,
+        /// Output stream.
+        output: String,
+    },
+    /// `lammps|gtcp|gromacs [key=value ...] [< input-file]`
+    Simulation {
+        /// Which code.
+        code: SimCode,
+        /// `key=value` overrides (sizes, steps, seed, stream).
+        params: BTreeMap<String, String>,
+        /// The `< file` operand, if present (recorded, not read).
+        stdin: Option<String>,
+    },
+}
+
+/// One line of a parsed launch script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchEntry {
+    /// Process count from `-n`.
+    pub nranks: usize,
+    /// The program and its arguments.
+    pub program: Program,
+    /// Trailing `key=value` options on component lines: `group=` (reader
+    /// group), `groups=N` (declared subscriber count on the output),
+    /// `queue=N` (writer queue depth), `rendezvous=1` (synchronous
+    /// hand-off). Simulation lines keep their `key=value` tokens as
+    /// program parameters instead.
+    pub options: BTreeMap<String, String>,
+}
+
+fn err(line: usize, detail: impl Into<String>) -> LaunchError {
+    LaunchError {
+        line,
+        detail: detail.into(),
+    }
+}
+
+fn parse_usize(tok: &str, what: &str, line: usize) -> Result<usize, LaunchError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("{what} must be an integer, got {tok:?}")))
+}
+
+/// Parses a launch script into entries; `wait`, comments and blank lines
+/// are skipped.
+pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw.trim();
+        if s.is_empty() || s.starts_with('#') || s == "wait" {
+            continue;
+        }
+        if let Some(stripped) = s.strip_suffix('&') {
+            s = stripped.trim_end();
+        }
+        let mut tokens: Vec<&str> = s.split_whitespace().collect();
+
+        // Optional `aprun` prefix and mandatory-if-present `-n N`.
+        if tokens.first() == Some(&"aprun") {
+            tokens.remove(0);
+        }
+        let mut nranks = 1usize;
+        if tokens.first() == Some(&"-n") {
+            tokens.remove(0);
+            if tokens.is_empty() {
+                return Err(err(line, "-n needs a process count"));
+            }
+            nranks = parse_usize(tokens.remove(0), "process count", line)?;
+            if nranks == 0 {
+                return Err(err(line, "process count must be positive"));
+            }
+        }
+        if tokens.is_empty() {
+            return Err(err(line, "missing program name"));
+        }
+        let prog = tokens.remove(0);
+        let is_sim = matches!(prog, "lammps" | "gtcp" | "gromacs");
+
+        // Component lines may carry trailing key=value options; simulation
+        // lines keep key=value tokens as their parameters.
+        let mut options = BTreeMap::new();
+        if !is_sim {
+            tokens.retain(|t| {
+                if let Some((k, v)) = t.split_once('=') {
+                    options.insert(k.to_string(), v.to_string());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // Extract a `< file` redirect anywhere in the remaining tokens.
+        let mut stdin = None;
+        if let Some(pos) = tokens.iter().position(|t| *t == "<") {
+            if pos + 1 >= tokens.len() {
+                return Err(err(line, "'<' needs a file operand"));
+            }
+            stdin = Some(tokens[pos + 1].to_string());
+            tokens.drain(pos..pos + 2);
+        }
+
+        let need = |n: usize, usage: &str| -> Result<(), LaunchError> {
+            if tokens.len() < n {
+                Err(err(line, format!("usage: {usage}")))
+            } else {
+                Ok(())
+            }
+        };
+
+        let program = match prog {
+            "select" => {
+                need(5, "select in-stream in-array dim-index out-stream out-array names...")?;
+                Program::Select {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    dim_index: parse_usize(tokens[2], "dimension index", line)?,
+                    output: StreamArray::new(tokens[3], tokens[4]),
+                    keep: tokens[5..].iter().map(|t| t.to_string()).collect(),
+                }
+            }
+            "magnitude" => {
+                need(4, "magnitude in-stream in-array out-stream out-array")?;
+                Program::Magnitude {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    output: StreamArray::new(tokens[2], tokens[3]),
+                }
+            }
+            "dim-reduce" => {
+                need(6, "dim-reduce in-stream in-array remove grow out-stream out-array")?;
+                Program::DimReduce {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    remove: parse_usize(tokens[2], "dim-to-remove", line)?,
+                    grow: parse_usize(tokens[3], "dim-to-grow", line)?,
+                    output: StreamArray::new(tokens[4], tokens[5]),
+                }
+            }
+            "histogram" => {
+                need(3, "histogram in-stream in-array num-bins [output-file]")?;
+                Program::Histogram {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    num_bins: parse_usize(tokens[2], "num-bins", line)?,
+                    output_file: tokens.get(3).map(|t| t.to_string()),
+                }
+            }
+            "reduce" => {
+                need(6, "reduce in-stream in-array dim op out-stream out-array")?;
+                let op = ReduceOp::parse(tokens[3]).ok_or_else(|| {
+                    err(line, format!("unknown reduce op {:?} (sum|mean|min|max)", tokens[3]))
+                })?;
+                Program::Reduce {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    dim: parse_usize(tokens[2], "dimension", line)?,
+                    op,
+                    output: StreamArray::new(tokens[4], tokens[5]),
+                }
+            }
+            "threshold" => {
+                need(6, "threshold in-stream in-array mode value out-stream out-array")?;
+                let value: f64 = tokens[3].parse().map_err(|_| {
+                    err(line, format!("threshold value must be a number, got {:?}", tokens[3]))
+                })?;
+                let predicate = Predicate::parse(tokens[2], value).ok_or_else(|| {
+                    err(line, format!("unknown threshold mode {:?} (gt|lt|abs-gt)", tokens[2]))
+                })?;
+                Program::Threshold {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    predicate,
+                    output: StreamArray::new(tokens[4], tokens[5]),
+                }
+            }
+            "transpose" => {
+                need(5, "transpose in-stream in-array perm out-stream out-array")?;
+                let perm: Vec<usize> = tokens[2]
+                    .split(',')
+                    .map(|t| parse_usize(t.trim(), "permutation index", line))
+                    .collect::<Result<_, _>>()?;
+                Program::Transpose {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    perm,
+                    output: StreamArray::new(tokens[3], tokens[4]),
+                }
+            }
+            "combine" => {
+                need(7, "combine left-stream left-array op right-stream right-array out-stream out-array")?;
+                let op = BinaryOp::parse(tokens[2]).ok_or_else(|| {
+                    err(line, format!("unknown combine op {:?} (add|sub|mul|div)", tokens[2]))
+                })?;
+                Program::Combine {
+                    left: StreamArray::new(tokens[0], tokens[1]),
+                    op,
+                    right: StreamArray::new(tokens[3], tokens[4]),
+                    output: StreamArray::new(tokens[5], tokens[6]),
+                }
+            }
+            "temporal-mean" => {
+                need(5, "temporal-mean in-stream in-array window out-stream out-array")?;
+                Program::TemporalMean {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    window: parse_usize(tokens[2], "window", line)?,
+                    output: StreamArray::new(tokens[3], tokens[4]),
+                }
+            }
+            "stats" => {
+                need(4, "stats in-stream in-array out-stream out-array")?;
+                Program::Stats {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    output: StreamArray::new(tokens[2], tokens[3]),
+                }
+            }
+            "all-pairs" => {
+                need(4, "all-pairs in-stream in-array out-stream out-array")?;
+                Program::AllPairs {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    output: StreamArray::new(tokens[2], tokens[3]),
+                }
+            }
+            "fork" => {
+                need(2, "fork in-stream out-stream...")?;
+                Program::Fork {
+                    input: tokens[0].to_string(),
+                    outputs: tokens[1..].iter().map(|t| t.to_string()).collect(),
+                }
+            }
+            "aio" => {
+                need(4, "aio in-stream in-array num-bins names...")?;
+                Program::AllInOne {
+                    input: StreamArray::new(tokens[0], tokens[1]),
+                    num_bins: parse_usize(tokens[2], "num-bins", line)?,
+                    keep: tokens[3..].iter().map(|t| t.to_string()).collect(),
+                }
+            }
+            "file-write" => {
+                need(2, "file-write in-stream path")?;
+                Program::FileWrite {
+                    input: tokens[0].to_string(),
+                    path: tokens[1].to_string(),
+                }
+            }
+            "file-read" => {
+                need(2, "file-read path out-stream")?;
+                Program::FileRead {
+                    path: tokens[0].to_string(),
+                    output: tokens[1].to_string(),
+                }
+            }
+            "lammps" | "gtcp" | "gromacs" => {
+                let code = match prog {
+                    "lammps" => SimCode::Lammps,
+                    "gtcp" => SimCode::Gtcp,
+                    _ => SimCode::Gromacs,
+                };
+                let mut params = BTreeMap::new();
+                for t in &tokens {
+                    let (k, v) = t.split_once('=').ok_or_else(|| {
+                        err(line, format!("simulation arguments must be key=value, got {t:?}"))
+                    })?;
+                    params.insert(k.to_string(), v.to_string());
+                }
+                Program::Simulation {
+                    code,
+                    params,
+                    stdin,
+                }
+            }
+            other => return Err(err(line, format!("unknown program {other:?}"))),
+        };
+        entries.push(LaunchEntry {
+            nranks,
+            program,
+            options,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 8 script, verbatim in structure.
+    const FIG8: &str = r#"
+        aprun -n 64 histogram velos.fp velocities 16 &
+        aprun -n 256 magnitude lmpselect.fp lmpsel velos.fp velocities &
+        aprun -n 256 select dump.custom.fp atoms 1 lmpselect.fp lmpsel vx vy vz &
+        aprun -n 1024 lammps < in.cracksm &
+        wait
+    "#;
+
+    #[test]
+    fn parses_the_papers_fig8_script() {
+        let entries = parse_script(FIG8).unwrap();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].nranks, 64);
+        assert_eq!(
+            entries[0].program,
+            Program::Histogram {
+                input: StreamArray::new("velos.fp", "velocities"),
+                num_bins: 16,
+                output_file: None,
+            }
+        );
+        assert_eq!(entries[1].nranks, 256);
+        assert_eq!(
+            entries[1].program,
+            Program::Magnitude {
+                input: StreamArray::new("lmpselect.fp", "lmpsel"),
+                output: StreamArray::new("velos.fp", "velocities"),
+            }
+        );
+        assert_eq!(
+            entries[2].program,
+            Program::Select {
+                input: StreamArray::new("dump.custom.fp", "atoms"),
+                dim_index: 1,
+                output: StreamArray::new("lmpselect.fp", "lmpsel"),
+                keep: vec!["vx".into(), "vy".into(), "vz".into()],
+            }
+        );
+        assert_eq!(entries[3].nranks, 1024);
+        assert_eq!(
+            entries[3].program,
+            Program::Simulation {
+                code: SimCode::Lammps,
+                params: BTreeMap::new(),
+                stdin: Some("in.cracksm".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_the_gtcp_pipeline() {
+        let script = r#"
+            # GTCP pressure histogram, Fig. 6
+            aprun -n 4 gtcp slices=16 points=32 steps=3 &
+            aprun -n 3 select gtcp.fp plasma 2 psel.fp pperp P_perp &
+            aprun -n 2 dim-reduce psel.fp pperp 2 1 dr1.fp flat2 &
+            aprun -n 2 dim-reduce dr1.fp flat2 0 1 dr2.fp flat1 &
+            aprun -n 1 histogram dr2.fp flat1 20 /tmp/h.txt &
+            wait
+        "#;
+        let entries = parse_script(script).unwrap();
+        assert_eq!(entries.len(), 5);
+        match &entries[0].program {
+            Program::Simulation { code, params, stdin } => {
+                assert_eq!(*code, SimCode::Gtcp);
+                assert_eq!(params["slices"], "16");
+                assert_eq!(params["steps"], "3");
+                assert!(stdin.is_none());
+            }
+            other => panic!("expected simulation, got {other:?}"),
+        }
+        match &entries[4].program {
+            Program::Histogram { output_file, .. } => {
+                assert_eq!(output_file.as_deref(), Some("/tmp/h.txt"));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_extension_components() {
+        let script = r#"
+            fork in.fp a.fp b.fp
+            stats a.fp x st.fp summary
+            all-pairs b.fp x ap.fp dists
+            file-write ap.fp /tmp/out.sbc
+            file-read /tmp/out.sbc replay.fp
+            aio dump.fp atoms 16 vx vy vz
+        "#;
+        let entries = parse_script(script).unwrap();
+        assert_eq!(entries.len(), 6);
+        // Bare lines default to one rank.
+        assert!(entries.iter().all(|e| e.nranks == 1));
+        assert!(matches!(entries[0].program, Program::Fork { .. }));
+        assert!(matches!(entries[5].program, Program::AllInOne { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (script, what) in [
+            ("aprun -n x select a b 1 c d vx", "bad nranks"),
+            ("aprun -n 0 magnitude a b c d", "zero ranks"),
+            ("aprun -n 2 bogus a b", "unknown program"),
+            ("select a b", "too few args"),
+            ("dim-reduce a b one 1 c d", "non-integer dim"),
+            ("lammps foo", "non key=value sim arg"),
+            ("aprun -n", "missing count"),
+            ("lammps <", "dangling redirect"),
+            ("aprun -n 2", "missing program"),
+        ] {
+            assert!(parse_script(script).is_err(), "should reject: {what}");
+        }
+    }
+
+    #[test]
+    fn default_streams_per_code() {
+        assert_eq!(SimCode::Lammps.default_stream(), "dump.custom.fp");
+        assert_eq!(SimCode::Gtcp.default_stream(), "gtcp.fp");
+        assert_eq!(SimCode::Gromacs.default_stream(), "gromacs.fp");
+    }
+}

@@ -1,0 +1,104 @@
+//! # smartblock — generic, reusable in situ workflow components
+//!
+//! This crate is the paper's contribution: a small set of generic
+//! components — [`Select`], [`Magnitude`], [`DimReduce`], [`Histogram`] —
+//! that can be composed, *without recompilation*, into complete in situ
+//! scientific workflows. Every component is "an MPI executable" (here: a
+//! thread-rank group over `sb-comm`) that
+//!
+//! 1. discovers the dimensions, sizes, names and quantity labels of its
+//!    input from the self-describing stream (no hard-coded formats),
+//! 2. partitions the incoming global array evenly among its ranks,
+//! 3. applies one small transformation per timestep, and
+//! 4. publishes its output under user-chosen stream/array names so that any
+//!    downstream component can consume it.
+//!
+//! Workflows are assembled exactly as in the paper: a launch script names
+//! each component, its process count, and its input/output stream and array
+//! names ([`launch`] parses the `aprun`-style grammar of Figs. 1–3 and 8);
+//! the [`runtime`] launches every component of the workflow simultaneously
+//! and FlexPath-style blocking connects them in any order.
+//!
+//! Beyond the paper's four components, the crate includes the §V-C
+//! all-in-one baseline ([`AllInOne`]) used to measure the cost of
+//! componentization, and the §VI future-work components: [`Fork`] (DAG
+//! fan-out), [`AllPairs`] (a data-*increasing* analytic), [`Stats`], and
+//! [`FileWrite`]/[`FileRead`] (storage-decoupled workflows).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use smartblock::prelude::*;
+//! use sb_data::{Buffer, Shape, Variable};
+//!
+//! // A tiny source that emits particles x {ID, vx, vy, vz} then a pipeline
+//! // select -> magnitude -> histogram, wired purely by stream names.
+//! let mut wf = Workflow::new();
+//! wf.add_source("source", 1, "dump.fp", |step| {
+//!     (step < 3).then(|| {
+//!         let data: Vec<f64> = (0..32).map(|i| (i + step as usize) as f64).collect();
+//!         Variable::new("atoms", Shape::of(&[("particles", 8), ("props", 4)]), data.into())
+//!             .unwrap()
+//!             .with_labels(1, &["ID", "vx", "vy", "vz"])
+//!             .unwrap()
+//!     })
+//! });
+//! wf.add(2, Select::new(("dump.fp", "atoms"), 1, ["vx", "vy", "vz"], ("sel.fp", "vel")));
+//! wf.add(2, Magnitude::new(("sel.fp", "vel"), ("mag.fp", "speed")));
+//! wf.add(1, Histogram::new(("mag.fp", "speed"), 8).with_output_stream("hist.fp"));
+//! wf.add_sink("check", 1, "hist.fp", |step, vars| {
+//!     let counts = &vars["counts"];
+//!     assert_eq!(counts.data.to_f64_vec().iter().sum::<f64>(), 8.0, "step {step}");
+//! });
+//! let report = wf.run().unwrap();
+//! assert_eq!(report.component("histogram").unwrap().stats.steps, 3);
+//! ```
+
+pub mod all_in_one;
+pub mod all_pairs;
+pub mod combine;
+pub mod component;
+pub mod dim_reduce;
+pub mod file_io;
+pub mod fork;
+pub mod histogram;
+pub mod launch;
+pub mod magnitude;
+pub mod metrics;
+pub mod reduce;
+pub mod runtime;
+pub mod select;
+pub mod stats;
+pub mod temporal;
+pub mod threshold;
+pub mod transpose;
+pub mod workflows;
+
+pub use all_in_one::AllInOne;
+pub use all_pairs::AllPairs;
+pub use combine::{BinaryOp, Combine};
+pub use component::{Component, StreamArray};
+pub use dim_reduce::DimReduce;
+pub use file_io::{FileRead, FileWrite};
+pub use fork::Fork;
+pub use histogram::{Histogram, HistogramResult};
+pub use launch::{parse_script, LaunchEntry, Program};
+pub use magnitude::Magnitude;
+pub use metrics::{ComponentReport, ComponentStats, WorkflowReport};
+pub use reduce::{Reduce, ReduceOp};
+pub use runtime::{WiringIssue, Workflow};
+pub use select::Select;
+pub use stats::Stats;
+pub use temporal::TemporalMean;
+pub use threshold::{Predicate, Threshold};
+pub use transpose::Transpose;
+
+/// Everything needed to assemble and run a workflow.
+pub mod prelude {
+    pub use crate::component::{Component, StreamArray};
+    pub use crate::runtime::Workflow;
+    pub use crate::{
+        AllInOne, AllPairs, BinaryOp, Combine, DimReduce, FileRead, FileWrite, Fork, Histogram,
+        Magnitude, Predicate, Reduce, ReduceOp, Select, Stats, TemporalMean, Threshold, Transpose,
+    };
+}

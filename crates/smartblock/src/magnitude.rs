@@ -1,0 +1,213 @@
+//! The Magnitude component: per-row vector magnitudes (paper §III-D).
+//!
+//! Magnitude operates on a two-dimensional array where one dimension spans
+//! the data points (particles, atoms) and the other spans the components of
+//! one vector per point; it outputs the one-dimensional array of vector
+//! magnitudes. Because the contract is always 2-d, the component takes only
+//! stream/array names as parameters.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_comm::Communicator;
+use sb_data::decompose::slab_partition;
+use sb_data::{Buffer, Chunk, DataError, DataResult, DType, Region, Shape, Variable, VariableMeta};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
+use crate::metrics::ComponentStats;
+
+/// Computes the Euclidean magnitude of each row vector of a 2-d array.
+///
+/// This is the pure kernel of the Magnitude component.
+pub fn vector_magnitudes(var: &Variable) -> DataResult<Vec<f64>> {
+    if var.shape.ndims() != 2 {
+        return Err(DataError::RegionOutOfBounds {
+            detail: format!(
+                "magnitude expects a 2-d array, got rank {}",
+                var.shape.ndims()
+            ),
+        });
+    }
+    let n = var.shape.size(0);
+    let m = var.shape.size(1);
+    let mut out = Vec::with_capacity(n);
+    // Fast path: borrow f64 storage directly instead of widening per element.
+    if let Some(data) = var.data.as_f64_slice() {
+        for row in data.chunks_exact(m.max(1)) {
+            out.push(row.iter().map(|x| x * x).sum::<f64>().sqrt());
+        }
+        if m == 0 {
+            out.clear();
+            out.resize(n, 0.0);
+        }
+    } else {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..m {
+                let x = var.data.get_f64(i * m + j);
+                acc += x * x;
+            }
+            out.push(acc.sqrt());
+        }
+    }
+    Ok(out)
+}
+
+/// The Magnitude workflow component.
+#[derive(Debug, Clone)]
+pub struct Magnitude {
+    /// Input stream/array names (must be a 2-d array).
+    pub input: StreamArray,
+    /// Output stream/array names (a 1-d array of magnitudes).
+    pub output: StreamArray,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+    /// Reader-group name on the input stream.
+    pub reader_group: String,
+}
+
+impl Magnitude {
+    /// Builds a Magnitude between the given endpoints.
+    pub fn new<I: Into<StreamArray>, O: Into<StreamArray>>(input: I, output: O) -> Magnitude {
+        Magnitude {
+            input: input.into(),
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+            reader_group: "default".into(),
+        }
+    }
+
+    /// Overrides the output buffering policy.
+    pub fn with_writer_options(mut self, options: WriterOptions) -> Magnitude {
+        self.writer_options = options;
+        self
+    }
+
+    /// Subscribes under a named reader group (multi-subscriber streams).
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> Magnitude {
+        self.reader_group = group.into();
+        self
+    }
+}
+
+impl Component for Magnitude {
+    fn label(&self) -> String {
+        "magnitude".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        run_transform(
+            TransformSpec {
+                label: "magnitude",
+                input_stream: &self.input.stream,
+                reader_group: &self.reader_group,
+                output_stream: &self.output.stream,
+                writer_options: self.writer_options,
+            },
+            comm,
+            hub,
+            |reader, comm| {
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?
+                    .clone();
+                if meta.shape.ndims() != 2 {
+                    return Err(DataError::RegionOutOfBounds {
+                        detail: format!(
+                            "magnitude expects 2-d input, stream carries rank {}",
+                            meta.shape.ndims()
+                        ),
+                    });
+                }
+                // Partition the points dimension; every rank reads whole rows.
+                let n = meta.shape.size(0);
+                let region = slab_partition(&meta.shape, 0, comm.size(), comm.rank());
+                let (off, count) = (region.offset()[0], region.count()[0]);
+                let var = reader.get(&self.input.array, &region)?;
+                let bytes_in = var.byte_len() as u64;
+
+                let kernel_start = Instant::now();
+                let mags = vector_magnitudes(&var)?;
+                let compute = kernel_start.elapsed();
+
+                let out_meta = VariableMeta::new(
+                    self.output.array.clone(),
+                    Shape::new(vec![sb_data::Dim::new(
+                        meta.shape.dim_name(0).to_string(),
+                        n,
+                    )]),
+                    DType::F64,
+                );
+                let chunk = Chunk::new(
+                    out_meta,
+                    Region::new(vec![off], vec![count]),
+                    Buffer::F64(mags),
+                )?;
+                Ok(StepOutput {
+                    chunk: Some(chunk),
+                    bytes_in,
+                    compute,
+                })
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_computes_row_magnitudes() {
+        let v = Variable::new(
+            "vel",
+            Shape::of(&[("particles", 3), ("comp", 3)]),
+            Buffer::F64(vec![3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 2.0]),
+        )
+        .unwrap();
+        assert_eq!(vector_magnitudes(&v).unwrap(), vec![5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn kernel_widens_non_f64_input() {
+        let v = Variable::new(
+            "vel",
+            Shape::of(&[("p", 2), ("c", 2)]),
+            Buffer::I32(vec![3, 4, 6, 8]),
+        )
+        .unwrap();
+        assert_eq!(vector_magnitudes(&v).unwrap(), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn kernel_rejects_non_2d() {
+        let v = Variable::new("x", Shape::linear("n", 3), Buffer::F64(vec![0.0; 3])).unwrap();
+        assert!(vector_magnitudes(&v).is_err());
+    }
+
+    #[test]
+    fn kernel_handles_empty_rows() {
+        let v = Variable::new(
+            "vel",
+            Shape::of(&[("p", 0), ("c", 3)]),
+            Buffer::F64(vec![]),
+        )
+        .unwrap();
+        assert_eq!(vector_magnitudes(&v).unwrap(), Vec::<f64>::new());
+    }
+}

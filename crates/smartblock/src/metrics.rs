@@ -1,0 +1,317 @@
+//! Per-component and per-workflow measurement, mirroring what the paper's
+//! evaluation reports: per-timestep completion times averaged over a
+//! component's communicator, per-process throughput in KB/s, and end-to-end
+//! workflow times.
+
+use std::time::Duration;
+
+use sb_stream::StreamMetrics;
+
+/// One rank's accounting over a component run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ComponentStats {
+    /// Timesteps processed.
+    pub steps: u64,
+    /// Bytes read from the input stream(s) by this rank.
+    pub bytes_in: u64,
+    /// Bytes written to the output stream(s) by this rank.
+    pub bytes_out: u64,
+    /// Wall-clock duration of each timestep (begin-input to end-output).
+    pub step_times: Vec<Duration>,
+    /// Total time blocked waiting for input data.
+    pub wait_time: Duration,
+    /// Total time in the component's compute kernel.
+    pub compute_time: Duration,
+}
+
+impl ComponentStats {
+    /// Records one completed step.
+    pub fn record_step(&mut self, total: Duration, wait: Duration, compute: Duration) {
+        self.steps += 1;
+        self.step_times.push(total);
+        self.wait_time += wait;
+        self.compute_time += compute;
+    }
+
+    /// Mean step completion time.
+    pub fn mean_step_time(&self) -> Duration {
+        if self.step_times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.step_times.iter().sum::<Duration>() / self.step_times.len() as u32
+    }
+}
+
+/// A component's aggregated results: per-rank stats plus communicator-wide
+/// summaries (the paper averages per-timestep times over the communicator).
+#[derive(Debug, Clone)]
+pub struct ComponentReport {
+    /// Label the component was launched under.
+    pub label: String,
+    /// Ranks the component ran with.
+    pub nranks: usize,
+    /// Per-rank stats, indexed by rank.
+    pub per_rank: Vec<ComponentStats>,
+    /// Communicator-wide aggregate (sums of bytes, rank-mean times).
+    pub stats: ComponentStats,
+}
+
+impl ComponentReport {
+    /// Builds the aggregate from per-rank stats.
+    pub fn from_ranks(label: String, per_rank: Vec<ComponentStats>) -> ComponentReport {
+        let nranks = per_rank.len();
+        let steps = per_rank.iter().map(|s| s.steps).max().unwrap_or(0);
+        let mut agg = ComponentStats {
+            steps,
+            bytes_in: per_rank.iter().map(|s| s.bytes_in).sum(),
+            bytes_out: per_rank.iter().map(|s| s.bytes_out).sum(),
+            step_times: Vec::with_capacity(steps as usize),
+            wait_time: per_rank.iter().map(|s| s.wait_time).sum::<Duration>()
+                / nranks.max(1) as u32,
+            compute_time: per_rank.iter().map(|s| s.compute_time).sum::<Duration>()
+                / nranks.max(1) as u32,
+        };
+        // Per-timestep completion time, averaged over the communicator.
+        for step in 0..steps as usize {
+            let times: Vec<Duration> = per_rank
+                .iter()
+                .filter_map(|s| s.step_times.get(step).copied())
+                .collect();
+            if !times.is_empty() {
+                agg.step_times
+                    .push(times.iter().sum::<Duration>() / times.len() as u32);
+            }
+        }
+        ComponentReport {
+            label,
+            nranks,
+            per_rank,
+            stats: agg,
+        }
+    }
+
+    /// Per-process input throughput for one step, in KB/s — the metric of
+    /// the paper's Fig. 9.
+    pub fn per_process_throughput_kbs(&self, step: usize) -> Option<f64> {
+        let t = self.stats.step_times.get(step)?.as_secs_f64();
+        if t == 0.0 || self.stats.steps == 0 {
+            return None;
+        }
+        let bytes_per_step = self.stats.bytes_in as f64 / self.stats.steps as f64;
+        Some(bytes_per_step / 1024.0 / self.nranks as f64 / t)
+    }
+}
+
+/// The result of running a whole workflow.
+#[derive(Debug, Clone)]
+pub struct WorkflowReport {
+    /// Start-to-finish wall-clock time (all components launched together,
+    /// measured to the last component's exit — the paper's end-to-end
+    /// metric).
+    pub elapsed: Duration,
+    /// One report per component, in launch order.
+    pub components: Vec<ComponentReport>,
+    /// Final transfer counters of every stream in the workflow.
+    pub streams: Vec<StreamMetrics>,
+}
+
+impl WorkflowReport {
+    /// Looks a component up by label.
+    pub fn component(&self, label: &str) -> Option<&ComponentReport> {
+        self.components.iter().find(|c| c.label == label)
+    }
+
+    /// Total ranks across all components.
+    pub fn total_ranks(&self) -> usize {
+        self.components.iter().map(|c| c.nranks).sum()
+    }
+
+    /// End-to-end per-process throughput in KB/s: total bytes produced by
+    /// the named source stream, divided by total workflow processes and
+    /// elapsed time — the last column of the paper's Table I.
+    pub fn end_to_end_throughput_kbs(&self, source_stream: &str) -> Option<f64> {
+        let bytes = self
+            .streams
+            .iter()
+            .find(|m| m.stream == source_stream)?
+            .bytes_written as f64;
+        let denom = self.total_ranks() as f64 * self.elapsed.as_secs_f64();
+        (denom > 0.0).then(|| bytes / 1024.0 / denom)
+    }
+
+    /// A human-readable run summary: one table of components, one of
+    /// streams — what the examples print after a run.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "workflow: {} components, {} ranks, {:.3}s end to end\n\n",
+            self.components.len(),
+            self.total_ranks(),
+            self.elapsed.as_secs_f64()
+        );
+        let rows: Vec<Vec<String>> = self
+            .components
+            .iter()
+            .map(|c| {
+                vec![
+                    c.label.clone(),
+                    c.nranks.to_string(),
+                    c.stats.steps.to_string(),
+                    format!("{}", c.stats.bytes_in),
+                    format!("{}", c.stats.bytes_out),
+                    format!("{:.2}ms", c.stats.mean_step_time().as_secs_f64() * 1e3),
+                    format!("{:.2}ms", c.stats.wait_time.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["component", "ranks", "steps", "in (B)", "out (B)", "step", "wait"],
+            &rows,
+        ));
+        out.push('\n');
+        let rows: Vec<Vec<String>> = self
+            .streams
+            .iter()
+            .map(|s| {
+                vec![
+                    s.stream.clone(),
+                    s.steps_committed.to_string(),
+                    format!("{}", s.bytes_written),
+                    format!("{}", s.bytes_read),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["stream", "steps", "written (B)", "read (B)"],
+            &rows,
+        ));
+        out
+    }
+}
+
+/// Fixed-width table printer shared by the bench harness binaries.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_mean() {
+        let mut s = ComponentStats::default();
+        s.record_step(
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+        );
+        s.record_step(
+            Duration::from_millis(20),
+            Duration::from_millis(1),
+            Duration::from_millis(9),
+        );
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.mean_step_time(), Duration::from_millis(15));
+        assert_eq!(s.wait_time, Duration::from_millis(3));
+        assert_eq!(s.compute_time, Duration::from_millis(14));
+        assert_eq!(ComponentStats::default().mean_step_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_aggregates_over_ranks() {
+        let mk = |bytes: u64, ms: u64| {
+            let mut s = ComponentStats {
+                bytes_in: bytes,
+                bytes_out: bytes / 2,
+                ..Default::default()
+            };
+            s.record_step(Duration::from_millis(ms), Duration::ZERO, Duration::ZERO);
+            s.record_step(Duration::from_millis(ms * 2), Duration::ZERO, Duration::ZERO);
+            s
+        };
+        let rep = ComponentReport::from_ranks("sel".into(), vec![mk(1000, 10), mk(3000, 30)]);
+        assert_eq!(rep.nranks, 2);
+        assert_eq!(rep.stats.steps, 2);
+        assert_eq!(rep.stats.bytes_in, 4000);
+        assert_eq!(rep.stats.bytes_out, 2000);
+        // Step 0: mean(10, 30) = 20ms; step 1: mean(20, 60) = 40ms.
+        assert_eq!(rep.stats.step_times[0], Duration::from_millis(20));
+        assert_eq!(rep.stats.step_times[1], Duration::from_millis(40));
+        // Throughput: bytes/step = 2000, per-proc = 1000, over 0.02s.
+        let kbs = rep.per_process_throughput_kbs(0).unwrap();
+        assert!((kbs - (1000.0 / 1024.0 / 0.02)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_renders_components_and_streams() {
+        let rep = WorkflowReport {
+            elapsed: Duration::from_millis(1234),
+            components: vec![ComponentReport::from_ranks(
+                "select".into(),
+                vec![ComponentStats {
+                    steps: 3,
+                    bytes_in: 300,
+                    bytes_out: 150,
+                    ..Default::default()
+                }],
+            )],
+            streams: vec![sb_stream::StreamMetrics {
+                stream: "a.fp".into(),
+                bytes_written: 300,
+                bytes_read: 300,
+                steps_committed: 3,
+                steps_consumed: 3,
+                writer_wait: Duration::ZERO,
+                reader_wait: Duration::ZERO,
+            }],
+        };
+        let s = rep.summary();
+        assert!(s.contains("1 components"));
+        assert!(s.contains("select"));
+        assert!(s.contains("a.fp"));
+        assert!(s.contains("1.234s"));
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["Run", "Output (MB)", "Procs"],
+            &[
+                vec!["1".into(), "918.3".into(), "64".into()],
+                vec!["5".into(), "12905.4".into(), "1024".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Output (MB)"));
+        assert!(lines[3].contains("12905.4"));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+}

@@ -1,0 +1,507 @@
+//! Workflow assembly and execution.
+//!
+//! A [`Workflow`] is the in-process equivalent of the paper's launch script
+//! (Fig. 8): a list of components with process counts, all launched
+//! *simultaneously* and connected only by stream names. FlexPath-style
+//! blocking lets them come up in any order; the workflow completes when
+//! every component's input has ended.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sb_comm::{CommResult, Communicator, LaunchHandle};
+use sb_data::decompose::default_partition;
+use sb_data::{Chunk, Variable, VariableMeta};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::Component;
+use crate::metrics::{ComponentReport, ComponentStats, WorkflowReport};
+
+/// An ad-hoc source component built from a closure; every rank calls the
+/// closure identically and contributes its partition of the produced
+/// variable, so the closure must be deterministic in `step`.
+struct ClosureSource<F> {
+    label: String,
+    stream: String,
+    produce: F,
+}
+
+impl<F> Component for ClosureSource<F>
+where
+    F: Fn(u64) -> Option<Variable> + Send + Sync + 'static,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        crate::component::run_source(
+            &self.label,
+            comm,
+            hub,
+            &self.stream,
+            WriterOptions::default(),
+            |comm, step| {
+                Ok((self.produce)(step).map(|var| {
+                    let meta = VariableMeta::describing(&var);
+                    // Scalars cannot be partitioned among several source
+                    // ranks (every rank would put the same one-element
+                    // region); require a single-rank source for them.
+                    assert!(
+                        var.shape.ndims() > 0 || comm.size() == 1,
+                        "a source producing a rank-0 (scalar) variable must run with 1 rank"
+                    );
+                    let region = default_partition(&var.shape, comm.size(), comm.rank());
+                    let local = var.extract(&region).expect("partition fits the variable");
+                    Chunk::new(meta, region, local.data).expect("partition chunk is consistent")
+                }))
+            },
+        )
+    }
+}
+
+/// An ad-hoc sink component built from a closure; rank 0 reads every
+/// variable whole and hands the map to the closure.
+struct ClosureSink<F> {
+    label: String,
+    stream: String,
+    consume: F,
+}
+
+impl<F> Component for ClosureSink<F>
+where
+    F: Fn(u64, &BTreeMap<String, Variable>) + Send + Sync + 'static,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.stream.clone(), self.label.clone())]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        crate::component::run_sink(&self.label, comm, hub, &self.stream, &self.label, |reader, comm, step| {
+            let mut bytes_in = 0u64;
+            if comm.rank() == 0 {
+                let mut vars = BTreeMap::new();
+                for name in reader.variables() {
+                    let v = reader.get_whole(&name)?;
+                    bytes_in += v.byte_len() as u64;
+                    vars.insert(name, v);
+                }
+                (self.consume)(step, &vars);
+            }
+            Ok((bytes_in, Duration::ZERO))
+        })
+    }
+}
+
+/// A problem found by [`Workflow::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WiringIssue {
+    /// A stream is consumed but no component produces it: the readers
+    /// would block until the hub's deadlock timeout.
+    NoWriter {
+        /// The dangling stream name.
+        stream: String,
+        /// Components that read it.
+        readers: Vec<String>,
+    },
+    /// A stream is produced but nothing consumes it: the writer stalls
+    /// once its buffer fills.
+    NoReader {
+        /// The unread stream name.
+        stream: String,
+        /// Components that write it.
+        writers: Vec<String>,
+    },
+    /// Two components write the same stream; a stream has exactly one
+    /// writer group.
+    MultipleWriters {
+        /// The contested stream name.
+        stream: String,
+        /// Components that write it.
+        writers: Vec<String>,
+    },
+    /// Two components subscribe to one stream under the same reader-group
+    /// name; their step accounting would interleave. Give one of them a
+    /// distinct group via `with_reader_group` (and declare the subscriber
+    /// count on the writer).
+    DuplicateSubscription {
+        /// The contested stream name.
+        stream: String,
+        /// The shared group name.
+        group: String,
+        /// Components sharing it.
+        readers: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for WiringIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WiringIssue::NoWriter { stream, readers } => {
+                write!(f, "stream {stream:?} is read by {readers:?} but written by nothing")
+            }
+            WiringIssue::NoReader { stream, writers } => {
+                write!(f, "stream {stream:?} is written by {writers:?} but read by nothing")
+            }
+            WiringIssue::MultipleWriters { stream, writers } => {
+                write!(f, "stream {stream:?} has multiple writers: {writers:?}")
+            }
+            WiringIssue::DuplicateSubscription {
+                stream,
+                group,
+                readers,
+            } => write!(
+                f,
+                "components {readers:?} all subscribe to stream {stream:?} as reader group                  {group:?}; give each a distinct group"
+            ),
+        }
+    }
+}
+
+struct Entry {
+    label: String,
+    nranks: usize,
+    component: Arc<dyn Component>,
+}
+
+/// A workflow under assembly: components plus the stream hub that connects
+/// them.
+pub struct Workflow {
+    hub: Arc<StreamHub>,
+    entries: Vec<Entry>,
+}
+
+impl Default for Workflow {
+    fn default() -> Self {
+        Workflow::new()
+    }
+}
+
+impl Workflow {
+    /// A workflow over a fresh stream hub.
+    pub fn new() -> Workflow {
+        Workflow::with_hub(StreamHub::new())
+    }
+
+    /// A workflow over an existing hub (lets callers attach out-of-band
+    /// readers/writers, e.g. the bench harnesses).
+    pub fn with_hub(hub: Arc<StreamHub>) -> Workflow {
+        Workflow {
+            hub,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The hub components will rendezvous on.
+    pub fn hub(&self) -> &Arc<StreamHub> {
+        &self.hub
+    }
+
+    /// Adds a component with `nranks` ranks, deriving its label (repeated
+    /// labels get `-2`, `-3`, … suffixes, mirroring the paper's
+    /// "Dim-Reduce 1"/"Dim-Reduce 2").
+    pub fn add<C: Component>(&mut self, nranks: usize, component: C) -> &mut Self {
+        let base = component.label();
+        let label = self.unique_label(base);
+        self.add_labeled(label, nranks, component)
+    }
+
+    /// Adds a component under an explicit label.
+    pub fn add_labeled<C: Component>(
+        &mut self,
+        label: impl Into<String>,
+        nranks: usize,
+        component: C,
+    ) -> &mut Self {
+        assert!(nranks > 0, "a component needs at least one rank");
+        let label = label.into();
+        assert!(
+            self.entries.iter().all(|e| e.label != label),
+            "duplicate component label {label:?}"
+        );
+        self.entries.push(Entry {
+            label,
+            nranks,
+            component: Arc::new(component),
+        });
+        self
+    }
+
+    /// Adds an ad-hoc source producing one variable per step from a
+    /// closure (`None` ends the stream). The closure runs identically on
+    /// every rank, so it must be deterministic in `step`.
+    pub fn add_source<F>(
+        &mut self,
+        label: impl Into<String>,
+        nranks: usize,
+        stream: impl Into<String>,
+        produce: F,
+    ) -> &mut Self
+    where
+        F: Fn(u64) -> Option<Variable> + Send + Sync + 'static,
+    {
+        let label = label.into();
+        self.add_labeled(
+            label.clone(),
+            nranks,
+            ClosureSource {
+                label,
+                stream: stream.into(),
+                produce,
+            },
+        )
+    }
+
+    /// Adds an ad-hoc sink whose closure sees every variable of every step
+    /// (on rank 0).
+    pub fn add_sink<F>(
+        &mut self,
+        label: impl Into<String>,
+        nranks: usize,
+        stream: impl Into<String>,
+        consume: F,
+    ) -> &mut Self
+    where
+        F: Fn(u64, &BTreeMap<String, Variable>) + Send + Sync + 'static,
+    {
+        let label = label.into();
+        self.add_labeled(
+            label.clone(),
+            nranks,
+            ClosureSink {
+                label,
+                stream: stream.into(),
+                consume,
+            },
+        )
+    }
+
+    fn unique_label(&self, base: String) -> String {
+        if self.entries.iter().all(|e| e.label != base) {
+            return base;
+        }
+        let mut n = 2;
+        loop {
+            let candidate = format!("{base}-{n}");
+            if self.entries.iter().all(|e| e.label != candidate) {
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+
+    /// Labels in launch order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.label.as_str()).collect()
+    }
+
+    /// Static wiring diagnostics: streams read by some component but
+    /// written by none (the workflow would deadlock) and streams written
+    /// but never read (the writer would fill its buffer and stall).
+    ///
+    /// Components that do not declare their streams (custom `Component`
+    /// impls using the default trait methods) are invisible here, so an
+    /// empty result is strong evidence, not proof, of a well-wired
+    /// workflow.
+    pub fn validate(&self) -> Vec<WiringIssue> {
+        let mut writers: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut readers: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut subscriptions: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+        for e in &self.entries {
+            for s in e.component.output_streams() {
+                writers.entry(s).or_default().push(e.label.clone());
+            }
+            for s in e.component.input_streams() {
+                readers.entry(s).or_default().push(e.label.clone());
+            }
+            for sub in e.component.input_subscriptions() {
+                subscriptions.entry(sub).or_default().push(e.label.clone());
+            }
+        }
+        let mut issues = Vec::new();
+        for (stream, consumers) in &readers {
+            if !writers.contains_key(stream) {
+                issues.push(WiringIssue::NoWriter {
+                    stream: stream.clone(),
+                    readers: consumers.clone(),
+                });
+            }
+        }
+        for (stream, producers) in &writers {
+            if !readers.contains_key(stream) {
+                issues.push(WiringIssue::NoReader {
+                    stream: stream.clone(),
+                    writers: producers.clone(),
+                });
+            }
+            if producers.len() > 1 {
+                issues.push(WiringIssue::MultipleWriters {
+                    stream: stream.clone(),
+                    writers: producers.clone(),
+                });
+            }
+        }
+        for ((stream, group), labels) in &subscriptions {
+            if labels.len() > 1 {
+                issues.push(WiringIssue::DuplicateSubscription {
+                    stream: stream.clone(),
+                    group: group.clone(),
+                    readers: labels.clone(),
+                });
+            }
+        }
+        issues
+    }
+
+    /// Launches every component simultaneously (each rank on its own
+    /// thread) and blocks until all of them finish, returning the paper's
+    /// end-to-end measurements.
+    ///
+    /// A panicking component surfaces as an error; its peers unblock via
+    /// the hub's deadlock timeout.
+    pub fn run(self) -> CommResult<WorkflowReport> {
+        let start = Instant::now();
+        let handles: Vec<(String, LaunchHandle<ComponentStats>)> = self
+            .entries
+            .into_iter()
+            .map(|entry| {
+                let hub = Arc::clone(&self.hub);
+                let component = entry.component;
+                let handle = LaunchHandle::spawn(&entry.label, entry.nranks, move |comm| {
+                    component.run(&comm, &hub)
+                })?;
+                Ok((entry.label, handle))
+            })
+            .collect::<CommResult<_>>()?;
+
+        let mut components = Vec::with_capacity(handles.len());
+        for (label, handle) in handles {
+            let per_rank = handle.join()?;
+            components.push(ComponentReport::from_ranks(label, per_rank));
+        }
+        Ok(WorkflowReport {
+            elapsed: start.elapsed(),
+            components,
+            streams: self.hub.all_metrics(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_data::Shape;
+
+    fn counter_variable(step: u64, n: usize) -> Variable {
+        let data: Vec<f64> = (0..n).map(|i| (i as u64 + step) as f64).collect();
+        Variable::new("x", Shape::linear("n", n), data.into()).unwrap()
+    }
+
+    #[test]
+    fn source_sink_workflow_round_trips() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut wf = Workflow::new();
+        wf.add_source("gen", 2, "w.fp", |step| {
+            (step < 5).then(|| counter_variable(step, 12))
+        });
+        wf.add_sink("check", 3, "w.fp", move |step, vars| {
+            let v = &vars["x"];
+            assert_eq!(v.shape.total_len(), 12);
+            assert_eq!(v.data.get_f64(3), (3 + step) as f64);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        });
+        let report = wf.run().unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+        assert_eq!(report.component("gen").unwrap().stats.steps, 5);
+        assert_eq!(report.component("check").unwrap().stats.steps, 5);
+        assert_eq!(report.total_ranks(), 5);
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].steps_consumed, 5);
+    }
+
+    #[test]
+    fn labels_deduplicate() {
+        let mut wf = Workflow::new();
+        wf.add(1, crate::DimReduce::new(("a.fp", "x"), 0, 1, ("b.fp", "x")));
+        wf.add(1, crate::DimReduce::new(("b.fp", "x"), 0, 1, ("c.fp", "x")));
+        wf.add(1, crate::DimReduce::new(("c.fp", "x"), 0, 1, ("d.fp", "x")));
+        assert_eq!(wf.labels(), vec!["dim-reduce", "dim-reduce-2", "dim-reduce-3"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component label")]
+    fn explicit_duplicate_labels_rejected() {
+        let mut wf = Workflow::new();
+        wf.add_source("s", 1, "a.fp", |_| None);
+        wf.add_source("s", 1, "b.fp", |_| None);
+    }
+
+    #[test]
+    fn validate_finds_wiring_problems() {
+        let mut wf = Workflow::new();
+        // select reads a stream nothing writes, and writes one nothing reads.
+        wf.add(1, crate::Select::new(("ghost.fp", "x"), 0, ["a"], ("dead.fp", "y")));
+        let issues = wf.validate();
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            WiringIssue::NoWriter { stream, .. } if stream == "ghost.fp"
+        )));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            WiringIssue::NoReader { stream, .. } if stream == "dead.fp"
+        )));
+        assert!(issues[0].to_string().contains(".fp"));
+    }
+
+    #[test]
+    fn validate_accepts_a_complete_pipeline() {
+        let mut wf = Workflow::new();
+        wf.add_source("gen", 1, "a.fp", |_| None);
+        wf.add(1, crate::Magnitude::new(("a.fp", "x"), ("b.fp", "y")));
+        wf.add(1, crate::Histogram::new(("b.fp", "y"), 4));
+        assert!(wf.validate().is_empty(), "{:?}", wf.validate());
+    }
+
+    #[test]
+    fn validate_flags_duplicate_writers() {
+        let mut wf = Workflow::new();
+        wf.add_source("gen-a", 1, "x.fp", |_| None);
+        wf.add_source("gen-b", 1, "x.fp", |_| None);
+        wf.add_sink("end", 1, "x.fp", |_, _| {});
+        let issues = wf.validate();
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            WiringIssue::MultipleWriters { writers, .. } if writers.len() == 2
+        )));
+    }
+
+    #[test]
+    fn failing_component_surfaces_as_error() {
+        let hub = StreamHub::with_timeout(Duration::from_millis(200));
+        let mut wf = Workflow::with_hub(hub);
+        wf.add_source("gen", 1, "w.fp", |step| {
+            (step < 1).then(|| counter_variable(step, 4))
+        });
+        // The sink asks for a variable that does not exist -> panic.
+        wf.add(1, crate::Histogram::new(("w.fp", "missing"), 4));
+        let err = wf.run().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "unexpected error: {msg}");
+    }
+}

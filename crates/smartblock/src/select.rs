@@ -1,0 +1,320 @@
+//! The Select component: keep named rows of one dimension (paper §III-C).
+//!
+//! Select extracts certain rows (indices) from one dimension of an array
+//! with any number of dimensions, identified *by name* through the quantity
+//! header the upstream component attached — so a launch script can say
+//! "keep vx, vy, vz" without knowing column numbers. The output has the
+//! same rank with the selected dimension shrunk to the kept rows.
+//!
+//! Usage (paper Fig. 1):
+//!
+//! ```text
+//! aprun select input-stream-name input-array-name dimension-index
+//!       output-stream-name output-array-name [arg1] [arg2] ...
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_comm::Communicator;
+use sb_data::decompose::slab_partition;
+use sb_data::{Buffer, Chunk, DataError, DataResult, Region, Variable, VariableMeta};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
+use crate::metrics::ComponentStats;
+
+/// Gathers the rows `indices` of dimension `dim` from `var`, in the order
+/// given, producing a variable whose `dim` has size `indices.len()`.
+///
+/// This is the pure kernel of the Select component; it preserves dtype,
+/// renames nothing, and re-labels `dim` with the selected subset of the
+/// header (when one is present).
+pub fn select_rows(var: &Variable, dim: usize, indices: &[usize]) -> DataResult<Variable> {
+    var.shape.check_dim(dim)?;
+    let d = var.shape.size(dim);
+    for &i in indices {
+        if i >= d {
+            return Err(DataError::RegionOutOfBounds {
+                detail: format!("selected row {i} exceeds dimension extent {d}"),
+            });
+        }
+    }
+    let sizes = var.shape.sizes();
+    let pre: usize = sizes[..dim].iter().product();
+    let post: usize = sizes[dim + 1..].iter().product();
+    let out_shape = var.shape.with_dim_size(dim, indices.len());
+    let out = var.data.gather_dim(pre, d, post, indices);
+    let mut result = Variable::new(var.name.clone(), out_shape, out)?;
+    for (&ldim, names) in &var.labels {
+        if ldim == dim {
+            result
+                .set_labels(ldim, indices.iter().map(|&i| names[i].clone()).collect())
+                .expect("selected labels match the resized dimension");
+        } else {
+            result
+                .set_labels(ldim, names.clone())
+                .expect("untouched labels keep their extent");
+        }
+    }
+    result.attrs = var.attrs.clone();
+    Ok(result)
+}
+
+/// The Select workflow component.
+#[derive(Debug, Clone)]
+pub struct Select {
+    /// Input stream/array names.
+    pub input: StreamArray,
+    /// Index of the dimension to filter.
+    pub dim_index: usize,
+    /// Names of the rows to keep, resolved against the dimension's header.
+    pub keep: Vec<String>,
+    /// Output stream/array names.
+    pub output: StreamArray,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+    /// Reader-group name on the input stream (for multi-subscriber DAGs).
+    pub reader_group: String,
+}
+
+impl Select {
+    /// Builds a Select keeping the named rows of dimension `dim_index`.
+    pub fn new<I, K, O>(input: I, dim_index: usize, keep: K, output: O) -> Select
+    where
+        I: Into<StreamArray>,
+        K: IntoIterator,
+        K::Item: Into<String>,
+        O: Into<StreamArray>,
+    {
+        Select {
+            input: input.into(),
+            dim_index,
+            keep: keep.into_iter().map(Into::into).collect(),
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+            reader_group: "default".into(),
+        }
+    }
+
+    /// Overrides the output buffering policy.
+    pub fn with_writer_options(mut self, options: WriterOptions) -> Select {
+        self.writer_options = options;
+        self
+    }
+
+    /// Subscribes under a named reader group (multi-subscriber streams).
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> Select {
+        self.reader_group = group.into();
+        self
+    }
+
+    /// The dimension this rank partitions along: the first dimension that
+    /// is not the filtered one (`None` for 1-d inputs, which are processed
+    /// whole by rank 0).
+    fn partition_dim(&self, ndims: usize) -> Option<usize> {
+        (0..ndims).find(|&d| d != self.dim_index)
+    }
+}
+
+impl Component for Select {
+    fn label(&self) -> String {
+        "select".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        run_transform(
+            TransformSpec {
+                label: "select",
+                input_stream: &self.input.stream,
+                reader_group: &self.reader_group,
+                output_stream: &self.output.stream,
+                writer_options: self.writer_options,
+            },
+            comm,
+            hub,
+            |reader, comm| {
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?
+                    .clone();
+                meta.shape.check_dim(self.dim_index)?;
+                // Resolve the kept names against the global header.
+                let indices: Vec<usize> = self
+                    .keep
+                    .iter()
+                    .map(|n| meta.resolve_label(self.dim_index, n))
+                    .collect::<DataResult<_>>()?;
+
+                // Partition along a non-filtered dimension so every rank
+                // sees the whole header dimension.
+                let region = match self.partition_dim(meta.shape.ndims()) {
+                    Some(pdim) => slab_partition(&meta.shape, pdim, comm.size(), comm.rank()),
+                    None => {
+                        // 1-d input: rank 0 takes everything.
+                        if comm.rank() == 0 {
+                            Region::whole(&meta.shape)
+                        } else {
+                            Region::new(vec![0], vec![0])
+                        }
+                    }
+                };
+                let var = reader.get(&self.input.array, &region)?;
+                let bytes_in = var.byte_len() as u64;
+
+                let kernel_start = Instant::now();
+                // A rank whose partition is empty (more ranks than rows, or
+                // the 1-d fallback) contributes an empty chunk and skips the
+                // kernel, whose row bounds are meaningless on a 0-extent dim.
+                let selected_data = if region.is_empty() && var.shape.size(self.dim_index) == 0 {
+                    Buffer::zeros(meta.dtype, 0)
+                } else {
+                    let mut selected = select_rows(&var, self.dim_index, &indices)?;
+                    selected.name = self.output.array.clone();
+                    selected.data
+                };
+                let compute = kernel_start.elapsed();
+
+                // Global output metadata: input shape with the filtered
+                // dimension shrunk; labels re-derived from the global header.
+                let out_shape = meta.shape.with_dim_size(self.dim_index, indices.len());
+                let mut out_meta =
+                    VariableMeta::new(self.output.array.clone(), out_shape, meta.dtype);
+                for (&ldim, names) in &meta.labels {
+                    let new = if ldim == self.dim_index {
+                        indices.iter().map(|&i| names[i].clone()).collect()
+                    } else {
+                        names.clone()
+                    };
+                    out_meta.labels.insert(ldim, new);
+                }
+                out_meta.attrs = meta.attrs.clone();
+
+                let mut out_region_offset = region.offset().to_vec();
+                let mut out_region_count = region.count().to_vec();
+                out_region_offset[self.dim_index] = 0;
+                out_region_count[self.dim_index] = indices.len();
+                // Empty partitions contribute an empty chunk of the right rank.
+                if region.is_empty() {
+                    out_region_count = vec![0; out_region_count.len()];
+                }
+                let chunk = Chunk::new(
+                    out_meta,
+                    Region::new(out_region_offset, out_region_count),
+                    selected_data,
+                )?;
+                Ok(StepOutput {
+                    chunk: Some(chunk),
+                    bytes_in,
+                    compute,
+                })
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_data::Shape;
+
+    fn particles() -> Variable {
+        // 4 particles x 5 props; value = 10*particle + prop.
+        let data: Vec<f64> = (0..4)
+            .flat_map(|p| (0..5).map(move |q| (10 * p + q) as f64))
+            .collect();
+        Variable::new("atoms", Shape::of(&[("particles", 4), ("props", 5)]), data.into())
+            .unwrap()
+            .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_keeps_named_rows_in_order() {
+        let v = particles();
+        let out = select_rows(&v, 1, &[2, 3, 4]).unwrap();
+        assert_eq!(out.shape.sizes(), vec![4, 3]);
+        assert_eq!(out.get(&[0, 0]), 2.0); // vx of particle 0
+        assert_eq!(out.get(&[3, 2]), 34.0); // vz of particle 3
+        assert_eq!(
+            out.header(1).unwrap(),
+            &["vx".to_string(), "vy".into(), "vz".into()]
+        );
+    }
+
+    #[test]
+    fn kernel_reorders_when_asked() {
+        let v = particles();
+        let out = select_rows(&v, 1, &[4, 2]).unwrap();
+        assert_eq!(out.get(&[1, 0]), 14.0); // vz first
+        assert_eq!(out.get(&[1, 1]), 12.0); // then vx
+        assert_eq!(out.header(1).unwrap(), &["vz".to_string(), "vx".into()]);
+    }
+
+    #[test]
+    fn kernel_selects_along_dim_zero() {
+        let v = particles();
+        let out = select_rows(&v, 0, &[3, 1]).unwrap();
+        assert_eq!(out.shape.sizes(), vec![2, 5]);
+        assert_eq!(out.get(&[0, 0]), 30.0);
+        assert_eq!(out.get(&[1, 4]), 14.0);
+        // The untouched header on dim 1 survives.
+        assert_eq!(out.header(1).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn kernel_selects_in_three_dimensions() {
+        // 2 x 3 x 4, select middle dim rows [2, 0].
+        let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let v = Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+            data.into(),
+        )
+        .unwrap();
+        let out = select_rows(&v, 1, &[2, 0]).unwrap();
+        assert_eq!(out.shape.sizes(), vec![2, 2, 4]);
+        // (a=1, b'=0 -> b=2, c=3): original linear = 1*12 + 2*4 + 3 = 23.
+        assert_eq!(out.get(&[1, 0, 3]), 23.0);
+        // (a=0, b'=1 -> b=0, c=0): original = 0.
+        assert_eq!(out.get(&[0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn kernel_rejects_bad_rows_and_dims() {
+        let v = particles();
+        assert!(select_rows(&v, 1, &[5]).is_err());
+        assert!(select_rows(&v, 2, &[0]).is_err());
+    }
+
+    #[test]
+    fn kernel_empty_selection_yields_empty_dim() {
+        let v = particles();
+        let out = select_rows(&v, 1, &[]).unwrap();
+        assert_eq!(out.shape.sizes(), vec![4, 0]);
+        assert!(out.data.is_empty());
+    }
+
+    #[test]
+    fn partition_dim_avoids_filtered_dim() {
+        let s = Select::new(("a", "x"), 1, ["vx"], ("b", "y"));
+        assert_eq!(s.partition_dim(2), Some(0));
+        let s0 = Select::new(("a", "x"), 0, ["row"], ("b", "y"));
+        assert_eq!(s0.partition_dim(3), Some(1));
+        assert_eq!(s0.partition_dim(1), None);
+    }
+}

@@ -1,0 +1,237 @@
+//! The TemporalMean component: a moving average over timesteps.
+//!
+//! The paper's components are stateless per step; managing "the execution
+//! of workflows over longer periods of time" (§VI) needs components that
+//! carry state *across* steps. TemporalMean is the canonical example: it
+//! emits, for every step, the element-wise mean of the last `window`
+//! steps of its input — the standard smoothing stage in front of a
+//! monitoring endpoint. Each rank keeps only its own partition's history,
+//! so the memory cost is `window / nranks` of the global array per rank.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_comm::Communicator;
+use sb_data::decompose::default_partition;
+use sb_data::{Buffer, Chunk, DType, VariableMeta};
+use sb_stream::{StepStatus, StreamHub, WriterOptions};
+
+use crate::component::{Component, StreamArray};
+use crate::metrics::ComponentStats;
+
+/// Per-rank moving-average state: ring of past partitions plus a running
+/// sum, so each step costs one add and one subtract per element.
+pub struct MovingMean {
+    window: usize,
+    history: VecDeque<Vec<f64>>,
+    sum: Vec<f64>,
+}
+
+impl MovingMean {
+    /// A moving mean over the last `window` inputs.
+    pub fn new(window: usize) -> MovingMean {
+        assert!(window >= 1, "window must be at least 1");
+        MovingMean {
+            window,
+            history: VecDeque::new(),
+            sum: Vec::new(),
+        }
+    }
+
+    /// Pushes one step's values and returns the current mean.
+    ///
+    /// Panics if the input length changes between steps (the stream's
+    /// shape contract is per-variable constant).
+    pub fn push(&mut self, values: Vec<f64>) -> Vec<f64> {
+        if self.sum.is_empty() {
+            self.sum = vec![0.0; values.len()];
+        }
+        assert_eq!(
+            self.sum.len(),
+            values.len(),
+            "temporal-mean: input length changed between steps"
+        );
+        if self.history.len() == self.window {
+            let old = self.history.pop_front().expect("non-empty at capacity");
+            for (s, o) in self.sum.iter_mut().zip(&old) {
+                *s -= o;
+            }
+        }
+        for (s, v) in self.sum.iter_mut().zip(&values) {
+            *s += v;
+        }
+        self.history.push_back(values);
+        let n = self.history.len() as f64;
+        self.sum.iter().map(|&s| s / n).collect()
+    }
+
+    /// Steps currently held (≤ window).
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+/// The TemporalMean workflow component.
+#[derive(Debug, Clone)]
+pub struct TemporalMean {
+    /// Input stream/array names (any rank).
+    pub input: StreamArray,
+    /// Steps to average over.
+    pub window: usize,
+    /// Output stream/array names.
+    pub output: StreamArray,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+    /// Reader-group name on the input stream.
+    pub reader_group: String,
+}
+
+impl TemporalMean {
+    /// Builds a TemporalMean over `window` steps.
+    pub fn new<I: Into<StreamArray>, O: Into<StreamArray>>(
+        input: I,
+        window: usize,
+        output: O,
+    ) -> TemporalMean {
+        assert!(window >= 1, "window must be at least 1");
+        TemporalMean {
+            input: input.into(),
+            window,
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+            reader_group: "default".into(),
+        }
+    }
+
+    /// Subscribes under a named reader group (multi-subscriber streams).
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> TemporalMean {
+        self.reader_group = group.into();
+        self
+    }
+}
+
+impl Component for TemporalMean {
+    fn label(&self) -> String {
+        "temporal-mean".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let mut reader = hub.open_reader_grouped(
+            &self.input.stream,
+            &self.reader_group,
+            comm.rank(),
+            comm.size(),
+        );
+        let mut writer = hub.open_writer(
+            &self.output.stream,
+            comm.rank(),
+            comm.size(),
+            self.writer_options,
+        );
+        let mut stats = ComponentStats::default();
+        let mut state = MovingMean::new(self.window);
+        loop {
+            let step_start = Instant::now();
+            match reader.begin_step() {
+                StepStatus::EndOfStream => break,
+                StepStatus::Ready(_) => {}
+            }
+            let wait = step_start.elapsed();
+            let meta = reader
+                .meta(&self.input.array)
+                .unwrap_or_else(|| {
+                    panic!("temporal-mean: no array {:?} in stream", self.input.array)
+                })
+                .clone();
+            let region = default_partition(&meta.shape, comm.size(), comm.rank());
+            let var = reader
+                .get(&self.input.array, &region)
+                .unwrap_or_else(|e| panic!("temporal-mean: {e}"));
+            reader.end_step();
+            stats.bytes_in += var.byte_len() as u64;
+
+            let kernel_start = Instant::now();
+            let mean = state.push(var.data.into_f64_vec());
+            let compute = kernel_start.elapsed();
+
+            let mut out_meta =
+                VariableMeta::new(self.output.array.clone(), meta.shape.clone(), DType::F64);
+            out_meta.labels = meta.labels.clone();
+            out_meta.attrs = meta.attrs.clone();
+            let chunk = Chunk::new(out_meta, region, Buffer::F64(mean))
+                .expect("temporal-mean chunk is consistent");
+            stats.bytes_out += chunk.byte_len() as u64;
+            writer.begin_step();
+            writer.put(chunk);
+            writer.end_step();
+            stats.record_step(step_start.elapsed(), wait, compute);
+        }
+        writer.close();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_mean_ramps_up_then_slides() {
+        let mut m = MovingMean::new(3);
+        assert!(m.is_empty());
+        assert_eq!(m.push(vec![3.0]), vec![3.0]);
+        assert_eq!(m.push(vec![6.0]), vec![4.5]);
+        assert_eq!(m.push(vec![9.0]), vec![6.0]);
+        assert_eq!(m.len(), 3);
+        // Window slides: (6 + 9 + 12) / 3.
+        assert_eq!(m.push(vec![12.0]), vec![9.0]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn moving_mean_is_elementwise() {
+        let mut m = MovingMean::new(2);
+        m.push(vec![1.0, 10.0]);
+        let out = m.push(vec![3.0, 30.0]);
+        assert_eq!(out, vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn window_of_one_is_identity() {
+        let mut m = MovingMean::new(1);
+        assert_eq!(m.push(vec![5.0, 7.0]), vec![5.0, 7.0]);
+        assert_eq!(m.push(vec![1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn length_change_is_rejected() {
+        let mut m = MovingMean::new(2);
+        m.push(vec![1.0]);
+        m.push(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 1")]
+    fn zero_window_rejected() {
+        let _ = TemporalMean::new(("a", "x"), 0, ("b", "y"));
+    }
+}

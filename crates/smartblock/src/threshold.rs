@@ -1,0 +1,245 @@
+//! The Threshold component: filter data points by a predicate.
+//!
+//! Unlike Select (which keeps whole labelled rows), Threshold keeps the
+//! *values* that satisfy a run-time predicate, emitting two aligned 1-d
+//! arrays per step: `values` (the survivors) and `indices` (their linear
+//! positions in the input's global row-major order). The output length
+//! varies per step and is only known after a cross-rank exclusive scan —
+//! a shape-dynamic analytic in the SmartBlock mould.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sb_comm::Communicator;
+use sb_data::decompose::default_partition;
+use sb_data::{Buffer, Chunk, Region, Shape, VariableMeta};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::{Component, StreamArray};
+use crate::metrics::ComponentStats;
+
+/// The comparison a value must satisfy to survive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// `value > threshold`
+    GreaterThan(f64),
+    /// `value < threshold`
+    LessThan(f64),
+    /// `|value| > threshold`
+    AbsGreaterThan(f64),
+}
+
+impl Predicate {
+    /// Parses a launch-script predicate: `gt`, `lt` or `abs-gt`.
+    pub fn parse(mode: &str, threshold: f64) -> Option<Predicate> {
+        Some(match mode {
+            "gt" => Predicate::GreaterThan(threshold),
+            "lt" => Predicate::LessThan(threshold),
+            "abs-gt" => Predicate::AbsGreaterThan(threshold),
+            _ => return None,
+        })
+    }
+
+    /// Whether `v` survives the filter.
+    #[inline]
+    pub fn keep(&self, v: f64) -> bool {
+        match *self {
+            Predicate::GreaterThan(t) => v > t,
+            Predicate::LessThan(t) => v < t,
+            Predicate::AbsGreaterThan(t) => v.abs() > t,
+        }
+    }
+}
+
+/// Filters `values`, returning the survivors and their indices offset by
+/// `base` (the caller's global offset). This is the pure local kernel.
+pub fn threshold_filter(values: &[f64], pred: Predicate, base: u64) -> (Vec<f64>, Vec<u64>) {
+    let mut kept = Vec::new();
+    let mut indices = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        if pred.keep(v) {
+            kept.push(v);
+            indices.push(base + i as u64);
+        }
+    }
+    (kept, indices)
+}
+
+/// The Threshold workflow component.
+#[derive(Debug, Clone)]
+pub struct Threshold {
+    /// Input stream/array names (any rank; filtered in row-major order).
+    pub input: StreamArray,
+    /// The predicate values must satisfy.
+    pub predicate: Predicate,
+    /// Output stream name; arrays are published as `<array>` (values) and
+    /// `<array>_indices`.
+    pub output: StreamArray,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+    /// Reader-group name on the input stream.
+    pub reader_group: String,
+}
+
+impl Threshold {
+    /// Builds a Threshold with the given predicate.
+    pub fn new<I: Into<StreamArray>, O: Into<StreamArray>>(
+        input: I,
+        predicate: Predicate,
+        output: O,
+    ) -> Threshold {
+        Threshold {
+            input: input.into(),
+            predicate,
+            output: output.into(),
+            writer_options: WriterOptions::default(),
+            reader_group: "default".into(),
+        }
+    }
+
+    /// Subscribes under a named reader group (multi-subscriber streams).
+    pub fn with_reader_group(mut self, group: impl Into<String>) -> Threshold {
+        self.reader_group = group.into();
+        self
+    }
+}
+
+impl Component for Threshold {
+    fn label(&self) -> String {
+        "threshold".into()
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        vec![self.input.stream.clone()]
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        vec![(self.input.stream.clone(), self.reader_group.clone())]
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.output.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        // Threshold emits two variables per step (values + indices), so it
+        // runs its own step loop instead of the single-chunk transform
+        // helper.
+        let mut reader =
+            hub.open_reader_grouped(&self.input.stream, &self.reader_group, comm.rank(), comm.size());
+        let mut writer = hub.open_writer(
+            &self.output.stream,
+            comm.rank(),
+            comm.size(),
+            self.writer_options,
+        );
+        let mut stats = ComponentStats::default();
+        loop {
+            let step_start = Instant::now();
+            match reader.begin_step() {
+                sb_stream::StepStatus::EndOfStream => break,
+                sb_stream::StepStatus::Ready(_) => {}
+            }
+            let wait = step_start.elapsed();
+            let meta = reader
+                .meta(&self.input.array)
+                .unwrap_or_else(|| {
+                    panic!("threshold: no array {:?} in stream", self.input.array)
+                })
+                .clone();
+            let region = default_partition(&meta.shape, comm.size(), comm.rank());
+            let var = reader
+                .get(&self.input.array, &region)
+                .unwrap_or_else(|e| panic!("threshold: {e}"));
+            reader.end_step();
+            stats.bytes_in += var.byte_len() as u64;
+
+            let kernel_start = Instant::now();
+            // This rank's rows start at a known global linear offset
+            // because the default partition blocks the slowest dimension;
+            // assert that contract so a future partitioning change fails
+            // loudly instead of mis-indexing.
+            debug_assert!(
+                region.offset().iter().skip(1).all(|&o| o == 0),
+                "threshold: partition must be a leading-dimension slab"
+            );
+            let row_len: usize = meta.shape.sizes().iter().skip(1).product();
+            let base = (region.offset().first().copied().unwrap_or(0) * row_len.max(1)) as u64;
+            let (kept, indices) =
+                threshold_filter(&var.data.into_f64_vec(), self.predicate, base);
+
+            // Agree on global sizes: my offset = exscan of counts, total =
+            // allreduce. (The two communication rounds of a shape-dynamic
+            // component.)
+            let local_n = kept.len() as u64;
+            let my_off = comm.exscan(local_n, |a, b| a + b).unwrap_or(0);
+            let total = comm.allreduce(local_n, |a, b| a + b);
+            let compute = kernel_start.elapsed();
+
+            let values_meta = VariableMeta::new(
+                self.output.array.clone(),
+                Shape::linear("kept", total as usize),
+                sb_data::DType::F64,
+            );
+            let indices_meta = VariableMeta::new(
+                format!("{}_indices", self.output.array),
+                Shape::linear("kept", total as usize),
+                sb_data::DType::U64,
+            );
+            let out_region = Region::new(vec![my_off as usize], vec![local_n as usize]);
+            writer.begin_step();
+            let values_chunk =
+                Chunk::new(values_meta, out_region.clone(), Buffer::F64(kept))
+                    .expect("threshold values chunk is consistent");
+            let indices_chunk = Chunk::new(indices_meta, out_region, Buffer::U64(indices))
+                .expect("threshold indices chunk is consistent");
+            stats.bytes_out += (values_chunk.byte_len() + indices_chunk.byte_len()) as u64;
+            writer.put(values_chunk);
+            writer.put(indices_chunk);
+            writer.end_step();
+            stats.record_step(step_start.elapsed(), wait, compute);
+        }
+        writer.close();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_parsing_and_semantics() {
+        assert_eq!(Predicate::parse("gt", 1.0), Some(Predicate::GreaterThan(1.0)));
+        assert_eq!(Predicate::parse("lt", -2.0), Some(Predicate::LessThan(-2.0)));
+        assert_eq!(
+            Predicate::parse("abs-gt", 0.5),
+            Some(Predicate::AbsGreaterThan(0.5))
+        );
+        assert_eq!(Predicate::parse("eq", 0.0), None);
+
+        assert!(Predicate::GreaterThan(1.0).keep(1.5));
+        assert!(!Predicate::GreaterThan(1.0).keep(1.0));
+        assert!(Predicate::LessThan(0.0).keep(-0.1));
+        assert!(Predicate::AbsGreaterThan(2.0).keep(-3.0));
+        assert!(!Predicate::AbsGreaterThan(2.0).keep(1.5));
+    }
+
+    #[test]
+    fn filter_keeps_values_and_indices_aligned() {
+        let values = [0.5, -3.0, 2.0, 0.0, 4.0];
+        let (kept, idx) = threshold_filter(&values, Predicate::AbsGreaterThan(1.0), 100);
+        assert_eq!(kept, vec![-3.0, 2.0, 4.0]);
+        assert_eq!(idx, vec![101, 102, 104]);
+    }
+
+    #[test]
+    fn filter_can_keep_nothing_or_everything() {
+        let values = [1.0, 2.0];
+        let (kept, idx) = threshold_filter(&values, Predicate::GreaterThan(5.0), 0);
+        assert!(kept.is_empty());
+        assert!(idx.is_empty());
+        let (kept, _) = threshold_filter(&values, Predicate::GreaterThan(0.0), 0);
+        assert_eq!(kept.len(), 2);
+    }
+}

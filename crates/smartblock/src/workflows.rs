@@ -1,0 +1,591 @@
+//! The paper's three workflow presets, the simulation component wrapper,
+//! and script-to-workflow instantiation.
+//!
+//! Figures 5–7 of the paper define the pipelines:
+//!
+//! * **LAMMPS**: sim → Select(vx,vy,vz) → Magnitude → Histogram
+//! * **GTCP**:   sim → Select(P_perp) → Dim-Reduce → Dim-Reduce → Histogram
+//! * **GROMACS**: sim → Magnitude → Histogram
+//!
+//! The presets here build those exact pipelines with configurable process
+//! counts and problem sizes, using the same stream/array names as the
+//! paper's Fig. 8 where it gives them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use sb_comm::Communicator;
+use sb_sims::{drive, GromacsConfig, GromacsSim, GtcpConfig, GtcpSim, LammpsConfig, LammpsSim};
+use sb_stream::{StreamHub, WriterOptions};
+
+use crate::component::Component;
+use crate::histogram::HistogramResult;
+use crate::launch::{parse_script, LaunchEntry, LaunchError, Program, SimCode};
+use crate::metrics::ComponentStats;
+use crate::runtime::Workflow;
+use crate::{
+    AllInOne, AllPairs, Combine, DimReduce, FileRead, FileWrite, Fork, Histogram, Magnitude,
+    Reduce, Select, Stats, TemporalMean, Threshold, Transpose,
+};
+
+/// Boxed components are themselves components, so parsed scripts can feed
+/// [`Workflow::add`] through dynamic dispatch.
+impl Component for Box<dyn Component> {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        (**self).run(comm, hub)
+    }
+
+    fn input_streams(&self) -> Vec<String> {
+        (**self).input_streams()
+    }
+
+    fn input_subscriptions(&self) -> Vec<(String, String)> {
+        (**self).input_subscriptions()
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        (**self).output_streams()
+    }
+}
+
+/// A simulation driver as a workflow component: the "driving scientific
+/// code" slot of every paper workflow.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    /// Which mini code to run.
+    pub code: SimCode,
+    /// `key=value` overrides (`steps`, `interval`, `seed`, size keys).
+    pub params: BTreeMap<String, String>,
+    /// Output stream name.
+    pub stream: String,
+    /// Output buffering policy.
+    pub writer_options: WriterOptions,
+}
+
+impl Simulation {
+    /// A simulation with default parameters on its conventional stream.
+    pub fn new(code: SimCode) -> Simulation {
+        Simulation {
+            code,
+            params: BTreeMap::new(),
+            stream: code.default_stream().to_string(),
+            writer_options: WriterOptions::default(),
+        }
+    }
+
+    /// Sets one `key=value` parameter (builder style).
+    pub fn param(mut self, key: &str, value: impl ToString) -> Simulation {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Overrides the output stream name.
+    pub fn on_stream(mut self, stream: impl Into<String>) -> Simulation {
+        self.stream = stream.into();
+        self
+    }
+
+    /// Overrides the output buffering policy.
+    pub fn with_writer_options(mut self, options: WriterOptions) -> Simulation {
+        self.writer_options = options;
+        self
+    }
+
+    fn get(&self, key: &str, default: usize) -> usize {
+        match self.params.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("simulation parameter {key}={v:?} is not an integer")),
+        }
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> f64 {
+        match self.params.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("simulation parameter {key}={v:?} is not a number")),
+        }
+    }
+}
+
+impl Component for Simulation {
+    fn label(&self) -> String {
+        match self.code {
+            SimCode::Lammps => "lammps".into(),
+            SimCode::Gtcp => "gtcp".into(),
+            SimCode::Gromacs => "gromacs".into(),
+        }
+    }
+
+    fn output_streams(&self) -> Vec<String> {
+        vec![self.stream.clone()]
+    }
+
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+        let io_steps = self.get("steps", 5) as u64;
+        let substeps = self.get("interval", 10) as u64;
+        let mut writer = hub.open_writer(&self.stream, comm.rank(), comm.size(), self.writer_options);
+        let stats = match self.code {
+            SimCode::Lammps => {
+                let defaults = LammpsConfig::default();
+                let cfg = LammpsConfig {
+                    nx: self.get("nx", defaults.nx),
+                    ny: self.get("ny", defaults.ny),
+                    seed: self.get("seed", defaults.seed as usize) as u64,
+                    thermostat: self
+                        .params
+                        .contains_key("thermostat")
+                        .then(|| self.get_f64("thermostat", 0.0)),
+                    ..defaults
+                };
+                let mut sim = LammpsSim::new(cfg, comm.rank(), comm.size());
+                drive(&mut sim, comm, Some(&mut writer), io_steps, substeps)
+            }
+            SimCode::Gtcp => {
+                let defaults = GtcpConfig::default();
+                let cfg = GtcpConfig {
+                    n_slices: self.get("slices", defaults.n_slices),
+                    n_points: self.get("points", defaults.n_points),
+                    seed: self.get("seed", defaults.seed as usize) as u64,
+                    zonal_damping: self.get_f64("zonal", defaults.zonal_damping),
+                    ..defaults
+                };
+                let mut sim = GtcpSim::new(cfg, comm.rank(), comm.size());
+                drive(&mut sim, comm, Some(&mut writer), io_steps, substeps)
+            }
+            SimCode::Gromacs => {
+                let defaults = GromacsConfig::default();
+                let cfg = GromacsConfig {
+                    n_chains: self.get("chains", defaults.n_chains),
+                    chain_len: self.get("len", defaults.chain_len),
+                    seed: self.get("seed", defaults.seed as usize) as u64,
+                    angle_k: self.get_f64("angle", defaults.angle_k),
+                    ..defaults
+                };
+                let mut sim = GromacsSim::new(cfg, comm.rank(), comm.size());
+                drive(&mut sim, comm, Some(&mut writer), io_steps, substeps)
+            }
+        };
+        ComponentStats {
+            steps: stats.io_steps,
+            bytes_in: 0,
+            bytes_out: stats.bytes_output,
+            step_times: Vec::new(),
+            wait_time: stats.io_time,
+            compute_time: stats.compute_time,
+        }
+    }
+}
+
+/// Parses `options` into writer settings (`queue=`, `rendezvous=`,
+/// `groups=`), starting from the default policy.
+fn writer_options_from(options: &BTreeMap<String, String>) -> WriterOptions {
+    let mut w = WriterOptions::default();
+    if let Some(q) = options.get("queue") {
+        w.queue_capacity = q
+            .parse()
+            .unwrap_or_else(|_| panic!("queue={q:?} is not an integer"));
+        assert!(w.queue_capacity >= 1, "queue depth must be at least 1");
+    }
+    if let Some(r) = options.get("rendezvous") {
+        w.rendezvous = r == "1" || r == "true";
+    }
+    if let Some(g) = options.get("groups") {
+        w.expected_reader_groups = g
+            .parse()
+            .unwrap_or_else(|_| panic!("groups={g:?} is not an integer"));
+        assert!(w.expected_reader_groups >= 1, "groups must be at least 1");
+    }
+    w
+}
+
+/// Instantiates one parsed launch entry as a boxed component, applying its
+/// trailing options.
+pub fn instantiate_entry(entry: &LaunchEntry) -> Box<dyn Component> {
+    let opts = &entry.options;
+    let group = opts.get("group").cloned();
+    let wopts = writer_options_from(opts);
+    macro_rules! finish {
+        ($c:expr) => {{
+            let mut c = $c;
+            c.writer_options = wopts;
+            if let Some(g) = group {
+                c.reader_group = g;
+            }
+            Box::new(c)
+        }};
+    }
+    match entry.program.clone() {
+        Program::Select {
+            input,
+            dim_index,
+            output,
+            keep,
+        } => finish!(Select::new(input, dim_index, keep, output)),
+        Program::Magnitude { input, output } => finish!(Magnitude::new(input, output)),
+        Program::DimReduce {
+            input,
+            remove,
+            grow,
+            output,
+        } => finish!(DimReduce::new(input, remove, grow, output)),
+        Program::Stats { input, output } => finish!(Stats::new(input, output)),
+        Program::Reduce {
+            input,
+            dim,
+            op,
+            output,
+        } => finish!(Reduce::new(input, dim, op, output)),
+        Program::Threshold {
+            input,
+            predicate,
+            output,
+        } => finish!(Threshold::new(input, predicate, output)),
+        Program::Transpose { input, perm, output } => {
+            finish!(Transpose::new(input, perm, output))
+        }
+        Program::AllPairs { input, output } => finish!(AllPairs::new(input, output)),
+        Program::TemporalMean {
+            input,
+            window,
+            output,
+        } => finish!(TemporalMean::new(input, window, output)),
+        Program::Histogram {
+            input,
+            num_bins,
+            output_file,
+        } => {
+            let mut h = Histogram::new(input, num_bins);
+            if let Some(path) = output_file {
+                h = h.with_output_file(path);
+            }
+            if let Some(g) = group {
+                h = h.with_reader_group(g);
+            }
+            Box::new(h)
+        }
+        Program::Combine {
+            left,
+            op,
+            right,
+            output,
+        } => {
+            let mut c = Combine::new(left, op, right, output);
+            c.writer_options = wopts;
+            if let Some(g) = group {
+                c.left_group = Some(g);
+            }
+            if let Some(g) = opts.get("rgroup") {
+                c.right_group = Some(g.clone());
+            }
+            Box::new(c)
+        }
+        Program::Fork { input, outputs } => {
+            Box::new(Fork::new(input, outputs).with_writer_options(wopts))
+        }
+        Program::AllInOne {
+            input,
+            num_bins,
+            keep,
+        } => {
+            let mut a = AllInOne::new(input, keep, num_bins);
+            if let Some(g) = group {
+                a.reader_group = g;
+            }
+            Box::new(a)
+        }
+        Program::FileWrite { input, path } => Box::new(FileWrite::new(input, path)),
+        Program::FileRead { path, output } => {
+            let mut f = FileRead::new(path, output);
+            f.writer_options = wopts;
+            Box::new(f)
+        }
+        Program::Simulation {
+            code,
+            params,
+            stdin: _,
+        } => {
+            let mut sim = Simulation::new(code);
+            if let Some(stream) = params.get("stream") {
+                sim.stream = stream.clone();
+            }
+            // Writer-policy params ride along with the physics params.
+            sim.writer_options = writer_options_from(&params);
+            sim.params = params;
+            Box::new(sim)
+        }
+    }
+}
+
+/// Instantiates a bare program with default options.
+pub fn instantiate(program: Program) -> Box<dyn Component> {
+    instantiate_entry(&LaunchEntry {
+        nranks: 1,
+        program,
+        options: BTreeMap::new(),
+    })
+}
+
+/// Parses a launch script and assembles the runnable workflow.
+pub fn script_to_workflow(text: &str) -> Result<Workflow, LaunchError> {
+    let entries = parse_script(text)?;
+    let mut wf = Workflow::new();
+    for entry in entries {
+        let component = instantiate_entry(&entry);
+        wf.add(entry.nranks, component);
+    }
+    Ok(wf)
+}
+
+/// Process counts and problem size of one preset workflow run.
+#[derive(Debug, Clone)]
+pub struct PresetScale {
+    /// Ranks for the driving simulation.
+    pub sim_ranks: usize,
+    /// Ranks for each analysis component, in pipeline order.
+    pub analysis_ranks: Vec<usize>,
+    /// Coarse output steps.
+    pub io_steps: u64,
+    /// Fine substeps per output step.
+    pub substeps: u64,
+    /// Histogram bins.
+    pub bins: usize,
+    /// Simulation size parameters (`nx`, `slices`, `chains`, ...).
+    pub size_params: BTreeMap<String, String>,
+    /// Writer buffering for every stream in the workflow.
+    pub writer_options: WriterOptions,
+    /// Hub wait timeout (bench harnesses shorten it).
+    pub wait_timeout: Duration,
+}
+
+impl Default for PresetScale {
+    fn default() -> Self {
+        PresetScale {
+            sim_ranks: 4,
+            analysis_ranks: vec![2, 2, 1],
+            io_steps: 4,
+            substeps: 5,
+            bins: 16,
+            size_params: BTreeMap::new(),
+            writer_options: WriterOptions::default(),
+            wait_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+impl PresetScale {
+    /// Sets a simulation size parameter.
+    pub fn size(mut self, key: &str, value: usize) -> PresetScale {
+        self.size_params.insert(key.into(), value.to_string());
+        self
+    }
+
+    fn rank(&self, i: usize) -> usize {
+        self.analysis_ranks.get(i).copied().unwrap_or(1).max(1)
+    }
+
+    fn simulation(&self, code: SimCode) -> Simulation {
+        let mut sim = Simulation::new(code)
+            .param("steps", self.io_steps)
+            .param("interval", self.substeps)
+            .with_writer_options(self.writer_options);
+        for (k, v) in &self.size_params {
+            sim = sim.param(k, v.clone());
+        }
+        sim
+    }
+}
+
+/// Fig. 5: LAMMPS → Select(vx,vy,vz) → Magnitude → Histogram, using the
+/// paper's Fig. 8 stream names. Returns the workflow and a handle to the
+/// per-step histograms.
+pub fn lammps_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
+    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    let mut wf = Workflow::with_hub(hub);
+    wf.add(scale.sim_ranks, scale.simulation(SimCode::Lammps));
+    wf.add(
+        scale.rank(0),
+        Select::new(
+            ("dump.custom.fp", "atoms"),
+            1,
+            ["vx", "vy", "vz"],
+            ("lmpselect.fp", "lmpsel"),
+        )
+        .with_writer_options(scale.writer_options),
+    );
+    wf.add(
+        scale.rank(1),
+        Magnitude::new(("lmpselect.fp", "lmpsel"), ("velos.fp", "velocities"))
+            .with_writer_options(scale.writer_options),
+    );
+    let hist = Histogram::new(("velos.fp", "velocities"), scale.bins);
+    let results = hist.results_handle();
+    wf.add(scale.rank(2), hist);
+    (wf, results)
+}
+
+/// §V-C: the same LAMMPS run analyzed by the fused all-in-one component.
+pub fn lammps_aio_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
+    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    let mut wf = Workflow::with_hub(hub);
+    wf.add(scale.sim_ranks, scale.simulation(SimCode::Lammps));
+    let aio = AllInOne::new(("dump.custom.fp", "atoms"), ["vx", "vy", "vz"], scale.bins);
+    let results = aio.results_handle();
+    wf.add(scale.rank(0), aio);
+    (wf, results)
+}
+
+/// The Table II third column: the simulation alone, output routines removed.
+pub fn lammps_sim_only(scale: &PresetScale) -> SimOnly {
+    SimOnly {
+        scale: scale.clone(),
+    }
+}
+
+/// A runnable simulation-only baseline (not a workflow: no streams at all).
+#[derive(Debug, Clone)]
+pub struct SimOnly {
+    scale: PresetScale,
+}
+
+impl SimOnly {
+    /// Runs the bare simulation and returns its wall-clock time.
+    pub fn run(&self) -> sb_comm::CommResult<Duration> {
+        let scale = self.scale.clone();
+        let start = std::time::Instant::now();
+        let nx = scale
+            .size_params
+            .get("nx")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40);
+        let ny = scale
+            .size_params
+            .get("ny")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40);
+        sb_comm::launch_named("lammps-only", scale.sim_ranks, move |comm| {
+            let cfg = LammpsConfig {
+                nx,
+                ny,
+                ..LammpsConfig::default()
+            };
+            let mut sim = LammpsSim::new(cfg, comm.rank(), comm.size());
+            drive(&mut sim, &comm, None, scale.io_steps, scale.substeps)
+        })?;
+        Ok(start.elapsed())
+    }
+}
+
+/// Fig. 6: GTCP → Select(P_perp) → Dim-Reduce → Dim-Reduce → Histogram.
+pub fn gtcp_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
+    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    let mut wf = Workflow::with_hub(hub);
+    wf.add(scale.sim_ranks, scale.simulation(SimCode::Gtcp));
+    wf.add(
+        scale.rank(0),
+        Select::new(("gtcp.fp", "plasma"), 2, ["P_perp"], ("psel.fp", "pperp"))
+            .with_writer_options(scale.writer_options),
+    );
+    wf.add(
+        scale.rank(1),
+        DimReduce::new(("psel.fp", "pperp"), 2, 1, ("dr1.fp", "flat2"))
+            .with_writer_options(scale.writer_options),
+    );
+    wf.add(
+        scale.rank(2),
+        DimReduce::new(("dr1.fp", "flat2"), 0, 1, ("dr2.fp", "flat1"))
+            .with_writer_options(scale.writer_options),
+    );
+    let hist = Histogram::new(("dr2.fp", "flat1"), scale.bins);
+    let results = hist.results_handle();
+    wf.add(scale.rank(3), hist);
+    (wf, results)
+}
+
+/// Fig. 7: GROMACS → Magnitude → Histogram (spread of the atoms).
+pub fn gromacs_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
+    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    let mut wf = Workflow::with_hub(hub);
+    wf.add(scale.sim_ranks, scale.simulation(SimCode::Gromacs));
+    wf.add(
+        scale.rank(0),
+        Magnitude::new(("gromacs.fp", "coords"), ("gmag.fp", "radii"))
+            .with_writer_options(scale.writer_options),
+    );
+    let hist = Histogram::new(("gmag.fp", "radii"), scale.bins);
+    let results = hist.results_handle();
+    wf.add(scale.rank(1), hist);
+    (wf, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_scale_defaults_are_sane() {
+        let s = PresetScale::default();
+        assert_eq!(s.rank(0), 2);
+        assert_eq!(s.rank(7), 1); // out of range -> 1
+        let sized = s.size("nx", 24);
+        assert_eq!(sized.size_params["nx"], "24");
+    }
+
+    #[test]
+    fn simulation_builder() {
+        let sim = Simulation::new(SimCode::Gtcp)
+            .param("slices", 8)
+            .on_stream("custom.fp");
+        assert_eq!(sim.stream, "custom.fp");
+        assert_eq!(sim.get("slices", 1), 8);
+        assert_eq!(sim.get("missing", 3), 3);
+        assert_eq!(sim.label(), "gtcp");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an integer")]
+    fn bad_simulation_param_panics() {
+        let sim = Simulation::new(SimCode::Lammps).param("nx", "forty");
+        let _ = sim.get("nx", 40);
+    }
+
+    #[test]
+    fn workflow_presets_have_expected_shapes() {
+        let scale = PresetScale::default();
+        let (wf, _) = lammps_workflow(&scale);
+        assert_eq!(wf.labels(), vec!["lammps", "select", "magnitude", "histogram"]);
+        let scale = PresetScale {
+            analysis_ranks: vec![2, 2, 2, 1],
+            ..PresetScale::default()
+        };
+        let (wf, _) = gtcp_workflow(&scale);
+        assert_eq!(
+            wf.labels(),
+            vec!["gtcp", "select", "dim-reduce", "dim-reduce-2", "histogram"]
+        );
+        let (wf, _) = gromacs_workflow(&PresetScale::default());
+        assert_eq!(wf.labels(), vec!["gromacs", "magnitude", "histogram"]);
+        let (wf, _) = lammps_aio_workflow(&PresetScale::default());
+        assert_eq!(wf.labels(), vec!["lammps", "all-in-one"]);
+    }
+
+    #[test]
+    fn script_round_trip_builds_components() {
+        let script = r#"
+            aprun -n 2 gromacs chains=4 len=4 steps=2 &
+            aprun -n 2 magnitude gromacs.fp coords m.fp r &
+            aprun -n 1 histogram m.fp r 4 &
+            wait
+        "#;
+        let wf = script_to_workflow(script).unwrap();
+        assert_eq!(wf.labels(), vec!["gromacs", "magnitude", "histogram"]);
+    }
+}

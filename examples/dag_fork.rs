@@ -1,0 +1,54 @@
+//! A DAG-shaped workflow via the Fork component (paper §VI future work).
+//!
+//! One GROMACS coordinate stream fans out to two independent analysis
+//! branches:
+//!
+//! ```text
+//!                    ┌─> magnitude ─> histogram   (spread of the atoms)
+//! gromacs ─> fork ───┤
+//!                    └─> stats                    (min/max/mean/std of x,y,z)
+//! ```
+//!
+//! Run with: `cargo run --release -p sb-examples --bin dag_fork`
+
+use sb_examples::render_histogram;
+use smartblock::prelude::*;
+use smartblock::workflows::Simulation;
+use smartblock::launch::SimCode;
+
+fn main() {
+    let mut wf = Workflow::new();
+    wf.add(
+        2,
+        Simulation::new(SimCode::Gromacs)
+            .param("chains", 24)
+            .param("len", 12)
+            .param("steps", 4)
+            .param("interval", 25),
+    );
+    wf.add(2, Fork::new("gromacs.fp", ["branch-a.fp", "branch-b.fp"]));
+
+    // Branch A: the paper's spread histogram.
+    wf.add(2, Magnitude::new(("branch-a.fp", "coords"), ("radii.fp", "r")));
+    let hist = Histogram::new(("radii.fp", "r"), 12);
+    let hist_results = hist.results_handle();
+    wf.add(1, hist);
+
+    // Branch B: summary statistics straight off the coordinates.
+    wf.add(2, Stats::new(("branch-b.fp", "coords"), ("summary.fp", "s")));
+    wf.add_sink("print-stats", 1, "summary.fp", |step, vars| {
+        if let Some((min, max, mean, std, count)) =
+            smartblock::stats::parse_stats_output(&vars["s"])
+        {
+            println!(
+                "stats step {step}: count={count} min={min:.3} max={max:.3} mean={mean:.3} std={std:.3}"
+            );
+        }
+    });
+
+    let report = wf.run().expect("workflow run");
+    if let Some(last) = hist_results.lock().last() {
+        println!("\n{}", render_histogram("spread (branch A)", last));
+    }
+    println!("DAG ran {} components in {:.3}s", report.components.len(), report.elapsed.as_secs_f64());
+}

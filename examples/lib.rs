@@ -1,0 +1,45 @@
+//! Shared helpers for the SmartBlock example binaries.
+//!
+//! Each example is a standalone binary (see `Cargo.toml` `[[bin]]`
+//! entries); this small library keeps their output formatting consistent.
+
+use smartblock::HistogramResult;
+
+/// Renders a histogram as an ASCII bar chart, the way the paper's endpoint
+/// component presents "a human-readable reduction of data".
+pub fn render_histogram(title: &str, r: &HistogramResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title} — step {}: {} values in [{:.4}, {:.4}]\n",
+        r.step,
+        r.total(),
+        r.min,
+        r.max
+    ));
+    let peak = r.counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in r.counts.iter().enumerate() {
+        let (lo, hi) = r.bin_range(i);
+        let bar = "#".repeat((c * 50 / peak) as usize);
+        out.push_str(&format!("  [{lo:>9.4}, {hi:>9.4})  {c:>7}  {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let r = HistogramResult {
+            step: 2,
+            min: 0.0,
+            max: 4.0,
+            counts: vec![1, 4, 2, 0],
+        };
+        let s = render_histogram("demo", &r);
+        assert!(s.contains("step 2: 7 values"));
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("##################################################"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared helpers for the cross-crate integration tests: serial reference
+//! computations the workflow outputs are checked against.
+
+use sb_comm::launch;
+use sb_sims::driver::SimRank;
+use sb_sims::{GtcpConfig, GtcpSim, LammpsConfig, LammpsSim};
+use smartblock::histogram::bin_counts;
+use smartblock::HistogramResult;
+
+/// Reference histogram of a value set: global min/max then equal-width
+/// bins, exactly the Histogram component's contract.
+pub fn reference_histogram(step: u64, values: &[f64], bins: usize) -> HistogramResult {
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    HistogramResult {
+        step,
+        min,
+        max,
+        counts: bin_counts(values, min, max, bins),
+    }
+}
+
+/// Runs the mini-LAMMPS crack serially and returns, per coarse step, the
+/// velocity magnitudes of every particle — the quantity the paper's LAMMPS
+/// workflow histograms.
+pub fn serial_lammps_magnitudes(
+    cfg: LammpsConfig,
+    io_steps: u64,
+    substeps: u64,
+) -> Vec<Vec<f64>> {
+    launch(1, move |comm| {
+        let mut sim = LammpsSim::new(cfg.clone(), 0, 1);
+        let mut out = Vec::new();
+        for _ in 0..io_steps {
+            for _ in 0..substeps {
+                sim.substep(&comm);
+            }
+            out.push(
+                sim.velocities()
+                    .iter()
+                    .map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt())
+                    .collect(),
+            );
+        }
+        out
+    })
+    .unwrap()
+    .remove(0)
+}
+
+/// Runs the mini-GTCP serially and returns, per coarse step, the
+/// perpendicular pressure at every grid point of the torus.
+pub fn serial_gtcp_pperp(cfg: GtcpConfig, io_steps: u64, substeps: u64) -> Vec<Vec<f64>> {
+    launch(1, move |comm| {
+        let mut sim = GtcpSim::new(cfg.clone(), 0, 1);
+        let mut out = Vec::new();
+        for _ in 0..io_steps {
+            for _ in 0..substeps {
+                sim.substep(&comm);
+            }
+            let chunk = sim.output_chunk();
+            let nprops = sb_sims::gtcp::GTCP_PROPERTIES.len();
+            let pperp: Vec<f64> = (0..chunk.data.len() / nprops)
+                .map(|cell| chunk.data.get_f64(cell * nprops + sb_sims::gtcp::P_PERP_INDEX))
+                .collect();
+            out.push(pperp);
+        }
+        out
+    })
+    .unwrap()
+    .remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_histogram_bins_everything() {
+        let r = reference_histogram(3, &[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(r.step, 3);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.min, 0.0);
+        assert_eq!(r.max, 3.0);
+    }
+
+    #[test]
+    fn serial_runners_produce_per_step_values() {
+        let mags = serial_lammps_magnitudes(
+            LammpsConfig {
+                nx: 8,
+                ny: 8,
+                ..LammpsConfig::default()
+            },
+            2,
+            3,
+        );
+        assert_eq!(mags.len(), 2);
+        assert!(!mags[0].is_empty());
+
+        let pperp = serial_gtcp_pperp(
+            GtcpConfig {
+                n_slices: 4,
+                n_points: 8,
+                ..GtcpConfig::default()
+            },
+            2,
+            3,
+        );
+        assert_eq!(pperp.len(), 2);
+        assert_eq!(pperp[0].len(), 32);
+    }
+}

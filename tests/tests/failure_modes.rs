@@ -1,0 +1,237 @@
+//! Failure-path behaviour: mis-wired workflows, contract violations and
+//! group mismatches must fail *loudly and diagnosably*, never hang or
+//! corrupt — the moral equivalent of MPI's abort-on-error discipline.
+
+use std::time::Duration;
+
+use sb_data::{Buffer, Shape, Variable};
+use sb_stream::{StreamHub, WriterOptions};
+use smartblock::prelude::*;
+
+fn tiny_source(step: u64) -> Variable {
+    Variable::new("x", Shape::linear("n", 4), Buffer::F64(vec![step as f64; 4])).unwrap()
+}
+
+/// A workflow whose sink asks for a variable that never exists: the
+/// component panics with the array name, and the workflow surfaces it.
+#[test]
+fn missing_array_is_a_diagnosable_error() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(300));
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen", 1, "v.fp", |step| (step < 1).then(|| tiny_source(step)));
+    wf.add(1, Magnitude::new(("v.fp", "wrong_name"), ("m.fp", "y")));
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("panicked"), "{err}");
+}
+
+/// Magnitude on 1-d input violates its 2-d contract.
+#[test]
+fn wrong_rank_input_is_rejected() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(300));
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen", 1, "v.fp", |step| (step < 1).then(|| tiny_source(step)));
+    wf.add(1, Magnitude::new(("v.fp", "x"), ("m.fp", "y")));
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("panicked"), "{err}");
+}
+
+/// Select with a quantity name the header does not contain.
+#[test]
+fn unknown_label_is_rejected() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(300));
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen", 1, "v.fp", |step| {
+        (step < 1).then(|| {
+            Variable::new(
+                "atoms",
+                Shape::of(&[("n", 2), ("p", 2)]),
+                Buffer::F64(vec![0.0; 4]),
+            )
+            .unwrap()
+            .with_labels(1, &["a", "b"])
+            .unwrap()
+        })
+    });
+    wf.add(1, Select::new(("v.fp", "atoms"), 1, ["nonexistent"], ("s.fp", "y")));
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("panicked"), "{err}");
+}
+
+/// Ranks of one writer group must agree on the group size.
+#[test]
+fn writer_group_size_disagreement_panics() {
+    let hub = StreamHub::new();
+    let _w1 = hub.open_writer("s.fp", 0, 2, WriterOptions::default());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _w2 = hub.open_writer("s.fp", 0, 3, WriterOptions::default());
+    }));
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("disagree on group size"), "{msg}");
+}
+
+/// Ranks of one writer group must agree on buffering policy.
+#[test]
+fn writer_options_disagreement_panics() {
+    let hub = StreamHub::new();
+    let _w1 = hub.open_writer("s.fp", 0, 2, WriterOptions::buffered(2));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _w2 = hub.open_writer("s.fp", 1, 2, WriterOptions::rendezvous());
+    }));
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("disagree on options"), "{msg}");
+}
+
+/// Ranks of one reader group must agree on the group size; distinct groups
+/// may differ.
+#[test]
+fn reader_group_size_disagreement_panics() {
+    let hub = StreamHub::new();
+    let _r1 = hub.open_reader_grouped("s.fp", "g", 0, 2);
+    let _other = hub.open_reader_grouped("s.fp", "h", 0, 5); // fine: new group
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _r2 = hub.open_reader_grouped("s.fp", "g", 1, 3);
+    }));
+    let msg = *result.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("disagree on group size"), "{msg}");
+}
+
+/// Step protocol misuse on the writer side.
+#[test]
+fn writer_protocol_misuse_panics() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("s.fp", 0, 1, WriterOptions::default());
+    // put outside a step
+    let var = tiny_source(0);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.put_whole(var);
+    }));
+    assert!(r.is_err());
+    // double begin
+    w.begin_step();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.begin_step();
+    }));
+    assert!(r.is_err());
+}
+
+/// Step protocol misuse on the reader side.
+#[test]
+fn reader_protocol_misuse_panics() {
+    let hub = StreamHub::new();
+    let mut r = hub.open_reader("s.fp", 0, 1);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        r.end_step(); // without begin
+    }));
+    assert!(res.is_err());
+}
+
+/// A chunk whose region exceeds the declared global shape is rejected at
+/// construction, before it can corrupt a stream.
+#[test]
+fn oversized_chunk_is_rejected_at_construction() {
+    let meta = sb_data::VariableMeta::new("x", Shape::linear("n", 4), sb_data::DType::F64);
+    let bad = sb_data::Chunk::new(
+        meta,
+        sb_data::Region::new(vec![2], vec![3]),
+        Buffer::F64(vec![0.0; 3]),
+    );
+    assert!(bad.is_err());
+}
+
+/// Writer chunks that overlap produce a coverage error on read, not silent
+/// double-counting.
+#[test]
+fn overlapping_writer_chunks_fail_the_read() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("s.fp", 0, 1, WriterOptions::default());
+    let meta = sb_data::VariableMeta::new("x", Shape::linear("n", 4), sb_data::DType::F64);
+    w.begin_step();
+    w.put(
+        sb_data::Chunk::new(
+            meta.clone(),
+            sb_data::Region::new(vec![0], vec![3]),
+            Buffer::F64(vec![1.0; 3]),
+        )
+        .unwrap(),
+    );
+    w.put(
+        sb_data::Chunk::new(
+            meta,
+            sb_data::Region::new(vec![2], vec![2]),
+            Buffer::F64(vec![2.0; 2]),
+        )
+        .unwrap(),
+    );
+    w.end_step();
+    let mut r = hub.open_reader("s.fp", 0, 1);
+    r.begin_step();
+    let err = r.get_whole("x").unwrap_err().to_string();
+    assert!(err.contains("overlap"), "{err}");
+    r.end_step();
+    w.close();
+}
+
+/// Writer chunks whose overlap exactly compensates a hole (sum of
+/// coverage equals the box size) must still be rejected.
+#[test]
+fn compensating_overlap_and_hole_is_rejected() {
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("s.fp", 0, 1, WriterOptions::default());
+    let meta = sb_data::VariableMeta::new("x", Shape::linear("n", 4), sb_data::DType::F64);
+    w.begin_step();
+    // Chunks [0..2) and [1..3): 2 + 2 = 4 elements covered, but element 3
+    // is a hole and element 1 is written twice.
+    w.put(
+        sb_data::Chunk::new(
+            meta.clone(),
+            sb_data::Region::new(vec![0], vec![2]),
+            Buffer::F64(vec![1.0; 2]),
+        )
+        .unwrap(),
+    );
+    w.put(
+        sb_data::Chunk::new(
+            meta,
+            sb_data::Region::new(vec![1], vec![2]),
+            Buffer::F64(vec![2.0; 2]),
+        )
+        .unwrap(),
+    );
+    w.end_step();
+    let mut r = hub.open_reader("s.fp", 0, 1);
+    r.begin_step();
+    let err = r.get_whole("x").unwrap_err().to_string();
+    assert!(err.contains("overlap"), "{err}");
+    r.end_step();
+    w.close();
+}
+
+/// Combine rejects shape-mismatched inputs loudly.
+#[test]
+fn combine_shape_mismatch_panics() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(500));
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen-a", 1, "a.fp", |step| (step < 1).then(|| tiny_source(step)));
+    wf.add_source("gen-b", 1, "b.fp", |step| {
+        (step < 1).then(|| {
+            Variable::new("x", Shape::linear("n", 7), Buffer::F64(vec![0.0; 7])).unwrap()
+        })
+    });
+    wf.add(1, Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("c.fp", "y")));
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("panicked"), "{err}");
+}
+
+/// A reader on a stream nobody ever writes times out with a diagnostic
+/// that names the stream.
+#[test]
+fn dangling_reader_times_out_with_stream_name() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(150));
+    let mut r = hub.open_reader("never-written.fp", 0, 1);
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = r.begin_step();
+    }));
+    let msg = *res.unwrap_err().downcast::<String>().unwrap();
+    assert!(msg.contains("never-written.fp"), "{msg}");
+    assert!(msg.contains("timed out"), "{msg}");
+}
