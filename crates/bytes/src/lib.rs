@@ -1,0 +1,191 @@
+//! A minimal, API-compatible stand-in for the `bytes` crate, so the
+//! workspace builds without network access.
+//!
+//! Provides exactly the cursor surface `sb-data`'s binary container format
+//! uses: the [`Buf`] trait on `&[u8]` (little-endian integer getters,
+//! `remaining`, `advance`, `copy_to_bytes`), the [`BufMut`] trait on
+//! `Vec<u8>` (little-endian putters, `put_slice`), and an owned [`Bytes`]
+//! buffer returned by `copy_to_bytes`.
+
+/// An owned byte buffer, as returned by [`Buf::copy_to_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte source. Little-endian getters consume from the
+/// front and panic when fewer than the needed bytes remain (callers check
+/// `remaining()` first, mirroring the real crate's contract).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Consumes `len` bytes into an owned buffer.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_bytes(1).as_ref()[0]
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let b = self.copy_to_bytes(2);
+        u16::from_le_bytes(b.as_ref().try_into().expect("2 bytes"))
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_le_bytes(b.as_ref().try_into().expect("4 bytes"))
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_to_bytes(8);
+        u64::from_le_bytes(b.as_ref().try_into().expect("8 bytes"))
+    }
+
+    /// Consumes a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "copy_to_bytes past end of slice");
+        let out = Bytes {
+            data: self[..len].to_vec(),
+        };
+        *self = &self[len..];
+        out
+    }
+}
+
+/// Write cursor appending to a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"tail");
+
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), 1 + 2 + 4 + 8 + 4);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur.copy_to_bytes(4).to_vec(), b"tail");
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.get_u8(), 3);
+        assert_eq!(cur.remaining(), 1);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_f64_le(std::f64::consts::PI);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.get_f64_le(), std::f64::consts::PI);
+    }
+}

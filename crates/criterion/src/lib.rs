@@ -1,0 +1,284 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate, so the
+//! `sb-bench` benchmark targets build and run without network access.
+//!
+//! Behavioural contract: each registered benchmark closure is timed over a
+//! handful of iterations and one summary line is printed per benchmark —
+//! enough to smoke-test the bench harnesses and get rough numbers, with
+//! none of the statistical machinery of the real crate. Timing knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`) are accepted and
+//! used to bound how many iterations run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declares what one iteration of a benchmark processes, for derived
+/// throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    budget: Duration,
+    result: &'a mut Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over up to `sample_size` iterations (stopping early
+    /// once the measurement-time budget is spent) and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..self.samples.max(1) {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        *self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in does not warm up.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.settings.sample_size,
+            budget: self.settings.measurement_time,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), result);
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.settings.sample_size,
+            budget: self.settings.measurement_time,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<(Duration, u64)>) {
+        let Some((elapsed, iters)) = result else {
+            println!("{}/{id}: no measurement", self.name);
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+                format!("  {:.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.3} ms/iter over {iters} iters{rate}",
+            self.name,
+            per_iter * 1e3
+        );
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = demo_group;
+        config = Criterion::default().sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("8x2").to_string(), "8x2");
+    }
+}

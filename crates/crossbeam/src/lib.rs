@@ -1,0 +1,49 @@
+//! A minimal, API-compatible stand-in for the `crossbeam` crate, layered
+//! over `std::sync::mpsc`, so the workspace builds without network access.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided —
+//! the exact surface `sb-comm`'s point-to-point mesh uses. `std`'s mpsc
+//! channel has matching semantics for that use: unbounded FIFO, cloneable
+//! senders, `recv` erroring once every sender is dropped.
+
+pub mod channel {
+    //! Multi-producer channels with the `crossbeam-channel` API shape.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(5).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err(), "drained channel is empty");
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let (tx, rx) = channel::unbounded();
+        let t = std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        t.join().unwrap();
+    }
+}

@@ -103,7 +103,16 @@ fn bench_mxn(c: &mut Criterion) {
             BenchmarkId::new("writers_x_readers", format!("{m}x{r}")),
             &(m, r),
             |b, &(m, r)| {
-                b.iter(|| pump(m, r, n, WriterOptions::default(), Duration::ZERO, Duration::ZERO));
+                b.iter(|| {
+                    pump(
+                        m,
+                        r,
+                        n,
+                        WriterOptions::default(),
+                        Duration::ZERO,
+                        Duration::ZERO,
+                    )
+                });
             },
         );
     }

@@ -49,7 +49,10 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["Magnitude procs", "Size per proc (MB)", "Timestep (s)"], &rows)
+        format_table(
+            &["Magnitude procs", "Size per proc (MB)", "Timestep (s)"],
+            &rows
+        )
     );
     println!(
         "(paper: linear scaling then a turning point and flattening; with ranks\n\

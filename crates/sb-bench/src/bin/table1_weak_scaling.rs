@@ -16,14 +16,66 @@ fn main() {
     // Paper proc counts divided by ~32, with the same shape: the sim
     // dominates, Select > Dim-Reduce > Histogram.
     let runs = vec![
-        GtcpWeakRun { run: 1, sim_procs: 2,  select_procs: 1, dim_reduce_procs: 1, histo_procs: 1, slices: 16,  points: 128, io_steps: 5, substeps: 10 },
-        GtcpWeakRun { run: 2, sim_procs: 3,  select_procs: 1, dim_reduce_procs: 1, histo_procs: 1, slices: 24,  points: 128, io_steps: 5, substeps: 10 },
-        GtcpWeakRun { run: 3, sim_procs: 5,  select_procs: 1, dim_reduce_procs: 1, histo_procs: 1, slices: 40,  points: 128, io_steps: 5, substeps: 10 },
-        GtcpWeakRun { run: 4, sim_procs: 7,  select_procs: 1, dim_reduce_procs: 1, histo_procs: 1, slices: 56,  points: 128, io_steps: 5, substeps: 10 },
-        GtcpWeakRun { run: 5, sim_procs: 12, select_procs: 4, dim_reduce_procs: 3, histo_procs: 1, slices: 96,  points: 128, io_steps: 5, substeps: 10 },
+        GtcpWeakRun {
+            run: 1,
+            sim_procs: 2,
+            select_procs: 1,
+            dim_reduce_procs: 1,
+            histo_procs: 1,
+            slices: 16,
+            points: 128,
+            io_steps: 5,
+            substeps: 10,
+        },
+        GtcpWeakRun {
+            run: 2,
+            sim_procs: 3,
+            select_procs: 1,
+            dim_reduce_procs: 1,
+            histo_procs: 1,
+            slices: 24,
+            points: 128,
+            io_steps: 5,
+            substeps: 10,
+        },
+        GtcpWeakRun {
+            run: 3,
+            sim_procs: 5,
+            select_procs: 1,
+            dim_reduce_procs: 1,
+            histo_procs: 1,
+            slices: 40,
+            points: 128,
+            io_steps: 5,
+            substeps: 10,
+        },
+        GtcpWeakRun {
+            run: 4,
+            sim_procs: 7,
+            select_procs: 1,
+            dim_reduce_procs: 1,
+            histo_procs: 1,
+            slices: 56,
+            points: 128,
+            io_steps: 5,
+            substeps: 10,
+        },
+        GtcpWeakRun {
+            run: 5,
+            sim_procs: 12,
+            select_procs: 4,
+            dim_reduce_procs: 3,
+            histo_procs: 1,
+            slices: 96,
+            points: 128,
+            io_steps: 5,
+            substeps: 10,
+        },
     ];
 
-    println!("== Table I: GTCP-SmartBlock weak-scaling experiment setup and end-to-end results ==\n");
+    println!(
+        "== Table I: GTCP-SmartBlock weak-scaling experiment setup and end-to-end results ==\n"
+    );
     let mut rows = Vec::new();
     let mut fig9 = Vec::new();
     for config in &runs {

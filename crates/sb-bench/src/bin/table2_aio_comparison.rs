@@ -18,11 +18,46 @@ fn main() {
     // per-process data. Scaled to thread-ranks: particles = nx^2 grow 4x
     // per step (nx doubles), sim procs grow 4x.
     let scales = vec![
-        AioScale { label_mb: 20.0,   sim_procs: 1,  analysis_procs: 1, nx: 32,  io_steps: 4, substeps: 8 },
-        AioScale { label_mb: 80.0,   sim_procs: 2,  analysis_procs: 1, nx: 64,  io_steps: 4, substeps: 8 },
-        AioScale { label_mb: 320.0,  sim_procs: 4,  analysis_procs: 2, nx: 128, io_steps: 4, substeps: 8 },
-        AioScale { label_mb: 1280.0, sim_procs: 8,  analysis_procs: 2, nx: 256, io_steps: 4, substeps: 8 },
-        AioScale { label_mb: 5120.0, sim_procs: 16, analysis_procs: 4, nx: 512, io_steps: 4, substeps: 8 },
+        AioScale {
+            label_mb: 20.0,
+            sim_procs: 1,
+            analysis_procs: 1,
+            nx: 32,
+            io_steps: 4,
+            substeps: 8,
+        },
+        AioScale {
+            label_mb: 80.0,
+            sim_procs: 2,
+            analysis_procs: 1,
+            nx: 64,
+            io_steps: 4,
+            substeps: 8,
+        },
+        AioScale {
+            label_mb: 320.0,
+            sim_procs: 4,
+            analysis_procs: 2,
+            nx: 128,
+            io_steps: 4,
+            substeps: 8,
+        },
+        AioScale {
+            label_mb: 1280.0,
+            sim_procs: 8,
+            analysis_procs: 2,
+            nx: 256,
+            io_steps: 4,
+            substeps: 8,
+        },
+        AioScale {
+            label_mb: 5120.0,
+            sim_procs: 16,
+            analysis_procs: 4,
+            nx: 512,
+            io_steps: 4,
+            substeps: 8,
+        },
     ];
 
     println!("== Table II: LAMMPS — SmartBlock vs. all-in-one comparison ==\n");

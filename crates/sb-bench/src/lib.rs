@@ -240,7 +240,11 @@ pub struct StrongScalingPoint {
 
 /// Runs the GROMACS workflow once and measures Magnitude's per-timestep
 /// completion time with `magnitude_procs` ranks over `atoms` atoms.
-pub fn run_gromacs_strong(atoms: usize, magnitude_procs: usize, io_steps: u64) -> StrongScalingPoint {
+pub fn run_gromacs_strong(
+    atoms: usize,
+    magnitude_procs: usize,
+    io_steps: u64,
+) -> StrongScalingPoint {
     let chains = atoms.div_ceil(16).max(magnitude_procs);
     let scale = PresetScale {
         sim_ranks: 2,

@@ -368,7 +368,10 @@ impl Communicator {
         let out = self.collective::<Vec<Vec<T>>, _>(Box::new(values), |inputs| {
             inputs
                 .into_iter()
-                .map(|b| *b.downcast::<Vec<T>>().expect("alltoall payload type mismatch"))
+                .map(|b| {
+                    *b.downcast::<Vec<T>>()
+                        .expect("alltoall payload type mismatch")
+                })
                 .collect()
         });
         out.iter().map(|row| row[rank].clone()).collect()
@@ -459,12 +462,9 @@ impl Communicator {
     pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<T> {
         assert!(src < self.size, "recv source {src} out of range");
         let packet = self.endpoint.try_recv(src, tag)?;
-        Some(
-            *packet
-                .payload
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("try_recv: payload type mismatch from rank {src} tag {tag}")),
-        )
+        Some(*packet.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("try_recv: payload type mismatch from rank {src} tag {tag}")
+        }))
     }
 
     /// Blocks for the next message carrying `tag` from *any* rank; returns
@@ -474,10 +474,9 @@ impl Communicator {
         let src = packet.src;
         (
             src,
-            *packet
-                .payload
-                .downcast::<T>()
-                .unwrap_or_else(|_| panic!("recv_any: payload type mismatch from rank {src} tag {tag}")),
+            *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+                panic!("recv_any: payload type mismatch from rank {src} tag {tag}")
+            }),
         )
     }
 }
@@ -509,7 +508,6 @@ mod tests {
     #[test]
     fn broadcast_reaches_every_rank() {
         let got = launch(5, |comm| {
-            
             if comm.rank() == 2 {
                 comm.broadcast(2, Some(vec![9u32, 8, 7]))
             } else {
@@ -525,8 +523,10 @@ mod tests {
     #[test]
     fn allreduce_sum_matches_serial_fold() {
         for n in [1usize, 2, 3, 7, 16] {
-            let out = launch(n, |comm| comm.allreduce((comm.rank() + 1) as u64, |a, b| a + b))
-                .unwrap();
+            let out = launch(n, |comm| {
+                comm.allreduce((comm.rank() + 1) as u64, |a, b| a + b)
+            })
+            .unwrap();
             let expect: u64 = (1..=n as u64).sum();
             assert!(out.iter().all(|&v| v == expect), "n={n}");
         }
@@ -682,8 +682,8 @@ mod tests {
                 assert!(comm.try_recv::<u32>(1, 5).is_none());
                 comm.barrier(); // let rank 1 send
                 comm.barrier(); // ensure delivery ordering via rendezvous
-                // After both barriers the message is in flight or arrived;
-                // recv (blocking) must find it.
+                                // After both barriers the message is in flight or arrived;
+                                // recv (blocking) must find it.
                 let v: u32 = comm.recv(1, 5);
                 assert_eq!(v, 77);
             } else {
@@ -759,7 +759,7 @@ mod tests {
             comm.barrier();
             let s = comm.allreduce(41, |a, b| a + b);
             let g = comm.allgather(s);
-            
+
             comm.broadcast(0, Some(g[0] + 1))
         })
         .unwrap();

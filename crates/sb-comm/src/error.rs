@@ -24,6 +24,13 @@ pub enum CommError {
         /// The rank whose message was awaited.
         from: usize,
     },
+    /// A workflow was refused before launch: static validation found
+    /// issues that would deadlock or crash it. Each entry is one rendered
+    /// diagnostic.
+    InvalidWorkflow {
+        /// Human-readable diagnostics, one per issue.
+        issues: Vec<String>,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -34,7 +41,17 @@ impl fmt::Display for CommError {
             }
             CommError::ZeroRanks => write!(f, "cannot launch a communicator with zero ranks"),
             CommError::PeerGone { from } => {
-                write!(f, "peer rank {from} exited before sending an awaited message")
+                write!(
+                    f,
+                    "peer rank {from} exited before sending an awaited message"
+                )
+            }
+            CommError::InvalidWorkflow { issues } => {
+                write!(f, "workflow failed static validation:")?;
+                for issue in issues {
+                    write!(f, "\n  - {issue}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -171,8 +171,10 @@ mod tests {
 
     #[test]
     fn detached_launch_joins_with_results() {
-        let h = LaunchHandle::spawn("detached-test", 4, |comm| comm.allreduce(1u32, |a, b| a + b))
-            .unwrap();
+        let h = LaunchHandle::spawn("detached-test", 4, |comm| {
+            comm.allreduce(1u32, |a, b| a + b)
+        })
+        .unwrap();
         assert_eq!(h.name(), "detached-test");
         assert_eq!(h.nranks(), 4);
         let out = h.join().unwrap();
@@ -183,10 +185,10 @@ mod tests {
     fn two_detached_communicators_run_concurrently() {
         // Two separate communicators must not share collective state: run
         // them simultaneously with different sizes and check isolation.
-        let a = LaunchHandle::spawn("a", 3, |comm| comm.allreduce(comm.rank(), |x, y| x + y))
-            .unwrap();
-        let b = LaunchHandle::spawn("b", 5, |comm| comm.allreduce(comm.rank(), |x, y| x + y))
-            .unwrap();
+        let a =
+            LaunchHandle::spawn("a", 3, |comm| comm.allreduce(comm.rank(), |x, y| x + y)).unwrap();
+        let b =
+            LaunchHandle::spawn("b", 5, |comm| comm.allreduce(comm.rank(), |x, y| x + y)).unwrap();
         assert!(a.join().unwrap().iter().all(|&v| v == 3));
         assert!(b.join().unwrap().iter().all(|&v| v == 10));
     }

@@ -61,10 +61,9 @@ impl Endpoint {
             return p;
         }
         loop {
-            let packet = self
-                .receiver
-                .recv()
-                .unwrap_or_else(|_| panic!("recv: all peers exited while awaiting rank {src} tag {tag}"));
+            let packet = self.receiver.recv().unwrap_or_else(|_| {
+                panic!("recv: all peers exited while awaiting rank {src} tag {tag}")
+            });
             if packet.src == src && packet.tag == tag {
                 return packet;
             }

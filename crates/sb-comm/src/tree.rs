@@ -108,8 +108,10 @@ mod tests {
     #[test]
     fn tree_reduce_matches_serial_fold_for_associative_ops() {
         for n in [1usize, 2, 3, 4, 5, 7, 8, 16] {
-            let out = launch(n, |comm| tree_reduce(&comm, comm.rank() as u64 + 1, |a, b| a + b))
-                .unwrap();
+            let out = launch(n, |comm| {
+                tree_reduce(&comm, comm.rank() as u64 + 1, |a, b| a + b)
+            })
+            .unwrap();
             let expect: u64 = (1..=n as u64).sum();
             assert_eq!(out[0], Some(expect), "n={n}");
             assert!(out[1..].iter().all(Option::is_none), "n={n}");

@@ -294,12 +294,24 @@ impl Buffer {
     pub fn to_le_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.byte_len());
         match self {
-            Buffer::F32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::F64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::I32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::I64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::U32(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::U64(v) => v.iter().for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::F32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::F64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::I32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::I64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::U32(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::U64(v) => v
+                .iter()
+                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
         }
         out
     }

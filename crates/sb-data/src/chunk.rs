@@ -187,10 +187,14 @@ mod tests {
 
     #[test]
     fn whole_chunk_from_variable() {
-        let v = Variable::new("v", Shape::of(&[("n", 2), ("p", 2)]), Buffer::F64(vec![1.0; 4]))
-            .unwrap()
-            .with_labels(1, &["x", "y"])
-            .unwrap();
+        let v = Variable::new(
+            "v",
+            Shape::of(&[("n", 2), ("p", 2)]),
+            Buffer::F64(vec![1.0; 4]),
+        )
+        .unwrap()
+        .with_labels(1, &["x", "y"])
+        .unwrap();
         let c = Chunk::whole(v);
         assert_eq!(c.region, Region::new(vec![0, 0], vec![2, 2]));
         assert_eq!(c.meta.header(1).unwrap(), &["x".to_string(), "y".into()]);

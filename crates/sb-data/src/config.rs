@@ -208,24 +208,22 @@ impl GroupConfig {
                 }
                 "header" => {
                     let var = require(&attrs, "var", line)?;
-                    let dim: usize =
-                        require(&attrs, "dim", line)?
-                            .parse()
-                            .map_err(|_| DataError::ConfigParse {
-                                line,
-                                detail: "dim must be an integer".into(),
-                            })?;
+                    let dim: usize = require(&attrs, "dim", line)?.parse().map_err(|_| {
+                        DataError::ConfigParse {
+                            line,
+                            detail: "dim must be an integer".into(),
+                        }
+                    })?;
                     let labels: Vec<String> = require(&attrs, "labels", line)?
                         .split(',')
                         .map(|l| l.trim().to_string())
                         .collect();
-                    let v = vars
-                        .iter_mut()
-                        .find(|v| v.name == var)
-                        .ok_or_else(|| DataError::ConfigParse {
+                    let v = vars.iter_mut().find(|v| v.name == var).ok_or_else(|| {
+                        DataError::ConfigParse {
                             line,
                             detail: format!("<header> references unknown var {var:?}"),
-                        })?;
+                        }
+                    })?;
                     if dim >= v.dim_names.len() {
                         return Err(DataError::ConfigParse {
                             line,
@@ -238,13 +236,12 @@ impl GroupConfig {
                     let var = require(&attrs, "var", line)?;
                     let name = require(&attrs, "name", line)?;
                     let value = require(&attrs, "value", line)?;
-                    let v = vars
-                        .iter_mut()
-                        .find(|v| v.name == var)
-                        .ok_or_else(|| DataError::ConfigParse {
+                    let v = vars.iter_mut().find(|v| v.name == var).ok_or_else(|| {
+                        DataError::ConfigParse {
                             line,
                             detail: format!("<attribute> references unknown var {var:?}"),
-                        })?;
+                        }
+                    })?;
                     let parsed = if let Ok(i) = value.parse::<i64>() {
                         AttrValue::Int(i)
                     } else if let Ok(x) = value.parse::<f64>() {
@@ -343,10 +340,13 @@ fn parse_tag(s: &str, line: usize) -> DataResult<(String, BTreeMap<String, Strin
 }
 
 fn require(attrs: &BTreeMap<String, String>, key: &str, line: usize) -> DataResult<String> {
-    attrs.get(key).cloned().ok_or_else(|| DataError::ConfigParse {
-        line,
-        detail: format!("missing required attribute {key:?}"),
-    })
+    attrs
+        .get(key)
+        .cloned()
+        .ok_or_else(|| DataError::ConfigParse {
+            line,
+            detail: format!("missing required attribute {key:?}"),
+        })
 }
 
 #[cfg(test)]

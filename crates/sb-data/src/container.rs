@@ -77,9 +77,8 @@ impl<W: Write> ContainerWriter<W> {
 
     /// Appends one step holding `vars`.
     pub fn write_step(&mut self, step_id: u64, vars: &[Variable]) -> DataResult<()> {
-        let mut payload = Vec::with_capacity(
-            64 + vars.iter().map(|v| v.byte_len() + 128).sum::<usize>(),
-        );
+        let mut payload =
+            Vec::with_capacity(64 + vars.iter().map(|v| v.byte_len() + 128).sum::<usize>());
         payload.put_u64_le(step_id);
         payload.put_u32_le(vars.len() as u32);
         for v in vars {
@@ -309,8 +308,12 @@ mod tests {
     fn round_trip_multiple_steps() {
         let mut w = ContainerWriter::new(Vec::new()).unwrap();
         let v = sample_var();
-        let ids = Variable::new("ids", Shape::linear("particles", 2), Buffer::U64(vec![7, 9]))
-            .unwrap();
+        let ids = Variable::new(
+            "ids",
+            Shape::linear("particles", 2),
+            Buffer::U64(vec![7, 9]),
+        )
+        .unwrap();
         w.write_step(0, &[v.clone(), ids.clone()]).unwrap();
         w.write_step(5, std::slice::from_ref(&v)).unwrap();
         assert_eq!(w.steps_written(), 2);

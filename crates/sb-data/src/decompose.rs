@@ -177,7 +177,11 @@ mod tests {
             for nparts in 1..10 {
                 let full = split_1d(len, nparts);
                 for (p, &expect) in full.iter().enumerate() {
-                    assert_eq!(split_1d_part(len, nparts, p), expect, "len={len} n={nparts} p={p}");
+                    assert_eq!(
+                        split_1d_part(len, nparts, p),
+                        expect,
+                        "len={len} n={nparts} p={p}"
+                    );
                 }
             }
         }

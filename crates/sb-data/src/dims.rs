@@ -123,7 +123,10 @@ impl Shape {
 
     /// Inverse of [`Shape::linear_index`].
     pub fn multi_index(&self, mut linear: usize) -> Vec<usize> {
-        assert!(linear < self.total_len().max(1), "linear index out of range");
+        assert!(
+            linear < self.total_len().max(1),
+            "linear index out of range"
+        );
         let strides = self.strides();
         strides
             .iter()

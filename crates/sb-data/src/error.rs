@@ -67,7 +67,10 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::ShapeMismatch { data_len, shape_len } => write!(
+            DataError::ShapeMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "buffer holds {data_len} elements but the shape implies {shape_len}"
             ),
@@ -79,7 +82,10 @@ impl fmt::Display for DataError {
                 write!(f, "dimension index {index} out of range for rank {ndims}")
             }
             DataError::NoSuchLabel { label, dim } => {
-                write!(f, "no quantity named {label:?} in the header of dimension {dim}")
+                write!(
+                    f,
+                    "no quantity named {label:?} in the header of dimension {dim}"
+                )
             }
             DataError::MissingHeader { dim } => {
                 write!(f, "dimension {dim} carries no quantity header")

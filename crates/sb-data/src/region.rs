@@ -124,8 +124,7 @@ impl Region {
     /// True when `other` lies entirely inside `self`.
     pub fn contains(&self, other: &Region) -> bool {
         assert_eq!(self.ndims(), other.ndims(), "region rank mismatch");
-        (0..self.ndims())
-            .all(|i| other.offset[i] >= self.offset[i] && other.end(i) <= self.end(i))
+        (0..self.ndims()).all(|i| other.offset[i] >= self.offset[i] && other.end(i) <= self.end(i))
     }
 
     /// True when the point `idx` lies inside the region.

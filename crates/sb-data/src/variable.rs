@@ -163,11 +163,15 @@ mod tests {
     fn particles() -> Variable {
         // 3 particles x 5 properties, mirroring the LAMMPS output layout.
         let data: Vec<f64> = (0..15).map(|i| i as f64).collect();
-        Variable::new("atoms", Shape::of(&[("particles", 3), ("props", 5)]), data.into())
-            .unwrap()
-            .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
-            .unwrap()
-            .with_attr("units", AttrValue::Text("lj".into()))
+        Variable::new(
+            "atoms",
+            Shape::of(&[("particles", 3), ("props", 5)]),
+            data.into(),
+        )
+        .unwrap()
+        .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
+        .unwrap()
+        .with_attr("units", AttrValue::Text("lj".into()))
     }
 
     #[test]

@@ -123,7 +123,8 @@ mod tests {
                 nranks: comm.size(),
                 value: 0.0,
             };
-            let mut w = hub_w.open_writer("c.fp", comm.rank(), comm.size(), WriterOptions::default());
+            let mut w =
+                hub_w.open_writer("c.fp", comm.rank(), comm.size(), WriterOptions::default());
             drive(&mut sim, &comm, Some(&mut w), 4, 10)
         })
         .unwrap();

@@ -58,7 +58,11 @@ impl Default for GromacsConfig {
             bond_k: 100.0,
             bond_r0: 1.0,
             angle_k: 0.0,
-            friction: 0.5,
+            // Weak solvent coupling: with kT/friction this large, thermal
+            // diffusion visibly dominates the chain-relaxation transient on
+            // the (short) timescales the workflows observe, so the atom
+            // cloud genuinely spreads outward within a few hundred substeps.
+            friction: 0.1,
             temperature: 1.2,
             seed: 1234,
         }
@@ -198,7 +202,9 @@ impl GromacsSim {
                     self.pos[j][1] - self.pos[i][1],
                     self.pos[j][2] - self.pos[i][2],
                 ];
-                let r = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).sqrt().max(1e-9);
+                let r = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2])
+                    .sqrt()
+                    .max(1e-9);
                 let mag = k * (r - r0) / r;
                 for d in 0..3 {
                     f[i][d] += mag * dr[d];
@@ -247,7 +253,8 @@ impl GromacsSim {
                         self.pos[i][1] - self.pos[j][1],
                         self.pos[i][2] - self.pos[j][2],
                     ];
-                    let r2 = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).max(0.25 * sigma * sigma);
+                    let r2 =
+                        (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).max(0.25 * sigma * sigma);
                     if r2 < wca_rc2 {
                         let s2 = sigma * sigma / r2;
                         let s6 = s2 * s2 * s2;
@@ -304,7 +311,11 @@ impl SimRank for GromacsSim {
             local
         };
         if total[3] > 0.0 {
-            let mean = [total[0] / total[3], total[1] / total[3], total[2] / total[3]];
+            let mean = [
+                total[0] / total[3],
+                total[1] / total[3],
+                total[2] / total[3],
+            ];
             for v in &mut self.vel {
                 for d in 0..3 {
                     v[d] -= mean[d];
@@ -388,10 +399,19 @@ mod tests {
 
     #[test]
     fn cloud_spreads_over_time() {
-        launch(1, |comm| {
-            let mut sim = GromacsSim::new(small(), 0, 1);
+        // Mean |r| over a handful of chains is dominated by the chains' own
+        // random-walk fluctuations, so this observable needs a decent
+        // ensemble (64 chains) and enough diffusion time to make the spread
+        // signal decisive rather than a coin flip.
+        let cfg = GromacsConfig {
+            n_chains: 64,
+            chain_len: 8,
+            ..GromacsConfig::default()
+        };
+        launch(1, move |comm| {
+            let mut sim = GromacsSim::new(cfg.clone(), 0, 1);
             let r0 = sim.local_mean_radius();
-            for _ in 0..800 {
+            for _ in 0..2400 {
                 sim.substep(&comm);
             }
             let r1 = sim.local_mean_radius();

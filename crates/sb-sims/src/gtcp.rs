@@ -148,8 +148,7 @@ impl GtcpSim {
                     + 0.08 * (5.0 * phi - 2.0 * theta).sin()
                     + 0.02 * mix(cfg.seed, cell, 0);
                 // Temperatures: poloidally varying profiles.
-                fields[F_TPAR][idx] =
-                    1.2 + 0.2 * phi.cos() + 0.02 * mix(cfg.seed, cell, 1);
+                fields[F_TPAR][idx] = 1.2 + 0.2 * phi.cos() + 0.02 * mix(cfg.seed, cell, 1);
                 fields[F_TPERP][idx] =
                     0.9 + 0.25 * (2.0 * phi).sin() + 0.02 * mix(cfg.seed, cell, 2);
                 // Potential: small seed perturbation.
@@ -303,8 +302,7 @@ impl SimRank for GtcpSim {
                         };
                         let jl = (j + np - 1) % np;
                         let jr = (j + 1) % np;
-                        let lap =
-                            (field[ls * np + jl] - 2.0 * here + field[ls * np + jr]) / dphi2;
+                        let lap = (field[ls * np + jl] - 2.0 * here + field[ls * np + jr]) / dphi2;
                         // Drift coupling: density and potential feed each
                         // other; temperatures relax toward the density.
                         let drive = match f {

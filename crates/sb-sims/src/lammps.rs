@@ -129,8 +129,8 @@ impl LammpsSim {
                 if (x - cx).abs() < notch_half_width && y > notch_bottom {
                     continue;
                 }
-                let near_notch =
-                    (x - cx).abs() < notch_half_width + 2.0 * LATTICE_A && y > notch_bottom - 2.0 * LATTICE_A;
+                let near_notch = (x - cx).abs() < notch_half_width + 2.0 * LATTICE_A
+                    && y > notch_bottom - 2.0 * LATTICE_A;
                 pos.push([x, y, 0.0]);
                 types.push(if near_notch { 2 } else { 1 });
             }
@@ -291,14 +291,16 @@ impl LammpsSim {
                         if cz < 0 || cz >= ncells[2] as i64 {
                             continue;
                         }
-                        let cell = (cx as usize * ncells[1] + cy as usize) * ncells[2] + cz as usize;
+                        let cell =
+                            (cx as usize * ncells[1] + cy as usize) * ncells[2] + cz as usize;
                         let mut j = head[cell];
                         while j != u32::MAX {
                             let ju = j as usize;
                             if ju != i {
                                 let pj = self.pos[ju];
                                 let dr = [pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]];
-                                let r2 = (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).max(R2_MIN);
+                                let r2 =
+                                    (dr[0] * dr[0] + dr[1] * dr[1] + dr[2] * dr[2]).max(R2_MIN);
                                 if r2 < rc2 {
                                     let inv2 = 1.0 / r2;
                                     let inv6 = inv2 * inv2 * inv2;
@@ -367,8 +369,9 @@ impl SimRank for LammpsSim {
         if let Some(target) = self.cfg.thermostat {
             let t = self.temperature(comm);
             if t > 0.0 {
-                let lambda =
-                    (1.0 + (target / t - 1.0) / self.cfg.thermostat_tau).max(0.0).sqrt();
+                let lambda = (1.0 + (target / t - 1.0) / self.cfg.thermostat_tau)
+                    .max(0.0)
+                    .sqrt();
                 for v in &mut self.vel {
                     for c in v.iter_mut() {
                         *c *= lambda;
@@ -393,7 +396,13 @@ impl SimRank for LammpsSim {
         let mut meta = VariableMeta::new("atoms", self.global_shape(), DType::F64);
         meta.labels.insert(
             1,
-            vec!["ID".into(), "Type".into(), "vx".into(), "vy".into(), "vz".into()],
+            vec![
+                "ID".into(),
+                "Type".into(),
+                "vx".into(),
+                "vy".into(),
+                "vz".into(),
+            ],
         );
         Chunk::new(
             meta,

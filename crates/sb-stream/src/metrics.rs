@@ -20,7 +20,8 @@ pub(crate) struct Counters {
 
 impl Counters {
     pub(crate) fn add_written(&self, bytes: usize) {
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn add_read(&self, bytes: usize) {

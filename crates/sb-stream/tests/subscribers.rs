@@ -59,12 +59,7 @@ fn groups_can_have_different_rank_counts() {
     let hub = StreamHub::new();
     let hub_w = Arc::clone(&hub);
     let writer = std::thread::spawn(move || {
-        let mut w = hub_w.open_writer(
-            "g.fp",
-            0,
-            1,
-            WriterOptions::default().with_reader_groups(2),
-        );
+        let mut w = hub_w.open_writer("g.fp", 0, 1, WriterOptions::default().with_reader_groups(2));
         for step in 0..3u64 {
             w.begin_step();
             w.put_whole(step_variable(step, 12));
@@ -78,8 +73,7 @@ fn groups_can_have_different_rank_counts() {
         let hub_g = Arc::clone(&hub);
         handles.push(
             sb_comm::LaunchHandle::spawn(group, nranks, move |comm| {
-                let mut r =
-                    hub_g.open_reader_grouped("g.fp", group, comm.rank(), comm.size());
+                let mut r = hub_g.open_reader_grouped("g.fp", group, comm.rank(), comm.size());
                 let mut steps = 0u64;
                 while let StepStatus::Ready(_) = r.begin_step() {
                     let (off, count) =

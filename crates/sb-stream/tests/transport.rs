@@ -16,7 +16,12 @@ fn tagged_variable(name: &str, rows: usize, cols: usize) -> Variable {
     let data: Vec<f64> = (0..rows * cols)
         .map(|lin| ((lin / cols) * 1000 + lin % cols) as f64)
         .collect();
-    Variable::new(name, Shape::of(&[("rows", rows), ("cols", cols)]), data.into()).unwrap()
+    Variable::new(
+        name,
+        Shape::of(&[("rows", rows), ("cols", cols)]),
+        data.into(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -30,8 +35,17 @@ fn single_writer_single_reader_three_steps() {
         for step in 0..3u64 {
             w.begin_step();
             let mut var = tagged_variable("atoms", 4, 5);
-            var.set_labels(1, vec!["ID".into(), "Type".into(), "vx".into(), "vy".into(), "vz".into()])
-                .unwrap();
+            var.set_labels(
+                1,
+                vec![
+                    "ID".into(),
+                    "Type".into(),
+                    "vx".into(),
+                    "vy".into(),
+                    "vz".into(),
+                ],
+            )
+            .unwrap();
             var.attrs
                 .insert("step".into(), sb_data::AttrValue::Int(step as i64));
             w.put_whole(var);
@@ -77,7 +91,12 @@ fn mxn_redistribution_reassembles_exactly() {
     let hub_w = Arc::clone(&hub);
     let src_w = source.clone();
     let writers = LaunchHandle::spawn("writers", 4, move |comm| {
-        let mut w = hub_w.open_writer("field.fp", comm.rank(), comm.size(), WriterOptions::default());
+        let mut w = hub_w.open_writer(
+            "field.fp",
+            comm.rank(),
+            comm.size(),
+            WriterOptions::default(),
+        );
         let region = default_partition(&src_w.shape, comm.size(), comm.rank());
         let local = src_w.extract(&region).unwrap();
         let meta = VariableMeta::new("field", src_w.shape.clone(), DType::F64);
@@ -169,7 +188,10 @@ fn bounded_queue_applies_backpressure() {
     // after buffering two steps (begin of step 2 blocks).
     std::thread::sleep(Duration::from_millis(200));
     let ahead = committed.load(Ordering::SeqCst);
-    assert!(ahead <= 2, "writer ran {ahead} steps ahead despite capacity 2");
+    assert!(
+        ahead <= 2,
+        "writer ran {ahead} steps ahead despite capacity 2"
+    );
 
     let mut r = hub.open_reader("bp.fp", 0, 1);
     let mut steps = 0;
@@ -244,9 +266,20 @@ fn get_errors_are_reported() {
     let hub = StreamHub::new();
     let mut w = hub.open_writer("err.fp", 0, 1, WriterOptions::default());
     // Writer only covers rows 0..2 of a declared 4-row array.
-    let meta = VariableMeta::new("partial", Shape::of(&[("rows", 4), ("cols", 2)]), DType::F64);
+    let meta = VariableMeta::new(
+        "partial",
+        Shape::of(&[("rows", 4), ("cols", 2)]),
+        DType::F64,
+    );
     w.begin_step();
-    w.put(Chunk::new(meta, Region::new(vec![0, 0], vec![2, 2]), Buffer::F64(vec![0.0; 4])).unwrap());
+    w.put(
+        Chunk::new(
+            meta,
+            Region::new(vec![0, 0], vec![2, 2]),
+            Buffer::F64(vec![0.0; 4]),
+        )
+        .unwrap(),
+    );
     w.end_step();
 
     let mut r = hub.open_reader("err.fp", 0, 1);
@@ -254,11 +287,15 @@ fn get_errors_are_reported() {
     // Unknown variable.
     assert!(r.get("nope", &Region::new(vec![0, 0], vec![1, 1])).is_err());
     // Region outside the global shape.
-    assert!(r.get("partial", &Region::new(vec![0, 0], vec![5, 2])).is_err());
+    assert!(r
+        .get("partial", &Region::new(vec![0, 0], vec![5, 2]))
+        .is_err());
     // Region inside the shape but not covered by any writer chunk.
     assert!(r.get_whole("partial").is_err());
     // Covered region succeeds.
-    assert!(r.get("partial", &Region::new(vec![0, 0], vec![2, 2])).is_ok());
+    assert!(r
+        .get("partial", &Region::new(vec![0, 0], vec![2, 2]))
+        .is_ok());
     r.end_step();
     w.close();
 }
@@ -298,7 +335,9 @@ fn labels_are_sliced_to_the_read_box() {
 
     let mut r = hub.open_reader("lbl.fp", 0, 1);
     r.begin_step();
-    let v = r.get("atoms", &Region::new(vec![0, 2], vec![3, 3])).unwrap();
+    let v = r
+        .get("atoms", &Region::new(vec![0, 2], vec![3, 3]))
+        .unwrap();
     assert_eq!(
         v.header(1).unwrap(),
         &["vx".to_string(), "vy".into(), "vz".into()]
@@ -314,7 +353,12 @@ fn many_writer_ranks_split_along_one_dim() {
     let hub = StreamHub::new();
     let hub_w = Arc::clone(&hub);
     let writers = LaunchHandle::spawn("w", 5, move |comm| {
-        let mut w = hub_w.open_writer("thin.fp", comm.rank(), comm.size(), WriterOptions::default());
+        let mut w = hub_w.open_writer(
+            "thin.fp",
+            comm.rank(),
+            comm.size(),
+            WriterOptions::default(),
+        );
         let (off, count) = split_1d_part(3, comm.size(), comm.rank());
         let meta = VariableMeta::new("v", Shape::linear("n", 3), DType::F64);
         w.begin_step();

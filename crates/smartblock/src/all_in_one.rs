@@ -75,6 +75,52 @@ impl Component for AllInOne {
         vec![(self.input.stream.clone(), self.reader_group.clone())]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{Extent, PartitionRule, ReadSpec, Signature, SpecError};
+        let in_stream = self.input.stream.clone();
+        let in_array = self.input.array.clone();
+        let keep = self.keep.clone();
+        let bins = self.num_bins;
+        Signature::new(
+            vec![ReadSpec::new(
+                &in_stream,
+                &in_array,
+                PartitionRule::Along(0),
+            )],
+            move |ins| {
+                let spec = match ins.first() {
+                    Some(s) => s.array(&in_array)?,
+                    None => None,
+                };
+                if let Some(spec) = spec {
+                    if spec.ndims() != 2 {
+                        return Err(SpecError::RankMismatch {
+                            expected: 2,
+                            got: spec.ndims(),
+                        });
+                    }
+                    if let Some(available) = spec.labels.get(&1) {
+                        for name in &keep {
+                            if !available.contains(name) {
+                                return Err(SpecError::UnknownLabel {
+                                    dim: 1,
+                                    label: name.clone(),
+                                    available: available.clone(),
+                                });
+                            }
+                        }
+                    }
+                    if let Extent::Fixed(elements) = spec.dims[0].extent {
+                        if bins > elements {
+                            return Err(SpecError::DegenerateBins { bins, elements });
+                        }
+                    }
+                }
+                Ok(Vec::new())
+            },
+        )
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_sink(
             "all-in-one",
@@ -83,56 +129,60 @@ impl Component for AllInOne {
             &self.input.stream,
             &self.reader_group,
             |reader, comm, step| {
-            let meta = reader
-                .meta(&self.input.array)
-                .ok_or_else(|| DataError::Container {
-                    detail: format!("no array {:?} in stream", self.input.array),
-                })?;
-            if meta.shape.ndims() != 2 {
-                return Err(DataError::RegionOutOfBounds {
-                    detail: format!(
-                        "all-in-one expects 2-d input, stream carries rank {}",
-                        meta.shape.ndims()
-                    ),
-                });
-            }
-            let indices: Vec<usize> = self
-                .keep
-                .iter()
-                .map(|n| meta.resolve_label(1, n))
-                .collect::<DataResult<_>>()?;
-            let n = meta.shape.size(0);
-            let m = meta.shape.size(1);
-            let (off, count) = split_1d_part(n, comm.size(), comm.rank());
-            let var = reader.get(&self.input.array, &Region::new(vec![off, 0], vec![count, m]))?;
-            let bytes_in = var.byte_len() as u64;
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?;
+                if meta.shape.ndims() != 2 {
+                    return Err(DataError::RegionOutOfBounds {
+                        detail: format!(
+                            "all-in-one expects 2-d input, stream carries rank {}",
+                            meta.shape.ndims()
+                        ),
+                    });
+                }
+                let indices: Vec<usize> = self
+                    .keep
+                    .iter()
+                    .map(|n| meta.resolve_label(1, n))
+                    .collect::<DataResult<_>>()?;
+                let n = meta.shape.size(0);
+                let m = meta.shape.size(1);
+                let (off, count) = split_1d_part(n, comm.size(), comm.rank());
+                let var = reader.get(
+                    &self.input.array,
+                    &Region::new(vec![off, 0], vec![count, m]),
+                )?;
+                let bytes_in = var.byte_len() as u64;
 
-            let kernel_start = Instant::now();
-            let selected = select_rows(&var, 1, &indices)?;
-            let mags = vector_magnitudes(&selected)?;
-            let (lmin, lmax) = mags
-                .iter()
-                .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-                    (a.min(v), b.max(v))
+                let kernel_start = Instant::now();
+                let selected = select_rows(&var, 1, &indices)?;
+                let mags = vector_magnitudes(&selected)?;
+                let (lmin, lmax) = mags
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                        (a.min(v), b.max(v))
+                    });
+                let min = comm.allreduce(lmin, f64::min);
+                let max = comm.allreduce(lmax, f64::max);
+                let counts = bin_counts(&mags, min, max, self.num_bins);
+                let total = comm.reduce(0, counts, |a, b| {
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect()
                 });
-            let min = comm.allreduce(lmin, f64::min);
-            let max = comm.allreduce(lmax, f64::max);
-            let counts = bin_counts(&mags, min, max, self.num_bins);
-            let total = comm.reduce(0, counts, |a, b| {
-                a.iter().zip(&b).map(|(x, y)| x + y).collect()
-            });
-            let compute = kernel_start.elapsed();
+                let compute = kernel_start.elapsed();
 
-            if let Some(counts) = total {
-                self.results.lock().push(HistogramResult {
-                    step,
-                    min,
-                    max,
-                    counts,
-                });
-            }
-            Ok((bytes_in, compute))
-        })
+                if let Some(counts) = total {
+                    self.results.lock().push(HistogramResult {
+                        step,
+                        min,
+                        max,
+                        counts,
+                    });
+                }
+                Ok((bytes_in, compute))
+            },
+        )
     }
 }
 

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use sb_comm::Communicator;
 use sb_data::decompose::split_1d_part;
-use sb_data::{Buffer, Chunk, DataError, DataResult, DType, Region, Shape, Variable, VariableMeta};
+use sb_data::{Buffer, Chunk, DType, DataError, DataResult, Region, Shape, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
@@ -117,6 +117,38 @@ impl Component for AllPairs {
 
     fn output_streams(&self) -> Vec<String> {
         vec![self.output.stream.clone()]
+    }
+
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{unary_transfer, ArraySpec, DimSpec, Extent, Signature, SpecError};
+        // Every rank reads the whole array (pair distances cross any
+        // partition boundary), so there is no partitioned read to declare.
+        Signature {
+            reads: Vec::new(),
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                |spec| {
+                    if spec.ndims() != 2 {
+                        return Err(SpecError::RankMismatch {
+                            expected: 2,
+                            got: spec.ndims(),
+                        });
+                    }
+                    let pairs = match spec.dims[0].extent {
+                        Extent::Fixed(n) => Extent::Fixed(n.saturating_sub(1) * n / 2),
+                        Extent::Dynamic => Extent::Dynamic,
+                    };
+                    Ok(ArraySpec::new(
+                        vec![DimSpec {
+                            name: "pairs".into(),
+                            extent: pairs,
+                        }],
+                        sb_data::DType::F64,
+                    ))
+                },
+            )),
+        }
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {

@@ -1,0 +1,789 @@
+//! Static dataflow analysis over assembled workflows.
+//!
+//! The paper's components discover shapes, labels and types from the
+//! stream *at run time*; a mis-wired workflow therefore fails minutes into
+//! a batch allocation instead of seconds after submission. This module
+//! closes that gap: every [`Component`](crate::Component) can declare a
+//! [`Signature`] — which `(stream, array)` pairs it reads, how it
+//! partitions them, and a *transfer function* mapping input
+//! [`ArraySpec`]s to output specs. [`Workflow::validate`]
+//! (crate::Workflow::validate) builds the component/stream graph,
+//! topologically sorts it (a subscription cycle is a guaranteed deadlock
+//! under blocking connects), propagates specs from source declarations,
+//! and reports every contract violation as a typed [`AnalysisIssue`]
+//! *before* any rank is launched.
+//!
+//! The analysis is necessarily partial: ad-hoc closure components and
+//! file replays are opaque (their streams carry [`StreamSpec::Opaque`]),
+//! and dimensions whose extents are data-dependent are
+//! [`Extent::Dynamic`]. Opaque or dynamic facts silence the checks that
+//! need them — the analyzer never guesses, so a clean report on a fully
+//! declared workflow is meaningful and a clean report on an opaque one is
+//! merely "nothing provably wrong".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sb_data::{DType, Shape};
+
+use crate::component::Component;
+use crate::runtime::WiringIssue;
+
+/// A statically known or data-dependent dimension length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extent {
+    /// The extent is fixed by configuration (e.g. a simulation grid size).
+    Fixed(usize),
+    /// The extent depends on the data (e.g. atoms surviving a threshold).
+    Dynamic,
+}
+
+impl Extent {
+    /// The product of two extents; dynamic absorbs everything.
+    pub fn times(self, other: Extent) -> Extent {
+        match (self, other) {
+            (Extent::Fixed(a), Extent::Fixed(b)) => Extent::Fixed(a * b),
+            _ => Extent::Dynamic,
+        }
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Extent::Fixed(n) => write!(f, "{n}"),
+            Extent::Dynamic => write!(f, "?"),
+        }
+    }
+}
+
+/// One dimension of an [`ArraySpec`]: a name and an extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimSpec {
+    /// Dimension name (mirrors `sb_data::Dim`).
+    pub name: String,
+    /// Statically known or dynamic length.
+    pub extent: Extent,
+}
+
+impl DimSpec {
+    /// A dimension with a configuration-fixed extent.
+    pub fn fixed(name: impl Into<String>, extent: usize) -> DimSpec {
+        DimSpec {
+            name: name.into(),
+            extent: Extent::Fixed(extent),
+        }
+    }
+
+    /// A dimension whose extent only the data determines.
+    pub fn dynamic(name: impl Into<String>) -> DimSpec {
+        DimSpec {
+            name: name.into(),
+            extent: Extent::Dynamic,
+        }
+    }
+}
+
+impl fmt::Display for DimSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.extent)
+    }
+}
+
+/// The static description of one array: dimensions, element type and
+/// per-dimension quantity labels — the analysis-time mirror of
+/// `sb_data::VariableMeta`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Dimensions, outermost first.
+    pub dims: Vec<DimSpec>,
+    /// Element type.
+    pub dtype: DType,
+    /// Per-dimension labels (dimension index → names along it).
+    pub labels: BTreeMap<usize, Vec<String>>,
+}
+
+impl ArraySpec {
+    /// A spec with the given dimensions and no labels.
+    pub fn new(dims: Vec<DimSpec>, dtype: DType) -> ArraySpec {
+        ArraySpec {
+            dims,
+            dtype,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// A fully fixed spec copied from a concrete shape.
+    pub fn from_shape(shape: &Shape, dtype: DType) -> ArraySpec {
+        ArraySpec::new(
+            shape
+                .dims()
+                .iter()
+                .map(|d| DimSpec::fixed(d.name.clone(), d.size))
+                .collect(),
+            dtype,
+        )
+    }
+
+    /// Attaches labels along `dim` (builder style).
+    pub fn with_dim_labels<S: Into<String>>(
+        mut self,
+        dim: usize,
+        labels: impl IntoIterator<Item = S>,
+    ) -> ArraySpec {
+        self.labels
+            .insert(dim, labels.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Errors with [`SpecError::AxisOutOfBounds`] unless `dim` exists.
+    pub fn check_dim(&self, dim: usize) -> Result<(), SpecError> {
+        if dim < self.dims.len() {
+            Ok(())
+        } else {
+            Err(SpecError::AxisOutOfBounds {
+                axis: dim,
+                ndims: self.dims.len(),
+            })
+        }
+    }
+
+    /// Total element count, if every extent is fixed.
+    pub fn total_elements(&self) -> Option<usize> {
+        self.dims.iter().try_fold(1usize, |acc, d| match d.extent {
+            Extent::Fixed(n) => Some(acc * n),
+            Extent::Dynamic => None,
+        })
+    }
+}
+
+impl fmt::Display for ArraySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "] {}", self.dtype.name())
+    }
+}
+
+/// What the analysis knows about one stream's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamSpec {
+    /// Nothing is declared (closure components, file replays, multi-writer
+    /// streams): downstream checks that need facts stay silent.
+    Opaque,
+    /// The full array map the writer declares (array name → spec).
+    Known(BTreeMap<String, ArraySpec>),
+}
+
+impl StreamSpec {
+    /// A known stream carrying exactly one array.
+    pub fn known_one(array: impl Into<String>, spec: ArraySpec) -> StreamSpec {
+        let mut map = BTreeMap::new();
+        map.insert(array.into(), spec);
+        StreamSpec::Known(map)
+    }
+
+    /// Looks up `name`: `Ok(None)` on an opaque stream, an
+    /// [`SpecError::UnknownArray`] when the stream is known but lacks it.
+    pub fn array(&self, name: &str) -> Result<Option<&ArraySpec>, SpecError> {
+        match self {
+            StreamSpec::Opaque => Ok(None),
+            StreamSpec::Known(map) => match map.get(name) {
+                Some(spec) => Ok(Some(spec)),
+                None => Err(SpecError::UnknownArray {
+                    array: name.to_string(),
+                    available: map.keys().cloned().collect(),
+                }),
+            },
+        }
+    }
+}
+
+/// A contract violation a transfer function can detect statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The stream is declared but does not carry the requested array.
+    UnknownArray {
+        /// The missing array name.
+        array: String,
+        /// Arrays the stream does carry.
+        available: Vec<String>,
+    },
+    /// A label (quantity name) is not present along the dimension.
+    UnknownLabel {
+        /// The labelled dimension.
+        dim: usize,
+        /// The missing label.
+        label: String,
+        /// Labels the dimension does carry.
+        available: Vec<String>,
+    },
+    /// A dimension index exceeds the array's rank.
+    AxisOutOfBounds {
+        /// The out-of-range axis.
+        axis: usize,
+        /// The array's rank.
+        ndims: usize,
+    },
+    /// The array's rank does not match the component's contract.
+    RankMismatch {
+        /// Rank the component requires.
+        expected: usize,
+        /// Rank the array has.
+        got: usize,
+    },
+    /// Two inputs that must agree element-wise provably disagree.
+    ShapeMismatch {
+        /// Rendered left spec.
+        left: String,
+        /// Rendered right spec.
+        right: String,
+    },
+    /// An axis list is malformed (bad permutation, self-referential
+    /// dim-reduce, ...).
+    InvalidAxes {
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// More histogram bins than the input can ever have elements: most
+    /// bins are guaranteed empty.
+    DegenerateBins {
+        /// Requested bin count.
+        bins: usize,
+        /// Statically known element count.
+        elements: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownArray { array, available } => {
+                write!(
+                    f,
+                    "array {array:?} is not produced on this stream (available: {available:?})"
+                )
+            }
+            SpecError::UnknownLabel {
+                dim,
+                label,
+                available,
+            } => write!(
+                f,
+                "dimension {dim} carries no quantity named {label:?} (available: {available:?})"
+            ),
+            SpecError::AxisOutOfBounds { axis, ndims } => {
+                write!(f, "axis {axis} is out of bounds for a {ndims}-d array")
+            }
+            SpecError::RankMismatch { expected, got } => {
+                write!(f, "expected a {expected}-d array, got {got}-d")
+            }
+            SpecError::ShapeMismatch { left, right } => {
+                write!(f, "input shapes disagree: {left} vs {right}")
+            }
+            SpecError::InvalidAxes { detail } => write!(f, "{detail}"),
+            SpecError::DegenerateBins { bins, elements } => write!(
+                f,
+                "{bins} bins over at most {elements} elements leaves most bins empty"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// How a component partitions one input array among its ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionRule {
+    /// Slab decomposition along a fixed dimension.
+    Along(usize),
+    /// The first dimension that is *not* the given one (the rule Select
+    /// and Reduce use so the operated-on dimension stays whole per rank).
+    FirstExcept(usize),
+}
+
+impl PartitionRule {
+    /// The concrete dimension for an array of rank `ndims`, if any.
+    pub fn resolve(&self, ndims: usize) -> Option<usize> {
+        match *self {
+            PartitionRule::Along(d) => (d < ndims).then_some(d),
+            PartitionRule::FirstExcept(x) => (0..ndims).find(|&d| d != x),
+        }
+    }
+}
+
+/// One `(stream, array)` pair a component reads, with its partition rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadSpec {
+    /// Stream the array arrives on.
+    pub stream: String,
+    /// Array name within the stream.
+    pub array: String,
+    /// How the array is split among the component's ranks.
+    pub partition: PartitionRule,
+}
+
+impl ReadSpec {
+    /// Builds a read declaration.
+    pub fn new(
+        stream: impl Into<String>,
+        array: impl Into<String>,
+        partition: PartitionRule,
+    ) -> ReadSpec {
+        ReadSpec {
+            stream: stream.into(),
+            array: array.into(),
+            partition,
+        }
+    }
+}
+
+/// Maps input stream specs (parallel to
+/// [`Component::input_streams`](crate::Component::input_streams)) to
+/// output stream specs (parallel to
+/// [`Component::output_streams`](crate::Component::output_streams)).
+pub type TransferFn =
+    Box<dyn Fn(&[StreamSpec]) -> Result<Vec<StreamSpec>, SpecError> + Send + Sync>;
+
+/// A component's static contract: what it reads and how specs flow
+/// through it.
+pub struct Signature {
+    /// Declared input reads (used for over-decomposition checks).
+    pub reads: Vec<ReadSpec>,
+    /// Spec transfer function; `None` means the component is opaque and
+    /// its outputs propagate as [`StreamSpec::Opaque`].
+    pub transfer: Option<TransferFn>,
+}
+
+impl Signature {
+    /// The default signature: nothing declared, outputs opaque.
+    pub fn opaque() -> Signature {
+        Signature {
+            reads: Vec::new(),
+            transfer: None,
+        }
+    }
+
+    /// A signature from reads and a transfer closure.
+    pub fn new<F>(reads: Vec<ReadSpec>, transfer: F) -> Signature
+    where
+        F: Fn(&[StreamSpec]) -> Result<Vec<StreamSpec>, SpecError> + Send + Sync + 'static,
+    {
+        Signature {
+            reads,
+            transfer: Some(Box::new(transfer)),
+        }
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signature")
+            .field("reads", &self.reads)
+            .field("transfer", &self.transfer.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// A transfer function for the common one-input/one-output transform:
+/// looks up `input_array` on the first input stream, applies `f` to its
+/// spec, and publishes the result as `output_array`. Opaque inputs
+/// propagate as opaque outputs.
+pub fn unary_transfer<F>(input_array: String, output_array: String, f: F) -> TransferFn
+where
+    F: Fn(&ArraySpec) -> Result<ArraySpec, SpecError> + Send + Sync + 'static,
+{
+    Box::new(move |ins| match ins.first() {
+        Some(stream) => match stream.array(&input_array)? {
+            Some(spec) => Ok(vec![StreamSpec::known_one(output_array.clone(), f(spec)?)]),
+            None => Ok(vec![StreamSpec::Opaque]),
+        },
+        None => Ok(vec![StreamSpec::Opaque]),
+    })
+}
+
+/// How bad an [`AnalysisIssue`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable (an unread stream, interleaved step
+    /// accounting, mostly-empty histogram bins).
+    Warning,
+    /// The workflow provably deadlocks or a component provably panics.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A problem found by static analysis ([`crate::Workflow::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisIssue {
+    /// A stream-level wiring problem (dangling reader/writer, contested
+    /// stream or reader group).
+    Wiring(WiringIssue),
+    /// Components whose subscriptions form a cycle: under blocking
+    /// connects every member waits for another's first step, forever.
+    Cycle {
+        /// Labels of the components on the cycle, in launch order.
+        components: Vec<String>,
+    },
+    /// A component's declared contract provably fails on its input.
+    Contract {
+        /// The violating component's label.
+        component: String,
+        /// Its input stream(s).
+        stream: String,
+        /// What the transfer function rejected.
+        error: SpecError,
+    },
+    /// More ranks than the partitioned dimension has slices: the surplus
+    /// ranks receive empty partitions every step.
+    OverDecomposed {
+        /// The over-provisioned component's label.
+        component: String,
+        /// The stream it reads.
+        stream: String,
+        /// The array it partitions.
+        array: String,
+        /// The partitioned dimension's name.
+        dim: String,
+        /// That dimension's fixed extent.
+        extent: usize,
+        /// The component's rank count.
+        nranks: usize,
+    },
+}
+
+impl AnalysisIssue {
+    /// Whether the issue is fatal ([`Workflow::run`](crate::Workflow::run)
+    /// refuses) or advisory.
+    pub fn severity(&self) -> Severity {
+        match self {
+            AnalysisIssue::Wiring(WiringIssue::NoReader { .. })
+            | AnalysisIssue::Wiring(WiringIssue::DuplicateSubscription { .. }) => Severity::Warning,
+            AnalysisIssue::Contract {
+                error: SpecError::DegenerateBins { .. },
+                ..
+            } => Severity::Warning,
+            AnalysisIssue::Wiring(_)
+            | AnalysisIssue::Cycle { .. }
+            | AnalysisIssue::Contract { .. }
+            | AnalysisIssue::OverDecomposed { .. } => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for AnalysisIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisIssue::Wiring(w) => w.fmt(f),
+            AnalysisIssue::Cycle { components } => write!(
+                f,
+                "components {components:?} subscribe to each other in a cycle; every member \
+                 blocks on another's first step, so the workflow deadlocks"
+            ),
+            AnalysisIssue::Contract {
+                component,
+                stream,
+                error,
+            } => write!(f, "component {component:?} (input {stream:?}): {error}"),
+            AnalysisIssue::OverDecomposed {
+                component,
+                stream,
+                array,
+                dim,
+                extent,
+                nranks,
+            } => write!(
+                f,
+                "component {component:?} runs {nranks} ranks but partitions {stream}:{array} \
+                 along dimension {dim:?} of extent {extent}; at most {extent} ranks can \
+                 receive data"
+            ),
+        }
+    }
+}
+
+/// One workflow entry as the analyzer sees it.
+pub(crate) struct EntryView<'a> {
+    pub(crate) label: &'a str,
+    pub(crate) nranks: usize,
+    pub(crate) component: &'a dyn Component,
+}
+
+/// Runs the full static analysis: wiring checks, cycle detection, spec
+/// propagation in topological order, and per-read over-decomposition
+/// checks. The driver behind [`crate::Workflow::validate`].
+pub(crate) fn analyze(entries: &[EntryView<'_>]) -> Vec<AnalysisIssue> {
+    let mut issues = Vec::new();
+
+    // --- Stream-level wiring --------------------------------------------
+    let mut writers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut subscriptions: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        for s in e.component.output_streams() {
+            writers.entry(s).or_default().push(i);
+        }
+        for s in e.component.input_streams() {
+            readers.entry(s).or_default().push(i);
+        }
+        for sub in e.component.input_subscriptions() {
+            subscriptions
+                .entry(sub)
+                .or_default()
+                .push(e.label.to_string());
+        }
+    }
+    let labels_of = |ids: &[usize]| -> Vec<String> {
+        ids.iter().map(|&i| entries[i].label.to_string()).collect()
+    };
+    for (stream, consumers) in &readers {
+        if !writers.contains_key(stream) {
+            issues.push(AnalysisIssue::Wiring(WiringIssue::NoWriter {
+                stream: stream.clone(),
+                readers: labels_of(consumers),
+            }));
+        }
+    }
+    for (stream, producers) in &writers {
+        if !readers.contains_key(stream) {
+            issues.push(AnalysisIssue::Wiring(WiringIssue::NoReader {
+                stream: stream.clone(),
+                writers: labels_of(producers),
+            }));
+        }
+        if producers.len() > 1 {
+            issues.push(AnalysisIssue::Wiring(WiringIssue::MultipleWriters {
+                stream: stream.clone(),
+                writers: labels_of(producers),
+            }));
+        }
+    }
+    for ((stream, group), labels) in &subscriptions {
+        if labels.len() > 1 {
+            issues.push(AnalysisIssue::Wiring(WiringIssue::DuplicateSubscription {
+                stream: stream.clone(),
+                group: group.clone(),
+                readers: labels.clone(),
+            }));
+        }
+    }
+
+    // --- Component graph and cycle detection -----------------------------
+    // Edge writer -> reader for every stream both ends declare.
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (stream, producers) in &writers {
+        if let Some(consumers) = readers.get(stream) {
+            for &w in producers {
+                for &r in consumers {
+                    edges.insert((w, r));
+                }
+            }
+        }
+    }
+    let n = entries.len();
+    let topo_order = kahn_order(n, &edges);
+    if topo_order.len() < n {
+        let in_order: BTreeSet<usize> = topo_order.iter().copied().collect();
+        let forward_stuck: BTreeSet<usize> = (0..n).filter(|i| !in_order.contains(i)).collect();
+        // Nodes merely downstream of a cycle are also stuck forward; the
+        // ones stuck in *both* directions are the cycle itself.
+        let reversed: BTreeSet<(usize, usize)> = edges.iter().map(|&(a, b)| (b, a)).collect();
+        let backward_done: BTreeSet<usize> = kahn_order(n, &reversed).into_iter().collect();
+        let on_cycle: Vec<String> = (0..n)
+            .filter(|i| forward_stuck.contains(i) && !backward_done.contains(i))
+            .map(|i| entries[i].label.to_string())
+            .collect();
+        issues.push(AnalysisIssue::Cycle {
+            components: on_cycle,
+        });
+    }
+
+    // --- Spec propagation in topological order ---------------------------
+    // Streams with several writers carry no single declaration; keep them
+    // opaque rather than trusting either writer.
+    let contested: BTreeSet<&String> = writers
+        .iter()
+        .filter(|(_, p)| p.len() > 1)
+        .map(|(s, _)| s)
+        .collect();
+    let mut specs: BTreeMap<String, StreamSpec> = BTreeMap::new();
+    for &idx in &topo_order {
+        let e = &entries[idx];
+        let sig = e.component.signature();
+
+        // Over-decomposition: more ranks than the partitioned dimension
+        // has slices. Extent-1 dimensions are exempt — they are inherently
+        // serial (the paper's GTCP pipeline runs multi-rank Dim-Reduce on
+        // a selected, extent-1 property dimension) and empty slab parts
+        // are supported at run time.
+        for read in &sig.reads {
+            let Some(StreamSpec::Known(arrays)) = specs.get(&read.stream) else {
+                continue;
+            };
+            let Some(spec) = arrays.get(&read.array) else {
+                continue;
+            };
+            let Some(d) = read.partition.resolve(spec.ndims()) else {
+                continue;
+            };
+            if let Extent::Fixed(extent) = spec.dims[d].extent {
+                if extent > 1 && e.nranks > extent {
+                    issues.push(AnalysisIssue::OverDecomposed {
+                        component: e.label.to_string(),
+                        stream: read.stream.clone(),
+                        array: read.array.clone(),
+                        dim: spec.dims[d].name.clone(),
+                        extent,
+                        nranks: e.nranks,
+                    });
+                }
+            }
+        }
+
+        let input_streams = e.component.input_streams();
+        let ins: Vec<StreamSpec> = input_streams
+            .iter()
+            .map(|s| specs.get(s).cloned().unwrap_or(StreamSpec::Opaque))
+            .collect();
+        let outs = e.component.output_streams();
+        let out_specs = match &sig.transfer {
+            None => vec![StreamSpec::Opaque; outs.len()],
+            Some(transfer) => match transfer(&ins) {
+                Ok(v) if v.len() == outs.len() => v,
+                Ok(_) => vec![StreamSpec::Opaque; outs.len()],
+                Err(error) => {
+                    issues.push(AnalysisIssue::Contract {
+                        component: e.label.to_string(),
+                        stream: input_streams.join(", "),
+                        error,
+                    });
+                    vec![StreamSpec::Opaque; outs.len()]
+                }
+            },
+        };
+        for (stream, spec) in outs.iter().zip(out_specs) {
+            if contested.contains(stream) {
+                continue;
+            }
+            specs.insert(stream.clone(), spec);
+        }
+    }
+
+    issues
+}
+
+/// Kahn's algorithm over `n` nodes; returns the topological order of every
+/// node reachable without entering a cycle, lowest index first among ready
+/// nodes (i.e. launch order is preserved where the graph allows).
+fn kahn_order(n: usize, edges: &BTreeSet<(usize, usize)>) -> Vec<usize> {
+    let mut indegree = vec![0usize; n];
+    for &(_, b) in edges {
+        indegree[b] += 1;
+    }
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(i);
+        for &(a, b) in edges.range((i, 0)..(i + 1, 0)) {
+            debug_assert_eq!(a, i);
+            indegree[b] -= 1;
+            if indegree[b] == 0 {
+                ready.insert(b);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_multiply_with_dynamic_absorbing() {
+        assert_eq!(Extent::Fixed(3).times(Extent::Fixed(4)), Extent::Fixed(12));
+        assert_eq!(Extent::Fixed(3).times(Extent::Dynamic), Extent::Dynamic);
+        assert_eq!(Extent::Dynamic.times(Extent::Fixed(4)), Extent::Dynamic);
+    }
+
+    #[test]
+    fn array_spec_renders_readably() {
+        let spec = ArraySpec::new(
+            vec![DimSpec::dynamic("particles"), DimSpec::fixed("props", 5)],
+            DType::F64,
+        );
+        assert_eq!(spec.to_string(), "[particles=?, props=5] f64");
+        assert_eq!(spec.total_elements(), None);
+        let fixed = ArraySpec::new(vec![DimSpec::fixed("n", 6)], DType::U64);
+        assert_eq!(fixed.total_elements(), Some(6));
+    }
+
+    #[test]
+    fn stream_spec_lookup_distinguishes_opaque_from_missing() {
+        assert_eq!(StreamSpec::Opaque.array("x"), Ok(None));
+        let known = StreamSpec::known_one("x", ArraySpec::new(vec![], DType::F64));
+        assert!(known.array("x").unwrap().is_some());
+        assert!(matches!(
+            known.array("y"),
+            Err(SpecError::UnknownArray { array, available })
+                if array == "y" && available == vec!["x".to_string()]
+        ));
+    }
+
+    #[test]
+    fn partition_rules_resolve_against_rank() {
+        assert_eq!(PartitionRule::Along(1).resolve(3), Some(1));
+        assert_eq!(PartitionRule::Along(3).resolve(3), None);
+        assert_eq!(PartitionRule::FirstExcept(0).resolve(3), Some(1));
+        assert_eq!(PartitionRule::FirstExcept(2).resolve(3), Some(0));
+        assert_eq!(PartitionRule::FirstExcept(0).resolve(1), None);
+    }
+
+    #[test]
+    fn kahn_handles_chains_and_cycles() {
+        // 0 -> 1 -> 2, plus 3 <-> 4 cycling.
+        let edges: BTreeSet<(usize, usize)> =
+            [(0, 1), (1, 2), (3, 4), (4, 3)].into_iter().collect();
+        let order = kahn_order(5, &edges);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn severity_split_matches_the_documented_model() {
+        let warning = AnalysisIssue::Wiring(WiringIssue::NoReader {
+            stream: "s".into(),
+            writers: vec![],
+        });
+        assert_eq!(warning.severity(), Severity::Warning);
+        let error = AnalysisIssue::Cycle { components: vec![] };
+        assert_eq!(error.severity(), Severity::Error);
+        let degenerate = AnalysisIssue::Contract {
+            component: "h".into(),
+            stream: "s".into(),
+            error: SpecError::DegenerateBins {
+                bins: 100,
+                elements: 5,
+            },
+        };
+        assert_eq!(degenerate.severity(), Severity::Warning);
+    }
+}

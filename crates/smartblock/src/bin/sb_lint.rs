@@ -1,0 +1,109 @@
+//! `sb-lint`: static analysis of SmartBlock launch scripts.
+//!
+//! Parses an aprun-style launch script (the paper's Fig. 8 deployment
+//! format), assembles the workflow *without running it*, and reports every
+//! issue the static analyzer finds: wiring mistakes, subscription cycles,
+//! contract violations (unknown labels, bad axes, shape mismatches), and
+//! over-decomposed reads.
+//!
+//! Exit status:
+//! * `0` — script parses and analysis found no errors (warnings allowed);
+//! * `1` — analysis found at least one error;
+//! * `2` — the script could not be parsed or a component rejected its
+//!   arguments outright (e.g. a zero-bin histogram).
+//!
+//! Usage: `sb-lint SCRIPT...` or `sb-lint -` to read standard input.
+
+use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use smartblock::launch::parse_script;
+use smartblock::workflows::instantiate_entry;
+use smartblock::{Severity, Workflow};
+
+fn lint_text(name: &str, text: &str) -> Result<usize, String> {
+    let entries = parse_script(text).map_err(|e| e.to_string())?;
+    // Component constructors assert on nonsensical arguments (zero bins,
+    // empty fork); a lint tool must report those, not crash on them. The
+    // panic hook is silenced so the diagnostic is the only output.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let wf = catch_unwind(AssertUnwindSafe(|| {
+        let mut wf = Workflow::new();
+        for entry in &entries {
+            wf.add(entry.nranks, instantiate_entry(entry));
+        }
+        wf
+    }));
+    std::panic::set_hook(saved_hook);
+    let wf = wf.map_err(|panic| {
+        let detail = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "component constructor panicked".to_string());
+        format!("invalid component arguments: {detail}")
+    })?;
+    let issues = wf.validate();
+    let mut errors = 0;
+    for issue in &issues {
+        if issue.severity() == Severity::Error {
+            errors += 1;
+        }
+        println!("{name}: {}: {issue}", issue.severity());
+    }
+    Ok(errors)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: sb-lint SCRIPT... (or `-` for stdin)");
+        eprintln!("statically checks a SmartBlock launch script without running it");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut errors = 0usize;
+    let mut failed = false;
+    for arg in &args {
+        let text = if arg == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("sb-lint: stdin: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(arg) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sb-lint: {arg}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        let name = if arg == "-" { "<stdin>" } else { arg.as_str() };
+        match lint_text(name, &text) {
+            Ok(n) => errors += n,
+            Err(e) => {
+                eprintln!("sb-lint: {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(2)
+    } else if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

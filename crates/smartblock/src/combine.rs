@@ -142,11 +142,64 @@ impl Component for Combine {
 
     fn input_subscriptions(&self) -> Vec<(String, String)> {
         let (lg, rg) = self.reader_groups();
-        vec![(self.left.stream.clone(), lg), (self.right.stream.clone(), rg)]
+        vec![
+            (self.left.stream.clone(), lg),
+            (self.right.stream.clone(), rg),
+        ]
     }
 
     fn output_streams(&self) -> Vec<String> {
         vec![self.output.stream.clone()]
+    }
+
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            ArraySpec, Extent, PartitionRule, ReadSpec, Signature, SpecError, StreamSpec,
+        };
+        let left = self.left.clone();
+        let right = self.right.clone();
+        let out_array = self.output.array.clone();
+        Signature::new(
+            vec![
+                ReadSpec::new(&self.left.stream, &self.left.array, PartitionRule::Along(0)),
+                ReadSpec::new(
+                    &self.right.stream,
+                    &self.right.array,
+                    PartitionRule::Along(0),
+                ),
+            ],
+            move |ins| {
+                let lspec = match ins.first() {
+                    Some(s) => s.array(&left.array)?,
+                    None => None,
+                };
+                let rspec = match ins.get(1) {
+                    Some(s) => s.array(&right.array)?,
+                    None => None,
+                };
+                let (Some(l), Some(r)) = (lspec, rspec) else {
+                    return Ok(vec![StreamSpec::Opaque]);
+                };
+                // Dynamic extents are compatible with anything; two fixed
+                // extents must agree exactly (the run-time assertion).
+                let agree = l.ndims() == r.ndims()
+                    && l.dims.iter().zip(&r.dims).all(|(a, b)| {
+                        !matches!(
+                            (a.extent, b.extent),
+                            (Extent::Fixed(x), Extent::Fixed(y)) if x != y
+                        )
+                    });
+                if !agree {
+                    return Err(SpecError::ShapeMismatch {
+                        left: l.to_string(),
+                        right: r.to_string(),
+                    });
+                }
+                let mut out = ArraySpec::new(l.dims.clone(), sb_data::DType::F64);
+                out.labels = l.labels.clone();
+                Ok(vec![StreamSpec::known_one(out_array.clone(), out)])
+            },
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
@@ -254,7 +307,10 @@ mod tests {
     #[test]
     fn same_stream_inputs_use_distinct_groups() {
         let c = Combine::new(("s.fp", "a"), BinaryOp::Add, ("s.fp", "b"), ("o.fp", "sum"));
-        assert_eq!(c.reader_groups(), ("combine-left".into(), "combine-right".into()));
+        assert_eq!(
+            c.reader_groups(),
+            ("combine-left".into(), "combine-right".into())
+        );
         let c = Combine::new(("l.fp", "a"), BinaryOp::Add, ("r.fp", "b"), ("o.fp", "sum"));
         assert_eq!(c.reader_groups(), ("default".into(), "default".into()));
         assert_eq!(c.input_streams(), vec!["l.fp", "r.fp"]);

@@ -80,6 +80,16 @@ pub trait Component: Send + Sync + 'static {
     fn output_streams(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// The component's static contract — declared reads plus a transfer
+    /// function from input to output array specs — consumed by
+    /// [`crate::Workflow::validate`]. The default is fully opaque: the
+    /// component's reads are unchecked and its outputs propagate as
+    /// [`crate::analysis::StreamSpec::Opaque`], silencing (never
+    /// falsifying) downstream checks.
+    fn signature(&self) -> crate::analysis::Signature {
+        crate::analysis::Signature::opaque()
+    }
 }
 
 /// What one rank produced for one step of a transform component.
@@ -139,8 +149,12 @@ where
     F: FnMut(&StreamReader, &Communicator) -> DataResult<StepOutput>,
 {
     let label = spec.label;
-    let mut reader =
-        hub.open_reader_grouped(spec.input_stream, spec.reader_group, comm.rank(), comm.size());
+    let mut reader = hub.open_reader_grouped(
+        spec.input_stream,
+        spec.reader_group,
+        comm.rank(),
+        comm.size(),
+    );
     let mut writer = hub.open_writer(
         spec.output_stream,
         comm.rank(),
@@ -185,8 +199,7 @@ pub fn run_sink<F>(
 where
     F: FnMut(&StreamReader, &Communicator, u64) -> DataResult<(u64, Duration)>,
 {
-    let mut reader =
-        hub.open_reader_grouped(input_stream, reader_group, comm.rank(), comm.size());
+    let mut reader = hub.open_reader_grouped(input_stream, reader_group, comm.rank(), comm.size());
     let mut stats = ComponentStats::default();
     loop {
         let step_start = Instant::now();
@@ -257,27 +270,41 @@ mod tests {
         let hub = StreamHub::new();
         let hub2 = Arc::clone(&hub);
         let producer = sb_comm::LaunchHandle::spawn("src", 1, move |comm| {
-            run_source("src", &comm, &hub2, "t.fp", WriterOptions::default(), |_c, step| {
-                Ok((step < 4).then(|| {
-                    let v = Variable::new(
-                        "x",
-                        Shape::linear("n", 3),
-                        Buffer::F64(vec![step as f64; 3]),
-                    )
-                    .unwrap();
-                    Chunk::whole(v)
-                }))
-            })
+            run_source(
+                "src",
+                &comm,
+                &hub2,
+                "t.fp",
+                WriterOptions::default(),
+                |_c, step| {
+                    Ok((step < 4).then(|| {
+                        let v = Variable::new(
+                            "x",
+                            Shape::linear("n", 3),
+                            Buffer::F64(vec![step as f64; 3]),
+                        )
+                        .unwrap();
+                        Chunk::whole(v)
+                    }))
+                },
+            )
         })
         .unwrap();
 
         let hub3 = Arc::clone(&hub);
         let consumer = sb_comm::LaunchHandle::spawn("sink", 1, move |comm| {
-            run_sink("sink", &comm, &hub3, "t.fp", "default", |reader, _c, step| {
-                let v = reader.get_whole("x")?;
-                assert_eq!(v.data.to_f64_vec(), vec![step as f64; 3]);
-                Ok((v.byte_len() as u64, Duration::ZERO))
-            })
+            run_sink(
+                "sink",
+                &comm,
+                &hub3,
+                "t.fp",
+                "default",
+                |reader, _c, step| {
+                    let v = reader.get_whole("x")?;
+                    assert_eq!(v.data.to_f64_vec(), vec![step as f64; 3]);
+                    Ok((v.byte_len() as u64, Duration::ZERO))
+                },
+            )
         })
         .unwrap();
 

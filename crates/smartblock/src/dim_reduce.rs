@@ -234,6 +234,55 @@ impl Component for DimReduce {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            unary_transfer, ArraySpec, DimSpec, PartitionRule, ReadSpec, Signature, SpecError,
+        };
+        use std::collections::BTreeMap;
+        let (remove, grow) = (self.remove, self.grow);
+        Signature {
+            reads: vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::Along(remove),
+            )],
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                move |spec| {
+                    spec.check_dim(remove)?;
+                    spec.check_dim(grow)?;
+                    if remove == grow {
+                        return Err(SpecError::InvalidAxes {
+                            detail: format!("cannot fold dimension {remove} into itself"),
+                        });
+                    }
+                    // Mirrors `reduced_shape`: the removed dimension's
+                    // extent multiplies into the grown one.
+                    let grown = DimSpec {
+                        name: format!("{}*{}", spec.dims[remove].name, spec.dims[grow].name),
+                        extent: spec.dims[remove].extent.times(spec.dims[grow].extent),
+                    };
+                    let mut dims = spec.dims.clone();
+                    dims.remove(remove);
+                    let grow_out = if remove < grow { grow - 1 } else { grow };
+                    dims[grow_out] = grown;
+                    let mut labels = BTreeMap::new();
+                    for (&d, names) in &spec.labels {
+                        if d == remove || d == grow {
+                            continue;
+                        }
+                        let nd = if d > remove { d - 1 } else { d };
+                        labels.insert(nd, names.clone());
+                    }
+                    let mut out = ArraySpec::new(dims, spec.dtype);
+                    out.labels = labels;
+                    Ok(out)
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_transform(
             TransformSpec {
@@ -287,11 +336,7 @@ impl Component for DimReduce {
                 let mut out_counts = global_out_shape.sizes();
                 out_offset[grow_out] = off * g;
                 out_counts[grow_out] = count * g;
-                let chunk = Chunk::new(
-                    out_meta,
-                    Region::new(out_offset, out_counts),
-                    local.data,
-                )?;
+                let chunk = Chunk::new(out_meta, Region::new(out_offset, out_counts), local.data)?;
                 Ok(StepOutput {
                     chunk: Some(chunk),
                     bytes_in,
@@ -430,17 +475,15 @@ mod tests {
 
         // Remove dim 0 into dim 2: dim-1 labels shift to dim 0.
         let out = dim_reduce(&v, 0, 2).unwrap();
-        assert_eq!(out.header(0).unwrap(), &["p".to_string(), "q".into(), "r".into()]);
+        assert_eq!(
+            out.header(0).unwrap(),
+            &["p".to_string(), "q".into(), "r".into()]
+        );
     }
 
     #[test]
     fn empty_input_round_trips() {
-        let v = Variable::new(
-            "e",
-            Shape::of(&[("a", 0), ("b", 3)]),
-            Buffer::F64(vec![]),
-        )
-        .unwrap();
+        let v = Variable::new("e", Shape::of(&[("a", 0), ("b", 3)]), Buffer::F64(vec![])).unwrap();
         let out = dim_reduce(&v, 0, 1).unwrap();
         assert_eq!(out.shape.sizes(), vec![0]);
         assert!(out.data.is_empty());

@@ -63,20 +63,27 @@ impl Component for FileWrite {
         } else {
             None
         };
-        let stats = run_sink("file-write", comm, hub, &self.input, "default", |reader, _comm, step| {
-            let mut bytes_in = 0u64;
-            let start = Instant::now();
-            if let Some(w) = writer.as_mut() {
-                let mut vars = Vec::new();
-                for name in reader.variables() {
-                    let var = reader.get_whole(&name)?;
-                    bytes_in += var.byte_len() as u64;
-                    vars.push(var);
+        let stats = run_sink(
+            "file-write",
+            comm,
+            hub,
+            &self.input,
+            "default",
+            |reader, _comm, step| {
+                let mut bytes_in = 0u64;
+                let start = Instant::now();
+                if let Some(w) = writer.as_mut() {
+                    let mut vars = Vec::new();
+                    for name in reader.variables() {
+                        let var = reader.get_whole(&name)?;
+                        bytes_in += var.byte_len() as u64;
+                        vars.push(var);
+                    }
+                    w.write_step(step, &vars)?;
                 }
-                w.write_step(step, &vars)?;
-            }
-            Ok((bytes_in, start.elapsed()))
-        });
+                Ok((bytes_in, start.elapsed()))
+            },
+        );
         if let Some(w) = writer {
             let mut sink = w.finish().unwrap_or_else(|e| panic!("file-write: {e}"));
             use std::io::Write;

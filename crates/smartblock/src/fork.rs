@@ -70,6 +70,17 @@ impl Component for Fork {
         self.outputs.clone()
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{Signature, StreamSpec};
+        // Fork replicates whole steps (no partitioning of its own), so it
+        // declares no reads; every output carries the input's spec.
+        let n = self.outputs.len();
+        Signature::new(Vec::new(), move |ins| {
+            let spec = ins.first().cloned().unwrap_or(StreamSpec::Opaque);
+            Ok(vec![spec; n])
+        })
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         let mut reader = hub.open_reader_grouped(&self.input, "fork", comm.rank(), comm.size());
         let mut writers: Vec<_> = self
@@ -89,15 +100,17 @@ impl Component for Fork {
             // it to every output.
             let mut chunks: Vec<Chunk> = Vec::new();
             for name in reader.variables() {
-                let meta = reader.meta(&name).expect("listed variable has meta").clone();
+                let meta = reader
+                    .meta(&name)
+                    .expect("listed variable has meta")
+                    .clone();
                 let region = default_partition(&meta.shape, comm.size(), comm.rank());
                 let var = reader
                     .get(&name, &region)
                     .unwrap_or_else(|e| panic!("fork: reading {name:?}: {e}"));
                 stats.bytes_in += var.byte_len() as u64;
                 chunks.push(
-                    Chunk::new(meta, region, var.data)
-                        .expect("partition chunk is consistent"),
+                    Chunk::new(meta, region, var.data).expect("partition chunk is consistent"),
                 );
             }
             reader.end_step();

@@ -161,6 +161,55 @@ impl Component for Histogram {
         self.output_stream.iter().cloned().collect()
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            ArraySpec, DimSpec, PartitionRule, ReadSpec, Signature, SpecError, StreamSpec,
+        };
+        use std::collections::BTreeMap;
+        let in_array = self.input.array.clone();
+        let bins = self.num_bins;
+        let has_output = self.output_stream.is_some();
+        Signature::new(
+            vec![ReadSpec::new(
+                &self.input.stream,
+                &in_array,
+                PartitionRule::Along(0),
+            )],
+            move |ins| {
+                if let Some(stream) = ins.first() {
+                    if let Some(spec) = stream.array(&in_array)? {
+                        if spec.ndims() != 1 {
+                            return Err(SpecError::RankMismatch {
+                                expected: 1,
+                                got: spec.ndims(),
+                            });
+                        }
+                        if let Some(elements) = spec.total_elements() {
+                            if bins > elements {
+                                return Err(SpecError::DegenerateBins { bins, elements });
+                            }
+                        }
+                    }
+                }
+                if !has_output {
+                    return Ok(Vec::new());
+                }
+                // The output arrays are fixed by configuration, so they are
+                // known even when the input is opaque.
+                let mut map = BTreeMap::new();
+                map.insert(
+                    "counts".to_string(),
+                    ArraySpec::new(vec![DimSpec::fixed("bins", bins)], sb_data::DType::U64),
+                );
+                map.insert(
+                    "bin_edges".to_string(),
+                    ArraySpec::new(vec![DimSpec::fixed("edges", bins + 1)], sb_data::DType::F64),
+                );
+                Ok(vec![StreamSpec::Known(map)])
+            },
+        )
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         let mut writer = self
             .output_stream
@@ -184,81 +233,84 @@ impl Component for Histogram {
             &self.input.stream,
             &self.reader_group,
             |reader, comm, step| {
-            let meta = reader
-                .meta(&self.input.array)
-                .ok_or_else(|| DataError::Container {
-                    detail: format!("no array {:?} in stream", self.input.array),
-                })?;
-            if meta.shape.ndims() != 1 {
-                return Err(DataError::RegionOutOfBounds {
-                    detail: format!(
-                        "histogram expects 1-d input, stream carries rank {}",
-                        meta.shape.ndims()
-                    ),
-                });
-            }
-            let n = meta.shape.size(0);
-            let (off, count) = split_1d_part(n, comm.size(), comm.rank());
-            let var = reader.get(&self.input.array, &Region::new(vec![off], vec![count]))?;
-            let bytes_in = var.byte_len() as u64;
-
-            let kernel_start = Instant::now();
-            let local = var.data.into_f64_vec();
-            // Global extremes, then local binning, then a count reduction —
-            // the two communication rounds the paper describes.
-            let (lmin, lmax) = local.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-                (a.min(v), b.max(v))
-            });
-            let min = comm.allreduce(lmin, f64::min);
-            let max = comm.allreduce(lmax, f64::max);
-            let counts = bin_counts(&local, min, max, self.num_bins);
-            let total = comm.reduce(0, counts, |a, b| {
-                a.iter().zip(&b).map(|(x, y)| x + y).collect()
-            });
-            let compute = kernel_start.elapsed();
-
-            if let Some(counts) = total {
-                // Rank 0 only: record, write file, publish.
-                let result = HistogramResult {
-                    step,
-                    min,
-                    max,
-                    counts,
-                };
-                if let Some(f) = file.as_mut() {
-                    write_histogram(f, &result)?;
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?;
+                if meta.shape.ndims() != 1 {
+                    return Err(DataError::RegionOutOfBounds {
+                        detail: format!(
+                            "histogram expects 1-d input, stream carries rank {}",
+                            meta.shape.ndims()
+                        ),
+                    });
                 }
-                if let Some(w) = writer.as_mut() {
-                    let nb = result.counts.len();
-                    let counts_var = Variable::new(
-                        "counts",
-                        Shape::linear("bins", nb),
-                        Buffer::U64(result.counts.clone()),
-                    )?
-                    .with_attr("min", AttrValue::Float(result.min))
-                    .with_attr("max", AttrValue::Float(result.max))
-                    .with_attr("source", AttrValue::Text(self.input.to_string()));
-                    let edges: Vec<f64> = (0..=nb)
-                        .map(|i| result.min + (result.max - result.min) * i as f64 / nb as f64)
-                        .collect();
-                    let edges_var = Variable::new(
-                        "bin_edges",
-                        Shape::linear("edges", nb + 1),
-                        Buffer::F64(edges),
-                    )?;
+                let n = meta.shape.size(0);
+                let (off, count) = split_1d_part(n, comm.size(), comm.rank());
+                let var = reader.get(&self.input.array, &Region::new(vec![off], vec![count]))?;
+                let bytes_in = var.byte_len() as u64;
+
+                let kernel_start = Instant::now();
+                let local = var.data.into_f64_vec();
+                // Global extremes, then local binning, then a count reduction —
+                // the two communication rounds the paper describes.
+                let (lmin, lmax) = local
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                        (a.min(v), b.max(v))
+                    });
+                let min = comm.allreduce(lmin, f64::min);
+                let max = comm.allreduce(lmax, f64::max);
+                let counts = bin_counts(&local, min, max, self.num_bins);
+                let total = comm.reduce(0, counts, |a, b| {
+                    a.iter().zip(&b).map(|(x, y)| x + y).collect()
+                });
+                let compute = kernel_start.elapsed();
+
+                if let Some(counts) = total {
+                    // Rank 0 only: record, write file, publish.
+                    let result = HistogramResult {
+                        step,
+                        min,
+                        max,
+                        counts,
+                    };
+                    if let Some(f) = file.as_mut() {
+                        write_histogram(f, &result)?;
+                    }
+                    if let Some(w) = writer.as_mut() {
+                        let nb = result.counts.len();
+                        let counts_var = Variable::new(
+                            "counts",
+                            Shape::linear("bins", nb),
+                            Buffer::U64(result.counts.clone()),
+                        )?
+                        .with_attr("min", AttrValue::Float(result.min))
+                        .with_attr("max", AttrValue::Float(result.max))
+                        .with_attr("source", AttrValue::Text(self.input.to_string()));
+                        let edges: Vec<f64> = (0..=nb)
+                            .map(|i| result.min + (result.max - result.min) * i as f64 / nb as f64)
+                            .collect();
+                        let edges_var = Variable::new(
+                            "bin_edges",
+                            Shape::linear("edges", nb + 1),
+                            Buffer::F64(edges),
+                        )?;
+                        w.begin_step();
+                        w.put_whole(counts_var);
+                        w.put_whole(edges_var);
+                        w.end_step();
+                    }
+                    self.results.lock().push(result);
+                } else if let Some(w) = writer.as_mut() {
+                    // Non-root ranks pace the output stream without contributing.
                     w.begin_step();
-                    w.put_whole(counts_var);
-                    w.put_whole(edges_var);
                     w.end_step();
                 }
-                self.results.lock().push(result);
-            } else if let Some(w) = writer.as_mut() {
-                // Non-root ranks pace the output stream without contributing.
-                w.begin_step();
-                w.end_step();
-            }
-            Ok((bytes_in, compute))
-        });
+                Ok((bytes_in, compute))
+            },
+        );
         if let Some(mut w) = writer {
             w.close();
         }

@@ -19,8 +19,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::component::StreamArray;
 use crate::combine::BinaryOp;
+use crate::component::StreamArray;
 use crate::reduce::ReduceOp;
 use crate::threshold::Predicate;
 
@@ -305,7 +305,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
 
         let program = match prog {
             "select" => {
-                need(5, "select in-stream in-array dim-index out-stream out-array names...")?;
+                need(
+                    5,
+                    "select in-stream in-array dim-index out-stream out-array names...",
+                )?;
                 Program::Select {
                     input: StreamArray::new(tokens[0], tokens[1]),
                     dim_index: parse_usize(tokens[2], "dimension index", line)?,
@@ -321,7 +324,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
                 }
             }
             "dim-reduce" => {
-                need(6, "dim-reduce in-stream in-array remove grow out-stream out-array")?;
+                need(
+                    6,
+                    "dim-reduce in-stream in-array remove grow out-stream out-array",
+                )?;
                 Program::DimReduce {
                     input: StreamArray::new(tokens[0], tokens[1]),
                     remove: parse_usize(tokens[2], "dim-to-remove", line)?,
@@ -340,7 +346,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
             "reduce" => {
                 need(6, "reduce in-stream in-array dim op out-stream out-array")?;
                 let op = ReduceOp::parse(tokens[3]).ok_or_else(|| {
-                    err(line, format!("unknown reduce op {:?} (sum|mean|min|max)", tokens[3]))
+                    err(
+                        line,
+                        format!("unknown reduce op {:?} (sum|mean|min|max)", tokens[3]),
+                    )
                 })?;
                 Program::Reduce {
                     input: StreamArray::new(tokens[0], tokens[1]),
@@ -350,12 +359,21 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
                 }
             }
             "threshold" => {
-                need(6, "threshold in-stream in-array mode value out-stream out-array")?;
+                need(
+                    6,
+                    "threshold in-stream in-array mode value out-stream out-array",
+                )?;
                 let value: f64 = tokens[3].parse().map_err(|_| {
-                    err(line, format!("threshold value must be a number, got {:?}", tokens[3]))
+                    err(
+                        line,
+                        format!("threshold value must be a number, got {:?}", tokens[3]),
+                    )
                 })?;
                 let predicate = Predicate::parse(tokens[2], value).ok_or_else(|| {
-                    err(line, format!("unknown threshold mode {:?} (gt|lt|abs-gt)", tokens[2]))
+                    err(
+                        line,
+                        format!("unknown threshold mode {:?} (gt|lt|abs-gt)", tokens[2]),
+                    )
                 })?;
                 Program::Threshold {
                     input: StreamArray::new(tokens[0], tokens[1]),
@@ -378,7 +396,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
             "combine" => {
                 need(7, "combine left-stream left-array op right-stream right-array out-stream out-array")?;
                 let op = BinaryOp::parse(tokens[2]).ok_or_else(|| {
-                    err(line, format!("unknown combine op {:?} (add|sub|mul|div)", tokens[2]))
+                    err(
+                        line,
+                        format!("unknown combine op {:?} (add|sub|mul|div)", tokens[2]),
+                    )
                 })?;
                 Program::Combine {
                     left: StreamArray::new(tokens[0], tokens[1]),
@@ -388,7 +409,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
                 }
             }
             "temporal-mean" => {
-                need(5, "temporal-mean in-stream in-array window out-stream out-array")?;
+                need(
+                    5,
+                    "temporal-mean in-stream in-array window out-stream out-array",
+                )?;
                 Program::TemporalMean {
                     input: StreamArray::new(tokens[0], tokens[1]),
                     window: parse_usize(tokens[2], "window", line)?,
@@ -447,7 +471,10 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
                 let mut params = BTreeMap::new();
                 for t in &tokens {
                     let (k, v) = t.split_once('=').ok_or_else(|| {
-                        err(line, format!("simulation arguments must be key=value, got {t:?}"))
+                        err(
+                            line,
+                            format!("simulation arguments must be key=value, got {t:?}"),
+                        )
                     })?;
                     params.insert(k.to_string(), v.to_string());
                 }
@@ -536,7 +563,11 @@ mod tests {
         let entries = parse_script(script).unwrap();
         assert_eq!(entries.len(), 5);
         match &entries[0].program {
-            Program::Simulation { code, params, stdin } => {
+            Program::Simulation {
+                code,
+                params,
+                stdin,
+            } => {
                 assert_eq!(*code, SimCode::Gtcp);
                 assert_eq!(params["slices"], "16");
                 assert_eq!(params["steps"], "3");

@@ -56,6 +56,7 @@
 
 pub mod all_in_one;
 pub mod all_pairs;
+pub mod analysis;
 pub mod combine;
 pub mod component;
 pub mod dim_reduce;
@@ -76,6 +77,10 @@ pub mod workflows;
 
 pub use all_in_one::AllInOne;
 pub use all_pairs::AllPairs;
+pub use analysis::{
+    AnalysisIssue, ArraySpec, DimSpec, Extent, PartitionRule, ReadSpec, Severity, Signature,
+    SpecError, StreamSpec,
+};
 pub use combine::{BinaryOp, Combine};
 pub use component::{Component, StreamArray};
 pub use dim_reduce::DimReduce;
@@ -95,6 +100,7 @@ pub use transpose::Transpose;
 
 /// Everything needed to assemble and run a workflow.
 pub mod prelude {
+    pub use crate::analysis::{AnalysisIssue, Severity};
     pub use crate::component::{Component, StreamArray};
     pub use crate::runtime::Workflow;
     pub use crate::{

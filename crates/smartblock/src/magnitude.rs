@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use sb_comm::Communicator;
 use sb_data::decompose::slab_partition;
-use sb_data::{Buffer, Chunk, DataError, DataResult, DType, Region, Shape, Variable, VariableMeta};
+use sb_data::{Buffer, Chunk, DType, DataError, DataResult, Region, Shape, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
@@ -108,6 +108,35 @@ impl Component for Magnitude {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature, SpecError,
+        };
+        Signature {
+            reads: vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::Along(0),
+            )],
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                |spec| {
+                    if spec.ndims() != 2 {
+                        return Err(SpecError::RankMismatch {
+                            expected: 2,
+                            got: spec.ndims(),
+                        });
+                    }
+                    Ok(ArraySpec::new(
+                        vec![spec.dims[0].clone()],
+                        sb_data::DType::F64,
+                    ))
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_transform(
             TransformSpec {
@@ -202,12 +231,8 @@ mod tests {
 
     #[test]
     fn kernel_handles_empty_rows() {
-        let v = Variable::new(
-            "vel",
-            Shape::of(&[("p", 0), ("c", 3)]),
-            Buffer::F64(vec![]),
-        )
-        .unwrap();
+        let v =
+            Variable::new("vel", Shape::of(&[("p", 0), ("c", 3)]), Buffer::F64(vec![])).unwrap();
         assert_eq!(vector_magnitudes(&v).unwrap(), Vec::<f64>::new());
     }
 }

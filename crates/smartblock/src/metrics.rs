@@ -164,7 +164,15 @@ impl WorkflowReport {
             })
             .collect();
         out.push_str(&format_table(
-            &["component", "ranks", "steps", "in (B)", "out (B)", "step", "wait"],
+            &[
+                "component",
+                "ranks",
+                "steps",
+                "in (B)",
+                "out (B)",
+                "step",
+                "wait",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -252,7 +260,11 @@ mod tests {
                 ..Default::default()
             };
             s.record_step(Duration::from_millis(ms), Duration::ZERO, Duration::ZERO);
-            s.record_step(Duration::from_millis(ms * 2), Duration::ZERO, Duration::ZERO);
+            s.record_step(
+                Duration::from_millis(ms * 2),
+                Duration::ZERO,
+                Duration::ZERO,
+            );
             s
         };
         let rep = ComponentReport::from_ranks("sel".into(), vec![mk(1000, 10), mk(3000, 30)]);

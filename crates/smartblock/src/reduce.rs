@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use sb_comm::Communicator;
 use sb_data::decompose::{slab_partition, split_1d_part};
-use sb_data::{Buffer, Chunk, DataError, DataResult, DType, Region, Variable, VariableMeta};
+use sb_data::{Buffer, Chunk, DType, DataError, DataResult, Region, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
@@ -116,7 +116,9 @@ pub fn reduce_axis(var: &Variable, dim: usize, op: ReduceOp) -> DataResult<Varia
             continue;
         }
         let nd = if ld > dim { ld - 1 } else { ld };
-        result.set_labels(nd, names.clone()).expect("extent unchanged");
+        result
+            .set_labels(nd, names.clone())
+            .expect("extent unchanged");
     }
     result.attrs = var.attrs.clone();
     Ok(result)
@@ -181,6 +183,39 @@ impl Component for Reduce {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature};
+        use std::collections::BTreeMap;
+        let dim = self.dim;
+        Signature {
+            reads: vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::FirstExcept(dim),
+            )],
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                move |spec| {
+                    spec.check_dim(dim)?;
+                    let mut dims = spec.dims.clone();
+                    dims.remove(dim);
+                    let mut labels = BTreeMap::new();
+                    for (&d, names) in &spec.labels {
+                        if d == dim {
+                            continue;
+                        }
+                        let nd = if d > dim { d - 1 } else { d };
+                        labels.insert(nd, names.clone());
+                    }
+                    let mut out = ArraySpec::new(dims, sb_data::DType::F64);
+                    out.labels = labels;
+                    Ok(out)
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_transform(
             TransformSpec {
@@ -210,12 +245,8 @@ impl Component for Reduce {
                         let region = slab_partition(&meta.shape, pdim, comm.size(), comm.rank());
                         // The same block in the output, with `dim` dropped.
                         let out_pdim = if pdim > self.dim { pdim - 1 } else { pdim };
-                        let out_region = slab_partition(
-                            &out_shape_global,
-                            out_pdim,
-                            comm.size(),
-                            comm.rank(),
-                        );
+                        let out_region =
+                            slab_partition(&out_shape_global, out_pdim, comm.size(), comm.rank());
                         (region, out_region)
                     }
                     None => {
@@ -341,7 +372,10 @@ mod tests {
         let v = cube();
         // Reduce dim 0: labels on dim 1 shift to dim 0.
         let r = reduce_axis(&v, 0, ReduceOp::Sum).unwrap();
-        assert_eq!(r.header(0).unwrap(), &["p".to_string(), "q".into(), "r".into()]);
+        assert_eq!(
+            r.header(0).unwrap(),
+            &["p".to_string(), "q".into(), "r".into()]
+        );
         // Reduce dim 1: its labels vanish.
         let r = reduce_axis(&v, 1, ReduceOp::Sum).unwrap();
         assert!(r.labels.is_empty());
@@ -349,8 +383,12 @@ mod tests {
 
     #[test]
     fn reduce_1d_to_scalar_shape() {
-        let v = Variable::new("x", Shape::linear("n", 5), Buffer::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0]))
-            .unwrap();
+        let v = Variable::new(
+            "x",
+            Shape::linear("n", 5),
+            Buffer::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+        )
+        .unwrap();
         let r = reduce_axis(&v, 0, ReduceOp::Sum).unwrap();
         assert_eq!(r.shape.ndims(), 0);
         assert_eq!(r.data.to_f64_vec(), vec![15.0]);

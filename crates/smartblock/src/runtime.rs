@@ -15,6 +15,7 @@ use sb_data::decompose::default_partition;
 use sb_data::{Chunk, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
+use crate::analysis::{self, AnalysisIssue, EntryView, Severity};
 use crate::component::Component;
 use crate::metrics::{ComponentReport, ComponentStats, WorkflowReport};
 
@@ -90,19 +91,26 @@ where
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
-        crate::component::run_sink(&self.label, comm, hub, &self.stream, &self.label, |reader, comm, step| {
-            let mut bytes_in = 0u64;
-            if comm.rank() == 0 {
-                let mut vars = BTreeMap::new();
-                for name in reader.variables() {
-                    let v = reader.get_whole(&name)?;
-                    bytes_in += v.byte_len() as u64;
-                    vars.insert(name, v);
+        crate::component::run_sink(
+            &self.label,
+            comm,
+            hub,
+            &self.stream,
+            &self.label,
+            |reader, comm, step| {
+                let mut bytes_in = 0u64;
+                if comm.rank() == 0 {
+                    let mut vars = BTreeMap::new();
+                    for name in reader.variables() {
+                        let v = reader.get_whole(&name)?;
+                        bytes_in += v.byte_len() as u64;
+                        vars.insert(name, v);
+                    }
+                    (self.consume)(step, &vars);
                 }
-                (self.consume)(step, &vars);
-            }
-            Ok((bytes_in, Duration::ZERO))
-        })
+                Ok((bytes_in, Duration::ZERO))
+            },
+        )
     }
 }
 
@@ -308,71 +316,60 @@ impl Workflow {
         self.entries.iter().map(|e| e.label.as_str()).collect()
     }
 
-    /// Static wiring diagnostics: streams read by some component but
-    /// written by none (the workflow would deadlock) and streams written
-    /// but never read (the writer would fill its buffer and stall).
+    /// Static workflow analysis: wiring diagnostics (dangling or contested
+    /// streams and reader groups), subscription-cycle detection, and
+    /// [`ArraySpec`](crate::analysis::ArraySpec) propagation through every
+    /// component's declared [`signature`](Component::signature), catching
+    /// contract violations (unknown labels, out-of-range axes, shape
+    /// mismatches, degenerate histograms) and over-decomposition before
+    /// any rank is launched.
     ///
-    /// Components that do not declare their streams (custom `Component`
-    /// impls using the default trait methods) are invisible here, so an
-    /// empty result is strong evidence, not proof, of a well-wired
-    /// workflow.
-    pub fn validate(&self) -> Vec<WiringIssue> {
-        let mut writers: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        let mut readers: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        let mut subscriptions: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
-        for e in &self.entries {
-            for s in e.component.output_streams() {
-                writers.entry(s).or_default().push(e.label.clone());
-            }
-            for s in e.component.input_streams() {
-                readers.entry(s).or_default().push(e.label.clone());
-            }
-            for sub in e.component.input_subscriptions() {
-                subscriptions.entry(sub).or_default().push(e.label.clone());
-            }
-        }
-        let mut issues = Vec::new();
-        for (stream, consumers) in &readers {
-            if !writers.contains_key(stream) {
-                issues.push(WiringIssue::NoWriter {
-                    stream: stream.clone(),
-                    readers: consumers.clone(),
-                });
-            }
-        }
-        for (stream, producers) in &writers {
-            if !readers.contains_key(stream) {
-                issues.push(WiringIssue::NoReader {
-                    stream: stream.clone(),
-                    writers: producers.clone(),
-                });
-            }
-            if producers.len() > 1 {
-                issues.push(WiringIssue::MultipleWriters {
-                    stream: stream.clone(),
-                    writers: producers.clone(),
-                });
-            }
-        }
-        for ((stream, group), labels) in &subscriptions {
-            if labels.len() > 1 {
-                issues.push(WiringIssue::DuplicateSubscription {
-                    stream: stream.clone(),
-                    group: group.clone(),
-                    readers: labels.clone(),
-                });
-            }
-        }
-        issues
+    /// Components that declare nothing (custom `Component` impls using the
+    /// default trait methods) propagate opaque streams, which silence the
+    /// spec checks, so an empty result is strong evidence, not proof, of a
+    /// well-formed workflow. Use [`AnalysisIssue::severity`] to separate
+    /// fatal errors from advisories.
+    pub fn validate(&self) -> Vec<AnalysisIssue> {
+        let views: Vec<EntryView<'_>> = self
+            .entries
+            .iter()
+            .map(|e| EntryView {
+                label: &e.label,
+                nranks: e.nranks,
+                component: e.component.as_ref(),
+            })
+            .collect();
+        analysis::analyze(&views)
     }
 
     /// Launches every component simultaneously (each rank on its own
     /// thread) and blocks until all of them finish, returning the paper's
     /// end-to-end measurements.
     ///
-    /// A panicking component surfaces as an error; its peers unblock via
-    /// the hub's deadlock timeout.
+    /// Fails fast — without launching anything — when [`validate`]
+    /// (Workflow::validate) finds any [`Severity::Error`] issue, since
+    /// those workflows provably deadlock or panic; [`run_unchecked`]
+    /// (Workflow::run_unchecked) skips the gate. A panicking component
+    /// surfaces as an error; its peers unblock via the hub's deadlock
+    /// timeout.
     pub fn run(self) -> CommResult<WorkflowReport> {
+        let fatal: Vec<String> = self
+            .validate()
+            .into_iter()
+            .filter(|i| i.severity() == Severity::Error)
+            .map(|i| i.to_string())
+            .collect();
+        if !fatal.is_empty() {
+            return Err(sb_comm::CommError::InvalidWorkflow { issues: fatal });
+        }
+        self.run_unchecked()
+    }
+
+    /// [`run`](Workflow::run) without the fail-fast validation gate: the
+    /// escape hatch for workflows the static analysis cannot see through
+    /// (or for demonstrating that a predicted deadlock is real — the
+    /// workflow then only unblocks via the hub's timeout).
+    pub fn run_unchecked(self) -> CommResult<WorkflowReport> {
         let start = Instant::now();
         let handles: Vec<(String, LaunchHandle<ComponentStats>)> = self
             .entries
@@ -440,7 +437,10 @@ mod tests {
         wf.add(1, crate::DimReduce::new(("a.fp", "x"), 0, 1, ("b.fp", "x")));
         wf.add(1, crate::DimReduce::new(("b.fp", "x"), 0, 1, ("c.fp", "x")));
         wf.add(1, crate::DimReduce::new(("c.fp", "x"), 0, 1, ("d.fp", "x")));
-        assert_eq!(wf.labels(), vec!["dim-reduce", "dim-reduce-2", "dim-reduce-3"]);
+        assert_eq!(
+            wf.labels(),
+            vec!["dim-reduce", "dim-reduce-2", "dim-reduce-3"]
+        );
     }
 
     #[test]
@@ -455,16 +455,19 @@ mod tests {
     fn validate_finds_wiring_problems() {
         let mut wf = Workflow::new();
         // select reads a stream nothing writes, and writes one nothing reads.
-        wf.add(1, crate::Select::new(("ghost.fp", "x"), 0, ["a"], ("dead.fp", "y")));
+        wf.add(
+            1,
+            crate::Select::new(("ghost.fp", "x"), 0, ["a"], ("dead.fp", "y")),
+        );
         let issues = wf.validate();
         assert_eq!(issues.len(), 2, "{issues:?}");
         assert!(issues.iter().any(|i| matches!(
             i,
-            WiringIssue::NoWriter { stream, .. } if stream == "ghost.fp"
+            AnalysisIssue::Wiring(WiringIssue::NoWriter { stream, .. }) if stream == "ghost.fp"
         )));
         assert!(issues.iter().any(|i| matches!(
             i,
-            WiringIssue::NoReader { stream, .. } if stream == "dead.fp"
+            AnalysisIssue::Wiring(WiringIssue::NoReader { stream, .. }) if stream == "dead.fp"
         )));
         assert!(issues[0].to_string().contains(".fp"));
     }
@@ -487,7 +490,8 @@ mod tests {
         let issues = wf.validate();
         assert!(issues.iter().any(|i| matches!(
             i,
-            WiringIssue::MultipleWriters { writers, .. } if writers.len() == 2
+            AnalysisIssue::Wiring(WiringIssue::MultipleWriters { writers, .. })
+                if writers.len() == 2
         )));
     }
 

@@ -134,6 +134,42 @@ impl Component for Select {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            unary_transfer, Extent, PartitionRule, ReadSpec, Signature, SpecError,
+        };
+        let dim = self.dim_index;
+        let keep = self.keep.clone();
+        Signature {
+            reads: vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::FirstExcept(dim),
+            )],
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                move |spec| {
+                    spec.check_dim(dim)?;
+                    let available = spec.labels.get(&dim).cloned().unwrap_or_default();
+                    for name in &keep {
+                        if !available.contains(name) {
+                            return Err(SpecError::UnknownLabel {
+                                dim,
+                                label: name.clone(),
+                                available: available.clone(),
+                            });
+                        }
+                    }
+                    let mut out = spec.clone();
+                    out.dims[dim].extent = Extent::Fixed(keep.len());
+                    out.labels.insert(dim, keep.clone());
+                    Ok(out)
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_transform(
             TransformSpec {
@@ -237,10 +273,14 @@ mod tests {
         let data: Vec<f64> = (0..4)
             .flat_map(|p| (0..5).map(move |q| (10 * p + q) as f64))
             .collect();
-        Variable::new("atoms", Shape::of(&[("particles", 4), ("props", 5)]), data.into())
-            .unwrap()
-            .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
-            .unwrap()
+        Variable::new(
+            "atoms",
+            Shape::of(&[("particles", 4), ("props", 5)]),
+            data.into(),
+        )
+        .unwrap()
+        .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
+        .unwrap()
     }
 
     #[test]
@@ -280,12 +320,8 @@ mod tests {
     fn kernel_selects_in_three_dimensions() {
         // 2 x 3 x 4, select middle dim rows [2, 0].
         let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
-        let v = Variable::new(
-            "t",
-            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
-            data.into(),
-        )
-        .unwrap();
+        let v =
+            Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into()).unwrap();
         let out = select_rows(&v, 1, &[2, 0]).unwrap();
         assert_eq!(out.shape.sizes(), vec![2, 2, 4]);
         // (a=1, b'=0 -> b=2, c=3): original linear = 1*12 + 2*4 + 3 = 23.

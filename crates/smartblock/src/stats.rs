@@ -78,7 +78,9 @@ impl Moments {
             return 0.0;
         }
         let mean = self.mean();
-        (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
+        (self.sum_sq / self.count as f64 - mean * mean)
+            .max(0.0)
+            .sqrt()
     }
 }
 
@@ -128,6 +130,22 @@ impl Component for Stats {
 
     fn output_streams(&self) -> Vec<String> {
         vec![self.output.stream.clone()]
+    }
+
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{ArraySpec, DimSpec, Signature, StreamSpec};
+        // Stats accepts any rank and tolerates more ranks than slices (the
+        // reduction is global), so it declares no partitioned reads.
+        let in_array = self.input.array.clone();
+        let out_array = self.output.array.clone();
+        Signature::new(Vec::new(), move |ins| {
+            if let Some(stream) = ins.first() {
+                stream.array(&in_array)?;
+            }
+            let out = ArraySpec::new(vec![DimSpec::fixed("stat", 5)], sb_data::DType::F64)
+                .with_dim_labels(0, ["min", "max", "mean", "std", "count"]);
+            Ok(vec![StreamSpec::known_one(out_array.clone(), out)])
+        })
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {

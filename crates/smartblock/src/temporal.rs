@@ -133,6 +133,26 @@ impl Component for TemporalMean {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature};
+        Signature {
+            reads: vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::Along(0),
+            )],
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                |spec| {
+                    let mut out = ArraySpec::new(spec.dims.clone(), sb_data::DType::F64);
+                    out.labels = spec.labels.clone();
+                    Ok(out)
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         let mut reader = hub.open_reader_grouped(
             &self.input.stream,

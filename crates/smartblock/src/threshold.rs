@@ -121,12 +121,47 @@ impl Component for Threshold {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{ArraySpec, DimSpec, PartitionRule, ReadSpec, Signature, StreamSpec};
+        use std::collections::BTreeMap;
+        let in_array = self.input.array.clone();
+        let out_array = self.output.array.clone();
+        Signature::new(
+            vec![ReadSpec::new(
+                &self.input.stream,
+                &in_array,
+                PartitionRule::Along(0),
+            )],
+            move |ins| {
+                if let Some(stream) = ins.first() {
+                    stream.array(&in_array)?;
+                }
+                // How many values survive the predicate is inherently
+                // data-dependent: both outputs are 1-d with dynamic extent.
+                let mut map = BTreeMap::new();
+                map.insert(
+                    out_array.clone(),
+                    ArraySpec::new(vec![DimSpec::dynamic("kept")], sb_data::DType::F64),
+                );
+                map.insert(
+                    format!("{out_array}_indices"),
+                    ArraySpec::new(vec![DimSpec::dynamic("kept")], sb_data::DType::U64),
+                );
+                Ok(vec![StreamSpec::Known(map)])
+            },
+        )
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         // Threshold emits two variables per step (values + indices), so it
         // runs its own step loop instead of the single-chunk transform
         // helper.
-        let mut reader =
-            hub.open_reader_grouped(&self.input.stream, &self.reader_group, comm.rank(), comm.size());
+        let mut reader = hub.open_reader_grouped(
+            &self.input.stream,
+            &self.reader_group,
+            comm.rank(),
+            comm.size(),
+        );
         let mut writer = hub.open_writer(
             &self.output.stream,
             comm.rank(),
@@ -143,9 +178,7 @@ impl Component for Threshold {
             let wait = step_start.elapsed();
             let meta = reader
                 .meta(&self.input.array)
-                .unwrap_or_else(|| {
-                    panic!("threshold: no array {:?} in stream", self.input.array)
-                })
+                .unwrap_or_else(|| panic!("threshold: no array {:?} in stream", self.input.array))
                 .clone();
             let region = default_partition(&meta.shape, comm.size(), comm.rank());
             let var = reader
@@ -165,8 +198,7 @@ impl Component for Threshold {
             );
             let row_len: usize = meta.shape.sizes().iter().skip(1).product();
             let base = (region.offset().first().copied().unwrap_or(0) * row_len.max(1)) as u64;
-            let (kept, indices) =
-                threshold_filter(&var.data.into_f64_vec(), self.predicate, base);
+            let (kept, indices) = threshold_filter(&var.data.into_f64_vec(), self.predicate, base);
 
             // Agree on global sizes: my offset = exscan of counts, total =
             // allreduce. (The two communication rounds of a shape-dynamic
@@ -188,9 +220,8 @@ impl Component for Threshold {
             );
             let out_region = Region::new(vec![my_off as usize], vec![local_n as usize]);
             writer.begin_step();
-            let values_chunk =
-                Chunk::new(values_meta, out_region.clone(), Buffer::F64(kept))
-                    .expect("threshold values chunk is consistent");
+            let values_chunk = Chunk::new(values_meta, out_region.clone(), Buffer::F64(kept))
+                .expect("threshold values chunk is consistent");
             let indices_chunk = Chunk::new(indices_meta, out_region, Buffer::U64(indices))
                 .expect("threshold indices chunk is consistent");
             stats.bytes_out += (values_chunk.byte_len() + indices_chunk.byte_len()) as u64;
@@ -210,8 +241,14 @@ mod tests {
 
     #[test]
     fn predicate_parsing_and_semantics() {
-        assert_eq!(Predicate::parse("gt", 1.0), Some(Predicate::GreaterThan(1.0)));
-        assert_eq!(Predicate::parse("lt", -2.0), Some(Predicate::LessThan(-2.0)));
+        assert_eq!(
+            Predicate::parse("gt", 1.0),
+            Some(Predicate::GreaterThan(1.0))
+        );
+        assert_eq!(
+            Predicate::parse("lt", -2.0),
+            Some(Predicate::LessThan(-2.0))
+        );
         assert_eq!(
             Predicate::parse("abs-gt", 0.5),
             Some(Predicate::AbsGreaterThan(0.5))

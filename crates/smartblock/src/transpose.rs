@@ -46,10 +46,7 @@ pub fn check_permutation(perm: &[usize], ndims: usize) -> DataResult<()> {
 pub fn permute_axes(var: &Variable, perm: &[usize]) -> DataResult<Variable> {
     let ndims = var.shape.ndims();
     check_permutation(perm, ndims)?;
-    let out_dims: Vec<Dim> = perm
-        .iter()
-        .map(|&p| var.shape.dims()[p].clone())
-        .collect();
+    let out_dims: Vec<Dim> = perm.iter().map(|&p| var.shape.dims()[p].clone()).collect();
     let out_shape = Shape::new(out_dims);
 
     // contrib[input_dim] = stride of that dim's index in the output.
@@ -167,6 +164,60 @@ impl Component for Transpose {
         vec![self.output.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{
+            unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature, SpecError,
+        };
+        use std::collections::BTreeMap;
+        let perm = self.perm.clone();
+        let reads = match self.perm.first() {
+            Some(&p) => vec![ReadSpec::new(
+                &self.input.stream,
+                &self.input.array,
+                PartitionRule::Along(p),
+            )],
+            None => Vec::new(),
+        };
+        Signature {
+            reads,
+            transfer: Some(unary_transfer(
+                self.input.array.clone(),
+                self.output.array.clone(),
+                move |spec| {
+                    // Mirrors `check_permutation`.
+                    if perm.len() != spec.ndims() {
+                        return Err(SpecError::InvalidAxes {
+                            detail: format!(
+                                "permutation {:?} does not cover a {}-d array",
+                                perm,
+                                spec.ndims()
+                            ),
+                        });
+                    }
+                    let mut seen = vec![false; perm.len()];
+                    for &p in &perm {
+                        if p >= perm.len() || seen[p] {
+                            return Err(SpecError::InvalidAxes {
+                                detail: format!("{perm:?} is not a permutation of the axes"),
+                            });
+                        }
+                        seen[p] = true;
+                    }
+                    let dims = perm.iter().map(|&p| spec.dims[p].clone()).collect();
+                    let mut labels = BTreeMap::new();
+                    for (i, &p) in perm.iter().enumerate() {
+                        if let Some(names) = spec.labels.get(&p) {
+                            labels.insert(i, names.clone());
+                        }
+                    }
+                    let mut out = ArraySpec::new(dims, spec.dtype);
+                    out.labels = labels;
+                    Ok(out)
+                },
+            )),
+        }
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         run_transform(
             TransformSpec {
@@ -194,11 +245,10 @@ impl Component for Transpose {
                         meta.shape.clone(),
                         meta.dtype,
                     );
-                    let chunk = (comm.rank() == 0)
-                        .then(|| {
-                            Chunk::new(out_meta, Region::new(vec![], vec![]), var.data.clone())
-                                .expect("scalar chunk is consistent")
-                        });
+                    let chunk = (comm.rank() == 0).then(|| {
+                        Chunk::new(out_meta, Region::new(vec![], vec![]), var.data.clone())
+                            .expect("scalar chunk is consistent")
+                    });
                     return Ok(StepOutput {
                         chunk,
                         bytes_in: var.byte_len() as u64,
@@ -225,11 +275,8 @@ impl Component for Transpose {
                     .iter()
                     .map(|&p| meta.shape.dims()[p].clone())
                     .collect();
-                let mut out_meta = VariableMeta::new(
-                    self.output.array.clone(),
-                    Shape::new(out_dims),
-                    meta.dtype,
-                );
+                let mut out_meta =
+                    VariableMeta::new(self.output.array.clone(), Shape::new(out_dims), meta.dtype);
                 for (out_d, &in_d) in self.perm.iter().enumerate() {
                     if let Some(names) = meta.labels.get(&in_d) {
                         out_meta.labels.insert(out_d, names.clone());
@@ -241,11 +288,7 @@ impl Component for Transpose {
                 let mut out_counts = out_meta.shape.sizes();
                 out_offset[0] = off;
                 out_counts[0] = count;
-                let chunk = Chunk::new(
-                    out_meta,
-                    Region::new(out_offset, out_counts),
-                    local.data,
-                )?;
+                let chunk = Chunk::new(out_meta, Region::new(out_offset, out_counts), local.data)?;
                 Ok(StepOutput {
                     chunk: Some(chunk),
                     bytes_in,
@@ -334,12 +377,7 @@ mod tests {
 
     #[test]
     fn empty_array_transposes() {
-        let v = Variable::new(
-            "e",
-            Shape::of(&[("a", 0), ("b", 3)]),
-            Buffer::F64(vec![]),
-        )
-        .unwrap();
+        let v = Variable::new("e", Shape::of(&[("a", 0), ("b", 3)]), Buffer::F64(vec![])).unwrap();
         let t = permute_axes(&v, &[1, 0]).unwrap();
         assert_eq!(t.shape.sizes(), vec![3, 0]);
     }

@@ -52,6 +52,10 @@ impl Component for Box<dyn Component> {
     fn output_streams(&self) -> Vec<String> {
         (**self).output_streams()
     }
+
+    fn signature(&self) -> crate::analysis::Signature {
+        (**self).signature()
+    }
 }
 
 /// A simulation driver as a workflow component: the "driving scientific
@@ -129,10 +133,58 @@ impl Component for Simulation {
         vec![self.stream.clone()]
     }
 
+    fn signature(&self) -> crate::analysis::Signature {
+        use crate::analysis::{ArraySpec, DimSpec, Signature, StreamSpec};
+        // Each mini code publishes one self-describing array whose shape is
+        // fully determined by its configuration — the source declaration
+        // from which the analyzer propagates specs downstream.
+        let (array, spec) = match self.code {
+            SimCode::Lammps => (
+                "atoms",
+                ArraySpec::new(
+                    vec![DimSpec::dynamic("particles"), DimSpec::fixed("props", 5)],
+                    sb_data::DType::F64,
+                )
+                .with_dim_labels(1, ["ID", "Type", "vx", "vy", "vz"]),
+            ),
+            SimCode::Gtcp => {
+                let defaults = GtcpConfig::default();
+                (
+                    "plasma",
+                    ArraySpec::new(
+                        vec![
+                            DimSpec::fixed("toroidal", self.get("slices", defaults.n_slices)),
+                            DimSpec::fixed("gridpoints", self.get("points", defaults.n_points)),
+                            DimSpec::fixed("properties", sb_sims::gtcp::GTCP_PROPERTIES.len()),
+                        ],
+                        sb_data::DType::F64,
+                    )
+                    .with_dim_labels(2, sb_sims::gtcp::GTCP_PROPERTIES),
+                )
+            }
+            SimCode::Gromacs => {
+                let defaults = GromacsConfig::default();
+                let atoms =
+                    self.get("chains", defaults.n_chains) * self.get("len", defaults.chain_len);
+                (
+                    "coords",
+                    ArraySpec::new(
+                        vec![DimSpec::fixed("atoms", atoms), DimSpec::fixed("coords", 3)],
+                        sb_data::DType::F64,
+                    )
+                    .with_dim_labels(1, ["x", "y", "z"]),
+                )
+            }
+        };
+        let out = StreamSpec::known_one(array, spec);
+        Signature::new(Vec::new(), move |_ins| Ok(vec![out.clone()]))
+    }
+
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
         let io_steps = self.get("steps", 5) as u64;
         let substeps = self.get("interval", 10) as u64;
-        let mut writer = hub.open_writer(&self.stream, comm.rank(), comm.size(), self.writer_options);
+        let mut writer =
+            hub.open_writer(&self.stream, comm.rank(), comm.size(), self.writer_options);
         let stats = match self.code {
             SimCode::Lammps => {
                 let defaults = LammpsConfig::default();
@@ -249,7 +301,11 @@ pub fn instantiate_entry(entry: &LaunchEntry) -> Box<dyn Component> {
             predicate,
             output,
         } => finish!(Threshold::new(input, predicate, output)),
-        Program::Transpose { input, perm, output } => {
+        Program::Transpose {
+            input,
+            perm,
+            output,
+        } => {
             finish!(Transpose::new(input, perm, output))
         }
         Program::AllPairs { input, output } => finish!(AllPairs::new(input, output)),
@@ -561,7 +617,10 @@ mod tests {
     fn workflow_presets_have_expected_shapes() {
         let scale = PresetScale::default();
         let (wf, _) = lammps_workflow(&scale);
-        assert_eq!(wf.labels(), vec!["lammps", "select", "magnitude", "histogram"]);
+        assert_eq!(
+            wf.labels(),
+            vec!["lammps", "select", "magnitude", "histogram"]
+        );
         let scale = PresetScale {
             analysis_ranks: vec![2, 2, 2, 1],
             ..PresetScale::default()

@@ -12,9 +12,9 @@
 //! Run with: `cargo run --release -p sb-examples --bin dag_fork`
 
 use sb_examples::render_histogram;
+use smartblock::launch::SimCode;
 use smartblock::prelude::*;
 use smartblock::workflows::Simulation;
-use smartblock::launch::SimCode;
 
 fn main() {
     let mut wf = Workflow::new();
@@ -29,13 +29,19 @@ fn main() {
     wf.add(2, Fork::new("gromacs.fp", ["branch-a.fp", "branch-b.fp"]));
 
     // Branch A: the paper's spread histogram.
-    wf.add(2, Magnitude::new(("branch-a.fp", "coords"), ("radii.fp", "r")));
+    wf.add(
+        2,
+        Magnitude::new(("branch-a.fp", "coords"), ("radii.fp", "r")),
+    );
     let hist = Histogram::new(("radii.fp", "r"), 12);
     let hist_results = hist.results_handle();
     wf.add(1, hist);
 
     // Branch B: summary statistics straight off the coordinates.
-    wf.add(2, Stats::new(("branch-b.fp", "coords"), ("summary.fp", "s")));
+    wf.add(
+        2,
+        Stats::new(("branch-b.fp", "coords"), ("summary.fp", "s")),
+    );
     wf.add_sink("print-stats", 1, "summary.fp", |step, vars| {
         if let Some((min, max, mean, std, count)) =
             smartblock::stats::parse_stats_output(&vars["s"])
@@ -50,5 +56,9 @@ fn main() {
     if let Some(last) = hist_results.lock().last() {
         println!("\n{}", render_histogram("spread (branch A)", last));
     }
-    println!("DAG ran {} components in {:.3}s", report.components.len(), report.elapsed.as_secs_f64());
+    println!(
+        "DAG ran {} components in {:.3}s",
+        report.components.len(),
+        report.elapsed.as_secs_f64()
+    );
 }

@@ -42,7 +42,12 @@ fn main() {
     phase2.add(2, FileRead::new(&container, "replay.fp"));
     phase2.add(
         2,
-        Select::new(("replay.fp", "atoms"), 1, ["vx", "vy", "vz"], ("sel.fp", "vel")),
+        Select::new(
+            ("replay.fp", "atoms"),
+            1,
+            ["vx", "vy", "vz"],
+            ("sel.fp", "vel"),
+        ),
     );
     phase2.add(2, Magnitude::new(("sel.fp", "vel"), ("mag.fp", "speed")));
     let hist = Histogram::new(("mag.fp", "speed"), 16);

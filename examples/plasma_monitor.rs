@@ -16,10 +16,10 @@
 //!
 //! Run with: `cargo run --release -p sb-examples --bin plasma_monitor`
 
+use sb_stream::WriterOptions;
 use smartblock::launch::SimCode;
 use smartblock::prelude::*;
 use smartblock::workflows::Simulation;
-use sb_stream::WriterOptions;
 
 fn main() {
     let mut wf = Workflow::new();
@@ -38,12 +38,21 @@ fn main() {
     // [slices, points, props] -> [props, points, slices] -> mean over slices.
     wf.add(
         2,
-        Transpose::new(("gtcp.fp", "plasma"), vec![2, 1, 0], ("byprop.fp", "plasma"))
-            .with_reader_group("profile"),
+        Transpose::new(
+            ("gtcp.fp", "plasma"),
+            vec![2, 1, 0],
+            ("byprop.fp", "plasma"),
+        )
+        .with_reader_group("profile"),
     );
     wf.add(
         2,
-        Reduce::new(("byprop.fp", "plasma"), 2, ReduceOp::Mean, ("profile.fp", "mean")),
+        Reduce::new(
+            ("byprop.fp", "plasma"),
+            2,
+            ReduceOp::Mean,
+            ("profile.fp", "mean"),
+        ),
     );
     wf.add_sink("print-profile", 1, "profile.fp", |step, vars| {
         let v = &vars["mean"];
@@ -61,11 +70,18 @@ fn main() {
         Select::new(("gtcp.fp", "plasma"), 2, ["P_perp"], ("psel.fp", "pperp"))
             .with_reader_group("alarms"),
     );
-    wf.add(2, DimReduce::new(("psel.fp", "pperp"), 2, 1, ("dr1.fp", "f2")));
+    wf.add(
+        2,
+        DimReduce::new(("psel.fp", "pperp"), 2, 1, ("dr1.fp", "f2")),
+    );
     wf.add(2, DimReduce::new(("dr1.fp", "f2"), 0, 1, ("dr2.fp", "f1")));
     wf.add(
         2,
-        Threshold::new(("dr2.fp", "f1"), Predicate::GreaterThan(1.15), ("hot.fp", "cells")),
+        Threshold::new(
+            ("dr2.fp", "f1"),
+            Predicate::GreaterThan(1.15),
+            ("hot.fp", "cells"),
+        ),
     );
     wf.add_sink("print-alarms", 1, "hot.fp", |step, vars| {
         let n = vars["cells"].shape.total_len();

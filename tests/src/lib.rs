@@ -26,11 +26,7 @@ pub fn reference_histogram(step: u64, values: &[f64], bins: usize) -> HistogramR
 /// Runs the mini-LAMMPS crack serially and returns, per coarse step, the
 /// velocity magnitudes of every particle — the quantity the paper's LAMMPS
 /// workflow histograms.
-pub fn serial_lammps_magnitudes(
-    cfg: LammpsConfig,
-    io_steps: u64,
-    substeps: u64,
-) -> Vec<Vec<f64>> {
+pub fn serial_lammps_magnitudes(cfg: LammpsConfig, io_steps: u64, substeps: u64) -> Vec<Vec<f64>> {
     launch(1, move |comm| {
         let mut sim = LammpsSim::new(cfg.clone(), 0, 1);
         let mut out = Vec::new();
@@ -64,7 +60,11 @@ pub fn serial_gtcp_pperp(cfg: GtcpConfig, io_steps: u64, substeps: u64) -> Vec<V
             let chunk = sim.output_chunk();
             let nprops = sb_sims::gtcp::GTCP_PROPERTIES.len();
             let pperp: Vec<f64> = (0..chunk.data.len() / nprops)
-                .map(|cell| chunk.data.get_f64(cell * nprops + sb_sims::gtcp::P_PERP_INDEX))
+                .map(|cell| {
+                    chunk
+                        .data
+                        .get_f64(cell * nprops + sb_sims::gtcp::P_PERP_INDEX)
+                })
                 .collect();
             out.push(pperp);
         }

@@ -35,7 +35,10 @@ fn components_connect_regardless_of_add_order() {
     wf.add_sink("end", 1, "out.fp", move |_step, vars| {
         sink_data.lock().extend(vars["picked"].data.to_f64_vec());
     });
-    wf.add(2, Select::new(("in.fp", "rows"), 1, ["b"], ("out.fp", "picked")));
+    wf.add(
+        2,
+        Select::new(("in.fp", "rows"), 1, ["b"], ("out.fp", "picked")),
+    );
     wf.add_source("start", 2, "in.fp", |step| {
         (step < 2).then(|| labelled_source(step, 6))
     });
@@ -107,14 +110,15 @@ fn file_write_then_file_read_preserves_the_stream() {
 
 #[test]
 fn all_pairs_grows_data_and_matches_serial() {
-    let points = [[0.0, 0.0],
-        [1.0, 0.0],
-        [0.0, 1.0],
-        [1.0, 1.0],
-        [2.0, 2.0]];
+    let points = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 2.0]];
     let make_var = move |_step: u64| {
         let data: Vec<f64> = points.iter().flatten().copied().collect();
-        Variable::new("pts", Shape::of(&[("points", 5), ("coords", 2)]), data.into()).unwrap()
+        Variable::new(
+            "pts",
+            Shape::of(&[("points", 5), ("coords", 2)]),
+            data.into(),
+        )
+        .unwrap()
     };
     let expect = {
         let var = make_var(0);
@@ -124,7 +128,9 @@ fn all_pairs_grows_data_and_matches_serial() {
     let collected: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
     let sink_data = Arc::clone(&collected);
     let mut wf = Workflow::new();
-    wf.add_source("gen", 1, "pts.fp", move |step| (step < 1).then(|| make_var(step)));
+    wf.add_source("gen", 1, "pts.fp", move |step| {
+        (step < 1).then(|| make_var(step))
+    });
     wf.add(3, AllPairs::new(("pts.fp", "pts"), ("dists.fp", "d")));
     wf.add_sink("end", 1, "dists.fp", move |_s, vars| {
         sink_data.lock().extend(vars["d"].data.to_f64_vec());

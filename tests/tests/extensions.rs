@@ -7,9 +7,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sb_data::{Buffer, Shape, Variable};
 use sb_stream::WriterOptions;
+use smartblock::launch::SimCode;
 use smartblock::prelude::*;
 use smartblock::workflows::Simulation;
-use smartblock::launch::SimCode;
 
 fn cube_source(step: u64) -> Variable {
     // 2 x 3 x 4, element = linear index + step.
@@ -24,17 +24,27 @@ fn collect_array(
 ) -> Arc<Mutex<Vec<Vec<f64>>>> {
     let out: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&out);
-    wf.add_sink(format!("collect-{array}"), 1, stream.to_string(), move |_s, vars| {
-        sink.lock().push(vars[array].data.to_f64_vec());
-    });
+    wf.add_sink(
+        format!("collect-{array}"),
+        1,
+        stream.to_string(),
+        move |_s, vars| {
+            sink.lock().push(vars[array].data.to_f64_vec());
+        },
+    );
     out
 }
 
 #[test]
 fn reduce_component_collapses_an_axis_across_ranks() {
     let mut wf = Workflow::new();
-    wf.add_source("gen", 2, "cube.fp", |step| (step < 2).then(|| cube_source(step)));
-    wf.add(3, Reduce::new(("cube.fp", "t"), 2, ReduceOp::Sum, ("sums.fp", "s")));
+    wf.add_source("gen", 2, "cube.fp", |step| {
+        (step < 2).then(|| cube_source(step))
+    });
+    wf.add(
+        3,
+        Reduce::new(("cube.fp", "t"), 2, ReduceOp::Sum, ("sums.fp", "s")),
+    );
     let got = collect_array(&mut wf, "sums.fp", "s");
     wf.run().unwrap();
 
@@ -45,7 +55,9 @@ fn reduce_component_collapses_an_axis_across_ranks() {
         assert_eq!(values.len(), 6);
         for (row, v) in values.iter().enumerate() {
             let base = row * 4;
-            let expect: f64 = (base..base + 4).map(|i| (i as u64 + step as u64) as f64).sum();
+            let expect: f64 = (base..base + 4)
+                .map(|i| (i as u64 + step as u64) as f64)
+                .sum();
             assert_eq!(*v, expect, "step {step} row {row}");
         }
     }
@@ -56,11 +68,18 @@ fn reduce_component_produces_scalar_for_1d_input() {
     let mut wf = Workflow::new();
     wf.add_source("gen", 1, "v.fp", |step| {
         (step < 1).then(|| {
-            Variable::new("x", Shape::linear("n", 10), Buffer::F64((1..=10).map(f64::from).collect()))
-                .unwrap()
+            Variable::new(
+                "x",
+                Shape::linear("n", 10),
+                Buffer::F64((1..=10).map(f64::from).collect()),
+            )
+            .unwrap()
         })
     });
-    wf.add(3, Reduce::new(("v.fp", "x"), 0, ReduceOp::Mean, ("m.fp", "mean")));
+    wf.add(
+        3,
+        Reduce::new(("v.fp", "x"), 0, ReduceOp::Mean, ("m.fp", "mean")),
+    );
     let got = collect_array(&mut wf, "m.fp", "mean");
     wf.run().unwrap();
     assert_eq!(got.lock().clone(), vec![vec![5.5]]);
@@ -78,7 +97,11 @@ fn threshold_component_filters_with_global_indices() {
     });
     wf.add(
         3,
-        Threshold::new(("v.fp", "x"), Predicate::GreaterThan(8.0), ("kept.fp", "big")),
+        Threshold::new(
+            ("v.fp", "x"),
+            Predicate::GreaterThan(8.0),
+            ("kept.fp", "big"),
+        ),
     );
     let values: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
     let indices: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -96,13 +119,16 @@ fn threshold_component_filters_with_global_indices() {
 fn threshold_handles_empty_result_sets() {
     let mut wf = Workflow::new();
     wf.add_source("gen", 1, "v.fp", |step| {
-        (step < 2).then(|| {
-            Variable::new("x", Shape::linear("n", 4), Buffer::F64(vec![1.0; 4])).unwrap()
-        })
+        (step < 2)
+            .then(|| Variable::new("x", Shape::linear("n", 4), Buffer::F64(vec![1.0; 4])).unwrap())
     });
     wf.add(
         2,
-        Threshold::new(("v.fp", "x"), Predicate::GreaterThan(100.0), ("kept.fp", "none")),
+        Threshold::new(
+            ("v.fp", "x"),
+            Predicate::GreaterThan(100.0),
+            ("kept.fp", "none"),
+        ),
     );
     let got = collect_array(&mut wf, "kept.fp", "none");
     wf.run().unwrap();
@@ -112,9 +138,14 @@ fn threshold_handles_empty_result_sets() {
 #[test]
 fn transpose_component_reorders_axes_across_ranks() {
     let mut wf = Workflow::new();
-    wf.add_source("gen", 2, "cube.fp", |step| (step < 1).then(|| cube_source(step)));
+    wf.add_source("gen", 2, "cube.fp", |step| {
+        (step < 1).then(|| cube_source(step))
+    });
     // Output dims: (c, a, b).
-    wf.add(2, Transpose::new(("cube.fp", "t"), vec![2, 0, 1], ("tp.fp", "t")));
+    wf.add(
+        2,
+        Transpose::new(("cube.fp", "t"), vec![2, 0, 1], ("tp.fp", "t")),
+    );
     let collected: Arc<Mutex<Vec<Variable>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&collected);
     wf.add_sink("end", 1, "tp.fp", move |_s, vars| {
@@ -194,7 +225,10 @@ fn extension_components_work_from_launch_scripts() {
         wait
     "#;
     let wf = smartblock::workflows::script_to_workflow(script).unwrap();
-    assert_eq!(wf.labels(), vec!["gtcp", "transpose", "reduce", "threshold"]);
+    assert_eq!(
+        wf.labels(),
+        vec!["gtcp", "transpose", "reduce", "threshold"]
+    );
     let report = wf.run().unwrap();
     for c in &report.components {
         assert_eq!(c.stats.steps, 2, "{}", c.label);
@@ -203,7 +237,6 @@ fn extension_components_work_from_launch_scripts() {
     let th = report.streams.iter().find(|s| s.stream == "th.fp").unwrap();
     assert_eq!(th.steps_committed, 2);
 }
-
 
 #[test]
 fn deep_pipeline_with_varied_ranks_stays_correct() {
@@ -221,10 +254,19 @@ fn deep_pipeline_with_varied_ranks_stays_correct() {
                 .unwrap()
         })
     });
-    wf.add(2, Select::new(("s0.fp", "t"), 2, ["x", "z"], ("s1.fp", "t")));
-    wf.add(4, Transpose::new(("s1.fp", "t"), vec![1, 0, 2], ("s2.fp", "t")));
+    wf.add(
+        2,
+        Select::new(("s0.fp", "t"), 2, ["x", "z"], ("s1.fp", "t")),
+    );
+    wf.add(
+        4,
+        Transpose::new(("s1.fp", "t"), vec![1, 0, 2], ("s2.fp", "t")),
+    );
     wf.add(3, DimReduce::new(("s2.fp", "t"), 0, 1, ("s3.fp", "t")));
-    wf.add(2, Reduce::new(("s3.fp", "t"), 1, ReduceOp::Mean, ("s4.fp", "t")));
+    wf.add(
+        2,
+        Reduce::new(("s3.fp", "t"), 1, ReduceOp::Mean, ("s4.fp", "t")),
+    );
     wf.add(2, TemporalMean::new(("s4.fp", "t"), 2, ("s5.fp", "t")));
     let hist = Histogram::new(("s5.fp", "t"), 4);
     let results = hist.results_handle();
@@ -254,8 +296,18 @@ fn deep_pipeline_with_varied_ranks_stays_correct() {
     };
     // TemporalMean at step 0 is the identity, so histogram 0's range must
     // match the serial vector's range.
-    let lo = serial.data.to_f64_vec().iter().cloned().fold(f64::MAX, f64::min);
-    let hi = serial.data.to_f64_vec().iter().cloned().fold(f64::MIN, f64::max);
+    let lo = serial
+        .data
+        .to_f64_vec()
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let hi = serial
+        .data
+        .to_f64_vec()
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
     assert!((got[0].min - lo).abs() < 1e-12);
     assert!((got[0].max - hi).abs() < 1e-12);
 }

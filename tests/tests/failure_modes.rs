@@ -9,7 +9,12 @@ use sb_stream::{StreamHub, WriterOptions};
 use smartblock::prelude::*;
 
 fn tiny_source(step: u64) -> Variable {
-    Variable::new("x", Shape::linear("n", 4), Buffer::F64(vec![step as f64; 4])).unwrap()
+    Variable::new(
+        "x",
+        Shape::linear("n", 4),
+        Buffer::F64(vec![step as f64; 4]),
+    )
+    .unwrap()
 }
 
 /// A workflow whose sink asks for a variable that never exists: the
@@ -18,7 +23,9 @@ fn tiny_source(step: u64) -> Variable {
 fn missing_array_is_a_diagnosable_error() {
     let hub = StreamHub::with_timeout(Duration::from_millis(300));
     let mut wf = Workflow::with_hub(hub);
-    wf.add_source("gen", 1, "v.fp", |step| (step < 1).then(|| tiny_source(step)));
+    wf.add_source("gen", 1, "v.fp", |step| {
+        (step < 1).then(|| tiny_source(step))
+    });
     wf.add(1, Magnitude::new(("v.fp", "wrong_name"), ("m.fp", "y")));
     let err = wf.run().unwrap_err().to_string();
     assert!(err.contains("panicked"), "{err}");
@@ -29,7 +36,9 @@ fn missing_array_is_a_diagnosable_error() {
 fn wrong_rank_input_is_rejected() {
     let hub = StreamHub::with_timeout(Duration::from_millis(300));
     let mut wf = Workflow::with_hub(hub);
-    wf.add_source("gen", 1, "v.fp", |step| (step < 1).then(|| tiny_source(step)));
+    wf.add_source("gen", 1, "v.fp", |step| {
+        (step < 1).then(|| tiny_source(step))
+    });
     wf.add(1, Magnitude::new(("v.fp", "x"), ("m.fp", "y")));
     let err = wf.run().unwrap_err().to_string();
     assert!(err.contains("panicked"), "{err}");
@@ -52,7 +61,10 @@ fn unknown_label_is_rejected() {
             .unwrap()
         })
     });
-    wf.add(1, Select::new(("v.fp", "atoms"), 1, ["nonexistent"], ("s.fp", "y")));
+    wf.add(
+        1,
+        Select::new(("v.fp", "atoms"), 1, ["nonexistent"], ("s.fp", "y")),
+    );
     let err = wf.run().unwrap_err().to_string();
     assert!(err.contains("panicked"), "{err}");
 }
@@ -211,14 +223,57 @@ fn compensating_overlap_and_hole_is_rejected() {
 fn combine_shape_mismatch_panics() {
     let hub = StreamHub::with_timeout(Duration::from_millis(500));
     let mut wf = Workflow::with_hub(hub);
-    wf.add_source("gen-a", 1, "a.fp", |step| (step < 1).then(|| tiny_source(step)));
-    wf.add_source("gen-b", 1, "b.fp", |step| {
-        (step < 1).then(|| {
-            Variable::new("x", Shape::linear("n", 7), Buffer::F64(vec![0.0; 7])).unwrap()
-        })
+    wf.add_source("gen-a", 1, "a.fp", |step| {
+        (step < 1).then(|| tiny_source(step))
     });
-    wf.add(1, Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("c.fp", "y")));
+    wf.add_source("gen-b", 1, "b.fp", |step| {
+        (step < 1)
+            .then(|| Variable::new("x", Shape::linear("n", 7), Buffer::F64(vec![0.0; 7])).unwrap())
+    });
+    wf.add(
+        1,
+        Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("c.fp", "y")),
+    );
     let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("panicked"), "{err}");
+}
+
+/// A mis-wired workflow (a reader on a stream nobody writes) must fail
+/// *before* launch: `run()` returns the validation report immediately
+/// instead of spawning ranks that block until the hub timeout.
+#[test]
+fn run_fails_fast_on_missing_writer() {
+    // Deliberately use a workflow whose hub timeout is far longer than the
+    // test budget: if run() launched the ranks, the dangling reader would
+    // stall for minutes. Fail-fast means we never get that far.
+    let start = std::time::Instant::now();
+    let mut wf = Workflow::new();
+    wf.add(1, Magnitude::new(("never-written.fp", "x"), ("m.fp", "y")));
+    wf.add_sink("sink", 1, "m.fp", |_, _| {});
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("static validation"), "{err}");
+    assert!(err.contains("never-written.fp"), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "validation must not launch the workflow"
+    );
+}
+
+/// The same mis-wired workflow still launches under `run_unchecked()` —
+/// the escape hatch for experiments the analyzer cannot model — and dies
+/// at runtime with the stream's timeout diagnostic instead.
+#[test]
+fn run_unchecked_bypasses_validation() {
+    let hub = StreamHub::with_timeout(Duration::from_millis(150));
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen", 1, "v.fp", |step| {
+        (step < 1).then(|| tiny_source(step))
+    });
+    wf.add(1, Magnitude::new(("v.fp", "x"), ("m.fp", "y")));
+    // m.fp has no reader (a warning) and the magnitude input is 1-d (a
+    // runtime panic the opaque source hides from the analyzer): the
+    // unchecked run reaches the runtime failure.
+    let err = wf.run_unchecked().unwrap_err().to_string();
     assert!(err.contains("panicked"), "{err}");
 }
 

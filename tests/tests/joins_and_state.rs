@@ -15,18 +15,30 @@ fn linear_source(step: u64, n: usize, scale: f64) -> Variable {
 fn collect(wf: &mut Workflow, stream: &str, array: &'static str) -> Arc<Mutex<Vec<Vec<f64>>>> {
     let out: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&out);
-    wf.add_sink(format!("collect-{array}"), 1, stream.to_string(), move |_s, vars| {
-        sink.lock().push(vars[array].data.to_f64_vec());
-    });
+    wf.add_sink(
+        format!("collect-{array}"),
+        1,
+        stream.to_string(),
+        move |_s, vars| {
+            sink.lock().push(vars[array].data.to_f64_vec());
+        },
+    );
     out
 }
 
 #[test]
 fn combine_adds_two_different_streams() {
     let mut wf = Workflow::new();
-    wf.add_source("gen-a", 2, "a.fp", |step| (step < 3).then(|| linear_source(step, 8, 1.0)));
-    wf.add_source("gen-b", 1, "b.fp", |step| (step < 3).then(|| linear_source(step, 8, 10.0)));
-    wf.add(2, Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("sum.fp", "s")));
+    wf.add_source("gen-a", 2, "a.fp", |step| {
+        (step < 3).then(|| linear_source(step, 8, 1.0))
+    });
+    wf.add_source("gen-b", 1, "b.fp", |step| {
+        (step < 3).then(|| linear_source(step, 8, 10.0))
+    });
+    wf.add(
+        2,
+        Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("sum.fp", "s")),
+    );
     let got = collect(&mut wf, "sum.fp", "s");
     assert!(wf.validate().is_empty());
     wf.run().unwrap();
@@ -81,9 +93,7 @@ fn combine_joins_two_arrays_of_the_same_stream() {
                     labels: b.labels.clone(),
                     attrs: b.attrs.clone(),
                 };
-                w.put(
-                    sb_data::Chunk::new(meta, sb_data::Region::whole(&b.shape), b.data).unwrap(),
-                );
+                w.put(sb_data::Chunk::new(meta, sb_data::Region::whole(&b.shape), b.data).unwrap());
                 w.end_step();
                 stats.steps += 1;
             }
@@ -96,7 +106,12 @@ fn combine_joins_two_arrays_of_the_same_stream() {
     wf.add(1, TwoVarSource);
     wf.add(
         2,
-        Combine::new(("pair.fp", "x"), BinaryOp::Mul, ("pair.fp", "y"), ("prod.fp", "p")),
+        Combine::new(
+            ("pair.fp", "x"),
+            BinaryOp::Mul,
+            ("pair.fp", "y"),
+            ("prod.fp", "p"),
+        ),
     );
     let got = collect(&mut wf, "prod.fp", "p");
     wf.run().unwrap();
@@ -116,9 +131,21 @@ fn combine_handles_unequal_stream_lengths() {
     // Left ends after 2 steps, right would go to 4: Combine emits 2 and
     // drains the rest so the longer producer can finish.
     let mut wf = Workflow::new();
-    wf.add_source("gen-a", 1, "a.fp", |step| (step < 2).then(|| linear_source(step, 4, 1.0)));
-    wf.add_source("gen-b", 1, "b.fp", |step| (step < 4).then(|| linear_source(step, 4, 1.0)));
-    wf.add(1, Combine::new(("a.fp", "x"), BinaryOp::Sub, ("b.fp", "x"), ("d.fp", "diff")));
+    wf.add_source("gen-a", 1, "a.fp", |step| {
+        (step < 2).then(|| linear_source(step, 4, 1.0))
+    });
+    wf.add_source("gen-b", 1, "b.fp", |step| {
+        (step < 4).then(|| linear_source(step, 4, 1.0))
+    });
+    wf.add(
+        1,
+        Combine::new(
+            ("a.fp", "x"),
+            BinaryOp::Sub,
+            ("b.fp", "x"),
+            ("d.fp", "diff"),
+        ),
+    );
     let got = collect(&mut wf, "d.fp", "diff");
     wf.run().unwrap();
     let got = got.lock().clone();
@@ -132,7 +159,12 @@ fn temporal_mean_smooths_over_the_window() {
     // Constant spatial field whose amplitude steps 0, 1, 2, 3, 4.
     wf.add_source("gen", 2, "v.fp", |step| {
         (step < 5).then(|| {
-            Variable::new("x", Shape::linear("n", 6), Buffer::F64(vec![step as f64; 6])).unwrap()
+            Variable::new(
+                "x",
+                Shape::linear("n", 6),
+                Buffer::F64(vec![step as f64; 6]),
+            )
+            .unwrap()
         })
     });
     wf.add(3, TemporalMean::new(("v.fp", "x"), 3, ("smooth.fp", "m")));
@@ -158,7 +190,9 @@ fn temporal_mean_state_is_per_rank_partition() {
     // Different ranks hold different partitions; the smoothed output must
     // still be spatially correct (value = global index + step mean).
     let mut wf = Workflow::new();
-    wf.add_source("gen", 1, "v.fp", |step| (step < 4).then(|| linear_source(step, 9, 1.0)));
+    wf.add_source("gen", 1, "v.fp", |step| {
+        (step < 4).then(|| linear_source(step, 9, 1.0))
+    });
     wf.add(3, TemporalMean::new(("v.fp", "x"), 2, ("smooth.fp", "m")));
     let got = collect(&mut wf, "smooth.fp", "m");
     wf.run().unwrap();
@@ -192,12 +226,14 @@ fn joins_work_from_launch_scripts() {
     assert_eq!(issues.len(), 2, "{issues:?}");
     assert!(issues.iter().any(|i| matches!(
         i,
-        smartblock::WiringIssue::NoReader { stream, .. } if stream == "st.fp"
+        smartblock::AnalysisIssue::Wiring(smartblock::WiringIssue::NoReader { stream, .. })
+            if stream == "st.fp"
     )));
     assert!(issues.iter().any(|i| matches!(
         i,
-        smartblock::WiringIssue::DuplicateSubscription { stream, group, readers }
-            if stream == "r.fp" && group == "default" && readers.len() == 2
+        smartblock::AnalysisIssue::Wiring(
+            smartblock::WiringIssue::DuplicateSubscription { stream, group, readers }
+        ) if stream == "r.fp" && group == "default" && readers.len() == 2
     )));
     // A corrected workflow would give one consumer a distinct reader group
     // and declare two groups on magnitude's writer; we only check static
@@ -219,12 +255,21 @@ fn script_options_assemble_and_run_a_dag() {
         wait
     "#;
     let entries = smartblock::parse_script(script).unwrap();
-    assert_eq!(entries[1].options.get("groups").map(String::as_str), Some("2"));
-    assert_eq!(entries[3].options.get("group").map(String::as_str), Some("dev"));
+    assert_eq!(
+        entries[1].options.get("groups").map(String::as_str),
+        Some("2")
+    );
+    assert_eq!(
+        entries[3].options.get("group").map(String::as_str),
+        Some("dev")
+    );
 
     let mut wf = Workflow::new();
     for entry in &entries {
-        wf.add(entry.nranks, smartblock::workflows::instantiate_entry(entry));
+        wf.add(
+            entry.nranks,
+            smartblock::workflows::instantiate_entry(entry),
+        );
     }
     let summaries = collect(&mut wf, "st.fp", "summary");
     // Combine's left subscription rides its own group now.

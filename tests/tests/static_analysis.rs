@@ -1,0 +1,300 @@
+//! The static dataflow analyzer: the paper's three workflows must
+//! validate clean, and every class of mis-wiring the analyzer models must
+//! be rejected *before launch* with a typed, readable issue.
+
+use std::time::Duration;
+
+use sb_stream::StreamHub;
+use smartblock::launch::SimCode;
+use smartblock::workflows::{
+    gromacs_workflow, gtcp_workflow, lammps_aio_workflow, lammps_workflow, script_to_workflow,
+    PresetScale, Simulation,
+};
+use smartblock::{
+    AnalysisIssue, BinaryOp, Combine, DimReduce, Histogram, Magnitude, Select, Severity, Transpose,
+    WiringIssue, Workflow,
+};
+
+fn errors(wf: &Workflow) -> Vec<AnalysisIssue> {
+    wf.validate()
+        .into_iter()
+        .filter(|i| i.severity() == Severity::Error)
+        .collect()
+}
+
+// ---------------------------------------------------------------- clean --
+
+/// Figures 5–7: all three paper workflows pass static analysis.
+#[test]
+fn paper_workflows_validate_clean() {
+    let scale = PresetScale::default();
+    let (wf, _) = lammps_workflow(&scale);
+    assert!(wf.validate().is_empty(), "{:?}", wf.validate());
+    let scale = PresetScale {
+        analysis_ranks: vec![2, 2, 2, 1],
+        ..PresetScale::default()
+    };
+    let (wf, _) = gtcp_workflow(&scale);
+    assert!(wf.validate().is_empty(), "{:?}", wf.validate());
+    let (wf, _) = gromacs_workflow(&PresetScale::default());
+    assert!(wf.validate().is_empty(), "{:?}", wf.validate());
+    let (wf, _) = lammps_aio_workflow(&PresetScale::default());
+    assert!(wf.validate().is_empty(), "{:?}", wf.validate());
+}
+
+/// A Fig. 8-style launch script assembles into a clean workflow, and the
+/// propagated specs catch nothing because the wiring is right.
+#[test]
+fn fig8_style_script_validates_clean() {
+    let script = r#"
+        aprun -n 4 gtcp slices=16 points=32 steps=2 &
+        aprun -n 3 select gtcp.fp plasma 2 psel.fp pperp P_perp &
+        aprun -n 2 dim-reduce psel.fp pperp 2 1 dr1.fp flat2 &
+        aprun -n 2 dim-reduce dr1.fp flat2 0 1 dr2.fp flat1 &
+        aprun -n 1 histogram dr2.fp flat1 16 &
+        wait
+    "#;
+    let wf = script_to_workflow(script).unwrap();
+    let issues = wf.validate();
+    assert!(issues.is_empty(), "{issues:?}");
+}
+
+// ------------------------------------------------------------ contracts --
+
+/// Selecting a quantity the producer's header does not declare.
+#[test]
+fn unknown_select_label_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    wf.add(2, Simulation::new(SimCode::Gtcp).param("steps", 1));
+    wf.add(
+        1,
+        Select::new(("gtcp.fp", "plasma"), 2, ["Q_perp"], ("psel.fp", "q")),
+    );
+    wf.add(1, Histogram::new(("psel.fp", "q"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let AnalysisIssue::Contract {
+        component, error, ..
+    } = &errs[0]
+    else {
+        panic!("expected a contract issue, got {:?}", errs[0]);
+    };
+    assert_eq!(component, "select");
+    let msg = error.to_string();
+    assert!(msg.contains("Q_perp"), "{msg}");
+    assert!(
+        msg.contains("P_perp"),
+        "available labels must be listed: {msg}"
+    );
+    // And run() refuses to launch it.
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("static validation"), "{err}");
+}
+
+/// Dim-Reduce folding an axis the array does not have.
+#[test]
+fn out_of_range_reduce_axis_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    wf.add(2, Simulation::new(SimCode::Gtcp).param("steps", 1));
+    wf.add(
+        1,
+        DimReduce::new(("gtcp.fp", "plasma"), 7, 1, ("dr.fp", "flat")),
+    );
+    wf.add(1, Histogram::new(("dr.fp", "flat"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let msg = errs[0].to_string();
+    assert!(msg.contains("dim-reduce"), "{msg}");
+    assert!(msg.contains("axis 7"), "{msg}");
+}
+
+/// Transpose with a permutation of the wrong length.
+#[test]
+fn bad_transpose_permutation_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    wf.add(2, Simulation::new(SimCode::Gromacs).param("steps", 1));
+    wf.add(
+        1,
+        Transpose::new(("gromacs.fp", "coords"), vec![1, 0, 2], ("t.fp", "ct")),
+    );
+    wf.add(1, Histogram::new(("t.fp", "ct"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let msg = errs[0].to_string();
+    assert!(msg.contains("transpose"), "{msg}");
+    assert!(msg.contains("permutation"), "{msg}");
+}
+
+/// Combine joining two statically different global shapes.
+#[test]
+fn combine_shape_mismatch_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    // 36-atom and 64-atom coordinate sets can never join element-wise.
+    wf.add(
+        1,
+        Simulation::new(SimCode::Gromacs)
+            .param("chains", 6)
+            .param("len", 6)
+            .param("steps", 1),
+    );
+    wf.add(
+        1,
+        Simulation::new(SimCode::Gromacs)
+            .param("chains", 8)
+            .param("len", 8)
+            .param("steps", 1)
+            .on_stream("big.fp"),
+    );
+    wf.add(
+        1,
+        Combine::new(
+            ("gromacs.fp", "coords"),
+            BinaryOp::Sub,
+            ("big.fp", "coords"),
+            ("d.fp", "diff"),
+        ),
+    );
+    wf.add(1, Histogram::new(("d.fp", "diff"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let msg = errs[0].to_string();
+    assert!(msg.contains("combine"), "{msg}");
+    assert!(msg.contains("36"), "{msg}");
+    assert!(msg.contains("64"), "{msg}");
+}
+
+/// Histogram on input the analyzer knows is 2-d.
+#[test]
+fn histogram_rank_mismatch_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    wf.add(2, Simulation::new(SimCode::Gromacs).param("steps", 1));
+    wf.add(1, Histogram::new(("gromacs.fp", "coords"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let msg = errs[0].to_string();
+    assert!(msg.contains("1-d"), "{msg}");
+}
+
+/// More bins than the input can ever have elements: a degeneracy warning,
+/// not an error — the workflow still runs.
+#[test]
+fn degenerate_bins_is_a_warning() {
+    let script = r#"
+        aprun -n 1 gromacs chains=2 len=2 steps=1 &
+        aprun -n 1 magnitude gromacs.fp coords m.fp r &
+        aprun -n 1 histogram m.fp r 4096 &
+        wait
+    "#;
+    let wf = script_to_workflow(script).unwrap();
+    let issues = wf.validate();
+    assert_eq!(issues.len(), 1, "{issues:?}");
+    assert_eq!(issues[0].severity(), Severity::Warning);
+    let msg = issues[0].to_string();
+    assert!(msg.contains("4096"), "{msg}");
+    assert!(msg.contains("4"), "{msg}");
+    assert!(errors(&wf).is_empty());
+}
+
+// ------------------------------------------------------- decomposition --
+
+/// More ranks than the partitioned dimension has slices: sb_data's
+/// decompose would leave ranks with empty parts and the extra processes
+/// are pure overhead — flagged before anyone allocates them.
+#[test]
+fn over_decomposition_is_rejected_statically() {
+    let mut wf = Workflow::new();
+    wf.add(
+        1,
+        Simulation::new(SimCode::Gtcp)
+            .param("slices", 4)
+            .param("steps", 1),
+    );
+    // 8 ranks partitioning a 4-slice toroidal dimension.
+    wf.add(
+        8,
+        Select::new(("gtcp.fp", "plasma"), 2, ["P_perp"], ("p.fp", "q")),
+    );
+    wf.add(1, DimReduce::new(("p.fp", "q"), 2, 1, ("d1.fp", "f2")));
+    wf.add(1, DimReduce::new(("d1.fp", "f2"), 0, 1, ("d2.fp", "f1")));
+    wf.add(1, Histogram::new(("d2.fp", "f1"), 4));
+    let errs = errors(&wf);
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    let AnalysisIssue::OverDecomposed {
+        component,
+        extent,
+        nranks,
+        ..
+    } = &errs[0]
+    else {
+        panic!("expected an over-decomposition issue, got {:?}", errs[0]);
+    };
+    assert_eq!(component, "select");
+    assert_eq!(*extent, 4);
+    assert_eq!(*nranks, 8);
+}
+
+// --------------------------------------------------------------- wiring --
+
+/// Wiring mistakes surface as typed issues that name streams and readers.
+#[test]
+fn wiring_issues_are_typed() {
+    let mut wf = Workflow::new();
+    wf.add(1, Magnitude::new(("nowhere.fp", "x"), ("m.fp", "y")));
+    let issues = wf.validate();
+    assert!(issues.iter().any(|i| matches!(
+        i,
+        AnalysisIssue::Wiring(WiringIssue::NoWriter { stream, .. }) if stream == "nowhere.fp"
+    )));
+    assert!(issues.iter().any(|i| matches!(
+        i,
+        AnalysisIssue::Wiring(WiringIssue::NoReader { stream, .. }) if stream == "m.fp"
+    )));
+}
+
+// --------------------------------------------------------------- cycles --
+
+fn cyclic_workflow(timeout: Duration) -> Workflow {
+    let hub = StreamHub::with_timeout(timeout);
+    let mut wf = Workflow::with_hub(hub);
+    // Two transforms subscribed to each other: each waits on the other's
+    // first step and neither can ever produce one.
+    wf.add(1, Magnitude::new(("a.fp", "x"), ("b.fp", "y")));
+    wf.add(1, Magnitude::new(("b.fp", "y"), ("a.fp", "x")));
+    wf
+}
+
+/// Mutually-subscribed components are a guaranteed deadlock; the analyzer
+/// reports the cycle members by label.
+#[test]
+fn subscription_cycle_is_rejected_statically() {
+    let wf = cyclic_workflow(Duration::from_secs(120));
+    let errs = errors(&wf);
+    assert!(
+        errs.iter().any(|i| matches!(
+            i,
+            AnalysisIssue::Cycle { components }
+                if components.contains(&"magnitude".to_string())
+                    && components.contains(&"magnitude-2".to_string())
+        )),
+        "{errs:?}"
+    );
+    let err = wf.run().unwrap_err().to_string();
+    assert!(err.contains("cycle"), "{err}");
+}
+
+/// The stress half of the cycle check: under `run_unchecked()` the same
+/// workflow really does deadlock — both readers stall until the hub
+/// watchdog fires — proving the static Cycle error predicts a genuine
+/// runtime hang rather than a stylistic nit.
+#[test]
+fn predicted_cycle_really_deadlocks_unchecked() {
+    let start = std::time::Instant::now();
+    // A short watchdog keeps the proven deadlock inside the test budget.
+    let err = cyclic_workflow(Duration::from_millis(400))
+        .run_unchecked()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("panicked"), "{err}");
+    // Both components blocked the full timeout: the hang was real.
+    assert!(start.elapsed() >= Duration::from_millis(400), "{err}");
+}
