@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sb_data::decompose::{decompose_along, decompose_grid};
 use sb_data::region::copy_region;
-use sb_data::{Buffer, DType, Region, Shape, Variable};
+use sb_data::{Buffer, DType, Region, Shape, SharedBuffer, Variable};
 use std::hint::black_box;
 
 /// Scatter a tagged array into `regions` chunks, then gather it back into
@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn scatter_gather(source: &Variable, regions: &[Region]) -> Buffer {
     let shape = &source.shape;
     let whole = Region::whole(shape);
-    let chunks: Vec<(Region, Buffer)> = regions
+    let chunks: Vec<(Region, SharedBuffer)> = regions
         .iter()
         .filter(|r| !r.is_empty())
         .map(|r| (r.clone(), source.extract(r).unwrap().data))

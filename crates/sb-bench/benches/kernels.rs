@@ -18,7 +18,7 @@ fn particles_variable(n: usize, props: usize) -> Variable {
     Variable::new(
         "atoms",
         Shape::of(&[("particles", n), ("props", props)]),
-        data.into(),
+        Buffer::from(data),
     )
     .unwrap()
 }

@@ -5,12 +5,18 @@
 //! * `overlap/*` — writer-side async buffering (queue depth 1..8) vs the
 //!   synchronous rendezvous hand-off;
 //! * `mxn/*` — M-writer x N-reader redistribution cost at fixed volume;
-//! * `pipeline/*` — one stream hop vs an in-process function call.
+//! * `pipeline/*` — one stream hop vs an in-process function call;
+//! * `fanout_whole/*`, `fanout_slab/*` — the zero-copy data plane vs the
+//!   copying plane (`set_force_copy`) at 1 writer x N readers. The
+//!   machine-readable before/after record lives in `BENCH_transport.json`
+//!   (regenerate with `cargo run --release -p sb-bench --bin
+//!   bench_transport`).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_bench::{run_fanout, FanoutConfig, FanoutShape};
 use sb_comm::LaunchHandle;
 use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, Shape, Variable, VariableMeta};
@@ -175,6 +181,36 @@ fn bench_pipeline_hop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Zero-copy ablation: the same 1-writer x N-reader fan-out served by the
+/// zero-copy data plane and by the pre-existing copying plane
+/// (`StreamReader::set_force_copy`). Whole-reads stop scaling copy cost
+/// with N; slab-reads drop the zeroing pass.
+fn bench_fanout(c: &mut Criterion) {
+    let (rows, cols) = (40_000usize, 4usize);
+    for shape in [FanoutShape::WholeRead, FanoutShape::SlabRead] {
+        let mut group = c.benchmark_group(format!("fanout_{}", shape.label()));
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes(STEPS * (rows * cols * 8) as u64));
+        for readers in [1usize, 2, 4, 8] {
+            for (mode, force_copy) in [("zero_copy", false), ("copying", true)] {
+                group.bench_with_input(BenchmarkId::new(mode, readers), &readers, |b, &readers| {
+                    b.iter(|| {
+                        black_box(run_fanout(&FanoutConfig {
+                            shape,
+                            readers,
+                            rows,
+                            cols,
+                            steps: STEPS,
+                            force_copy,
+                        }))
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -185,6 +221,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = transport;
     config = configured();
-    targets = bench_overlap, bench_mxn, bench_pipeline_hop
+    targets = bench_overlap, bench_mxn, bench_pipeline_hop, bench_fanout
 }
 criterion_main!(transport);

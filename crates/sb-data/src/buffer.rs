@@ -5,6 +5,8 @@
 //! edges. Integer types round-trip losslessly for the magnitudes simulations
 //! actually emit (|v| < 2^53).
 
+use std::sync::Arc;
+
 use crate::error::{DataError, DataResult};
 
 /// Element type of a buffer, carried as stream metadata.
@@ -291,33 +293,36 @@ impl Buffer {
     }
 
     /// Serializes the payload as little-endian bytes (container format).
+    ///
+    /// One pre-sized allocation per call; each variant converts in bulk via
+    /// fixed-width array stores (`as_chunks_mut`), which the compiler lowers
+    /// to straight block copies on little-endian targets — not one
+    /// `extend_from_slice` per element.
     pub fn to_le_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.byte_len());
+        let mut out = vec![0u8; self.byte_len()];
+        macro_rules! emit {
+            ($v:expr, $w:expr) => {{
+                let (dst, rest) = out.as_chunks_mut::<$w>();
+                debug_assert!(rest.is_empty());
+                for (d, x) in dst.iter_mut().zip($v) {
+                    *d = x.to_le_bytes();
+                }
+            }};
+        }
         match self {
-            Buffer::F32(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::F64(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::I32(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::I64(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::U32(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
-            Buffer::U64(v) => v
-                .iter()
-                .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+            Buffer::F32(v) => emit!(v, 4),
+            Buffer::F64(v) => emit!(v, 8),
+            Buffer::I32(v) => emit!(v, 4),
+            Buffer::I64(v) => emit!(v, 8),
+            Buffer::U32(v) => emit!(v, 4),
+            Buffer::U64(v) => emit!(v, 8),
         }
         out
     }
 
     /// Deserializes a payload of `len` elements of `dtype` from
-    /// little-endian bytes.
+    /// little-endian bytes, converting in bulk per variant (fixed-width
+    /// array loads, no per-element fallible conversions).
     pub fn from_le_bytes(dtype: DType, len: usize, bytes: &[u8]) -> DataResult<Buffer> {
         let need = len
             .checked_mul(dtype.elem_bytes())
@@ -330,14 +335,10 @@ impl Buffer {
             });
         }
         macro_rules! parse {
-            ($t:ty, $variant:ident, $w:expr) => {
-                Buffer::$variant(
-                    bytes[..need]
-                        .chunks_exact($w)
-                        .map(|c| <$t>::from_le_bytes(c.try_into().expect("chunk width")))
-                        .collect(),
-                )
-            };
+            ($t:ty, $variant:ident, $w:expr) => {{
+                let (src, _) = bytes[..need].as_chunks::<$w>();
+                Buffer::$variant(src.iter().map(|c| <$t>::from_le_bytes(*c)).collect())
+            }};
         }
         Ok(match dtype {
             DType::F32 => parse!(f32, F32, 4),
@@ -347,6 +348,141 @@ impl Buffer {
             DType::U32 => parse!(u32, U32, 4),
             DType::U64 => parse!(u64, U64, 8),
         })
+    }
+
+    /// An empty buffer of `dtype` with room for `capacity` elements —
+    /// the starting point for assembling output by [`Buffer::append_from`]
+    /// without paying a zero-fill first.
+    pub fn with_capacity(dtype: DType, capacity: usize) -> Buffer {
+        match dtype {
+            DType::F32 => Buffer::F32(Vec::with_capacity(capacity)),
+            DType::F64 => Buffer::F64(Vec::with_capacity(capacity)),
+            DType::I32 => Buffer::I32(Vec::with_capacity(capacity)),
+            DType::I64 => Buffer::I64(Vec::with_capacity(capacity)),
+            DType::U32 => Buffer::U32(Vec::with_capacity(capacity)),
+            DType::U64 => Buffer::U64(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends `count` elements starting at `src_off` in `src` to the end
+    /// of `self`. Both buffers must share a dtype.
+    ///
+    /// With [`Buffer::with_capacity`] this assembles an exactly-tiled
+    /// reader box as one run of block copies, skipping the zero-fill that
+    /// [`Buffer::zeros`] + scatter writes would pay.
+    pub fn append_from(&mut self, src: &Buffer, src_off: usize, count: usize) -> DataResult<()> {
+        if self.dtype() != src.dtype() {
+            return Err(DataError::DTypeMismatch {
+                expected: self.dtype(),
+                found: src.dtype(),
+            });
+        }
+        if src_off + count > src.len() {
+            return Err(DataError::RegionOutOfBounds {
+                detail: format!(
+                    "append of {count} elems at src offset {src_off} exceeds source length {}",
+                    src.len()
+                ),
+            });
+        }
+        macro_rules! append {
+            ($d:ident, $s:ident) => {
+                $d.extend_from_slice(&$s[src_off..src_off + count])
+            };
+        }
+        match (self, src) {
+            (Buffer::F32(d), Buffer::F32(s)) => append!(d, s),
+            (Buffer::F64(d), Buffer::F64(s)) => append!(d, s),
+            (Buffer::I32(d), Buffer::I32(s)) => append!(d, s),
+            (Buffer::I64(d), Buffer::I64(s)) => append!(d, s),
+            (Buffer::U32(d), Buffer::U32(s)) => append!(d, s),
+            (Buffer::U64(d), Buffer::U64(s)) => append!(d, s),
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+}
+
+/// A reference-counted, immutable-by-default payload: the unit of sharing
+/// on the zero-copy data plane.
+///
+/// A writer hands its owned [`Buffer`] to the stream once; the step slot,
+/// every subscribed reader group, and every downstream forward then share
+/// that single allocation by `Arc` clone. Mutation goes through
+/// [`SharedBuffer::make_mut`], which is copy-on-write: free while the rank
+/// holds the only reference (the common per-step kernel case), a deep copy
+/// only when the payload is genuinely shared.
+///
+/// Derefs to [`Buffer`], so all read-side accessors (`len`, `get_f64`,
+/// `as_f64_slice`, …) apply directly.
+#[derive(Debug, Clone)]
+pub struct SharedBuffer(Arc<Buffer>);
+
+impl SharedBuffer {
+    /// Wraps an owned buffer (no copy).
+    pub fn new(buffer: Buffer) -> SharedBuffer {
+        SharedBuffer(Arc::new(buffer))
+    }
+
+    /// The owned buffer back out: free when this is the last reference,
+    /// otherwise one deep copy.
+    pub fn into_owned(self) -> Buffer {
+        match Arc::try_unwrap(self.0) {
+            Ok(b) => b,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// Consumes the payload into `f64` values, moving (not copying) the
+    /// storage when it is uniquely held and already `F64`.
+    pub fn into_f64_vec(self) -> Vec<f64> {
+        match Arc::try_unwrap(self.0) {
+            Ok(b) => b.into_f64_vec(),
+            Err(shared) => shared.to_f64_vec(),
+        }
+    }
+
+    /// Mutable access, copy-on-write: no copy while uniquely held.
+    pub fn make_mut(&mut self) -> &mut Buffer {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// True when both handles share one allocation — what the zero-copy
+    /// tests assert instead of comparing contents.
+    pub fn shares_allocation(a: &SharedBuffer, b: &SharedBuffer) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl std::ops::Deref for SharedBuffer {
+    type Target = Buffer;
+
+    fn deref(&self) -> &Buffer {
+        &self.0
+    }
+}
+
+impl From<Buffer> for SharedBuffer {
+    fn from(b: Buffer) -> SharedBuffer {
+        SharedBuffer::new(b)
+    }
+}
+
+impl PartialEq for SharedBuffer {
+    fn eq(&self, other: &SharedBuffer) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl PartialEq<Buffer> for SharedBuffer {
+    fn eq(&self, other: &Buffer) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<SharedBuffer> for Buffer {
+    fn eq(&self, other: &SharedBuffer) -> bool {
+        *self == *other.0
     }
 }
 

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::buffer::{Buffer, DType};
+use crate::buffer::{DType, SharedBuffer};
 use crate::dims::Shape;
 use crate::error::{DataError, DataResult};
 use crate::region::Region;
@@ -74,6 +74,31 @@ impl VariableMeta {
     pub fn byte_len(&self) -> usize {
         self.shape.total_len() * self.dtype.elem_bytes()
     }
+
+    /// Checks every attached header against the shape: the dimension must
+    /// exist and the header must name exactly one row per extent entry.
+    ///
+    /// Enforced at [`Chunk::new`] so a malformed header fails the writer's
+    /// `put` instead of panicking a reader slicing `names[lo..hi]` later.
+    pub fn validate_labels(&self) -> DataResult<()> {
+        for (&dim, names) in &self.labels {
+            if dim >= self.shape.ndims() {
+                return Err(DataError::MalformedHeader {
+                    dim,
+                    expected: 0,
+                    found: names.len(),
+                });
+            }
+            if names.len() != self.shape.size(dim) {
+                return Err(DataError::MalformedHeader {
+                    dim,
+                    expected: self.shape.size(dim),
+                    found: names.len(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One writer rank's contribution to one variable in one step: the region of
@@ -84,14 +109,25 @@ pub struct Chunk {
     pub meta: VariableMeta,
     /// The box of the global array this payload covers.
     pub region: Region,
-    /// Row-major payload over `region.count()`.
-    pub data: Buffer,
+    /// Row-major payload over `region.count()`. Arc-backed: the step slot
+    /// and every reader view share this one allocation.
+    pub data: SharedBuffer,
 }
 
 impl Chunk {
-    /// Builds a chunk, validating region-vs-shape and payload length.
-    pub fn new(meta: VariableMeta, region: Region, data: Buffer) -> DataResult<Chunk> {
+    /// Builds a chunk, validating region-vs-shape, payload length, and
+    /// header-vs-shape consistency.
+    ///
+    /// Accepts an owned [`Buffer`](crate::Buffer) (wrapped without copying)
+    /// or an existing [`SharedBuffer`] (shared by reference count).
+    pub fn new(
+        meta: VariableMeta,
+        region: Region,
+        data: impl Into<SharedBuffer>,
+    ) -> DataResult<Chunk> {
+        let data = data.into();
         region.validate(&meta.shape)?;
+        meta.validate_labels()?;
         if data.len() != region.len() {
             return Err(DataError::ShapeMismatch {
                 data_len: data.len(),
@@ -134,6 +170,7 @@ impl Chunk {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::Buffer;
     use crate::variable::Variable;
 
     fn meta() -> VariableMeta {
@@ -173,6 +210,42 @@ mod tests {
             Buffer::F32(vec![0.0; 6]),
         );
         assert!(matches!(bad_dtype, Err(DataError::DTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn short_header_fails_construction() {
+        // A header naming fewer rows than the extent must fail the put-side
+        // Chunk::new, not panic a reader slicing names[lo..hi] later.
+        let mut m = meta();
+        m.labels.insert(1, vec!["a".into(), "b".into()]);
+        let bad = Chunk::new(
+            m,
+            Region::new(vec![0, 0], vec![4, 3]),
+            Buffer::F64(vec![0.0; 12]),
+        );
+        assert!(matches!(
+            bad,
+            Err(DataError::MalformedHeader {
+                dim: 1,
+                expected: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn header_on_out_of_range_dimension_fails() {
+        let mut m = meta();
+        m.labels.insert(7, vec!["x".into()]);
+        let bad = Chunk::new(
+            m,
+            Region::new(vec![0, 0], vec![4, 3]),
+            Buffer::F64(vec![0.0; 12]),
+        );
+        assert!(matches!(
+            bad,
+            Err(DataError::MalformedHeader { dim: 7, .. })
+        ));
     }
 
     #[test]

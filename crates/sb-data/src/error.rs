@@ -45,6 +45,17 @@ pub enum DataError {
         /// Index of the unlabelled dimension.
         dim: usize,
     },
+    /// A dimension header disagrees with the shape it describes: wrong
+    /// length for the extent, or attached to a dimension past the rank.
+    MalformedHeader {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// Row names the header must supply (the dimension's extent), or 0
+        /// when the dimension itself is out of range.
+        expected: usize,
+        /// Row names the header actually supplies.
+        found: usize,
+    },
     /// The group-config parser rejected its input.
     ConfigParse {
         /// 1-based line of the error.
@@ -90,6 +101,14 @@ impl fmt::Display for DataError {
             DataError::MissingHeader { dim } => {
                 write!(f, "dimension {dim} carries no quantity header")
             }
+            DataError::MalformedHeader {
+                dim,
+                expected,
+                found,
+            } => write!(
+                f,
+                "header of dimension {dim} names {found} rows but the extent is {expected}"
+            ),
             DataError::ConfigParse { line, detail } => {
                 write!(f, "group config parse error at line {line}: {detail}")
             }

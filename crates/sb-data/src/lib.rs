@@ -32,7 +32,7 @@ pub mod error;
 pub mod region;
 pub mod variable;
 
-pub use buffer::{Buffer, DType};
+pub use buffer::{Buffer, DType, SharedBuffer};
 pub use chunk::{Chunk, VariableMeta};
 pub use config::{GroupConfig, VarConfig};
 pub use dims::{Dim, Shape};

@@ -151,6 +151,27 @@ impl Region {
         }
     }
 
+    /// True when this region is a *row slab* of `outer`: it spans `outer`'s
+    /// full extent in every dimension except the outermost, where it covers
+    /// a contained subrange.
+    ///
+    /// A row slab occupies one contiguous row-major run of the buffer laid
+    /// out over `outer` — the condition under which a reader can assemble
+    /// its box by plain appends (no zero-fill, no strided scatter). Every
+    /// 1-d decomposition chunk is a row slab of both its own region and any
+    /// request it helps cover.
+    pub fn is_row_slab_of(&self, outer: &Region) -> bool {
+        assert_eq!(self.ndims(), outer.ndims(), "region rank mismatch");
+        if self.ndims() == 0 {
+            return true;
+        }
+        if self.offset[0] < outer.offset[0] || self.end(0) > outer.end(0) {
+            return false;
+        }
+        (1..self.ndims())
+            .all(|d| self.offset[d] == outer.offset[d] && self.count[d] == outer.count[d])
+    }
+
     /// The local shape of a buffer covering exactly this region, reusing the
     /// dimension names of `global`.
     pub fn local_shape(&self, global: &Shape) -> Shape {
@@ -302,6 +323,23 @@ mod tests {
         assert_eq!(rel, Region::new(vec![1, 1], vec![2, 2]));
         assert!(outer.contains_point(&[6, 7]));
         assert!(!outer.contains_point(&[7, 3]));
+    }
+
+    #[test]
+    fn row_slab_detection() {
+        let outer = Region::new(vec![0, 0], vec![8, 5]);
+        // Full-width band of rows: a slab.
+        assert!(Region::new(vec![2, 0], vec![3, 5]).is_row_slab_of(&outer));
+        // The whole region is trivially a slab of itself.
+        assert!(outer.is_row_slab_of(&outer));
+        // Narrower than the inner extent: strided, not a slab.
+        assert!(!Region::new(vec![2, 1], vec![3, 3]).is_row_slab_of(&outer));
+        // Overhangs the outer row range.
+        assert!(!Region::new(vec![6, 0], vec![3, 5]).is_row_slab_of(&outer));
+        // 1-d: any contained subrange is a slab.
+        let line = Region::new(vec![4], vec![10]);
+        assert!(Region::new(vec![6], vec![3]).is_row_slab_of(&line));
+        assert!(!Region::new(vec![2], vec![3]).is_row_slab_of(&line));
     }
 
     #[test]

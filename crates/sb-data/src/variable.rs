@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::buffer::{Buffer, DType};
+use crate::buffer::{Buffer, DType, SharedBuffer};
 use crate::dims::Shape;
 use crate::error::{DataError, DataResult};
 use crate::region::{copy_region, Region};
@@ -42,8 +42,9 @@ pub struct Variable {
     pub name: String,
     /// Named, row-major dimensions.
     pub shape: Shape,
-    /// The linear payload; `data.len() == shape.total_len()`.
-    pub data: Buffer,
+    /// The linear payload; `data.len() == shape.total_len()`. Arc-backed so
+    /// forwarding a variable through the stream shares the allocation.
+    pub data: SharedBuffer,
     /// Quantity headers: `labels[&dim]` names the rows of dimension `dim`.
     pub labels: BTreeMap<usize, Vec<String>>,
     /// Free-form attributes.
@@ -52,7 +53,15 @@ pub struct Variable {
 
 impl Variable {
     /// Builds a variable, validating payload length against the shape.
-    pub fn new(name: impl Into<String>, shape: Shape, data: Buffer) -> DataResult<Variable> {
+    ///
+    /// Accepts an owned [`Buffer`] (wrapped without copying) or an existing
+    /// [`SharedBuffer`] (shared by reference count).
+    pub fn new(
+        name: impl Into<String>,
+        shape: Shape,
+        data: impl Into<SharedBuffer>,
+    ) -> DataResult<Variable> {
+        let data = data.into();
         if data.len() != shape.total_len() {
             return Err(DataError::ShapeMismatch {
                 data_len: data.len(),
@@ -144,7 +153,7 @@ impl Variable {
         Ok(Variable {
             name: self.name.clone(),
             shape,
-            data: out,
+            data: out.into(),
             labels,
             attrs: self.attrs.clone(),
         })
@@ -166,7 +175,7 @@ mod tests {
         Variable::new(
             "atoms",
             Shape::of(&[("particles", 3), ("props", 5)]),
-            data.into(),
+            Buffer::from(data),
         )
         .unwrap()
         .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])

@@ -16,6 +16,9 @@ pub(crate) struct Counters {
     pub steps_consumed: AtomicU64,
     pub writer_wait_ns: AtomicU64,
     pub reader_wait_ns: AtomicU64,
+    pub bytes_copied: AtomicU64,
+    pub copies_elided: AtomicU64,
+    pub zero_fills_elided: AtomicU64,
 }
 
 impl Counters {
@@ -38,6 +41,18 @@ impl Counters {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_copied(&self, bytes: usize) {
+        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_copy_elided(&self) {
+        self.copies_elided.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_zero_fill_elided(&self) {
+        self.zero_fills_elided.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, name: &str) -> StreamMetrics {
         StreamMetrics {
             stream: name.to_string(),
@@ -47,6 +62,9 @@ impl Counters {
             steps_consumed: self.steps_consumed.load(Ordering::Relaxed),
             writer_wait: Duration::from_nanos(self.writer_wait_ns.load(Ordering::Relaxed)),
             reader_wait: Duration::from_nanos(self.reader_wait_ns.load(Ordering::Relaxed)),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            copies_elided: self.copies_elided.load(Ordering::Relaxed),
+            zero_fills_elided: self.zero_fills_elided.load(Ordering::Relaxed),
         }
     }
 }
@@ -68,6 +86,16 @@ pub struct StreamMetrics {
     pub writer_wait: Duration,
     /// Total time reader ranks spent blocked waiting for data.
     pub reader_wait: Duration,
+    /// Payload bytes physically copied while assembling reader boxes.
+    /// Zero on the pure fast path; `bytes_read` still counts the bytes
+    /// *served*, copied or shared.
+    pub bytes_copied: u64,
+    /// Reader gets answered by sharing a chunk's allocation (`Arc` clone)
+    /// instead of copying — the exact-cover fast path.
+    pub copies_elided: u64,
+    /// Reader gets assembled by appending tiling slabs, skipping the
+    /// zero-fill of the destination buffer.
+    pub zero_fills_elided: u64,
 }
 
 impl StreamMetrics {

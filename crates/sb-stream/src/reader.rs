@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sb_data::region::copy_region;
-use sb_data::{Buffer, DataError, DataResult, Region, Variable, VariableMeta};
+use sb_data::{Buffer, DataError, DataResult, Region, SharedBuffer, Variable, VariableMeta};
 
 use crate::stream::{StepContents, Stream};
 
@@ -30,6 +30,7 @@ pub struct StreamReader {
     nranks: usize,
     next_step: u64,
     current: Option<StepContents>,
+    force_copy: bool,
 }
 
 impl StreamReader {
@@ -47,7 +48,17 @@ impl StreamReader {
             nranks,
             next_step: first_step,
             current: None,
+            force_copy: false,
         }
+    }
+
+    /// Disables the zero-copy fast paths, forcing every `get` through the
+    /// zero-fill + `copy_region` assembly.
+    ///
+    /// An ablation knob for benchmarks: the same binary measures the data
+    /// plane with and without copy elision. Workflows never set this.
+    pub fn set_force_copy(&mut self, force: bool) {
+        self.force_copy = force;
     }
 
     /// The reader group this handle belongs to.
@@ -98,6 +109,14 @@ impl StreamReader {
     ///
     /// Fails if the variable is unknown, the region exceeds the global
     /// shape, or the writer chunks do not tile the requested box exactly.
+    ///
+    /// Copy discipline, in decreasing order of preference:
+    /// 1. *Exact cover* — one chunk's region equals the request: the
+    ///    chunk's allocation is shared by `Arc` clone; nothing is copied.
+    /// 2. *Slab concat* — every overlap is a full-inner-extent row slab of
+    ///    both the request and its chunk: slabs are appended in order into
+    ///    a pre-sized buffer, skipping the zero-fill.
+    /// 3. *General* — zero-fill then strided `copy_region` per chunk.
     pub fn get(&self, name: &str, region: &Region) -> DataResult<Variable> {
         let slot = self
             .contents()
@@ -107,24 +126,24 @@ impl StreamReader {
             })?;
         let meta = &slot.meta;
         region.validate(&meta.shape)?;
-        let mut out = Buffer::zeros(meta.dtype, region.len());
+
+        // Find every chunk intersecting the box; chunks must tile it. Any
+        // pairwise overlap inside the box means double-written elements
+        // (and, since the total is checked below, a matching hole
+        // elsewhere).
         let mut covered = 0usize;
-        let mut overlaps: Vec<sb_data::Region> = Vec::new();
-        for chunk in &slot.chunks {
+        let mut hits: Vec<(usize, Region)> = Vec::new();
+        for (i, chunk) in slot.chunks.iter().enumerate() {
             if let Some(overlap) = chunk.region.intersect(region) {
-                // Chunks must tile: any pairwise overlap inside the box
-                // means double-written elements (and, since the total is
-                // checked below, a matching hole elsewhere).
-                if overlaps.iter().any(|o| o.intersect(&overlap).is_some()) {
+                if hits.iter().any(|(_, o)| o.intersect(&overlap).is_some()) {
                     return Err(DataError::RegionOutOfBounds {
                         detail: format!(
                             "writer chunks of {name:?} overlap inside the requested box {region}"
                         ),
                     });
                 }
-                copy_region(&chunk.data, &chunk.region, &mut out, region, &overlap)?;
                 covered += overlap.len();
-                overlaps.push(overlap);
+                hits.push((i, overlap));
             }
         }
         if covered != region.len() {
@@ -136,18 +155,63 @@ impl StreamReader {
                 ),
             });
         }
-        self.stream.counters.add_read(out.byte_len());
 
-        // Carry labels through, sliced to the requested box, and keep the
-        // global dimension names on the local shape.
-        let shape = region.local_shape(&meta.shape);
+        // Carry labels through, sliced to the requested box. Bounds-checked:
+        // writer metadata whose header is shorter than the extent surfaces
+        // as an error here, never a slice panic.
         let mut labels = BTreeMap::new();
         for (&dim, names) in &meta.labels {
             let lo = region.offset()[dim];
             let hi = region.end(dim);
-            labels.insert(dim, names[lo..hi].to_vec());
+            let slice = names.get(lo..hi).ok_or(DataError::MalformedHeader {
+                dim,
+                expected: meta.shape.size(dim),
+                found: names.len(),
+            })?;
+            labels.insert(dim, slice.to_vec());
         }
-        let mut var = Variable::new(meta.name.clone(), shape, out)?;
+
+        let counters = &self.stream.counters;
+        let byte_len = region.len() * meta.dtype.elem_bytes();
+        let data: SharedBuffer =
+            if !self.force_copy && hits.len() == 1 && slot.chunks[hits[0].0].region == *region {
+                // Exact cover: serve the chunk's own allocation.
+                counters.add_copy_elided();
+                slot.chunks[hits[0].0].data.clone()
+            } else if !self.force_copy
+                && region.ndims() >= 1
+                && !hits.is_empty()
+                && hits.iter().all(|(i, o)| {
+                    o.is_row_slab_of(region) && o.is_row_slab_of(&slot.chunks[*i].region)
+                })
+            {
+                // Disjoint row slabs summing to the box tile it in order along
+                // the outermost dimension: append them, no zero-fill first.
+                let mut ordered: Vec<&(usize, Region)> = hits.iter().collect();
+                ordered.sort_by_key(|(_, o)| o.offset()[0]);
+                let mut out = Buffer::with_capacity(meta.dtype, region.len());
+                for (i, o) in ordered {
+                    let chunk = &slot.chunks[*i];
+                    let inner: usize = chunk.region.count()[1..].iter().product();
+                    let src_off = (o.offset()[0] - chunk.region.offset()[0]) * inner;
+                    out.append_from(&chunk.data, src_off, o.len())?;
+                }
+                counters.add_zero_fill_elided();
+                counters.add_copied(byte_len);
+                out.into()
+            } else {
+                let mut out = Buffer::zeros(meta.dtype, region.len());
+                for (i, overlap) in &hits {
+                    let chunk = &slot.chunks[*i];
+                    copy_region(&chunk.data, &chunk.region, &mut out, region, overlap)?;
+                }
+                counters.add_copied(byte_len);
+                out.into()
+            };
+        counters.add_read(byte_len);
+
+        let shape = region.local_shape(&meta.shape);
+        let mut var = Variable::new(meta.name.clone(), shape, data)?;
         var.labels = labels;
         var.attrs = meta.attrs.clone();
         Ok(var)

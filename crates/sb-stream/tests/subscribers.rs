@@ -5,12 +5,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sb_data::{Shape, Variable};
+use sb_data::{Buffer, Shape, Variable};
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
 fn step_variable(step: u64, n: usize) -> Variable {
     let data: Vec<f64> = (0..n).map(|i| (i as u64 * 100 + step) as f64).collect();
-    Variable::new("x", Shape::linear("n", n), data.into()).unwrap()
+    Variable::new("x", Shape::linear("n", n), Buffer::from(data)).unwrap()
 }
 
 #[test]
@@ -155,6 +155,90 @@ fn slow_group_applies_backpressure_for_all() {
         ahead_while_held <= 2,
         "writer committed {ahead_while_held} steps while the slow group held step 0 (cap 2)"
     );
+}
+
+#[test]
+fn expected_groups_retain_steps_until_every_group_releases() {
+    // Declaring `expected_reader_groups: 2` must hold every step until both
+    // groups have subscribed AND released it — the first branch of
+    // `front_fully_consumed`. Group "early" consumes the whole stream
+    // before "late" even attaches; nothing may be dropped.
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer(
+        "retain.fp",
+        0,
+        1,
+        WriterOptions::buffered(8).with_reader_groups(2),
+    );
+    for step in 0..3u64 {
+        w.begin_step();
+        w.put_whole(step_variable(step, 4));
+        w.end_step();
+    }
+    w.close();
+
+    let mut early = hub.open_reader_grouped("retain.fp", "early", 0, 1);
+    for step in 0..3u64 {
+        assert_eq!(early.begin_step(), StepStatus::Ready(step));
+        early.end_step();
+    }
+    assert_eq!(early.begin_step(), StepStatus::EndOfStream);
+    // Every step was released by "early", yet none may be popped: the
+    // second declared group has not seen them.
+    let m = hub.metrics("retain.fp").unwrap();
+    assert_eq!(m.steps_committed, 3);
+    assert_eq!(m.steps_consumed, 0, "steps dropped before group 2 attached");
+
+    // The second group attaches after the fact and still sees everything.
+    let mut late = hub.open_reader_grouped("retain.fp", "late", 0, 1);
+    for step in 0..3u64 {
+        assert_eq!(late.begin_step(), StepStatus::Ready(step));
+        let v = late.get_whole("x").unwrap();
+        assert_eq!(v.data.get_f64(0), step as f64);
+        late.end_step();
+    }
+    assert_eq!(late.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(hub.metrics("retain.fp").unwrap().steps_consumed, 3);
+}
+
+#[test]
+fn front_pops_only_when_every_subscribed_group_releases() {
+    // The per-group release branch of `front_fully_consumed`: once two
+    // groups subscribe, one releasing a step is not enough to pop it.
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer(
+        "joint.fp",
+        0,
+        1,
+        WriterOptions::buffered(8).with_reader_groups(2),
+    );
+    let mut a = hub.open_reader_grouped("joint.fp", "a", 0, 1);
+    let mut b = hub.open_reader_grouped("joint.fp", "b", 0, 1);
+    for step in 0..2u64 {
+        w.begin_step();
+        w.put_whole(step_variable(step, 4));
+        w.end_step();
+    }
+
+    assert_eq!(a.begin_step(), StepStatus::Ready(0));
+    a.end_step();
+    assert_eq!(
+        hub.metrics("joint.fp").unwrap().steps_consumed,
+        0,
+        "step 0 popped with group \"b\" still holding it"
+    );
+
+    assert_eq!(b.begin_step(), StepStatus::Ready(0));
+    b.end_step();
+    assert_eq!(hub.metrics("joint.fp").unwrap().steps_consumed, 1);
+
+    w.close();
+    for r in [&mut a, &mut b] {
+        assert_eq!(r.begin_step(), StepStatus::Ready(1));
+        r.end_step();
+        assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+    }
+    assert_eq!(hub.metrics("joint.fp").unwrap().steps_consumed, 2);
 }
 
 #[test]

@@ -19,7 +19,7 @@ fn tagged_variable(name: &str, rows: usize, cols: usize) -> Variable {
     Variable::new(
         name,
         Shape::of(&[("rows", rows), ("cols", cols)]),
-        data.into(),
+        Buffer::from(data),
     )
     .unwrap()
 }
@@ -364,7 +364,14 @@ fn many_writer_ranks_split_along_one_dim() {
         w.begin_step();
         if count > 0 {
             let data: Vec<f64> = (off..off + count).map(|i| i as f64 * 10.0).collect();
-            w.put(Chunk::new(meta, Region::new(vec![off], vec![count]), data.into()).unwrap());
+            w.put(
+                Chunk::new(
+                    meta,
+                    Region::new(vec![off], vec![count]),
+                    Buffer::from(data),
+                )
+                .unwrap(),
+            );
         }
         w.end_step();
         w.close();
@@ -410,4 +417,150 @@ fn deadlock_panics_with_diagnostic() {
     let hub = StreamHub::with_timeout(Duration::from_millis(100));
     let mut r = hub.open_reader("never.fp", 0, 1);
     let _ = r.begin_step(); // no writer will ever appear
+}
+
+#[test]
+fn whole_read_shares_the_writers_allocation() {
+    // The exact-cover fast path: one writer chunk covering the whole array
+    // is served to every reader group by Arc clone — same allocation, no
+    // copies, no zero-fill.
+    let hub = StreamHub::new();
+    let shape = Shape::of(&[("rows", 16), ("cols", 8)]);
+    let payload = sb_data::SharedBuffer::from(Buffer::F64(
+        (0..shape.total_len()).map(|i| i as f64).collect(),
+    ));
+    let mut w = hub.open_writer(
+        "zc.fp",
+        0,
+        1,
+        WriterOptions::default().with_reader_groups(2),
+    );
+    w.begin_step();
+    let meta = VariableMeta::new("field", shape.clone(), DType::F64);
+    w.put(Chunk::new(meta, Region::whole(&shape), payload.clone()).unwrap());
+    w.end_step();
+    w.close();
+
+    for group in ["a", "b"] {
+        let mut r = hub.open_reader_grouped("zc.fp", group, 0, 1);
+        assert_eq!(r.begin_step(), StepStatus::Ready(0));
+        let v = r.get_whole("field").unwrap();
+        assert!(
+            sb_data::SharedBuffer::shares_allocation(&payload, &v.data),
+            "group {group}: whole-read returned a copy instead of sharing the writer's buffer"
+        );
+        assert_eq!(v.get(&[3, 4]), 28.0);
+        r.end_step();
+    }
+
+    let m = hub.metrics("zc.fp").unwrap();
+    assert_eq!(m.copies_elided, 2, "one elision per reader group");
+    assert_eq!(m.bytes_copied, 0, "payload bytes copied on the fast path");
+    assert_eq!(
+        m.bytes_read,
+        2 * 16 * 8 * 8,
+        "bytes served are still counted"
+    );
+}
+
+#[test]
+fn tiling_slab_reads_skip_the_zero_fill() {
+    // Two writer row-blocks tile the reader's whole-array request: the box
+    // is assembled by appending the two runs, never zero-filling first.
+    let rows = 10;
+    let cols = 4;
+    let source = tagged_variable("field", rows, cols);
+    let hub = StreamHub::new();
+    let hub_w = Arc::clone(&hub);
+    let src_w = source.clone();
+    LaunchHandle::spawn("writers", 2, move |comm| {
+        let mut w = hub_w.open_writer(
+            "slab.fp",
+            comm.rank(),
+            comm.size(),
+            WriterOptions::default(),
+        );
+        let region = default_partition(&src_w.shape, comm.size(), comm.rank());
+        let local = src_w.extract(&region).unwrap();
+        let meta = VariableMeta::new("field", src_w.shape.clone(), DType::F64);
+        w.begin_step();
+        w.put(Chunk::new(meta, region, local.data).unwrap());
+        w.end_step();
+        w.close();
+    })
+    .unwrap()
+    .join()
+    .unwrap();
+
+    let mut r = hub.open_reader("slab.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    let v = r.get_whole("field").unwrap();
+    assert_eq!(v.data, source.data);
+
+    // A row subrange straddling both chunks is also slab-assembled.
+    let band = Region::new(vec![3, 0], vec![4, cols]);
+    let b = r.get("field", &band).unwrap();
+    assert_eq!(b.get(&[0, 0]), 3000.0);
+    assert_eq!(b.get(&[3, 3]), 6003.0);
+    r.end_step();
+
+    let m = hub.metrics("slab.fp").unwrap();
+    assert_eq!(m.zero_fills_elided, 2, "both reads should tile from slabs");
+    assert_eq!(
+        m.copies_elided, 0,
+        "no single chunk exactly covers either box"
+    );
+    assert_eq!(m.bytes_copied, (rows * cols + 4 * cols) as u64 * 8);
+}
+
+#[test]
+fn force_copy_restores_the_copying_data_plane() {
+    // The bench ablation knob: with force_copy the same read goes through
+    // zero-fill + copy_region, and the counters say so.
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("fc.fp", 0, 1, WriterOptions::default());
+    w.begin_step();
+    w.put_whole(tagged_variable("x", 6, 3));
+    w.end_step();
+    w.close();
+
+    let mut r = hub.open_reader("fc.fp", 0, 1);
+    r.set_force_copy(true);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    let v = r.get_whole("x").unwrap();
+    assert_eq!(v.get(&[5, 2]), 5002.0);
+    r.end_step();
+
+    let m = hub.metrics("fc.fp").unwrap();
+    assert_eq!(m.copies_elided, 0);
+    assert_eq!(m.zero_fills_elided, 0);
+    assert_eq!(m.bytes_copied, 6 * 3 * 8);
+}
+
+#[test]
+fn strided_column_read_still_assembles_correctly() {
+    // A column band is NOT a row slab (strided in memory): it must fall
+    // back to the general path and still produce exact data.
+    let hub = StreamHub::new();
+    let mut w = hub.open_writer("col.fp", 0, 1, WriterOptions::default());
+    w.begin_step();
+    w.put_whole(tagged_variable("x", 5, 7));
+    w.end_step();
+    w.close();
+
+    let mut r = hub.open_reader("col.fp", 0, 1);
+    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    let band = Region::new(vec![0, 2], vec![5, 3]);
+    let v = r.get("x", &band).unwrap();
+    for i in 0..5 {
+        for j in 0..3 {
+            assert_eq!(v.get(&[i, j]), (i * 1000 + j + 2) as f64);
+        }
+    }
+    r.end_step();
+
+    let m = hub.metrics("col.fp").unwrap();
+    assert_eq!(m.copies_elided, 0);
+    assert_eq!(m.zero_fills_elided, 0);
+    assert_eq!(m.bytes_copied, 5 * 3 * 8);
 }

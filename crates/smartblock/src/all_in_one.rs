@@ -161,15 +161,17 @@ impl Component for AllInOne {
                 let mags = vector_magnitudes(&selected)?;
                 let (lmin, lmax) = mags
                     .iter()
+                    .filter(|v| v.is_finite())
                     .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
                         (a.min(v), b.max(v))
                     });
                 let min = comm.allreduce(lmin, f64::min);
                 let max = comm.allreduce(lmax, f64::max);
-                let counts = bin_counts(&mags, min, max, self.num_bins);
+                let (counts, nan) = bin_counts(&mags, min, max, self.num_bins);
                 let total = comm.reduce(0, counts, |a, b| {
                     a.iter().zip(&b).map(|(x, y)| x + y).collect()
                 });
+                let nan_total = comm.reduce(0, nan, |a, b| a + b);
                 let compute = kernel_start.elapsed();
 
                 if let Some(counts) = total {
@@ -178,6 +180,7 @@ impl Component for AllInOne {
                         min,
                         max,
                         counts,
+                        nan_count: nan_total.unwrap_or(0),
                     });
                 }
                 Ok((bytes_in, compute))

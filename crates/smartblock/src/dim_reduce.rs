@@ -361,7 +361,12 @@ mod tests {
                 }
             }
         }
-        Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into()).unwrap()
+        Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+            Buffer::from(data),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -449,7 +454,7 @@ mod tests {
         let v = Variable::new(
             "p",
             Shape::of(&[("toroidal", 3), ("grid", 4), ("prop", 1)]),
-            data.clone().into(),
+            Buffer::from(data.clone()),
         )
         .unwrap();
         let stage1 = dim_reduce(&v, 2, 1).unwrap();

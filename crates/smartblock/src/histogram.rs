@@ -40,10 +40,12 @@ pub struct HistogramResult {
     pub max: f64,
     /// Per-bin counts over `[min, max]`, highest bin inclusive.
     pub counts: Vec<u64>,
+    /// Values excluded from binning because they were NaN or infinite.
+    pub nan_count: u64,
 }
 
 impl HistogramResult {
-    /// Total number of binned values.
+    /// Total number of binned values (excludes [`nan_count`](Self::nan_count)).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
@@ -58,25 +60,41 @@ impl HistogramResult {
     }
 }
 
-/// Bins `values` into `nbins` equal-width bins over `[min, max]`.
+/// Bins `values` into `nbins` equal-width bins over `[min, max]`,
+/// returning `(counts, nan_count)`.
 ///
 /// Values equal to `max` land in the last bin; a degenerate range
-/// (`min == max`) puts everything in bin 0. This is the pure local kernel
-/// of the Histogram component.
-pub fn bin_counts(values: &[f64], min: f64, max: f64, nbins: usize) -> Vec<u64> {
+/// (`min == max`) puts every finite value in bin 0. Non-finite values are
+/// never binned — `(NaN - min) * scale` cast with `as usize` is 0, which
+/// used to silently inflate bin 0 — and are tallied separately instead.
+/// This is the pure local kernel of the Histogram component.
+pub fn bin_counts(values: &[f64], min: f64, max: f64, nbins: usize) -> (Vec<u64>, u64) {
     assert!(nbins > 0, "histogram needs at least one bin");
     let mut counts = vec![0u64; nbins];
+    let mut nan_count = 0u64;
     let width = max - min;
-    if width <= 0.0 {
-        counts[0] = values.len() as u64;
-        return counts;
+    if width.is_nan() || width <= 0.0 {
+        // Degenerate or unordered range (all values equal, or an empty /
+        // all-non-finite input whose reduced extremes are +inf/-inf).
+        for &v in values {
+            if v.is_finite() {
+                counts[0] += 1;
+            } else {
+                nan_count += 1;
+            }
+        }
+        return (counts, nan_count);
     }
     let scale = nbins as f64 / width;
     for &v in values {
+        if !v.is_finite() {
+            nan_count += 1;
+            continue;
+        }
         let bin = (((v - min) * scale) as usize).min(nbins - 1);
         counts[bin] += 1;
     }
-    counts
+    (counts, nan_count)
 }
 
 /// The Histogram workflow component (an endpoint).
@@ -254,18 +272,23 @@ impl Component for Histogram {
                 let kernel_start = Instant::now();
                 let local = var.data.into_f64_vec();
                 // Global extremes, then local binning, then a count reduction —
-                // the two communication rounds the paper describes.
+                // the two communication rounds the paper describes. The
+                // extremes only describe the binnable population, so
+                // non-finite values are excluded here and tallied by
+                // `bin_counts` below.
                 let (lmin, lmax) = local
                     .iter()
+                    .filter(|v| v.is_finite())
                     .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
                         (a.min(v), b.max(v))
                     });
                 let min = comm.allreduce(lmin, f64::min);
                 let max = comm.allreduce(lmax, f64::max);
-                let counts = bin_counts(&local, min, max, self.num_bins);
+                let (counts, nan) = bin_counts(&local, min, max, self.num_bins);
                 let total = comm.reduce(0, counts, |a, b| {
                     a.iter().zip(&b).map(|(x, y)| x + y).collect()
                 });
+                let nan_total = comm.reduce(0, nan, |a, b| a + b);
                 let compute = kernel_start.elapsed();
 
                 if let Some(counts) = total {
@@ -275,6 +298,7 @@ impl Component for Histogram {
                         min,
                         max,
                         counts,
+                        nan_count: nan_total.unwrap_or(0),
                     };
                     if let Some(f) = file.as_mut() {
                         write_histogram(f, &result)?;
@@ -319,7 +343,7 @@ impl Component for Histogram {
 }
 
 fn write_histogram(f: &mut std::fs::File, r: &HistogramResult) -> DataResult<()> {
-    writeln!(
+    write!(
         f,
         "# step {} min {:.6e} max {:.6e} total {}",
         r.step,
@@ -327,6 +351,11 @@ fn write_histogram(f: &mut std::fs::File, r: &HistogramResult) -> DataResult<()>
         r.max,
         r.total()
     )?;
+    // Only surfaced when present, so NaN-free outputs stay byte-identical.
+    if r.nan_count > 0 {
+        write!(f, " nan {}", r.nan_count)?;
+    }
+    writeln!(f)?;
     for (i, &c) in r.counts.iter().enumerate() {
         let (lo, hi) = r.bin_range(i);
         writeln!(f, "{lo:.6e} {hi:.6e} {c}")?;
@@ -352,28 +381,51 @@ mod tests {
     #[test]
     fn bin_counts_basic() {
         let values = [0.0, 0.5, 1.0, 2.5, 4.0];
-        let counts = bin_counts(&values, 0.0, 4.0, 4);
+        let (counts, nan) = bin_counts(&values, 0.0, 4.0, 4);
         // Bins: [0,1) [1,2) [2,3) [3,4]: 0, 0.5 -> bin 0; 1.0 -> bin 1;
         // 2.5 -> bin 2; 4.0 -> bin 3 (max lands in last bin).
         assert_eq!(counts, vec![2, 1, 1, 1]);
+        assert_eq!(nan, 0);
     }
 
     #[test]
     fn bin_counts_degenerate_range() {
-        let counts = bin_counts(&[7.0, 7.0, 7.0], 7.0, 7.0, 5);
+        let (counts, nan) = bin_counts(&[7.0, 7.0, 7.0], 7.0, 7.0, 5);
         assert_eq!(counts, vec![3, 0, 0, 0, 0]);
+        assert_eq!(nan, 0);
     }
 
     #[test]
     fn bin_counts_empty_input() {
-        assert_eq!(bin_counts(&[], 0.0, 1.0, 3), vec![0, 0, 0]);
+        assert_eq!(bin_counts(&[], 0.0, 1.0, 3), (vec![0, 0, 0], 0));
     }
 
     #[test]
     fn bin_counts_sum_matches_input_len() {
         let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin()).collect();
-        let counts = bin_counts(&values, -1.0, 1.0, 16);
+        let (counts, _) = bin_counts(&values, -1.0, 1.0, 16);
         assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn bin_counts_excludes_non_finite() {
+        // Regression: NaN used to be counted into bin 0 because the
+        // `(v - min) * scale as usize` cast maps NaN to 0.
+        let values = [0.5, f64::NAN, 1.5, f64::INFINITY, f64::NEG_INFINITY, 3.5];
+        let (counts, nan) = bin_counts(&values, 0.0, 4.0, 4);
+        assert_eq!(counts, vec![1, 1, 0, 1]);
+        assert_eq!(nan, 3);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn bin_counts_all_nan_input() {
+        // An all-NaN input leaves the reduced extremes at +inf/-inf; no
+        // value may be binned and every one must be tallied as NaN.
+        let values = [f64::NAN; 4];
+        let (counts, nan) = bin_counts(&values, f64::INFINITY, f64::NEG_INFINITY, 3);
+        assert_eq!(counts, vec![0, 0, 0]);
+        assert_eq!(nan, 4);
     }
 
     #[test]
@@ -383,6 +435,7 @@ mod tests {
             min: -2.0,
             max: 2.0,
             counts: vec![1, 2, 3, 4],
+            nan_count: 0,
         };
         assert_eq!(r.total(), 10);
         assert_eq!(r.bin_range(0), (-2.0, -1.0));

@@ -37,7 +37,7 @@
 //! wf.add_source("source", 1, "dump.fp", |step| {
 //!     (step < 3).then(|| {
 //!         let data: Vec<f64> = (0..32).map(|i| (i + step as usize) as f64).collect();
-//!         Variable::new("atoms", Shape::of(&[("particles", 8), ("props", 4)]), data.into())
+//!         Variable::new("atoms", Shape::of(&[("particles", 8), ("props", 4)]), Buffer::from(data))
 //!             .unwrap()
 //!             .with_labels(1, &["ID", "vx", "vy", "vz"])
 //!             .unwrap()

@@ -301,6 +301,9 @@ mod tests {
                 steps_consumed: 3,
                 writer_wait: Duration::ZERO,
                 reader_wait: Duration::ZERO,
+                bytes_copied: 300,
+                copies_elided: 0,
+                zero_fills_elided: 0,
             }],
         };
         let s = rep.summary();

@@ -324,10 +324,14 @@ mod tests {
     fn cube() -> Variable {
         // 2 x 3 x 4, element = linear index.
         let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
-        Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into())
-            .unwrap()
-            .with_labels(1, &["p", "q", "r"])
-            .unwrap()
+        Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+            Buffer::from(data),
+        )
+        .unwrap()
+        .with_labels(1, &["p", "q", "r"])
+        .unwrap()
     }
 
     #[test]

@@ -159,10 +159,16 @@ impl std::fmt::Display for WiringIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WiringIssue::NoWriter { stream, readers } => {
-                write!(f, "stream {stream:?} is read by {readers:?} but written by nothing")
+                write!(
+                    f,
+                    "stream {stream:?} is read by {readers:?} but written by nothing"
+                )
             }
             WiringIssue::NoReader { stream, writers } => {
-                write!(f, "stream {stream:?} is written by {writers:?} but read by nothing")
+                write!(
+                    f,
+                    "stream {stream:?} is written by {writers:?} but read by nothing"
+                )
             }
             WiringIssue::MultipleWriters { stream, writers } => {
                 write!(f, "stream {stream:?} has multiple writers: {writers:?}")
@@ -173,7 +179,8 @@ impl std::fmt::Display for WiringIssue {
                 readers,
             } => write!(
                 f,
-                "components {readers:?} all subscribe to stream {stream:?} as reader group                  {group:?}; give each a distinct group"
+                "components {readers:?} all subscribe to stream {stream:?} as reader group \
+                 {group:?}; give each a distinct group"
             ),
         }
     }
@@ -400,11 +407,11 @@ impl Workflow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sb_data::Shape;
+    use sb_data::{Buffer, Shape};
 
     fn counter_variable(step: u64, n: usize) -> Variable {
         let data: Vec<f64> = (0..n).map(|i| (i as u64 + step) as f64).collect();
-        Variable::new("x", Shape::linear("n", n), data.into()).unwrap()
+        Variable::new("x", Shape::linear("n", n), Buffer::from(data)).unwrap()
     }
 
     #[test]

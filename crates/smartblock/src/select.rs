@@ -217,7 +217,7 @@ impl Component for Select {
                 // the 1-d fallback) contributes an empty chunk and skips the
                 // kernel, whose row bounds are meaningless on a 0-extent dim.
                 let selected_data = if region.is_empty() && var.shape.size(self.dim_index) == 0 {
-                    Buffer::zeros(meta.dtype, 0)
+                    sb_data::SharedBuffer::from(Buffer::zeros(meta.dtype, 0))
                 } else {
                     let mut selected = select_rows(&var, self.dim_index, &indices)?;
                     selected.name = self.output.array.clone();
@@ -276,7 +276,7 @@ mod tests {
         Variable::new(
             "atoms",
             Shape::of(&[("particles", 4), ("props", 5)]),
-            data.into(),
+            Buffer::from(data),
         )
         .unwrap()
         .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
@@ -320,8 +320,12 @@ mod tests {
     fn kernel_selects_in_three_dimensions() {
         // 2 x 3 x 4, select middle dim rows [2, 0].
         let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
-        let v =
-            Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into()).unwrap();
+        let v = Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+            Buffer::from(data),
+        )
+        .unwrap();
         let out = select_rows(&v, 1, &[2, 0]).unwrap();
         assert_eq!(out.shape.sizes(), vec![2, 2, 4]);
         // (a=1, b'=0 -> b=2, c=3): original linear = 1*12 + 2*4 + 3 = 23.

@@ -305,10 +305,14 @@ mod tests {
 
     fn cube() -> Variable {
         let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
-        Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into())
-            .unwrap()
-            .with_labels(2, &["w", "x", "y", "z"])
-            .unwrap()
+        Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+            Buffer::from(data),
+        )
+        .unwrap()
+        .with_labels(2, &["w", "x", "y", "z"])
+        .unwrap()
     }
 
     #[test]
@@ -332,7 +336,7 @@ mod tests {
     #[test]
     fn transpose_2d_matrix() {
         let data: Vec<f64> = (0..6).map(|i| i as f64).collect();
-        let v = Variable::new("m", Shape::of(&[("r", 2), ("c", 3)]), data.into()).unwrap();
+        let v = Variable::new("m", Shape::of(&[("r", 2), ("c", 3)]), Buffer::from(data)).unwrap();
         let t = permute_axes(&v, &[1, 0]).unwrap();
         assert_eq!(t.shape, Shape::of(&[("c", 3), ("r", 2)]));
         for r in 0..2 {

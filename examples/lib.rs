@@ -36,6 +36,7 @@ mod tests {
             min: 0.0,
             max: 4.0,
             counts: vec![1, 4, 2, 0],
+            nan_count: 0,
         };
         let s = render_histogram("demo", &r);
         assert!(s.contains("step 2: 7 values"));

@@ -15,11 +15,13 @@ pub fn reference_histogram(step: u64, values: &[f64], bins: usize) -> HistogramR
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
             (a.min(v), b.max(v))
         });
+    let (counts, nan_count) = bin_counts(values, min, max, bins);
     HistogramResult {
         step,
         min,
         max,
-        counts: bin_counts(values, min, max, bins),
+        counts,
+        nan_count,
     }
 }
 

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sb_data::{Shape, Variable};
+use sb_data::{Buffer, Shape, Variable};
 use smartblock::launch::SimCode;
 use smartblock::prelude::*;
 use smartblock::workflows::{script_to_workflow, Simulation};
@@ -20,10 +20,14 @@ fn labelled_source(step: u64, n: usize) -> Variable {
         data.push((i as f64 * 0.5) + step as f64); // b
         data.push(-(i as f64)); // c
     }
-    Variable::new("rows", Shape::of(&[("n", n), ("props", 4)]), data.into())
-        .unwrap()
-        .with_labels(1, &["ID", "a", "b", "c"])
-        .unwrap()
+    Variable::new(
+        "rows",
+        Shape::of(&[("n", n), ("props", 4)]),
+        Buffer::from(data),
+    )
+    .unwrap()
+    .with_labels(1, &["ID", "a", "b", "c"])
+    .unwrap()
 }
 
 #[test]
@@ -116,7 +120,7 @@ fn all_pairs_grows_data_and_matches_serial() {
         Variable::new(
             "pts",
             Shape::of(&[("points", 5), ("coords", 2)]),
-            data.into(),
+            Buffer::from(data),
         )
         .unwrap()
     };
@@ -151,7 +155,12 @@ fn stats_component_summarizes_any_rank_input() {
     wf.add_source("gen", 2, "cube.fp", |step| {
         (step < 1).then(|| {
             let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
-            Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into()).unwrap()
+            Variable::new(
+                "t",
+                Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+                Buffer::from(data),
+            )
+            .unwrap()
         })
     });
     wf.add(3, Stats::new(("cube.fp", "t"), ("sum.fp", "s")));
@@ -180,7 +189,7 @@ fn histogram_output_stream_chains_downstream() {
     wf.add_source("gen", 1, "v.fp", |step| {
         (step < 2).then(|| {
             let data: Vec<f64> = (0..16).map(|i| (i + step as usize) as f64).collect();
-            Variable::new("x", Shape::linear("n", 16), data.into()).unwrap()
+            Variable::new("x", Shape::linear("n", 16), Buffer::from(data)).unwrap()
         })
     });
     wf.add(

@@ -14,7 +14,12 @@ use smartblock::workflows::Simulation;
 fn cube_source(step: u64) -> Variable {
     // 2 x 3 x 4, element = linear index + step.
     let data: Vec<f64> = (0..24).map(|i| (i as u64 + step) as f64).collect();
-    Variable::new("t", Shape::of(&[("a", 2), ("b", 3), ("c", 4)]), data.into()).unwrap()
+    Variable::new(
+        "t",
+        Shape::of(&[("a", 2), ("b", 3), ("c", 4)]),
+        Buffer::from(data),
+    )
+    .unwrap()
 }
 
 fn collect_array(
@@ -92,7 +97,7 @@ fn threshold_component_filters_with_global_indices() {
         (step < 1).then(|| {
             // 12 values: only multiples of 3 exceed 8 -> 9, 10, 11 pass.
             let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
-            Variable::new("x", Shape::linear("n", 12), data.into()).unwrap()
+            Variable::new("x", Shape::linear("n", 12), Buffer::from(data)).unwrap()
         })
     });
     wf.add(
@@ -248,10 +253,14 @@ fn deep_pipeline_with_varied_ranks_stays_correct() {
     wf.add_source("gen", 3, "s0.fp", |step| {
         (step < 4).then(|| {
             let data: Vec<f64> = (0..2 * 6 * 4).map(|i| (i as u64 + step) as f64).collect();
-            Variable::new("t", Shape::of(&[("a", 2), ("b", 6), ("c", 4)]), data.into())
-                .unwrap()
-                .with_labels(2, &["w", "x", "y", "z"])
-                .unwrap()
+            Variable::new(
+                "t",
+                Shape::of(&[("a", 2), ("b", 6), ("c", 4)]),
+                Buffer::from(data),
+            )
+            .unwrap()
+            .with_labels(2, &["w", "x", "y", "z"])
+            .unwrap()
         })
     });
     wf.add(
@@ -285,10 +294,14 @@ fn deep_pipeline_with_varied_ranks_stays_correct() {
     // is deterministic, so compute the same thing serially.
     let serial = {
         let data: Vec<f64> = (0..48).map(|i| i as f64).collect();
-        let v = Variable::new("t", Shape::of(&[("a", 2), ("b", 6), ("c", 4)]), data.into())
-            .unwrap()
-            .with_labels(2, &["w", "x", "y", "z"])
-            .unwrap();
+        let v = Variable::new(
+            "t",
+            Shape::of(&[("a", 2), ("b", 6), ("c", 4)]),
+            Buffer::from(data),
+        )
+        .unwrap()
+        .with_labels(2, &["w", "x", "y", "z"])
+        .unwrap();
         let v = smartblock::select::select_rows(&v, 2, &[1, 3]).unwrap();
         let v = smartblock::transpose::permute_axes(&v, &[1, 0, 2]).unwrap();
         let v = smartblock::dim_reduce::dim_reduce(&v, 0, 1).unwrap();

@@ -9,7 +9,7 @@ use smartblock::prelude::*;
 
 fn linear_source(step: u64, n: usize, scale: f64) -> Variable {
     let data: Vec<f64> = (0..n).map(|i| (i as f64 + step as f64) * scale).collect();
-    Variable::new("x", Shape::linear("n", n), data.into()).unwrap()
+    Variable::new("x", Shape::linear("n", n), Buffer::from(data)).unwrap()
 }
 
 fn collect(wf: &mut Workflow, stream: &str, array: &'static str) -> Arc<Mutex<Vec<Vec<f64>>>> {
@@ -235,6 +235,19 @@ fn joins_work_from_launch_scripts() {
             smartblock::WiringIssue::DuplicateSubscription { stream, group, readers }
         ) if stream == "r.fp" && group == "default" && readers.len() == 2
     )));
+    // The rendered diagnostic reads as one sentence — a format-string wrap
+    // used to inject a run of literal spaces before the group name.
+    let dup = issues
+        .iter()
+        .find(|i| i.to_string().contains("subscribe"))
+        .unwrap()
+        .to_string();
+    assert_eq!(
+        dup,
+        "components [\"temporal-mean\", \"combine\"] all subscribe to stream \"r.fp\" \
+         as reader group \"default\"; give each a distinct group"
+    );
+    assert!(!dup.contains("  "), "double space in diagnostic: {dup:?}");
     // A corrected workflow would give one consumer a distinct reader group
     // and declare two groups on magnitude's writer; we only check static
     // assembly here.

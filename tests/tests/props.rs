@@ -62,7 +62,7 @@ fn case_shapes(cases: usize) -> Vec<Shape> {
 /// A variable over `shape` whose element at linear index `i` is `i`.
 fn indexed_variable(shape: &Shape) -> Variable {
     let data: Vec<f64> = (0..shape.total_len()).map(|i| i as f64).collect();
-    Variable::new("v", shape.clone(), data.into()).unwrap()
+    Variable::new("v", shape.clone(), Buffer::from(data)).unwrap()
 }
 
 #[test]
@@ -324,7 +324,7 @@ fn histogram_conserves_count_and_respects_edges() {
         if values.is_empty() {
             continue;
         }
-        let counts = bin_counts(&values, min, max, nbins);
+        let (counts, _) = bin_counts(&values, min, max, nbins);
         assert_eq!(
             counts.iter().sum::<u64>(),
             values.len() as u64,
