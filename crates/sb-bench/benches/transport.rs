@@ -49,9 +49,9 @@ fn pump(
             if !writer_work.is_zero() {
                 std::thread::sleep(writer_work); // the producer's compute
             }
-            writer.begin_step();
+            writer.begin_step().unwrap();
             writer.put(Chunk::new(meta.clone(), region.clone(), data.clone()).unwrap());
-            writer.end_step();
+            writer.end_step().unwrap();
         }
         writer.close();
     })
@@ -60,7 +60,7 @@ fn pump(
     let r = LaunchHandle::spawn("br", readers, move |comm| {
         let mut reader = hub_r.open_reader("bench.fp", comm.rank(), comm.size());
         let region = default_partition(&shape, comm.size(), comm.rank());
-        while let StepStatus::Ready(_) = reader.begin_step() {
+        while let StepStatus::Ready(_) = reader.begin_step().unwrap() {
             let v = reader.get("x", &region).unwrap();
             black_box(v.data.len());
             if !reader_work.is_zero() {
@@ -157,9 +157,9 @@ fn bench_pipeline_hop(c: &mut Criterion) {
                 let mut writer =
                     hub_w.open_writer("p.fp", comm.rank(), comm.size(), WriterOptions::default());
                 for _ in 0..STEPS {
-                    writer.begin_step();
+                    writer.begin_step().unwrap();
                     writer.put(Chunk::whole(var_w.clone()));
-                    writer.end_step();
+                    writer.end_step().unwrap();
                 }
                 writer.close();
             })
@@ -167,7 +167,7 @@ fn bench_pipeline_hop(c: &mut Criterion) {
             let hub_r = Arc::clone(&hub);
             let r = LaunchHandle::spawn("pr", 1, move |comm| {
                 let mut reader = hub_r.open_reader("p.fp", comm.rank(), comm.size());
-                while let StepStatus::Ready(_) = reader.begin_step() {
+                while let StepStatus::Ready(_) = reader.begin_step().unwrap() {
                     let v = reader.get_whole("v").unwrap();
                     black_box(smartblock::magnitude::vector_magnitudes(&v).unwrap());
                     reader.end_step();

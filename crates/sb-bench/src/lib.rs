@@ -21,6 +21,7 @@
 
 use std::time::Duration;
 
+use smartblock::prelude::RunOptions;
 use smartblock::workflows::{
     gromacs_workflow, gtcp_workflow, lammps_aio_workflow, lammps_sim_only, lammps_workflow,
     PresetScale,
@@ -94,7 +95,9 @@ pub fn run_gtcp_weak(config: &GtcpWeakRun) -> GtcpWeakResult {
     .size("points", config.points);
 
     let (wf, _results) = gtcp_workflow(&scale);
-    let report = wf.run().expect("gtcp weak-scaling run");
+    let report = wf
+        .run_with(RunOptions::default())
+        .expect("gtcp weak-scaling run");
 
     let source = report
         .streams
@@ -196,10 +199,10 @@ pub fn run_aio_comparison_repeated(scale: &AioScale, repeats: usize) -> AioResul
     let mut output_mb = 0.0;
     for _ in 0..repeats.max(1) {
         let (wf, _r) = lammps_aio_workflow(&preset);
-        aio = aio.min(wf.run().expect("aio run").elapsed);
+        aio = aio.min(wf.run_with(RunOptions::default()).expect("aio run").elapsed);
 
         let (wf, _r) = lammps_workflow(&preset);
-        let sb_report = wf.run().expect("smartblock run");
+        let sb_report = wf.run_with(RunOptions::default()).expect("smartblock run");
         smartblock = smartblock.min(sb_report.elapsed);
         output_mb = sb_report
             .streams
@@ -258,7 +261,9 @@ pub fn run_gromacs_strong(
     .size("len", 16);
 
     let (wf, _r) = gromacs_workflow(&scale);
-    let report = wf.run().expect("gromacs strong-scaling run");
+    let report = wf
+        .run_with(RunOptions::default())
+        .expect("gromacs strong-scaling run");
     let mag = report.component("magnitude").expect("magnitude component");
     let bytes_per_step = mag.stats.bytes_in as f64 / mag.stats.steps.max(1) as f64;
     StrongScalingPoint {
@@ -369,9 +374,9 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
         // One shared payload: the writer itself never re-copies either.
         let data = sb_data::SharedBuffer::from(Buffer::F64(vec![1.0; region.len()]));
         for _ in 0..steps {
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put(Chunk::new(meta.clone(), region.clone(), data.clone()).unwrap());
-            w.end_step();
+            w.end_step().unwrap();
         }
         w.close();
     })
@@ -389,7 +394,7 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
                         let mut r =
                             hub_r.open_reader_grouped("fan.fp", &group, comm.rank(), comm.size());
                         r.set_force_copy(force);
-                        while let StepStatus::Ready(_) = r.begin_step() {
+                        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
                             let v = r.get_whole("x").unwrap();
                             std::hint::black_box(v.data.len());
                             r.end_step();
@@ -409,7 +414,7 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
                     r.set_force_copy(force);
                     let region =
                         sb_data::decompose::default_partition(&shape_r, comm.size(), comm.rank());
-                    while let StepStatus::Ready(_) = r.begin_step() {
+                    while let StepStatus::Ready(_) = r.begin_step().unwrap() {
                         let v = r.get("x", &region).unwrap();
                         std::hint::black_box(v.data.len());
                         r.end_step();

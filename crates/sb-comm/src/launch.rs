@@ -135,6 +135,27 @@ impl<T: Send + 'static> LaunchHandle<T> {
             })
             .collect()
     }
+
+    /// Blocks until *every* rank finishes and returns one result per rank,
+    /// panicked ranks included.
+    ///
+    /// Unlike [`LaunchHandle::join`] — which stops at the first panicked
+    /// rank and leaves the remaining threads detached — this always reaps
+    /// the whole group. The workflow supervisor depends on that: before it
+    /// restarts a component it must know no stale rank of the failed
+    /// incarnation is still touching the streams.
+    pub fn join_all(self) -> Vec<CommResult<T>> {
+        self.joins
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().map_err(|payload| CommError::RankPanicked {
+                    rank,
+                    message: panic_message(payload),
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use sb_comm::{Communicator, Stopwatch};
 use sb_data::Chunk;
-use sb_stream::StreamWriter;
+use sb_stream::{StreamResult, StreamWriter};
 
 /// One rank's view of a running simulation.
 ///
@@ -50,13 +50,18 @@ pub struct SimRunStats {
 ///
 /// With `writer = None` the loop performs identical computation but no
 /// output — the paper's "output routines removed" baseline.
+///
+/// Fails with a [`sb_stream::StreamError`] when the output stream blocks
+/// past the hub timeout or is poisoned; the writer is abandoned (not
+/// closed) on that path so downstream never mistakes the failure for a
+/// clean end of stream.
 pub fn drive<S: SimRank>(
     sim: &mut S,
     comm: &Communicator,
     mut writer: Option<&mut StreamWriter>,
     io_steps: u64,
     substeps_per_io: u64,
-) -> SimRunStats {
+) -> StreamResult<SimRunStats> {
     let mut stats = SimRunStats::default();
     let mut sw = Stopwatch::started();
     for _ in 0..io_steps {
@@ -69,9 +74,15 @@ pub fn drive<S: SimRank>(
         if let Some(w) = writer.as_deref_mut() {
             let chunk = sim.output_chunk();
             stats.bytes_output += chunk.byte_len() as u64;
-            w.begin_step();
-            w.put(chunk);
-            w.end_step();
+            let io = (|| {
+                w.begin_step()?;
+                w.put(chunk);
+                w.end_step()
+            })();
+            if let Err(e) = io {
+                w.abandon();
+                return Err(e);
+            }
             stats.io_time += sw.lap();
         }
         stats.io_steps += 1;
@@ -79,7 +90,7 @@ pub fn drive<S: SimRank>(
     if let Some(w) = writer {
         w.close();
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -125,13 +136,13 @@ mod tests {
             };
             let mut w =
                 hub_w.open_writer("c.fp", comm.rank(), comm.size(), WriterOptions::default());
-            drive(&mut sim, &comm, Some(&mut w), 4, 10)
+            drive(&mut sim, &comm, Some(&mut w), 4, 10).unwrap()
         })
         .unwrap();
 
         let mut r = hub.open_reader("c.fp", 0, 1);
         let mut seen = Vec::new();
-        while let StepStatus::Ready(_) = r.begin_step() {
+        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
             let v = r.get_whole("c").unwrap();
             seen.push(v.data.to_f64_vec());
             r.end_step();
@@ -157,7 +168,7 @@ mod tests {
                 nranks: comm.size(),
                 value: 0.0,
             };
-            drive(&mut sim, &comm, None, 3, 5)
+            drive(&mut sim, &comm, None, 3, 5).unwrap()
         })
         .unwrap();
         for s in stats {

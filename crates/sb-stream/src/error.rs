@@ -1,0 +1,69 @@
+//! Typed errors for the blocking stream paths.
+//!
+//! Before the fault-tolerance redesign a blocked stream operation panicked
+//! after the hub timeout; these errors carry the same diagnostic payload but
+//! let the caller (and the workflow supervisor) decide what to do about it.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Result alias for fallible stream operations.
+pub type StreamResult<T> = Result<T, StreamError>;
+
+/// Why a blocking stream operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The operation waited longer than the hub timeout. The diagnostic
+    /// fields snapshot the stream state at expiry — the same information the
+    /// old panic message carried.
+    Timeout {
+        /// Name of the stream the caller was blocked on.
+        stream: String,
+        /// What the caller was waiting for ("buffer space", "a committed
+        /// step", "rendezvous consumption").
+        waiting_for: String,
+        /// The timeout that expired.
+        timeout: Duration,
+        /// Stream-state snapshot at expiry (writers/readers/closed/queue).
+        detail: String,
+    },
+    /// The stream was poisoned: a peer failed and the workflow is being
+    /// torn down, so whatever the caller was waiting for will never happen.
+    PeerGone {
+        /// Name of the stream the caller was blocked on.
+        stream: String,
+        /// Why the stream was poisoned.
+        reason: String,
+    },
+}
+
+impl StreamError {
+    /// The stream the error refers to.
+    pub fn stream(&self) -> &str {
+        match self {
+            StreamError::Timeout { stream, .. } => stream,
+            StreamError::PeerGone { stream, .. } => stream,
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Timeout {
+                stream,
+                waiting_for,
+                timeout,
+                detail,
+            } => write!(
+                f,
+                "stream {stream:?}: timed out after {timeout:?} waiting for {waiting_for} ({detail})"
+            ),
+            StreamError::PeerGone { stream, reason } => {
+                write!(f, "stream {stream:?}: peer gone: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}

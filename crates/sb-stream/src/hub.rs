@@ -1,19 +1,22 @@
 //! The stream registry where writer and reader groups rendezvous by name.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::faults::{FaultPlan, InjectedFault};
 use crate::metrics::StreamMetrics;
 use crate::reader::StreamReader;
 use crate::stream::{Stream, WriterOptions};
 use crate::writer::StreamWriter;
 
-/// Default time a blocked stream operation may wait before panicking with a
-/// deadlock diagnostic. Generous enough for heavily oversubscribed CI
-/// machines, short enough that a mis-wired workflow fails loudly.
+/// Default time a blocked stream operation may wait before returning
+/// [`crate::StreamError::Timeout`] with a deadlock diagnostic. Generous
+/// enough for heavily oversubscribed CI machines, short enough that a
+/// mis-wired workflow fails loudly.
 pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// The per-workflow registry of named streams.
@@ -30,20 +33,24 @@ pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
 ///
 /// let hub = StreamHub::new();
 /// let mut w = hub.open_writer("demo.fp", 0, 1, WriterOptions::default());
-/// w.begin_step();
+/// w.begin_step().unwrap();
 /// w.put_whole(Variable::new("x", Shape::linear("n", 3), Buffer::F64(vec![1.0, 2.0, 3.0])).unwrap());
-/// w.end_step();
+/// w.end_step().unwrap();
 /// w.close();
 ///
 /// let mut r = hub.open_reader("demo.fp", 0, 1);
-/// assert_eq!(r.begin_step(), StepStatus::Ready(0));
+/// assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
 /// assert_eq!(r.get_whole("x").unwrap().data.to_f64_vec(), vec![1.0, 2.0, 3.0]);
 /// r.end_step();
-/// assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+/// assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
 /// ```
 pub struct StreamHub {
     streams: Mutex<HashMap<String, Arc<Stream>>>,
-    wait_timeout: Duration,
+    /// Micros; shared with every stream so later overrides apply to
+    /// streams that already exist.
+    wait_timeout_micros: Arc<AtomicU64>,
+    /// The installed fault-injection plan, if any (chaos testing).
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl StreamHub {
@@ -52,21 +59,35 @@ impl StreamHub {
         Self::with_timeout(DEFAULT_WAIT_TIMEOUT)
     }
 
-    /// Creates a hub whose blocking operations panic after `wait_timeout`.
+    /// Creates a hub whose blocking operations fail after `wait_timeout`.
     pub fn with_timeout(wait_timeout: Duration) -> Arc<StreamHub> {
         Arc::new(StreamHub {
             streams: Mutex::new(HashMap::new()),
-            wait_timeout,
+            wait_timeout_micros: Arc::new(AtomicU64::new(wait_timeout.as_micros() as u64)),
+            faults: Mutex::new(None),
         })
+    }
+
+    /// The current deadlock timeout for blocking stream operations.
+    pub fn wait_timeout(&self) -> Duration {
+        Duration::from_micros(self.wait_timeout_micros.load(Ordering::Relaxed))
+    }
+
+    /// Overrides the deadlock timeout; applies immediately to every stream,
+    /// including ones opened before the call.
+    pub fn set_wait_timeout(&self, wait_timeout: Duration) {
+        self.wait_timeout_micros
+            .store(wait_timeout.as_micros() as u64, Ordering::Relaxed);
     }
 
     fn stream(&self, name: &str) -> Arc<Stream> {
         let mut streams = self.streams.lock();
-        Arc::clone(
-            streams
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Stream::new(name.to_string(), self.wait_timeout))),
-        )
+        Arc::clone(streams.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(Stream::new(
+                name.to_string(),
+                Arc::clone(&self.wait_timeout_micros),
+            ))
+        }))
     }
 
     /// Opens the writer side of `name` for rank `rank` of a `nranks`-rank
@@ -81,8 +102,8 @@ impl StreamHub {
     ) -> StreamWriter {
         assert!(rank < nranks, "writer rank out of range");
         let stream = self.stream(name);
-        stream.register_writer(nranks, options);
-        StreamWriter::new(stream, rank, nranks)
+        let start = stream.register_writer(nranks, options);
+        StreamWriter::new(stream, rank, nranks, start)
     }
 
     /// Opens the reader side of `name` for rank `rank` of a `nranks`-rank
@@ -135,5 +156,67 @@ impl StreamHub {
             .collect();
         out.sort_by(|a, b| a.stream.cmp(&b.stream));
         out
+    }
+
+    // ---- fault injection -------------------------------------------------------
+
+    /// Installs a fault-injection plan; component run loops consult it at
+    /// the top of every step via [`StreamHub::fault_for`]. Replaces any
+    /// previously installed plan.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.faults.lock() = Some(Arc::new(plan));
+    }
+
+    /// Removes the installed fault-injection plan.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = None;
+    }
+
+    /// The fault(s) to apply at `(component, rank, step)`; a no-op fault
+    /// when no plan is installed.
+    pub fn fault_for(&self, component: &str, rank: usize, step: u64) -> InjectedFault {
+        let plan = self.faults.lock().clone();
+        match plan {
+            Some(plan) => plan.consult(component, rank, step),
+            None => InjectedFault::none(),
+        }
+    }
+
+    // ---- supervision hooks -----------------------------------------------------
+
+    /// Poisons every stream: all blocked (and future blocking) operations
+    /// return [`crate::StreamError::PeerGone`] with `reason`. The workflow
+    /// supervisor calls this on abort so no component hangs on a dead peer.
+    pub fn poison_all(&self, reason: &str) {
+        for stream in self.streams.lock().values() {
+            stream.poison(reason);
+        }
+    }
+
+    /// Forces a clean end-of-stream on `name` (creating it if necessary):
+    /// readers drain the remaining complete steps, then observe EOS. Used
+    /// when degrading a failed producer.
+    pub fn force_end_of_stream(&self, name: &str) {
+        self.stream(name).force_end_of_stream();
+    }
+
+    /// Detaches reader group `group` of stream `name` (creating the stream
+    /// if necessary) so it no longer holds steps back. Used when the
+    /// consuming component was degraded or torn down.
+    pub fn detach_reader_group(&self, name: &str, group: &str) {
+        self.stream(name).detach_reader_group(group);
+    }
+
+    /// Prepares the given input subscriptions (stream, group) and output
+    /// streams for a component restart: partial reader releases are
+    /// discarded and writer registrations reopened so the new incarnation
+    /// resumes exactly where the last complete step left off.
+    pub fn prepare_restart(&self, inputs: &[(String, String)], outputs: &[String]) {
+        for (stream, group) in inputs {
+            self.stream(stream).reset_reader_group(group);
+        }
+        for stream in outputs {
+            self.stream(stream).reattach_writer();
+        }
     }
 }

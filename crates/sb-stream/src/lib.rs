@@ -31,14 +31,26 @@
 //! `begin_step` → inspect [`StreamReader::variables`]/[`StreamReader::meta`]
 //! → [`StreamReader::get`] bounding boxes → `end_step` → … until
 //! [`StepStatus::EndOfStream`].
+//!
+//! ## Failure semantics
+//!
+//! Blocking operations never panic on a stalled peer: they return a typed
+//! [`StreamError`] — `Timeout` after the hub deadline, `PeerGone` when the
+//! workflow supervisor poisons the streams during teardown. The [`faults`]
+//! module provides a seeded, deterministic fault-injection plan
+//! ([`faults::FaultPlan`]) that the chaos tests install on the hub.
 
+mod error;
+pub mod faults;
 mod hub;
 mod metrics;
 mod reader;
 mod stream;
 mod writer;
 
-pub use hub::StreamHub;
+pub use error::{StreamError, StreamResult};
+pub use faults::{FaultKind, FaultOp, FaultPlan, InjectedFault};
+pub use hub::{StreamHub, DEFAULT_WAIT_TIMEOUT};
 pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
 pub use stream::WriterOptions;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use sb_data::region::copy_region;
 use sb_data::{Buffer, DataError, DataResult, Region, SharedBuffer, Variable, VariableMeta};
 
+use crate::error::StreamResult;
 use crate::stream::{StepContents, Stream};
 
 /// What [`StreamReader::begin_step`] found.
@@ -76,15 +77,25 @@ impl StreamReader {
         self.nranks
     }
 
+    /// The step the handle is currently in (or will ask for next).
+    pub fn current_step(&self) -> u64 {
+        self.next_step
+    }
+
     /// Blocks until the next step is available (or the stream ended).
-    pub fn begin_step(&mut self) -> StepStatus {
+    ///
+    /// Returns [`crate::StreamError::Timeout`] if the writer side stays
+    /// silent past the hub timeout, or [`crate::StreamError::PeerGone`] if
+    /// the workflow supervisor poisoned the stream — a stalled peer is a
+    /// typed error, never a hang or a panic.
+    pub fn begin_step(&mut self) -> StreamResult<StepStatus> {
         assert!(self.current.is_none(), "begin_step inside an open step");
-        match self.stream.reader_begin_step(self.next_step) {
+        match self.stream.reader_begin_step(self.next_step)? {
             Some(contents) => {
                 self.current = Some(contents);
-                StepStatus::Ready(self.next_step)
+                Ok(StepStatus::Ready(self.next_step))
             }
-            None => StepStatus::EndOfStream,
+            None => Ok(StepStatus::EndOfStream),
         }
     }
 

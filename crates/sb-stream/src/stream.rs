@@ -2,16 +2,23 @@
 //! buffering, and the completion/consumption protocol.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use sb_data::{Chunk, VariableMeta};
 
+use crate::error::{StreamError, StreamResult};
 use crate::metrics::Counters;
 
 /// Writer-side buffering policy, fixed by the first writer rank to open the
 /// stream.
+///
+/// Marked `#[non_exhaustive]` so future knobs are not breaking changes:
+/// construct via [`WriterOptions::default`], [`WriterOptions::buffered`], or
+/// [`WriterOptions::rendezvous`] and refine with the `with_*` setters.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriterOptions {
     /// Maximum steps buffered (committed or in progress) before
@@ -40,11 +47,7 @@ impl Default for WriterOptions {
 impl WriterOptions {
     /// Buffered (overlapping) mode with the given queue depth.
     pub fn buffered(queue_capacity: usize) -> WriterOptions {
-        assert!(queue_capacity >= 1, "queue capacity must be at least 1");
-        WriterOptions {
-            queue_capacity,
-            ..WriterOptions::default()
-        }
+        WriterOptions::default().with_queue_capacity(queue_capacity)
     }
 
     /// Synchronous hand-off: every step is exchanged before the writer may
@@ -55,6 +58,19 @@ impl WriterOptions {
             rendezvous: true,
             ..WriterOptions::default()
         }
+    }
+
+    /// Sets the buffered queue depth (builder style).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> WriterOptions {
+        assert!(queue_capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Enables or disables rendezvous (synchronous hand-off) mode.
+    pub fn with_rendezvous(mut self, rendezvous: bool) -> WriterOptions {
+        self.rendezvous = rendezvous;
+        self
     }
 
     /// Declares how many reader groups will subscribe (builder style).
@@ -85,12 +101,19 @@ struct Slot {
     ready: Option<StepContents>,
 }
 
-/// One subscribed reader group: its size and the first step it observes
-/// (groups attaching after steps were consumed start at the then-current
-/// front of the queue).
+/// One subscribed reader group: its size, the first step it observed, how
+/// many steps it has fully released (all ranks ended them), and whether the
+/// supervisor detached it after a downstream degradation.
 struct ReaderGroup {
     nranks: usize,
     first_step: u64,
+    /// Steps released by every rank of the group since `first_step`.
+    /// Releases complete in step order (each rank steps sequentially), so
+    /// `first_step + full_releases` is where a restarted group resumes.
+    full_releases: u64,
+    /// A detached group no longer holds steps back; its component was
+    /// degraded or torn down and will not consume anything further.
+    detached: bool,
 }
 
 struct State {
@@ -99,6 +122,14 @@ struct State {
     options: WriterOptions,
     closed_writers: usize,
     closed: bool,
+    /// Step the current writer registration starts at (`base_step +
+    /// queue.len()` at registration time); a restarted writer group resumes
+    /// producing exactly where the failed incarnation's last *complete*
+    /// step left off.
+    writer_start: u64,
+    /// Set when the workflow supervisor tears the stream down; blocked
+    /// waiters return [`StreamError::PeerGone`] instead of hanging.
+    poisoned: Option<String>,
     /// Step id of `queue[0]`.
     base_step: u64,
     queue: VecDeque<Slot>,
@@ -107,7 +138,8 @@ struct State {
 impl State {
     /// True when the front slot has been released by every group that can
     /// see it. Streams with no subscribers retain their steps (they will be
-    /// delivered to whichever group attaches first).
+    /// delivered to whichever group attaches first). Detached groups no
+    /// longer count.
     fn front_fully_consumed(&self) -> bool {
         if self.reader_groups.len() < self.options.expected_reader_groups.max(1) {
             return false;
@@ -119,7 +151,8 @@ impl State {
             return false;
         }
         self.reader_groups.iter().all(|(name, g)| {
-            g.first_step > self.base_step
+            g.detached
+                || g.first_step > self.base_step
                 || front.done_by.get(name).copied().unwrap_or(0) == g.nranks
         })
     }
@@ -131,11 +164,13 @@ pub(crate) struct Stream {
     state: Mutex<State>,
     cond: Condvar,
     pub(crate) counters: Counters,
-    wait_timeout: Duration,
+    /// Micros; shared with the owning hub so a `RunOptions` timeout
+    /// override reaches streams that already exist.
+    wait_timeout_micros: Arc<AtomicU64>,
 }
 
 impl Stream {
-    pub(crate) fn new(name: String, wait_timeout: Duration) -> Stream {
+    pub(crate) fn new(name: String, wait_timeout_micros: Arc<AtomicU64>) -> Stream {
         Stream {
             name,
             state: Mutex::new(State {
@@ -144,58 +179,79 @@ impl Stream {
                 options: WriterOptions::default(),
                 closed_writers: 0,
                 closed: false,
+                writer_start: 0,
+                poisoned: None,
                 base_step: 0,
                 queue: VecDeque::new(),
             }),
             cond: Condvar::new(),
             counters: Counters::default(),
-            wait_timeout,
+            wait_timeout_micros,
         }
     }
 
-    /// Blocks on `cond` until `pred` holds, panicking after the hub timeout
-    /// with a description — a hung workflow surfaces as a diagnosable panic
-    /// instead of a silent deadlock.
+    fn wait_timeout(&self) -> Duration {
+        Duration::from_micros(self.wait_timeout_micros.load(Ordering::Relaxed))
+    }
+
+    /// Blocks on `cond` until `pred` holds. Returns
+    /// [`StreamError::PeerGone`] as soon as the stream is poisoned and
+    /// [`StreamError::Timeout`] (with a state snapshot) after the hub
+    /// timeout — a hung workflow surfaces as a typed, diagnosable error
+    /// instead of a panic or a silent deadlock.
     fn wait_until<T>(
         &self,
         state: &mut parking_lot::MutexGuard<'_, State>,
         what: &str,
         mut pred: impl FnMut(&mut State) -> Option<T>,
-    ) -> T {
-        let deadline = Instant::now() + self.wait_timeout;
+    ) -> StreamResult<T> {
+        let timeout = self.wait_timeout();
+        let deadline = Instant::now() + timeout;
         loop {
+            if let Some(reason) = &state.poisoned {
+                return Err(StreamError::PeerGone {
+                    stream: self.name.clone(),
+                    reason: reason.clone(),
+                });
+            }
             if let Some(v) = pred(state) {
-                return v;
+                return Ok(v);
             }
             if self.cond.wait_until(state, deadline).timed_out() {
-                panic!(
-                    "stream {:?}: timed out after {:?} waiting for {what} \
-                     (writers={:?} readers={:?} closed={} base_step={} queued={})",
-                    self.name,
-                    self.wait_timeout,
-                    state.writer_nranks,
-                    state
-                        .reader_groups
-                        .iter()
-                        .map(|(n, g)| (n.clone(), g.nranks))
-                        .collect::<Vec<_>>(),
-                    state.closed,
-                    state.base_step,
-                    state.queue.len(),
-                );
+                return Err(StreamError::Timeout {
+                    stream: self.name.clone(),
+                    waiting_for: what.to_string(),
+                    timeout,
+                    detail: format!(
+                        "writers={:?} readers={:?} closed={} base_step={} queued={}",
+                        state.writer_nranks,
+                        state
+                            .reader_groups
+                            .iter()
+                            .map(|(n, g)| (n.clone(), g.nranks))
+                            .collect::<Vec<_>>(),
+                        state.closed,
+                        state.base_step,
+                        state.queue.len(),
+                    ),
+                });
             }
         }
     }
 
     // ---- writer-group protocol -------------------------------------------------
 
-    pub(crate) fn register_writer(&self, nranks: usize, options: WriterOptions) {
+    /// Registers a writer rank; returns the step the writer group starts at
+    /// (nonzero when a restarted group reattaches to a stream that already
+    /// holds committed steps).
+    pub(crate) fn register_writer(&self, nranks: usize, options: WriterOptions) -> u64 {
         assert!(nranks > 0, "writer group must have at least one rank");
         let mut state = self.state.lock();
         match state.writer_nranks {
             None => {
                 state.writer_nranks = Some(nranks);
                 state.options = options;
+                state.writer_start = state.base_step + state.queue.len() as u64;
                 self.cond.notify_all();
             }
             Some(existing) => {
@@ -211,22 +267,24 @@ impl Stream {
                 );
             }
         }
+        state.writer_start
     }
 
     /// A writer rank starts `step`; blocks while the buffer is full.
-    pub(crate) fn writer_begin_step(&self, step: u64) {
+    pub(crate) fn writer_begin_step(&self, step: u64) -> StreamResult<()> {
         let mut state = self.state.lock();
         let capacity = state.options.queue_capacity as u64;
         let start = Instant::now();
         self.wait_until(&mut state, "buffer space", |s| {
             (step < s.base_step + capacity).then_some(())
-        });
+        })?;
         self.counters.add_writer_wait(start.elapsed());
         // Create slots up through `step` (ranks run in lockstep, so this
         // extends by at most one in practice).
         while state.base_step + state.queue.len() as u64 <= step {
             state.queue.push_back(Slot::default());
         }
+        Ok(())
     }
 
     /// A writer rank contributes a chunk to `step`.
@@ -259,7 +317,7 @@ impl Stream {
 
     /// A writer rank finishes `step`; the last rank freezes the slot. In
     /// rendezvous mode, blocks until the reader group releases the step.
-    pub(crate) fn writer_end_step(&self, step: u64, nranks: usize) {
+    pub(crate) fn writer_end_step(&self, step: u64, nranks: usize) -> StreamResult<()> {
         let mut state = self.state.lock();
         let idx = (step - state.base_step) as usize;
         let slot = &mut state.queue[idx];
@@ -281,9 +339,10 @@ impl Stream {
             let start = Instant::now();
             self.wait_until(&mut state, "rendezvous consumption", |s| {
                 (s.base_step > step).then_some(())
-            });
+            })?;
             self.counters.add_writer_wait(start.elapsed());
         }
+        Ok(())
     }
 
     /// A writer rank closes; the last one marks the stream ended.
@@ -298,8 +357,10 @@ impl Stream {
 
     // ---- reader-group protocol -------------------------------------------------
 
-    /// Registers rank membership of reader group `group`; returns the first
-    /// step this group will observe.
+    /// Registers rank membership of reader group `group`; returns the step
+    /// this rank resumes at — `base_step` for a brand-new group, or the
+    /// first not-yet-fully-released step for a group reattaching after a
+    /// restart.
     pub(crate) fn register_reader(&self, group: &str, nranks: usize) -> u64 {
         assert!(nranks > 0, "reader group must have at least one rank");
         let mut state = self.state.lock();
@@ -311,6 +372,8 @@ impl Stream {
                     ReaderGroup {
                         nranks,
                         first_step: base,
+                        full_releases: 0,
+                        detached: false,
                     },
                 );
                 self.cond.notify_all();
@@ -322,14 +385,14 @@ impl Stream {
                     "stream {:?}: ranks of reader group {group:?} disagree on group size",
                     self.name
                 );
-                existing.first_step
+                existing.first_step + existing.full_releases
             }
         }
     }
 
     /// A reader rank asks for `step`; returns its frozen contents, or `None`
     /// at end of stream.
-    pub(crate) fn reader_begin_step(&self, step: u64) -> Option<StepContents> {
+    pub(crate) fn reader_begin_step(&self, step: u64) -> StreamResult<Option<StepContents>> {
         let mut state = self.state.lock();
         let start = Instant::now();
         let got = self.wait_until(&mut state, "a committed step", |s| {
@@ -355,9 +418,9 @@ impl Stream {
                 }
             }
             None
-        });
+        })?;
         self.counters.add_reader_wait(start.elapsed());
-        got
+        Ok(got)
     }
 
     /// A rank of reader group `group` releases `step`; slots are popped off
@@ -366,14 +429,31 @@ impl Stream {
     pub(crate) fn reader_end_step(&self, group: &str, step: u64, nranks: usize) {
         let mut state = self.state.lock();
         let idx = (step - state.base_step) as usize;
-        let slot = &mut state.queue[idx];
-        let done = slot.done_by.entry(group.to_string()).or_insert(0);
-        *done += 1;
-        assert!(
-            *done <= nranks,
-            "stream {:?}: more end_step calls than ranks in reader group {group:?}",
-            self.name
-        );
+        let fully_released = {
+            let slot = &mut state.queue[idx];
+            let done = slot.done_by.entry(group.to_string()).or_insert(0);
+            *done += 1;
+            assert!(
+                *done <= nranks,
+                "stream {:?}: more end_step calls than ranks in reader group {group:?}",
+                self.name
+            );
+            *done == nranks
+        };
+        if fully_released {
+            if let Some(g) = state.reader_groups.get_mut(group) {
+                // Ranks step sequentially, so full releases complete in
+                // step order; this counter is the group's resume point.
+                g.full_releases += 1;
+            }
+        }
+        if self.pop_consumed(&mut state) {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Pops every fully consumed front slot; returns whether any were.
+    fn pop_consumed(&self, state: &mut State) -> bool {
         let mut popped = false;
         while state.front_fully_consumed() {
             state.queue.pop_front();
@@ -383,8 +463,94 @@ impl Stream {
                 .steps_consumed
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        if popped {
-            self.cond.notify_all();
+        popped
+    }
+
+    // ---- supervision hooks -----------------------------------------------------
+
+    /// Marks the stream dead: every blocked (and future blocking) call
+    /// returns [`StreamError::PeerGone`] with `reason`. Used by the
+    /// workflow supervisor when aborting, so no component hangs waiting on
+    /// a peer that will never come back.
+    pub(crate) fn poison(&self, reason: &str) {
+        let mut state = self.state.lock();
+        if state.poisoned.is_none() {
+            state.poisoned = Some(reason.to_string());
         }
+        self.cond.notify_all();
+    }
+
+    /// Forces a clean end-of-stream: any partially committed trailing steps
+    /// are discarded and readers observe EOS once the remaining complete
+    /// steps drain. This is the degradation contract — downstream sees a
+    /// short stream, never a hang.
+    pub(crate) fn force_end_of_stream(&self) {
+        let mut state = self.state.lock();
+        while state.queue.back().is_some_and(|s| s.ready.is_none()) {
+            state.queue.pop_back();
+        }
+        state.closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Detaches reader group `group`: it stops holding steps back (its
+    /// component was degraded or the workflow is winding down). Registers a
+    /// zero-rank placeholder if the group never attached, so writers whose
+    /// `expected_reader_groups` counts it are not stuck waiting forever.
+    pub(crate) fn detach_reader_group(&self, group: &str) {
+        let mut state = self.state.lock();
+        let base = state.base_step;
+        match state.reader_groups.get_mut(group) {
+            Some(g) => g.detached = true,
+            None => {
+                state.reader_groups.insert(
+                    group.to_string(),
+                    ReaderGroup {
+                        nranks: 0,
+                        first_step: base,
+                        full_releases: 0,
+                        detached: true,
+                    },
+                );
+            }
+        }
+        self.pop_consumed(&mut state);
+        self.cond.notify_all();
+    }
+
+    /// Prepares reader group `group` for a restarted component: partial
+    /// release counts at steps the group has not fully released are
+    /// discarded (the restarted ranks will re-read and re-release them).
+    pub(crate) fn reset_reader_group(&self, group: &str) {
+        let mut state = self.state.lock();
+        let Some(g) = state.reader_groups.get_mut(group) else {
+            return;
+        };
+        g.detached = false;
+        let resume = g.first_step + g.full_releases;
+        let base = state.base_step;
+        for (i, slot) in state.queue.iter_mut().enumerate() {
+            if base + i as u64 >= resume {
+                if let Some(done) = slot.done_by.get_mut(group) {
+                    *done = 0;
+                }
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Prepares the writer side for a restarted component: partially
+    /// committed trailing steps are discarded (the restarted group
+    /// re-produces them) and the registration is reopened so the new
+    /// incarnation can attach.
+    pub(crate) fn reattach_writer(&self) {
+        let mut state = self.state.lock();
+        while state.queue.back().is_some_and(|s| s.ready.is_none()) {
+            state.queue.pop_back();
+        }
+        state.writer_nranks = None;
+        state.closed_writers = 0;
+        state.closed = false;
+        self.cond.notify_all();
     }
 }

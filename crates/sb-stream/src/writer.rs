@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use sb_data::{Chunk, Variable};
 
+use crate::error::StreamResult;
 use crate::stream::Stream;
 
 /// One writer rank's handle onto a stream.
@@ -12,6 +13,11 @@ use crate::stream::Stream;
 /// `begin_step` → one or more [`StreamWriter::put`] calls → `end_step`.
 /// Dropping the handle closes this rank's side of the stream; when every
 /// rank has closed, readers observe end-of-stream.
+///
+/// A handle dropped mid-step, during a panic, or after
+/// [`StreamWriter::abandon`] does *not* close the stream: a failing rank
+/// must never signal a clean EOS — the workflow supervisor decides whether
+/// to restart the component or tear the stream down.
 pub struct StreamWriter {
     stream: Arc<Stream>,
     rank: usize,
@@ -22,12 +28,12 @@ pub struct StreamWriter {
 }
 
 impl StreamWriter {
-    pub(crate) fn new(stream: Arc<Stream>, rank: usize, nranks: usize) -> StreamWriter {
+    pub(crate) fn new(stream: Arc<Stream>, rank: usize, nranks: usize, start: u64) -> StreamWriter {
         StreamWriter {
             stream,
             rank,
             nranks,
-            next_step: 0,
+            next_step: start,
             in_step: false,
             closed: false,
         }
@@ -49,11 +55,12 @@ impl StreamWriter {
     }
 
     /// Opens the next step, blocking while the writer-side buffer is full.
-    pub fn begin_step(&mut self) {
+    pub fn begin_step(&mut self) -> StreamResult<()> {
         assert!(!self.closed, "begin_step on a closed writer");
         assert!(!self.in_step, "begin_step called twice without end_step");
-        self.stream.writer_begin_step(self.next_step);
+        self.stream.writer_begin_step(self.next_step)?;
         self.in_step = true;
+        Ok(())
     }
 
     /// Contributes one chunk of a variable to the open step.
@@ -70,14 +77,16 @@ impl StreamWriter {
 
     /// Commits the open step. The last committing rank publishes it to
     /// readers; in rendezvous mode this blocks until it is consumed.
-    pub fn end_step(&mut self) {
+    pub fn end_step(&mut self) -> StreamResult<()> {
         assert!(self.in_step, "end_step without begin_step");
-        self.stream.writer_end_step(self.next_step, self.nranks);
+        self.stream.writer_end_step(self.next_step, self.nranks)?;
         self.in_step = false;
         self.next_step += 1;
+        Ok(())
     }
 
-    /// Closes this rank's side of the stream. Idempotent; also runs on drop.
+    /// Closes this rank's side of the stream. Idempotent; also runs on a
+    /// clean drop.
     pub fn close(&mut self) {
         assert!(!self.in_step, "close inside an open step");
         if !self.closed {
@@ -85,12 +94,25 @@ impl StreamWriter {
             self.stream.writer_close(self.nranks);
         }
     }
+
+    /// Walks away from the stream *without* closing it: readers see neither
+    /// further data nor EOS from this rank. Called by failing components so
+    /// downstream never mistakes a crash for a clean end of stream.
+    pub fn abandon(&mut self) {
+        self.closed = true;
+        self.in_step = false;
+    }
 }
 
 impl Drop for StreamWriter {
     fn drop(&mut self) {
-        if !self.closed && !self.in_step {
-            self.closed = true;
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        // Only a clean drop (not mid-step, not unwinding) counts as a
+        // close; a failing rank abandons instead.
+        if !self.in_step && !std::thread::panicking() {
             self.stream.writer_close(self.nranks);
         }
     }

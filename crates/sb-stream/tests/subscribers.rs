@@ -25,9 +25,9 @@ fn two_groups_each_see_every_step() {
             WriterOptions::default().with_reader_groups(2),
         );
         for step in 0..4u64 {
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put_whole(step_variable(step, 6));
-            w.end_step();
+            w.end_step().unwrap();
         }
         w.close();
     });
@@ -39,7 +39,7 @@ fn two_groups_each_see_every_step() {
             let mut r = hub_r.open_reader_grouped("multi.fp", group, 0, 1);
             assert_eq!(r.group(), group);
             let mut seen = Vec::new();
-            while let StepStatus::Ready(step) = r.begin_step() {
+            while let StepStatus::Ready(step) = r.begin_step().unwrap() {
                 let v = r.get_whole("x").unwrap();
                 assert_eq!(v.data.get_f64(0), step as f64);
                 seen.push(step);
@@ -61,9 +61,9 @@ fn groups_can_have_different_rank_counts() {
     let writer = std::thread::spawn(move || {
         let mut w = hub_w.open_writer("g.fp", 0, 1, WriterOptions::default().with_reader_groups(2));
         for step in 0..3u64 {
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put_whole(step_variable(step, 12));
-            w.end_step();
+            w.end_step().unwrap();
         }
         w.close();
     });
@@ -75,7 +75,7 @@ fn groups_can_have_different_rank_counts() {
             sb_comm::LaunchHandle::spawn(group, nranks, move |comm| {
                 let mut r = hub_g.open_reader_grouped("g.fp", group, comm.rank(), comm.size());
                 let mut steps = 0u64;
-                while let StepStatus::Ready(_) = r.begin_step() {
+                while let StepStatus::Ready(_) = r.begin_step().unwrap() {
                     let (off, count) =
                         sb_data::decompose::split_1d_part(12, comm.size(), comm.rank());
                     let v = r
@@ -112,9 +112,9 @@ fn slow_group_applies_backpressure_for_all() {
             WriterOptions::buffered(2).with_reader_groups(2),
         );
         for step in 0..5u64 {
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put_whole(step_variable(step, 4));
-            w.end_step();
+            w.end_step().unwrap();
             committed_w.fetch_add(1, Ordering::SeqCst);
         }
         w.close();
@@ -125,7 +125,7 @@ fn slow_group_applies_backpressure_for_all() {
     let fast = std::thread::spawn(move || {
         let mut r = hub_fast.open_reader_grouped("bp.fp", "fast", 0, 1);
         let mut steps = 0;
-        while let StepStatus::Ready(_) = r.begin_step() {
+        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
             r.end_step();
             steps += 1;
         }
@@ -134,13 +134,13 @@ fn slow_group_applies_backpressure_for_all() {
     let hub_slow = Arc::clone(&hub);
     let slow = std::thread::spawn(move || {
         let mut r = hub_slow.open_reader_grouped("bp.fp", "slow", 0, 1);
-        assert_eq!(r.begin_step(), StepStatus::Ready(0));
+        assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
         // Hold the step long enough for the writer to hit the cap.
         std::thread::sleep(Duration::from_millis(300));
         let ahead = r.stream_committed();
         r.end_step();
         let mut steps = 1;
-        while let StepStatus::Ready(_) = r.begin_step() {
+        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
             r.end_step();
             steps += 1;
         }
@@ -171,18 +171,18 @@ fn expected_groups_retain_steps_until_every_group_releases() {
         WriterOptions::buffered(8).with_reader_groups(2),
     );
     for step in 0..3u64 {
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(step_variable(step, 4));
-        w.end_step();
+        w.end_step().unwrap();
     }
     w.close();
 
     let mut early = hub.open_reader_grouped("retain.fp", "early", 0, 1);
     for step in 0..3u64 {
-        assert_eq!(early.begin_step(), StepStatus::Ready(step));
+        assert_eq!(early.begin_step().unwrap(), StepStatus::Ready(step));
         early.end_step();
     }
-    assert_eq!(early.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(early.begin_step().unwrap(), StepStatus::EndOfStream);
     // Every step was released by "early", yet none may be popped: the
     // second declared group has not seen them.
     let m = hub.metrics("retain.fp").unwrap();
@@ -192,12 +192,12 @@ fn expected_groups_retain_steps_until_every_group_releases() {
     // The second group attaches after the fact and still sees everything.
     let mut late = hub.open_reader_grouped("retain.fp", "late", 0, 1);
     for step in 0..3u64 {
-        assert_eq!(late.begin_step(), StepStatus::Ready(step));
+        assert_eq!(late.begin_step().unwrap(), StepStatus::Ready(step));
         let v = late.get_whole("x").unwrap();
         assert_eq!(v.data.get_f64(0), step as f64);
         late.end_step();
     }
-    assert_eq!(late.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(late.begin_step().unwrap(), StepStatus::EndOfStream);
     assert_eq!(hub.metrics("retain.fp").unwrap().steps_consumed, 3);
 }
 
@@ -215,12 +215,12 @@ fn front_pops_only_when_every_subscribed_group_releases() {
     let mut a = hub.open_reader_grouped("joint.fp", "a", 0, 1);
     let mut b = hub.open_reader_grouped("joint.fp", "b", 0, 1);
     for step in 0..2u64 {
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(step_variable(step, 4));
-        w.end_step();
+        w.end_step().unwrap();
     }
 
-    assert_eq!(a.begin_step(), StepStatus::Ready(0));
+    assert_eq!(a.begin_step().unwrap(), StepStatus::Ready(0));
     a.end_step();
     assert_eq!(
         hub.metrics("joint.fp").unwrap().steps_consumed,
@@ -228,15 +228,15 @@ fn front_pops_only_when_every_subscribed_group_releases() {
         "step 0 popped with group \"b\" still holding it"
     );
 
-    assert_eq!(b.begin_step(), StepStatus::Ready(0));
+    assert_eq!(b.begin_step().unwrap(), StepStatus::Ready(0));
     b.end_step();
     assert_eq!(hub.metrics("joint.fp").unwrap().steps_consumed, 1);
 
     w.close();
     for r in [&mut a, &mut b] {
-        assert_eq!(r.begin_step(), StepStatus::Ready(1));
+        assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(1));
         r.end_step();
-        assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+        assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
     }
     assert_eq!(hub.metrics("joint.fp").unwrap().steps_consumed, 2);
 }
@@ -248,23 +248,23 @@ fn late_group_starts_at_the_current_front() {
     // First group consumes two steps before the late group attaches.
     let mut first = hub.open_reader_grouped("late.fp", "first", 0, 1);
     for step in 0..3u64 {
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(step_variable(step, 4));
-        w.end_step();
+        w.end_step().unwrap();
     }
     for _ in 0..2 {
-        assert!(matches!(first.begin_step(), StepStatus::Ready(_)));
+        assert!(matches!(first.begin_step().unwrap(), StepStatus::Ready(_)));
         first.end_step();
     }
     // Steps 0 and 1 are gone; the late group sees the stream from step 2.
     let mut late = hub.open_reader_grouped("late.fp", "late", 0, 1);
-    assert_eq!(late.begin_step(), StepStatus::Ready(2));
+    assert_eq!(late.begin_step().unwrap(), StepStatus::Ready(2));
     let v = late.get_whole("x").unwrap();
     assert_eq!(v.data.get_f64(0), 2.0);
     late.end_step();
     w.close();
-    assert_eq!(late.begin_step(), StepStatus::EndOfStream);
-    assert_eq!(first.begin_step(), StepStatus::Ready(2));
+    assert_eq!(late.begin_step().unwrap(), StepStatus::EndOfStream);
+    assert_eq!(first.begin_step().unwrap(), StepStatus::Ready(2));
     first.end_step();
-    assert_eq!(first.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(first.begin_step().unwrap(), StepStatus::EndOfStream);
 }

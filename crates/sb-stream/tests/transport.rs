@@ -8,7 +8,7 @@ use std::time::Duration;
 use sb_comm::LaunchHandle;
 use sb_data::decompose::{default_partition, split_1d_part};
 use sb_data::{Buffer, Chunk, DType, Region, Shape, Variable, VariableMeta};
-use sb_stream::{StepStatus, StreamHub, WriterOptions};
+use sb_stream::{StepStatus, StreamError, StreamHub, WriterOptions};
 
 /// A 2-d test variable whose element (i, j) equals `1000*i + j`, making
 /// reassembly failures pinpointable.
@@ -33,7 +33,7 @@ fn single_writer_single_reader_three_steps() {
     let writer = std::thread::spawn(move || {
         let mut w = hub_w.open_writer("lmp.fp", 0, 1, WriterOptions::default());
         for step in 0..3u64 {
-            w.begin_step();
+            w.begin_step().unwrap();
             let mut var = tagged_variable("atoms", 4, 5);
             var.set_labels(
                 1,
@@ -49,7 +49,7 @@ fn single_writer_single_reader_three_steps() {
             var.attrs
                 .insert("step".into(), sb_data::AttrValue::Int(step as i64));
             w.put_whole(var);
-            w.end_step();
+            w.end_step().unwrap();
         }
         w.close();
     });
@@ -57,7 +57,7 @@ fn single_writer_single_reader_three_steps() {
     let reader = std::thread::spawn(move || {
         let mut r = hub_r.open_reader("lmp.fp", 0, 1);
         let mut steps = 0u64;
-        while let StepStatus::Ready(s) = r.begin_step() {
+        while let StepStatus::Ready(s) = r.begin_step().unwrap() {
             assert_eq!(s, steps);
             assert_eq!(r.variables(), vec!["atoms".to_string()]);
             let meta = r.meta("atoms").unwrap();
@@ -100,9 +100,9 @@ fn mxn_redistribution_reassembles_exactly() {
         let region = default_partition(&src_w.shape, comm.size(), comm.rank());
         let local = src_w.extract(&region).unwrap();
         let meta = VariableMeta::new("field", src_w.shape.clone(), DType::F64);
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put(Chunk::new(meta, region, local.data).unwrap());
-        w.end_step();
+        w.end_step().unwrap();
         w.close();
     })
     .unwrap();
@@ -111,11 +111,11 @@ fn mxn_redistribution_reassembles_exactly() {
     let shape_r = shape.clone();
     let readers = LaunchHandle::spawn("readers", 3, move |comm| {
         let mut r = hub_r.open_reader("field.fp", comm.rank(), comm.size());
-        assert_eq!(r.begin_step(), StepStatus::Ready(0));
+        assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
         let region = default_partition(&shape_r, comm.size(), comm.rank());
         let v = r.get("field", &region).unwrap();
         r.end_step();
-        assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+        assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
         (region, v)
     })
     .unwrap();
@@ -147,19 +147,19 @@ fn launch_order_does_not_matter() {
         let writer = std::thread::spawn(move || {
             std::thread::sleep(first_delay);
             let mut w = hub_w.open_writer("s.fp", 0, 1, WriterOptions::default());
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put_whole(tagged_variable("x", 2, 2));
-            w.end_step();
+            w.end_step().unwrap();
             w.close();
         });
         let reader = std::thread::spawn(move || {
             std::thread::sleep(second_delay);
             let mut r = hub_r.open_reader("s.fp", 0, 1);
-            assert_eq!(r.begin_step(), StepStatus::Ready(0));
+            assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
             let v = r.get_whole("x").unwrap();
             assert_eq!(v.get(&[1, 1]), 1001.0);
             r.end_step();
-            assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+            assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
         });
         writer.join().unwrap();
         reader.join().unwrap();
@@ -176,9 +176,9 @@ fn bounded_queue_applies_backpressure() {
     let writer = std::thread::spawn(move || {
         let mut w = hub_w.open_writer("bp.fp", 0, 1, WriterOptions::buffered(2));
         for _ in 0..6 {
-            w.begin_step();
+            w.begin_step().unwrap();
             w.put_whole(tagged_variable("x", 2, 2));
-            w.end_step();
+            w.end_step().unwrap();
             committed_w.fetch_add(1, Ordering::SeqCst);
         }
         w.close();
@@ -195,7 +195,7 @@ fn bounded_queue_applies_backpressure() {
 
     let mut r = hub.open_reader("bp.fp", 0, 1);
     let mut steps = 0;
-    while let StepStatus::Ready(_) = r.begin_step() {
+    while let StepStatus::Ready(_) = r.begin_step().unwrap() {
         r.get_whole("x").unwrap();
         r.end_step();
         steps += 1;
@@ -213,9 +213,9 @@ fn rendezvous_blocks_until_consumed() {
 
     let writer = std::thread::spawn(move || {
         let mut w = hub_w.open_writer("rv.fp", 0, 1, WriterOptions::rendezvous());
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(tagged_variable("x", 2, 2));
-        w.end_step(); // must block until the reader consumes the step
+        w.end_step().unwrap(); // must block until the reader consumes the step
         finished_w.store(1, Ordering::SeqCst);
         w.close();
     });
@@ -228,7 +228,7 @@ fn rendezvous_blocks_until_consumed() {
     );
 
     let mut r = hub.open_reader("rv.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     r.end_step();
     writer.join().unwrap();
     assert_eq!(finished.load(Ordering::SeqCst), 1);
@@ -242,7 +242,7 @@ fn immediate_close_yields_end_of_stream() {
         w.close();
     }
     let mut r = hub.open_reader("empty.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
 }
 
 #[test]
@@ -250,15 +250,15 @@ fn writer_drop_closes_the_stream() {
     let hub = StreamHub::new();
     {
         let mut w = hub.open_writer("dropped.fp", 0, 1, WriterOptions::default());
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(tagged_variable("x", 1, 1));
-        w.end_step();
+        w.end_step().unwrap();
         // No explicit close: Drop must close.
     }
     let mut r = hub.open_reader("dropped.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     r.end_step();
-    assert_eq!(r.begin_step(), StepStatus::EndOfStream);
+    assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
 }
 
 #[test]
@@ -271,7 +271,7 @@ fn get_errors_are_reported() {
         Shape::of(&[("rows", 4), ("cols", 2)]),
         DType::F64,
     );
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put(
         Chunk::new(
             meta,
@@ -280,10 +280,10 @@ fn get_errors_are_reported() {
         )
         .unwrap(),
     );
-    w.end_step();
+    w.end_step().unwrap();
 
     let mut r = hub.open_reader("err.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     // Unknown variable.
     assert!(r.get("nope", &Region::new(vec![0, 0], vec![1, 1])).is_err());
     // Region outside the global shape.
@@ -304,16 +304,16 @@ fn get_errors_are_reported() {
 fn multiple_variables_per_step() {
     let hub = StreamHub::new();
     let mut w = hub.open_writer("multi.fp", 0, 1, WriterOptions::default());
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put_whole(tagged_variable("a", 2, 3));
     w.put_whole(
         Variable::new("ids", Shape::linear("n", 4), Buffer::U64(vec![1, 2, 3, 4])).unwrap(),
     );
-    w.end_step();
+    w.end_step().unwrap();
     w.close();
 
     let mut r = hub.open_reader("multi.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     assert_eq!(r.variables(), vec!["a".to_string(), "ids".to_string()]);
     assert_eq!(r.meta("ids").unwrap().dtype, DType::U64);
     let ids = r.get_whole("ids").unwrap();
@@ -328,13 +328,13 @@ fn labels_are_sliced_to_the_read_box() {
     let var = tagged_variable("atoms", 3, 5)
         .with_labels(1, &["ID", "Type", "vx", "vy", "vz"])
         .unwrap();
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put_whole(var);
-    w.end_step();
+    w.end_step().unwrap();
     w.close();
 
     let mut r = hub.open_reader("lbl.fp", 0, 1);
-    r.begin_step();
+    r.begin_step().unwrap();
     let v = r
         .get("atoms", &Region::new(vec![0, 2], vec![3, 3]))
         .unwrap();
@@ -361,7 +361,7 @@ fn many_writer_ranks_split_along_one_dim() {
         );
         let (off, count) = split_1d_part(3, comm.size(), comm.rank());
         let meta = VariableMeta::new("v", Shape::linear("n", 3), DType::F64);
-        w.begin_step();
+        w.begin_step().unwrap();
         if count > 0 {
             let data: Vec<f64> = (off..off + count).map(|i| i as f64 * 10.0).collect();
             w.put(
@@ -373,13 +373,13 @@ fn many_writer_ranks_split_along_one_dim() {
                 .unwrap(),
             );
         }
-        w.end_step();
+        w.end_step().unwrap();
         w.close();
     })
     .unwrap();
 
     let mut r = hub.open_reader("thin.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     let v = r.get_whole("v").unwrap();
     assert_eq!(v.data, Buffer::F64(vec![0.0, 10.0, 20.0]));
     r.end_step();
@@ -391,13 +391,13 @@ fn metrics_count_bytes_and_steps() {
     let hub = StreamHub::new();
     let mut w = hub.open_writer("m.fp", 0, 1, WriterOptions::default());
     for _ in 0..2 {
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put_whole(tagged_variable("x", 2, 2)); // 4 f64 = 32 bytes
-        w.end_step();
+        w.end_step().unwrap();
     }
     w.close();
     let mut r = hub.open_reader("m.fp", 0, 1);
-    while let StepStatus::Ready(_) = r.begin_step() {
+    while let StepStatus::Ready(_) = r.begin_step().unwrap() {
         r.get_whole("x").unwrap();
         r.end_step();
     }
@@ -412,11 +412,17 @@ fn metrics_count_bytes_and_steps() {
 }
 
 #[test]
-#[should_panic(expected = "timed out")]
-fn deadlock_panics_with_diagnostic() {
+fn deadlock_returns_typed_timeout() {
     let hub = StreamHub::with_timeout(Duration::from_millis(100));
     let mut r = hub.open_reader("never.fp", 0, 1);
-    let _ = r.begin_step(); // no writer will ever appear
+    // No writer will ever appear: the blocked read must surface as a typed
+    // error (never a panic) carrying the stream name and a state snapshot.
+    let err = r.begin_step().unwrap_err();
+    match &err {
+        StreamError::Timeout { stream, .. } => assert_eq!(stream, "never.fp"),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(err.to_string().contains("timed out"));
 }
 
 #[test]
@@ -435,15 +441,15 @@ fn whole_read_shares_the_writers_allocation() {
         1,
         WriterOptions::default().with_reader_groups(2),
     );
-    w.begin_step();
+    w.begin_step().unwrap();
     let meta = VariableMeta::new("field", shape.clone(), DType::F64);
     w.put(Chunk::new(meta, Region::whole(&shape), payload.clone()).unwrap());
-    w.end_step();
+    w.end_step().unwrap();
     w.close();
 
     for group in ["a", "b"] {
         let mut r = hub.open_reader_grouped("zc.fp", group, 0, 1);
-        assert_eq!(r.begin_step(), StepStatus::Ready(0));
+        assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
         let v = r.get_whole("field").unwrap();
         assert!(
             sb_data::SharedBuffer::shares_allocation(&payload, &v.data),
@@ -483,9 +489,9 @@ fn tiling_slab_reads_skip_the_zero_fill() {
         let region = default_partition(&src_w.shape, comm.size(), comm.rank());
         let local = src_w.extract(&region).unwrap();
         let meta = VariableMeta::new("field", src_w.shape.clone(), DType::F64);
-        w.begin_step();
+        w.begin_step().unwrap();
         w.put(Chunk::new(meta, region, local.data).unwrap());
-        w.end_step();
+        w.end_step().unwrap();
         w.close();
     })
     .unwrap()
@@ -493,7 +499,7 @@ fn tiling_slab_reads_skip_the_zero_fill() {
     .unwrap();
 
     let mut r = hub.open_reader("slab.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     let v = r.get_whole("field").unwrap();
     assert_eq!(v.data, source.data);
 
@@ -519,14 +525,14 @@ fn force_copy_restores_the_copying_data_plane() {
     // zero-fill + copy_region, and the counters say so.
     let hub = StreamHub::new();
     let mut w = hub.open_writer("fc.fp", 0, 1, WriterOptions::default());
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put_whole(tagged_variable("x", 6, 3));
-    w.end_step();
+    w.end_step().unwrap();
     w.close();
 
     let mut r = hub.open_reader("fc.fp", 0, 1);
     r.set_force_copy(true);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     let v = r.get_whole("x").unwrap();
     assert_eq!(v.get(&[5, 2]), 5002.0);
     r.end_step();
@@ -543,13 +549,13 @@ fn strided_column_read_still_assembles_correctly() {
     // back to the general path and still produce exact data.
     let hub = StreamHub::new();
     let mut w = hub.open_writer("col.fp", 0, 1, WriterOptions::default());
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put_whole(tagged_variable("x", 5, 7));
-    w.end_step();
+    w.end_step().unwrap();
     w.close();
 
     let mut r = hub.open_reader("col.fp", 0, 1);
-    assert_eq!(r.begin_step(), StepStatus::Ready(0));
+    assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(0));
     let band = Region::new(vec![0, 2], vec![5, 3]);
     let v = r.get("x", &band).unwrap();
     for i in 0..5 {

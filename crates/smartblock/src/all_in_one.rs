@@ -20,9 +20,9 @@ use sb_data::{DataError, DataResult, Region};
 use sb_stream::StreamHub;
 
 use crate::component::{run_sink, Component, StreamArray};
+use crate::error::ComponentResult;
 use crate::histogram::{bin_counts, HistogramResult};
 use crate::magnitude::vector_magnitudes;
-use crate::metrics::ComponentStats;
 use crate::select::select_rows;
 
 /// The fused Select + Magnitude + Histogram baseline.
@@ -121,7 +121,7 @@ impl Component for AllInOne {
         )
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_sink(
             "all-in-one",
             comm,
@@ -140,7 +140,8 @@ impl Component for AllInOne {
                             "all-in-one expects 2-d input, stream carries rank {}",
                             meta.shape.ndims()
                         ),
-                    });
+                    }
+                    .into());
                 }
                 let indices: Vec<usize> = self
                     .keep

@@ -21,7 +21,7 @@ use sb_data::{Buffer, Chunk, DType, DataError, DataResult, Region, Shape, Variab
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Offset of row `i`'s first pair in the condensed `i`-major distance
 /// vector of an `n`-point set: pairs `(i, j)` with `j > i`.
@@ -151,7 +151,7 @@ impl Component for AllPairs {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "all-pairs",

@@ -19,8 +19,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 use smartblock::launch::parse_script;
+use smartblock::prelude::{Severity, Workflow};
 use smartblock::workflows::instantiate_entry;
-use smartblock::{Severity, Workflow};
 
 fn lint_text(name: &str, text: &str) -> Result<usize, String> {
     let entries = parse_script(text).map_err(|e| e.to_string())?;

@@ -16,7 +16,8 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, VariableMeta};
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::{Component, StreamArray};
+use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// The element-wise operation applied to the two inputs.
@@ -202,7 +203,7 @@ impl Component for Combine {
         )
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         let (lgroup, rgroup) = self.reader_groups();
         let mut left =
             hub.open_reader_grouped(&self.left.stream, &lgroup, comm.rank(), comm.size());
@@ -215,47 +216,85 @@ impl Component for Combine {
             self.writer_options,
         );
         let mut stats = ComponentStats::default();
+        let label = "combine";
+        let rank = comm.rank();
         loop {
+            let step = left.current_step();
+            let gate = match fault_gate(hub, label, rank, step) {
+                Ok(StepFault::Stall) => {
+                    writer.abandon();
+                    return Ok(stats);
+                }
+                Ok(g) => g,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(e);
+                }
+            };
             let step_start = Instant::now();
-            let l_status = left.begin_step();
+            let l_status = match left.begin_step() {
+                Ok(s) => s,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(stream_err(label, step, e));
+                }
+            };
             if l_status == StepStatus::EndOfStream {
-                // Drain the other side so its producers can finish.
-                while let StepStatus::Ready(_) = right.begin_step() {
+                // Drain the other side so its producers can finish. A drain
+                // error just stops the drain: our own inputs ended cleanly.
+                while let Ok(StepStatus::Ready(_)) = right.begin_step() {
                     right.end_step();
                 }
                 break;
             }
-            if right.begin_step() == StepStatus::EndOfStream {
-                left.end_step();
-                while let StepStatus::Ready(_) = left.begin_step() {
+            match right.begin_step() {
+                Ok(StepStatus::EndOfStream) => {
                     left.end_step();
+                    while let Ok(StepStatus::Ready(_)) = left.begin_step() {
+                        left.end_step();
+                    }
+                    break;
                 }
-                break;
+                Ok(StepStatus::Ready(_)) => {}
+                Err(e) => {
+                    writer.abandon();
+                    return Err(stream_err(label, step, e));
+                }
             }
             let wait = step_start.elapsed();
 
-            let lmeta = left
-                .meta(&self.left.array)
-                .unwrap_or_else(|| panic!("combine: no array {:?}", self.left.array))
-                .clone();
-            let rmeta = right
-                .meta(&self.right.array)
-                .unwrap_or_else(|| panic!("combine: no array {:?}", self.right.array))
-                .clone();
-            assert_eq!(
-                lmeta.shape.sizes(),
-                rmeta.shape.sizes(),
-                "combine: input shapes disagree ({} vs {})",
-                lmeta.shape,
-                rmeta.shape
-            );
-            let region = default_partition(&lmeta.shape, comm.size(), comm.rank());
-            let lv = left
-                .get(&self.left.array, &region)
-                .unwrap_or_else(|e| panic!("combine: {e}"));
-            let rv = right
-                .get(&self.right.array, &region)
-                .unwrap_or_else(|e| panic!("combine: {e}"));
+            let read = (|| -> StepResult<_> {
+                let lmeta = left
+                    .meta(&self.left.array)
+                    .ok_or_else(|| sb_data::DataError::Container {
+                        detail: format!("no array {:?} in stream", self.left.array),
+                    })?
+                    .clone();
+                let rmeta = right
+                    .meta(&self.right.array)
+                    .ok_or_else(|| sb_data::DataError::Container {
+                        detail: format!("no array {:?} in stream", self.right.array),
+                    })?
+                    .clone();
+                assert_eq!(
+                    lmeta.shape.sizes(),
+                    rmeta.shape.sizes(),
+                    "combine: input shapes disagree ({} vs {})",
+                    lmeta.shape,
+                    rmeta.shape
+                );
+                let region = default_partition(&lmeta.shape, comm.size(), comm.rank());
+                let lv = left.get(&self.left.array, &region)?;
+                let rv = right.get(&self.right.array, &region)?;
+                Ok((lmeta, region, lv, rv))
+            })();
+            let (lmeta, region, lv, rv) = match read {
+                Ok(v) => v,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(ComponentError::from_step(label, step, e));
+                }
+            };
             left.end_step();
             right.end_step();
             stats.bytes_in += (lv.byte_len() + rv.byte_len()) as u64;
@@ -273,16 +312,24 @@ impl Component for Combine {
             let mut out_meta =
                 VariableMeta::new(self.output.array.clone(), lmeta.shape.clone(), DType::F64);
             out_meta.labels = lmeta.labels.clone();
-            let chunk = Chunk::new(out_meta, region, Buffer::F64(out))
-                .expect("combine chunk is consistent");
-            stats.bytes_out += chunk.byte_len() as u64;
-            writer.begin_step();
-            writer.put(chunk);
-            writer.end_step();
+            if let Err(e) = writer.begin_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
+            if gate != StepFault::DropChunk {
+                let chunk = Chunk::new(out_meta, region, Buffer::F64(out))
+                    .expect("combine chunk is consistent");
+                stats.bytes_out += chunk.byte_len() as u64;
+                writer.put(chunk);
+            }
+            if let Err(e) = writer.end_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
             stats.record_step(step_start.elapsed(), wait, compute);
         }
         writer.close();
-        stats
+        Ok(stats)
     }
 }
 

@@ -10,9 +10,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sb_comm::Communicator;
-use sb_data::{Chunk, DataResult};
-use sb_stream::{StepStatus, StreamHub, StreamReader, WriterOptions};
+use sb_data::Chunk;
+use sb_stream::{FaultOp, StepStatus, StreamError, StreamHub, StreamReader, WriterOptions};
 
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// A `(stream, array)` name pair — the unit of workflow wiring.
@@ -59,7 +60,12 @@ pub trait Component: Send + Sync + 'static {
     fn label(&self) -> String;
 
     /// Executes one rank of the component until its input ends.
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats;
+    ///
+    /// Failure is a first-class outcome: a stalled peer, malformed input,
+    /// or injected chaos fault returns a typed [`ComponentError`] instead
+    /// of panicking, and the workflow supervisor applies the component's
+    /// [`crate::FaultPolicy`] to it.
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult;
 
     /// Streams this component reads (for workflow wiring validation).
     fn input_streams(&self) -> Vec<String> {
@@ -130,25 +136,77 @@ pub struct TransformSpec<'a> {
     pub writer_options: WriterOptions,
 }
 
+/// What a fault-injection directive asks the current step to do (beyond
+/// killing the component, which [`fault_gate`] reports as an error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepFault {
+    /// No directive fired; run the step normally.
+    Clean,
+    /// Suppress this step's output payload (the step is still paced, so
+    /// downstream sees a metadata-only step, not a hang).
+    DropChunk,
+    /// Go quiet: abandon outputs without closing them and return early, so
+    /// peers observe neither data nor EOS — the disappeared-peer scenario.
+    Stall,
+}
+
+/// Consults the hub's installed [`sb_stream::FaultPlan`] for
+/// `(label, rank, step)`, sleeping any injected delay jitter in place.
+///
+/// Every component run loop calls this at the top of each step; custom
+/// `Component` impls with hand-rolled loops should too, or chaos plans
+/// cannot target them.
+pub fn fault_gate(
+    hub: &StreamHub,
+    label: &str,
+    rank: usize,
+    step: u64,
+) -> Result<StepFault, ComponentError> {
+    let fault = hub.fault_for(label, rank, step);
+    if !fault.delay.is_zero() {
+        std::thread::sleep(fault.delay);
+    }
+    match fault.op {
+        Some(FaultOp::Kill) => Err(ComponentError::Injected {
+            label: label.to_string(),
+            rank,
+            step,
+        }),
+        Some(FaultOp::Stall) => Ok(StepFault::Stall),
+        Some(FaultOp::DropChunk) => Ok(StepFault::DropChunk),
+        None => Ok(StepFault::Clean),
+    }
+}
+
+pub(crate) fn stream_err(label: &str, step: u64, source: StreamError) -> ComponentError {
+    ComponentError::Stream {
+        label: label.to_string(),
+        step,
+        source,
+    }
+}
+
 /// The step loop shared by every one-input/one-output transform component:
 /// open both ends, then per timestep read → transform → publish, until the
 /// upstream closes.
 ///
 /// `per_step` receives the in-step reader and must return this rank's
 /// output chunk; the loop handles step lifecycles, end-of-stream
-/// propagation, timing and byte accounting. Errors from `per_step` panic
-/// with the component label — the moral equivalent of an MPI abort, and the
-/// behaviour the paper's components exhibit on malformed input.
+/// propagation, fault-injection gating, timing and byte accounting. Any
+/// failure — a `per_step` error, a stream timeout, a poisoned hub —
+/// abandons the output stream (downstream must never mistake a crash for a
+/// clean EOS) and returns a typed [`ComponentError`].
 pub fn run_transform<F>(
     spec: TransformSpec<'_>,
     comm: &Communicator,
     hub: &Arc<StreamHub>,
     mut per_step: F,
-) -> ComponentStats
+) -> ComponentResult
 where
-    F: FnMut(&StreamReader, &Communicator) -> DataResult<StepOutput>,
+    F: FnMut(&StreamReader, &Communicator) -> StepResult<StepOutput>,
 {
     let label = spec.label;
+    let rank = comm.rank();
     let mut reader = hub.open_reader_grouped(
         spec.input_stream,
         spec.reader_group,
@@ -163,26 +221,55 @@ where
     );
     let mut stats = ComponentStats::default();
     loop {
+        let step = reader.current_step();
+        let gate = match fault_gate(hub, label, rank, step) {
+            Ok(g) => g,
+            Err(e) => {
+                writer.abandon();
+                return Err(e);
+            }
+        };
+        if gate == StepFault::Stall {
+            writer.abandon();
+            return Ok(stats);
+        }
         let step_start = Instant::now();
         match reader.begin_step() {
-            StepStatus::EndOfStream => break,
-            StepStatus::Ready(_) => {}
+            Ok(StepStatus::EndOfStream) => break,
+            Ok(StepStatus::Ready(_)) => {}
+            Err(e) => {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
         }
         let wait = step_start.elapsed();
-        let out = per_step(&reader, comm)
-            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps));
+        let out = match per_step(&reader, comm) {
+            Ok(out) => out,
+            Err(e) => {
+                writer.abandon();
+                return Err(ComponentError::from_step(label, step, e));
+            }
+        };
         reader.end_step();
         stats.bytes_in += out.bytes_in;
-        writer.begin_step();
-        if let Some(chunk) = out.chunk {
-            stats.bytes_out += chunk.byte_len() as u64;
-            writer.put(chunk);
+        if let Err(e) = writer.begin_step() {
+            writer.abandon();
+            return Err(stream_err(label, step, e));
         }
-        writer.end_step();
+        if let Some(chunk) = out.chunk {
+            if gate != StepFault::DropChunk {
+                stats.bytes_out += chunk.byte_len() as u64;
+                writer.put(chunk);
+            }
+        }
+        if let Err(e) = writer.end_step() {
+            writer.abandon();
+            return Err(stream_err(label, step, e));
+        }
         stats.record_step(step_start.elapsed(), wait, out.compute);
     }
     writer.close();
-    stats
+    Ok(stats)
 }
 
 /// The step loop for endpoint (sink) components: like [`run_transform`] but
@@ -195,26 +282,35 @@ pub fn run_sink<F>(
     input_stream: &str,
     reader_group: &str,
     mut per_step: F,
-) -> ComponentStats
+) -> ComponentResult
 where
-    F: FnMut(&StreamReader, &Communicator, u64) -> DataResult<(u64, Duration)>,
+    F: FnMut(&StreamReader, &Communicator, u64) -> StepResult<(u64, Duration)>,
 {
+    let rank = comm.rank();
     let mut reader = hub.open_reader_grouped(input_stream, reader_group, comm.rank(), comm.size());
     let mut stats = ComponentStats::default();
     loop {
+        let step = reader.current_step();
+        // A sink has no outputs to drop or abandon: Stall just stops
+        // consuming, which upstream eventually observes as backpressure.
+        match fault_gate(hub, label, rank, step)? {
+            StepFault::Stall => return Ok(stats),
+            StepFault::Clean | StepFault::DropChunk => {}
+        }
         let step_start = Instant::now();
         match reader.begin_step() {
-            StepStatus::EndOfStream => break,
-            StepStatus::Ready(_) => {}
+            Ok(StepStatus::EndOfStream) => break,
+            Ok(StepStatus::Ready(_)) => {}
+            Err(e) => return Err(stream_err(label, step, e)),
         }
         let wait = step_start.elapsed();
         let (bytes_in, compute) = per_step(&reader, comm, stats.steps)
-            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps));
+            .map_err(|e| ComponentError::from_step(label, step, e))?;
         reader.end_step();
         stats.bytes_in += bytes_in;
         stats.record_step(step_start.elapsed(), wait, compute);
     }
-    stats
+    Ok(stats)
 }
 
 /// Writes one chunk per step from a producing closure — the loop used by
@@ -226,29 +322,54 @@ pub fn run_source<F>(
     output_stream: &str,
     writer_options: WriterOptions,
     mut per_step: F,
-) -> ComponentStats
+) -> ComponentResult
 where
-    F: FnMut(&Communicator, u64) -> DataResult<Option<Chunk>>,
+    F: FnMut(&Communicator, u64) -> StepResult<Option<Chunk>>,
 {
+    let rank = comm.rank();
     let mut writer = hub.open_writer(output_stream, comm.rank(), comm.size(), writer_options);
     let mut stats = ComponentStats::default();
     loop {
+        let step = writer.current_step();
+        let gate = match fault_gate(hub, label, rank, step) {
+            Ok(g) => g,
+            Err(e) => {
+                writer.abandon();
+                return Err(e);
+            }
+        };
+        if gate == StepFault::Stall {
+            writer.abandon();
+            return Ok(stats);
+        }
         let step_start = Instant::now();
-        let chunk = match per_step(comm, stats.steps)
-            .unwrap_or_else(|e| panic!("{label}: step {} failed: {e}", stats.steps))
-        {
-            Some(c) => c,
-            None => break,
+        let chunk = match per_step(comm, stats.steps) {
+            Ok(Some(c)) => Some(c),
+            Ok(None) => break,
+            Err(e) => {
+                writer.abandon();
+                return Err(ComponentError::from_step(label, step, e));
+            }
         };
         let compute = step_start.elapsed();
-        stats.bytes_out += chunk.byte_len() as u64;
-        writer.begin_step();
-        writer.put(chunk);
-        writer.end_step();
+        if let Err(e) = writer.begin_step() {
+            writer.abandon();
+            return Err(stream_err(label, step, e));
+        }
+        if let Some(chunk) = chunk {
+            if gate != StepFault::DropChunk {
+                stats.bytes_out += chunk.byte_len() as u64;
+                writer.put(chunk);
+            }
+        }
+        if let Err(e) = writer.end_step() {
+            writer.abandon();
+            return Err(stream_err(label, step, e));
+        }
         stats.record_step(step_start.elapsed(), Duration::ZERO, compute);
     }
     writer.close();
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -308,8 +429,8 @@ mod tests {
         })
         .unwrap();
 
-        let src_stats = producer.join().unwrap().remove(0);
-        let sink_stats = consumer.join().unwrap().remove(0);
+        let src_stats = producer.join().unwrap().remove(0).unwrap();
+        let sink_stats = consumer.join().unwrap().remove(0).unwrap();
         assert_eq!(src_stats.steps, 4);
         assert_eq!(src_stats.bytes_out, 4 * 24);
         assert_eq!(sink_stats.steps, 4);

@@ -36,7 +36,7 @@ use sb_data::{Buffer, Chunk, DataError, DataResult, Dim, Region, Shape, Variable
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Computes the output shape of a dim-reduce: `remove` dropped, `grow`
 /// multiplied by `remove`'s extent. Returns the shape and the index of the
@@ -283,7 +283,7 @@ impl Component for DimReduce {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "dim-reduce",

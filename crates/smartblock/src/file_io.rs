@@ -17,7 +17,8 @@ use sb_data::decompose::default_partition;
 use sb_data::{Chunk, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
-use crate::component::{run_sink, Component};
+use crate::component::{fault_gate, run_sink, Component, StepFault};
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// Drains an input stream to a container file (an endpoint component).
@@ -52,19 +53,25 @@ impl Component for FileWrite {
         vec![self.input.clone()]
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
+        let label = "file-write";
         let mut writer = if comm.rank() == 0 {
-            let file = std::fs::File::create(&self.path)
-                .unwrap_or_else(|e| panic!("file-write: cannot create {:?}: {e}", self.path));
-            Some(
-                ContainerWriter::new(std::io::BufWriter::new(file))
-                    .unwrap_or_else(|e| panic!("file-write: {e}")),
-            )
+            let open = (|| -> StepResult<_> {
+                let file =
+                    std::fs::File::create(&self.path).map_err(|e| sb_data::DataError::Io {
+                        detail: format!("cannot create {:?}: {e}", self.path),
+                    })?;
+                Ok(ContainerWriter::new(std::io::BufWriter::new(file))?)
+            })();
+            match open {
+                Ok(w) => Some(w),
+                Err(e) => return Err(ComponentError::from_step(label, 0, e)),
+            }
         } else {
             None
         };
         let stats = run_sink(
-            "file-write",
+            label,
             comm,
             hub,
             &self.input,
@@ -83,14 +90,21 @@ impl Component for FileWrite {
                 }
                 Ok((bytes_in, start.elapsed()))
             },
-        );
+        )?;
         if let Some(w) = writer {
-            let mut sink = w.finish().unwrap_or_else(|e| panic!("file-write: {e}"));
-            use std::io::Write;
-            sink.flush()
-                .unwrap_or_else(|e| panic!("file-write: flushing {:?}: {e}", self.path));
+            let flush = (|| -> StepResult<()> {
+                let mut sink = w.finish()?;
+                use std::io::Write;
+                sink.flush().map_err(|e| sb_data::DataError::Io {
+                    detail: format!("flushing {:?}: {e}", self.path),
+                })?;
+                Ok(())
+            })();
+            if let Err(e) = flush {
+                return Err(ComponentError::from_step(label, stats.steps, e));
+            }
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -130,45 +144,75 @@ impl Component for FileRead {
         vec![self.output.clone()]
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
-        let file = std::fs::File::open(&self.path)
-            .unwrap_or_else(|e| panic!("file-read: cannot open {:?}: {e}", self.path));
-        let mut container = ContainerReader::new(std::io::BufReader::new(file))
-            .unwrap_or_else(|e| panic!("file-read: {e}"));
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
+        let label = "file-read";
+        let rank = comm.rank();
+        let open = (|| -> StepResult<_> {
+            let file = std::fs::File::open(&self.path).map_err(|e| sb_data::DataError::Io {
+                detail: format!("cannot open {:?}: {e}", self.path),
+            })?;
+            Ok(ContainerReader::new(std::io::BufReader::new(file))?)
+        })();
+        let mut container = match open {
+            Ok(c) => c,
+            Err(e) => return Err(ComponentError::from_step(label, 0, e)),
+        };
         let mut writer =
             hub.open_writer(&self.output, comm.rank(), comm.size(), self.writer_options);
         let mut stats = ComponentStats::default();
         loop {
+            let step = writer.current_step();
+            let gate = match fault_gate(hub, label, rank, step) {
+                Ok(StepFault::Stall) => {
+                    writer.abandon();
+                    return Ok(stats);
+                }
+                Ok(g) => g,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(e);
+                }
+            };
             let start = Instant::now();
-            let vars = match container
-                .next_step()
-                .unwrap_or_else(|e| panic!("file-read: step {}: {e}", stats.steps))
-            {
+            let next = match container.next_step() {
+                Ok(n) => n,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(ComponentError::from_step(label, step, e.into()));
+                }
+            };
+            let vars = match next {
                 Some((_, vars)) => vars,
                 None => break,
             };
-            writer.begin_step();
-            for var in vars {
-                // Rank-0 (scalar) variables cannot be partitioned; only
-                // rank 0 replays them.
-                if var.shape.ndims() == 0 && comm.rank() != 0 {
-                    continue;
+            let io = (|| -> StepResult<()> {
+                writer.begin_step()?;
+                if gate != StepFault::DropChunk {
+                    for var in vars {
+                        // Rank-0 (scalar) variables cannot be partitioned;
+                        // only rank 0 replays them.
+                        if var.shape.ndims() == 0 && comm.rank() != 0 {
+                            continue;
+                        }
+                        let meta = VariableMeta::describing(&var);
+                        let region = default_partition(&var.shape, comm.size(), comm.rank());
+                        let local = var.extract(&region)?;
+                        let chunk = Chunk::new(meta, region, local.data)?;
+                        stats.bytes_out += chunk.byte_len() as u64;
+                        writer.put(chunk);
+                    }
                 }
-                let meta = VariableMeta::describing(&var);
-                let region = default_partition(&var.shape, comm.size(), comm.rank());
-                let local = var
-                    .extract(&region)
-                    .unwrap_or_else(|e| panic!("file-read: {e}"));
-                let chunk = Chunk::new(meta, region, local.data)
-                    .unwrap_or_else(|e| panic!("file-read: {e}"));
-                stats.bytes_out += chunk.byte_len() as u64;
-                writer.put(chunk);
+                writer.end_step()?;
+                Ok(())
+            })();
+            if let Err(e) = io {
+                writer.abandon();
+                return Err(ComponentError::from_step(label, step, e));
             }
-            writer.end_step();
             stats.record_step(start.elapsed(), Duration::ZERO, Duration::ZERO);
         }
         writer.close();
-        stats
+        Ok(stats)
     }
 }
 

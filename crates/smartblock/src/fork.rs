@@ -15,7 +15,8 @@ use sb_data::decompose::default_partition;
 use sb_data::Chunk;
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::Component;
+use crate::component::{fault_gate, stream_err, Component, StepFault};
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// The Fork workflow component.
@@ -81,7 +82,7 @@ impl Component for Fork {
         })
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         let mut reader = hub.open_reader_grouped(&self.input, "fork", comm.rank(), comm.size());
         let mut writers: Vec<_> = self
             .outputs
@@ -89,57 +90,89 @@ impl Component for Fork {
             .map(|name| hub.open_writer(name, comm.rank(), comm.size(), self.writer_options))
             .collect();
         let mut stats = ComponentStats::default();
+        let label = "fork";
+        let rank = comm.rank();
         loop {
+            let step = reader.current_step();
+            let gate = match fault_gate(hub, label, rank, step) {
+                Ok(StepFault::Stall) => {
+                    for w in &mut writers {
+                        w.abandon();
+                    }
+                    return Ok(stats);
+                }
+                Ok(g) => g,
+                Err(e) => {
+                    for w in &mut writers {
+                        w.abandon();
+                    }
+                    return Err(e);
+                }
+            };
             let step_start = Instant::now();
             match reader.begin_step() {
-                StepStatus::EndOfStream => break,
-                StepStatus::Ready(_) => {}
+                Ok(StepStatus::EndOfStream) => break,
+                Ok(StepStatus::Ready(_)) => {}
+                Err(e) => {
+                    for w in &mut writers {
+                        w.abandon();
+                    }
+                    return Err(stream_err(label, step, e));
+                }
             }
             let wait = step_start.elapsed();
             // Read this rank's partition of every variable once, then put
             // it to every output.
-            let mut chunks: Vec<Chunk> = Vec::new();
-            for name in reader.variables() {
-                let meta = reader
-                    .meta(&name)
-                    .expect("listed variable has meta")
-                    .clone();
-                let region = default_partition(&meta.shape, comm.size(), comm.rank());
-                let var = reader
-                    .get(&name, &region)
-                    .unwrap_or_else(|e| panic!("fork: reading {name:?}: {e}"));
-                stats.bytes_in += var.byte_len() as u64;
-                chunks.push(
-                    Chunk::new(meta, region, var.data).expect("partition chunk is consistent"),
-                );
-            }
-            reader.end_step();
-            // Stage every output before committing any: a downstream join
-            // reading two branches then sees both sides of a step as soon
-            // as the last end_step lands, instead of depending on the
-            // branch order above. (A rendezvous-mode Fork feeding a join is
-            // still a cyclic wait — use buffered options for fan-out.)
-            for w in writers.iter_mut() {
-                w.begin_step();
-                for c in &chunks {
-                    // Rank-0 (scalar) variables cannot be partitioned; only
-                    // rank 0 contributes them.
-                    if c.region.ndims() == 0 && comm.rank() != 0 {
+            let body = (|| -> StepResult<()> {
+                let mut chunks: Vec<Chunk> = Vec::new();
+                for name in reader.variables() {
+                    let meta = reader
+                        .meta(&name)
+                        .expect("listed variable has meta")
+                        .clone();
+                    let region = default_partition(&meta.shape, comm.size(), comm.rank());
+                    let var = reader.get(&name, &region)?;
+                    stats.bytes_in += var.byte_len() as u64;
+                    chunks.push(Chunk::new(meta, region, var.data)?);
+                }
+                reader.end_step();
+                // Stage every output before committing any: a downstream join
+                // reading two branches then sees both sides of a step as soon
+                // as the last end_step lands, instead of depending on the
+                // branch order above. (A rendezvous-mode Fork feeding a join is
+                // still a cyclic wait — use buffered options for fan-out.)
+                for w in writers.iter_mut() {
+                    w.begin_step()?;
+                    if gate == StepFault::DropChunk {
                         continue;
                     }
-                    stats.bytes_out += c.byte_len() as u64;
-                    w.put(c.clone());
+                    for c in &chunks {
+                        // Rank-0 (scalar) variables cannot be partitioned; only
+                        // rank 0 contributes them.
+                        if c.region.ndims() == 0 && comm.rank() != 0 {
+                            continue;
+                        }
+                        stats.bytes_out += c.byte_len() as u64;
+                        w.put(c.clone());
+                    }
                 }
-            }
-            for w in writers.iter_mut() {
-                w.end_step();
+                for w in writers.iter_mut() {
+                    w.end_step()?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = body {
+                for w in &mut writers {
+                    w.abandon();
+                }
+                return Err(ComponentError::from_step(label, step, e));
             }
             stats.record_step(step_start.elapsed(), wait, Duration::ZERO);
         }
         for mut w in writers {
             w.close();
         }
-        stats
+        Ok(stats)
     }
 }
 

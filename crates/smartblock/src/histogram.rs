@@ -27,7 +27,7 @@ use sb_data::{AttrValue, Buffer, DataError, DataResult, Region, Shape, Variable}
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_sink, Component, StreamArray};
-use crate::metrics::ComponentStats;
+use crate::error::{ComponentError, ComponentResult};
 
 /// One timestep's histogram.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,7 +228,7 @@ impl Component for Histogram {
         )
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         let mut writer = self
             .output_stream
             .as_ref()
@@ -237,10 +237,21 @@ impl Component for Histogram {
         // of the same workflow starts a fresh file instead of accumulating
         // histograms from previous runs.
         let mut file = match (&self.output_file, comm.rank()) {
-            (Some(path), 0) => Some(
-                std::fs::File::create(path)
-                    .unwrap_or_else(|e| panic!("histogram: cannot open {path:?}: {e}")),
-            ),
+            (Some(path), 0) => match std::fs::File::create(path) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    if let Some(mut w) = writer {
+                        w.abandon();
+                    }
+                    return Err(ComponentError::Data {
+                        label: "histogram".into(),
+                        step: 0,
+                        source: DataError::Io {
+                            detail: format!("cannot open {path:?}: {e}"),
+                        },
+                    });
+                }
+            },
             _ => None,
         };
 
@@ -262,7 +273,8 @@ impl Component for Histogram {
                             "histogram expects 1-d input, stream carries rank {}",
                             meta.shape.ndims()
                         ),
-                    });
+                    }
+                    .into());
                 }
                 let n = meta.shape.size(0);
                 let (off, count) = split_1d_part(n, comm.size(), comm.rank());
@@ -321,24 +333,34 @@ impl Component for Histogram {
                             Shape::linear("edges", nb + 1),
                             Buffer::F64(edges),
                         )?;
-                        w.begin_step();
+                        w.begin_step()?;
                         w.put_whole(counts_var);
                         w.put_whole(edges_var);
-                        w.end_step();
+                        w.end_step()?;
                     }
                     self.results.lock().push(result);
                 } else if let Some(w) = writer.as_mut() {
                     // Non-root ranks pace the output stream without contributing.
-                    w.begin_step();
-                    w.end_step();
+                    w.begin_step()?;
+                    w.end_step()?;
                 }
                 Ok((bytes_in, compute))
             },
         );
-        if let Some(mut w) = writer {
-            w.close();
+        match stats {
+            Ok(s) => {
+                if let Some(mut w) = writer {
+                    w.close();
+                }
+                Ok(s)
+            }
+            Err(e) => {
+                if let Some(mut w) = writer {
+                    w.abandon();
+                }
+                Err(e)
+            }
         }
-        stats
     }
 }
 

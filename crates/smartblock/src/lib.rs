@@ -50,9 +50,19 @@
 //!     let counts = &vars["counts"];
 //!     assert_eq!(counts.data.to_f64_vec().iter().sum::<f64>(), 8.0, "step {step}");
 //! });
-//! let report = wf.run().unwrap();
+//! let report = wf.run_with(RunOptions::default()).unwrap();
 //! assert_eq!(report.component("histogram").unwrap().stats.steps, 3);
 //! ```
+//!
+//! ## Failure semantics
+//!
+//! [`Component::run`] is fallible: a stalled peer or malformed input is a
+//! typed [`ComponentError`], never a panic-on-timeout. The workflow
+//! supervisor behind [`Workflow::run_with`] applies a per-component
+//! [`FaultPolicy`] — abort the workflow, restart with backoff, or degrade
+//! by closing the component's outputs so downstream sees a clean
+//! end-of-stream. The [`sb_stream::faults`] module injects deterministic,
+//! seeded faults for chaos testing.
 
 pub mod all_in_one;
 pub mod all_pairs;
@@ -60,6 +70,7 @@ pub mod analysis;
 pub mod combine;
 pub mod component;
 pub mod dim_reduce;
+pub mod error;
 pub mod file_io;
 pub mod fork;
 pub mod histogram;
@@ -70,6 +81,7 @@ pub mod reduce;
 pub mod runtime;
 pub mod select;
 pub mod stats;
+pub mod supervisor;
 pub mod temporal;
 pub mod threshold;
 pub mod transpose;
@@ -82,29 +94,40 @@ pub use analysis::{
     SpecError, StreamSpec,
 };
 pub use combine::{BinaryOp, Combine};
-pub use component::{Component, StreamArray};
+pub use component::{Component, StepFault, StreamArray};
 pub use dim_reduce::DimReduce;
+pub use error::{ComponentError, ComponentResult, StepError, StepResult, WorkflowError};
 pub use file_io::{FileRead, FileWrite};
 pub use fork::Fork;
 pub use histogram::{Histogram, HistogramResult};
 pub use launch::{parse_script, LaunchEntry, Program};
 pub use magnitude::Magnitude;
-pub use metrics::{ComponentReport, ComponentStats, WorkflowReport};
+pub use metrics::{ComponentOutcome, ComponentReport, ComponentStats, WorkflowReport};
 pub use reduce::{Reduce, ReduceOp};
 pub use runtime::{WiringIssue, Workflow};
 pub use select::Select;
 pub use stats::Stats;
+pub use supervisor::{FailureAction, FaultPolicy, RunOptions, Validation};
 pub use temporal::TemporalMean;
 pub use threshold::{Predicate, Threshold};
 pub use transpose::Transpose;
 
-/// Everything needed to assemble and run a workflow.
+/// Everything needed to assemble, supervise, and run a workflow: the
+/// workflow and component surfaces, the kernel components, the run options
+/// and fault policies, the error taxonomy, and the stream-transport types
+/// workflows touch directly.
 pub mod prelude {
     pub use crate::analysis::{AnalysisIssue, Severity};
     pub use crate::component::{Component, StreamArray};
-    pub use crate::runtime::Workflow;
+    pub use crate::runtime::{WiringIssue, Workflow};
     pub use crate::{
         AllInOne, AllPairs, BinaryOp, Combine, DimReduce, FileRead, FileWrite, Fork, Histogram,
         Magnitude, Predicate, Reduce, ReduceOp, Select, Stats, TemporalMean, Threshold, Transpose,
     };
+    pub use crate::{
+        ComponentError, ComponentOutcome, ComponentReport, ComponentResult, ComponentStats,
+        FailureAction, FaultPolicy, HistogramResult, RunOptions, StepError, StepResult, Validation,
+        WorkflowError, WorkflowReport,
+    };
+    pub use sb_stream::{FaultKind, FaultPlan, StepStatus, StreamError, StreamHub, WriterOptions};
 }

@@ -15,7 +15,7 @@ use sb_data::{Buffer, Chunk, DType, DataError, DataResult, Region, Shape, Variab
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Computes the Euclidean magnitude of each row vector of a 2-d array.
 ///
@@ -137,7 +137,7 @@ impl Component for Magnitude {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "magnitude",
@@ -161,7 +161,8 @@ impl Component for Magnitude {
                             "magnitude expects 2-d input, stream carries rank {}",
                             meta.shape.ndims()
                         ),
-                    });
+                    }
+                    .into());
                 }
                 // Partition the points dimension; every rank reads whole rows.
                 let n = meta.shape.size(0);

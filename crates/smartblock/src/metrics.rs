@@ -7,6 +7,35 @@ use std::time::Duration;
 
 use sb_stream::StreamMetrics;
 
+use crate::error::ComponentError;
+
+/// How a supervised component finished.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ComponentOutcome {
+    /// Every rank returned cleanly (possibly after restarts — see
+    /// [`ComponentReport::attempts`]).
+    #[default]
+    Completed,
+    /// The component failed and its policy degraded it: outputs were closed
+    /// cleanly and the rest of the workflow finished without it.
+    Degraded {
+        /// The failure that triggered the degradation.
+        error: ComponentError,
+    },
+    /// The component failed fatally (abort policy or exhausted restarts).
+    Failed {
+        /// The failure of the final attempt.
+        error: ComponentError,
+    },
+}
+
+impl ComponentOutcome {
+    /// True for [`ComponentOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ComponentOutcome::Completed)
+    }
+}
+
 /// One rank's accounting over a component run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ComponentStats {
@@ -54,6 +83,10 @@ pub struct ComponentReport {
     pub per_rank: Vec<ComponentStats>,
     /// Communicator-wide aggregate (sums of bytes, rank-mean times).
     pub stats: ComponentStats,
+    /// Times the supervisor attempted the component (1 = no restarts).
+    pub attempts: u32,
+    /// How the component finished under supervision.
+    pub outcome: ComponentOutcome,
 }
 
 impl ComponentReport {
@@ -87,7 +120,21 @@ impl ComponentReport {
             nranks,
             per_rank,
             stats: agg,
+            attempts: 1,
+            outcome: ComponentOutcome::Completed,
         }
+    }
+
+    /// Attaches the supervisor's accounting (builder style).
+    pub fn with_supervision(mut self, attempts: u32, outcome: ComponentOutcome) -> ComponentReport {
+        self.attempts = attempts;
+        self.outcome = outcome;
+        self
+    }
+
+    /// Restarts the supervisor performed (attempts beyond the first).
+    pub fn restarts(&self) -> u32 {
+        self.attempts.saturating_sub(1)
     }
 
     /// Per-process input throughput for one step, in KB/s — the metric of
@@ -124,6 +171,20 @@ impl WorkflowReport {
     /// Total ranks across all components.
     pub fn total_ranks(&self) -> usize {
         self.components.iter().map(|c| c.nranks).sum()
+    }
+
+    /// Total restarts the supervisor performed across all components.
+    pub fn restarts(&self) -> u32 {
+        self.components.iter().map(|c| c.restarts()).sum()
+    }
+
+    /// Labels of components that finished degraded, in launch order.
+    pub fn degraded(&self) -> Vec<&str> {
+        self.components
+            .iter()
+            .filter(|c| matches!(c.outcome, ComponentOutcome::Degraded { .. }))
+            .map(|c| c.label.as_str())
+            .collect()
     }
 
     /// End-to-end per-process throughput in KB/s: total bytes produced by
@@ -176,6 +237,13 @@ impl WorkflowReport {
             &rows,
         ));
         out.push('\n');
+        let restarts = self.restarts();
+        let degraded = self.degraded();
+        if restarts > 0 || !degraded.is_empty() {
+            out.push_str(&format!(
+                "supervision: {restarts} restart(s), degraded components: {degraded:?}\n\n"
+            ));
+        }
         let rows: Vec<Vec<String>> = self
             .streams
             .iter()

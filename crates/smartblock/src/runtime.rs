@@ -10,14 +10,16 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sb_comm::{CommResult, Communicator, LaunchHandle};
+use sb_comm::{CommError, CommResult, Communicator};
 use sb_data::decompose::default_partition;
 use sb_data::{Chunk, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::analysis::{self, AnalysisIssue, EntryView, Severity};
 use crate::component::Component;
-use crate::metrics::{ComponentReport, ComponentStats, WorkflowReport};
+use crate::error::{ComponentResult, WorkflowError};
+use crate::metrics::{ComponentReport, WorkflowReport};
+use crate::supervisor::{supervise, FaultPolicy, RunOptions, Supervision, Validation};
 
 /// An ad-hoc source component built from a closure; every rank calls the
 /// closure identically and contributes its partition of the produced
@@ -40,7 +42,7 @@ where
         vec![self.stream.clone()]
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         crate::component::run_source(
             &self.label,
             comm,
@@ -90,7 +92,7 @@ where
         vec![(self.stream.clone(), self.label.clone())]
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         crate::component::run_sink(
             &self.label,
             comm,
@@ -197,6 +199,8 @@ struct Entry {
 pub struct Workflow {
     hub: Arc<StreamHub>,
     entries: Vec<Entry>,
+    /// Per-component fault-policy overrides, by label.
+    policies: BTreeMap<String, FaultPolicy>,
 }
 
 impl Default for Workflow {
@@ -217,6 +221,7 @@ impl Workflow {
         Workflow {
             hub,
             entries: Vec::new(),
+            policies: BTreeMap::new(),
         }
     }
 
@@ -323,6 +328,14 @@ impl Workflow {
         self.entries.iter().map(|e| e.label.as_str()).collect()
     }
 
+    /// Overrides the fault policy for the component labelled `label`
+    /// (components without an override use the policy in
+    /// [`RunOptions::fault_policy`]).
+    pub fn set_fault_policy(&mut self, label: impl Into<String>, policy: FaultPolicy) -> &mut Self {
+        self.policies.insert(label.into(), policy);
+        self
+    }
+
     /// Static workflow analysis: wiring diagnostics (dangling or contested
     /// streams and reader groups), subscription-cycle detection, and
     /// [`ArraySpec`](crate::analysis::ArraySpec) propagation through every
@@ -350,57 +363,96 @@ impl Workflow {
     }
 
     /// Launches every component simultaneously (each rank on its own
-    /// thread) and blocks until all of them finish, returning the paper's
-    /// end-to-end measurements.
+    /// thread) under supervision and blocks until all of them finish,
+    /// returning the paper's end-to-end measurements.
     ///
-    /// Fails fast — without launching anything — when [`validate`]
-    /// (Workflow::validate) finds any [`Severity::Error`] issue, since
-    /// those workflows provably deadlock or panic; [`run_unchecked`]
-    /// (Workflow::run_unchecked) skips the gate. A panicking component
-    /// surfaces as an error; its peers unblock via the hub's deadlock
-    /// timeout.
-    pub fn run(self) -> CommResult<WorkflowReport> {
-        let fatal: Vec<String> = self
-            .validate()
-            .into_iter()
-            .filter(|i| i.severity() == Severity::Error)
-            .map(|i| i.to_string())
-            .collect();
-        if !fatal.is_empty() {
-            return Err(sb_comm::CommError::InvalidWorkflow { issues: fatal });
+    /// `options` controls static validation ([`Validation`]), the default
+    /// per-component [`FaultPolicy`] (override individual components with
+    /// [`Workflow::set_fault_policy`]), and an optional hub-timeout
+    /// override. Under the default options this behaves like the old
+    /// `run()`: fail fast on fatal validation issues, abort the workflow on
+    /// the first component failure — but the failure arrives as a typed
+    /// [`WorkflowError`] and blocked peers are poisoned instead of left to
+    /// time out.
+    // The error carries the full failure context by value; a workflow
+    // returns once per run, so the large-variant cost is irrelevant and
+    // boxing would only hurt callers' pattern matching.
+    #[allow(clippy::result_large_err)]
+    pub fn run_with(self, options: RunOptions) -> Result<WorkflowReport, WorkflowError> {
+        if options.validation == Validation::FailFast {
+            let fatal: Vec<String> = self
+                .validate()
+                .into_iter()
+                .filter(|i| i.severity() == Severity::Error)
+                .map(|i| i.to_string())
+                .collect();
+            if !fatal.is_empty() {
+                return Err(WorkflowError::Invalid { issues: fatal });
+            }
         }
-        self.run_unchecked()
-    }
-
-    /// [`run`](Workflow::run) without the fail-fast validation gate: the
-    /// escape hatch for workflows the static analysis cannot see through
-    /// (or for demonstrating that a predicted deadlock is real — the
-    /// workflow then only unblocks via the hub's timeout).
-    pub fn run_unchecked(self) -> CommResult<WorkflowReport> {
+        let Workflow {
+            hub,
+            entries,
+            policies,
+        } = self;
+        if let Some(timeout) = options.hub_timeout {
+            hub.set_wait_timeout(timeout);
+        }
         let start = Instant::now();
-        let handles: Vec<(String, LaunchHandle<ComponentStats>)> = self
-            .entries
+        let sup = Arc::new(Supervision::new(Arc::clone(&hub)));
+        let supervisors: Vec<std::thread::JoinHandle<ComponentReport>> = entries
             .into_iter()
             .map(|entry| {
-                let hub = Arc::clone(&self.hub);
-                let component = entry.component;
-                let handle = LaunchHandle::spawn(&entry.label, entry.nranks, move |comm| {
-                    component.run(&comm, &hub)
-                })?;
-                Ok((entry.label, handle))
+                let policy = policies
+                    .get(&entry.label)
+                    .cloned()
+                    .unwrap_or_else(|| options.fault_policy.clone());
+                let sup = Arc::clone(&sup);
+                std::thread::Builder::new()
+                    .name(format!("supervisor/{}", entry.label))
+                    .spawn(move || {
+                        supervise(&entry.label, entry.nranks, entry.component, &policy, &sup)
+                    })
+                    .expect("spawning a supervisor thread")
             })
-            .collect::<CommResult<_>>()?;
-
-        let mut components = Vec::with_capacity(handles.len());
-        for (label, handle) in handles {
-            let per_rank = handle.join()?;
-            components.push(ComponentReport::from_ranks(label, per_rank));
+            .collect();
+        let components: Vec<ComponentReport> = supervisors
+            .into_iter()
+            .map(|h| h.join().expect("a supervisor thread panicked"))
+            .collect();
+        if let Some((label, attempts, error)) = sup.take_first_failure() {
+            return Err(WorkflowError::ComponentFailed {
+                label,
+                attempts,
+                error,
+            });
         }
         Ok(WorkflowReport {
             elapsed: start.elapsed(),
             components,
-            streams: self.hub.all_metrics(),
+            streams: hub.all_metrics(),
         })
+    }
+
+    /// Deprecated alias for `run_with(RunOptions::default())`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run_with(RunOptions::default()) and match on WorkflowError"
+    )]
+    pub fn run(self) -> CommResult<WorkflowReport> {
+        self.run_with(RunOptions::default())
+            .map_err(CommError::from)
+    }
+
+    /// Deprecated alias for
+    /// `run_with(RunOptions::new().with_validation(Validation::Skip))`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run_with(RunOptions::new().with_validation(Validation::Skip))"
+    )]
+    pub fn run_unchecked(self) -> CommResult<WorkflowReport> {
+        self.run_with(RunOptions::new().with_validation(Validation::Skip))
+            .map_err(CommError::from)
     }
 }
 
@@ -429,7 +481,7 @@ mod tests {
             assert_eq!(v.data.get_f64(3), (3 + step) as f64);
             seen2.fetch_add(1, Ordering::SeqCst);
         });
-        let report = wf.run().unwrap();
+        let report = wf.run_with(RunOptions::default()).unwrap();
         assert_eq!(seen.load(Ordering::SeqCst), 5);
         assert_eq!(report.component("gen").unwrap().stats.steps, 5);
         assert_eq!(report.component("check").unwrap().stats.steps, 5);
@@ -503,16 +555,46 @@ mod tests {
     }
 
     #[test]
-    fn failing_component_surfaces_as_error() {
+    fn failing_component_surfaces_as_typed_error() {
         let hub = StreamHub::with_timeout(Duration::from_millis(200));
         let mut wf = Workflow::with_hub(hub);
         wf.add_source("gen", 1, "w.fp", |step| {
             (step < 1).then(|| counter_variable(step, 4))
         });
-        // The sink asks for a variable that does not exist -> panic.
+        // The sink asks for a variable that does not exist -> data error.
         wf.add(1, crate::Histogram::new(("w.fp", "missing"), 4));
-        let err = wf.run().unwrap_err();
-        let msg = err.to_string();
+        let err = wf.run_with(RunOptions::default()).unwrap_err();
+        match &err {
+            WorkflowError::ComponentFailed {
+                label,
+                attempts,
+                error,
+            } => {
+                assert_eq!(label, "histogram");
+                assert_eq!(*attempts, 1);
+                assert!(
+                    matches!(error, crate::ComponentError::Data { .. }),
+                    "unexpected error: {error:?}"
+                );
+            }
+            other => panic!("expected ComponentFailed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_wrapper_keeps_comm_error_contract() {
+        // The thin `run()` compatibility wrapper must keep reporting
+        // component failures as CommError with "panicked" in the message,
+        // the contract pre-supervisor callers relied on.
+        let hub = StreamHub::with_timeout(Duration::from_millis(200));
+        let mut wf = Workflow::with_hub(hub);
+        wf.add_source("gen", 1, "w.fp", |step| {
+            (step < 1).then(|| counter_variable(step, 4))
+        });
+        wf.add(1, crate::Histogram::new(("w.fp", "missing"), 4));
+        let msg = wf.run().unwrap_err().to_string();
         assert!(msg.contains("panicked"), "unexpected error: {msg}");
     }
 }

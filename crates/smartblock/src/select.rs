@@ -22,7 +22,7 @@ use sb_data::{Buffer, Chunk, DataError, DataResult, Region, Variable, VariableMe
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Gathers the rows `indices` of dimension `dim` from `var`, in the order
 /// given, producing a variable whose `dim` has size `indices.len()`.
@@ -170,7 +170,7 @@ impl Component for Select {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "select",

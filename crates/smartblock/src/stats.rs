@@ -16,7 +16,7 @@ use sb_data::{Buffer, Chunk, DataError, Region, Shape, Variable, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Partial sums that combine associatively across ranks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +148,7 @@ impl Component for Stats {
         })
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "stats",

@@ -17,7 +17,8 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, VariableMeta};
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::{Component, StreamArray};
+use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// Per-rank moving-average state: ring of past partitions plus a running
@@ -153,7 +154,7 @@ impl Component for TemporalMean {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         let mut reader = hub.open_reader_grouped(
             &self.input.stream,
             &self.reader_group,
@@ -168,23 +169,49 @@ impl Component for TemporalMean {
         );
         let mut stats = ComponentStats::default();
         let mut state = MovingMean::new(self.window);
+        let label = "temporal-mean";
+        let rank = comm.rank();
         loop {
+            let step = reader.current_step();
+            let gate = match fault_gate(hub, label, rank, step) {
+                Ok(StepFault::Stall) => {
+                    writer.abandon();
+                    return Ok(stats);
+                }
+                Ok(g) => g,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(e);
+                }
+            };
             let step_start = Instant::now();
             match reader.begin_step() {
-                StepStatus::EndOfStream => break,
-                StepStatus::Ready(_) => {}
+                Ok(StepStatus::EndOfStream) => break,
+                Ok(StepStatus::Ready(_)) => {}
+                Err(e) => {
+                    writer.abandon();
+                    return Err(stream_err(label, step, e));
+                }
             }
             let wait = step_start.elapsed();
-            let meta = reader
-                .meta(&self.input.array)
-                .unwrap_or_else(|| {
-                    panic!("temporal-mean: no array {:?} in stream", self.input.array)
-                })
-                .clone();
-            let region = default_partition(&meta.shape, comm.size(), comm.rank());
-            let var = reader
-                .get(&self.input.array, &region)
-                .unwrap_or_else(|e| panic!("temporal-mean: {e}"));
+            let read = (|| -> StepResult<_> {
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| sb_data::DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?
+                    .clone();
+                let region = default_partition(&meta.shape, comm.size(), comm.rank());
+                let var = reader.get(&self.input.array, &region)?;
+                Ok((meta, region, var))
+            })();
+            let (meta, region, var) = match read {
+                Ok(v) => v,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(ComponentError::from_step(label, step, e));
+                }
+            };
             reader.end_step();
             stats.bytes_in += var.byte_len() as u64;
 
@@ -196,16 +223,24 @@ impl Component for TemporalMean {
                 VariableMeta::new(self.output.array.clone(), meta.shape.clone(), DType::F64);
             out_meta.labels = meta.labels.clone();
             out_meta.attrs = meta.attrs.clone();
-            let chunk = Chunk::new(out_meta, region, Buffer::F64(mean))
-                .expect("temporal-mean chunk is consistent");
-            stats.bytes_out += chunk.byte_len() as u64;
-            writer.begin_step();
-            writer.put(chunk);
-            writer.end_step();
+            if let Err(e) = writer.begin_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
+            if gate != StepFault::DropChunk {
+                let chunk = Chunk::new(out_meta, region, Buffer::F64(mean))
+                    .expect("temporal-mean chunk is consistent");
+                stats.bytes_out += chunk.byte_len() as u64;
+                writer.put(chunk);
+            }
+            if let Err(e) = writer.end_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
             stats.record_step(step_start.elapsed(), wait, compute);
         }
         writer.close();
-        stats
+        Ok(stats)
     }
 }
 

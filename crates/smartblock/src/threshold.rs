@@ -15,7 +15,8 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, Region, Shape, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
-use crate::component::{Component, StreamArray};
+use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
 /// The comparison a value must satisfy to survive.
@@ -152,7 +153,7 @@ impl Component for Threshold {
         )
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         // Threshold emits two variables per step (values + indices), so it
         // runs its own step loop instead of the single-chunk transform
         // helper.
@@ -169,21 +170,49 @@ impl Component for Threshold {
             self.writer_options,
         );
         let mut stats = ComponentStats::default();
+        let label = "threshold";
+        let rank = comm.rank();
         loop {
+            let step = reader.current_step();
+            let gate = match fault_gate(hub, label, rank, step) {
+                Ok(StepFault::Stall) => {
+                    writer.abandon();
+                    return Ok(stats);
+                }
+                Ok(g) => g,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(e);
+                }
+            };
             let step_start = Instant::now();
             match reader.begin_step() {
-                sb_stream::StepStatus::EndOfStream => break,
-                sb_stream::StepStatus::Ready(_) => {}
+                Ok(sb_stream::StepStatus::EndOfStream) => break,
+                Ok(sb_stream::StepStatus::Ready(_)) => {}
+                Err(e) => {
+                    writer.abandon();
+                    return Err(stream_err(label, step, e));
+                }
             }
             let wait = step_start.elapsed();
-            let meta = reader
-                .meta(&self.input.array)
-                .unwrap_or_else(|| panic!("threshold: no array {:?} in stream", self.input.array))
-                .clone();
-            let region = default_partition(&meta.shape, comm.size(), comm.rank());
-            let var = reader
-                .get(&self.input.array, &region)
-                .unwrap_or_else(|e| panic!("threshold: {e}"));
+            let read = (|| -> StepResult<_> {
+                let meta = reader
+                    .meta(&self.input.array)
+                    .ok_or_else(|| sb_data::DataError::Container {
+                        detail: format!("no array {:?} in stream", self.input.array),
+                    })?
+                    .clone();
+                let region = default_partition(&meta.shape, comm.size(), comm.rank());
+                let var = reader.get(&self.input.array, &region)?;
+                Ok((meta, region, var))
+            })();
+            let (meta, region, var) = match read {
+                Ok(v) => v,
+                Err(e) => {
+                    writer.abandon();
+                    return Err(ComponentError::from_step(label, step, e));
+                }
+            };
             reader.end_step();
             stats.bytes_in += var.byte_len() as u64;
 
@@ -219,19 +248,27 @@ impl Component for Threshold {
                 sb_data::DType::U64,
             );
             let out_region = Region::new(vec![my_off as usize], vec![local_n as usize]);
-            writer.begin_step();
-            let values_chunk = Chunk::new(values_meta, out_region.clone(), Buffer::F64(kept))
-                .expect("threshold values chunk is consistent");
-            let indices_chunk = Chunk::new(indices_meta, out_region, Buffer::U64(indices))
-                .expect("threshold indices chunk is consistent");
-            stats.bytes_out += (values_chunk.byte_len() + indices_chunk.byte_len()) as u64;
-            writer.put(values_chunk);
-            writer.put(indices_chunk);
-            writer.end_step();
+            if let Err(e) = writer.begin_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
+            if gate != StepFault::DropChunk {
+                let values_chunk = Chunk::new(values_meta, out_region.clone(), Buffer::F64(kept))
+                    .expect("threshold values chunk is consistent");
+                let indices_chunk = Chunk::new(indices_meta, out_region, Buffer::U64(indices))
+                    .expect("threshold indices chunk is consistent");
+                stats.bytes_out += (values_chunk.byte_len() + indices_chunk.byte_len()) as u64;
+                writer.put(values_chunk);
+                writer.put(indices_chunk);
+            }
+            if let Err(e) = writer.end_step() {
+                writer.abandon();
+                return Err(stream_err(label, step, e));
+            }
             stats.record_step(step_start.elapsed(), wait, compute);
         }
         writer.close();
-        stats
+        Ok(stats)
     }
 }
 

@@ -18,7 +18,7 @@ use sb_data::{Buffer, Chunk, DataError, DataResult, Dim, Region, Shape, Variable
 use sb_stream::{StreamHub, WriterOptions};
 
 use crate::component::{run_transform, Component, StepOutput, StreamArray, TransformSpec};
-use crate::metrics::ComponentStats;
+use crate::error::ComponentResult;
 
 /// Validates that `perm` is a permutation of `0..ndims`.
 pub fn check_permutation(perm: &[usize], ndims: usize) -> DataResult<()> {
@@ -218,7 +218,7 @@ impl Component for Transpose {
         }
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         run_transform(
             TransformSpec {
                 label: "transpose",

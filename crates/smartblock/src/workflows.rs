@@ -20,7 +20,8 @@ use sb_comm::Communicator;
 use sb_sims::{drive, GromacsConfig, GromacsSim, GtcpConfig, GtcpSim, LammpsConfig, LammpsSim};
 use sb_stream::{StreamHub, WriterOptions};
 
-use crate::component::Component;
+use crate::component::{stream_err, Component};
+use crate::error::ComponentResult;
 use crate::histogram::HistogramResult;
 use crate::launch::{parse_script, LaunchEntry, LaunchError, Program, SimCode};
 use crate::metrics::ComponentStats;
@@ -37,7 +38,7 @@ impl Component for Box<dyn Component> {
         (**self).label()
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         (**self).run(comm, hub)
     }
 
@@ -180,7 +181,7 @@ impl Component for Simulation {
         Signature::new(Vec::new(), move |_ins| Ok(vec![out.clone()]))
     }
 
-    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentStats {
+    fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
         let io_steps = self.get("steps", 5) as u64;
         let substeps = self.get("interval", 10) as u64;
         let mut writer =
@@ -226,14 +227,19 @@ impl Component for Simulation {
                 drive(&mut sim, comm, Some(&mut writer), io_steps, substeps)
             }
         };
-        ComponentStats {
+        let stats = match stats {
+            Ok(s) => s,
+            // `drive` has already abandoned the writer on this path.
+            Err(e) => return Err(stream_err(&self.label(), writer.current_step(), e)),
+        };
+        Ok(ComponentStats {
             steps: stats.io_steps,
             bytes_in: 0,
             bytes_out: stats.bytes_output,
             step_times: Vec::new(),
             wait_time: stats.io_time,
             compute_time: stats.compute_time,
-        }
+        })
     }
 }
 

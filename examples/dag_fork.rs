@@ -52,7 +52,7 @@ fn main() {
         }
     });
 
-    let report = wf.run().expect("workflow run");
+    let report = wf.run_with(RunOptions::default()).expect("workflow run");
     if let Some(last) = hist_results.lock().last() {
         println!("\n{}", render_histogram("spread (branch A)", last));
     }

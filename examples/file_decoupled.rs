@@ -29,7 +29,7 @@ fn main() {
             .param("interval", 10),
     );
     phase1.add(1, FileWrite::new("dump.custom.fp", &container));
-    let r1 = phase1.run().expect("phase 1");
+    let r1 = phase1.run_with(RunOptions::default()).expect("phase 1");
     println!(
         "  persisted {} steps in {:.3}s\n",
         r1.component("file-write").unwrap().stats.steps,
@@ -53,7 +53,7 @@ fn main() {
     let hist = Histogram::new(("mag.fp", "speed"), 16);
     let results = hist.results_handle();
     phase2.add(1, hist);
-    let r2 = phase2.run().expect("phase 2");
+    let r2 = phase2.run_with(RunOptions::default()).expect("phase 2");
 
     for r in results.lock().iter() {
         println!("\n{}", render_histogram("replayed velocity magnitudes", r));

@@ -9,6 +9,7 @@
 //! Run with: `cargo run --release -p sb-examples --bin gromacs_spread`
 
 use sb_examples::render_histogram;
+use smartblock::prelude::*;
 use smartblock::workflows::{gromacs_workflow, PresetScale};
 
 fn main() {
@@ -25,7 +26,9 @@ fn main() {
 
     println!("assembling: gromacs -> magnitude -> histogram");
     let (workflow, results) = gromacs_workflow(&scale);
-    let report = workflow.run().expect("workflow run");
+    let report = workflow
+        .run_with(RunOptions::default())
+        .expect("workflow run");
 
     println!("spread of the atom cloud over time:");
     for r in results.lock().iter() {

@@ -9,6 +9,7 @@
 //! Run with: `cargo run --release -p sb-examples --bin gtcp_pressure`
 
 use sb_examples::render_histogram;
+use smartblock::prelude::*;
 use smartblock::workflows::{gtcp_workflow, PresetScale};
 
 fn main() {
@@ -27,7 +28,9 @@ fn main() {
     let (workflow, results) = gtcp_workflow(&scale);
     println!("components: {:?}", workflow.labels());
 
-    let report = workflow.run().expect("workflow run");
+    let report = workflow
+        .run_with(RunOptions::default())
+        .expect("workflow run");
 
     for r in results.lock().iter() {
         println!("\n{}", render_histogram("perpendicular pressure", r));

@@ -8,6 +8,7 @@
 //!
 //! Run with: `cargo run --release -p sb-examples --bin launch_script`
 
+use smartblock::prelude::*;
 use smartblock::workflows::script_to_workflow;
 
 const SCRIPT: &str = r#"
@@ -27,7 +28,9 @@ fn main() {
     let workflow = script_to_workflow(SCRIPT).expect("script parses");
     println!("parsed components: {:?}", workflow.labels());
 
-    let report = workflow.run().expect("workflow run");
+    let report = workflow
+        .run_with(RunOptions::default())
+        .expect("workflow run");
 
     println!("\nend-to-end time: {:.3}s", report.elapsed.as_secs_f64());
     for c in &report.components {

@@ -99,7 +99,7 @@ fn main() {
     let issues = wf.validate();
     assert!(issues.is_empty(), "wiring problems: {issues:?}");
 
-    let report = wf.run().expect("workflow run");
+    let report = wf.run_with(RunOptions::default()).expect("workflow run");
     println!(
         "\nmonitor DAG: {} components, {} streams, {:.3}s end to end",
         report.components.len(),

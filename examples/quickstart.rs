@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release -p sb-examples --bin quickstart`
 
 use sb_examples::render_histogram;
+use smartblock::prelude::*;
 use smartblock::workflows::{lammps_workflow, PresetScale};
 
 fn main() {
@@ -25,7 +26,9 @@ fn main() {
     let (workflow, results) = lammps_workflow(&scale);
     println!("components: {:?}", workflow.labels());
 
-    let report = workflow.run().expect("workflow run");
+    let report = workflow
+        .run_with(RunOptions::default())
+        .expect("workflow run");
 
     for r in results.lock().iter() {
         println!("\n{}", render_histogram("velocity magnitudes", r));

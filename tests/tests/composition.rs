@@ -46,7 +46,7 @@ fn components_connect_regardless_of_add_order() {
     wf.add_source("start", 2, "in.fp", |step| {
         (step < 2).then(|| labelled_source(step, 6))
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let got = collected.lock().clone();
     // Column b per step: i*0.5 + step for i in 0..6.
     let expect: Vec<f64> = (0..2u64)
@@ -72,7 +72,7 @@ fn fork_feeds_identical_data_to_both_branches() {
     wf.add_sink("right", 2, "right.fp", move |_s, vars| {
         b2.lock().extend(vars["rows"].data.to_f64_vec());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let left = a.lock().clone();
     let right = b.lock().clone();
     assert_eq!(left.len(), 3 * 8 * 4);
@@ -89,7 +89,7 @@ fn file_write_then_file_read_preserves_the_stream() {
         (step < 3).then(|| labelled_source(step, 10))
     });
     phase1.add(1, FileWrite::new("live.fp", &path));
-    phase1.run().unwrap();
+    phase1.run_with(RunOptions::default()).unwrap();
 
     // Phase 2: replay and verify content, labels and attrs survive.
     let collected: Arc<Mutex<Vec<(u64, Variable)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -99,7 +99,7 @@ fn file_write_then_file_read_preserves_the_stream() {
     phase2.add_sink("end", 1, "replay.fp", move |step, vars| {
         sink_data.lock().push((step, vars["rows"].clone()));
     });
-    phase2.run().unwrap();
+    phase2.run_with(RunOptions::default()).unwrap();
 
     let got = collected.lock().clone();
     assert_eq!(got.len(), 3);
@@ -139,7 +139,7 @@ fn all_pairs_grows_data_and_matches_serial() {
     wf.add_sink("end", 1, "dists.fp", move |_s, vars| {
         sink_data.lock().extend(vars["d"].data.to_f64_vec());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = collected.lock().clone();
     assert_eq!(got.len(), 10, "5 points -> 10 pairs (> the 5x2 input)");
@@ -167,7 +167,7 @@ fn stats_component_summarizes_any_rank_input() {
     wf.add_sink("end", 1, "sum.fp", move |_s, vars| {
         sink_data.lock().extend(vars["s"].data.to_f64_vec());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let got = collected.lock().clone();
     assert_eq!(got.len(), 5);
     assert_eq!(got[0], 0.0); // min
@@ -199,7 +199,7 @@ fn histogram_output_stream_chains_downstream() {
     wf.add_sink("end", 1, "h.fp", move |_s, vars| {
         sink_data.lock().push(vars.clone());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = collected.lock().clone();
     assert_eq!(got.len(), 2);
@@ -230,7 +230,7 @@ fn rendezvous_mode_workflows_are_still_correct() {
     .size("slices", 8)
     .size("points", 8);
     let (wf, results) = smartblock::workflows::gtcp_workflow(&scale);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let got = results.lock().clone();
     assert_eq!(got.len(), 2);
     assert!(got.iter().all(|h| h.total() == 64));
@@ -247,7 +247,7 @@ fn fig8_style_script_runs_end_to_end() {
         wait
     "#;
     let wf = script_to_workflow(script).unwrap();
-    let report = wf.run().unwrap();
+    let report = wf.run_with(RunOptions::default()).unwrap();
     assert_eq!(report.components.len(), 4);
     for c in &report.components {
         assert_eq!(c.stats.steps, 2, "{} steps", c.label);
@@ -278,6 +278,6 @@ fn simulation_component_params_control_problem_size() {
     wf.add_sink("end", 1, "gtcp.fp", move |_s, vars| {
         seen2.lock().push(vars["plasma"].shape.total_len());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_eq!(seen.lock().clone(), vec![6 * 10 * 7]);
 }

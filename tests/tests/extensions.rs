@@ -51,7 +51,7 @@ fn reduce_component_collapses_an_axis_across_ranks() {
         Reduce::new(("cube.fp", "t"), 2, ReduceOp::Sum, ("sums.fp", "s")),
     );
     let got = collect_array(&mut wf, "sums.fp", "s");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = got.lock().clone();
     assert_eq!(got.len(), 2);
@@ -86,7 +86,7 @@ fn reduce_component_produces_scalar_for_1d_input() {
         Reduce::new(("v.fp", "x"), 0, ReduceOp::Mean, ("m.fp", "mean")),
     );
     let got = collect_array(&mut wf, "m.fp", "mean");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_eq!(got.lock().clone(), vec![vec![5.5]]);
 }
 
@@ -115,7 +115,7 @@ fn threshold_component_filters_with_global_indices() {
         v2.lock().push(vars["big"].data.to_f64_vec());
         i2.lock().push(vars["big_indices"].data.to_f64_vec());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_eq!(values.lock().clone(), vec![vec![9.0, 10.0, 11.0]]);
     assert_eq!(indices.lock().clone(), vec![vec![9.0, 10.0, 11.0]]);
 }
@@ -136,7 +136,7 @@ fn threshold_handles_empty_result_sets() {
         ),
     );
     let got = collect_array(&mut wf, "kept.fp", "none");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_eq!(got.lock().clone(), vec![Vec::<f64>::new(), Vec::new()]);
 }
 
@@ -156,7 +156,7 @@ fn transpose_component_reorders_axes_across_ranks() {
     wf.add_sink("end", 1, "tp.fp", move |_s, vars| {
         sink.lock().push(vars["t"].clone());
     });
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = collected.lock().clone();
     assert_eq!(got.len(), 1);
@@ -199,7 +199,7 @@ fn two_components_subscribe_to_one_simulation_stream() {
     let hist_results = hist.results_handle();
     wf.add(1, hist);
     let stats_out = collect_array(&mut wf, "summary.fp", "s");
-    let report = wf.run().unwrap();
+    let report = wf.run_with(RunOptions::default()).unwrap();
 
     assert_eq!(hist_results.lock().len(), 3);
     let stats_rows = stats_out.lock().clone();
@@ -234,7 +234,7 @@ fn extension_components_work_from_launch_scripts() {
         wf.labels(),
         vec!["gtcp", "transpose", "reduce", "threshold"]
     );
-    let report = wf.run().unwrap();
+    let report = wf.run_with(RunOptions::default()).unwrap();
     for c in &report.components {
         assert_eq!(c.stats.steps, 2, "{}", c.label);
     }
@@ -281,7 +281,7 @@ fn deep_pipeline_with_varied_ranks_stays_correct() {
     let results = hist.results_handle();
     wf.add(1, hist);
     assert!(wf.validate().is_empty());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = results.lock().clone();
     assert_eq!(got.len(), 4);

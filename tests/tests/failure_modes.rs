@@ -1,11 +1,17 @@
 //! Failure-path behaviour: mis-wired workflows, contract violations and
 //! group mismatches must fail *loudly and diagnosably*, never hang or
 //! corrupt — the moral equivalent of MPI's abort-on-error discipline.
+//!
+//! The chaos section exercises the supervisor against seeded fault plans:
+//! stalls degrade instead of hanging, kills restart under backoff with
+//! golden outputs intact, and the same seed reproduces the same run.
+//! `SB_CHAOS_SEED` overrides the default seed so CI can sweep several.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use sb_data::{Buffer, Shape, Variable};
-use sb_stream::{StreamHub, WriterOptions};
 use smartblock::prelude::*;
 
 fn tiny_source(step: u64) -> Variable {
@@ -17,8 +23,9 @@ fn tiny_source(step: u64) -> Variable {
     .unwrap()
 }
 
-/// A workflow whose sink asks for a variable that never exists: the
-/// component panics with the array name, and the workflow surfaces it.
+/// A workflow whose transform asks for a variable that never exists: the
+/// component returns a typed data error naming the missing array, and the
+/// workflow surfaces it to the `run_with` caller.
 #[test]
 fn missing_array_is_a_diagnosable_error() {
     let hub = StreamHub::with_timeout(Duration::from_millis(300));
@@ -27,11 +34,24 @@ fn missing_array_is_a_diagnosable_error() {
         (step < 1).then(|| tiny_source(step))
     });
     wf.add(1, Magnitude::new(("v.fp", "wrong_name"), ("m.fp", "y")));
-    let err = wf.run().unwrap_err().to_string();
-    assert!(err.contains("panicked"), "{err}");
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(
+            &err,
+            WorkflowError::ComponentFailed {
+                label,
+                error: ComponentError::Data { .. },
+                ..
+            } if label == "magnitude"
+        ),
+        "{err:?}"
+    );
+    assert!(msg.contains("wrong_name"), "{msg}");
 }
 
-/// Magnitude on 1-d input violates its 2-d contract.
+/// Magnitude on 1-d input violates its 2-d contract: a typed data error,
+/// not a panic.
 #[test]
 fn wrong_rank_input_is_rejected() {
     let hub = StreamHub::with_timeout(Duration::from_millis(300));
@@ -40,8 +60,18 @@ fn wrong_rank_input_is_rejected() {
         (step < 1).then(|| tiny_source(step))
     });
     wf.add(1, Magnitude::new(("v.fp", "x"), ("m.fp", "y")));
-    let err = wf.run().unwrap_err().to_string();
-    assert!(err.contains("panicked"), "{err}");
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            WorkflowError::ComponentFailed {
+                error: ComponentError::Data { .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("2-d"), "{err}");
 }
 
 /// Select with a quantity name the header does not contain.
@@ -65,8 +95,18 @@ fn unknown_label_is_rejected() {
         1,
         Select::new(("v.fp", "atoms"), 1, ["nonexistent"], ("s.fp", "y")),
     );
-    let err = wf.run().unwrap_err().to_string();
-    assert!(err.contains("panicked"), "{err}");
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            WorkflowError::ComponentFailed {
+                error: ComponentError::Data { .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("nonexistent"), "{err}");
 }
 
 /// Ranks of one writer group must agree on the group size.
@@ -107,7 +147,8 @@ fn reader_group_size_disagreement_panics() {
     assert!(msg.contains("disagree on group size"), "{msg}");
 }
 
-/// Step protocol misuse on the writer side.
+/// Step protocol misuse on the writer side. Contract violations stay
+/// panics — only peer failures (timeout, peer gone) became typed errors.
 #[test]
 fn writer_protocol_misuse_panics() {
     let hub = StreamHub::new();
@@ -119,9 +160,9 @@ fn writer_protocol_misuse_panics() {
     }));
     assert!(r.is_err());
     // double begin
-    w.begin_step();
+    w.begin_step().unwrap();
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        w.begin_step();
+        let _ = w.begin_step();
     }));
     assert!(r.is_err());
 }
@@ -157,7 +198,7 @@ fn overlapping_writer_chunks_fail_the_read() {
     let hub = StreamHub::new();
     let mut w = hub.open_writer("s.fp", 0, 1, WriterOptions::default());
     let meta = sb_data::VariableMeta::new("x", Shape::linear("n", 4), sb_data::DType::F64);
-    w.begin_step();
+    w.begin_step().unwrap();
     w.put(
         sb_data::Chunk::new(
             meta.clone(),
@@ -174,9 +215,9 @@ fn overlapping_writer_chunks_fail_the_read() {
         )
         .unwrap(),
     );
-    w.end_step();
+    w.end_step().unwrap();
     let mut r = hub.open_reader("s.fp", 0, 1);
-    r.begin_step();
+    r.begin_step().unwrap();
     let err = r.get_whole("x").unwrap_err().to_string();
     assert!(err.contains("overlap"), "{err}");
     r.end_step();
@@ -190,7 +231,7 @@ fn compensating_overlap_and_hole_is_rejected() {
     let hub = StreamHub::new();
     let mut w = hub.open_writer("s.fp", 0, 1, WriterOptions::default());
     let meta = sb_data::VariableMeta::new("x", Shape::linear("n", 4), sb_data::DType::F64);
-    w.begin_step();
+    w.begin_step().unwrap();
     // Chunks [0..2) and [1..3): 2 + 2 = 4 elements covered, but element 3
     // is a hole and element 1 is written twice.
     w.put(
@@ -209,18 +250,19 @@ fn compensating_overlap_and_hole_is_rejected() {
         )
         .unwrap(),
     );
-    w.end_step();
+    w.end_step().unwrap();
     let mut r = hub.open_reader("s.fp", 0, 1);
-    r.begin_step();
+    r.begin_step().unwrap();
     let err = r.get_whole("x").unwrap_err().to_string();
     assert!(err.contains("overlap"), "{err}");
     r.end_step();
     w.close();
 }
 
-/// Combine rejects shape-mismatched inputs loudly.
+/// Combine rejects shape-mismatched inputs loudly: the rank's assertion
+/// panic is caught by the supervisor and surfaced as a typed error.
 #[test]
-fn combine_shape_mismatch_panics() {
+fn combine_shape_mismatch_is_caught_as_panic() {
     let hub = StreamHub::with_timeout(Duration::from_millis(500));
     let mut wf = Workflow::with_hub(hub);
     wf.add_source("gen-a", 1, "a.fp", |step| {
@@ -234,36 +276,48 @@ fn combine_shape_mismatch_panics() {
         1,
         Combine::new(("a.fp", "x"), BinaryOp::Add, ("b.fp", "x"), ("c.fp", "y")),
     );
-    let err = wf.run().unwrap_err().to_string();
-    assert!(err.contains("panicked"), "{err}");
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            WorkflowError::ComponentFailed {
+                error: ComponentError::Panicked { .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("panicked"), "{err}");
 }
 
 /// A mis-wired workflow (a reader on a stream nobody writes) must fail
-/// *before* launch: `run()` returns the validation report immediately
+/// *before* launch: `run_with` returns the validation report immediately
 /// instead of spawning ranks that block until the hub timeout.
 #[test]
 fn run_fails_fast_on_missing_writer() {
     // Deliberately use a workflow whose hub timeout is far longer than the
-    // test budget: if run() launched the ranks, the dangling reader would
-    // stall for minutes. Fail-fast means we never get that far.
+    // test budget: if run_with launched the ranks, the dangling reader
+    // would stall for minutes. Fail-fast means we never get that far.
     let start = std::time::Instant::now();
     let mut wf = Workflow::new();
     wf.add(1, Magnitude::new(("never-written.fp", "x"), ("m.fp", "y")));
     wf.add_sink("sink", 1, "m.fp", |_, _| {});
-    let err = wf.run().unwrap_err().to_string();
-    assert!(err.contains("static validation"), "{err}");
-    assert!(err.contains("never-written.fp"), "{err}");
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    assert!(matches!(&err, WorkflowError::Invalid { .. }), "{err:?}");
+    let msg = err.to_string();
+    assert!(msg.contains("static validation"), "{msg}");
+    assert!(msg.contains("never-written.fp"), "{msg}");
     assert!(
         start.elapsed() < Duration::from_secs(10),
         "validation must not launch the workflow"
     );
 }
 
-/// The same mis-wired workflow still launches under `run_unchecked()` —
-/// the escape hatch for experiments the analyzer cannot model — and dies
-/// at runtime with the stream's timeout diagnostic instead.
+/// The same class of mis-wired workflow still launches under
+/// `Validation::Skip` — the escape hatch for experiments the analyzer
+/// cannot model — and dies at runtime with a typed error instead.
 #[test]
-fn run_unchecked_bypasses_validation() {
+fn skipped_validation_reaches_the_runtime_failure() {
     let hub = StreamHub::with_timeout(Duration::from_millis(150));
     let mut wf = Workflow::with_hub(hub);
     wf.add_source("gen", 1, "v.fp", |step| {
@@ -271,22 +325,188 @@ fn run_unchecked_bypasses_validation() {
     });
     wf.add(1, Magnitude::new(("v.fp", "x"), ("m.fp", "y")));
     // m.fp has no reader (a warning) and the magnitude input is 1-d (a
-    // runtime panic the opaque source hides from the analyzer): the
-    // unchecked run reaches the runtime failure.
-    let err = wf.run_unchecked().unwrap_err().to_string();
-    assert!(err.contains("panicked"), "{err}");
+    // runtime error the opaque source hides from the analyzer): the
+    // unvalidated run reaches the runtime failure.
+    let err = wf
+        .run_with(RunOptions::new().with_validation(Validation::Skip))
+        .unwrap_err();
+    assert!(
+        matches!(&err, WorkflowError::ComponentFailed { .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("2-d"), "{err}");
 }
 
-/// A reader on a stream nobody ever writes times out with a diagnostic
-/// that names the stream.
+/// A reader on a stream nobody ever writes times out with a *typed* error
+/// that names the stream — blocking paths no longer panic on timeout.
 #[test]
 fn dangling_reader_times_out_with_stream_name() {
     let hub = StreamHub::with_timeout(Duration::from_millis(150));
     let mut r = hub.open_reader("never-written.fp", 0, 1);
-    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = r.begin_step();
-    }));
-    let msg = *res.unwrap_err().downcast::<String>().unwrap();
+    let err = r.begin_step().unwrap_err();
+    assert!(matches!(&err, StreamError::Timeout { .. }), "{err:?}");
+    let msg = err.to_string();
     assert!(msg.contains("never-written.fp"), "{msg}");
     assert!(msg.contains("timed out"), "{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos: deterministic fault injection against the supervisor.
+// ---------------------------------------------------------------------------
+
+/// The chaos seed, overridable so CI can sweep several fixed seeds.
+fn chaos_seed() -> u64 {
+    std::env::var("SB_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(41)
+}
+
+fn coords(step: u64, rows: usize) -> Variable {
+    let data: Vec<f64> = (0..rows * 3).map(|i| i as f64 + step as f64).collect();
+    Variable::new(
+        "coords",
+        Shape::of(&[("n", rows), ("d", 3)]),
+        Buffer::F64(data),
+    )
+    .unwrap()
+}
+
+/// gen -> magnitude -> collect, with the collected per-step outputs handed
+/// back so tests can compare them against a golden run.
+fn chaos_pipeline(steps: u64) -> (Workflow, Arc<Mutex<Vec<Vec<f64>>>>) {
+    let mut wf = Workflow::new();
+    wf.add_source("gen", 1, "c.fp", move |step| {
+        (step < steps).then(|| coords(step, 8))
+    });
+    wf.add(1, Magnitude::new(("c.fp", "coords"), ("r.fp", "radii")));
+    let out: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&out);
+    wf.add_sink("collect", 1, "r.fp", move |_s, vars| {
+        sink.lock().push(vars["radii"].data.to_f64_vec());
+    });
+    (wf, out)
+}
+
+/// A tiny fixed-width binning of every collected value — the "golden
+/// histogram" the chaos assertions compare across runs.
+fn bin_histogram(rows: &[Vec<f64>]) -> Vec<u64> {
+    let mut bins = vec![0u64; 16];
+    for v in rows.iter().flatten() {
+        bins[((v / 4.0) as usize).min(15)] += 1;
+    }
+    bins
+}
+
+/// A source that stalls (abandons its output without EOS) must not hang
+/// the workflow: the downstream components time out with typed errors and
+/// their Degrade policy lets the run finish with what was produced.
+#[test]
+fn stalled_source_degrades_downstream_instead_of_hanging() {
+    let start = std::time::Instant::now();
+    let (mut wf, out) = chaos_pipeline(4);
+    wf.hub()
+        .install_faults(FaultPlan::seeded(chaos_seed()).stall_at("gen", 1));
+    wf.set_fault_policy("magnitude", FaultPolicy::degrade());
+    wf.set_fault_policy("collect", FaultPolicy::degrade());
+    let report = wf
+        .run_with(RunOptions::new().with_hub_timeout(Duration::from_millis(300)))
+        .unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "stall must resolve via timeout, not hang"
+    );
+    // The step committed before the stall made it all the way through.
+    assert_eq!(out.lock().len(), 1);
+    // Magnitude is the component directly starved by the stalled stream;
+    // it must be reported degraded (the sink may degrade too, or finish
+    // cleanly off magnitude's forced end-of-stream — both are legal).
+    assert!(
+        report.degraded().contains(&"magnitude"),
+        "degraded: {:?}",
+        report.degraded()
+    );
+}
+
+/// A killed transform under a Restart policy resumes where the last
+/// complete step left off: the workflow completes, the report counts the
+/// restart, and the output — values and histogram — matches the no-fault
+/// golden run exactly.
+#[test]
+fn killed_transform_restarts_and_matches_golden_output() {
+    let (golden_wf, golden_out) = chaos_pipeline(4);
+    golden_wf.run_with(RunOptions::default()).unwrap();
+    let golden = golden_out.lock().clone();
+    assert_eq!(golden.len(), 4);
+
+    let (mut wf, out) = chaos_pipeline(4);
+    wf.hub()
+        .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
+    wf.set_fault_policy(
+        "magnitude",
+        FaultPolicy::restart(2).with_backoff(Duration::from_millis(5)),
+    );
+    let report = wf.run_with(RunOptions::default()).unwrap();
+    let mag = report.component("magnitude").unwrap();
+    assert_eq!(mag.restarts(), 1, "exactly one restart: {:?}", mag.outcome);
+    assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
+    let got = out.lock().clone();
+    assert_eq!(got, golden, "restart must not lose or duplicate steps");
+    assert_eq!(bin_histogram(&got), bin_histogram(&golden));
+}
+
+/// The default Abort policy propagates the injected fault as a typed
+/// `ComponentError::Injected` to the `run_with` caller.
+#[test]
+fn abort_policy_surfaces_injected_fault_to_caller() {
+    let (wf, _out) = chaos_pipeline(3);
+    wf.hub()
+        .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
+    let err = wf.run_with(RunOptions::default()).unwrap_err();
+    let msg = err.to_string();
+    match &err {
+        WorkflowError::ComponentFailed {
+            label,
+            attempts,
+            error,
+        } => {
+            assert_eq!(label, "magnitude");
+            assert_eq!(*attempts, 1);
+            assert!(
+                matches!(error, ComponentError::Injected { .. }),
+                "{error:?}"
+            );
+        }
+        other => panic!("expected ComponentFailed, got {other:?}"),
+    }
+    assert!(msg.contains("injected fault"), "{msg}");
+}
+
+/// Two invocations of the same seeded fault plan are byte-for-byte
+/// reproducible: same restart counts, same collected values, same final
+/// histogram.
+#[test]
+fn seeded_chaos_runs_are_reproducible() {
+    let run = |seed: u64| -> (u32, Vec<Vec<f64>>) {
+        let (mut wf, out) = chaos_pipeline(4);
+        wf.hub().install_faults(
+            FaultPlan::seeded(seed)
+                .delay_jitter("gen", Duration::from_millis(2))
+                .kill_at("magnitude", 2),
+        );
+        wf.set_fault_policy(
+            "magnitude",
+            FaultPolicy::restart(3).with_backoff(Duration::from_millis(5)),
+        );
+        let report = wf.run_with(RunOptions::default()).unwrap();
+        let got = out.lock().clone();
+        (report.restarts(), got)
+    };
+    let seed = chaos_seed();
+    let (restarts_a, got_a) = run(seed);
+    let (restarts_b, got_b) = run(seed);
+    assert_eq!(restarts_a, restarts_b, "restart counts must reproduce");
+    assert_eq!(got_a, got_b, "collected outputs must reproduce");
+    assert_eq!(bin_histogram(&got_a), bin_histogram(&got_b));
+    assert!(restarts_a >= 1, "the kill directive must actually fire");
 }

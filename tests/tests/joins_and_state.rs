@@ -41,7 +41,7 @@ fn combine_adds_two_different_streams() {
     );
     let got = collect(&mut wf, "sum.fp", "s");
     assert!(wf.validate().is_empty());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = got.lock().clone();
     assert_eq!(got.len(), 3);
@@ -72,7 +72,7 @@ fn combine_joins_two_arrays_of_the_same_stream() {
             &self,
             comm: &sb_comm::Communicator,
             hub: &Arc<sb_stream::StreamHub>,
-        ) -> smartblock::ComponentStats {
+        ) -> smartblock::ComponentResult {
             let mut w = hub.open_writer(
                 "pair.fp",
                 comm.rank(),
@@ -84,7 +84,7 @@ fn combine_joins_two_arrays_of_the_same_stream() {
                 let a = linear_source(step, 6, 1.0);
                 let mut b = linear_source(step, 6, 2.0);
                 b.name = "y".into();
-                w.begin_step();
+                w.begin_step().unwrap();
                 w.put(sb_data::Chunk::whole(a));
                 let meta = VariableMeta {
                     name: "y".into(),
@@ -94,11 +94,11 @@ fn combine_joins_two_arrays_of_the_same_stream() {
                     attrs: b.attrs.clone(),
                 };
                 w.put(sb_data::Chunk::new(meta, sb_data::Region::whole(&b.shape), b.data).unwrap());
-                w.end_step();
+                w.end_step().unwrap();
                 stats.steps += 1;
             }
             w.close();
-            stats
+            Ok(stats)
         }
     }
 
@@ -114,7 +114,7 @@ fn combine_joins_two_arrays_of_the_same_stream() {
         ),
     );
     let got = collect(&mut wf, "prod.fp", "p");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = got.lock().clone();
     assert_eq!(got.len(), 2);
@@ -147,7 +147,7 @@ fn combine_handles_unequal_stream_lengths() {
         ),
     );
     let got = collect(&mut wf, "d.fp", "diff");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let got = got.lock().clone();
     assert_eq!(got.len(), 2);
     assert!(got.iter().all(|v| v.iter().all(|&x| x == 0.0)));
@@ -170,7 +170,7 @@ fn temporal_mean_smooths_over_the_window() {
     wf.add(3, TemporalMean::new(("v.fp", "x"), 3, ("smooth.fp", "m")));
     let got = collect(&mut wf, "smooth.fp", "m");
     assert!(wf.validate().is_empty());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = got.lock().clone();
     assert_eq!(got.len(), 5);
@@ -195,7 +195,7 @@ fn temporal_mean_state_is_per_rank_partition() {
     });
     wf.add(3, TemporalMean::new(("v.fp", "x"), 2, ("smooth.fp", "m")));
     let got = collect(&mut wf, "smooth.fp", "m");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let got = got.lock().clone();
     // Step 3: mean of steps 2 and 3 -> i + 2.5.
     let last = &got[3];
@@ -288,7 +288,7 @@ fn script_options_assemble_and_run_a_dag() {
     // Combine's left subscription rides its own group now.
     let issues = wf.validate();
     assert!(issues.is_empty(), "{issues:?}");
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = summaries.lock().clone();
     assert_eq!(got.len(), 3);

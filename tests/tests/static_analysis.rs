@@ -11,8 +11,8 @@ use smartblock::workflows::{
     PresetScale, Simulation,
 };
 use smartblock::{
-    AnalysisIssue, BinaryOp, Combine, DimReduce, Histogram, Magnitude, Select, Severity, Transpose,
-    WiringIssue, Workflow,
+    AnalysisIssue, BinaryOp, Combine, DimReduce, Histogram, Magnitude, RunOptions, Select,
+    Severity, Transpose, Validation, WiringIssue, Workflow,
 };
 
 fn errors(wf: &Workflow) -> Vec<AnalysisIssue> {
@@ -86,8 +86,8 @@ fn unknown_select_label_is_rejected_statically() {
         msg.contains("P_perp"),
         "available labels must be listed: {msg}"
     );
-    // And run() refuses to launch it.
-    let err = wf.run().unwrap_err().to_string();
+    // And run_with refuses to launch it.
+    let err = wf.run_with(RunOptions::default()).unwrap_err().to_string();
     assert!(err.contains("static validation"), "{err}");
 }
 
@@ -278,11 +278,11 @@ fn subscription_cycle_is_rejected_statically() {
         )),
         "{errs:?}"
     );
-    let err = wf.run().unwrap_err().to_string();
+    let err = wf.run_with(RunOptions::default()).unwrap_err().to_string();
     assert!(err.contains("cycle"), "{err}");
 }
 
-/// The stress half of the cycle check: under `run_unchecked()` the same
+/// The stress half of the cycle check: under `Validation::Skip` the same
 /// workflow really does deadlock — both readers stall until the hub
 /// watchdog fires — proving the static Cycle error predicts a genuine
 /// runtime hang rather than a stylistic nit.
@@ -291,10 +291,10 @@ fn predicted_cycle_really_deadlocks_unchecked() {
     let start = std::time::Instant::now();
     // A short watchdog keeps the proven deadlock inside the test budget.
     let err = cyclic_workflow(Duration::from_millis(400))
-        .run_unchecked()
+        .run_with(RunOptions::new().with_validation(Validation::Skip))
         .unwrap_err()
         .to_string();
-    assert!(err.contains("panicked"), "{err}");
+    assert!(err.contains("timed out"), "{err}");
     // Both components blocked the full timeout: the hang was real.
     assert!(start.elapsed() >= Duration::from_millis(400), "{err}");
 }

@@ -4,6 +4,7 @@
 
 use sb_integration_tests::{reference_histogram, serial_gtcp_pperp, serial_lammps_magnitudes};
 use sb_sims::{GtcpConfig, LammpsConfig};
+use smartblock::prelude::*;
 use smartblock::workflows::{
     gromacs_workflow, gtcp_workflow, lammps_aio_workflow, lammps_workflow, PresetScale,
 };
@@ -25,7 +26,7 @@ fn small_lammps_scale() -> PresetScale {
 fn lammps_workflow_matches_serial_reference() {
     let scale = small_lammps_scale();
     let (wf, results) = lammps_workflow(&scale);
-    let report = wf.run().unwrap();
+    let report = wf.run_with(RunOptions::default()).unwrap();
 
     let cfg = LammpsConfig {
         nx: 16,
@@ -68,7 +69,7 @@ fn gtcp_workflow_matches_serial_reference() {
     .size("points", 16);
 
     let (wf, results) = gtcp_workflow(&scale);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let cfg = GtcpConfig {
         n_slices: 12,
@@ -102,7 +103,7 @@ fn gromacs_workflow_shows_growing_spread() {
     .size("len", 12);
 
     let (wf, results) = gromacs_workflow(&scale);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let got = results.lock().clone();
     assert_eq!(got.len(), 4);
@@ -124,9 +125,9 @@ fn aio_and_componentized_pipelines_agree_exactly() {
     // compute the same thing; here we require bit-identical histograms.
     let scale = small_lammps_scale();
     let (wf, composed) = lammps_workflow(&scale);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let (wf, fused) = lammps_aio_workflow(&scale);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
 
     let a = composed.lock().clone();
     let b = fused.lock().clone();
@@ -154,7 +155,7 @@ fn results_are_invariant_under_rank_counts() {
     .size("points", 12);
 
     let (wf, first) = gtcp_workflow(&base);
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     let reference = first.lock().clone();
 
     for ranks in [vec![2, 3, 2, 2], vec![4, 1, 3, 1]] {
@@ -164,7 +165,7 @@ fn results_are_invariant_under_rank_counts() {
             ..base.clone()
         };
         let (wf, results) = gtcp_workflow(&scale);
-        wf.run().unwrap();
+        wf.run_with(RunOptions::default()).unwrap();
         let got = results.lock().clone();
         assert_eq!(got, reference, "ranks {ranks:?} changed the analysis");
     }
@@ -200,7 +201,7 @@ fn histogram_file_endpoint_writes_parseable_output() {
         wf2.add(1, h);
         (wf2, r)
     };
-    wf2.run().unwrap();
+    wf2.run_with(RunOptions::default()).unwrap();
 
     let text = std::fs::read_to_string(&path).unwrap();
     let headers = text.lines().filter(|l| l.starts_with("# step")).count();

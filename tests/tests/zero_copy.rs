@@ -6,8 +6,8 @@
 use std::path::Path;
 
 use sb_data::{Buffer, Shape, Variable};
+use smartblock::prelude::*;
 use smartblock::workflows::{gromacs_workflow, gtcp_workflow, lammps_workflow, PresetScale};
-use smartblock::Workflow;
 
 #[test]
 fn whole_read_workflow_step_copies_nothing() {
@@ -30,7 +30,7 @@ fn whole_read_workflow_step_copies_nothing() {
         assert_eq!(vars["x"].get(&[0, 0]), step as f64);
         assert_eq!(vars["x"].get(&[7, 7]), (63 * 10 + step as usize) as f64);
     });
-    let report = wf.run().unwrap();
+    let report = wf.run_with(RunOptions::default()).unwrap();
 
     let m = report
         .streams
@@ -84,14 +84,14 @@ fn assert_matches_golden(name: &str, rendered: &str) {
 #[test]
 fn paper_workflow_histograms_match_pre_zero_copy_goldens() {
     let (wf, results) = lammps_workflow(&scale());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_matches_golden("lammps", &render(&results.lock()));
 
     let (wf, results) = gtcp_workflow(&scale());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_matches_golden("gtcp", &render(&results.lock()));
 
     let (wf, results) = gromacs_workflow(&scale());
-    wf.run().unwrap();
+    wf.run_with(RunOptions::default()).unwrap();
     assert_matches_golden("gromacs", &render(&results.lock()));
 }
