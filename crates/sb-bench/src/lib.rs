@@ -344,18 +344,28 @@ impl FanoutResult {
 /// through the configured reader fan-out and returns wall time plus the
 /// stream's copy counters.
 pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
+    run_fanout_on(&sb_stream::StreamHub::new(), config)
+}
+
+/// [`run_fanout`] on a caller-provided hub — the tracing-overhead bench
+/// arms the hub's tracer to price the instrumented hot path against the
+/// default disabled one on identical traffic.
+pub fn run_fanout_on(
+    hub: &std::sync::Arc<sb_stream::StreamHub>,
+    config: &FanoutConfig,
+) -> FanoutResult {
     use std::sync::Arc;
     use std::time::Instant;
 
     use sb_comm::LaunchHandle;
     use sb_data::{Buffer, Chunk, DType, Region, Shape, VariableMeta};
-    use sb_stream::{StepStatus, StreamHub, WriterOptions};
+    use sb_stream::{StepStatus, WriterOptions};
 
     let groups = match config.shape {
         FanoutShape::WholeRead => config.readers,
         FanoutShape::SlabRead => 1,
     };
-    let hub = StreamHub::new();
+    let hub = Arc::clone(hub);
     let shape = Shape::of(&[("rows", config.rows), ("cols", config.cols)]);
     let steps = config.steps;
     let start = Instant::now();
@@ -363,6 +373,7 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
     let hub_w = Arc::clone(&hub);
     let shape_w = shape.clone();
     let writer = LaunchHandle::spawn("fan-writer", 1, move |comm| {
+        let _ring = hub_w.tracer().install_thread_ring();
         let mut w = hub_w.open_writer(
             "fan.fp",
             comm.rank(),
@@ -391,6 +402,7 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
                 let group = format!("g{g}");
                 handles.push(
                     LaunchHandle::spawn(&format!("fan-reader-{g}"), 1, move |comm| {
+                        let _ring = hub_r.tracer().install_thread_ring();
                         let mut r =
                             hub_r.open_reader_grouped("fan.fp", &group, comm.rank(), comm.size());
                         r.set_force_copy(force);
@@ -410,6 +422,7 @@ pub fn run_fanout(config: &FanoutConfig) -> FanoutResult {
             let shape_r = shape.clone();
             handles.push(
                 LaunchHandle::spawn("fan-readers", config.readers, move |comm| {
+                    let _ring = hub_r.tracer().install_thread_ring();
                     let mut r = hub_r.open_reader("fan.fp", comm.rank(), comm.size());
                     r.set_force_copy(force);
                     let region =

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use sb_comm::{Communicator, Stopwatch};
 use sb_data::Chunk;
-use sb_stream::{StreamResult, StreamWriter};
+use sb_stream::{EventKind, StreamResult, StreamWriter, TraceSite};
 
 /// One rank's view of a running simulation.
 ///
@@ -64,14 +64,37 @@ pub fn drive<S: SimRank>(
 ) -> StreamResult<SimRunStats> {
     let mut stats = SimRunStats::default();
     let mut sw = Stopwatch::started();
+    // The sim's component label for the step timeline, interned once. A
+    // disabled tracer costs one atomic load per coarse step here.
+    let trace_label = writer
+        .as_deref()
+        .map(|w| {
+            let tracer = w.tracer();
+            if tracer.enabled() {
+                tracer.intern_thread_label(sim.name())
+            } else {
+                0
+            }
+        })
+        .unwrap_or(0);
     for _ in 0..io_steps {
         sw.lap();
+        let step_ns = writer
+            .as_deref()
+            .filter(|w| w.tracer().enabled())
+            .map(|w| w.tracer().now_ns());
         for _ in 0..substeps_per_io {
             sim.substep(comm);
             stats.substeps += 1;
         }
         stats.compute_time += sw.lap();
         if let Some(w) = writer.as_deref_mut() {
+            let step = w.current_step();
+            if let Some(start_ns) = step_ns {
+                let site = TraceSite::component(trace_label, comm.rank(), step);
+                w.tracer().span(EventKind::Compute, site, start_ns);
+            }
+            let publish_ns = step_ns.map(|_| w.tracer().now_ns());
             let chunk = sim.output_chunk();
             stats.bytes_output += chunk.byte_len() as u64;
             let io = (|| {
@@ -84,6 +107,12 @@ pub fn drive<S: SimRank>(
                 return Err(e);
             }
             stats.io_time += sw.lap();
+            if let Some(start_ns) = step_ns {
+                let site = TraceSite::component(trace_label, comm.rank(), step);
+                w.tracer()
+                    .span(EventKind::Publish, site, publish_ns.unwrap_or(start_ns));
+                w.tracer().span(EventKind::Step, site, start_ns);
+            }
         }
         stats.io_steps += 1;
     }

@@ -11,6 +11,7 @@ use crate::faults::{FaultPlan, InjectedFault};
 use crate::metrics::StreamMetrics;
 use crate::reader::StreamReader;
 use crate::stream::{Stream, WriterOptions};
+use crate::trace::Tracer;
 use crate::writer::StreamWriter;
 
 /// Default time a blocked stream operation may wait before returning
@@ -51,6 +52,9 @@ pub struct StreamHub {
     wait_timeout_micros: Arc<AtomicU64>,
     /// The installed fault-injection plan, if any (chaos testing).
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// The hub's tracer; disabled (and costing one relaxed atomic load per
+    /// instrumentation site) until the workflow runtime arms it.
+    tracer: Arc<Tracer>,
 }
 
 impl StreamHub {
@@ -65,7 +69,14 @@ impl StreamHub {
             streams: Mutex::new(HashMap::new()),
             wait_timeout_micros: Arc::new(AtomicU64::new(wait_timeout.as_micros() as u64)),
             faults: Mutex::new(None),
+            tracer: Arc::new(Tracer::new()),
         })
+    }
+
+    /// This hub's tracer. Shared with every stream, so arming it makes
+    /// streams that already exist start recording too.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The current deadlock timeout for blocking stream operations.
@@ -86,6 +97,7 @@ impl StreamHub {
             Arc::new(Stream::new(
                 name.to_string(),
                 Arc::clone(&self.wait_timeout_micros),
+                Arc::clone(&self.tracer),
             ))
         }))
     }

@@ -46,6 +46,7 @@ mod hub;
 mod metrics;
 mod reader;
 mod stream;
+pub mod trace;
 mod writer;
 
 pub use error::{StreamError, StreamResult};
@@ -54,4 +55,5 @@ pub use hub::{StreamHub, DEFAULT_WAIT_TIMEOUT};
 pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
 pub use stream::WriterOptions;
+pub use trace::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent, TraceSite, Tracer};
 pub use writer::StreamWriter;

@@ -8,6 +8,7 @@ use sb_data::{Buffer, DataError, DataResult, Region, SharedBuffer, Variable, Var
 
 use crate::error::StreamResult;
 use crate::stream::{StepContents, Stream};
+use crate::trace::{EventKind, TraceSite};
 
 /// What [`StreamReader::begin_step`] found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,8 +91,15 @@ impl StreamReader {
     /// typed error, never a hang or a panic.
     pub fn begin_step(&mut self) -> StreamResult<StepStatus> {
         assert!(self.current.is_none(), "begin_step inside an open step");
+        let tracer = &self.stream.tracer;
+        let start_ns = if tracer.enabled() { tracer.now_ns() } else { 0 };
         match self.stream.reader_begin_step(self.next_step)? {
             Some(contents) => {
+                tracer.span(
+                    EventKind::ReaderBlocked,
+                    TraceSite::stream(self.stream.trace_id, self.rank, self.next_step),
+                    start_ns,
+                );
                 self.current = Some(contents);
                 Ok(StepStatus::Ready(self.next_step))
             }

@@ -11,6 +11,7 @@ use sb_data::{Chunk, VariableMeta};
 
 use crate::error::{StreamError, StreamResult};
 use crate::metrics::Counters;
+use crate::trace::{EventKind, TraceSite, Tracer};
 
 /// Writer-side buffering policy, fixed by the first writer rank to open the
 /// stream.
@@ -167,10 +168,20 @@ pub(crate) struct Stream {
     /// Micros; shared with the owning hub so a `RunOptions` timeout
     /// override reaches streams that already exist.
     wait_timeout_micros: Arc<AtomicU64>,
+    /// The owning hub's tracer plus this stream's interned name; stream
+    /// lifecycle instants (commit, EOS, poison) are recorded here, while
+    /// per-endpoint blocking spans live in the writer/reader handles.
+    pub(crate) tracer: Arc<Tracer>,
+    pub(crate) trace_id: u32,
 }
 
 impl Stream {
-    pub(crate) fn new(name: String, wait_timeout_micros: Arc<AtomicU64>) -> Stream {
+    pub(crate) fn new(
+        name: String,
+        wait_timeout_micros: Arc<AtomicU64>,
+        tracer: Arc<Tracer>,
+    ) -> Stream {
+        let trace_id = tracer.intern(&name);
         Stream {
             name,
             state: Mutex::new(State {
@@ -187,6 +198,8 @@ impl Stream {
             cond: Condvar::new(),
             counters: Counters::default(),
             wait_timeout_micros,
+            tracer,
+            trace_id,
         }
     }
 
@@ -317,7 +330,12 @@ impl Stream {
 
     /// A writer rank finishes `step`; the last rank freezes the slot. In
     /// rendezvous mode, blocks until the reader group releases the step.
-    pub(crate) fn writer_end_step(&self, step: u64, nranks: usize) -> StreamResult<()> {
+    pub(crate) fn writer_end_step(
+        &self,
+        step: u64,
+        rank: usize,
+        nranks: usize,
+    ) -> StreamResult<()> {
         let mut state = self.state.lock();
         let idx = (step - state.base_step) as usize;
         let slot = &mut state.queue[idx];
@@ -333,6 +351,11 @@ impl Stream {
             self.counters
                 .steps_committed
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.tracer.instant(
+                EventKind::StepCommitted,
+                TraceSite::stream(self.trace_id, rank, step),
+                0,
+            );
             self.cond.notify_all();
         }
         if state.options.rendezvous {
@@ -346,11 +369,17 @@ impl Stream {
     }
 
     /// A writer rank closes; the last one marks the stream ended.
-    pub(crate) fn writer_close(&self, nranks: usize) {
+    pub(crate) fn writer_close(&self, rank: usize, nranks: usize) {
         let mut state = self.state.lock();
         state.closed_writers += 1;
         if state.closed_writers == nranks {
             state.closed = true;
+            let produced = state.base_step + state.queue.len() as u64;
+            self.tracer.instant(
+                EventKind::EndOfStream,
+                TraceSite::stream(self.trace_id, rank, produced),
+                0,
+            );
             self.cond.notify_all();
         }
     }
@@ -476,6 +505,11 @@ impl Stream {
         let mut state = self.state.lock();
         if state.poisoned.is_none() {
             state.poisoned = Some(reason.to_string());
+            self.tracer.instant(
+                EventKind::Poisoned,
+                TraceSite::stream(self.trace_id, 0, state.base_step),
+                0,
+            );
         }
         self.cond.notify_all();
     }
@@ -490,6 +524,12 @@ impl Stream {
             state.queue.pop_back();
         }
         state.closed = true;
+        let produced = state.base_step + state.queue.len() as u64;
+        self.tracer.instant(
+            EventKind::EndOfStream,
+            TraceSite::stream(self.trace_id, 0, produced),
+            1, // forced by the supervisor, not a natural close
+        );
         self.cond.notify_all();
     }
 

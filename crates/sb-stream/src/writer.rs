@@ -6,6 +6,7 @@ use sb_data::{Chunk, Variable};
 
 use crate::error::StreamResult;
 use crate::stream::Stream;
+use crate::trace::{EventKind, TraceSite, Tracer};
 
 /// One writer rank's handle onto a stream.
 ///
@@ -54,11 +55,25 @@ impl StreamWriter {
         self.next_step
     }
 
+    /// The hub tracer behind this stream — for callers that run their own
+    /// step loop (the sim driver) and stamp component-phase spans onto the
+    /// same timeline.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.stream.tracer
+    }
+
     /// Opens the next step, blocking while the writer-side buffer is full.
     pub fn begin_step(&mut self) -> StreamResult<()> {
         assert!(!self.closed, "begin_step on a closed writer");
         assert!(!self.in_step, "begin_step called twice without end_step");
+        let tracer = &self.stream.tracer;
+        let start_ns = if tracer.enabled() { tracer.now_ns() } else { 0 };
         self.stream.writer_begin_step(self.next_step)?;
+        tracer.span(
+            EventKind::WriterBlocked,
+            TraceSite::stream(self.stream.trace_id, self.rank, self.next_step),
+            start_ns,
+        );
         self.in_step = true;
         Ok(())
     }
@@ -79,7 +94,8 @@ impl StreamWriter {
     /// readers; in rendezvous mode this blocks until it is consumed.
     pub fn end_step(&mut self) -> StreamResult<()> {
         assert!(self.in_step, "end_step without begin_step");
-        self.stream.writer_end_step(self.next_step, self.nranks)?;
+        self.stream
+            .writer_end_step(self.next_step, self.rank, self.nranks)?;
         self.in_step = false;
         self.next_step += 1;
         Ok(())
@@ -91,7 +107,7 @@ impl StreamWriter {
         assert!(!self.in_step, "close inside an open step");
         if !self.closed {
             self.closed = true;
-            self.stream.writer_close(self.nranks);
+            self.stream.writer_close(self.rank, self.nranks);
         }
     }
 
@@ -113,7 +129,7 @@ impl Drop for StreamWriter {
         // Only a clean drop (not mid-step, not unwinding) counts as a
         // close; a failing rank abandons instead.
         if !self.in_step && !std::thread::panicking() {
-            self.stream.writer_close(self.nranks);
+            self.stream.writer_close(self.rank, self.nranks);
         }
     }
 }

@@ -16,7 +16,9 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, VariableMeta};
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::component::{
+    fault_gate, stash_partial_stats, stream_err, Component, StepFault, StreamArray,
+};
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
@@ -228,6 +230,7 @@ impl Component for Combine {
                 Ok(g) => g,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(e);
                 }
             };
@@ -236,6 +239,7 @@ impl Component for Combine {
                 Ok(s) => s,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(stream_err(label, step, e));
                 }
             };
@@ -258,6 +262,7 @@ impl Component for Combine {
                 Ok(StepStatus::Ready(_)) => {}
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(stream_err(label, step, e));
                 }
             }
@@ -292,12 +297,13 @@ impl Component for Combine {
                 Ok(v) => v,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(ComponentError::from_step(label, step, e));
                 }
             };
             left.end_step();
             right.end_step();
-            stats.bytes_in += (lv.byte_len() + rv.byte_len()) as u64;
+            let step_in = (lv.byte_len() + rv.byte_len()) as u64;
 
             let kernel_start = Instant::now();
             let a = lv.data.into_f64_vec();
@@ -314,6 +320,7 @@ impl Component for Combine {
             out_meta.labels = lmeta.labels.clone();
             if let Err(e) = writer.begin_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
             if gate != StepFault::DropChunk {
@@ -324,9 +331,10 @@ impl Component for Combine {
             }
             if let Err(e) = writer.end_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
-            stats.record_step(step_start.elapsed(), wait, compute);
+            stats.record_step(step_start.elapsed(), wait, compute, step_in);
         }
         writer.close();
         Ok(stats)

@@ -6,15 +6,87 @@
 //! [`run_transform`] helper implements the step loop shared by every
 //! one-input/one-output transform component.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sb_comm::Communicator;
 use sb_data::Chunk;
-use sb_stream::{FaultOp, StepStatus, StreamError, StreamHub, StreamReader, WriterOptions};
+use sb_stream::{
+    EventKind, FaultOp, StepStatus, StreamError, StreamHub, StreamReader, StreamWriter, TraceSite,
+    WriterOptions,
+};
 
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
+
+thread_local! {
+    /// Stats a failing run loop accumulated before its error. A rank that
+    /// dies mid-run returns `Err` — which carries no [`ComponentStats`] —
+    /// so the loop stashes its partials here and the supervisor harvests
+    /// them on the same thread, letting a restarted component report the
+    /// union of all its attempts instead of only the final one.
+    static PARTIAL_STATS: RefCell<Option<ComponentStats>> = const { RefCell::new(None) };
+}
+
+/// Stashes the stats a failing rank accumulated before its error, for the
+/// supervisor to merge into the component's report. The shared run loops
+/// ([`run_source`], [`run_transform`], [`run_sink`]) do this automatically;
+/// custom `Component` impls with hand-rolled loops should too, or their
+/// pre-restart accounting is lost.
+pub fn stash_partial_stats(stats: ComponentStats) {
+    PARTIAL_STATS.with(|cell| *cell.borrow_mut() = Some(stats));
+}
+
+/// Takes the stats the failing run loop stashed on this thread, if any.
+/// Called by the supervisor's rank closure right after `Component::run`
+/// returns, on the same thread the loop ran on.
+pub(crate) fn take_partial_stats() -> Option<ComponentStats> {
+    PARTIAL_STATS.with(|cell| cell.borrow_mut().take())
+}
+
+/// The per-step trace instrumentation of one run loop: the hub tracer plus
+/// this component's interned label. Everything is a no-op (one relaxed
+/// atomic load) while tracing is disabled.
+struct LoopTrace {
+    tracer: Arc<sb_stream::Tracer>,
+    label: u32,
+    rank: usize,
+}
+
+impl LoopTrace {
+    fn new(hub: &StreamHub, label: &str, rank: usize) -> LoopTrace {
+        let tracer = Arc::clone(hub.tracer());
+        let label = if tracer.enabled() {
+            tracer.intern_thread_label(label)
+        } else {
+            0
+        };
+        LoopTrace {
+            tracer,
+            label,
+            rank,
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> u64 {
+        if self.tracer.enabled() {
+            self.tracer.now_ns()
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn span(&self, kind: EventKind, step: u64, start_ns: u64) {
+        self.tracer.span(
+            kind,
+            TraceSite::component(self.label, self.rank, step),
+            start_ns,
+        );
+    }
+}
 
 /// A `(stream, array)` name pair — the unit of workflow wiring.
 ///
@@ -166,6 +238,21 @@ pub fn fault_gate(
     if !fault.delay.is_zero() {
         std::thread::sleep(fault.delay);
     }
+    if let Some(op) = fault.op {
+        let tracer = hub.tracer();
+        if tracer.enabled() {
+            let code = match op {
+                FaultOp::Kill => 1,
+                FaultOp::Stall => 2,
+                FaultOp::DropChunk => 3,
+            };
+            tracer.instant(
+                EventKind::FaultInjected,
+                TraceSite::component(tracer.intern_thread_label(label), rank, step),
+                code,
+            );
+        }
+    }
     match fault.op {
         Some(FaultOp::Kill) => Err(ComponentError::Injected {
             label: label.to_string(),
@@ -205,8 +292,6 @@ pub fn run_transform<F>(
 where
     F: FnMut(&StreamReader, &Communicator) -> StepResult<StepOutput>,
 {
-    let label = spec.label;
-    let rank = comm.rank();
     let mut reader = hub.open_reader_grouped(
         spec.input_stream,
         spec.reader_group,
@@ -220,6 +305,38 @@ where
         spec.writer_options,
     );
     let mut stats = ComponentStats::default();
+    match transform_loop(
+        &spec,
+        comm,
+        hub,
+        &mut reader,
+        &mut writer,
+        &mut stats,
+        &mut per_step,
+    ) {
+        Ok(()) => Ok(stats),
+        Err(e) => {
+            stash_partial_stats(stats);
+            Err(e)
+        }
+    }
+}
+
+fn transform_loop<F>(
+    spec: &TransformSpec<'_>,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    reader: &mut StreamReader,
+    writer: &mut StreamWriter,
+    stats: &mut ComponentStats,
+    per_step: &mut F,
+) -> Result<(), ComponentError>
+where
+    F: FnMut(&StreamReader, &Communicator) -> StepResult<StepOutput>,
+{
+    let label = spec.label;
+    let rank = comm.rank();
+    let trace = LoopTrace::new(hub, label, rank);
     loop {
         let step = reader.current_step();
         let gate = match fault_gate(hub, label, rank, step) {
@@ -231,9 +348,10 @@ where
         };
         if gate == StepFault::Stall {
             writer.abandon();
-            return Ok(stats);
+            return Ok(());
         }
         let step_start = Instant::now();
+        let step_ns = trace.now();
         match reader.begin_step() {
             Ok(StepStatus::EndOfStream) => break,
             Ok(StepStatus::Ready(_)) => {}
@@ -243,33 +361,47 @@ where
             }
         }
         let wait = step_start.elapsed();
-        let out = match per_step(&reader, comm) {
+        trace.span(EventKind::Wait, step, step_ns);
+        let compute_ns = trace.now();
+        let out = match per_step(reader, comm) {
             Ok(out) => out,
             Err(e) => {
                 writer.abandon();
                 return Err(ComponentError::from_step(label, step, e));
             }
         };
+        trace.span(EventKind::Compute, step, compute_ns);
         reader.end_step();
-        stats.bytes_in += out.bytes_in;
+        let publish_ns = trace.now();
+        let block_start = Instant::now();
         if let Err(e) = writer.begin_step() {
             writer.abandon();
             return Err(stream_err(label, step, e));
         }
+        let mut publish_wait = block_start.elapsed();
         if let Some(chunk) = out.chunk {
             if gate != StepFault::DropChunk {
                 stats.bytes_out += chunk.byte_len() as u64;
                 writer.put(chunk);
             }
         }
+        let block_start = Instant::now();
         if let Err(e) = writer.end_step() {
             writer.abandon();
             return Err(stream_err(label, step, e));
         }
-        stats.record_step(step_start.elapsed(), wait, out.compute);
+        publish_wait += block_start.elapsed();
+        trace.span(EventKind::Publish, step, publish_ns);
+        stats.record_step(
+            step_start.elapsed(),
+            wait + publish_wait,
+            out.compute,
+            out.bytes_in,
+        );
+        trace.span(EventKind::Step, step, step_ns);
     }
     writer.close();
-    Ok(stats)
+    Ok(())
 }
 
 /// The step loop for endpoint (sink) components: like [`run_transform`] but
@@ -286,31 +418,56 @@ pub fn run_sink<F>(
 where
     F: FnMut(&StreamReader, &Communicator, u64) -> StepResult<(u64, Duration)>,
 {
-    let rank = comm.rank();
     let mut reader = hub.open_reader_grouped(input_stream, reader_group, comm.rank(), comm.size());
     let mut stats = ComponentStats::default();
+    match sink_loop(label, comm, hub, &mut reader, &mut stats, &mut per_step) {
+        Ok(()) => Ok(stats),
+        Err(e) => {
+            stash_partial_stats(stats);
+            Err(e)
+        }
+    }
+}
+
+fn sink_loop<F>(
+    label: &str,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    reader: &mut StreamReader,
+    stats: &mut ComponentStats,
+    per_step: &mut F,
+) -> Result<(), ComponentError>
+where
+    F: FnMut(&StreamReader, &Communicator, u64) -> StepResult<(u64, Duration)>,
+{
+    let rank = comm.rank();
+    let trace = LoopTrace::new(hub, label, rank);
     loop {
         let step = reader.current_step();
         // A sink has no outputs to drop or abandon: Stall just stops
         // consuming, which upstream eventually observes as backpressure.
         match fault_gate(hub, label, rank, step)? {
-            StepFault::Stall => return Ok(stats),
+            StepFault::Stall => return Ok(()),
             StepFault::Clean | StepFault::DropChunk => {}
         }
         let step_start = Instant::now();
+        let step_ns = trace.now();
         match reader.begin_step() {
             Ok(StepStatus::EndOfStream) => break,
             Ok(StepStatus::Ready(_)) => {}
             Err(e) => return Err(stream_err(label, step, e)),
         }
         let wait = step_start.elapsed();
-        let (bytes_in, compute) = per_step(&reader, comm, stats.steps)
+        trace.span(EventKind::Wait, step, step_ns);
+        let compute_ns = trace.now();
+        let (bytes_in, compute) = per_step(reader, comm, stats.steps)
             .map_err(|e| ComponentError::from_step(label, step, e))?;
+        trace.span(EventKind::Compute, step, compute_ns);
         reader.end_step();
-        stats.bytes_in += bytes_in;
-        stats.record_step(step_start.elapsed(), wait, compute);
+        stats.record_step(step_start.elapsed(), wait, compute, bytes_in);
+        trace.span(EventKind::Step, step, step_ns);
     }
-    Ok(stats)
+    Ok(())
 }
 
 /// Writes one chunk per step from a producing closure — the loop used by
@@ -326,9 +483,30 @@ pub fn run_source<F>(
 where
     F: FnMut(&Communicator, u64) -> StepResult<Option<Chunk>>,
 {
-    let rank = comm.rank();
     let mut writer = hub.open_writer(output_stream, comm.rank(), comm.size(), writer_options);
     let mut stats = ComponentStats::default();
+    match source_loop(label, comm, hub, &mut writer, &mut stats, &mut per_step) {
+        Ok(()) => Ok(stats),
+        Err(e) => {
+            stash_partial_stats(stats);
+            Err(e)
+        }
+    }
+}
+
+fn source_loop<F>(
+    label: &str,
+    comm: &Communicator,
+    hub: &Arc<StreamHub>,
+    writer: &mut StreamWriter,
+    stats: &mut ComponentStats,
+    per_step: &mut F,
+) -> Result<(), ComponentError>
+where
+    F: FnMut(&Communicator, u64) -> StepResult<Option<Chunk>>,
+{
+    let rank = comm.rank();
+    let trace = LoopTrace::new(hub, label, rank);
     loop {
         let step = writer.current_step();
         let gate = match fault_gate(hub, label, rank, step) {
@@ -340,9 +518,10 @@ where
         };
         if gate == StepFault::Stall {
             writer.abandon();
-            return Ok(stats);
+            return Ok(());
         }
         let step_start = Instant::now();
+        let step_ns = trace.now();
         let chunk = match per_step(comm, stats.steps) {
             Ok(Some(c)) => Some(c),
             Ok(None) => break,
@@ -352,24 +531,35 @@ where
             }
         };
         let compute = step_start.elapsed();
+        trace.span(EventKind::Compute, step, step_ns);
+        // Publishing is where a source blocks (output backpressure, or a
+        // rendezvous hand-off): charge it to wait_time, not compute, so all
+        // three run paths attribute their stopwatch laps the same way.
+        let publish_ns = trace.now();
+        let block_start = Instant::now();
         if let Err(e) = writer.begin_step() {
             writer.abandon();
             return Err(stream_err(label, step, e));
         }
+        let mut wait = block_start.elapsed();
         if let Some(chunk) = chunk {
             if gate != StepFault::DropChunk {
                 stats.bytes_out += chunk.byte_len() as u64;
                 writer.put(chunk);
             }
         }
+        let block_start = Instant::now();
         if let Err(e) = writer.end_step() {
             writer.abandon();
             return Err(stream_err(label, step, e));
         }
-        stats.record_step(step_start.elapsed(), Duration::ZERO, compute);
+        wait += block_start.elapsed();
+        trace.span(EventKind::Publish, step, publish_ns);
+        stats.record_step(step_start.elapsed(), wait, compute, 0);
+        trace.span(EventKind::Step, step, step_ns);
     }
     writer.close();
-    Ok(stats)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@ use sb_data::decompose::default_partition;
 use sb_data::{Chunk, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
-use crate::component::{fault_gate, run_sink, Component, StepFault};
+use crate::component::{fault_gate, run_sink, stash_partial_stats, Component, StepFault};
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
@@ -170,6 +170,7 @@ impl Component for FileRead {
                 Ok(g) => g,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(e);
                 }
             };
@@ -178,6 +179,7 @@ impl Component for FileRead {
                 Ok(n) => n,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(ComponentError::from_step(label, step, e.into()));
                 }
             };
@@ -207,9 +209,10 @@ impl Component for FileRead {
             })();
             if let Err(e) = io {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(ComponentError::from_step(label, step, e));
             }
-            stats.record_step(start.elapsed(), Duration::ZERO, Duration::ZERO);
+            stats.record_step(start.elapsed(), Duration::ZERO, Duration::ZERO, 0);
         }
         writer.close();
         Ok(stats)

@@ -15,7 +15,7 @@ use sb_data::decompose::default_partition;
 use sb_data::Chunk;
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::{fault_gate, stream_err, Component, StepFault};
+use crate::component::{fault_gate, stash_partial_stats, stream_err, Component, StepFault};
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
@@ -106,6 +106,7 @@ impl Component for Fork {
                     for w in &mut writers {
                         w.abandon();
                     }
+                    stash_partial_stats(stats);
                     return Err(e);
                 }
             };
@@ -117,13 +118,17 @@ impl Component for Fork {
                     for w in &mut writers {
                         w.abandon();
                     }
+                    stash_partial_stats(stats);
                     return Err(stream_err(label, step, e));
                 }
             }
             let wait = step_start.elapsed();
             // Read this rank's partition of every variable once, then put
-            // it to every output.
-            let body = (|| -> StepResult<()> {
+            // it to every output. Per-step byte counts stay local to the
+            // closure and land in `stats` through `record_step` below.
+            let body = (|| -> StepResult<(u64, u64)> {
+                let mut step_in = 0u64;
+                let mut step_out = 0u64;
                 let mut chunks: Vec<Chunk> = Vec::new();
                 for name in reader.variables() {
                     let meta = reader
@@ -132,7 +137,7 @@ impl Component for Fork {
                         .clone();
                     let region = default_partition(&meta.shape, comm.size(), comm.rank());
                     let var = reader.get(&name, &region)?;
-                    stats.bytes_in += var.byte_len() as u64;
+                    step_in += var.byte_len() as u64;
                     chunks.push(Chunk::new(meta, region, var.data)?);
                 }
                 reader.end_step();
@@ -152,22 +157,28 @@ impl Component for Fork {
                         if c.region.ndims() == 0 && comm.rank() != 0 {
                             continue;
                         }
-                        stats.bytes_out += c.byte_len() as u64;
+                        step_out += c.byte_len() as u64;
                         w.put(c.clone());
                     }
                 }
                 for w in writers.iter_mut() {
                     w.end_step()?;
                 }
-                Ok(())
+                Ok((step_in, step_out))
             })();
-            if let Err(e) = body {
-                for w in &mut writers {
-                    w.abandon();
+            match body {
+                Ok((step_in, step_out)) => {
+                    stats.bytes_out += step_out;
+                    stats.record_step(step_start.elapsed(), wait, Duration::ZERO, step_in);
                 }
-                return Err(ComponentError::from_step(label, step, e));
+                Err(e) => {
+                    for w in &mut writers {
+                        w.abandon();
+                    }
+                    stash_partial_stats(stats);
+                    return Err(ComponentError::from_step(label, step, e));
+                }
             }
-            stats.record_step(step_start.elapsed(), wait, Duration::ZERO);
         }
         for mut w in writers {
             w.close();

@@ -112,6 +112,11 @@ pub use temporal::TemporalMean;
 pub use threshold::{Predicate, Threshold};
 pub use transpose::Transpose;
 
+/// Trace types re-exported from the stream layer: workflows configure
+/// tracing through [`RunOptions`] and consume the drained timeline off the
+/// [`WorkflowReport`], so the types live at the same level.
+pub use sb_stream::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent};
+
 /// Everything needed to assemble, supervise, and run a workflow: the
 /// workflow and component surfaces, the kernel components, the run options
 /// and fault policies, the error taxonomy, and the stream-transport types
@@ -129,5 +134,8 @@ pub mod prelude {
         FailureAction, FaultPolicy, HistogramResult, RunOptions, StepError, StepResult, Validation,
         WorkflowError, WorkflowReport,
     };
-    pub use sb_stream::{FaultKind, FaultPlan, StepStatus, StreamError, StreamHub, WriterOptions};
+    pub use sb_stream::{
+        EventKind, FaultKind, FaultPlan, StepStatus, StreamError, StreamHub, Timeline, TraceConfig,
+        WriterOptions,
+    };
 }

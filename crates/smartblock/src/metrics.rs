@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use sb_stream::StreamMetrics;
+use sb_stream::{StreamMetrics, Timeline};
 
 use crate::error::ComponentError;
 
@@ -47,19 +47,54 @@ pub struct ComponentStats {
     pub bytes_out: u64,
     /// Wall-clock duration of each timestep (begin-input to end-output).
     pub step_times: Vec<Duration>,
-    /// Total time blocked waiting for input data.
+    /// Bytes read from the input stream(s) in each timestep, paired with
+    /// `step_times` so per-step throughput divides matched quantities
+    /// (chunk sizes vary across steps for Threshold/Select outputs).
+    pub step_bytes_in: Vec<u64>,
+    /// Total time blocked waiting on stream operations: input `begin_step`
+    /// plus output backpressure.
     pub wait_time: Duration,
     /// Total time in the component's compute kernel.
     pub compute_time: Duration,
 }
 
 impl ComponentStats {
-    /// Records one completed step.
-    pub fn record_step(&mut self, total: Duration, wait: Duration, compute: Duration) {
+    /// Records one completed step: its wall-clock duration, the portion
+    /// spent blocked on streams, the portion in the compute kernel, and the
+    /// bytes read from the input stream(s) during it (also accumulated into
+    /// [`ComponentStats::bytes_in`]).
+    pub fn record_step(
+        &mut self,
+        total: Duration,
+        wait: Duration,
+        compute: Duration,
+        bytes_in: u64,
+    ) {
         self.steps += 1;
         self.step_times.push(total);
+        self.step_bytes_in.push(bytes_in);
+        self.bytes_in += bytes_in;
         self.wait_time += wait;
         self.compute_time += compute;
+    }
+
+    /// Folds a later attempt's accounting into this one — the supervisor
+    /// calls this so a restarted component reports the union of all its
+    /// attempts, not just the final one.
+    ///
+    /// Exact for `Restart` after a kill fault (which fires at the step
+    /// boundary, before any stream call of the step): released steps are
+    /// never re-produced, so merged counts equal a clean run's. A component
+    /// that died *mid*-step may re-read that step's input after restart and
+    /// slightly overcount `bytes_in`.
+    pub fn absorb(&mut self, later: ComponentStats) {
+        self.steps += later.steps;
+        self.bytes_in += later.bytes_in;
+        self.bytes_out += later.bytes_out;
+        self.step_times.extend(later.step_times);
+        self.step_bytes_in.extend(later.step_bytes_in);
+        self.wait_time += later.wait_time;
+        self.compute_time += later.compute_time;
     }
 
     /// Mean step completion time.
@@ -99,12 +134,17 @@ impl ComponentReport {
             bytes_in: per_rank.iter().map(|s| s.bytes_in).sum(),
             bytes_out: per_rank.iter().map(|s| s.bytes_out).sum(),
             step_times: Vec::with_capacity(steps as usize),
+            step_bytes_in: Vec::with_capacity(steps as usize),
             wait_time: per_rank.iter().map(|s| s.wait_time).sum::<Duration>()
                 / nranks.max(1) as u32,
             compute_time: per_rank.iter().map(|s| s.compute_time).sum::<Duration>()
                 / nranks.max(1) as u32,
         };
-        // Per-timestep completion time, averaged over the communicator.
+        // Per-timestep completion time, averaged over the communicator;
+        // per-timestep bytes, summed over it (matched pairs for Fig. 9).
+        // Stats recorded without per-step bytes (external drivers) keep the
+        // aggregate vector empty so consumers fall back to the run average.
+        let have_step_bytes = per_rank.iter().any(|s| !s.step_bytes_in.is_empty());
         for step in 0..steps as usize {
             let times: Vec<Duration> = per_rank
                 .iter()
@@ -113,6 +153,14 @@ impl ComponentReport {
             if !times.is_empty() {
                 agg.step_times
                     .push(times.iter().sum::<Duration>() / times.len() as u32);
+                if have_step_bytes {
+                    agg.step_bytes_in.push(
+                        per_rank
+                            .iter()
+                            .filter_map(|s| s.step_bytes_in.get(step).copied())
+                            .sum(),
+                    );
+                }
             }
         }
         ComponentReport {
@@ -139,13 +187,22 @@ impl ComponentReport {
 
     /// Per-process input throughput for one step, in KB/s — the metric of
     /// the paper's Fig. 9.
+    ///
+    /// Divides the bytes *this step* moved by the time *this step* took;
+    /// pairing the run-average bytes-per-step with one step's time
+    /// misreports whenever chunk sizes vary across steps (Threshold and
+    /// Select outputs do). Falls back to the run average only for stats
+    /// recorded without per-step bytes (e.g. external `Simulation` drivers).
     pub fn per_process_throughput_kbs(&self, step: usize) -> Option<f64> {
         let t = self.stats.step_times.get(step)?.as_secs_f64();
         if t == 0.0 || self.stats.steps == 0 {
             return None;
         }
-        let bytes_per_step = self.stats.bytes_in as f64 / self.stats.steps as f64;
-        Some(bytes_per_step / 1024.0 / self.nranks as f64 / t)
+        let step_bytes = match self.stats.step_bytes_in.get(step) {
+            Some(&b) => b as f64,
+            None => self.stats.bytes_in as f64 / self.stats.steps as f64,
+        };
+        Some(step_bytes / 1024.0 / self.nranks as f64 / t)
     }
 }
 
@@ -160,6 +217,9 @@ pub struct WorkflowReport {
     pub components: Vec<ComponentReport>,
     /// Final transfer counters of every stream in the workflow.
     pub streams: Vec<StreamMetrics>,
+    /// The step timeline recorded during the run; empty unless tracing was
+    /// enabled via `RunOptions::with_tracing` or `SB_TRACE=1`.
+    pub timeline: Timeline,
 }
 
 impl WorkflowReport {
@@ -306,32 +366,69 @@ mod tests {
             Duration::from_millis(10),
             Duration::from_millis(2),
             Duration::from_millis(5),
+            100,
         );
         s.record_step(
             Duration::from_millis(20),
             Duration::from_millis(1),
             Duration::from_millis(9),
+            300,
         );
         assert_eq!(s.steps, 2);
         assert_eq!(s.mean_step_time(), Duration::from_millis(15));
         assert_eq!(s.wait_time, Duration::from_millis(3));
         assert_eq!(s.compute_time, Duration::from_millis(14));
+        assert_eq!(s.bytes_in, 400);
+        assert_eq!(s.step_bytes_in, vec![100, 300]);
         assert_eq!(ComponentStats::default().mean_step_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges_attempts() {
+        let mut first = ComponentStats::default();
+        first.record_step(
+            Duration::from_millis(10),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            100,
+        );
+        first.bytes_out += 50;
+        let mut second = ComponentStats::default();
+        second.record_step(
+            Duration::from_millis(30),
+            Duration::from_millis(3),
+            Duration::from_millis(4),
+            300,
+        );
+        second.bytes_out += 150;
+        first.absorb(second);
+        assert_eq!(first.steps, 2);
+        assert_eq!(first.bytes_in, 400);
+        assert_eq!(first.bytes_out, 200);
+        assert_eq!(first.step_bytes_in, vec![100, 300]);
+        assert_eq!(first.step_times.len(), 2);
+        assert_eq!(first.wait_time, Duration::from_millis(4));
+        assert_eq!(first.compute_time, Duration::from_millis(6));
     }
 
     #[test]
     fn report_aggregates_over_ranks() {
         let mk = |bytes: u64, ms: u64| {
             let mut s = ComponentStats {
-                bytes_in: bytes,
                 bytes_out: bytes / 2,
                 ..Default::default()
             };
-            s.record_step(Duration::from_millis(ms), Duration::ZERO, Duration::ZERO);
+            s.record_step(
+                Duration::from_millis(ms),
+                Duration::ZERO,
+                Duration::ZERO,
+                bytes / 2,
+            );
             s.record_step(
                 Duration::from_millis(ms * 2),
                 Duration::ZERO,
                 Duration::ZERO,
+                bytes / 2,
             );
             s
         };
@@ -343,9 +440,46 @@ mod tests {
         // Step 0: mean(10, 30) = 20ms; step 1: mean(20, 60) = 40ms.
         assert_eq!(rep.stats.step_times[0], Duration::from_millis(20));
         assert_eq!(rep.stats.step_times[1], Duration::from_millis(40));
-        // Throughput: bytes/step = 2000, per-proc = 1000, over 0.02s.
+        // Both steps moved 2000 B across the communicator.
+        assert_eq!(rep.stats.step_bytes_in, vec![2000, 2000]);
+        // Throughput: step 0 moved 2000 B, per-proc = 1000, over 0.02s.
         let kbs = rep.per_process_throughput_kbs(0).unwrap();
         assert!((kbs - (1000.0 / 1024.0 / 0.02)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_pairs_each_step_with_its_own_bytes() {
+        // Step 0 moves 4096 B in 10ms; step 1 moves 1024 B in 10ms. The
+        // old average-based metric reported the same value for both.
+        let mut s = ComponentStats::default();
+        s.record_step(
+            Duration::from_millis(10),
+            Duration::ZERO,
+            Duration::ZERO,
+            4096,
+        );
+        s.record_step(
+            Duration::from_millis(10),
+            Duration::ZERO,
+            Duration::ZERO,
+            1024,
+        );
+        let rep = ComponentReport::from_ranks("thresh".into(), vec![s]);
+        let kbs0 = rep.per_process_throughput_kbs(0).unwrap();
+        let kbs1 = rep.per_process_throughput_kbs(1).unwrap();
+        assert!((kbs0 - 4.0 / 0.01).abs() < 1e-9, "step 0: 4 KB in 10ms");
+        assert!((kbs1 - 1.0 / 0.01).abs() < 1e-9, "step 1: 1 KB in 10ms");
+
+        // Stats recorded without per-step bytes fall back to the average.
+        let legacy = ComponentStats {
+            steps: 2,
+            bytes_in: 5120,
+            step_times: vec![Duration::from_millis(10); 2],
+            ..Default::default()
+        };
+        let rep = ComponentReport::from_ranks("sim".into(), vec![legacy]);
+        let kbs = rep.per_process_throughput_kbs(0).unwrap();
+        assert!((kbs - 2.5 / 0.01).abs() < 1e-9, "mean 2.5 KB in 10ms");
     }
 
     #[test]
@@ -373,6 +507,7 @@ mod tests {
                 copies_elided: 0,
                 zero_fills_elided: 0,
             }],
+            timeline: Timeline::default(),
         };
         let s = rep.summary();
         assert!(s.contains("1 components"));

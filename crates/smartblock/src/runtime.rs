@@ -398,6 +398,19 @@ impl Workflow {
         if let Some(timeout) = options.hub_timeout {
             hub.set_wait_timeout(timeout);
         }
+        // Arm the tracer before any component thread spawns so the very
+        // first step is on the timeline. `SB_TRACE` (non-empty, not "0")
+        // enables the default config without touching call sites.
+        let trace_config = options
+            .trace
+            .clone()
+            .or_else(|| match std::env::var("SB_TRACE") {
+                Ok(v) if !v.is_empty() && v != "0" => Some(sb_stream::TraceConfig::new()),
+                _ => None,
+            });
+        if let Some(config) = &trace_config {
+            hub.tracer().enable(config);
+        }
         let start = Instant::now();
         let sup = Arc::new(Supervision::new(Arc::clone(&hub)));
         let supervisors: Vec<std::thread::JoinHandle<ComponentReport>> = entries
@@ -420,6 +433,13 @@ impl Workflow {
             .into_iter()
             .map(|h| h.join().expect("a supervisor thread panicked"))
             .collect();
+        let timeline = if trace_config.is_some() {
+            let timeline = hub.tracer().drain();
+            hub.tracer().disable();
+            timeline
+        } else {
+            sb_stream::Timeline::default()
+        };
         if let Some((label, attempts, error)) = sup.take_first_failure() {
             return Err(WorkflowError::ComponentFailed {
                 label,
@@ -431,6 +451,7 @@ impl Workflow {
             elapsed: start.elapsed(),
             components,
             streams: hub.all_metrics(),
+            timeline,
         })
     }
 

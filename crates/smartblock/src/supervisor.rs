@@ -25,11 +25,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use sb_comm::{CommError, LaunchHandle};
-use sb_stream::StreamHub;
+use sb_stream::{EventKind, StreamHub, TraceConfig, TraceSite};
 
-use crate::component::Component;
+use crate::component::{take_partial_stats, Component};
 use crate::error::{backoff_delay, ComponentError};
-use crate::metrics::{ComponentOutcome, ComponentReport};
+use crate::metrics::{ComponentOutcome, ComponentReport, ComponentStats};
 
 /// What the supervisor does when a component fails (any rank returns an
 /// error or panics).
@@ -140,6 +140,11 @@ pub struct RunOptions {
     pub fault_policy: FaultPolicy,
     /// Overrides the hub's blocking-operation timeout for this run.
     pub hub_timeout: Option<Duration>,
+    /// Enables step-timeline tracing for this run; the drained
+    /// [`sb_stream::Timeline`] lands on
+    /// [`crate::WorkflowReport::timeline`]. `SB_TRACE=1` in the environment
+    /// enables tracing with the default config even when this is `None`.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RunOptions {
@@ -164,6 +169,12 @@ impl RunOptions {
     /// Overrides the hub timeout for this run (builder style).
     pub fn with_hub_timeout(mut self, hub_timeout: Duration) -> RunOptions {
         self.hub_timeout = Some(hub_timeout);
+        self
+    }
+
+    /// Enables step-timeline tracing for this run (builder style).
+    pub fn with_tracing(mut self, trace: TraceConfig) -> RunOptions {
+        self.trace = Some(trace);
         self
     }
 }
@@ -232,11 +243,24 @@ pub(crate) fn supervise(
     sup: &Supervision,
 ) -> ComponentReport {
     let mut attempts = 0u32;
+    // Accounting carried across attempts, by rank: a restarted component
+    // must report the union of everything its attempts did, not just the
+    // final attempt (released steps are not re-produced, so dropping
+    // earlier attempts undercounts steps and bytes).
+    let mut carried: Vec<ComponentStats> = vec![ComponentStats::default(); nranks];
     loop {
         attempts += 1;
         let comp = Arc::clone(&component);
         let hub = Arc::clone(&sup.hub);
-        let handle = match LaunchHandle::spawn(label, nranks, move |comm| comp.run(&comm, &hub)) {
+        // Each rank installs its trace ring (a no-op while tracing is
+        // disabled), runs, then harvests any partial stats a failing run
+        // loop stashed on this same thread.
+        let handle = match LaunchHandle::spawn(label, nranks, move |comm| {
+            let _ring = hub.tracer().install_thread_ring();
+            let result = comp.run(&comm, &hub);
+            let partial = take_partial_stats();
+            (result, partial)
+        }) {
             Ok(h) => h,
             Err(e) => {
                 let error = ComponentError::Launch {
@@ -249,13 +273,18 @@ pub(crate) fn supervise(
         };
 
         // Reap every rank: no thread of this incarnation may survive into
-        // a restart.
-        let mut per_rank = Vec::with_capacity(nranks);
+        // a restart. `join_all` yields results in rank order, so the
+        // enumeration index is the rank.
         let mut errors = Vec::new();
-        for joined in handle.join_all() {
+        for (rank, joined) in handle.join_all().into_iter().enumerate() {
             match joined {
-                Ok(Ok(stats)) => per_rank.push(stats),
-                Ok(Err(e)) => errors.push(e),
+                Ok((Ok(stats), _)) => carried[rank].absorb(stats),
+                Ok((Err(e), partial)) => {
+                    if let Some(stats) = partial {
+                        carried[rank].absorb(stats);
+                    }
+                    errors.push(e);
+                }
                 Err(CommError::RankPanicked { rank, message }) => {
                     errors.push(ComponentError::Panicked {
                         label: label.to_string(),
@@ -271,7 +300,7 @@ pub(crate) fn supervise(
         }
 
         let Some(error) = primary_error(errors) else {
-            return ComponentReport::from_ranks(label.to_string(), per_rank)
+            return ComponentReport::from_ranks(label.to_string(), carried)
                 .with_supervision(attempts, ComponentOutcome::Completed);
         };
 
@@ -283,6 +312,7 @@ pub(crate) fn supervise(
 
         match policy.action {
             FailureAction::Restart if attempts <= policy.max_restarts => {
+                supervisor_event(sup, label, EventKind::RestartAttempt, (attempts + 1) as u64);
                 sup.hub.prepare_restart(
                     &component.input_subscriptions(),
                     &component.output_streams(),
@@ -291,13 +321,14 @@ pub(crate) fn supervise(
                 continue;
             }
             FailureAction::Degrade => {
+                supervisor_event(sup, label, EventKind::Degraded, attempts as u64);
                 for stream in component.output_streams() {
                     sup.hub.force_end_of_stream(&stream);
                 }
                 for (stream, group) in component.input_subscriptions() {
                     sup.hub.detach_reader_group(&stream, &group);
                 }
-                let mut report = ComponentReport::from_ranks(label.to_string(), per_rank)
+                let mut report = ComponentReport::from_ranks(label.to_string(), carried)
                     .with_supervision(attempts, ComponentOutcome::Degraded { error });
                 report.nranks = nranks;
                 return report;
@@ -308,6 +339,17 @@ pub(crate) fn supervise(
                 return failed_report(label, nranks, attempts, error);
             }
         }
+    }
+}
+
+/// Records a supervisor decision on the timeline (restart or degrade).
+/// Supervisor threads have no event ring; these rare instants go straight
+/// to the tracer sink.
+fn supervisor_event(sup: &Supervision, label: &str, kind: EventKind, arg: u64) {
+    let tracer = sup.hub.tracer();
+    if tracer.enabled() {
+        let site = TraceSite::component(tracer.intern(label), 0, 0);
+        tracer.instant(kind, site, arg);
     }
 }
 

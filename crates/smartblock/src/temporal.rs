@@ -17,7 +17,9 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, VariableMeta};
 use sb_stream::{StepStatus, StreamHub, WriterOptions};
 
-use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::component::{
+    fault_gate, stash_partial_stats, stream_err, Component, StepFault, StreamArray,
+};
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
@@ -181,6 +183,7 @@ impl Component for TemporalMean {
                 Ok(g) => g,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(e);
                 }
             };
@@ -190,6 +193,7 @@ impl Component for TemporalMean {
                 Ok(StepStatus::Ready(_)) => {}
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(stream_err(label, step, e));
                 }
             }
@@ -209,11 +213,12 @@ impl Component for TemporalMean {
                 Ok(v) => v,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(ComponentError::from_step(label, step, e));
                 }
             };
             reader.end_step();
-            stats.bytes_in += var.byte_len() as u64;
+            let step_in = var.byte_len() as u64;
 
             let kernel_start = Instant::now();
             let mean = state.push(var.data.into_f64_vec());
@@ -225,6 +230,7 @@ impl Component for TemporalMean {
             out_meta.attrs = meta.attrs.clone();
             if let Err(e) = writer.begin_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
             if gate != StepFault::DropChunk {
@@ -235,9 +241,10 @@ impl Component for TemporalMean {
             }
             if let Err(e) = writer.end_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
-            stats.record_step(step_start.elapsed(), wait, compute);
+            stats.record_step(step_start.elapsed(), wait, compute, step_in);
         }
         writer.close();
         Ok(stats)

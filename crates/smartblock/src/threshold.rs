@@ -15,7 +15,9 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, Region, Shape, VariableMeta};
 use sb_stream::{StreamHub, WriterOptions};
 
-use crate::component::{fault_gate, stream_err, Component, StepFault, StreamArray};
+use crate::component::{
+    fault_gate, stash_partial_stats, stream_err, Component, StepFault, StreamArray,
+};
 use crate::error::{ComponentError, ComponentResult, StepResult};
 use crate::metrics::ComponentStats;
 
@@ -182,6 +184,7 @@ impl Component for Threshold {
                 Ok(g) => g,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(e);
                 }
             };
@@ -191,6 +194,7 @@ impl Component for Threshold {
                 Ok(sb_stream::StepStatus::Ready(_)) => {}
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(stream_err(label, step, e));
                 }
             }
@@ -210,11 +214,12 @@ impl Component for Threshold {
                 Ok(v) => v,
                 Err(e) => {
                     writer.abandon();
+                    stash_partial_stats(stats);
                     return Err(ComponentError::from_step(label, step, e));
                 }
             };
             reader.end_step();
-            stats.bytes_in += var.byte_len() as u64;
+            let step_in = var.byte_len() as u64;
 
             let kernel_start = Instant::now();
             // This rank's rows start at a known global linear offset
@@ -250,6 +255,7 @@ impl Component for Threshold {
             let out_region = Region::new(vec![my_off as usize], vec![local_n as usize]);
             if let Err(e) = writer.begin_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
             if gate != StepFault::DropChunk {
@@ -263,9 +269,10 @@ impl Component for Threshold {
             }
             if let Err(e) = writer.end_step() {
                 writer.abandon();
+                stash_partial_stats(stats);
                 return Err(stream_err(label, step, e));
             }
-            stats.record_step(step_start.elapsed(), wait, compute);
+            stats.record_step(step_start.elapsed(), wait, compute, step_in);
         }
         writer.close();
         Ok(stats)

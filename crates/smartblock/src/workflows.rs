@@ -237,6 +237,7 @@ impl Component for Simulation {
             bytes_in: 0,
             bytes_out: stats.bytes_output,
             step_times: Vec::new(),
+            step_bytes_in: Vec::new(),
             wait_time: stats.io_time,
             compute_time: stats.compute_time,
         })

@@ -7,6 +7,10 @@
 //! 1-d data: `[T, G, 1] → [T, G] → [T·G]` (§III-F of the paper).
 //!
 //! Run with: `cargo run --release -p sb-examples --bin gtcp_pressure`
+//!
+//! Set `SB_TRACE=1` to record the step timeline: the run then prints a
+//! text waterfall of where each component's time went and writes
+//! `TRACE_gtcp_pressure.json` for Perfetto / `chrome://tracing`.
 
 use sb_examples::render_histogram;
 use smartblock::prelude::*;
@@ -43,5 +47,14 @@ fn main() {
             "  {:<12} steps={} written={}B read={}B",
             s.stream, s.steps_committed, s.bytes_written, s.bytes_read
         );
+    }
+
+    // With SB_TRACE=1 the runtime records the step timeline; show the
+    // terminal waterfall and drop the Chrome-trace export next to the cwd.
+    if !report.timeline.is_empty() {
+        println!("\n{}", report.timeline.waterfall());
+        let path = "TRACE_gtcp_pressure.json";
+        std::fs::write(path, report.timeline.chrome_trace_json()).expect("write trace JSON");
+        println!("wrote {path} — load it in Perfetto or chrome://tracing");
     }
 }
