@@ -10,7 +10,10 @@
 //!   copying plane (`set_force_copy`) at 1 writer x N readers. The
 //!   machine-readable before/after record lives in `BENCH_transport.json`
 //!   (regenerate with `cargo run --release -p sb-bench --bin
-//!   bench_transport`).
+//!   bench_transport`);
+//! * `tcp_vs_inproc/*` — the same pump over the in-proc backend and the
+//!   framed TCP transport on loopback (record: `BENCH_tcp.json`, via
+//!   `bench_transport -- --tcp`).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -211,6 +214,50 @@ fn bench_fanout(c: &mut Criterion) {
     }
 }
 
+/// Transport-backend ablation: the identical MxN pump over the in-proc hub
+/// and over the framed TCP transport on loopback — the cost of crossing a
+/// process boundary (serialization + socket hops) at several payload
+/// sizes. The machine-readable record lives in `BENCH_tcp.json`
+/// (regenerate with `cargo run --release -p sb-bench --bin bench_transport
+/// -- --tcp`).
+fn bench_tcp_vs_inproc(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use sb_bench::{run_wire_on, WireConfig};
+    use sb_stream::tcp::TcpBroker;
+
+    let mut group = c.benchmark_group("tcp_vs_inproc");
+    group.sample_size(10);
+    let cases = [(1usize, 1usize, 4_096usize), (1, 1, 65_536), (2, 2, 16_384)];
+    for (writers, readers, rows) in cases {
+        let config = WireConfig {
+            writers,
+            readers,
+            rows,
+            cols: 3,
+            steps: STEPS,
+        };
+        let id = format!("{writers}x{readers}_rows{rows}");
+        group.throughput(Throughput::Bytes(STEPS * config.payload_bytes()));
+        group.bench_with_input(BenchmarkId::new("inproc", &id), &config, |b, config| {
+            b.iter(|| black_box(run_wire_on(&StreamHub::new(), "w.fp", config)));
+        });
+        group.bench_with_input(BenchmarkId::new("tcp", &id), &config, |b, config| {
+            // One broker for the whole measurement; a fresh stream name per
+            // iteration keeps the pumps independent without re-binding.
+            let mut broker = TcpBroker::bind("127.0.0.1:0").expect("bind loopback broker");
+            let hub = StreamHub::connect(&broker.url()).expect("connect to broker");
+            let iter = AtomicUsize::new(0);
+            b.iter(|| {
+                let stream = format!("w{}.fp", iter.fetch_add(1, Ordering::Relaxed));
+                black_box(run_wire_on(&hub, &stream, config))
+            });
+            broker.shutdown();
+        });
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -221,6 +268,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = transport;
     config = configured();
-    targets = bench_overlap, bench_mxn, bench_pipeline_hop, bench_fanout
+    targets = bench_overlap, bench_mxn, bench_pipeline_hop, bench_fanout, bench_tcp_vs_inproc
 }
 criterion_main!(transport);

@@ -12,11 +12,15 @@
 //!
 //! Run with: `cargo run --release -p sb-bench --bin bench_transport`
 //! Options: `--smoke` (tiny sizes, for CI schema validation),
-//! `--out PATH` (default `BENCH_transport.json` in the working dir).
+//! `--tcp` (measure the framed TCP backend against in-proc instead,
+//! emitting `BENCH_tcp.json`), `--out PATH` (default
+//! `BENCH_transport.json`, or `BENCH_tcp.json` under `--tcp`).
 
 use std::time::Duration;
 
-use sb_bench::{run_fanout, FanoutConfig, FanoutResult, FanoutShape};
+use sb_bench::{run_fanout, run_wire_on, FanoutConfig, FanoutResult, FanoutShape, WireConfig};
+use sb_stream::tcp::TcpBroker;
+use sb_stream::StreamHub;
 use smartblock::metrics::format_table;
 
 /// Scale of one emitter invocation.
@@ -162,20 +166,280 @@ fn check_headline(runs: &[FanoutResult]) -> Result<(), String> {
     Ok(())
 }
 
+/// One (writers, readers, rows) pump of the `--tcp` comparison, measured
+/// on one backend.
+struct TcpRun {
+    backend: &'static str,
+    result: sb_bench::WireResult,
+}
+
+/// Scale of one `--tcp` emitter invocation: each case is pumped on the
+/// in-proc backend and on a loopback TCP broker.
+struct TcpScale {
+    smoke: bool,
+    cols: usize,
+    steps: u64,
+    /// (writers, readers, rows) cases.
+    cases: &'static [(usize, usize, usize)],
+    reps: usize,
+}
+
+impl TcpScale {
+    fn full() -> TcpScale {
+        TcpScale {
+            smoke: false,
+            cols: 3,
+            steps: 12,
+            cases: &[
+                (1, 1, 4_096),
+                (1, 1, 65_536),
+                (1, 1, 262_144),
+                (2, 2, 65_536),
+                (4, 2, 65_536),
+            ],
+            reps: 3,
+        }
+    }
+
+    fn smoke() -> TcpScale {
+        TcpScale {
+            smoke: true,
+            cols: 3,
+            steps: 2,
+            cases: &[(1, 1, 256), (2, 2, 256)],
+            reps: 1,
+        }
+    }
+}
+
+/// Best-of-`reps` wall time for one backend-blind pump; a fresh stream name
+/// per repetition keeps pumps independent on a shared hub.
+fn measure_wire(
+    hub: &std::sync::Arc<StreamHub>,
+    tag: &str,
+    config: &WireConfig,
+    reps: usize,
+) -> sb_bench::WireResult {
+    let mut best: Option<sb_bench::WireResult> = None;
+    for rep in 0..reps.max(1) {
+        let r = run_wire_on(hub, &format!("{tag}-rep{rep}.fp"), config);
+        if best.as_ref().is_none_or(|b| r.elapsed < b.elapsed) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn json_tcp_run(r: &TcpRun) -> String {
+    let c = &r.result.config;
+    let moved = c.payload_bytes() * c.steps;
+    let mb_per_s = moved as f64 / r.result.elapsed.as_secs_f64().max(f64::MIN_POSITIVE) / 1e6;
+    format!(
+        "    {{\n      \"backend\": \"{}\",\n      \"writers\": {},\n      \"readers\": {},\n      \
+         \"rows\": {},\n      \"payload_bytes_per_step\": {},\n      \"ns_per_step\": {:.0},\n      \
+         \"payload_mb_per_s\": {:.1},\n      \"bytes_on_wire\": {},\n      \
+         \"wire_amplification\": {:.3}\n    }}",
+        r.backend,
+        c.writers,
+        c.readers,
+        c.rows,
+        c.payload_bytes(),
+        r.result.ns_per_step(),
+        mb_per_s,
+        r.result.metrics.bytes_on_wire,
+        r.result.metrics.bytes_on_wire as f64 / moved as f64,
+    )
+}
+
+fn render_tcp_json(scale: &TcpScale, runs: &[TcpRun]) -> String {
+    let body: Vec<String> = runs.iter().map(json_tcp_run).collect();
+    format!(
+        "{{\n  \"schema\": \"smartblock.bench_tcp.v1\",\n  \"smoke\": {},\n  \"cols\": {},\n  \
+         \"steps\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        scale.smoke,
+        scale.cols,
+        scale.steps,
+        body.join(",\n")
+    )
+}
+
+/// Minimal schema check mirroring [`validate`], for the `--tcp` emission.
+fn validate_tcp(text: &str, expected_runs: usize) -> Result<(), String> {
+    for key in ["\"schema\"", "\"steps\"", "\"runs\""] {
+        if text.matches(key).count() != 1 {
+            return Err(format!("header key {key} missing or repeated"));
+        }
+    }
+    if !text.contains("\"smartblock.bench_tcp.v1\"") {
+        return Err("schema identifier missing".into());
+    }
+    for key in [
+        "\"backend\"",
+        "\"writers\"",
+        "\"readers\"",
+        "\"rows\"",
+        "\"payload_bytes_per_step\"",
+        "\"ns_per_step\"",
+        "\"payload_mb_per_s\"",
+        "\"bytes_on_wire\"",
+        "\"wire_amplification\"",
+    ] {
+        let n = text.matches(key).count();
+        if n != expected_runs {
+            return Err(format!("key {key} appears {n} times, want {expected_runs}"));
+        }
+    }
+    Ok(())
+}
+
+/// The claim `BENCH_tcp.json` exists to document: both backends commit the
+/// same steps, the in-proc plane frames nothing, and on TCP every committed
+/// payload byte crossed a socket at least once.
+fn check_tcp_headline(runs: &[TcpRun]) -> Result<(), String> {
+    for r in runs {
+        let c = &r.result.config;
+        let m = &r.result.metrics;
+        if m.steps_committed != c.steps {
+            return Err(format!(
+                "{} {}x{} rows={}: committed {} steps, want {}",
+                r.backend, c.writers, c.readers, c.rows, m.steps_committed, c.steps
+            ));
+        }
+        let moved = c.payload_bytes() * c.steps;
+        let ok = match r.backend {
+            "inproc" => m.bytes_on_wire == 0,
+            _ => m.bytes_on_wire >= moved,
+        };
+        if !ok {
+            return Err(format!(
+                "{} {}x{} rows={}: bytes_on_wire = {} vs payload {}",
+                r.backend, c.writers, c.readers, c.rows, m.bytes_on_wire, moved
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `--tcp` mode: pump every case on both backends, emit
+/// `BENCH_tcp.json`, and print the slowdown table.
+fn run_tcp_mode(scale: &TcpScale, out_path: &str) {
+    let mut broker = TcpBroker::bind("127.0.0.1:0").expect("bind loopback broker");
+    let tcp_hub = StreamHub::connect(&broker.url()).expect("connect to broker");
+
+    let mut runs = Vec::new();
+    for &(writers, readers, rows) in scale.cases {
+        let config = WireConfig {
+            writers,
+            readers,
+            rows,
+            cols: scale.cols,
+            steps: scale.steps,
+        };
+        let tag = format!("w{writers}r{readers}n{rows}");
+        for backend in ["inproc", "tcp"] {
+            let result = if backend == "inproc" {
+                measure_wire(&StreamHub::new(), &tag, &config, scale.reps)
+            } else {
+                measure_wire(&tcp_hub, &tag, &config, scale.reps)
+            };
+            eprintln!(
+                "{:>6} {}x{} rows={:>7}: {:>9.2} us/step, {} wire bytes",
+                backend,
+                writers,
+                readers,
+                rows,
+                result.ns_per_step() / 1e3,
+                result.metrics.bytes_on_wire,
+            );
+            runs.push(TcpRun { backend, result });
+        }
+    }
+    broker.shutdown();
+
+    if let Err(e) = check_tcp_headline(&runs) {
+        eprintln!("headline claim does not hold: {e}");
+        std::process::exit(1);
+    }
+
+    let text = render_tcp_json(scale, &runs);
+    std::fs::write(out_path, &text).expect("write BENCH_tcp.json");
+    let reread = std::fs::read_to_string(out_path).expect("re-read emitted JSON");
+    if let Err(e) = validate_tcp(&reread, runs.len()) {
+        eprintln!("emitted JSON failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} runs)", runs.len());
+
+    let mut rows_out = Vec::new();
+    for pair in runs.chunks(2) {
+        let (inproc, tcp) = (&pair[0], &pair[1]);
+        let c = &tcp.result.config;
+        rows_out.push(vec![
+            format!("{}x{}", c.writers, c.readers),
+            c.rows.to_string(),
+            format!("{:.2}", inproc.result.ns_per_step() / 1e3),
+            format!("{:.2}", tcp.result.ns_per_step() / 1e3),
+            format!(
+                "{:.1}x",
+                tcp.result.ns_per_step() / inproc.result.ns_per_step().max(f64::MIN_POSITIVE)
+            ),
+            format!(
+                "{:.3}",
+                tcp.result.metrics.bytes_on_wire as f64 / (c.payload_bytes() * c.steps) as f64
+            ),
+        ]);
+    }
+    println!("\n== MxN pump: in-proc vs framed TCP on loopback ==\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "WxR",
+                "Rows",
+                "us/step (inproc)",
+                "us/step (tcp)",
+                "Slowdown",
+                "Wire amplification",
+            ],
+            &rows_out
+        )
+    );
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_transport.json");
-    let mut scale = BenchScale::full();
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    let mut tcp = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => scale = BenchScale::smoke(),
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--tcp" => tcp = true,
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
             other => {
-                eprintln!("unknown argument {other:?} (options: --smoke, --out PATH)");
+                eprintln!("unknown argument {other:?} (options: --smoke, --tcp, --out PATH)");
                 std::process::exit(2);
             }
         }
     }
+
+    if tcp {
+        let scale = if smoke {
+            TcpScale::smoke()
+        } else {
+            TcpScale::full()
+        };
+        let out_path = out_path.unwrap_or_else(|| "BENCH_tcp.json".into());
+        run_tcp_mode(&scale, &out_path);
+        return;
+    }
+
+    let out_path = out_path.unwrap_or_else(|| "BENCH_transport.json".into());
+    let scale = if smoke {
+        BenchScale::smoke()
+    } else {
+        BenchScale::full()
+    };
 
     let mut runs = Vec::new();
     for shape in [FanoutShape::WholeRead, FanoutShape::SlabRead] {

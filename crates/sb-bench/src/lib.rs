@@ -451,6 +451,117 @@ pub fn run_fanout_on(
     }
 }
 
+/// One MxN pump at a fixed volume — the unit the TCP-vs-in-proc comparison
+/// measures on both transport backends.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Writer ranks (one group).
+    pub writers: usize,
+    /// Reader ranks (one group, slab reads).
+    pub readers: usize,
+    /// Rows of the `rows x cols` f64 payload.
+    pub rows: usize,
+    /// Columns of the payload.
+    pub cols: usize,
+    /// Steps pumped through the stream.
+    pub steps: u64,
+}
+
+impl WireConfig {
+    /// Bytes the writer group commits per step.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.rows * self.cols * 8) as u64
+    }
+}
+
+/// Wall time and stream counters from one [`run_wire_on`] call.
+#[derive(Debug, Clone)]
+pub struct WireResult {
+    /// The configuration measured.
+    pub config: WireConfig,
+    /// Start-to-drain wall time.
+    pub elapsed: Duration,
+    /// The stream's counters after the run; `bytes_on_wire` is zero on the
+    /// in-proc backend and counts framed socket traffic on TCP.
+    pub metrics: sb_stream::StreamMetrics,
+}
+
+impl WireResult {
+    /// Mean wall time per step, in nanoseconds.
+    pub fn ns_per_step(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.config.steps.max(1) as f64
+    }
+}
+
+/// Pumps `steps` steps of a `rows x cols` f64 variable from an M-rank
+/// writer group to an N-rank slab-reading group over `stream` on the given
+/// hub. The hub decides the backend: pass `StreamHub::new()` for in-proc or
+/// `StreamHub::connect("tcp://...")` for the framed TCP transport — the
+/// pump itself is backend-blind, which is exactly the property the
+/// `tcp_vs_inproc` comparison relies on.
+pub fn run_wire_on(
+    hub: &std::sync::Arc<sb_stream::StreamHub>,
+    stream: &str,
+    config: &WireConfig,
+) -> WireResult {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use sb_comm::LaunchHandle;
+    use sb_data::decompose::default_partition;
+    use sb_data::{Buffer, Chunk, DType, Shape, VariableMeta};
+    use sb_stream::{StepStatus, WriterOptions};
+
+    let shape = Shape::of(&[("rows", config.rows), ("cols", config.cols)]);
+    let steps = config.steps;
+    let start = Instant::now();
+
+    let hub_w = Arc::clone(hub);
+    let shape_w = shape.clone();
+    let stream_w = stream.to_string();
+    let writer = LaunchHandle::spawn("wire-writer", config.writers, move |comm| {
+        let mut w = hub_w.open_writer(
+            &stream_w,
+            comm.rank(),
+            comm.size(),
+            WriterOptions::buffered(2),
+        );
+        let region = default_partition(&shape_w, comm.size(), comm.rank());
+        let meta = VariableMeta::new("x", shape_w.clone(), DType::F64);
+        let data = Buffer::F64(vec![1.0; region.len()]);
+        for _ in 0..steps {
+            w.begin_step().unwrap();
+            w.put(Chunk::new(meta.clone(), region.clone(), data.clone()).unwrap());
+            w.end_step().unwrap();
+        }
+        w.close();
+    })
+    .expect("spawn wire writer");
+
+    let hub_r = Arc::clone(hub);
+    let stream_r = stream.to_string();
+    let reader = LaunchHandle::spawn("wire-reader", config.readers, move |comm| {
+        let mut r = hub_r.open_reader(&stream_r, comm.rank(), comm.size());
+        let region = default_partition(&shape, comm.size(), comm.rank());
+        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
+            let v = r.get("x", &region).unwrap();
+            std::hint::black_box(v.data.len());
+            r.end_step();
+        }
+    })
+    .expect("spawn wire readers");
+
+    writer.join().expect("wire writer");
+    reader.join().expect("wire reader");
+    let elapsed = start.elapsed();
+    let metrics = hub.metrics(stream).expect("wire stream metrics");
+    WireResult {
+        config: config.clone(),
+        elapsed,
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +618,35 @@ mod tests {
         let expect = p.atoms as f64 * 24.0 / 2.0 / 1e6;
         assert!((p.mb_per_proc - expect).abs() < 1e-9, "{p:?}");
         assert!(p.step_seconds > 0.0);
+    }
+
+    #[test]
+    fn wire_pump_is_backend_blind() {
+        let config = WireConfig {
+            writers: 2,
+            readers: 2,
+            rows: 16,
+            cols: 4,
+            steps: 3,
+        };
+        let inproc = run_wire_on(&sb_stream::StreamHub::new(), "w.fp", &config);
+        assert_eq!(inproc.metrics.steps_committed, 3);
+        assert_eq!(
+            inproc.metrics.bytes_on_wire, 0,
+            "in-proc moves steps by Arc, nothing is framed"
+        );
+
+        let mut broker = sb_stream::tcp::TcpBroker::bind("127.0.0.1:0").unwrap();
+        let hub = sb_stream::StreamHub::connect(&broker.url()).unwrap();
+        let tcp = run_wire_on(&hub, "w.fp", &config);
+        broker.shutdown();
+        assert_eq!(tcp.metrics.steps_committed, 3);
+        // Every committed payload byte crossed a socket at least once.
+        assert!(
+            tcp.metrics.bytes_on_wire >= config.steps * config.payload_bytes(),
+            "{:?}",
+            tcp.metrics
+        );
     }
 
     #[test]

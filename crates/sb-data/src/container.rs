@@ -28,35 +28,11 @@ use crate::buffer::{Buffer, DType};
 use crate::dims::{Dim, Shape};
 use crate::error::{DataError, DataResult};
 use crate::variable::{AttrValue, Variable};
+use crate::wire::{get_str, put_str, truncated};
 
 const MAGIC: &[u8; 4] = b"SBC1";
 const STEP_MARKER: &[u8; 4] = b"STEP";
 const VERSION: u32 = 1;
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut &[u8]) -> DataResult<String> {
-    if buf.remaining() < 4 {
-        return Err(truncated("string length"));
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(truncated("string body"));
-    }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| DataError::Container {
-        detail: "invalid utf-8 in string".into(),
-    })
-}
-
-fn truncated(what: &str) -> DataError {
-    DataError::Container {
-        detail: format!("truncated while reading {what}"),
-    }
-}
 
 /// Streaming writer of steps to any `Write` sink.
 pub struct ContainerWriter<W: Write> {

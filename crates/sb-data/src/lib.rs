@@ -20,7 +20,9 @@
 //!   incoming data among their ranks;
 //! * [`config`] — the ADIOS-XML-style output group description;
 //! * [`container`] — a versioned binary container for steps written to disk
-//!   by the file components.
+//!   by the file components;
+//! * [`wire`] — the chunk frame codec shared by streaming transports (the
+//!   TCP backend frames steps with it).
 
 pub mod buffer;
 pub mod chunk;
@@ -31,6 +33,7 @@ pub mod dims;
 pub mod error;
 pub mod region;
 pub mod variable;
+pub mod wire;
 
 pub use buffer::{Buffer, DType, SharedBuffer};
 pub use chunk::{Chunk, VariableMeta};

@@ -1,0 +1,341 @@
+//! Wire frames for chunks in flight — the frame codec of the TCP transport.
+//!
+//! The container format (`container`) serializes whole *variables* to
+//! storage; streaming transports move writer-side *chunks*: the metadata of
+//! the global variable, the bounding box one rank contributes, and the raw
+//! payload covering that box. This module encodes exactly that triple with
+//! the same primitives (length-prefixed strings, little-endian integers,
+//! [`Buffer::to_le_bytes`] payloads) so a step travels byte-identically
+//! whether it crosses a thread boundary or a socket.
+//!
+//! ```text
+//! meta   := str name | u8 dtype | u16 ndims | { str dim_name | u64 size }*
+//!           | u32 nheaders | { u16 dim | u32 n | str* }*
+//!           | u32 nattrs | { str key | u8 kind | str value }*
+//! region := u16 ndims | { u64 offset | u64 count }*
+//! chunk  := meta | region | u64 nelems | raw little-endian payload
+//! str    := u32 byte_len | utf-8 bytes
+//! ```
+//!
+//! Decoding is total: truncated or corrupt input yields a
+//! [`DataError::Container`] (or another typed `DataError` from the chunk
+//! validators), never a panic and never an unbounded allocation — vector
+//! capacities are clamped by the bytes actually remaining.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut};
+
+use crate::buffer::{Buffer, DType};
+use crate::chunk::{Chunk, VariableMeta};
+use crate::dims::{Dim, Shape};
+use crate::error::{DataError, DataResult};
+use crate::region::Region;
+use crate::variable::AttrValue;
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decodes a length-prefixed UTF-8 string, advancing `buf` past it.
+pub fn get_str(buf: &mut &[u8]) -> DataResult<String> {
+    if buf.remaining() < 4 {
+        return Err(truncated("string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(truncated("string body"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| DataError::Container {
+        detail: "invalid utf-8 in string".into(),
+    })
+}
+
+/// The error for input that ends mid-field.
+pub fn truncated(what: &str) -> DataError {
+    DataError::Container {
+        detail: format!("truncated while reading {what}"),
+    }
+}
+
+/// Clamps an untrusted element count to what the remaining bytes could
+/// possibly hold, so a corrupt header cannot force a huge pre-allocation.
+fn bounded(n: usize, remaining: usize) -> usize {
+    n.min(remaining)
+}
+
+/// Appends the encoded metadata of a variable to `buf`.
+pub fn encode_meta(buf: &mut Vec<u8>, meta: &VariableMeta) {
+    put_str(buf, &meta.name);
+    buf.put_u8(meta.dtype.tag());
+    buf.put_u16_le(meta.shape.ndims() as u16);
+    for d in meta.shape.dims() {
+        put_str(buf, &d.name);
+        buf.put_u64_le(d.size as u64);
+    }
+    buf.put_u32_le(meta.labels.len() as u32);
+    for (&dim, names) in &meta.labels {
+        buf.put_u16_le(dim as u16);
+        buf.put_u32_le(names.len() as u32);
+        for n in names {
+            put_str(buf, n);
+        }
+    }
+    buf.put_u32_le(meta.attrs.len() as u32);
+    for (k, a) in &meta.attrs {
+        put_str(buf, k);
+        let (kind, text) = match a {
+            AttrValue::Text(s) => (0u8, s.clone()),
+            AttrValue::Int(i) => (1u8, i.to_string()),
+            AttrValue::Float(x) => (2u8, format!("{x:?}")),
+        };
+        buf.put_u8(kind);
+        put_str(buf, &text);
+    }
+}
+
+/// Decodes variable metadata, advancing `buf` past it.
+pub fn decode_meta(buf: &mut &[u8]) -> DataResult<VariableMeta> {
+    let name = get_str(buf)?;
+    if buf.remaining() < 3 {
+        return Err(truncated("variable header"));
+    }
+    let dtype = DType::from_tag(buf.get_u8())?;
+    let ndims = buf.get_u16_le() as usize;
+    let mut dims = Vec::with_capacity(bounded(ndims, buf.remaining()));
+    for _ in 0..ndims {
+        let dname = get_str(buf)?;
+        if buf.remaining() < 8 {
+            return Err(truncated("dimension size"));
+        }
+        dims.push(Dim::new(dname, buf.get_u64_le() as usize));
+    }
+    let shape = Shape::new(dims);
+    if buf.remaining() < 4 {
+        return Err(truncated("header count"));
+    }
+    let nheaders = buf.get_u32_le() as usize;
+    let mut labels = BTreeMap::new();
+    for _ in 0..nheaders {
+        if buf.remaining() < 6 {
+            return Err(truncated("header entry"));
+        }
+        let dim = buf.get_u16_le() as usize;
+        let n = buf.get_u32_le() as usize;
+        let mut names = Vec::with_capacity(bounded(n, buf.remaining()));
+        for _ in 0..n {
+            names.push(get_str(buf)?);
+        }
+        labels.insert(dim, names);
+    }
+    if buf.remaining() < 4 {
+        return Err(truncated("attr count"));
+    }
+    let nattrs = buf.get_u32_le() as usize;
+    let mut attrs = BTreeMap::new();
+    for _ in 0..nattrs {
+        let key = get_str(buf)?;
+        if buf.remaining() < 1 {
+            return Err(truncated("attr kind"));
+        }
+        let kind = buf.get_u8();
+        let text = get_str(buf)?;
+        let value = match kind {
+            0 => AttrValue::Text(text),
+            1 => AttrValue::Int(text.parse().map_err(|_| DataError::Container {
+                detail: format!("bad int attr {text:?}"),
+            })?),
+            2 => AttrValue::Float(text.parse().map_err(|_| DataError::Container {
+                detail: format!("bad float attr {text:?}"),
+            })?),
+            k => {
+                return Err(DataError::Container {
+                    detail: format!("unknown attr kind {k}"),
+                })
+            }
+        };
+        attrs.insert(key, value);
+    }
+    Ok(VariableMeta {
+        name,
+        shape,
+        dtype,
+        labels,
+        attrs,
+    })
+}
+
+/// Appends an encoded bounding box to `buf`.
+pub fn encode_region(buf: &mut Vec<u8>, region: &Region) {
+    buf.put_u16_le(region.ndims() as u16);
+    for i in 0..region.ndims() {
+        buf.put_u64_le(region.offset()[i] as u64);
+        buf.put_u64_le(region.count()[i] as u64);
+    }
+}
+
+/// Decodes a bounding box, advancing `buf` past it.
+pub fn decode_region(buf: &mut &[u8]) -> DataResult<Region> {
+    if buf.remaining() < 2 {
+        return Err(truncated("region rank"));
+    }
+    let ndims = buf.get_u16_le() as usize;
+    if buf.remaining() < ndims * 16 {
+        return Err(truncated("region extents"));
+    }
+    let mut offset = Vec::with_capacity(ndims);
+    let mut count = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        offset.push(buf.get_u64_le() as usize);
+        count.push(buf.get_u64_le() as usize);
+    }
+    Ok(Region::new(offset, count))
+}
+
+/// Appends one encoded chunk — metadata, region, payload — to `buf`.
+pub fn encode_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
+    buf.reserve(chunk.byte_len() + 128);
+    encode_meta(buf, &chunk.meta);
+    encode_region(buf, &chunk.region);
+    buf.put_u64_le(chunk.data.len() as u64);
+    buf.extend_from_slice(&chunk.data.to_le_bytes());
+}
+
+/// Decodes one chunk, advancing `buf` past it.
+///
+/// Runs the full [`Chunk::new`] validation (region-vs-shape, payload length,
+/// dtype, header consistency), so a frame that decodes successfully is safe
+/// to hand to the MxN assembly path.
+pub fn decode_chunk(buf: &mut &[u8]) -> DataResult<Chunk> {
+    let meta = decode_meta(buf)?;
+    let region = decode_region(buf)?;
+    if buf.remaining() < 8 {
+        return Err(truncated("element count"));
+    }
+    let nelems = buf.get_u64_le() as usize;
+    // region.len() multiplies extents unchecked; corrupt counts could
+    // overflow, so fold with checked_mul before trusting the volume.
+    let volume = region
+        .count()
+        .iter()
+        .try_fold(1usize, |acc, &c| acc.checked_mul(c))
+        .ok_or_else(|| DataError::Container {
+            detail: format!("chunk {:?}: region volume overflows usize", meta.name),
+        })?;
+    if nelems != volume {
+        return Err(DataError::Container {
+            detail: format!(
+                "chunk {:?}: payload count {nelems} != region volume {volume}",
+                meta.name
+            ),
+        });
+    }
+    let nbytes = nelems
+        .checked_mul(meta.dtype.elem_bytes())
+        .ok_or_else(|| truncated("payload size"))?;
+    if buf.remaining() < nbytes {
+        return Err(truncated("payload"));
+    }
+    let data = Buffer::from_le_bytes(meta.dtype, nelems, &buf[..nbytes])?;
+    buf.advance(nbytes);
+    Chunk::new(meta, region, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk() -> Chunk {
+        let mut meta = VariableMeta::new(
+            "atoms",
+            Shape::of(&[("particles", 4), ("props", 3)]),
+            DType::F64,
+        );
+        meta.labels
+            .insert(1, vec!["vx".into(), "vy".into(), "vz".into()]);
+        meta.attrs
+            .insert("units".into(), AttrValue::Text("lj".into()));
+        meta.attrs.insert("interval".into(), AttrValue::Int(100));
+        meta.attrs.insert("dt".into(), AttrValue::Float(0.005));
+        Chunk::new(
+            meta,
+            Region::new(vec![1, 0], vec![2, 3]),
+            Buffer::F64(vec![1.0, 2.0, f64::NAN, -0.0, 5.0, 6.5]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chunk_round_trips_bit_exactly() {
+        let chunk = sample_chunk();
+        let mut buf = Vec::new();
+        encode_chunk(&mut buf, &chunk);
+        let mut slice: &[u8] = &buf;
+        let back = decode_chunk(&mut slice).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(back.meta, chunk.meta);
+        assert_eq!(back.region, chunk.region);
+        // PartialEq on NaN payloads is false; compare raw bytes instead.
+        assert_eq!(back.data.to_le_bytes(), chunk.data.to_le_bytes());
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let chunk = sample_chunk();
+        let mut buf = Vec::new();
+        encode_chunk(&mut buf, &chunk);
+        for cut in 0..buf.len() {
+            let mut slice: &[u8] = &buf[..cut];
+            assert!(
+                decode_chunk(&mut slice).is_err(),
+                "cut at {cut} of {} decoded",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_header_errors_not_panics() {
+        let chunk = sample_chunk();
+        let mut clean = Vec::new();
+        encode_chunk(&mut clean, &chunk);
+        // Flip each header byte in turn (leave the payload tail alone: raw
+        // float bytes are all valid). Decoding must never panic; it either
+        // errors or yields some validated chunk.
+        let header_len = clean.len() - chunk.byte_len();
+        for i in 0..header_len {
+            for flip in [0xffu8, 0x01] {
+                let mut bad = clean.clone();
+                bad[i] ^= flip;
+                let mut slice: &[u8] = &bad;
+                let _ = decode_chunk(&mut slice);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_volume_is_rejected() {
+        let chunk = sample_chunk();
+        let mut buf = Vec::new();
+        encode_meta(&mut buf, &chunk.meta);
+        // Region claiming a larger box than the payload that follows.
+        encode_region(&mut buf, &Region::new(vec![0, 0], vec![4, 3]));
+        buf.put_u64_le(6);
+        buf.extend_from_slice(&chunk.data.to_le_bytes());
+        let mut slice: &[u8] = &buf;
+        assert!(decode_chunk(&mut slice).is_err());
+    }
+
+    #[test]
+    fn region_round_trip() {
+        let r = Region::new(vec![3, 0, 7], vec![2, 5, 1]);
+        let mut buf = Vec::new();
+        encode_region(&mut buf, &r);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(decode_region(&mut slice).unwrap(), r);
+        assert!(slice.is_empty());
+    }
+}

@@ -1,6 +1,5 @@
 //! The stream registry where writer and reader groups rendezvous by name.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -10,8 +9,10 @@ use parking_lot::Mutex;
 use crate::faults::{FaultPlan, InjectedFault};
 use crate::metrics::StreamMetrics;
 use crate::reader::StreamReader;
-use crate::stream::{Stream, WriterOptions};
+use crate::stream::WriterOptions;
+use crate::tcp::{TcpOptions, TcpTransport};
 use crate::trace::Tracer;
+use crate::transport::{InProcTransport, Transport};
 use crate::writer::StreamWriter;
 
 /// Default time a blocked stream operation may wait before returning
@@ -27,6 +28,12 @@ pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
 /// strings. Opening a writer or reader on a name that does not exist yet
 /// creates the stream; the other side may attach at any later time
 /// (launch-order independence).
+///
+/// A hub fronts a [`Transport`] backend. [`StreamHub::new`] serves streams
+/// in process (shared memory, `Arc`-moved steps); [`StreamHub::connect`]
+/// serves the same API over TCP frames to a
+/// [`TcpBroker`](crate::tcp::TcpBroker) in another process — components
+/// cannot tell the difference.
 ///
 /// ```
 /// use sb_stream::{StreamHub, StepStatus, WriterOptions};
@@ -46,11 +53,12 @@ pub const DEFAULT_WAIT_TIMEOUT: Duration = Duration::from_secs(120);
 /// assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
 /// ```
 pub struct StreamHub {
-    streams: Mutex<HashMap<String, Arc<Stream>>>,
-    /// Micros; shared with every stream so later overrides apply to
-    /// streams that already exist.
+    transport: Arc<dyn Transport>,
+    /// Micros; shared with the transport (and, in proc, every stream) so
+    /// later overrides apply to streams that already exist.
     wait_timeout_micros: Arc<AtomicU64>,
-    /// The installed fault-injection plan, if any (chaos testing).
+    /// The installed fault-injection plan, if any (chaos testing). Always
+    /// process-local: each OS process consults its own plan.
     faults: Mutex<Option<Arc<FaultPlan>>>,
     /// The hub's tracer; disabled (and costing one relaxed atomic load per
     /// instrumentation site) until the workflow runtime arms it.
@@ -58,19 +66,71 @@ pub struct StreamHub {
 }
 
 impl StreamHub {
-    /// Creates a hub with the default deadlock timeout.
+    /// Creates an in-proc hub with the default deadlock timeout.
     pub fn new() -> Arc<StreamHub> {
         Self::with_timeout(DEFAULT_WAIT_TIMEOUT)
     }
 
-    /// Creates a hub whose blocking operations fail after `wait_timeout`.
+    /// Creates an in-proc hub whose blocking operations fail after
+    /// `wait_timeout`.
     pub fn with_timeout(wait_timeout: Duration) -> Arc<StreamHub> {
+        let wait = Arc::new(AtomicU64::new(wait_timeout.as_micros() as u64));
+        let tracer = Arc::new(Tracer::new());
+        let transport = Arc::new(InProcTransport::new(Arc::clone(&wait), Arc::clone(&tracer)));
+        Self::assemble(transport, wait, tracer)
+    }
+
+    /// Creates a hub over TCP to the broker at `url` (`tcp://host:port`),
+    /// with default [`TcpOptions`] and the default deadlock timeout.
+    ///
+    /// The URL is validated and resolved here; actual sockets are dialed
+    /// when endpoints open, so the broker may come up later (within the
+    /// connect timeout) — launch-order independence across processes.
+    pub fn connect(url: &str) -> std::io::Result<Arc<StreamHub>> {
+        Self::connect_with(url, TcpOptions::default())
+    }
+
+    /// [`StreamHub::connect`] with explicit connect/read timeout options.
+    pub fn connect_with(url: &str, options: TcpOptions) -> std::io::Result<Arc<StreamHub>> {
+        let wait = Arc::new(AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_micros() as u64));
+        let tracer = Arc::new(Tracer::new());
+        let transport = Arc::new(TcpTransport::connect(
+            url,
+            options,
+            Arc::clone(&wait),
+            Arc::clone(&tracer),
+        )?);
+        Ok(Self::assemble(transport, wait, tracer))
+    }
+
+    /// Creates a hub over a custom [`Transport`] backend.
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Arc<StreamHub> {
+        let wait = Arc::new(AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_micros() as u64));
+        Self::assemble(transport, wait, Arc::new(Tracer::new()))
+    }
+
+    fn assemble(
+        transport: Arc<dyn Transport>,
+        wait_timeout_micros: Arc<AtomicU64>,
+        tracer: Arc<Tracer>,
+    ) -> Arc<StreamHub> {
         Arc::new(StreamHub {
-            streams: Mutex::new(HashMap::new()),
-            wait_timeout_micros: Arc::new(AtomicU64::new(wait_timeout.as_micros() as u64)),
+            transport,
+            wait_timeout_micros,
             faults: Mutex::new(None),
-            tracer: Arc::new(Tracer::new()),
+            tracer,
         })
+    }
+
+    /// Short name of the transport backend behind this hub.
+    pub fn backend(&self) -> &'static str {
+        self.transport.backend()
+    }
+
+    /// The transport behind this hub (the TCP broker serves a hub's
+    /// endpoints directly from here).
+    pub(crate) fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// This hub's tracer. Shared with every stream, so arming it makes
@@ -85,21 +145,12 @@ impl StreamHub {
     }
 
     /// Overrides the deadlock timeout; applies immediately to every stream,
-    /// including ones opened before the call.
+    /// including ones opened before the call. On a TCP hub the override is
+    /// also forwarded to the broker, where the blocking actually happens.
     pub fn set_wait_timeout(&self, wait_timeout: Duration) {
         self.wait_timeout_micros
             .store(wait_timeout.as_micros() as u64, Ordering::Relaxed);
-    }
-
-    fn stream(&self, name: &str) -> Arc<Stream> {
-        let mut streams = self.streams.lock();
-        Arc::clone(streams.entry(name.to_string()).or_insert_with(|| {
-            Arc::new(Stream::new(
-                name.to_string(),
-                Arc::clone(&self.wait_timeout_micros),
-                Arc::clone(&self.tracer),
-            ))
-        }))
+        self.transport.set_wait_timeout(wait_timeout);
     }
 
     /// Opens the writer side of `name` for rank `rank` of a `nranks`-rank
@@ -113,9 +164,8 @@ impl StreamHub {
         options: WriterOptions,
     ) -> StreamWriter {
         assert!(rank < nranks, "writer rank out of range");
-        let stream = self.stream(name);
-        let start = stream.register_writer(nranks, options);
-        StreamWriter::new(stream, rank, nranks, start)
+        let conn = self.transport.open_writer(name, rank, nranks, options);
+        StreamWriter::new(conn, rank, nranks)
     }
 
     /// Opens the reader side of `name` for rank `rank` of a `nranks`-rank
@@ -139,35 +189,25 @@ impl StreamHub {
         nranks: usize,
     ) -> StreamReader {
         assert!(rank < nranks, "reader rank out of range");
-        let stream = self.stream(name);
-        let first_step = stream.register_reader(group, nranks);
-        StreamReader::new(stream, group.to_string(), rank, nranks, first_step)
+        let conn = self.transport.open_reader(name, group, rank, nranks);
+        StreamReader::new(conn, group.to_string(), rank, nranks)
     }
 
     /// Names of all streams that have been opened on this hub.
     pub fn stream_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.streams.lock().keys().cloned().collect();
-        names.sort();
-        names
+        self.transport.stream_names()
     }
 
     /// A snapshot of one stream's transfer counters.
     pub fn metrics(&self, name: &str) -> Option<StreamMetrics> {
-        self.streams
-            .lock()
-            .get(name)
-            .map(|s| s.counters.snapshot(name))
+        self.transport.metrics(name)
     }
 
-    /// Snapshots of every stream, sorted by name.
+    /// Snapshots of every stream, sorted by name. On a TCP hub this merges
+    /// this process's local read-side counters into the broker's
+    /// authoritative snapshot.
     pub fn all_metrics(&self) -> Vec<StreamMetrics> {
-        let streams = self.streams.lock();
-        let mut out: Vec<StreamMetrics> = streams
-            .iter()
-            .map(|(name, s)| s.counters.snapshot(name))
-            .collect();
-        out.sort_by(|a, b| a.stream.cmp(&b.stream));
-        out
+        self.transport.all_metrics()
     }
 
     // ---- fault injection -------------------------------------------------------
@@ -200,23 +240,21 @@ impl StreamHub {
     /// return [`crate::StreamError::PeerGone`] with `reason`. The workflow
     /// supervisor calls this on abort so no component hangs on a dead peer.
     pub fn poison_all(&self, reason: &str) {
-        for stream in self.streams.lock().values() {
-            stream.poison(reason);
-        }
+        self.transport.poison_all(reason);
     }
 
     /// Forces a clean end-of-stream on `name` (creating it if necessary):
     /// readers drain the remaining complete steps, then observe EOS. Used
     /// when degrading a failed producer.
     pub fn force_end_of_stream(&self, name: &str) {
-        self.stream(name).force_end_of_stream();
+        self.transport.force_end_of_stream(name);
     }
 
     /// Detaches reader group `group` of stream `name` (creating the stream
     /// if necessary) so it no longer holds steps back. Used when the
     /// consuming component was degraded or torn down.
     pub fn detach_reader_group(&self, name: &str, group: &str) {
-        self.stream(name).detach_reader_group(group);
+        self.transport.detach_reader_group(name, group);
     }
 
     /// Prepares the given input subscriptions (stream, group) and output
@@ -224,11 +262,6 @@ impl StreamHub {
     /// discarded and writer registrations reopened so the new incarnation
     /// resumes exactly where the last complete step left off.
     pub fn prepare_restart(&self, inputs: &[(String, String)], outputs: &[String]) {
-        for (stream, group) in inputs {
-            self.stream(stream).reset_reader_group(group);
-        }
-        for stream in outputs {
-            self.stream(stream).reattach_writer();
-        }
+        self.transport.prepare_restart(inputs, outputs);
     }
 }

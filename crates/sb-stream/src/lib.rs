@@ -46,7 +46,9 @@ mod hub;
 mod metrics;
 mod reader;
 mod stream;
+pub mod tcp;
 pub mod trace;
+pub mod transport;
 mod writer;
 
 pub use error::{StreamError, StreamResult};
@@ -55,5 +57,10 @@ pub use hub::{StreamHub, DEFAULT_WAIT_TIMEOUT};
 pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
 pub use stream::WriterOptions;
+pub use tcp::{TcpBroker, TcpOptions};
 pub use trace::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent, TraceSite, Tracer};
+pub use transport::{
+    ReaderConnection, ReaderEndpoint, StepContents, Transport, VarSlot, WriterConnection,
+    WriterEndpoint,
+};
 pub use writer::StreamWriter;

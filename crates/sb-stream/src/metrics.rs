@@ -19,6 +19,7 @@ pub(crate) struct Counters {
     pub bytes_copied: AtomicU64,
     pub copies_elided: AtomicU64,
     pub zero_fills_elided: AtomicU64,
+    pub bytes_on_wire: AtomicU64,
 }
 
 impl Counters {
@@ -53,6 +54,11 @@ impl Counters {
         self.zero_fills_elided.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_wire(&self, bytes: usize) {
+        self.bytes_on_wire
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, name: &str) -> StreamMetrics {
         StreamMetrics {
             stream: name.to_string(),
@@ -65,7 +71,22 @@ impl Counters {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             copies_elided: self.copies_elided.load(Ordering::Relaxed),
             zero_fills_elided: self.zero_fills_elided.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
         }
+    }
+
+    /// Field-wise merge of `other` into a snapshot taken later — how a TCP
+    /// client hub folds its local read-side counters into the broker's
+    /// authoritative snapshot.
+    pub(crate) fn merge_into(&self, m: &mut StreamMetrics) {
+        m.bytes_written += self.bytes_written.load(Ordering::Relaxed);
+        m.bytes_read += self.bytes_read.load(Ordering::Relaxed);
+        m.writer_wait += Duration::from_nanos(self.writer_wait_ns.load(Ordering::Relaxed));
+        m.reader_wait += Duration::from_nanos(self.reader_wait_ns.load(Ordering::Relaxed));
+        m.bytes_copied += self.bytes_copied.load(Ordering::Relaxed);
+        m.copies_elided += self.copies_elided.load(Ordering::Relaxed);
+        m.zero_fills_elided += self.zero_fills_elided.load(Ordering::Relaxed);
+        m.bytes_on_wire += self.bytes_on_wire.load(Ordering::Relaxed);
     }
 }
 
@@ -96,6 +117,10 @@ pub struct StreamMetrics {
     /// Reader gets assembled by appending tiling slabs, skipping the
     /// zero-fill of the destination buffer.
     pub zero_fills_elided: u64,
+    /// Frame bytes that crossed a socket for this stream (headers plus
+    /// payload, both directions). Zero on the in-proc backend, where steps
+    /// move by `Arc` and nothing is serialized.
+    pub bytes_on_wire: u64,
 }
 
 impl StreamMetrics {

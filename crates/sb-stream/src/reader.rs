@@ -7,8 +7,9 @@ use sb_data::region::copy_region;
 use sb_data::{Buffer, DataError, DataResult, Region, SharedBuffer, Variable, VariableMeta};
 
 use crate::error::StreamResult;
-use crate::stream::{StepContents, Stream};
-use crate::trace::{EventKind, TraceSite};
+use crate::metrics::Counters;
+use crate::trace::{EventKind, TraceSite, Tracer};
+use crate::transport::{ReaderConnection, ReaderEndpoint, StepContents};
 
 /// What [`StreamReader::begin_step`] found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,8 +26,16 @@ pub enum StepStatus {
 /// self-describing metadata and serves bounding-box [`StreamReader::get`]
 /// requests, assembling each box from every intersecting writer chunk —
 /// FlexPath's MxN exchange.
+///
+/// The assembly runs over the frozen [`StepContents`] regardless of which
+/// transport delivered them: the in-proc backend shares the committed slot
+/// by `Arc`, the TCP backend decodes the step from prefetched frames. The
+/// copy-discipline fast paths below therefore apply to both.
 pub struct StreamReader {
-    stream: Arc<Stream>,
+    endpoint: Box<dyn ReaderEndpoint>,
+    counters: Arc<Counters>,
+    tracer: Arc<Tracer>,
+    trace_id: u32,
     group: String,
     rank: usize,
     nranks: usize,
@@ -37,18 +46,20 @@ pub struct StreamReader {
 
 impl StreamReader {
     pub(crate) fn new(
-        stream: Arc<Stream>,
+        conn: ReaderConnection,
         group: String,
         rank: usize,
         nranks: usize,
-        first_step: u64,
     ) -> StreamReader {
         StreamReader {
-            stream,
+            endpoint: conn.endpoint,
+            counters: conn.counters,
+            tracer: conn.tracer,
+            trace_id: conn.trace_id,
             group,
             rank,
             nranks,
-            next_step: first_step,
+            next_step: conn.first_step,
             current: None,
             force_copy: false,
         }
@@ -91,13 +102,16 @@ impl StreamReader {
     /// typed error, never a hang or a panic.
     pub fn begin_step(&mut self) -> StreamResult<StepStatus> {
         assert!(self.current.is_none(), "begin_step inside an open step");
-        let tracer = &self.stream.tracer;
-        let start_ns = if tracer.enabled() { tracer.now_ns() } else { 0 };
-        match self.stream.reader_begin_step(self.next_step)? {
+        let start_ns = if self.tracer.enabled() {
+            self.tracer.now_ns()
+        } else {
+            0
+        };
+        match self.endpoint.fetch_step(self.next_step)? {
             Some(contents) => {
-                tracer.span(
+                self.tracer.span(
                     EventKind::ReaderBlocked,
-                    TraceSite::stream(self.stream.trace_id, self.rank, self.next_step),
+                    TraceSite::stream(self.trace_id, self.rank, self.next_step),
                     start_ns,
                 );
                 self.current = Some(contents);
@@ -190,7 +204,7 @@ impl StreamReader {
             labels.insert(dim, slice.to_vec());
         }
 
-        let counters = &self.stream.counters;
+        let counters = &self.counters;
         let byte_len = region.len() * meta.dtype.elem_bytes();
         let data: SharedBuffer =
             if !self.force_copy && hits.len() == 1 && slot.chunks[hits[0].0].region == *region {
@@ -251,10 +265,7 @@ impl StreamReader {
     /// Steps the writer group has committed so far (diagnostics; the
     /// backpressure tests read this to observe writer progress).
     pub fn stream_committed(&self) -> u64 {
-        self.stream
-            .counters
-            .steps_committed
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.endpoint.committed_steps()
     }
 
     /// Releases the open step; once every reader rank has done so, the
@@ -262,8 +273,7 @@ impl StreamReader {
     pub fn end_step(&mut self) {
         assert!(self.current.is_some(), "end_step without begin_step");
         self.current = None;
-        self.stream
-            .reader_end_step(&self.group, self.next_step, self.nranks);
+        self.endpoint.release_step(self.next_step);
         self.next_step += 1;
     }
 }

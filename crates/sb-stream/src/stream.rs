@@ -84,14 +84,20 @@ impl WriterOptions {
 
 /// One variable inside one step: global metadata plus the writer chunks
 /// received so far.
+///
+/// Public because transport backends move frozen steps around: the in-proc
+/// backend shares them by `Arc`, the TCP backend rebuilds them from decoded
+/// frames on the client side.
 #[derive(Debug)]
-pub(crate) struct VarSlot {
-    pub(crate) meta: VariableMeta,
-    pub(crate) chunks: Vec<Chunk>,
+pub struct VarSlot {
+    /// Global metadata all contributing chunks agree on.
+    pub meta: VariableMeta,
+    /// The writer chunks received for this variable.
+    pub chunks: Vec<Chunk>,
 }
 
 /// The frozen contents of a fully committed step.
-pub(crate) type StepContents = Arc<BTreeMap<String, VarSlot>>;
+pub type StepContents = Arc<BTreeMap<String, VarSlot>>;
 
 #[derive(Debug, Default)]
 struct Slot {
@@ -122,6 +128,11 @@ struct State {
     reader_groups: HashMap<String, ReaderGroup>,
     options: WriterOptions,
     closed_writers: usize,
+    /// Writer ranks that went away *without* closing — a dropped TCP
+    /// connection or an explicit disconnect. Once every registered rank is
+    /// closed-or-gone with at least one gone, blocked readers fail with
+    /// `PeerGone` promptly instead of waiting out the hub timeout.
+    gone_writers: usize,
     closed: bool,
     /// Step the current writer registration starts at (`base_step +
     /// queue.len()` at registration time); a restarted writer group resumes
@@ -164,7 +175,7 @@ pub(crate) struct Stream {
     pub(crate) name: String,
     state: Mutex<State>,
     cond: Condvar,
-    pub(crate) counters: Counters,
+    pub(crate) counters: Arc<Counters>,
     /// Micros; shared with the owning hub so a `RunOptions` timeout
     /// override reaches streams that already exist.
     wait_timeout_micros: Arc<AtomicU64>,
@@ -189,6 +200,7 @@ impl Stream {
                 reader_groups: HashMap::new(),
                 options: WriterOptions::default(),
                 closed_writers: 0,
+                gone_writers: 0,
                 closed: false,
                 writer_start: 0,
                 poisoned: None,
@@ -196,7 +208,7 @@ impl Stream {
                 queue: VecDeque::new(),
             }),
             cond: Condvar::new(),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             wait_timeout_micros,
             tracer,
             trace_id,
@@ -216,7 +228,21 @@ impl Stream {
         &self,
         state: &mut parking_lot::MutexGuard<'_, State>,
         what: &str,
+        pred: impl FnMut(&mut State) -> Option<T>,
+    ) -> StreamResult<T> {
+        self.wait_until_or(state, what, pred, |_| None)
+    }
+
+    /// [`Stream::wait_until`] with an extra early-failure predicate: when
+    /// `fail` yields an error the wait aborts immediately instead of running
+    /// out the deadline. Checked *after* `pred`, so anything already
+    /// satisfiable is still served.
+    fn wait_until_or<T>(
+        &self,
+        state: &mut parking_lot::MutexGuard<'_, State>,
+        what: &str,
         mut pred: impl FnMut(&mut State) -> Option<T>,
+        mut fail: impl FnMut(&State) -> Option<StreamError>,
     ) -> StreamResult<T> {
         let timeout = self.wait_timeout();
         let deadline = Instant::now() + timeout;
@@ -229,6 +255,9 @@ impl Stream {
             }
             if let Some(v) = pred(state) {
                 return Ok(v);
+            }
+            if let Some(err) = fail(state) {
+                return Err(err);
             }
             if self.cond.wait_until(state, deadline).timed_out() {
                 return Err(StreamError::Timeout {
@@ -368,6 +397,23 @@ impl Stream {
         Ok(())
     }
 
+    /// A writer rank is *gone* without closing: its process died, its
+    /// connection dropped, or it declared it will never produce again.
+    ///
+    /// Unlike [`StreamWriter::abandon`](crate::StreamWriter::abandon) — which
+    /// leaves the stream untouched so the supervisor can decide — this marks
+    /// the loss on the stream itself. Once every registered rank is
+    /// closed-or-gone with at least one gone, readers blocked on an
+    /// uncommitted step fail with `PeerGone` promptly instead of running out
+    /// the hub timeout (the EOS race: a writer aborting between `end_step`
+    /// and close used to leave readers hanging). A subsequent
+    /// [`Stream::reattach_writer`] (component restart) clears the marks.
+    pub(crate) fn writer_disconnect(&self) {
+        let mut state = self.state.lock();
+        state.gone_writers += 1;
+        self.cond.notify_all();
+    }
+
     /// A writer rank closes; the last one marks the stream ended.
     pub(crate) fn writer_close(&self, rank: usize, nranks: usize) {
         let mut state = self.state.lock();
@@ -424,30 +470,56 @@ impl Stream {
     pub(crate) fn reader_begin_step(&self, step: u64) -> StreamResult<Option<StepContents>> {
         let mut state = self.state.lock();
         let start = Instant::now();
-        let got = self.wait_until(&mut state, "a committed step", |s| {
-            let idx = step.checked_sub(s.base_step).map(|d| d as usize);
-            if let Some(idx) = idx {
-                if idx < s.queue.len() {
-                    if let Some(ready) = &s.queue[idx].ready {
-                        return Some(Some(Arc::clone(ready)));
+        let name = self.name.clone();
+        let fail = move |s: &State| {
+            let nranks = s.writer_nranks?;
+            if s.gone_writers == 0 || s.closed {
+                return None;
+            }
+            if s.closed_writers + s.gone_writers < nranks {
+                return None;
+            }
+            // Every writer rank is closed or gone and at least one is gone:
+            // the step being waited on can never be committed. (Committed
+            // steps are still served — the success predicate runs first.)
+            Some(StreamError::PeerGone {
+                stream: name.clone(),
+                reason: format!(
+                    "writer group abandoned the stream ({} of {nranks} ranks \
+                     gone before end of stream)",
+                    s.gone_writers
+                ),
+            })
+        };
+        let got = self.wait_until_or(
+            &mut state,
+            "a committed step",
+            |s| {
+                let idx = step.checked_sub(s.base_step).map(|d| d as usize);
+                if let Some(idx) = idx {
+                    if idx < s.queue.len() {
+                        if let Some(ready) = &s.queue[idx].ready {
+                            return Some(Some(Arc::clone(ready)));
+                        }
                     }
                 }
-            }
-            // No such committed step; if the writer group is done and will
-            // never produce it, report end of stream.
-            if s.closed {
-                let produced = s.base_step + s.queue.len() as u64;
-                let last_is_ready = s
-                    .queue
-                    .back()
-                    .map(|slot| slot.ready.is_some())
-                    .unwrap_or(true);
-                if step >= produced || (step + 1 == produced && !last_is_ready) {
-                    return Some(None);
+                // No such committed step; if the writer group is done and will
+                // never produce it, report end of stream.
+                if s.closed {
+                    let produced = s.base_step + s.queue.len() as u64;
+                    let last_is_ready = s
+                        .queue
+                        .back()
+                        .map(|slot| slot.ready.is_some())
+                        .unwrap_or(true);
+                    if step >= produced || (step + 1 == produced && !last_is_ready) {
+                        return Some(None);
+                    }
                 }
-            }
-            None
-        })?;
+                None
+            },
+            fail,
+        )?;
         self.counters.add_reader_wait(start.elapsed());
         Ok(got)
     }
@@ -590,6 +662,7 @@ impl Stream {
         }
         state.writer_nranks = None;
         state.closed_writers = 0;
+        state.gone_writers = 0;
         state.closed = false;
         self.cond.notify_all();
     }

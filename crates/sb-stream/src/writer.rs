@@ -5,8 +5,8 @@ use std::sync::Arc;
 use sb_data::{Chunk, Variable};
 
 use crate::error::StreamResult;
-use crate::stream::Stream;
 use crate::trace::{EventKind, TraceSite, Tracer};
+use crate::transport::{WriterConnection, WriterEndpoint};
 
 /// One writer rank's handle onto a stream.
 ///
@@ -19,8 +19,14 @@ use crate::trace::{EventKind, TraceSite, Tracer};
 /// [`StreamWriter::abandon`] does *not* close the stream: a failing rank
 /// must never signal a clean EOS — the workflow supervisor decides whether
 /// to restart the component or tear the stream down.
+///
+/// The handle is transport-agnostic: the same protocol drives the in-proc
+/// backend (steps shared by `Arc`) and the TCP backend (steps framed onto a
+/// socket, with `put`s batched until `end_step`).
 pub struct StreamWriter {
-    stream: Arc<Stream>,
+    endpoint: Box<dyn WriterEndpoint>,
+    tracer: Arc<Tracer>,
+    trace_id: u32,
     rank: usize,
     nranks: usize,
     next_step: u64,
@@ -29,12 +35,14 @@ pub struct StreamWriter {
 }
 
 impl StreamWriter {
-    pub(crate) fn new(stream: Arc<Stream>, rank: usize, nranks: usize, start: u64) -> StreamWriter {
+    pub(crate) fn new(conn: WriterConnection, rank: usize, nranks: usize) -> StreamWriter {
         StreamWriter {
-            stream,
+            endpoint: conn.endpoint,
+            tracer: conn.tracer,
+            trace_id: conn.trace_id,
             rank,
             nranks,
-            next_step: start,
+            next_step: conn.start_step,
             in_step: false,
             closed: false,
         }
@@ -59,19 +67,22 @@ impl StreamWriter {
     /// step loop (the sim driver) and stamp component-phase spans onto the
     /// same timeline.
     pub fn tracer(&self) -> &Arc<Tracer> {
-        &self.stream.tracer
+        &self.tracer
     }
 
     /// Opens the next step, blocking while the writer-side buffer is full.
     pub fn begin_step(&mut self) -> StreamResult<()> {
         assert!(!self.closed, "begin_step on a closed writer");
         assert!(!self.in_step, "begin_step called twice without end_step");
-        let tracer = &self.stream.tracer;
-        let start_ns = if tracer.enabled() { tracer.now_ns() } else { 0 };
-        self.stream.writer_begin_step(self.next_step)?;
-        tracer.span(
+        let start_ns = if self.tracer.enabled() {
+            self.tracer.now_ns()
+        } else {
+            0
+        };
+        self.endpoint.begin_step(self.next_step)?;
+        self.tracer.span(
             EventKind::WriterBlocked,
-            TraceSite::stream(self.stream.trace_id, self.rank, self.next_step),
+            TraceSite::stream(self.trace_id, self.rank, self.next_step),
             start_ns,
         );
         self.in_step = true;
@@ -81,7 +92,7 @@ impl StreamWriter {
     /// Contributes one chunk of a variable to the open step.
     pub fn put(&mut self, chunk: Chunk) {
         assert!(self.in_step, "put outside begin_step/end_step");
-        self.stream.writer_put(self.next_step, chunk);
+        self.endpoint.put(self.next_step, chunk);
     }
 
     /// Convenience: contributes an entire variable as this rank's chunk
@@ -94,8 +105,7 @@ impl StreamWriter {
     /// readers; in rendezvous mode this blocks until it is consumed.
     pub fn end_step(&mut self) -> StreamResult<()> {
         assert!(self.in_step, "end_step without begin_step");
-        self.stream
-            .writer_end_step(self.next_step, self.rank, self.nranks)?;
+        self.endpoint.end_step(self.next_step)?;
         self.in_step = false;
         self.next_step += 1;
         Ok(())
@@ -107,16 +117,33 @@ impl StreamWriter {
         assert!(!self.in_step, "close inside an open step");
         if !self.closed {
             self.closed = true;
-            self.stream.writer_close(self.rank, self.nranks);
+            self.endpoint.close();
         }
     }
 
     /// Walks away from the stream *without* closing it: readers see neither
     /// further data nor EOS from this rank. Called by failing components so
-    /// downstream never mistakes a crash for a clean end of stream.
+    /// downstream never mistakes a crash for a clean end of stream; the
+    /// workflow supervisor then restarts the component or tears the stream
+    /// down.
     pub fn abandon(&mut self) {
-        self.closed = true;
-        self.in_step = false;
+        if !self.closed {
+            self.closed = true;
+            self.in_step = false;
+            self.endpoint.abandon();
+        }
+    }
+
+    /// Declares this rank gone *for good* — no supervisor will restart it.
+    /// Readers blocked on steps the writer group can no longer commit fail
+    /// promptly with [`crate::StreamError::PeerGone`] instead of waiting
+    /// out the hub timeout. (A dropped TCP connection reports the same.)
+    pub fn disconnect(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.in_step = false;
+            self.endpoint.disconnect();
+        }
     }
 }
 
@@ -129,7 +156,9 @@ impl Drop for StreamWriter {
         // Only a clean drop (not mid-step, not unwinding) counts as a
         // close; a failing rank abandons instead.
         if !self.in_step && !std::thread::panicking() {
-            self.stream.writer_close(self.rank, self.nranks);
+            self.endpoint.close();
+        } else {
+            self.endpoint.abandon();
         }
     }
 }

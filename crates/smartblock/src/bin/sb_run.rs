@@ -1,0 +1,232 @@
+//! `sb-run`: run a SmartBlock launch script, whole or as one process of a
+//! multi-process deployment.
+//!
+//! Modes:
+//!
+//! * `sb-run --script wf.sb`
+//!   — run the whole script in process (the classic single-process mode).
+//! * `sb-run --script wf.sb --serve ADDR [--components a,b]`
+//!   — serve a TCP broker on `ADDR`, run the named components (default:
+//!   none, broker only) on the broker's own hub, then keep serving until
+//!   every remote connection has drained.
+//! * `sb-run --script wf.sb --connect tcp://HOST:PORT --components a,b`
+//!   — connect to a broker another process serves and run only the named
+//!   components there.
+//!
+//! All processes must be given the *same* script: it is the single source
+//! of truth for stream wiring and component labels (`--list` prints them).
+//! A `#@ transport tcp://host:port` directive in the script supplies the
+//! default for `--serve`/`--connect`. Exit status: `0` on success, `1` on a
+//! workflow failure, `2` on usage or I/O errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sb_stream::tcp::TcpBroker;
+use sb_stream::StreamHub;
+use smartblock::distributed::{plan_script, run_components, PlannedComponent};
+use smartblock::launch::validate_transport_url;
+use smartblock::supervisor::RunOptions;
+
+struct Args {
+    script: Option<String>,
+    serve: Option<String>,
+    connect: Option<String>,
+    components: Vec<String>,
+    list: bool,
+    hub_timeout: Option<Duration>,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: sb-run --script FILE [--serve ADDR | --connect tcp://HOST:PORT]\n\
+         \x20             [--components a,b,...] [--timeout SECONDS] [--list]\n\
+         runs a SmartBlock launch script, whole or as one process of a\n\
+         multi-process deployment (every process gets the same script)"
+    );
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        script: None,
+        serve: None,
+        connect: None,
+        components: Vec::new(),
+        list: false,
+        hub_timeout: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--script" | "-s" => args.script = Some(value("--script")?),
+            "--serve" => args.serve = Some(value("--serve")?),
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--components" | "--component" | "-c" => {
+                args.components.extend(
+                    value("--components")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                );
+            }
+            "--timeout" => {
+                let secs: u64 = value("--timeout")?
+                    .parse()
+                    .map_err(|_| "--timeout needs a number of seconds".to_string())?;
+                args.hub_timeout = Some(Duration::from_secs(secs));
+            }
+            "--list" => args.list = true,
+            "-h" | "--help" => {
+                usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.script.is_none() {
+        return Err("--script is required".to_string());
+    }
+    if args.serve.is_some() && args.connect.is_some() {
+        return Err("--serve and --connect are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+fn run(
+    hub: Arc<StreamHub>,
+    plan: &[PlannedComponent],
+    select: &[String],
+    hub_timeout: Option<Duration>,
+) -> Result<(), ExitCode> {
+    let mut options = RunOptions::new();
+    if let Some(timeout) = hub_timeout {
+        options = options.with_hub_timeout(timeout);
+    }
+    match run_components(hub, plan, select, options) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("sb-run: workflow failed: {e}");
+            Err(ExitCode::from(1))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sb-run: {e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let script_path = args.script.expect("checked in parse_args");
+    let text = match std::fs::read_to_string(&script_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sb-run: {script_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (plan, directives) = match plan_script(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sb-run: {script_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for p in &plan {
+            println!("{}\t-n {}", p.label, p.nranks);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The script's transport directive is the fallback endpoint; explicit
+    // flags win. `--serve` wants a bare bind address, so strip the scheme.
+    let connect = args
+        .connect
+        .or_else(|| directives.transport.clone())
+        .filter(|_| args.serve.is_none());
+    if let Some(url) = &connect {
+        if let Err(e) = validate_transport_url(url) {
+            eprintln!("sb-run: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(serve) = args.serve {
+        let bind = serve.strip_prefix("tcp://").unwrap_or(&serve);
+        let mut broker = match TcpBroker::bind(bind) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sb-run: cannot serve on {bind}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        eprintln!("sb-run: serving {}", broker.url());
+        // Are parts of the script expected to arrive from other processes?
+        let remotes_expected =
+            args.components.is_empty() || plan.iter().any(|p| !args.components.contains(&p.label));
+        let result = if args.components.is_empty() {
+            Ok(())
+        } else {
+            let hub = Arc::clone(broker.hub());
+            run(hub, &plan, &args.components, args.hub_timeout)
+        };
+        if remotes_expected {
+            // Local components may finish before remotes even dial in (a
+            // buffered source, or broker-only mode): wait for the first
+            // connection ever accepted (the monotonic count — a fast remote
+            // can connect and leave entirely between two polls of the
+            // active gauge), then keep serving until the active count has
+            // stayed at zero for a full second — endpoints of one remote
+            // process overlap, so a sustained zero means they all left.
+            eprintln!("sb-run: waiting for remote components");
+            while broker.connections_seen() == 0 {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            let mut quiet = 0;
+            while quiet < 10 {
+                quiet = if broker.active_connections() == 0 {
+                    quiet + 1
+                } else {
+                    0
+                };
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        broker.shutdown();
+        match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
+        }
+    } else if let Some(url) = connect {
+        if args.components.is_empty() {
+            eprintln!("sb-run: --connect needs --components (which part of the script runs here?)");
+            return ExitCode::from(2);
+        }
+        let hub = match StreamHub::connect(&url) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("sb-run: cannot connect to {url}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run(hub, &plan, &args.components, args.hub_timeout) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
+        }
+    } else {
+        // Single-process: the whole script on an in-proc hub.
+        match run(StreamHub::new(), &plan, &args.components, args.hub_timeout) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
+        }
+    }
+}

@@ -217,8 +217,12 @@ pub enum StepFault {
     /// Suppress this step's output payload (the step is still paced, so
     /// downstream sees a metadata-only step, not a hang).
     DropChunk,
-    /// Go quiet: abandon outputs without closing them and return early, so
-    /// peers observe neither data nor EOS — the disappeared-peer scenario.
+    /// Go quiet: walk away from outputs without closing them and return
+    /// early — the disappeared-peer scenario. The writer disconnects
+    /// *noisily* (the rank is gone for good, no supervisor resurrects a
+    /// stalled incarnation), so starved readers observe a prompt
+    /// [`sb_stream::StreamError::PeerGone`] instead of waiting out the hub
+    /// timeout.
     Stall,
 }
 
@@ -347,7 +351,10 @@ where
             }
         };
         if gate == StepFault::Stall {
-            writer.abandon();
+            // Noisy: a stalled rank never comes back, so readers starved by
+            // it must get PeerGone promptly (error paths below abandon
+            // *silently* instead, leaving the supervisor free to restart).
+            writer.disconnect();
             return Ok(());
         }
         let step_start = Instant::now();
@@ -460,8 +467,10 @@ where
         let wait = step_start.elapsed();
         trace.span(EventKind::Wait, step, step_ns);
         let compute_ns = trace.now();
-        let (bytes_in, compute) = per_step(reader, comm, stats.steps)
-            .map_err(|e| ComponentError::from_step(label, step, e))?;
+        // As in `source_loop`: the closure gets the stream step, so results
+        // stay correctly labelled when a restarted reader resumes mid-stream.
+        let (bytes_in, compute) =
+            per_step(reader, comm, step).map_err(|e| ComponentError::from_step(label, step, e))?;
         trace.span(EventKind::Compute, step, compute_ns);
         reader.end_step();
         stats.record_step(step_start.elapsed(), wait, compute, bytes_in);
@@ -517,12 +526,18 @@ where
             }
         };
         if gate == StepFault::Stall {
-            writer.abandon();
+            // Noisy: a stalled rank never comes back, so readers starved by
+            // it must get PeerGone promptly (error paths below abandon
+            // *silently* instead, leaving the supervisor free to restart).
+            writer.disconnect();
             return Ok(());
         }
         let step_start = Instant::now();
         let step_ns = trace.now();
-        let chunk = match per_step(comm, stats.steps) {
+        // Hand the closure the *stream* step, not the per-incarnation count:
+        // after a supervisor restart the writer resumes mid-stream, and the
+        // closure must produce the step being replayed, not start over at 0.
+        let chunk = match per_step(comm, step) {
             Ok(Some(c)) => Some(c),
             Ok(None) => break,
             Err(e) => {

@@ -1,0 +1,200 @@
+//! Multi-process deployment: run a slice of a launch script in this
+//! process, against a broker another process serves.
+//!
+//! The paper's deployment model is one OS process (group) per component,
+//! wired only by stream names over the network. In process, the whole
+//! script becomes one [`Workflow`]; across processes, every participant
+//! parses the *same* script, and each runs only its assigned components:
+//!
+//! ```text
+//! terminal 1:  sb-run --script wf.sb --serve 127.0.0.1:7654 --components lammps
+//! terminal 2:  sb-run --script wf.sb --connect tcp://127.0.0.1:7654 \
+//!                     --components select,magnitude,histogram
+//! ```
+//!
+//! The shared script is the single source of truth for wiring, so
+//! [`plan_script`] assigns every entry the *same* label in every process
+//! (the dedup suffixes `-2`, `-3`, … mirror [`Workflow::add`]); component
+//! assignment is then by label. [`partial_workflow`] materializes one
+//! process's slice, and [`run_components`] runs it with static validation
+//! skipped — this process sees only its slice of the wiring, so dangling
+//! streams here are expected, not errors (lint the full script with
+//! `sb-lint` instead).
+
+use std::sync::Arc;
+
+use sb_stream::StreamHub;
+
+use crate::error::WorkflowError;
+use crate::launch::{parse_script_with_directives, LaunchEntry, LaunchError, ScriptDirectives};
+use crate::metrics::WorkflowReport;
+use crate::runtime::Workflow;
+use crate::supervisor::{RunOptions, Validation};
+use crate::workflows::instantiate_entry;
+
+/// One script entry with the label every process agrees on.
+#[derive(Debug, Clone)]
+pub struct PlannedComponent {
+    /// Deduplicated component label (assignment key).
+    pub label: String,
+    /// Process count from the script line.
+    pub nranks: usize,
+    /// The parsed launch entry.
+    pub entry: LaunchEntry,
+}
+
+/// Parses a script and assigns each entry its workflow label, plus the
+/// script-level directives (`#@ transport …`).
+///
+/// Labels are derived exactly as [`Workflow::add`] derives them — base
+/// label from the component, `-2`/`-3`/… suffixes on repeats — so every
+/// process planning the same script computes the same assignment keys.
+pub fn plan_script(text: &str) -> Result<(Vec<PlannedComponent>, ScriptDirectives), LaunchError> {
+    let (entries, directives) = parse_script_with_directives(text)?;
+    let mut plan: Vec<PlannedComponent> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let base = instantiate_entry(&entry).label();
+        let mut label = base.clone();
+        let mut n = 2;
+        while plan.iter().any(|p| p.label == label) {
+            label = format!("{base}-{n}");
+            n += 1;
+        }
+        plan.push(PlannedComponent {
+            label,
+            nranks: entry.nranks,
+            entry,
+        });
+    }
+    Ok((plan, directives))
+}
+
+/// Builds the workflow containing only the components named in `select`
+/// (all of them when `select` is empty), on the given hub.
+///
+/// Returns the unknown label when `select` names a component the plan does
+/// not contain.
+pub fn partial_workflow(
+    hub: Arc<StreamHub>,
+    plan: &[PlannedComponent],
+    select: &[String],
+) -> Result<Workflow, String> {
+    for wanted in select {
+        if !plan.iter().any(|p| &p.label == wanted) {
+            let known: Vec<&str> = plan.iter().map(|p| p.label.as_str()).collect();
+            return Err(format!(
+                "unknown component {wanted:?}; script defines {known:?}"
+            ));
+        }
+    }
+    let mut wf = Workflow::with_hub(hub);
+    for planned in plan {
+        if select.is_empty() || select.iter().any(|s| s == &planned.label) {
+            wf.add_labeled(
+                planned.label.clone(),
+                planned.nranks,
+                instantiate_entry(&planned.entry),
+            );
+        }
+    }
+    Ok(wf)
+}
+
+/// Runs this process's slice of the script on `hub`.
+///
+/// Static validation is forced to [`Validation::Skip`]: the slice's wiring
+/// intentionally dangles into other processes, so the fail-fast analyzer
+/// would reject every legitimate partial deployment. Everything else in
+/// `options` (fault policy, hub timeout, tracing) applies unchanged.
+#[allow(clippy::result_large_err)]
+pub fn run_components(
+    hub: Arc<StreamHub>,
+    plan: &[PlannedComponent],
+    select: &[String],
+    options: RunOptions,
+) -> Result<WorkflowReport, WorkflowError> {
+    let wf = partial_workflow(hub, plan, select).map_err(|detail| WorkflowError::Invalid {
+        issues: vec![detail],
+    })?;
+    wf.run_with(options.with_validation(Validation::Skip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_stream::tcp::TcpBroker;
+
+    const SCRIPT: &str = r#"
+        #@ transport tcp://127.0.0.1:7654
+        aprun -n 2 gromacs chains=4 len=4 steps=3 interval=2 &
+        aprun -n 2 magnitude gromacs.fp coords m.fp r &
+        aprun -n 1 histogram m.fp r 4 &
+        wait
+    "#;
+
+    #[test]
+    fn plan_labels_match_workflow_labels() {
+        let script = r#"
+            aprun -n 1 dim-reduce a.fp x 0 1 b.fp x &
+            aprun -n 1 dim-reduce b.fp x 0 1 c.fp x &
+            aprun -n 1 histogram c.fp x 4 &
+        "#;
+        let (plan, _) = plan_script(script).unwrap();
+        let labels: Vec<&str> = plan.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["dim-reduce", "dim-reduce-2", "histogram"]);
+        let wf = crate::workflows::script_to_workflow(script).unwrap();
+        assert_eq!(wf.labels(), labels);
+    }
+
+    #[test]
+    fn partial_workflow_selects_by_label() {
+        let (plan, directives) = plan_script(SCRIPT).unwrap();
+        assert_eq!(
+            directives.transport.as_deref(),
+            Some("tcp://127.0.0.1:7654")
+        );
+        let wf = partial_workflow(
+            StreamHub::new(),
+            &plan,
+            &["magnitude".to_string(), "histogram".to_string()],
+        )
+        .unwrap();
+        assert_eq!(wf.labels(), vec!["magnitude", "histogram"]);
+        let all = partial_workflow(StreamHub::new(), &plan, &[]).unwrap();
+        assert_eq!(all.labels(), vec!["gromacs", "magnitude", "histogram"]);
+        let err = match partial_workflow(StreamHub::new(), &plan, &["nope".to_string()]) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown label must be rejected"),
+        };
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn script_splits_across_tcp_hubs() {
+        let (plan, _) = plan_script(SCRIPT).unwrap();
+        let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+        let url = broker.url();
+
+        // "Process" A: the simulation, over its own TCP connection.
+        let plan_a = plan.clone();
+        let url_a = url.clone();
+        let sim = std::thread::spawn(move || {
+            let hub = StreamHub::connect(&url_a).unwrap();
+            run_components(hub, &plan_a, &["gromacs".to_string()], RunOptions::new())
+                .expect("simulation side")
+        });
+        // "Process" B: the analysis chain, over another connection.
+        let hub = StreamHub::connect(&url).unwrap();
+        let analysis = run_components(
+            hub,
+            &plan,
+            &["magnitude".to_string(), "histogram".to_string()],
+            RunOptions::new(),
+        )
+        .unwrap();
+        let sim = sim.join().unwrap();
+
+        assert_eq!(sim.component("gromacs").unwrap().stats.steps, 3);
+        assert_eq!(analysis.component("histogram").unwrap().stats.steps, 3);
+    }
+}

@@ -223,6 +223,37 @@ pub struct LaunchEntry {
     pub options: BTreeMap<String, String>,
 }
 
+/// Script-level directives: `#@ key value` comment lines, invisible to the
+/// per-line grammar (old parsers skip them as comments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScriptDirectives {
+    /// `#@ transport tcp://host:port` — the broker endpoint a multi-process
+    /// deployment of this script rendezvouses on. `sb-run` uses it as the
+    /// default for `--serve`/`--connect`; `sb-lint` validates it.
+    pub transport: Option<String>,
+}
+
+/// Syntactic check of a `tcp://host:port` transport URL (no DNS lookup, so
+/// lint can run offline); returns the reason when the URL is malformed.
+/// Actual resolution happens at connect time in `sb_stream::tcp`.
+pub fn validate_transport_url(url: &str) -> Result<(), String> {
+    let rest = url
+        .strip_prefix("tcp://")
+        .ok_or_else(|| format!("transport URL {url:?} must start with tcp://"))?;
+    let (host, port) = rest
+        .rsplit_once(':')
+        .ok_or_else(|| format!("transport URL {url:?} needs a host:port"))?;
+    if host.is_empty() {
+        return Err(format!("transport URL {url:?} has an empty host"));
+    }
+    match port.parse::<u16>() {
+        Ok(_) => Ok(()),
+        Err(_) => Err(format!(
+            "transport URL {url:?} has an invalid port {port:?}"
+        )),
+    }
+}
+
 fn err(line: usize, detail: impl Into<String>) -> LaunchError {
     LaunchError {
         line,
@@ -236,12 +267,40 @@ fn parse_usize(tok: &str, what: &str, line: usize) -> Result<usize, LaunchError>
 }
 
 /// Parses a launch script into entries; `wait`, comments and blank lines
-/// are skipped.
+/// are skipped (including `#@` directive lines — use
+/// [`parse_script_with_directives`] to read those too).
 pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
+    parse_script_with_directives(text).map(|(entries, _)| entries)
+}
+
+/// [`parse_script`] plus the script-level `#@` directives. A malformed
+/// directive (unknown key, missing value, bad transport URL) is a parse
+/// error, so linted scripts are deployable as written.
+pub fn parse_script_with_directives(
+    text: &str,
+) -> Result<(Vec<LaunchEntry>, ScriptDirectives), LaunchError> {
     let mut entries = Vec::new();
+    let mut directives = ScriptDirectives::default();
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let mut s = raw.trim();
+        if let Some(directive) = s.strip_prefix("#@") {
+            let mut toks = directive.split_whitespace();
+            match (toks.next(), toks.next(), toks.next()) {
+                (Some("transport"), Some(url), None) => {
+                    validate_transport_url(url).map_err(|detail| err(line, detail))?;
+                    directives.transport = Some(url.to_string());
+                }
+                (Some("transport"), _, _) => {
+                    return Err(err(line, "usage: #@ transport tcp://host:port"));
+                }
+                (Some(other), _, _) => {
+                    return Err(err(line, format!("unknown directive {other:?}")));
+                }
+                (None, _, _) => return Err(err(line, "empty #@ directive")),
+            }
+            continue;
+        }
         if s.is_empty() || s.starts_with('#') || s == "wait" {
             continue;
         }
@@ -492,7 +551,7 @@ pub fn parse_script(text: &str) -> Result<Vec<LaunchEntry>, LaunchError> {
             options,
         });
     }
-    Ok(entries)
+    Ok((entries, directives))
 }
 
 #[cfg(test)]
@@ -616,6 +675,55 @@ mod tests {
         ] {
             assert!(parse_script(script).is_err(), "should reject: {what}");
         }
+    }
+
+    #[test]
+    fn transport_directive_round_trips() {
+        let script = r#"
+            #@ transport tcp://127.0.0.1:7654
+            # an ordinary comment
+            aprun -n 1 histogram a.fp x 4 &
+            wait
+        "#;
+        let (entries, directives) = parse_script_with_directives(script).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            directives.transport.as_deref(),
+            Some("tcp://127.0.0.1:7654")
+        );
+        // Directive lines stay invisible to the plain parser.
+        assert_eq!(parse_script(script).unwrap().len(), 1);
+        // Scripts without directives parse to the default.
+        let (_, none) = parse_script_with_directives("histogram a.fp x 4").unwrap();
+        assert_eq!(none, ScriptDirectives::default());
+    }
+
+    #[test]
+    fn malformed_directives_are_parse_errors() {
+        for (script, what) in [
+            ("#@ transport", "missing URL"),
+            ("#@ transport udp://1.2.3.4:5", "wrong scheme"),
+            ("#@ transport tcp://host", "missing port"),
+            ("#@ transport tcp://:99", "empty host"),
+            ("#@ transport tcp://h:notaport", "bad port"),
+            ("#@ transport tcp://h:1 extra", "trailing token"),
+            ("#@ teleport tcp://h:1", "unknown key"),
+            ("#@", "empty directive"),
+        ] {
+            assert!(
+                parse_script_with_directives(script).is_err(),
+                "should reject: {what}"
+            );
+        }
+    }
+
+    #[test]
+    fn transport_url_validation() {
+        assert!(validate_transport_url("tcp://localhost:9000").is_ok());
+        assert!(validate_transport_url("tcp://10.0.0.1:1").is_ok());
+        assert!(validate_transport_url("tcp://[::1]:9000").is_ok());
+        assert!(validate_transport_url("localhost:9000").is_err());
+        assert!(validate_transport_url("tcp://x:70000").is_err());
     }
 
     #[test]

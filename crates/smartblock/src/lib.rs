@@ -70,6 +70,7 @@ pub mod analysis;
 pub mod combine;
 pub mod component;
 pub mod dim_reduce;
+pub mod distributed;
 pub mod error;
 pub mod file_io;
 pub mod fork;
@@ -96,11 +97,14 @@ pub use analysis::{
 pub use combine::{BinaryOp, Combine};
 pub use component::{Component, StepFault, StreamArray};
 pub use dim_reduce::DimReduce;
+pub use distributed::{partial_workflow, plan_script, run_components, PlannedComponent};
 pub use error::{ComponentError, ComponentResult, StepError, StepResult, WorkflowError};
 pub use file_io::{FileRead, FileWrite};
 pub use fork::Fork;
 pub use histogram::{Histogram, HistogramResult};
-pub use launch::{parse_script, LaunchEntry, Program};
+pub use launch::{
+    parse_script, parse_script_with_directives, LaunchEntry, Program, ScriptDirectives,
+};
 pub use magnitude::Magnitude;
 pub use metrics::{ComponentOutcome, ComponentReport, ComponentStats, WorkflowReport};
 pub use reduce::{Reduce, ReduceOp};

@@ -506,6 +506,7 @@ mod tests {
                 bytes_copied: 300,
                 copies_elided: 0,
                 zero_fills_elided: 0,
+                bytes_on_wire: 0,
             }],
             timeline: Timeline::default(),
         };

@@ -471,7 +471,16 @@ impl PresetScale {
 /// paper's Fig. 8 stream names. Returns the workflow and a handle to the
 /// per-step histograms.
 pub fn lammps_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
-    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    lammps_workflow_on(StreamHub::with_timeout(scale.wait_timeout), scale)
+}
+
+/// [`lammps_workflow`] on a caller-supplied hub — e.g. one from
+///// [`StreamHub::connect`], so the same preset runs over the TCP backend (the
+/// caller owns the hub's timeout).
+pub fn lammps_workflow_on(
+    hub: Arc<StreamHub>,
+    scale: &PresetScale,
+) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
     let mut wf = Workflow::with_hub(hub);
     wf.add(scale.sim_ranks, scale.simulation(SimCode::Lammps));
     wf.add(
@@ -497,7 +506,14 @@ pub fn lammps_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<Histogra
 
 /// §V-C: the same LAMMPS run analyzed by the fused all-in-one component.
 pub fn lammps_aio_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
-    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    lammps_aio_workflow_on(StreamHub::with_timeout(scale.wait_timeout), scale)
+}
+
+/// [`lammps_aio_workflow`] on a caller-supplied hub.
+pub fn lammps_aio_workflow_on(
+    hub: Arc<StreamHub>,
+    scale: &PresetScale,
+) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
     let mut wf = Workflow::with_hub(hub);
     wf.add(scale.sim_ranks, scale.simulation(SimCode::Lammps));
     let aio = AllInOne::new(("dump.custom.fp", "atoms"), ["vx", "vy", "vz"], scale.bins);
@@ -549,7 +565,14 @@ impl SimOnly {
 
 /// Fig. 6: GTCP → Select(P_perp) → Dim-Reduce → Dim-Reduce → Histogram.
 pub fn gtcp_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
-    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    gtcp_workflow_on(StreamHub::with_timeout(scale.wait_timeout), scale)
+}
+
+/// [`gtcp_workflow`] on a caller-supplied hub (e.g. a TCP-connected one).
+pub fn gtcp_workflow_on(
+    hub: Arc<StreamHub>,
+    scale: &PresetScale,
+) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
     let mut wf = Workflow::with_hub(hub);
     wf.add(scale.sim_ranks, scale.simulation(SimCode::Gtcp));
     wf.add(
@@ -575,7 +598,14 @@ pub fn gtcp_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramR
 
 /// Fig. 7: GROMACS → Magnitude → Histogram (spread of the atoms).
 pub fn gromacs_workflow(scale: &PresetScale) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
-    let hub = StreamHub::with_timeout(scale.wait_timeout);
+    gromacs_workflow_on(StreamHub::with_timeout(scale.wait_timeout), scale)
+}
+
+/// [`gromacs_workflow`] on a caller-supplied hub (e.g. a TCP-connected one).
+pub fn gromacs_workflow_on(
+    hub: Arc<StreamHub>,
+    scale: &PresetScale,
+) -> (Workflow, Arc<Mutex<Vec<HistogramResult>>>) {
     let mut wf = Workflow::with_hub(hub);
     wf.add(scale.sim_ranks, scale.simulation(SimCode::Gromacs));
     wf.add(

@@ -1,0 +1,106 @@
+//! Multi-process deployment: the GROMACS workflow (Fig. 7) split across two
+//! OS processes connected by the TCP transport backend.
+//!
+//! The parent process serves a [`TcpBroker`] and runs the simulation on the
+//! broker's own hub; it then re-launches *itself* with `--role analysis` as
+//! a genuinely separate OS process, which connects to `tcp://…` and runs
+//! Magnitude → Histogram. The two processes share nothing but the broker
+//! URL — the same name-based rendezvous as the in-proc hub, across a
+//! process boundary.
+//!
+//! Run with: `cargo run --release -p sb-examples --bin multi_process`
+//!
+//! The equivalent two-terminal deployment with `sb-run` (see the README):
+//!
+//! ```text
+//! terminal 1:  sb-run --script wf.sb --serve 127.0.0.1:7654 --components gromacs
+//! terminal 2:  sb-run --script wf.sb --connect tcp://127.0.0.1:7654 \
+//!                     --components magnitude,histogram
+//! ```
+
+use std::process::Command;
+use std::sync::Arc;
+
+use sb_examples::render_histogram;
+use sb_stream::tcp::TcpBroker;
+use smartblock::distributed::{plan_script, run_components};
+use smartblock::prelude::*;
+
+const SCRIPT: &str = r#"
+    aprun -n 2 gromacs chains=6 len=5 steps=4 interval=5 &
+    aprun -n 2 magnitude gromacs.fp coords gmag.fp radii &
+    aprun -n 1 histogram gmag.fp radii 12 &
+    wait
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--role") {
+        analysis_process();
+        return;
+    }
+
+    let (plan, _) = plan_script(SCRIPT).expect("script parses");
+    let mut broker = TcpBroker::bind("127.0.0.1:0").expect("bind broker");
+    println!("parent: serving {}", broker.url());
+
+    // The analysis side: this same binary, as a real child OS process.
+    let mut child = Command::new(std::env::current_exe().expect("own path"))
+        .args(["--role", "analysis", "--url", &broker.url()])
+        .spawn()
+        .expect("spawn analysis process");
+
+    // The simulation side, on the broker's own in-proc hub.
+    let hub = Arc::clone(broker.hub());
+    let report = run_components(hub, &plan, &["gromacs".to_string()], RunOptions::new())
+        .expect("simulation side");
+    println!(
+        "parent: gromacs produced {} steps",
+        report
+            .component("gromacs")
+            .expect("gromacs ran")
+            .stats
+            .steps
+    );
+
+    let status = child.wait().expect("await analysis process");
+    assert!(status.success(), "analysis process failed: {status}");
+    broker.shutdown();
+    println!("parent: done");
+}
+
+fn analysis_process() {
+    let args: Vec<String> = std::env::args().collect();
+    let url = args
+        .iter()
+        .position(|a| a == "--url")
+        .and_then(|i| args.get(i + 1))
+        .expect("--url tcp://host:port");
+    let (plan, _) = plan_script(SCRIPT).expect("script parses");
+    let hub = StreamHub::connect(url).expect("connect to broker");
+    println!("child:  connected to {url} (backend {})", hub.backend());
+
+    let select = ["magnitude".to_string(), "histogram".to_string()];
+    let mut hist = Some(Histogram::new(("gmag.fp", "radii"), 12));
+    let results = hist.as_ref().expect("just built").results_handle();
+    // Build the slice by hand so we can hold the histogram handle; sb-run
+    // does the same thing generically via `partial_workflow`.
+    let mut wf = Workflow::with_hub(hub);
+    for p in plan.iter().filter(|p| select.contains(&p.label)) {
+        if p.label == "histogram" {
+            wf.add_labeled("histogram", p.nranks, hist.take().expect("added once"));
+        } else {
+            wf.add_labeled(
+                p.label.clone(),
+                p.nranks,
+                smartblock::workflows::instantiate_entry(&p.entry),
+            );
+        }
+    }
+    wf.run_with(RunOptions::new().with_validation(Validation::Skip))
+        .expect("analysis side");
+
+    for r in results.lock().iter() {
+        println!("\n{}", render_histogram("atom radii (over TCP)", r));
+    }
+}

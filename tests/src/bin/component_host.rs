@@ -1,0 +1,38 @@
+//! Helper process for the real-process chaos tests: runs the source side
+//! of the chaos pipeline against a TCP broker in another process,
+//! optionally dying mid-run with no cleanup at all — the moral equivalent
+//! of a SIGKILL, as seen by the broker: a socket EOF with no
+//! close/abandon terminator.
+//!
+//! Usage: `component_host tcp://HOST:PORT STEPS [abort-at=N]`
+
+use sb_integration_tests::chaos_coords;
+use smartblock::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: component_host tcp://HOST:PORT STEPS [abort-at=N]";
+    let url = args.next().expect(usage);
+    let steps: u64 = args.next().expect(usage).parse().expect(usage);
+    let abort_at: Option<u64> = args.next().map(|a| {
+        a.strip_prefix("abort-at=")
+            .expect(usage)
+            .parse()
+            .expect(usage)
+    });
+
+    let hub = StreamHub::connect(&url).expect("connect to broker");
+    let mut wf = Workflow::with_hub(hub);
+    wf.add_source("gen", 1, "c.fp", move |step| {
+        if Some(step) == abort_at {
+            // Die like a killed process: no unwinding, no destructors, no
+            // EOS — the broker learns about it only from the socket EOF.
+            std::process::abort();
+        }
+        (step < steps).then(|| chaos_coords(step, 8))
+    });
+    // This process holds one component of a cross-process workflow; the
+    // wiring dangles into the peer by design, so validation is skipped.
+    wf.run_with(RunOptions::new().with_validation(Validation::Skip))
+        .expect("source workflow");
+}

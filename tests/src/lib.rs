@@ -2,10 +2,24 @@
 //! computations the workflow outputs are checked against.
 
 use sb_comm::launch;
+use sb_data::{Buffer, Shape, Variable};
 use sb_sims::driver::SimRank;
 use sb_sims::{GtcpConfig, GtcpSim, LammpsConfig, LammpsSim};
 use smartblock::histogram::bin_counts;
 use smartblock::HistogramResult;
+
+/// Deterministic per-step coordinates for the chaos pipelines. Shared with
+/// the `component_host` helper binary so a source running in another OS
+/// process produces exactly the values an in-proc golden run produces.
+pub fn chaos_coords(step: u64, rows: usize) -> Variable {
+    let data: Vec<f64> = (0..rows * 3).map(|i| i as f64 + step as f64).collect();
+    Variable::new(
+        "coords",
+        Shape::of(&[("n", rows), ("d", 3)]),
+        Buffer::F64(data),
+    )
+    .unwrap()
+}
 
 /// Reference histogram of a value set: global min/max then equal-width
 /// bins, exactly the Histogram component's contract.

@@ -362,30 +362,36 @@ fn chaos_seed() -> u64 {
         .unwrap_or(41)
 }
 
-fn coords(step: u64, rows: usize) -> Variable {
-    let data: Vec<f64> = (0..rows * 3).map(|i| i as f64 + step as f64).collect();
-    Variable::new(
-        "coords",
-        Shape::of(&[("n", rows), ("d", 3)]),
-        Buffer::F64(data),
-    )
-    .unwrap()
-}
+use sb_integration_tests::chaos_coords as coords;
 
 /// gen -> magnitude -> collect, with the collected per-step outputs handed
 /// back so tests can compare them against a golden run.
 fn chaos_pipeline(steps: u64) -> (Workflow, Arc<Mutex<Vec<Vec<f64>>>>) {
-    let mut wf = Workflow::new();
+    chaos_pipeline_on(StreamHub::new(), steps)
+}
+
+/// [`chaos_pipeline`] on an explicit hub, so the same seeded plans run over
+/// the in-proc backend and over a TCP broker.
+fn chaos_pipeline_on(hub: Arc<StreamHub>, steps: u64) -> (Workflow, Arc<Mutex<Vec<Vec<f64>>>>) {
+    let mut wf = Workflow::with_hub(hub);
     wf.add_source("gen", 1, "c.fp", move |step| {
         (step < steps).then(|| coords(step, 8))
     });
+    let out = analysis_side(&mut wf);
+    (wf, out)
+}
+
+/// Adds the magnitude -> collect tail of the chaos pipeline to `wf` and
+/// returns the collected outputs. The cross-process tests use it alone,
+/// with the source running in a `component_host` process instead.
+fn analysis_side(wf: &mut Workflow) -> Arc<Mutex<Vec<Vec<f64>>>> {
     wf.add(1, Magnitude::new(("c.fp", "coords"), ("r.fp", "radii")));
     let out: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&out);
     wf.add_sink("collect", 1, "r.fp", move |_s, vars| {
         sink.lock().push(vars["radii"].data.to_f64_vec());
     });
-    (wf, out)
+    out
 }
 
 /// A tiny fixed-width binning of every collected value — the "golden
@@ -509,4 +515,209 @@ fn seeded_chaos_runs_are_reproducible() {
     assert_eq!(got_a, got_b, "collected outputs must reproduce");
     assert_eq!(bin_histogram(&got_a), bin_histogram(&got_b));
     assert!(restarts_a >= 1, "the kill directive must actually fire");
+}
+
+// ---------------------------------------------------------------------------
+// Chaos across the TCP backend: the same seeded plans behind a loopback
+// broker, and component processes that really die.
+// ---------------------------------------------------------------------------
+
+use sb_stream::tcp::TcpBroker;
+
+/// The kill/restart plan behind a loopback TCP broker reproduces the
+/// in-proc outcome exactly: same seed, same restart count, same collected
+/// values, same histogram — the supervisor cannot tell the backends apart.
+#[test]
+fn tcp_backend_reproduces_inproc_chaos_outcomes() {
+    let run = |hub: Arc<StreamHub>| {
+        let (mut wf, out) = chaos_pipeline_on(hub, 4);
+        wf.hub()
+            .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
+        wf.set_fault_policy(
+            "magnitude",
+            FaultPolicy::restart(2).with_backoff(Duration::from_millis(5)),
+        );
+        let report = wf.run_with(RunOptions::default()).unwrap();
+        let mag = report.component("magnitude").unwrap();
+        assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
+        let got = out.lock().clone();
+        (report.restarts(), got)
+    };
+    let (inproc_restarts, inproc_out) = run(StreamHub::new());
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let (tcp_restarts, tcp_out) = run(StreamHub::connect(&broker.url()).unwrap());
+
+    assert!(
+        inproc_restarts >= 1,
+        "the kill directive must actually fire"
+    );
+    assert_eq!(
+        inproc_restarts, tcp_restarts,
+        "restart counts must agree across backends"
+    );
+    assert_eq!(
+        inproc_out, tcp_out,
+        "collected outputs must agree across backends"
+    );
+    assert_eq!(bin_histogram(&inproc_out), bin_histogram(&tcp_out));
+}
+
+/// The stall plan over TCP degrades exactly like in-proc: the noisy
+/// disconnect crosses the wire, downstream observes PeerGone promptly, and
+/// the Degrade policy salvages the committed prefix on both backends.
+#[test]
+fn tcp_backend_reproduces_inproc_stall_degradation() {
+    let run = |hub: Arc<StreamHub>| {
+        let (mut wf, out) = chaos_pipeline_on(hub, 4);
+        wf.hub()
+            .install_faults(FaultPlan::seeded(chaos_seed()).stall_at("gen", 1));
+        wf.set_fault_policy("magnitude", FaultPolicy::degrade());
+        wf.set_fault_policy("collect", FaultPolicy::degrade());
+        let start = std::time::Instant::now();
+        let report = wf
+            .run_with(RunOptions::new().with_hub_timeout(Duration::from_secs(120)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "a noisy disconnect must surface promptly, not wait out the timeout"
+        );
+        let degraded = report.degraded().contains(&"magnitude");
+        let collected = out.lock().clone();
+        (collected, degraded)
+    };
+    let (inproc_out, inproc_degraded) = run(StreamHub::new());
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let (tcp_out, tcp_degraded) = run(StreamHub::connect(&broker.url()).unwrap());
+
+    assert_eq!(inproc_out.len(), 1, "the step before the stall survives");
+    assert_eq!(inproc_out, tcp_out, "backends disagree on salvaged output");
+    assert!(inproc_degraded && tcp_degraded);
+}
+
+/// Regression for the EOS race: a writer vanishing *between* `end_step`
+/// and EOS used to leave blocked readers waiting out the whole hub
+/// timeout. Committed steps must still be served, and the step that can
+/// never commit must fail with a prompt `PeerGone` — on both backends.
+#[test]
+fn abandoned_writer_after_end_step_surfaces_peer_gone_promptly() {
+    let check = |hub: Arc<StreamHub>| {
+        let mut w = hub.open_writer("race.fp", 0, 1, WriterOptions::default());
+        w.begin_step().unwrap();
+        w.put_whole(tiny_source(0));
+        w.end_step().unwrap();
+        w.disconnect(); // gone for good, with no EOS — the race window
+
+        let mut r = hub.open_reader("race.fp", 0, 1);
+        let start = std::time::Instant::now();
+        r.begin_step().unwrap();
+        assert_eq!(r.get_whole("x").unwrap().data.to_f64_vec(), vec![0.0; 4]);
+        r.end_step();
+        let err = r.begin_step().unwrap_err();
+        assert!(matches!(&err, StreamError::PeerGone { .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "PeerGone must be prompt, not a hub timeout"
+        );
+    };
+    // Hub timeouts far beyond the assertion bound: only the fail-fast path
+    // can pass this test.
+    check(StreamHub::with_timeout(Duration::from_secs(120)));
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let hub = StreamHub::connect(&broker.url()).unwrap();
+    hub.set_wait_timeout(Duration::from_secs(120));
+    check(hub);
+}
+
+/// Spawns the `component_host` helper: the chaos source in its own OS
+/// process, connected over TCP, optionally dying mid-run.
+fn spawn_host(url: &str, steps: u64, abort_at: Option<u64>) -> std::process::Child {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_component_host"));
+    cmd.arg(url).arg(steps.to_string());
+    if let Some(s) = abort_at {
+        cmd.arg(format!("abort-at={s}"));
+    }
+    cmd.stderr(std::process::Stdio::null());
+    cmd.spawn().expect("spawn component_host")
+}
+
+/// A component *process* dying mid-step degrades its downstream exactly
+/// like an in-proc stall: the broker turns the socket EOF into a noisy
+/// disconnect, PeerGone surfaces promptly, and the Degrade policy keeps
+/// the step committed before the death.
+#[test]
+fn killed_component_process_degrades_downstream() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let start = std::time::Instant::now();
+    let mut child = spawn_host(&broker.url(), 4, Some(1));
+
+    let mut wf = Workflow::with_hub(Arc::clone(broker.hub()));
+    let out = analysis_side(&mut wf);
+    wf.set_fault_policy("magnitude", FaultPolicy::degrade());
+    wf.set_fault_policy("collect", FaultPolicy::degrade());
+    // The source lives in the child process, so this slice's wiring
+    // dangles by design.
+    let report = wf
+        .run_with(RunOptions::new().with_validation(Validation::Skip))
+        .unwrap();
+
+    let status = child.wait().unwrap();
+    assert!(!status.success(), "the host process must have died mid-run");
+    assert_eq!(out.lock().len(), 1, "the committed step survives the death");
+    assert!(
+        report.degraded().contains(&"magnitude"),
+        "degraded: {:?}",
+        report.degraded()
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "a dead process must surface as prompt PeerGone, not a hub timeout"
+    );
+}
+
+/// A component process dying mid-step is *restartable*: a process-level
+/// supervisor (here, the test) clears the stream's gone-writer mark with
+/// [`StreamHub::prepare_restart`] and respawns the process, which replays
+/// the uncommitted step; downstream restart policies ride out the gap. The
+/// final output matches a no-fault in-proc golden run exactly.
+#[test]
+fn killed_component_process_restarts_and_replays_the_step() {
+    let (golden_wf, golden_out) = chaos_pipeline(4);
+    golden_wf.run_with(RunOptions::default()).unwrap();
+    let golden = golden_out.lock().clone();
+    assert_eq!(golden.len(), 4);
+
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let url = broker.url();
+    let respawn_hub = Arc::clone(broker.hub());
+    let respawner = std::thread::spawn(move || {
+        let mut child = spawn_host(&url, 4, Some(1));
+        let status = child.wait().unwrap();
+        assert!(!status.success(), "first incarnation must die");
+        // What a real process launcher would do before relaunching: reopen
+        // the writer registration and clear the gone-writer mark.
+        respawn_hub.prepare_restart(&[], &["c.fp".to_string()]);
+        let status = spawn_host(&url, 4, None).wait().unwrap();
+        assert!(status.success(), "second incarnation must finish cleanly");
+    });
+
+    let mut wf = Workflow::with_hub(Arc::clone(broker.hub()));
+    let out = analysis_side(&mut wf);
+    // Magnitude sees PeerGone between the death and the respawn; a patient
+    // restart policy rides the gap out.
+    wf.set_fault_policy(
+        "magnitude",
+        FaultPolicy::restart(50).with_backoff(Duration::from_millis(100)),
+    );
+    let report = wf
+        .run_with(RunOptions::new().with_validation(Validation::Skip))
+        .unwrap();
+    respawner.join().unwrap();
+
+    let mag = report.component("magnitude").unwrap();
+    assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
+    assert_eq!(
+        out.lock().clone(),
+        golden,
+        "the replayed step must be neither lost nor duplicated"
+    );
 }

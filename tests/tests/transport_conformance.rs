@@ -1,0 +1,136 @@
+//! Cross-backend transport conformance: each of the three paper workflows
+//! (LAMMPS, GTCP, GROMACS) must behave identically whether its streams run
+//! through the in-proc hub or through a loopback TCP broker — byte-identical
+//! histogram trajectories (checked against the recorded goldens in
+//! `tests/golden/`) and equal per-component step counts.
+//!
+//! This is the conformance contract of the `Transport` trait: a backend may
+//! change *how* steps move, never *what* arrives.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use sb_stream::tcp::TcpBroker;
+use sb_stream::StreamHub;
+use smartblock::metrics::WorkflowReport;
+use smartblock::prelude::*;
+use smartblock::workflows::{
+    gromacs_workflow_on, gtcp_workflow_on, lammps_workflow_on, PresetScale,
+};
+use smartblock::HistogramResult;
+
+/// The scale the goldens were recorded at (see `zero_copy.rs`).
+fn scale() -> PresetScale {
+    PresetScale {
+        io_steps: 3,
+        substeps: 3,
+        bins: 12,
+        ..PresetScale::default()
+    }
+}
+
+fn render(results: &[HistogramResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!(
+            "step {} min {:.17e} max {:.17e} counts {:?}\n",
+            r.step, r.min, r.max, r.counts
+        ));
+    }
+    out
+}
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("golden/{name}_histogram.txt"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {path:?}: {e}"))
+}
+
+type Preset =
+    fn(Arc<StreamHub>, &PresetScale) -> (Workflow, Arc<parking_lot::Mutex<Vec<HistogramResult>>>);
+
+/// Per-component step counts, keyed by label so backends can be compared.
+fn step_counts(report: &WorkflowReport) -> BTreeMap<String, u64> {
+    report
+        .components
+        .iter()
+        .map(|c| (c.label.clone(), c.stats.steps))
+        .collect()
+}
+
+/// Runs `preset` on `hub` and returns the rendered histogram trajectory
+/// plus every component's step count.
+fn run_on(hub: Arc<StreamHub>, preset: Preset) -> (String, BTreeMap<String, u64>) {
+    let (wf, results) = preset(hub, &scale());
+    let report = wf.run_with(RunOptions::default()).unwrap();
+    let rendered = render(&results.lock());
+    (rendered, step_counts(&report))
+}
+
+/// The conformance check: the workflow on the in-proc backend and on a
+/// loopback TCP broker must both reproduce the golden byte-for-byte, with
+/// identical per-component step counts.
+fn assert_backends_conform(name: &str, preset: Preset) {
+    let (inproc, inproc_steps) = run_on(StreamHub::with_timeout(scale().wait_timeout), preset);
+    assert_eq!(
+        inproc,
+        golden(name),
+        "{name}: in-proc output diverged from the recorded golden"
+    );
+
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let hub = StreamHub::connect(&broker.url()).unwrap();
+    hub.set_wait_timeout(scale().wait_timeout);
+    assert_eq!(hub.backend(), "tcp");
+    let (tcp, tcp_steps) = run_on(hub, preset);
+    assert_eq!(
+        tcp,
+        golden(name),
+        "{name}: TCP output diverged from the recorded golden"
+    );
+    assert_eq!(
+        inproc_steps, tcp_steps,
+        "{name}: backends disagree on per-component step counts"
+    );
+    assert!(
+        inproc_steps.values().all(|&s| s == scale().io_steps),
+        "{name}: every component must see every step: {inproc_steps:?}"
+    );
+}
+
+#[test]
+fn lammps_workflow_conforms_across_backends() {
+    assert_backends_conform("lammps", lammps_workflow_on);
+}
+
+#[test]
+fn gtcp_workflow_conforms_across_backends() {
+    assert_backends_conform("gtcp", gtcp_workflow_on);
+}
+
+#[test]
+fn gromacs_workflow_conforms_across_backends() {
+    assert_backends_conform("gromacs", gromacs_workflow_on);
+}
+
+/// Two workflows on one broker must not interfere: the paper's name-based
+/// rendezvous scopes every stream, so running two presets concurrently over
+/// the same TCP broker still reproduces both goldens.
+#[test]
+fn concurrent_workflows_share_a_broker_without_crosstalk() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let url = broker.url();
+
+    let url_b = url.clone();
+    let gtcp = std::thread::spawn(move || {
+        let hub = StreamHub::connect(&url_b).unwrap();
+        run_on(hub, gtcp_workflow_on).0
+    });
+    let hub = StreamHub::connect(&url).unwrap();
+    let gromacs = run_on(hub, gromacs_workflow_on).0;
+    let gtcp = gtcp.join().unwrap();
+
+    assert_eq!(gromacs, golden("gromacs"));
+    assert_eq!(gtcp, golden("gtcp"));
+}
