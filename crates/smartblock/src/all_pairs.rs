@@ -123,9 +123,9 @@ impl Component for AllPairs {
         use crate::analysis::{unary_transfer, ArraySpec, DimSpec, Extent, Signature, SpecError};
         // Every rank reads the whole array (pair distances cross any
         // partition boundary), so there is no partitioned read to declare.
-        Signature {
-            reads: Vec::new(),
-            transfer: Some(unary_transfer(
+        Signature::with_boxed_transfer(
+            Vec::new(),
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 |spec| {
@@ -147,8 +147,8 @@ impl Component for AllPairs {
                         sb_data::DType::F64,
                     ))
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

@@ -1,0 +1,13 @@
+//! Contract pass: SB006 contract-violation, SB007 degenerate-bins,
+//! SB008 over-decomposition.
+//!
+//! The violations themselves are discovered during spec propagation in
+//! [`Model::build`] (they are properties of the spec flow, not of the
+//! finished model); this pass reports what propagation recorded.
+
+use crate::analysis::diagnostics::AnalysisIssue;
+use crate::analysis::model::Model;
+
+pub(crate) fn run(model: &Model<'_>, issues: &mut Vec<AnalysisIssue>) {
+    issues.extend(model.propagation_issues.iter().cloned());
+}

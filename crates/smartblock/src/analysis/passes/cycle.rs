@@ -1,0 +1,26 @@
+//! Cycle pass: SB005 subscription-cycle.
+
+use std::collections::BTreeSet;
+
+use crate::analysis::diagnostics::AnalysisIssue;
+use crate::analysis::model::{kahn_order, Model};
+
+pub(crate) fn run(model: &Model<'_>, issues: &mut Vec<AnalysisIssue>) {
+    let n = model.entries.len();
+    if model.topo_order.len() == n {
+        return;
+    }
+    let in_order: BTreeSet<usize> = model.topo_order.iter().copied().collect();
+    let forward_stuck: BTreeSet<usize> = (0..n).filter(|i| !in_order.contains(i)).collect();
+    // Nodes merely downstream of a cycle are also stuck forward; the ones
+    // stuck in *both* directions are the cycle itself.
+    let reversed: BTreeSet<(usize, usize)> = model.edges.iter().map(|&(a, b)| (b, a)).collect();
+    let backward_done: BTreeSet<usize> = kahn_order(n, &reversed).into_iter().collect();
+    let on_cycle: Vec<String> = (0..n)
+        .filter(|i| forward_stuck.contains(i) && !backward_done.contains(i))
+        .map(|i| model.entries[i].label.to_string())
+        .collect();
+    issues.push(AnalysisIssue::Cycle {
+        components: on_cycle,
+    });
+}

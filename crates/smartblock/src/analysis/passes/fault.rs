@@ -1,0 +1,56 @@
+//! Fault-policy soundness pass: SB011 restart-unsound, SB012
+//! degrade-terminal, SB013 zero-restart-budget, SB014
+//! unknown-policy-target.
+//!
+//! The supervisor restarts a component by rewinding its stream
+//! attachments to the last *uncommitted* step — upstream queues do not
+//! replay steps the component already committed. For a stateless
+//! transform that is exactly right; for a stateful component (a
+//! Temporal-Mean window, say) the restarted instance recomputes from a
+//! silently truncated history. Likewise, degrading a terminal sink makes
+//! the workflow "succeed" with its final results cut short, and a restart
+//! budget of zero is just Abort spelled confusingly.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::diagnostics::AnalysisIssue;
+use crate::analysis::model::Model;
+use crate::supervisor::{FailureAction, FaultPolicy};
+
+pub(crate) fn run(
+    model: &Model<'_>,
+    policies: &BTreeMap<String, FaultPolicy>,
+    issues: &mut Vec<AnalysisIssue>,
+) {
+    let known: Vec<String> = model.entries.iter().map(|e| e.label.to_string()).collect();
+    for (label, policy) in policies {
+        let Some(entry) = model.entries.iter().find(|e| e.label == label) else {
+            issues.push(AnalysisIssue::UnknownPolicyTarget {
+                label: label.clone(),
+                known: known.clone(),
+            });
+            continue;
+        };
+        match policy.action {
+            FailureAction::Abort => {}
+            FailureAction::Restart => {
+                if policy.max_restarts == 0 {
+                    issues.push(AnalysisIssue::ZeroRestartBudget {
+                        component: label.clone(),
+                    });
+                } else if entry.component.signature().stateful {
+                    issues.push(AnalysisIssue::RestartUnsound {
+                        component: label.clone(),
+                    });
+                }
+            }
+            FailureAction::Degrade => {
+                if entry.component.output_streams().is_empty() {
+                    issues.push(AnalysisIssue::DegradeTerminal {
+                        component: label.clone(),
+                    });
+                }
+            }
+        }
+    }
+}

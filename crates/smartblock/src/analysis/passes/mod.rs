@@ -1,0 +1,18 @@
+//! The staged analysis passes.
+//!
+//! Each pass is a free `run` function that reads the shared [`Model`] and
+//! appends [`AnalysisIssue`]s. The driver in [`crate::analysis::analyze`]
+//! runs them in a fixed order (wiring, cycle, contract, cadence, fault);
+//! script-level passes (starvation, partition-plan, transport, wire-cost)
+//! live in [`crate::analysis::script`] because they need launch-script
+//! directives that a programmatic [`Workflow`](crate::Workflow) does not
+//! carry.
+//!
+//! [`Model`]: super::model::Model
+//! [`AnalysisIssue`]: super::diagnostics::AnalysisIssue
+
+pub(crate) mod cadence;
+pub(crate) mod contract;
+pub(crate) mod cycle;
+pub(crate) mod fault;
+pub(crate) mod wiring;

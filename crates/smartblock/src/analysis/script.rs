@@ -1,0 +1,460 @@
+//! Script-level linting: [`lint_script`] runs the full pipeline over a
+//! launch script, producing [`Diagnostic`]s with source lines.
+//!
+//! On top of the model-level passes shared with
+//! [`Workflow::lint`](crate::Workflow::lint), four passes exist only
+//! here because they read launch-script artifacts a programmatic
+//! workflow does not carry:
+//!
+//! - **starvation** (SB010): a `groups=N` writer declaration against the
+//!   reader groups the script actually subscribes;
+//! - **partition plan** (SB015): `#@ process` assignments must cover every
+//!   component exactly once;
+//! - **transport** (SB016): cross-process streams need a usable `tcp://`
+//!   endpoint, and several `#@ transport` lines must agree;
+//! - **wire cost** (SB017): estimated bytes-on-the-wire per payload byte
+//!   of each cross-process stream, from the propagated specs.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::component::Component;
+use crate::launch::{parse_script_with_directives, Program, ScriptDirectives};
+use crate::supervisor::FaultPolicy;
+use crate::workflows::instantiate_entry;
+
+use super::diagnostics::{AnalysisIssue, Diagnostic, ScriptLint};
+use super::lints::{Level, LintConfig};
+use super::model::{EntryView, Model};
+use super::spec::StreamSpec;
+use super::{lint_entries, PolicyLines};
+
+/// Wire amplification (in tenths) above which SB017 fires: 6.0× the
+/// payload. The TCP benchmark (`BENCH_tcp.json`) measures a flat ~4×
+/// for well-shaped streams, so 6× of headroom separates protocol
+/// overhead from a wiring problem (tiny payloads fanned out widely).
+pub const WIRE_AMPLIFICATION_THRESHOLD_TENTHS: u64 = 60;
+
+/// Fixed per-step envelope bytes the wire estimate charges each rank for
+/// framing, handshakes and step control, on top of the self-describing
+/// metadata derived from the spec.
+const STEP_ENVELOPE_BYTES: u64 = 64;
+
+/// One successfully instantiated script entry plus its lint-relevant
+/// script artifacts.
+struct BuiltEntry {
+    label: String,
+    nranks: usize,
+    component: Box<dyn Component>,
+    line: usize,
+    /// `groups=N` declared on the writer line, when parseable.
+    declared_groups: Option<usize>,
+}
+
+/// Lints one launch script end to end. `name` is only used for rendering
+/// (the `script.sh:12:` prefix); `config` filters and re-levels lints.
+pub fn lint_script(name: &str, text: &str, config: &LintConfig) -> ScriptLint {
+    let mut lint = ScriptLint {
+        name: name.to_string(),
+        diagnostics: Vec::new(),
+    };
+    let push = |lint: &mut ScriptLint, issue: AnalysisIssue, line: Option<usize>| {
+        let level = config.level_for(issue.lint());
+        if level != Level::Allow {
+            lint.diagnostics.push(Diagnostic { issue, level, line });
+        }
+    };
+
+    let (entries, directives) = match parse_script_with_directives(text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            push(
+                &mut lint,
+                AnalysisIssue::ScriptError { detail: e.detail },
+                Some(e.line),
+            );
+            return lint;
+        }
+    };
+
+    // Instantiate every entry, trapping constructor panics (a histogram
+    // with zero bins, a non-integer option) as SB000 on the entry's line.
+    // Labels are derived exactly as `Workflow::add` derives them so plan
+    // members and policy targets match the runtime's names.
+    let mut built: Vec<BuiltEntry> = Vec::new();
+    let mut constructor_failed = false;
+    for entry in &entries {
+        match catch_unwind(AssertUnwindSafe(|| instantiate_entry(entry))) {
+            Ok(component) => {
+                let base = component.label();
+                let mut label = base.clone();
+                let mut n = 2;
+                while built.iter().any(|b| b.label == label) {
+                    label = format!("{base}-{n}");
+                    n += 1;
+                }
+                let declared_groups = match &entry.program {
+                    Program::Simulation { params, .. } => params.get("groups"),
+                    _ => entry.options.get("groups"),
+                }
+                .and_then(|g| g.parse::<usize>().ok());
+                built.push(BuiltEntry {
+                    label,
+                    nranks: entry.nranks,
+                    component,
+                    line: entry.line,
+                    declared_groups,
+                });
+            }
+            Err(payload) => {
+                constructor_failed = true;
+                push(
+                    &mut lint,
+                    AnalysisIssue::ScriptError {
+                        detail: format!(
+                            "component rejected its arguments: {}",
+                            panic_message(&payload)
+                        ),
+                    },
+                    Some(entry.line),
+                );
+            }
+        }
+    }
+    // A half-built workflow would cascade into spurious wiring issues
+    // (the failed component's streams look unwired); stop at SB000.
+    if constructor_failed {
+        return lint;
+    }
+
+    let policies: BTreeMap<String, FaultPolicy> = directives
+        .policies
+        .iter()
+        .map(|p| (p.label.clone(), p.policy.clone()))
+        .collect();
+    let policy_lines: PolicyLines = directives
+        .policies
+        .iter()
+        .map(|p| (p.label.clone(), p.line))
+        .collect();
+
+    let views: Vec<EntryView<'_>> = built
+        .iter()
+        .map(|b| EntryView {
+            label: &b.label,
+            nranks: b.nranks,
+            component: b.component.as_ref(),
+            line: Some(b.line),
+        })
+        .collect();
+    lint.diagnostics
+        .extend(lint_entries(&views, &policies, &policy_lines, config));
+
+    let model = Model::build(&views);
+    starvation_pass(&model, &built, |issue, line| push(&mut lint, issue, line));
+    let assignment = plan_pass(&model, &built, &directives, |issue, line| {
+        push(&mut lint, issue, line)
+    });
+    transport_pass(&model, &built, &directives, &assignment, |issue, line| {
+        push(&mut lint, issue, line)
+    });
+    wire_cost_pass(&model, &built, &assignment, |issue, line| {
+        push(&mut lint, issue, line)
+    });
+    lint
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "constructor panicked".to_string()
+    }
+}
+
+/// SB010: writer declares more reader groups than the script subscribes.
+fn starvation_pass(
+    model: &Model<'_>,
+    built: &[BuiltEntry],
+    mut push: impl FnMut(AnalysisIssue, Option<usize>),
+) {
+    for b in built {
+        let Some(declared) = b.declared_groups else {
+            continue;
+        };
+        for stream in b.component.output_streams() {
+            let groups: Vec<String> = model
+                .subscriptions
+                .keys()
+                .filter(|(s, _)| *s == stream)
+                .map(|(_, g)| g.clone())
+                .collect();
+            if declared > groups.len() {
+                push(
+                    AnalysisIssue::StarvedWriter {
+                        component: b.label.clone(),
+                        stream,
+                        declared,
+                        actual: groups.len(),
+                        groups,
+                    },
+                    Some(b.line),
+                );
+            }
+        }
+    }
+}
+
+/// SB015: every component in exactly one process. Returns the label →
+/// process assignment for uniquely assigned components (empty when the
+/// script declares no processes).
+fn plan_pass(
+    _model: &Model<'_>,
+    built: &[BuiltEntry],
+    directives: &ScriptDirectives,
+    mut push: impl FnMut(AnalysisIssue, Option<usize>),
+) -> BTreeMap<String, String> {
+    let mut assignment = BTreeMap::new();
+    if directives.processes.is_empty() {
+        return assignment;
+    }
+    let labels: BTreeSet<&str> = built.iter().map(|b| b.label.as_str()).collect();
+    let known: Vec<String> = built.iter().map(|b| b.label.clone()).collect();
+    let mut seen = BTreeSet::new();
+    for proc in &directives.processes {
+        if !seen.insert(proc.name.as_str()) {
+            push(
+                AnalysisIssue::DuplicateProcessName {
+                    process: proc.name.clone(),
+                },
+                Some(proc.line),
+            );
+        }
+        for member in &proc.members {
+            if !labels.contains(member.as_str()) {
+                push(
+                    AnalysisIssue::UnknownProcessMember {
+                        process: proc.name.clone(),
+                        member: member.clone(),
+                        known: known.clone(),
+                    },
+                    Some(proc.line),
+                );
+            }
+        }
+    }
+    let process_names: Vec<String> = directives
+        .processes
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    for b in built {
+        let assigned: Vec<String> = directives
+            .processes
+            .iter()
+            .filter(|p| p.members.contains(&b.label))
+            .map(|p| p.name.clone())
+            .collect();
+        match assigned.len() {
+            0 => push(
+                AnalysisIssue::UnassignedComponent {
+                    component: b.label.clone(),
+                    processes: process_names.clone(),
+                },
+                Some(b.line),
+            ),
+            1 => {
+                assignment.insert(b.label.clone(), assigned.into_iter().next().unwrap());
+            }
+            _ => push(
+                AnalysisIssue::MultiplyAssigned {
+                    component: b.label.clone(),
+                    processes: assigned,
+                },
+                Some(b.line),
+            ),
+        }
+    }
+    assignment
+}
+
+/// SB016: endpoint collisions, unconnectable endpoints, and cross-process
+/// streams with no transport at all.
+fn transport_pass(
+    model: &Model<'_>,
+    built: &[BuiltEntry],
+    directives: &ScriptDirectives,
+    assignment: &BTreeMap<String, String>,
+    mut push: impl FnMut(AnalysisIssue, Option<usize>),
+) {
+    let mut distinct: Vec<&str> = Vec::new();
+    let mut collision_line = None;
+    for (url, line) in &directives.transports {
+        if !distinct.contains(&url.as_str()) {
+            if !distinct.is_empty() && collision_line.is_none() {
+                collision_line = Some(*line);
+            }
+            distinct.push(url);
+        }
+        // `validate_transport_url` accepts any u16 port at parse time;
+        // port 0 survives parsing but is never connectable.
+        if url.ends_with(":0") {
+            push(
+                AnalysisIssue::UnreachableEndpoint {
+                    url: url.clone(),
+                    reason: "port 0 is not a connectable endpoint".to_string(),
+                },
+                Some(*line),
+            );
+        }
+    }
+    if distinct.len() > 1 {
+        push(
+            AnalysisIssue::EndpointCollision {
+                urls: distinct.iter().map(|u| u.to_string()).collect(),
+            },
+            collision_line,
+        );
+    }
+
+    if directives.transports.is_empty() {
+        for (stream, writer_process, _reader, reader_process) in
+            cross_process_streams(model, built, assignment)
+        {
+            let writer_line = built
+                .iter()
+                .find(|b| Some(&b.label) == writer_of(model, built, &stream))
+                .map(|b| b.line);
+            push(
+                AnalysisIssue::MissingTransport {
+                    stream,
+                    writer_process,
+                    reader_process,
+                },
+                writer_line,
+            );
+        }
+    }
+}
+
+/// The label of `stream`'s single writer, when it has exactly one.
+fn writer_of<'b>(model: &Model<'_>, built: &'b [BuiltEntry], stream: &str) -> Option<&'b String> {
+    match model.writers.get(stream).map(Vec::as_slice) {
+        Some([w]) => Some(&built[*w].label),
+        _ => None,
+    }
+}
+
+/// Streams whose single writer and some reader land in different
+/// processes: `(stream, writer process, reader label, reader process)`,
+/// one tuple per stream (the first cross-process reader found).
+fn cross_process_streams(
+    model: &Model<'_>,
+    built: &[BuiltEntry],
+    assignment: &BTreeMap<String, String>,
+) -> Vec<(String, String, String, String)> {
+    let mut out = Vec::new();
+    for (stream, consumers) in &model.readers {
+        let Some(writer_label) = writer_of(model, built, stream) else {
+            continue;
+        };
+        let Some(writer_process) = assignment.get(writer_label) else {
+            continue;
+        };
+        for &r in consumers {
+            let reader_label = &built[r].label;
+            let Some(reader_process) = assignment.get(reader_label) else {
+                continue;
+            };
+            if reader_process != writer_process {
+                out.push((
+                    stream.clone(),
+                    writer_process.clone(),
+                    reader_label.clone(),
+                    reader_process.clone(),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// SB017: static wire-cost estimate for each cross-process stream.
+///
+/// One step of a stream with payload `P` bytes crosses the broker once up
+/// (writer → broker) and once per subscribed reader group down (the
+/// broker fans out whole steps per group), so the payload alone costs
+/// `(1 + groups) × P`. On top of that every participating rank exchanges
+/// the self-describing metadata and step envelope. The amplification is
+/// wire bytes per payload byte; tiny payloads under wide fan-out are
+/// exactly the shapes the TCP benchmark shows drowning in overhead.
+fn wire_cost_pass(
+    model: &Model<'_>,
+    built: &[BuiltEntry],
+    assignment: &BTreeMap<String, String>,
+    mut push: impl FnMut(AnalysisIssue, Option<usize>),
+) {
+    for (stream, _writer_process, _reader, _reader_process) in
+        cross_process_streams(model, built, assignment)
+    {
+        let Some(StreamSpec::Known(arrays)) = model.specs.get(&stream) else {
+            continue;
+        };
+        let payload: Option<u64> = arrays.values().map(|a| a.payload_bytes()).sum();
+        let Some(payload) = payload else { continue };
+        if payload == 0 {
+            continue;
+        }
+        // Self-describing metadata one rank ships per step: array and
+        // dimension names, 8 bytes per extent, and every quantity label.
+        let meta: u64 = STEP_ENVELOPE_BYTES
+            + arrays
+                .iter()
+                .map(|(name, spec)| {
+                    name.len() as u64
+                        + spec
+                            .dims
+                            .iter()
+                            .map(|d| 8 + d.name.len() as u64)
+                            .sum::<u64>()
+                        + spec
+                            .labels
+                            .values()
+                            .flatten()
+                            .map(|l| l.len() as u64)
+                            .sum::<u64>()
+                })
+                .sum::<u64>();
+        let groups = model
+            .subscriptions
+            .keys()
+            .filter(|(s, _)| *s == stream)
+            .count()
+            .max(1) as u64;
+        let writer_idx = model.writers[&stream][0];
+        let writer_ranks = built[writer_idx].nranks as u64;
+        let reader_ranks: u64 = model.readers[&stream]
+            .iter()
+            .map(|&r| built[r].nranks as u64)
+            .sum();
+        let wire = (1 + groups) * payload + (writer_ranks + reader_ranks) * meta;
+        let amplification_tenths = wire * 10 / payload;
+        if amplification_tenths > WIRE_AMPLIFICATION_THRESHOLD_TENTHS {
+            let line = built.get(writer_idx).map(|b| b.line);
+            push(
+                AnalysisIssue::WireAmplification {
+                    stream,
+                    amplification_tenths,
+                    threshold_tenths: WIRE_AMPLIFICATION_THRESHOLD_TENTHS,
+                    payload_bytes: payload,
+                    wire_bytes: wire,
+                },
+                line,
+            );
+        }
+    }
+}

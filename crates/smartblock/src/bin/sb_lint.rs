@@ -1,108 +1,184 @@
-//! `sb-lint`: static analysis of SmartBlock launch scripts.
+//! `sb-lint`: the SmartBlock lint engine CLI.
 //!
-//! Parses an aprun-style launch script (the paper's Fig. 8 deployment
-//! format), assembles the workflow *without running it*, and reports every
-//! issue the static analyzer finds: wiring mistakes, subscription cycles,
-//! contract violations (unknown labels, bad axes, shape mismatches), and
-//! over-decomposed reads.
+//! Parses aprun-style launch scripts (the paper's Fig. 8 deployment
+//! format), assembles each workflow *without running it*, and reports
+//! every diagnostic the staged analyzer finds — wiring mistakes,
+//! subscription cycles, contract violations, over-decomposition, cadence
+//! mismatches, unsound fault policies, invalid partition plans, transport
+//! problems, and wire-amplification estimates — each under a stable
+//! `SBxxx` lint ID.
 //!
-//! Exit status:
-//! * `0` — script parses and analysis found no errors (warnings allowed);
-//! * `1` — analysis found at least one error;
-//! * `2` — the script could not be parsed or a component rejected its
-//!   arguments outright (e.g. a zero-bin histogram).
+//! ```text
+//! wf.sb:4: error[SB001] no-writer: stream "m.fp" has no writer; ...
+//! ```
 //!
-//! Usage: `sb-lint SCRIPT...` or `sb-lint -` to read standard input.
+//! `--format json` emits one `smartblock.lint.v1` document for all linted
+//! scripts (see `schemas/smartblock.lint.v1.json`); `--check PATH`
+//! validates such a document.
 
 use std::io::Read;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use smartblock::launch::parse_script;
-use smartblock::prelude::{Severity, Workflow};
-use smartblock::workflows::instantiate_entry;
+use smartblock::analysis::{
+    check_report, lint_script, render_report_json, Level, LintConfig, ScriptLint, LINTS,
+};
 
-fn lint_text(name: &str, text: &str) -> Result<usize, String> {
-    let entries = parse_script(text).map_err(|e| e.to_string())?;
-    // Component constructors assert on nonsensical arguments (zero bins,
-    // empty fork); a lint tool must report those, not crash on them. The
-    // panic hook is silenced so the diagnostic is the only output.
-    let saved_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let wf = catch_unwind(AssertUnwindSafe(|| {
-        let mut wf = Workflow::new();
-        for entry in &entries {
-            wf.add(entry.nranks, instantiate_entry(entry));
+const EX_USAGE: u8 = 64;
+const EX_DATAERR: u8 = 65;
+const EX_NOINPUT: u8 = 66;
+
+fn usage() {
+    eprintln!(
+        "usage: sb-lint [OPTIONS] SCRIPT... (or `-` for stdin)\n\
+         statically checks SmartBlock launch scripts without running them\n\
+         \n\
+         options:\n\
+         \x20 --format text|json   rendering (default text; json follows\n\
+         \x20                      schemas/smartblock.lint.v1.json)\n\
+         \x20 --deny-warnings      exit 2 when only warnings were found\n\
+         \x20 --allow LINT         suppress a lint (by SBxxx ID or name)\n\
+         \x20 --deny LINT          promote a lint to an error\n\
+         \x20 --check PATH         validate a JSON lint report instead of linting\n\
+         \x20 --lints              list every registered lint and exit\n\
+         \n\
+         exit status:\n\
+         \x20 0   no diagnostics, or warnings only (without --deny-warnings)\n\
+         \x20 1   at least one error-level diagnostic\n\
+         \x20 2   warnings only, with --deny-warnings\n\
+         \x20 64  usage error (unknown flag, unknown lint, no scripts)\n\
+         \x20 65  --check: the report is not valid smartblock.lint.v1\n\
+         \x20 66  a script (or --check file) could not be read"
+    );
+}
+
+struct Args {
+    format_json: bool,
+    deny_warnings: bool,
+    check: Option<String>,
+    scripts: Vec<String>,
+    config: LintConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        format_json: false,
+        deny_warnings: false,
+        check: None,
+        scripts: Vec::new(),
+        config: LintConfig::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--format" | "-f" => match value("--format")?.as_str() {
+                "json" => args.format_json = true,
+                "text" => args.format_json = false,
+                other => return Err(format!("unknown format {other:?} (text|json)")),
+            },
+            "--deny-warnings" => args.deny_warnings = true,
+            "--allow" | "-A" => args.config.set(&value("--allow")?, Level::Allow)?,
+            "--deny" | "-D" => args.config.set(&value("--deny")?, Level::Deny)?,
+            "--check" => args.check = Some(value("--check")?),
+            "--lints" => {
+                for lint in LINTS {
+                    println!(
+                        "{} {:24} {:7} {}",
+                        lint.id, lint.name, lint.default_level, lint.summary
+                    );
+                }
+                std::process::exit(0);
+            }
+            "-h" | "--help" => {
+                usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return Err(format!("unknown argument {other:?}"));
+            }
+            script => args.scripts.push(script.to_string()),
         }
-        wf
-    }));
-    std::panic::set_hook(saved_hook);
-    let wf = wf.map_err(|panic| {
-        let detail = panic
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_else(|| "component constructor panicked".to_string());
-        format!("invalid component arguments: {detail}")
-    })?;
-    let issues = wf.validate();
-    let mut errors = 0;
-    for issue in &issues {
-        if issue.severity() == Severity::Error {
-            errors += 1;
-        }
-        println!("{name}: {}: {issue}", issue.severity());
     }
-    Ok(errors)
+    if args.check.is_none() && args.scripts.is_empty() {
+        return Err("no scripts given".to_string());
+    }
+    Ok(args)
+}
+
+fn read_input(arg: &str) -> std::io::Result<String> {
+    if arg == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(arg)
+    }
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: sb-lint SCRIPT... (or `-` for stdin)");
-        eprintln!("statically checks a SmartBlock launch script without running it");
-        return if args.is_empty() {
-            ExitCode::from(2)
-        } else {
-            ExitCode::SUCCESS
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sb-lint: {e}");
+            usage();
+            return ExitCode::from(EX_USAGE);
+        }
+    };
+
+    if let Some(path) = &args.check {
+        let text = match read_input(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sb-lint: {path}: {e}");
+                return ExitCode::from(EX_NOINPUT);
+            }
+        };
+        return match check_report(&text) {
+            Ok(()) => {
+                println!("{path}: valid smartblock.lint.v1 report");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sb-lint: {path}: invalid report: {e}");
+                ExitCode::from(EX_DATAERR)
+            }
         };
     }
-    let mut errors = 0usize;
-    let mut failed = false;
-    for arg in &args {
-        let text = if arg == "-" {
-            let mut buf = String::new();
-            match std::io::stdin().read_to_string(&mut buf) {
-                Ok(_) => buf,
-                Err(e) => {
-                    eprintln!("sb-lint: stdin: {e}");
-                    failed = true;
-                    continue;
-                }
-            }
-        } else {
-            match std::fs::read_to_string(arg) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("sb-lint: {arg}: {e}");
-                    failed = true;
-                    continue;
-                }
-            }
-        };
-        let name = if arg == "-" { "<stdin>" } else { arg.as_str() };
-        match lint_text(name, &text) {
-            Ok(n) => errors += n,
+
+    // Component constructors assert on nonsensical arguments (zero bins,
+    // empty fork); `lint_script` traps those panics as SB000 diagnostics,
+    // and the silenced hook keeps the diagnostic as the only output.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut reports: Vec<ScriptLint> = Vec::new();
+    let mut unreadable = false;
+    for script in &args.scripts {
+        let name = if script == "-" { "<stdin>" } else { script };
+        match read_input(script) {
+            Ok(text) => reports.push(lint_script(name, &text, &args.config)),
             Err(e) => {
                 eprintln!("sb-lint: {name}: {e}");
-                failed = true;
+                unreadable = true;
             }
         }
     }
-    if failed {
-        ExitCode::from(2)
+    let _ = std::panic::take_hook();
+
+    if args.format_json {
+        print!("{}", render_report_json(&reports));
+    } else {
+        for report in &reports {
+            print!("{}", report.render_text());
+        }
+    }
+
+    let errors: usize = reports.iter().map(|r| r.errors()).sum();
+    let warnings: usize = reports.iter().map(|r| r.warnings()).sum();
+    if unreadable {
+        ExitCode::from(EX_NOINPUT)
     } else if errors > 0 {
         ExitCode::from(1)
+    } else if warnings > 0 && args.deny_warnings {
+        ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
     }

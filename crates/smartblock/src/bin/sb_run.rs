@@ -16,8 +16,16 @@
 //! All processes must be given the *same* script: it is the single source
 //! of truth for stream wiring and component labels (`--list` prints them).
 //! A `#@ transport tcp://host:port` directive in the script supplies the
-//! default for `--serve`/`--connect`. Exit status: `0` on success, `1` on a
-//! workflow failure, `2` on usage or I/O errors.
+//! default for `--serve`/`--connect`; `#@ policy LABEL …` directives set
+//! per-component fault policies.
+//!
+//! Before binding a broker or spawning any component, the script is run
+//! through the full lint engine (`sb-lint`); any error-level `SBxxx`
+//! diagnostic — an invalid partition plan, a subscription cycle, a contract
+//! violation — refuses the launch with exit `1`. `--force` downgrades the
+//! refusal to a stderr report and launches anyway. Exit status: `0` on
+//! success, `1` on a lint refusal or workflow failure, `2` on usage or I/O
+//! errors.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,9 +33,12 @@ use std::time::Duration;
 
 use sb_stream::tcp::TcpBroker;
 use sb_stream::StreamHub;
-use smartblock::distributed::{plan_script, run_components, PlannedComponent};
-use smartblock::launch::validate_transport_url;
-use smartblock::supervisor::RunOptions;
+use smartblock::analysis::{lint_script, LintConfig, ScriptLint};
+use smartblock::distributed::{
+    apply_policy_directives, partial_workflow, plan_script, PlannedComponent,
+};
+use smartblock::launch::{validate_transport_url, ScriptDirectives};
+use smartblock::supervisor::{RunOptions, Validation};
 
 struct Args {
     script: Option<String>,
@@ -35,15 +46,18 @@ struct Args {
     connect: Option<String>,
     components: Vec<String>,
     list: bool,
+    force: bool,
     hub_timeout: Option<Duration>,
 }
 
 fn usage() {
     eprintln!(
         "usage: sb-run --script FILE [--serve ADDR | --connect tcp://HOST:PORT]\n\
-         \x20             [--components a,b,...] [--timeout SECONDS] [--list]\n\
+         \x20             [--components a,b,...] [--timeout SECONDS] [--list] [--force]\n\
          runs a SmartBlock launch script, whole or as one process of a\n\
-         multi-process deployment (every process gets the same script)"
+         multi-process deployment (every process gets the same script);\n\
+         scripts with error-level lint diagnostics are refused before any\n\
+         component starts unless --force is given"
     );
 }
 
@@ -54,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         connect: None,
         components: Vec::new(),
         list: false,
+        force: false,
         hub_timeout: None,
     };
     let mut it = std::env::args().skip(1);
@@ -78,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
                 args.hub_timeout = Some(Duration::from_secs(secs));
             }
             "--list" => args.list = true,
+            "--force" => args.force = true,
             "-h" | "--help" => {
                 usage();
                 std::process::exit(0);
@@ -98,13 +114,25 @@ fn run(
     hub: Arc<StreamHub>,
     plan: &[PlannedComponent],
     select: &[String],
+    directives: &ScriptDirectives,
     hub_timeout: Option<Duration>,
 ) -> Result<(), ExitCode> {
     let mut options = RunOptions::new();
     if let Some(timeout) = hub_timeout {
         options = options.with_hub_timeout(timeout);
     }
-    match run_components(hub, plan, select, options) {
+    let mut wf = match partial_workflow(hub, plan, select) {
+        Ok(wf) => wf,
+        Err(detail) => {
+            eprintln!("sb-run: {detail}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    apply_policy_directives(&mut wf, directives);
+    // This process sees only its slice of the wiring, so the fail-fast
+    // validator would reject legitimate partial deployments; the full
+    // script already passed the pre-launch lint gate.
+    match wf.run_with(options.with_validation(Validation::Skip)) {
         Ok(report) => {
             println!("{}", report.summary());
             Ok(())
@@ -114,6 +142,35 @@ fn run(
             Err(ExitCode::from(1))
         }
     }
+}
+
+/// The pre-launch gate: lint the whole script and refuse to launch on any
+/// error-level diagnostic. Runs before a broker is bound or a component is
+/// spawned, so a malformed plan never starts half a deployment.
+fn lint_gate(script_path: &str, text: &str, force: bool) -> Result<(), ExitCode> {
+    // Constructor panics become SB000 diagnostics; silence the hook so the
+    // diagnostic is the only output.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report: ScriptLint = lint_script(script_path, text, &LintConfig::new());
+    std::panic::set_hook(saved_hook);
+    if report.errors() > 0 {
+        eprint!("{}", report.render_text());
+        if force {
+            eprintln!("sb-run: {script_path}: launching despite lint errors (--force)");
+            return Ok(());
+        }
+        eprintln!(
+            "sb-run: {}: refusing to launch: {} lint error(s) (--force to override)",
+            script_path,
+            report.errors()
+        );
+        return Err(ExitCode::from(1));
+    }
+    if report.warnings() > 0 {
+        eprint!("{}", report.render_text());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -146,6 +203,9 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if let Err(code) = lint_gate(&script_path, &text, args.force) {
+        return code;
+    }
 
     // The script's transport directive is the fallback endpoint; explicit
     // flags win. `--serve` wants a bare bind address, so strip the scheme.
@@ -177,7 +237,7 @@ fn main() -> ExitCode {
             Ok(())
         } else {
             let hub = Arc::clone(broker.hub());
-            run(hub, &plan, &args.components, args.hub_timeout)
+            run(hub, &plan, &args.components, &directives, args.hub_timeout)
         };
         if remotes_expected {
             // Local components may finish before remotes even dial in (a
@@ -218,13 +278,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match run(hub, &plan, &args.components, args.hub_timeout) {
+        match run(hub, &plan, &args.components, &directives, args.hub_timeout) {
             Ok(()) => ExitCode::SUCCESS,
             Err(code) => code,
         }
     } else {
         // Single-process: the whole script on an in-proc hub.
-        match run(StreamHub::new(), &plan, &args.components, args.hub_timeout) {
+        match run(
+            StreamHub::new(),
+            &plan,
+            &args.components,
+            &directives,
+            args.hub_timeout,
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(code) => code,
         }

@@ -240,13 +240,13 @@ impl Component for DimReduce {
         };
         use std::collections::BTreeMap;
         let (remove, grow) = (self.remove, self.grow);
-        Signature {
-            reads: vec![ReadSpec::new(
+        Signature::with_boxed_transfer(
+            vec![ReadSpec::new(
                 &self.input.stream,
                 &self.input.array,
                 PartitionRule::Along(remove),
             )],
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 move |spec| {
@@ -279,8 +279,8 @@ impl Component for DimReduce {
                     out.labels = labels;
                     Ok(out)
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

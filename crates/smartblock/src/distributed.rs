@@ -100,6 +100,18 @@ pub fn partial_workflow(
     Ok(wf)
 }
 
+/// Applies a script's `#@ policy` directives to `wf`, skipping labels the
+/// workflow does not contain (a partial slice only supervises its own
+/// components; `sb-lint` flags genuinely unknown targets as SB014).
+pub fn apply_policy_directives(wf: &mut Workflow, directives: &ScriptDirectives) {
+    let labels: Vec<String> = wf.labels().iter().map(|l| l.to_string()).collect();
+    for p in &directives.policies {
+        if labels.iter().any(|l| l == &p.label) {
+            wf.set_fault_policy(p.label.clone(), p.policy.clone());
+        }
+    }
+}
+
 /// Runs this process's slice of the script on `hub`.
 ///
 /// Static validation is forced to [`Validation::Skip`]: the slice's wiring

@@ -18,10 +18,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 use crate::combine::BinaryOp;
 use crate::component::StreamArray;
 use crate::reduce::ReduceOp;
+use crate::supervisor::FaultPolicy;
 use crate::threshold::Predicate;
 
 /// A launch-script parse error.
@@ -221,6 +223,33 @@ pub struct LaunchEntry {
     /// hand-off). Simulation lines keep their `key=value` tokens as
     /// program parameters instead.
     pub options: BTreeMap<String, String>,
+    /// 1-based script line this entry was parsed from (0 for entries built
+    /// programmatically), threaded into lint diagnostics.
+    pub line: usize,
+}
+
+/// A `#@ policy LABEL abort|degrade|restart:N[:BACKOFF_MS]` directive: the
+/// fault policy the workflow applies to one component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDirective {
+    /// The component label the policy targets.
+    pub label: String,
+    /// The parsed policy.
+    pub policy: FaultPolicy,
+    /// 1-based script line of the directive.
+    pub line: usize,
+}
+
+/// A `#@ process NAME member[,member...]` directive: one process of a
+/// distributed deployment and the component labels assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDirective {
+    /// Process name (the `--only` selection key).
+    pub name: String,
+    /// Component labels assigned to this process.
+    pub members: Vec<String>,
+    /// 1-based script line of the directive.
+    pub line: usize,
 }
 
 /// Script-level directives: `#@ key value` comment lines, invisible to the
@@ -229,8 +258,44 @@ pub struct LaunchEntry {
 pub struct ScriptDirectives {
     /// `#@ transport tcp://host:port` — the broker endpoint a multi-process
     /// deployment of this script rendezvouses on. `sb-run` uses it as the
-    /// default for `--serve`/`--connect`; `sb-lint` validates it.
+    /// default for `--serve`/`--connect`; `sb-lint` validates it. When a
+    /// script declares several transports, this keeps the first.
     pub transport: Option<String>,
+    /// Every `#@ transport` declaration with its script line, in order
+    /// (the transport pass flags colliding endpoints).
+    pub transports: Vec<(String, usize)>,
+    /// `#@ policy` directives, in script order.
+    pub policies: Vec<PolicyDirective>,
+    /// `#@ process` directives, in script order.
+    pub processes: Vec<ProcessDirective>,
+}
+
+/// Parses the policy spec of a `#@ policy` directive:
+/// `abort`, `degrade`, or `restart:N[:BACKOFF_MS]`.
+fn parse_policy_spec(spec: &str) -> Result<FaultPolicy, String> {
+    match spec {
+        "abort" => return Ok(FaultPolicy::abort()),
+        "degrade" => return Ok(FaultPolicy::degrade()),
+        _ => {}
+    }
+    let usage = || format!("bad policy {spec:?} (abort, degrade, or restart:N[:BACKOFF_MS])");
+    let mut parts = spec.split(':');
+    if parts.next() != Some("restart") {
+        return Err(usage());
+    }
+    let n: u32 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(usage)?;
+    let mut policy = FaultPolicy::restart(n);
+    if let Some(ms) = parts.next() {
+        let ms: u64 = ms.parse().map_err(|_| usage())?;
+        policy = policy.with_backoff(Duration::from_millis(ms));
+    }
+    if parts.next().is_some() {
+        return Err(usage());
+    }
+    Ok(policy)
 }
 
 /// Syntactic check of a `tcp://host:port` transport URL (no DNS lookup, so
@@ -286,18 +351,56 @@ pub fn parse_script_with_directives(
         let mut s = raw.trim();
         if let Some(directive) = s.strip_prefix("#@") {
             let mut toks = directive.split_whitespace();
-            match (toks.next(), toks.next(), toks.next()) {
-                (Some("transport"), Some(url), None) => {
+            match toks.next() {
+                Some("transport") => {
+                    let (Some(url), None) = (toks.next(), toks.next()) else {
+                        return Err(err(line, "usage: #@ transport tcp://host:port"));
+                    };
                     validate_transport_url(url).map_err(|detail| err(line, detail))?;
-                    directives.transport = Some(url.to_string());
+                    if directives.transport.is_none() {
+                        directives.transport = Some(url.to_string());
+                    }
+                    directives.transports.push((url.to_string(), line));
                 }
-                (Some("transport"), _, _) => {
-                    return Err(err(line, "usage: #@ transport tcp://host:port"));
+                Some("policy") => {
+                    let (Some(label), Some(spec), None) = (toks.next(), toks.next(), toks.next())
+                    else {
+                        return Err(err(
+                            line,
+                            "usage: #@ policy LABEL abort|degrade|restart:N[:BACKOFF_MS]",
+                        ));
+                    };
+                    let policy = parse_policy_spec(spec).map_err(|detail| err(line, detail))?;
+                    directives.policies.push(PolicyDirective {
+                        label: label.to_string(),
+                        policy,
+                        line,
+                    });
                 }
-                (Some(other), _, _) => {
+                Some("process") => {
+                    let Some(name) = toks.next() else {
+                        return Err(err(line, "usage: #@ process NAME member[,member...]"));
+                    };
+                    let members: Vec<String> = toks
+                        .collect::<Vec<&str>>()
+                        .join(",")
+                        .split(',')
+                        .filter(|m| !m.is_empty())
+                        .map(|m| m.to_string())
+                        .collect();
+                    if members.is_empty() {
+                        return Err(err(line, "usage: #@ process NAME member[,member...]"));
+                    }
+                    directives.processes.push(ProcessDirective {
+                        name: name.to_string(),
+                        members,
+                        line,
+                    });
+                }
+                Some(other) => {
                     return Err(err(line, format!("unknown directive {other:?}")));
                 }
-                (None, _, _) => return Err(err(line, "empty #@ directive")),
+                None => return Err(err(line, "empty #@ directive")),
             }
             continue;
         }
@@ -549,6 +652,7 @@ pub fn parse_script_with_directives(
             nranks,
             program,
             options,
+            line,
         });
     }
     Ok((entries, directives))
@@ -699,6 +803,48 @@ mod tests {
     }
 
     #[test]
+    fn policy_and_process_directives_parse_with_lines() {
+        let script = r#"
+            #@ policy histogram restart:2:50
+            #@ policy gromacs abort
+            #@ process sim gromacs
+            #@ process viz magnitude,histogram
+            aprun -n 1 gromacs steps=2 &
+            aprun -n 1 magnitude gromacs.fp coords m.fp r &
+            aprun -n 1 histogram m.fp r 4 &
+            wait
+        "#;
+        let (entries, directives) = parse_script_with_directives(script).unwrap();
+        assert_eq!(entries.len(), 3);
+        // Entries record their 1-based script line.
+        assert_eq!(entries[0].line, 6);
+        assert_eq!(entries[2].line, 8);
+        assert_eq!(directives.policies.len(), 2);
+        assert_eq!(directives.policies[0].label, "histogram");
+        assert_eq!(
+            directives.policies[0].policy,
+            FaultPolicy::restart(2).with_backoff(Duration::from_millis(50))
+        );
+        assert_eq!(directives.policies[0].line, 2);
+        assert_eq!(directives.policies[1].policy, FaultPolicy::abort());
+        assert_eq!(directives.processes.len(), 2);
+        assert_eq!(directives.processes[1].name, "viz");
+        assert_eq!(directives.processes[1].members, ["magnitude", "histogram"]);
+        assert_eq!(directives.processes[1].line, 5);
+    }
+
+    #[test]
+    fn repeated_transports_keep_the_first_and_record_all() {
+        let script = "#@ transport tcp://a:1\n#@ transport tcp://b:2\nhistogram a.fp x 4";
+        let (_, directives) = parse_script_with_directives(script).unwrap();
+        assert_eq!(directives.transport.as_deref(), Some("tcp://a:1"));
+        assert_eq!(
+            directives.transports,
+            vec![("tcp://a:1".into(), 1), ("tcp://b:2".into(), 2)]
+        );
+    }
+
+    #[test]
     fn malformed_directives_are_parse_errors() {
         for (script, what) in [
             ("#@ transport", "missing URL"),
@@ -709,6 +855,14 @@ mod tests {
             ("#@ transport tcp://h:1 extra", "trailing token"),
             ("#@ teleport tcp://h:1", "unknown key"),
             ("#@", "empty directive"),
+            ("#@ policy histogram", "missing policy spec"),
+            ("#@ policy histogram retry", "unknown policy"),
+            ("#@ policy histogram restart", "restart without budget"),
+            ("#@ policy histogram restart:x", "non-integer budget"),
+            ("#@ policy histogram restart:1:2:3", "too many fields"),
+            ("#@ policy a abort extra", "trailing token on policy"),
+            ("#@ process viz", "process without members"),
+            ("#@ process", "process without name"),
         ] {
             assert!(
                 parse_script_with_directives(script).is_err(),

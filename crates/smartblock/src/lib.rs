@@ -91,13 +91,16 @@ pub mod workflows;
 pub use all_in_one::AllInOne;
 pub use all_pairs::AllPairs;
 pub use analysis::{
-    AnalysisIssue, ArraySpec, DimSpec, Extent, PartitionRule, ReadSpec, Severity, Signature,
-    SpecError, StreamSpec,
+    lint_script, AnalysisIssue, ArraySpec, Diagnostic, DimSpec, Extent, Level, Lint, LintConfig,
+    PartitionRule, ReadSpec, ScriptLint, Severity, Signature, SpecError, StepContract, StreamSpec,
+    LINTS,
 };
 pub use combine::{BinaryOp, Combine};
 pub use component::{Component, StepFault, StreamArray};
 pub use dim_reduce::DimReduce;
-pub use distributed::{partial_workflow, plan_script, run_components, PlannedComponent};
+pub use distributed::{
+    apply_policy_directives, partial_workflow, plan_script, run_components, PlannedComponent,
+};
 pub use error::{ComponentError, ComponentResult, StepError, StepResult, WorkflowError};
 pub use file_io::{FileRead, FileWrite};
 pub use fork::Fork;
@@ -126,7 +129,7 @@ pub use sb_stream::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent
 /// and fault policies, the error taxonomy, and the stream-transport types
 /// workflows touch directly.
 pub mod prelude {
-    pub use crate::analysis::{AnalysisIssue, Severity};
+    pub use crate::analysis::{AnalysisIssue, Diagnostic, Level, LintConfig, Severity};
     pub use crate::component::{Component, StreamArray};
     pub use crate::runtime::{WiringIssue, Workflow};
     pub use crate::{

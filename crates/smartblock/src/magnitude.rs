@@ -112,13 +112,13 @@ impl Component for Magnitude {
         use crate::analysis::{
             unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature, SpecError,
         };
-        Signature {
-            reads: vec![ReadSpec::new(
+        Signature::with_boxed_transfer(
+            vec![ReadSpec::new(
                 &self.input.stream,
                 &self.input.array,
                 PartitionRule::Along(0),
             )],
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 |spec| {
@@ -133,8 +133,8 @@ impl Component for Magnitude {
                         sb_data::DType::F64,
                     ))
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

@@ -187,13 +187,13 @@ impl Component for Reduce {
         use crate::analysis::{unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature};
         use std::collections::BTreeMap;
         let dim = self.dim;
-        Signature {
-            reads: vec![ReadSpec::new(
+        Signature::with_boxed_transfer(
+            vec![ReadSpec::new(
                 &self.input.stream,
                 &self.input.array,
                 PartitionRule::FirstExcept(dim),
             )],
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 move |spec| {
@@ -212,8 +212,8 @@ impl Component for Reduce {
                     out.labels = labels;
                     Ok(out)
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

@@ -192,6 +192,9 @@ struct Entry {
     label: String,
     nranks: usize,
     component: Arc<dyn Component>,
+    /// 1-based launch-script line this entry came from, when the workflow
+    /// was assembled from a script; threaded into lint diagnostics.
+    line: Option<usize>,
 }
 
 /// A workflow under assembly: components plus the stream hub that connects
@@ -239,6 +242,14 @@ impl Workflow {
         self.add_labeled(label, nranks, component)
     }
 
+    /// [`Workflow::add`], also recording the 1-based launch-script line
+    /// the component came from (threaded into lint diagnostics).
+    pub fn add_at<C: Component>(&mut self, nranks: usize, component: C, line: usize) -> &mut Self {
+        let base = component.label();
+        let label = self.unique_label(base);
+        self.push_entry(label, nranks, Arc::new(component), Some(line))
+    }
+
     /// Adds a component under an explicit label.
     pub fn add_labeled<C: Component>(
         &mut self,
@@ -246,8 +257,17 @@ impl Workflow {
         nranks: usize,
         component: C,
     ) -> &mut Self {
+        self.push_entry(label.into(), nranks, Arc::new(component), None)
+    }
+
+    fn push_entry(
+        &mut self,
+        label: String,
+        nranks: usize,
+        component: Arc<dyn Component>,
+        line: Option<usize>,
+    ) -> &mut Self {
         assert!(nranks > 0, "a component needs at least one rank");
-        let label = label.into();
         assert!(
             self.entries.iter().all(|e| e.label != label),
             "duplicate component label {label:?}"
@@ -255,7 +275,8 @@ impl Workflow {
         self.entries.push(Entry {
             label,
             nranks,
-            component: Arc::new(component),
+            component,
+            line,
         });
         self
     }
@@ -350,16 +371,28 @@ impl Workflow {
     /// well-formed workflow. Use [`AnalysisIssue::severity`] to separate
     /// fatal errors from advisories.
     pub fn validate(&self) -> Vec<AnalysisIssue> {
-        let views: Vec<EntryView<'_>> = self
-            .entries
+        analysis::analyze(&self.views(), &self.policies)
+    }
+
+    /// [`Workflow::validate`] as leveled, source-located
+    /// [`Diagnostic`](crate::analysis::Diagnostic)s: issues are filtered
+    /// and re-leveled by `config` (lints set to `allow` disappear), and
+    /// each diagnostic carries the launch-script line of the offending
+    /// component when the workflow was assembled from a script.
+    pub fn lint(&self, config: &analysis::LintConfig) -> Vec<analysis::Diagnostic> {
+        analysis::lint_entries(&self.views(), &self.policies, &Default::default(), config)
+    }
+
+    fn views(&self) -> Vec<EntryView<'_>> {
+        self.entries
             .iter()
             .map(|e| EntryView {
                 label: &e.label,
                 nranks: e.nranks,
                 component: e.component.as_ref(),
+                line: e.line,
             })
-            .collect();
-        analysis::analyze(&views)
+            .collect()
     }
 
     /// Launches every component simultaneously (each rank on its own

@@ -140,13 +140,13 @@ impl Component for Select {
         };
         let dim = self.dim_index;
         let keep = self.keep.clone();
-        Signature {
-            reads: vec![ReadSpec::new(
+        Signature::with_boxed_transfer(
+            vec![ReadSpec::new(
                 &self.input.stream,
                 &self.input.array,
                 PartitionRule::FirstExcept(dim),
             )],
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 move |spec| {
@@ -166,8 +166,8 @@ impl Component for Select {
                     out.labels.insert(dim, keep.clone());
                     Ok(out)
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

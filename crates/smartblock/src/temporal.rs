@@ -93,6 +93,10 @@ pub struct TemporalMean {
     pub writer_options: WriterOptions,
     /// Reader-group name on the input stream.
     pub reader_group: String,
+    /// Publish one output step per `stride` input steps (1 = every step).
+    /// The mean still updates on every consumed step; only publishing
+    /// decimates, so `stride=n` smooths at full rate but reports at 1/n.
+    pub stride: usize,
 }
 
 impl TemporalMean {
@@ -109,12 +113,20 @@ impl TemporalMean {
             output: output.into(),
             writer_options: WriterOptions::default(),
             reader_group: "default".into(),
+            stride: 1,
         }
     }
 
     /// Subscribes under a named reader group (multi-subscriber streams).
     pub fn with_reader_group(mut self, group: impl Into<String>) -> TemporalMean {
         self.reader_group = group.into();
+        self
+    }
+
+    /// Publishes one output step per `stride` input steps (builder style).
+    pub fn with_stride(mut self, stride: usize) -> TemporalMean {
+        assert!(stride >= 1, "stride must be at least 1");
+        self.stride = stride;
         self
     }
 }
@@ -137,14 +149,16 @@ impl Component for TemporalMean {
     }
 
     fn signature(&self) -> crate::analysis::Signature {
-        use crate::analysis::{unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature};
-        Signature {
-            reads: vec![ReadSpec::new(
+        use crate::analysis::{
+            unary_transfer, ArraySpec, PartitionRule, ReadSpec, Signature, StepContract,
+        };
+        Signature::with_boxed_transfer(
+            vec![ReadSpec::new(
                 &self.input.stream,
                 &self.input.array,
                 PartitionRule::Along(0),
             )],
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 |spec| {
@@ -152,8 +166,10 @@ impl Component for TemporalMean {
                     out.labels = spec.labels.clone();
                     Ok(out)
                 },
-            )),
-        }
+            ),
+        )
+        .with_steps(StepContract::Decimates(self.stride as u64))
+        .with_stateful(true)
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
@@ -171,6 +187,7 @@ impl Component for TemporalMean {
         );
         let mut stats = ComponentStats::default();
         let mut state = MovingMean::new(self.window);
+        let mut consumed: usize = 0;
         let label = "temporal-mean";
         let rank = comm.rank();
         loop {
@@ -223,26 +240,31 @@ impl Component for TemporalMean {
             let kernel_start = Instant::now();
             let mean = state.push(var.data.into_f64_vec());
             let compute = kernel_start.elapsed();
+            consumed += 1;
 
-            let mut out_meta =
-                VariableMeta::new(self.output.array.clone(), meta.shape.clone(), DType::F64);
-            out_meta.labels = meta.labels.clone();
-            out_meta.attrs = meta.attrs.clone();
-            if let Err(e) = writer.begin_step() {
-                writer.abandon();
-                stash_partial_stats(stats);
-                return Err(stream_err(label, step, e));
-            }
-            if gate != StepFault::DropChunk {
-                let chunk = Chunk::new(out_meta, region, Buffer::F64(mean))
-                    .expect("temporal-mean chunk is consistent");
-                stats.bytes_out += chunk.byte_len() as u64;
-                writer.put(chunk);
-            }
-            if let Err(e) = writer.end_step() {
-                writer.abandon();
-                stash_partial_stats(stats);
-                return Err(stream_err(label, step, e));
+            // Decimating publish: the mean updates every consumed step,
+            // but only every stride-th step is pushed downstream.
+            if consumed.is_multiple_of(self.stride) {
+                let mut out_meta =
+                    VariableMeta::new(self.output.array.clone(), meta.shape.clone(), DType::F64);
+                out_meta.labels = meta.labels.clone();
+                out_meta.attrs = meta.attrs.clone();
+                if let Err(e) = writer.begin_step() {
+                    writer.abandon();
+                    stash_partial_stats(stats);
+                    return Err(stream_err(label, step, e));
+                }
+                if gate != StepFault::DropChunk {
+                    let chunk = Chunk::new(out_meta, region, Buffer::F64(mean))
+                        .expect("temporal-mean chunk is consistent");
+                    stats.bytes_out += chunk.byte_len() as u64;
+                    writer.put(chunk);
+                }
+                if let Err(e) = writer.end_step() {
+                    writer.abandon();
+                    stash_partial_stats(stats);
+                    return Err(stream_err(label, step, e));
+                }
             }
             stats.record_step(step_start.elapsed(), wait, compute, step_in);
         }

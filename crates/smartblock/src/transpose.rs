@@ -178,9 +178,9 @@ impl Component for Transpose {
             )],
             None => Vec::new(),
         };
-        Signature {
+        Signature::with_boxed_transfer(
             reads,
-            transfer: Some(unary_transfer(
+            unary_transfer(
                 self.input.array.clone(),
                 self.output.array.clone(),
                 move |spec| {
@@ -214,8 +214,8 @@ impl Component for Transpose {
                     out.labels = labels;
                     Ok(out)
                 },
-            )),
-        }
+            ),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {

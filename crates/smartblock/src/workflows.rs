@@ -23,7 +23,7 @@ use sb_stream::{StreamHub, WriterOptions};
 use crate::component::{stream_err, Component};
 use crate::error::ComponentResult;
 use crate::histogram::HistogramResult;
-use crate::launch::{parse_script, LaunchEntry, LaunchError, Program, SimCode};
+use crate::launch::{parse_script_with_directives, LaunchEntry, LaunchError, Program, SimCode};
 use crate::metrics::ComponentStats;
 use crate::runtime::Workflow;
 use crate::{
@@ -178,7 +178,9 @@ impl Component for Simulation {
             }
         };
         let out = StreamSpec::known_one(array, spec);
-        Signature::new(Vec::new(), move |_ins| Ok(vec![out.clone()]))
+        Signature::new(Vec::new(), move |_ins| Ok(vec![out.clone()])).with_steps(
+            crate::analysis::StepContract::Produces(self.get("steps", 5) as u64),
+        )
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
@@ -320,7 +322,16 @@ pub fn instantiate_entry(entry: &LaunchEntry) -> Box<dyn Component> {
             input,
             window,
             output,
-        } => finish!(TemporalMean::new(input, window, output)),
+        } => {
+            let mut t = TemporalMean::new(input, window, output);
+            if let Some(s) = opts.get("stride") {
+                let stride = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("stride={s:?} is not an integer"));
+                t = t.with_stride(stride);
+            }
+            finish!(t)
+        }
         Program::Histogram {
             input,
             num_bins,
@@ -394,16 +405,21 @@ pub fn instantiate(program: Program) -> Box<dyn Component> {
         nranks: 1,
         program,
         options: BTreeMap::new(),
+        line: 0,
     })
 }
 
-/// Parses a launch script and assembles the runnable workflow.
+/// Parses a launch script and assembles the runnable workflow, applying
+/// `#@ policy` directives as per-component fault policies.
 pub fn script_to_workflow(text: &str) -> Result<Workflow, LaunchError> {
-    let entries = parse_script(text)?;
+    let (entries, directives) = parse_script_with_directives(text)?;
     let mut wf = Workflow::new();
     for entry in entries {
         let component = instantiate_entry(&entry);
-        wf.add(entry.nranks, component);
+        wf.add_at(entry.nranks, component, entry.line);
+    }
+    for p in &directives.policies {
+        wf.set_fault_policy(p.label.clone(), p.policy.clone());
     }
     Ok(wf)
 }

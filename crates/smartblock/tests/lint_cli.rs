@@ -1,0 +1,134 @@
+//! End-to-end CLI tests of `sb-lint` (exit-code contract, JSON output) and
+//! `sb-run`'s pre-launch lint gate (a malformed plan is refused before any
+//! broker binds or component spawns).
+
+use std::process::{Command, Output};
+
+use smartblock::analysis::check_report;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/lint/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn sb_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sb-lint"))
+        .args(args)
+        .output()
+        .expect("run sb-lint")
+}
+
+fn sb_run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sb-run"))
+        .args(args)
+        .output()
+        .expect("run sb-run")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn exit_zero_on_a_clean_script() {
+    let out = sb_lint(&[&fixture("SB001-neg.sb")]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert!(out.stdout.is_empty(), "{out:?}");
+}
+
+#[test]
+fn exit_one_on_errors() {
+    let out = sb_lint(&[&fixture("SB001-pos.sb")]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error[SB001]"), "{text}");
+    // Diagnostics point at the offending script line.
+    assert!(text.contains("SB001-pos.sb:2:"), "{text}");
+}
+
+#[test]
+fn warnings_exit_zero_unless_denied() {
+    let script = fixture("SB002-pos.sb");
+    let out = sb_lint(&[&script]);
+    assert_eq!(code(&out), 0, "warnings alone must not fail the lint");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[SB002]"));
+
+    let out = sb_lint(&["--deny-warnings", &script]);
+    assert_eq!(code(&out), 2, "--deny-warnings turns warnings into exit 2");
+}
+
+#[test]
+fn allow_and_deny_reshape_the_exit_code() {
+    let script = fixture("SB002-pos.sb");
+    let out = sb_lint(&["--allow", "SB002", &script]);
+    assert_eq!(code(&out), 0);
+    assert!(out.stdout.is_empty(), "allowed lint must not render");
+
+    let out = sb_lint(&["--deny", "no-reader", &script]);
+    assert_eq!(code(&out), 1, "a denied lint is an error");
+}
+
+#[test]
+fn usage_errors_exit_64() {
+    assert_eq!(code(&sb_lint(&[])), 64, "no scripts");
+    assert_eq!(code(&sb_lint(&["--bogus"])), 64, "unknown flag");
+    let out = sb_lint(&["--allow", "SB999", "x.sb"]);
+    assert_eq!(code(&out), 64, "unknown lint ID");
+}
+
+#[test]
+fn unreadable_input_exits_66() {
+    let out = sb_lint(&["/nonexistent/nope.sb"]);
+    assert_eq!(code(&out), 66);
+}
+
+#[test]
+fn json_report_validates_against_the_schema_checker() {
+    let out = sb_lint(&["--format", "json", &fixture("SB001-pos.sb")]);
+    assert_eq!(code(&out), 1, "format does not change the exit code");
+    let json = String::from_utf8(out.stdout).unwrap();
+    check_report(&json).unwrap();
+    assert!(json.contains("\"id\":\"SB001\""), "{json}");
+
+    // And --check accepts its own output.
+    let path = std::env::temp_dir().join("sb_lint_cli_report.json");
+    std::fs::write(&path, &json).unwrap();
+    let out = sb_lint(&["--check", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+
+    let out = sb_lint(&["--check", "/nonexistent/nope.json"]);
+    assert_eq!(code(&out), 66);
+    std::fs::write(&path, "not a report").unwrap();
+    let out = sb_lint(&["--check", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 65);
+}
+
+/// The regression the lint engine exists for: `sb-run` must refuse an
+/// invalid partition plan *before* spawning anything — no broker bound, no
+/// component started, a stable SBxxx ID on stderr.
+#[test]
+fn sb_run_refuses_a_malformed_plan_before_launch() {
+    let out = sb_run(&[
+        "--script",
+        &fixture("SB015-pos.sb"),
+        "--serve",
+        "127.0.0.1:0",
+        "--components",
+        "gromacs",
+    ]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let stderr = String::from_utf8(out.stderr.clone()).unwrap();
+    assert!(stderr.contains("error[SB015]"), "{stderr}");
+    assert!(stderr.contains("refusing to launch"), "{stderr}");
+    // The broker announces itself the moment it binds; the gate must fire
+    // first, so no announcement and no waiting-for-remotes line.
+    assert!(!stderr.contains("serving"), "broker was bound: {stderr}");
+    assert!(out.stdout.is_empty(), "a component ran: {out:?}");
+}
+
+#[test]
+fn sb_run_executes_a_clean_script() {
+    let out = sb_run(&["--script", &fixture("SB000-neg.sb")]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("histogram"), "{stdout}");
+}
