@@ -1,0 +1,300 @@
+//! A dependency-free LZ77 block codec for wire payloads.
+//!
+//! The TCP transport's protocol v2 can compress each chunk payload before
+//! framing it (`sb_stream::tcp::TcpOptions::with_compression`). Simulation
+//! payloads are heavily structured — constant fields, smooth gradients,
+//! zero-padded halos — so even a byte-oriented LZ with a 64 KiB window
+//! routinely collapses them by an order of magnitude, and the decoder costs
+//! a fraction of the socket write it saves.
+//!
+//! The format is the classic token stream of LZ4-style codecs:
+//!
+//! ```text
+//! block    := sequence* | final_literals
+//! sequence := token | lit_ext* | literal bytes | u16-LE offset | match_ext*
+//! token    := (literal_len: high nibble) | (match_len - 4: low nibble)
+//! ```
+//!
+//! A nibble of 15 spills into extension bytes (each `0xff` adds 255, the
+//! first other byte terminates). Matches are at least [`MIN_MATCH`] bytes
+//! and reference up to [`MAX_OFFSET`] bytes back; a match may overlap its
+//! own output (offset < length), which is how runs compress. The final
+//! sequence carries literals only — the input simply ends after them.
+//!
+//! Decoding is total: corrupt input yields a [`DataError::Container`],
+//! never a panic, and the output allocation is bounded by the caller's
+//! `expected_len` (which the wire layer derives from the already-validated
+//! chunk header, not from the compressed bytes).
+
+use crate::error::{DataError, DataResult};
+
+/// Shortest encodable match.
+const MIN_MATCH: usize = 4;
+/// Farthest back a match may reach (u16 offset, 0 is invalid).
+const MAX_OFFSET: usize = u16::MAX as usize;
+/// Log2 of the compressor's hash-table size.
+const HASH_BITS: u32 = 14;
+
+/// Multiplicative hash of a 4-byte prefix into the match table.
+#[inline]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn load4(input: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([input[i], input[i + 1], input[i + 2], input[i + 3]])
+}
+
+/// Length of the common prefix of `input[a..]` and `input[b..]`, capped so
+/// the match never runs past the end of input. Compares a word at a time.
+fn common_prefix(input: &[u8], a: usize, b: usize) -> usize {
+    let max = input.len() - b;
+    let mut k = 0;
+    while k + 8 <= max {
+        let x = u64::from_le_bytes(input[a + k..a + k + 8].try_into().expect("8-byte window"));
+        let y = u64::from_le_bytes(input[b + k..b + k + 8].try_into().expect("8-byte window"));
+        if x != y {
+            return k + ((x ^ y).trailing_zeros() / 8) as usize;
+        }
+        k += 8;
+    }
+    while k < max && input[a + k] == input[b + k] {
+        k += 1;
+    }
+    k
+}
+
+/// Appends a nibble-spilled length extension (LZ4 convention).
+fn put_ext(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(0xff);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+/// Emits one sequence: `literals`, then optionally a match of `mlen` bytes
+/// at `offset` back.
+fn put_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit = literals.len();
+    let mnib = m.map_or(0, |(mlen, _)| (mlen - MIN_MATCH).min(15));
+    out.push(((lit.min(15) as u8) << 4) | mnib as u8);
+    if lit >= 15 {
+        put_ext(out, lit - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((mlen, offset)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if mlen - MIN_MATCH >= 15 {
+            put_ext(out, mlen - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compresses `input` into a fresh buffer.
+///
+/// Always succeeds; incompressible input comes back slightly larger (one
+/// token per 15-byte literal run). Callers that care — the wire layer does —
+/// compare lengths and keep the raw bytes instead.
+pub fn lz_compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 4 + 16);
+    if n < MIN_MATCH + 1 {
+        put_sequence(&mut out, input, None);
+        return out;
+    }
+    // Position+1 of the latest occurrence of each hashed 4-byte prefix;
+    // 0 means empty, so the table needs no initialization sentinel logic.
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut i = 0;
+    let mut lit_start = 0;
+    // Leave the last few bytes for the final literal run so match
+    // extension never needs a bounds branch per byte.
+    while i + MIN_MATCH <= n {
+        let h = hash4(load4(input, i));
+        let cand = table[h] as usize;
+        table[h] = (i + 1) as u32;
+        if cand > 0 {
+            let c = cand - 1;
+            if i - c <= MAX_OFFSET && load4(input, c) == load4(input, i) {
+                let mlen = MIN_MATCH + common_prefix(input, c + MIN_MATCH, i + MIN_MATCH);
+                put_sequence(&mut out, &input[lit_start..i], Some((mlen, i - c)));
+                i += mlen;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    put_sequence(&mut out, &input[lit_start..], None);
+    out
+}
+
+/// Reads a nibble-spilled length extension.
+fn get_ext(input: &[u8], i: &mut usize, base: usize) -> DataResult<usize> {
+    let mut v = base;
+    loop {
+        let b = *input.get(*i).ok_or_else(|| corrupt("length extension"))?;
+        *i += 1;
+        v += b as usize;
+        if b != 0xff {
+            return Ok(v);
+        }
+    }
+}
+
+fn corrupt(what: &str) -> DataError {
+    DataError::Container {
+        detail: format!("corrupt compressed block: {what}"),
+    }
+}
+
+/// Decompresses a block produced by [`lz_compress`].
+///
+/// `expected_len` is the exact decompressed size the caller already knows
+/// from validated framing; it bounds the output allocation, and any block
+/// that decodes to a different length is rejected.
+pub fn lz_decompress(input: &[u8], expected_len: usize) -> DataResult<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut i = 0;
+    loop {
+        let token = *input.get(i).ok_or_else(|| corrupt("missing token"))?;
+        i += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            lit = get_ext(input, &mut i, 15)?;
+        }
+        if input.len() - i < lit {
+            return Err(corrupt("literal run past end of block"));
+        }
+        if out.len() + lit > expected_len {
+            return Err(corrupt("literal run past expected length"));
+        }
+        out.extend_from_slice(&input[i..i + lit]);
+        i += lit;
+        if i == input.len() {
+            break; // the final sequence is literals-only
+        }
+        if input.len() - i < 2 {
+            return Err(corrupt("missing match offset"));
+        }
+        let offset = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+        i += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(corrupt("match offset before start of output"));
+        }
+        let mut mlen = MIN_MATCH + (token & 0x0f) as usize;
+        if token & 0x0f == 15 {
+            mlen = get_ext(input, &mut i, mlen)?;
+        }
+        if out.len() + mlen > expected_len {
+            return Err(corrupt("match run past expected length"));
+        }
+        // Overlapping matches (offset < length) replicate recent output;
+        // copy in doubling runs so constant payloads decode word-fast.
+        let start = out.len() - offset;
+        let mut remaining = mlen;
+        while remaining > 0 {
+            let avail = out.len() - start;
+            let take = remaining.min(avail);
+            out.extend_from_within(start..start + take);
+            remaining -= take;
+        }
+    }
+    if out.len() != expected_len {
+        return Err(corrupt("block shorter than expected length"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let packed = lz_compress(data);
+        lz_decompress(&packed, data.len()).expect("round trip")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"abcd", b"abcde"] {
+            assert_eq!(round_trip(data), data);
+        }
+    }
+
+    #[test]
+    fn constant_payload_collapses() {
+        let ones: Vec<u8> = 1.0f64.to_le_bytes().repeat(64 * 1024 / 8);
+        let packed = lz_compress(&ones);
+        assert!(
+            packed.len() < ones.len() / 50,
+            "constant payload compressed to {} of {}",
+            packed.len(),
+            ones.len()
+        );
+        assert_eq!(lz_decompress(&packed, ones.len()).unwrap(), ones);
+    }
+
+    #[test]
+    fn structured_and_random_ish_payloads_round_trip() {
+        // Smooth gradient (compressible exponent bytes), then a splitmix
+        // stream (incompressible) — both must round-trip bit-exactly.
+        let gradient: Vec<u8> = (0..8192)
+            .flat_map(|i| ((i as f64) * 0.001).to_le_bytes())
+            .collect();
+        assert_eq!(round_trip(&gradient), gradient);
+
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let noise: Vec<u8> = (0..8192)
+            .flat_map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x.to_le_bytes()
+            })
+            .collect();
+        let packed = lz_compress(&noise);
+        assert_eq!(lz_decompress(&packed, noise.len()).unwrap(), noise);
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions_round_trip() {
+        // >15 literals forces the literal extension; a 5000-byte run forces
+        // multi-byte match extensions and the overlapping-copy path.
+        let mut data = Vec::new();
+        data.extend((0u16..300).flat_map(|v| v.to_le_bytes()));
+        data.extend(std::iter::repeat_n(0x42u8, 5000));
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn corrupt_blocks_error_never_panic() {
+        let data: Vec<u8> = 7.5f64.to_le_bytes().repeat(512);
+        let clean = lz_compress(&data);
+        for cut in 0..clean.len() {
+            let _ = lz_decompress(&clean[..cut], data.len());
+        }
+        for i in 0..clean.len() {
+            for flip in [0xffu8, 0x01] {
+                let mut bad = clean.clone();
+                bad[i] ^= flip;
+                let _ = lz_decompress(&bad, data.len());
+            }
+        }
+        // Wrong expected length is rejected, not padded or truncated.
+        assert!(lz_decompress(&clean, data.len() + 1).is_err());
+        assert!(lz_decompress(&clean, data.len().saturating_sub(1)).is_err());
+    }
+
+    #[test]
+    fn adversarial_lengths_cannot_overallocate() {
+        // A token claiming a huge literal/match run must fail the bounds
+        // check, not allocate: expected_len caps the output buffer.
+        let bad = [0xf0u8, 0xff, 0xff, 0xff, 0xff, 0x10];
+        assert!(lz_decompress(&bad, 16).is_err());
+        let bad_match = [0x0fu8, 0x01, 0x00, 0xff, 0xff, 0x00];
+        assert!(lz_decompress(&bad_match, 8).is_err());
+    }
+}

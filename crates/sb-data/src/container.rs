@@ -58,11 +58,11 @@ impl<W: Write> ContainerWriter<W> {
         payload.put_u64_le(step_id);
         payload.put_u32_le(vars.len() as u32);
         for v in vars {
-            put_str(&mut payload, &v.name);
+            put_str(&mut payload, &v.name)?;
             payload.put_u8(v.dtype().tag());
             payload.put_u16_le(v.shape.ndims() as u16);
             for d in v.shape.dims() {
-                put_str(&mut payload, &d.name);
+                put_str(&mut payload, &d.name)?;
                 payload.put_u64_le(d.size as u64);
             }
             payload.put_u32_le(v.labels.len() as u32);
@@ -70,19 +70,19 @@ impl<W: Write> ContainerWriter<W> {
                 payload.put_u16_le(dim as u16);
                 payload.put_u32_le(names.len() as u32);
                 for n in names {
-                    put_str(&mut payload, n);
+                    put_str(&mut payload, n)?;
                 }
             }
             payload.put_u32_le(v.attrs.len() as u32);
             for (k, a) in &v.attrs {
-                put_str(&mut payload, k);
+                put_str(&mut payload, k)?;
                 let (kind, text) = match a {
                     AttrValue::Text(s) => (0u8, s.clone()),
                     AttrValue::Int(i) => (1u8, i.to_string()),
                     AttrValue::Float(x) => (2u8, format!("{x:?}")),
                 };
                 payload.put_u8(kind);
-                put_str(&mut payload, &text);
+                put_str(&mut payload, &text)?;
             }
             payload.put_u64_le(v.data.len() as u64);
             payload.extend_from_slice(&v.data.to_le_bytes());

@@ -22,10 +22,14 @@
 //! * [`container`] — a versioned binary container for steps written to disk
 //!   by the file components;
 //! * [`wire`] — the chunk frame codec shared by streaming transports (the
-//!   TCP backend frames steps with it).
+//!   TCP backend frames steps with it), including the protocol-v2 meta
+//!   interning tables;
+//! * [`compress`] — the dependency-free LZ77 block codec v2 frames can
+//!   apply per chunk payload.
 
 pub mod buffer;
 pub mod chunk;
+pub mod compress;
 pub mod config;
 pub mod container;
 pub mod decompose;

@@ -17,26 +17,55 @@
 //! str    := u32 byte_len | utf-8 bytes
 //! ```
 //!
+//! Protocol v2 of the TCP transport stops re-sending `meta` every step:
+//! the sender interns each distinct [`VariableMeta`] into a
+//! [`MetaInternTable`] and ships a numbered *definition* once, after which
+//! chunks reference it by id ([`encode_chunk_interned`]); the receiver
+//! replays definitions into [`MetaDefs`] in the same order. Interned chunks
+//! may also carry their payload compressed (see [`Compression`] and
+//! [`crate::compress`]):
+//!
+//! ```text
+//! def    := u32 meta_id | meta                      (ids are sequential)
+//! ichunk := u32 meta_id | region | u64 nelems | u8 codec | payload
+//! payload(raw) := raw little-endian bytes
+//! payload(lz)  := u64 compressed_len | lz block
+//! ```
+//!
 //! Decoding is total: truncated or corrupt input yields a
 //! [`DataError::Container`] (or another typed `DataError` from the chunk
 //! validators), never a panic and never an unbounded allocation — vector
-//! capacities are clamped by the bytes actually remaining.
+//! capacities are clamped by what the bytes actually remaining could
+//! possibly encode. Encoding is total over *valid* data but fallible:
+//! counts that would silently truncate in a `u16`/`u32` field (a 65536-dim
+//! shape, a 4 GiB string) come back as a `DataError` instead of a frame the
+//! hardened decoder then misparses.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::{Buf, BufMut};
 
 use crate::buffer::{Buffer, DType};
 use crate::chunk::{Chunk, VariableMeta};
+use crate::compress::{lz_compress, lz_decompress};
 use crate::dims::{Dim, Shape};
 use crate::error::{DataError, DataResult};
 use crate::region::Region;
 use crate::variable::AttrValue;
 
+/// The error for a count or length too large for its wire field.
+fn overflow(what: &str, n: usize, field: &str) -> DataError {
+    DataError::Container {
+        detail: format!("{what} {n} does not fit the {field} wire field"),
+    }
+}
+
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_str(buf: &mut Vec<u8>, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+pub fn put_str(buf: &mut Vec<u8>, s: &str) -> DataResult<()> {
+    let len = u32::try_from(s.len()).map_err(|_| overflow("string length", s.len(), "u32"))?;
+    buf.put_u32_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Decodes a length-prefixed UTF-8 string, advancing `buf` past it.
@@ -62,39 +91,57 @@ pub fn truncated(what: &str) -> DataError {
 }
 
 /// Clamps an untrusted element count to what the remaining bytes could
-/// possibly hold, so a corrupt header cannot force a huge pre-allocation.
-fn bounded(n: usize, remaining: usize) -> usize {
-    n.min(remaining)
+/// possibly encode, so a corrupt header cannot force a huge pre-allocation.
+///
+/// The clamp divides by the smallest *encoded* size of one entry, not by
+/// one byte: a decoded `Dim` or `String` occupies 24–48 heap bytes, so a
+/// byte-count clamp would still let a short corrupt frame demand an
+/// allocation tens of times larger than the input it arrived in.
+fn bounded(n: usize, remaining: usize, min_entry_bytes: usize) -> usize {
+    n.min(remaining / min_entry_bytes.max(1))
 }
 
+/// Smallest encoded dimension entry: an empty name (4-byte length prefix)
+/// plus the u64 size.
+const MIN_DIM_BYTES: usize = 12;
+/// Smallest encoded label name: the 4-byte length prefix of "".
+const MIN_STR_BYTES: usize = 4;
+
 /// Appends the encoded metadata of a variable to `buf`.
-pub fn encode_meta(buf: &mut Vec<u8>, meta: &VariableMeta) {
-    put_str(buf, &meta.name);
+pub fn encode_meta(buf: &mut Vec<u8>, meta: &VariableMeta) -> DataResult<()> {
+    put_str(buf, &meta.name)?;
     buf.put_u8(meta.dtype.tag());
-    buf.put_u16_le(meta.shape.ndims() as u16);
+    let ndims = meta.shape.ndims();
+    buf.put_u16_le(u16::try_from(ndims).map_err(|_| overflow("dimension count", ndims, "u16"))?);
     for d in meta.shape.dims() {
-        put_str(buf, &d.name);
+        put_str(buf, &d.name)?;
         buf.put_u64_le(d.size as u64);
     }
-    buf.put_u32_le(meta.labels.len() as u32);
+    let nheaders = meta.labels.len();
+    buf.put_u32_le(
+        u32::try_from(nheaders).map_err(|_| overflow("label header count", nheaders, "u32"))?,
+    );
     for (&dim, names) in &meta.labels {
-        buf.put_u16_le(dim as u16);
-        buf.put_u32_le(names.len() as u32);
+        buf.put_u16_le(u16::try_from(dim).map_err(|_| overflow("label dimension", dim, "u16"))?);
+        let n = names.len();
+        buf.put_u32_le(u32::try_from(n).map_err(|_| overflow("label count", n, "u32"))?);
         for n in names {
-            put_str(buf, n);
+            put_str(buf, n)?;
         }
     }
-    buf.put_u32_le(meta.attrs.len() as u32);
+    let nattrs = meta.attrs.len();
+    buf.put_u32_le(u32::try_from(nattrs).map_err(|_| overflow("attr count", nattrs, "u32"))?);
     for (k, a) in &meta.attrs {
-        put_str(buf, k);
+        put_str(buf, k)?;
         let (kind, text) = match a {
             AttrValue::Text(s) => (0u8, s.clone()),
             AttrValue::Int(i) => (1u8, i.to_string()),
             AttrValue::Float(x) => (2u8, format!("{x:?}")),
         };
         buf.put_u8(kind);
-        put_str(buf, &text);
+        put_str(buf, &text)?;
     }
+    Ok(())
 }
 
 /// Decodes variable metadata, advancing `buf` past it.
@@ -105,7 +152,7 @@ pub fn decode_meta(buf: &mut &[u8]) -> DataResult<VariableMeta> {
     }
     let dtype = DType::from_tag(buf.get_u8())?;
     let ndims = buf.get_u16_le() as usize;
-    let mut dims = Vec::with_capacity(bounded(ndims, buf.remaining()));
+    let mut dims = Vec::with_capacity(bounded(ndims, buf.remaining(), MIN_DIM_BYTES));
     for _ in 0..ndims {
         let dname = get_str(buf)?;
         if buf.remaining() < 8 {
@@ -125,11 +172,18 @@ pub fn decode_meta(buf: &mut &[u8]) -> DataResult<VariableMeta> {
         }
         let dim = buf.get_u16_le() as usize;
         let n = buf.get_u32_le() as usize;
-        let mut names = Vec::with_capacity(bounded(n, buf.remaining()));
+        let mut names = Vec::with_capacity(bounded(n, buf.remaining(), MIN_STR_BYTES));
         for _ in 0..n {
             names.push(get_str(buf)?);
         }
-        labels.insert(dim, names);
+        // Encoding iterates a map, so a valid frame names each dimension at
+        // most once; accepting a duplicate here would silently drop the
+        // first entry and break decode∘encode = id.
+        if labels.insert(dim, names).is_some() {
+            return Err(DataError::Container {
+                detail: format!("duplicate label header for dimension {dim}"),
+            });
+        }
     }
     if buf.remaining() < 4 {
         return Err(truncated("attr count"));
@@ -157,7 +211,11 @@ pub fn decode_meta(buf: &mut &[u8]) -> DataResult<VariableMeta> {
                 })
             }
         };
-        attrs.insert(key, value);
+        if attrs.insert(key.clone(), value).is_some() {
+            return Err(DataError::Container {
+                detail: format!("duplicate attribute {key:?}"),
+            });
+        }
     }
     Ok(VariableMeta {
         name,
@@ -169,12 +227,14 @@ pub fn decode_meta(buf: &mut &[u8]) -> DataResult<VariableMeta> {
 }
 
 /// Appends an encoded bounding box to `buf`.
-pub fn encode_region(buf: &mut Vec<u8>, region: &Region) {
-    buf.put_u16_le(region.ndims() as u16);
-    for i in 0..region.ndims() {
+pub fn encode_region(buf: &mut Vec<u8>, region: &Region) -> DataResult<()> {
+    let ndims = region.ndims();
+    buf.put_u16_le(u16::try_from(ndims).map_err(|_| overflow("region rank", ndims, "u16"))?);
+    for i in 0..ndims {
         buf.put_u64_le(region.offset()[i] as u64);
         buf.put_u64_le(region.count()[i] as u64);
     }
+    Ok(())
 }
 
 /// Decodes a bounding box, advancing `buf` past it.
@@ -196,26 +256,22 @@ pub fn decode_region(buf: &mut &[u8]) -> DataResult<Region> {
 }
 
 /// Appends one encoded chunk — metadata, region, payload — to `buf`.
-pub fn encode_chunk(buf: &mut Vec<u8>, chunk: &Chunk) {
+pub fn encode_chunk(buf: &mut Vec<u8>, chunk: &Chunk) -> DataResult<()> {
     buf.reserve(chunk.byte_len() + 128);
-    encode_meta(buf, &chunk.meta);
-    encode_region(buf, &chunk.region);
+    encode_meta(buf, &chunk.meta)?;
+    encode_region(buf, &chunk.region)?;
     buf.put_u64_le(chunk.data.len() as u64);
     buf.extend_from_slice(&chunk.data.to_le_bytes());
+    Ok(())
 }
 
-/// Decodes one chunk, advancing `buf` past it.
-///
-/// Runs the full [`Chunk::new`] validation (region-vs-shape, payload length,
-/// dtype, header consistency), so a frame that decodes successfully is safe
-/// to hand to the MxN assembly path.
-pub fn decode_chunk(buf: &mut &[u8]) -> DataResult<Chunk> {
-    let meta = decode_meta(buf)?;
-    let region = decode_region(buf)?;
-    if buf.remaining() < 8 {
-        return Err(truncated("element count"));
-    }
-    let nelems = buf.get_u64_le() as usize;
+/// Validates the `nelems` field of a chunk header against its region and
+/// dtype, returning the payload byte count a well-formed frame must carry.
+fn validated_payload_bytes(
+    meta: &VariableMeta,
+    region: &Region,
+    nelems: usize,
+) -> DataResult<usize> {
     // region.len() multiplies extents unchecked; corrupt counts could
     // overflow, so fold with checked_mul before trusting the volume.
     let volume = region
@@ -233,14 +289,293 @@ pub fn decode_chunk(buf: &mut &[u8]) -> DataResult<Chunk> {
             ),
         });
     }
-    let nbytes = nelems
+    nelems
         .checked_mul(meta.dtype.elem_bytes())
-        .ok_or_else(|| truncated("payload size"))?;
+        .ok_or_else(|| truncated("payload size"))
+}
+
+/// Decodes one chunk, advancing `buf` past it.
+///
+/// Runs the full [`Chunk::new`] validation (region-vs-shape, payload length,
+/// dtype, header consistency), so a frame that decodes successfully is safe
+/// to hand to the MxN assembly path.
+pub fn decode_chunk(buf: &mut &[u8]) -> DataResult<Chunk> {
+    let meta = decode_meta(buf)?;
+    let region = decode_region(buf)?;
+    if buf.remaining() < 8 {
+        return Err(truncated("element count"));
+    }
+    let nelems = buf.get_u64_le() as usize;
+    let nbytes = validated_payload_bytes(&meta, &region, nelems)?;
     if buf.remaining() < nbytes {
         return Err(truncated("payload"));
     }
     let data = Buffer::from_le_bytes(meta.dtype, nelems, &buf[..nbytes])?;
     buf.advance(nbytes);
+    Chunk::new(meta, region, data)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: interned metadata and optional payload compression.
+// ---------------------------------------------------------------------------
+
+/// Payload codecs an interned chunk may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compression {
+    /// Raw little-endian payload bytes, exactly as protocol v1 frames them.
+    #[default]
+    None,
+    /// The [`crate::compress`] LZ77 block codec, applied per chunk payload.
+    Lz,
+}
+
+impl Compression {
+    /// The one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Compression::None => 0,
+            Compression::Lz => 1,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> DataResult<Compression> {
+        match tag {
+            0 => Ok(Compression::None),
+            1 => Ok(Compression::Lz),
+            t => Err(DataError::Container {
+                detail: format!("unknown compression codec {t}"),
+            }),
+        }
+    }
+
+    /// The human name used in flags, benchmarks, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::Lz => "lz",
+        }
+    }
+}
+
+/// Sender-side interning table: assigns each distinct [`VariableMeta`] a
+/// sequential u32 id and keeps its pre-encoded definition.
+///
+/// Ids are append-only and never redefined: when a variable's metadata
+/// *changes* (a growing dimension, a new attribute) the changed meta gets a
+/// fresh id, so any definition a receiver has already applied stays valid
+/// forever. A receiver is up to date when it has applied every definition
+/// below the table's [`len`](MetaInternTable::len) — which is what lets one
+/// broker-side table serve many reader connections that joined at
+/// different times.
+#[derive(Debug, Default)]
+pub struct MetaInternTable {
+    by_name: HashMap<String, u32>,
+    /// Indexed by id: the interned meta and its encoded `def` frame.
+    entries: Vec<(VariableMeta, Vec<u8>)>,
+}
+
+impl MetaInternTable {
+    /// An empty table.
+    pub fn new() -> MetaInternTable {
+        MetaInternTable::default()
+    }
+
+    /// The id for `meta`, interning it (or its changed successor) on first
+    /// sight.
+    pub fn intern(&mut self, meta: &VariableMeta) -> DataResult<u32> {
+        if let Some(&id) = self.by_name.get(&meta.name) {
+            if self.entries[id as usize].0 == *meta {
+                return Ok(id);
+            }
+        }
+        let id = u32::try_from(self.entries.len())
+            .map_err(|_| overflow("meta intern id", self.entries.len(), "u32"))?;
+        let mut def = Vec::new();
+        def.put_u32_le(id);
+        encode_meta(&mut def, meta)?;
+        self.by_name.insert(meta.name.clone(), id);
+        self.entries.push((meta.clone(), def));
+        Ok(id)
+    }
+
+    /// Number of definitions interned so far; ids run `0..len()`.
+    pub fn len(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends the encoded definitions with ids in `from..len()` to `buf`,
+    /// returning how many were appended. This is the catch-up prelude for a
+    /// receiver whose high-water mark is `from`.
+    pub fn append_defs_since(&self, from: u32, buf: &mut Vec<u8>) -> u32 {
+        let start = (from as usize).min(self.entries.len());
+        for (_, def) in &self.entries[start..] {
+            buf.extend_from_slice(def);
+        }
+        (self.entries.len() - start) as u32
+    }
+}
+
+/// Receiver-side definition store: metas indexed by interned id.
+#[derive(Debug, Default)]
+pub struct MetaDefs {
+    metas: Vec<VariableMeta>,
+}
+
+impl MetaDefs {
+    /// An empty store.
+    pub fn new() -> MetaDefs {
+        MetaDefs::default()
+    }
+
+    /// Decodes one `def` frame, advancing `buf` past it. Definitions must
+    /// arrive in id order with no gaps — anything else is a corrupt stream.
+    pub fn decode_def(&mut self, buf: &mut &[u8]) -> DataResult<u32> {
+        if buf.remaining() < 4 {
+            return Err(truncated("meta def id"));
+        }
+        let id = buf.get_u32_le();
+        if id as usize != self.metas.len() {
+            return Err(DataError::Container {
+                detail: format!(
+                    "meta def id {id} out of order (expected {})",
+                    self.metas.len()
+                ),
+            });
+        }
+        self.metas.push(decode_meta(buf)?);
+        Ok(id)
+    }
+
+    /// Number of definitions applied so far.
+    pub fn len(&self) -> u32 {
+        self.metas.len() as u32
+    }
+
+    /// True when no definitions have been applied.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The meta for an interned id.
+    pub fn get(&self, id: u32) -> DataResult<&VariableMeta> {
+        self.metas
+            .get(id as usize)
+            .ok_or_else(|| DataError::Container {
+                detail: format!("chunk references unknown meta id {id}"),
+            })
+    }
+}
+
+/// What [`encode_chunk_interned`] put on the wire, for byte accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternedEncode {
+    /// Payload bytes before any compression.
+    pub raw_payload: usize,
+    /// Payload bytes actually framed (== `raw_payload` when stored raw).
+    pub wire_payload: usize,
+}
+
+impl InternedEncode {
+    /// True when compression was applied and won.
+    pub fn compressed(&self) -> bool {
+        self.wire_payload < self.raw_payload
+    }
+}
+
+/// Appends one interned chunk — meta id, region, payload — to `buf`.
+///
+/// `meta_id` must come from [`MetaInternTable::intern`] on the same
+/// connection's table, and the matching definition must reach the receiver
+/// no later than this chunk. With [`Compression::Lz`] the payload is
+/// compressed per chunk and kept only if it actually shrank; incompressible
+/// chunks fall back to raw storage, tagged as such.
+pub fn encode_chunk_interned(
+    buf: &mut Vec<u8>,
+    chunk: &Chunk,
+    meta_id: u32,
+    compression: Compression,
+) -> DataResult<InternedEncode> {
+    buf.put_u32_le(meta_id);
+    encode_region(buf, &chunk.region)?;
+    buf.put_u64_le(chunk.data.len() as u64);
+    let raw = chunk.data.to_le_bytes();
+    match compression {
+        Compression::None => {
+            buf.put_u8(Compression::None.tag());
+            buf.extend_from_slice(&raw);
+            Ok(InternedEncode {
+                raw_payload: raw.len(),
+                wire_payload: raw.len(),
+            })
+        }
+        Compression::Lz => {
+            let packed = lz_compress(&raw);
+            if packed.len() + 8 < raw.len() {
+                buf.put_u8(Compression::Lz.tag());
+                buf.put_u64_le(packed.len() as u64);
+                buf.extend_from_slice(&packed);
+                Ok(InternedEncode {
+                    raw_payload: raw.len(),
+                    wire_payload: packed.len() + 8,
+                })
+            } else {
+                buf.put_u8(Compression::None.tag());
+                buf.extend_from_slice(&raw);
+                Ok(InternedEncode {
+                    raw_payload: raw.len(),
+                    wire_payload: raw.len(),
+                })
+            }
+        }
+    }
+}
+
+/// Decodes one interned chunk against the definitions applied so far,
+/// advancing `buf` past it. Runs the full [`Chunk::new`] validation, like
+/// [`decode_chunk`].
+pub fn decode_chunk_interned(buf: &mut &[u8], defs: &MetaDefs) -> DataResult<Chunk> {
+    if buf.remaining() < 4 {
+        return Err(truncated("meta id"));
+    }
+    let meta = defs.get(buf.get_u32_le())?.clone();
+    let region = decode_region(buf)?;
+    if buf.remaining() < 8 {
+        return Err(truncated("element count"));
+    }
+    let nelems = buf.get_u64_le() as usize;
+    let nbytes = validated_payload_bytes(&meta, &region, nelems)?;
+    if buf.remaining() < 1 {
+        return Err(truncated("payload codec"));
+    }
+    let codec = Compression::from_tag(buf.get_u8())?;
+    let data = match codec {
+        Compression::None => {
+            if buf.remaining() < nbytes {
+                return Err(truncated("payload"));
+            }
+            let data = Buffer::from_le_bytes(meta.dtype, nelems, &buf[..nbytes])?;
+            buf.advance(nbytes);
+            data
+        }
+        Compression::Lz => {
+            if buf.remaining() < 8 {
+                return Err(truncated("compressed length"));
+            }
+            let clen = buf.get_u64_le() as usize;
+            if buf.remaining() < clen {
+                return Err(truncated("compressed payload"));
+            }
+            let raw = lz_decompress(&buf[..clen], nbytes)?;
+            buf.advance(clen);
+            Buffer::from_le_bytes(meta.dtype, nelems, &raw)?
+        }
+    };
     Chunk::new(meta, region, data)
 }
 
@@ -272,7 +607,7 @@ mod tests {
     fn chunk_round_trips_bit_exactly() {
         let chunk = sample_chunk();
         let mut buf = Vec::new();
-        encode_chunk(&mut buf, &chunk);
+        encode_chunk(&mut buf, &chunk).unwrap();
         let mut slice: &[u8] = &buf;
         let back = decode_chunk(&mut slice).unwrap();
         assert!(slice.is_empty());
@@ -286,7 +621,7 @@ mod tests {
     fn every_truncation_point_errors_cleanly() {
         let chunk = sample_chunk();
         let mut buf = Vec::new();
-        encode_chunk(&mut buf, &chunk);
+        encode_chunk(&mut buf, &chunk).unwrap();
         for cut in 0..buf.len() {
             let mut slice: &[u8] = &buf[..cut];
             assert!(
@@ -301,7 +636,7 @@ mod tests {
     fn corrupt_header_errors_not_panics() {
         let chunk = sample_chunk();
         let mut clean = Vec::new();
-        encode_chunk(&mut clean, &chunk);
+        encode_chunk(&mut clean, &chunk).unwrap();
         // Flip each header byte in turn (leave the payload tail alone: raw
         // float bytes are all valid). Decoding must never panic; it either
         // errors or yields some validated chunk.
@@ -317,12 +652,83 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_counts_cannot_overallocate() {
+        // A frame whose header claims u16::MAX dimensions but carries only
+        // a handful of bytes: the pre-allocation must be clamped by what
+        // those bytes could encode (12 bytes per dim minimum), not by the
+        // raw byte count — decoded `Dim`s occupy 24-48 heap bytes each.
+        let mut buf = Vec::new();
+        put_str(&mut buf, "v").unwrap();
+        buf.put_u8(DType::F64.tag());
+        buf.put_u16_le(u16::MAX);
+        buf.extend_from_slice(&[0u8; 40]); // far too short for 65535 dims
+        let remaining = buf.len();
+        let mut slice: &[u8] = &buf;
+        assert!(decode_meta(&mut slice).is_err());
+        assert!(
+            bounded(u16::MAX as usize, remaining, MIN_DIM_BYTES) <= remaining / MIN_DIM_BYTES,
+            "clamp must divide by the encoded entry size"
+        );
+        // Same for a label header claiming u32::MAX names.
+        assert_eq!(bounded(u32::MAX as usize, 40, MIN_STR_BYTES), 10);
+    }
+
+    #[test]
+    fn oversized_counts_fail_to_encode() {
+        // 65536 dimensions cannot ride a u16 field; the encoder must error
+        // rather than truncate to 0 and emit a frame the decoder misreads.
+        let dims: Vec<Dim> = (0..65536).map(|i| Dim::new(format!("d{i}"), 1)).collect();
+        let meta = VariableMeta::new("wide", Shape::new(dims), DType::F64);
+        let mut buf = Vec::new();
+        assert!(encode_meta(&mut buf, &meta).is_err());
+
+        let region = Region::new(vec![0; 65536], vec![1; 65536]);
+        let mut buf = Vec::new();
+        assert!(encode_region(&mut buf, &region).is_err());
+
+        // A label keyed past u16::MAX dimensions is equally unencodable.
+        let mut meta = sample_chunk().meta;
+        meta.labels.insert(70000, vec!["x".into()]);
+        let mut buf = Vec::new();
+        assert!(encode_meta(&mut buf, &meta).is_err());
+    }
+
+    #[test]
+    fn duplicate_label_headers_are_rejected() {
+        // Hand-build a frame whose label section names dimension 1 twice;
+        // `decode_meta` used to let the second entry silently overwrite the
+        // first, making decode non-injective with encode.
+        let meta = sample_chunk().meta;
+        let mut buf = Vec::new();
+        put_str(&mut buf, &meta.name).unwrap();
+        buf.put_u8(meta.dtype.tag());
+        buf.put_u16_le(2);
+        for d in meta.shape.dims() {
+            put_str(&mut buf, &d.name).unwrap();
+            buf.put_u64_le(d.size as u64);
+        }
+        buf.put_u32_le(2); // two headers, same dimension
+        for _ in 0..2 {
+            buf.put_u16_le(1);
+            buf.put_u32_le(1);
+            put_str(&mut buf, "vx").unwrap();
+        }
+        buf.put_u32_le(0);
+        let mut slice: &[u8] = &buf;
+        let err = decode_meta(&mut slice).unwrap_err();
+        assert!(
+            matches!(&err, DataError::Container { detail } if detail.contains("duplicate label")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn mismatched_volume_is_rejected() {
         let chunk = sample_chunk();
         let mut buf = Vec::new();
-        encode_meta(&mut buf, &chunk.meta);
+        encode_meta(&mut buf, &chunk.meta).unwrap();
         // Region claiming a larger box than the payload that follows.
-        encode_region(&mut buf, &Region::new(vec![0, 0], vec![4, 3]));
+        encode_region(&mut buf, &Region::new(vec![0, 0], vec![4, 3])).unwrap();
         buf.put_u64_le(6);
         buf.extend_from_slice(&chunk.data.to_le_bytes());
         let mut slice: &[u8] = &buf;
@@ -333,9 +739,141 @@ mod tests {
     fn region_round_trip() {
         let r = Region::new(vec![3, 0, 7], vec![2, 5, 1]);
         let mut buf = Vec::new();
-        encode_region(&mut buf, &r);
+        encode_region(&mut buf, &r).unwrap();
         let mut slice: &[u8] = &buf;
         assert_eq!(decode_region(&mut slice).unwrap(), r);
         assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn interned_chunks_round_trip_without_resending_meta() {
+        let chunk = sample_chunk();
+        let mut table = MetaInternTable::new();
+        let mut defs = MetaDefs::new();
+        let mut frame = Vec::new();
+
+        let id = table.intern(&chunk.meta).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(table.intern(&chunk.meta).unwrap(), 0, "stable id");
+        let mut def_bytes = Vec::new();
+        assert_eq!(table.append_defs_since(0, &mut def_bytes), 1);
+        let mut slice: &[u8] = &def_bytes;
+        defs.decode_def(&mut slice).unwrap();
+        assert!(slice.is_empty());
+
+        for codec in [Compression::None, Compression::Lz] {
+            frame.clear();
+            encode_chunk_interned(&mut frame, &chunk, id, codec).unwrap();
+            let mut slice: &[u8] = &frame;
+            let back = decode_chunk_interned(&mut slice, &defs).unwrap();
+            assert!(slice.is_empty());
+            assert_eq!(back.meta, chunk.meta);
+            assert_eq!(back.region, chunk.region);
+            assert_eq!(back.data.to_le_bytes(), chunk.data.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn changed_meta_gets_a_fresh_id_never_a_redefinition() {
+        let chunk = sample_chunk();
+        let mut table = MetaInternTable::new();
+        let id0 = table.intern(&chunk.meta).unwrap();
+        let mut grown = chunk.meta.clone();
+        grown.attrs.insert("step".into(), AttrValue::Int(7));
+        let id1 = table.intern(&grown).unwrap();
+        assert_ne!(id0, id1);
+        assert_eq!(table.len(), 2);
+        // A receiver that already applied id0 catches up with just id1.
+        let mut defs = MetaDefs::new();
+        let mut all = Vec::new();
+        table.append_defs_since(0, &mut all);
+        let mut slice: &[u8] = &all;
+        defs.decode_def(&mut slice).unwrap();
+        defs.decode_def(&mut slice).unwrap();
+        assert_eq!(defs.get(id1).unwrap(), &grown);
+        assert_eq!(defs.get(id0).unwrap(), &chunk.meta);
+    }
+
+    #[test]
+    fn out_of_order_defs_and_unknown_ids_are_rejected() {
+        let chunk = sample_chunk();
+        let mut table = MetaInternTable::new();
+        table.intern(&chunk.meta).unwrap();
+        let mut def = Vec::new();
+        table.append_defs_since(0, &mut def);
+        // Skipping id 0 (forging id 7) must not be applied.
+        let mut forged = def.clone();
+        forged[0] = 7;
+        let mut defs = MetaDefs::new();
+        let mut slice: &[u8] = &forged;
+        assert!(defs.decode_def(&mut slice).is_err());
+        // A chunk naming an id never defined is rejected at decode.
+        let mut frame = Vec::new();
+        encode_chunk_interned(&mut frame, &chunk, 3, Compression::None).unwrap();
+        let mut slice: &[u8] = &frame;
+        assert!(decode_chunk_interned(&mut slice, &defs).is_err());
+    }
+
+    #[test]
+    fn interned_truncations_and_corruption_never_panic() {
+        let chunk = sample_chunk();
+        let mut table = MetaInternTable::new();
+        let id = table.intern(&chunk.meta).unwrap();
+        let mut defs = MetaDefs::new();
+        let mut def = Vec::new();
+        table.append_defs_since(0, &mut def);
+        let mut slice: &[u8] = &def;
+        defs.decode_def(&mut slice).unwrap();
+
+        for codec in [Compression::None, Compression::Lz] {
+            let mut frame = Vec::new();
+            encode_chunk_interned(&mut frame, &chunk, id, codec).unwrap();
+            for cut in 0..frame.len() {
+                let mut slice: &[u8] = &frame[..cut];
+                assert!(decode_chunk_interned(&mut slice, &defs).is_err());
+            }
+            for i in 0..frame.len() {
+                for flip in [0xffu8, 0x01] {
+                    let mut bad = frame.clone();
+                    bad[i] ^= flip;
+                    let mut slice: &[u8] = &bad;
+                    let _ = decode_chunk_interned(&mut slice, &defs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_payloads_fall_back_to_raw_storage() {
+        // A noise payload (xorshift bit patterns) cannot shrink; the
+        // encoder must store it raw rather than grow the frame.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let noise: Vec<f64> = (0..16)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f64::from_bits(x)
+            })
+            .collect();
+        let meta = VariableMeta::new("noise", Shape::of(&[("x", 16)]), DType::F64);
+        let chunk = Chunk::new(meta, Region::new(vec![0], vec![16]), Buffer::F64(noise)).unwrap();
+        let mut frame = Vec::new();
+        let enc = encode_chunk_interned(&mut frame, &chunk, 0, Compression::Lz).unwrap();
+        assert_eq!(enc.raw_payload, enc.wire_payload);
+        assert!(!enc.compressed());
+
+        // A constant 4096-element payload must compress hard.
+        let meta = VariableMeta::new("flat", Shape::of(&[("x", 4096)]), DType::F64);
+        let big = Chunk::new(
+            meta,
+            Region::new(vec![0], vec![4096]),
+            Buffer::F64(vec![1.0; 4096]),
+        )
+        .unwrap();
+        let mut frame = Vec::new();
+        let enc = encode_chunk_interned(&mut frame, &big, 0, Compression::Lz).unwrap();
+        assert!(enc.compressed());
+        assert!(enc.wire_payload < enc.raw_payload / 50);
     }
 }

@@ -56,8 +56,9 @@ pub use faults::{FaultKind, FaultOp, FaultPlan, InjectedFault};
 pub use hub::{StreamHub, DEFAULT_WAIT_TIMEOUT};
 pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
+pub use sb_data::wire::Compression;
 pub use stream::WriterOptions;
-pub use tcp::{TcpBroker, TcpOptions};
+pub use tcp::{TcpBroker, TcpOptions, WireProtocol};
 pub use trace::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent, TraceSite, Tracer};
 pub use transport::{
     ReaderConnection, ReaderEndpoint, StepContents, Transport, VarSlot, WriterConnection,

@@ -3,6 +3,20 @@
 //! The paper's evaluation reports per-component and end-to-end throughput in
 //! KB/s; these counters are what the bench harnesses read to compute the
 //! same numbers.
+//!
+//! # Honest wire accounting
+//!
+//! A step over the TCP backend crosses two socket *hops*: writer → broker
+//! (`W_STEP` and its replies) and broker → reader (`REPLY_STEP` and the
+//! fetch/release verbs around it). Each frame byte is charged exactly once,
+//! to the hop it crossed, by whichever side plays *broker* for that hop —
+//! the broker sessions see every frame of every client on both hops, so
+//! they are the single metering authority. Client endpoints keep their own
+//! hop counters purely as a fallback snapshot for when the broker is
+//! unreachable; [`Counters::merge_into`] deliberately leaves the wire
+//! counters out so the two views never sum. (Earlier revisions charged both
+//! ends of every frame into one shared counter, which reported a 1×1
+//! pipeline as "4× amplification" when the true per-hop cost was ~1×.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -19,7 +33,10 @@ pub(crate) struct Counters {
     pub bytes_copied: AtomicU64,
     pub copies_elided: AtomicU64,
     pub zero_fills_elided: AtomicU64,
-    pub bytes_on_wire: AtomicU64,
+    pub wire_writer_bytes: AtomicU64,
+    pub wire_reader_bytes: AtomicU64,
+    pub wire_uncompressed_bytes: AtomicU64,
+    pub wire_compressed_bytes: AtomicU64,
 }
 
 impl Counters {
@@ -54,12 +71,32 @@ impl Counters {
         self.zero_fills_elided.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn add_wire(&self, bytes: usize) {
-        self.bytes_on_wire
+    /// Charges frame bytes to the writer → broker hop.
+    pub(crate) fn add_wire_writer(&self, bytes: usize) {
+        self.wire_writer_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Charges frame bytes to the broker → reader hop.
+    pub(crate) fn add_wire_reader(&self, bytes: usize) {
+        self.wire_reader_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one payload passing through the codec: its size before
+    /// compression and the bytes that actually went on the wire. Charged at
+    /// the encode site only, so client and broker contributions are
+    /// disjoint events and merge cleanly.
+    pub(crate) fn add_compression(&self, raw: usize, wire: usize) {
+        self.wire_uncompressed_bytes
+            .fetch_add(raw as u64, Ordering::Relaxed);
+        self.wire_compressed_bytes
+            .fetch_add(wire as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, name: &str) -> StreamMetrics {
+        let wire_writer = self.wire_writer_bytes.load(Ordering::Relaxed);
+        let wire_reader = self.wire_reader_bytes.load(Ordering::Relaxed);
         StreamMetrics {
             stream: name.to_string(),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
@@ -71,13 +108,25 @@ impl Counters {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             copies_elided: self.copies_elided.load(Ordering::Relaxed),
             zero_fills_elided: self.zero_fills_elided.load(Ordering::Relaxed),
-            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            wire_writer_bytes: wire_writer,
+            wire_reader_bytes: wire_reader,
+            wire_uncompressed_bytes: self.wire_uncompressed_bytes.load(Ordering::Relaxed),
+            wire_compressed_bytes: self.wire_compressed_bytes.load(Ordering::Relaxed),
+            bytes_on_wire: wire_writer + wire_reader,
         }
     }
 
     /// Field-wise merge of `other` into a snapshot taken later — how a TCP
     /// client hub folds its local read-side counters into the broker's
     /// authoritative snapshot.
+    ///
+    /// Wire-hop counters are **not** merged: the broker already metered
+    /// every frame this client sent or received, so adding the client's
+    /// local mirror would double-count each byte (the pre-v2 bug that
+    /// reported 1×1 pipelines at "4×"). Compression counters *are* merged —
+    /// they are charged only where a payload is encoded (client for the
+    /// writer hop, broker for the reader hop), so the contributions are
+    /// disjoint.
     pub(crate) fn merge_into(&self, m: &mut StreamMetrics) {
         m.bytes_written += self.bytes_written.load(Ordering::Relaxed);
         m.bytes_read += self.bytes_read.load(Ordering::Relaxed);
@@ -86,7 +135,8 @@ impl Counters {
         m.bytes_copied += self.bytes_copied.load(Ordering::Relaxed);
         m.copies_elided += self.copies_elided.load(Ordering::Relaxed);
         m.zero_fills_elided += self.zero_fills_elided.load(Ordering::Relaxed);
-        m.bytes_on_wire += self.bytes_on_wire.load(Ordering::Relaxed);
+        m.wire_uncompressed_bytes += self.wire_uncompressed_bytes.load(Ordering::Relaxed);
+        m.wire_compressed_bytes += self.wire_compressed_bytes.load(Ordering::Relaxed);
     }
 }
 
@@ -117,9 +167,22 @@ pub struct StreamMetrics {
     /// Reader gets assembled by appending tiling slabs, skipping the
     /// zero-fill of the destination buffer.
     pub zero_fills_elided: u64,
-    /// Frame bytes that crossed a socket for this stream (headers plus
-    /// payload, both directions). Zero on the in-proc backend, where steps
-    /// move by `Arc` and nothing is serialized.
+    /// Frame bytes that crossed the writer → broker socket hop (headers
+    /// plus payload, both directions of that connection), each counted
+    /// once. Zero on the in-proc backend.
+    pub wire_writer_bytes: u64,
+    /// Frame bytes that crossed the broker → reader socket hop, each
+    /// counted once. Zero on the in-proc backend.
+    pub wire_reader_bytes: u64,
+    /// Payload bytes entering the wire codec before compression. Equal to
+    /// `wire_compressed_bytes` when compression is off or never won.
+    pub wire_uncompressed_bytes: u64,
+    /// Payload bytes leaving the wire codec — after compression where it
+    /// was applied and kept.
+    pub wire_compressed_bytes: u64,
+    /// Total frame bytes across both hops: `wire_writer_bytes +
+    /// wire_reader_bytes`. Zero on the in-proc backend, where steps move by
+    /// `Arc` and nothing is serialized.
     pub bytes_on_wire: u64,
 }
 

@@ -13,10 +13,26 @@
 //!
 //! Every message is one frame: a `u32` little-endian payload length, then
 //! the payload, whose first byte is the opcode. Payload fields use the
-//! [`sb_data::wire`] primitives (length-prefixed strings, LE integers) and
-//! steps travel as [`sb_data::wire::encode_chunk`] frames — the container
-//! codec, reused on the wire, so payload bytes are identical to what the
-//! file components persist.
+//! [`sb_data::wire`] primitives (length-prefixed strings, LE integers).
+//! Under protocol **v1**, steps travel as [`sb_data::wire::encode_chunk`]
+//! frames — the container codec, reused on the wire, so payload bytes are
+//! identical to what the file components persist. Under protocol **v2**
+//! (the default, negotiated in the hello) each connection interns variable
+//! metadata: a numbered definition travels once and chunks reference it by
+//! id ([`sb_data::wire::encode_chunk_interned`]), optionally with per-chunk
+//! LZ compression ([`TcpOptions::with_compression`]). The v2 step frames:
+//!
+//! ```text
+//! W_STEP     := 0x11 | u64 step | u32 ndefs | def* | u32 nchunks | ichunk*
+//! REPLY_STEP := 0x82 | u64 step | u32 ndefs | def* | u32 nchunks | ichunk*
+//! ```
+//!
+//! The broker encodes each committed step **once** per codec and shares the
+//! cached body across every v2 reader fetching that step; per-connection
+//! definition high-water marks prepend exactly the definitions a given
+//! reader still lacks. Each frame byte is charged once, to the hop it
+//! crossed (writer→broker or broker→reader), by the broker sessions — see
+//! the honest-accounting notes in [`crate::metrics`].
 //!
 //! ## Latency discipline
 //!
@@ -47,14 +63,17 @@ use std::time::{Duration, Instant};
 
 use bytes::BufMut;
 use parking_lot::Mutex;
-use sb_data::wire::{decode_chunk, encode_chunk, get_str, put_str};
+use sb_data::wire::{
+    decode_chunk, decode_chunk_interned, encode_chunk, encode_chunk_interned, get_str, Compression,
+    MetaDefs, MetaInternTable,
+};
 use sb_data::Chunk;
 
 use crate::error::{StreamError, StreamResult};
 use crate::hub::StreamHub;
 use crate::metrics::{Counters, StreamMetrics};
 use crate::stream::WriterOptions;
-use crate::trace::Tracer;
+use crate::trace::{EventKind, TraceSite, Tracer};
 use crate::transport::{
     ReaderConnection, ReaderEndpoint, StepContents, Transport, VarSlot, WriterConnection,
     WriterEndpoint,
@@ -90,6 +109,57 @@ const REPLY_METRICS: u8 = 0x86;
 /// instead of attempting a giant allocation.
 const MAX_FRAME: u32 = 1 << 30;
 
+/// Cached encoded steps the broker keeps per stream before dropping the
+/// oldest. Eviction normally happens when every attached v2 reader has
+/// released the step; the cap only bounds stragglers (a premature eviction
+/// costs a re-encode, never correctness).
+const RELAY_CACHE_CAP: usize = 64;
+
+/// Frame-protocol revisions the hello negotiates.
+///
+/// v1 re-sends full [`sb_data::VariableMeta`] with every chunk of every
+/// step; v2 interns metadata per connection (a numbered definition travels
+/// once, chunks reference it by id) and may compress chunk payloads. The
+/// hello carries the client's preferred revision and the broker echoes what
+/// it accepted in `REPLY_STARTED`; a hello with no protocol trailer is a
+/// v1 client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum WireProtocol {
+    /// Self-describing chunk frames ([`sb_data::wire::encode_chunk`]).
+    V1,
+    /// Interned metadata + optional per-chunk compression
+    /// ([`sb_data::wire::encode_chunk_interned`]).
+    #[default]
+    V2,
+}
+
+impl WireProtocol {
+    /// The one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            WireProtocol::V1 => 1,
+            WireProtocol::V2 => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Result<WireProtocol, String> {
+        match tag {
+            1 => Ok(WireProtocol::V1),
+            2 => Ok(WireProtocol::V2),
+            t => Err(format!("unknown wire protocol {t}")),
+        }
+    }
+
+    /// The name used in flags, benchmarks, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireProtocol::V1 => "v1",
+            WireProtocol::V2 => "v2",
+        }
+    }
+}
+
 /// Connect/read deadlines of the TCP backend.
 ///
 /// Marked `#[non_exhaustive]`; construct via [`TcpOptions::default`] and
@@ -107,6 +177,14 @@ pub struct TcpOptions {
     pub read_grace: Duration,
     /// Sets `TCP_NODELAY` on every connection (steps are latency-bound).
     pub nodelay: bool,
+    /// Frame-protocol revision offered in the hello. Defaults to
+    /// [`WireProtocol::V2`]; the broker accepts either, so this is only a
+    /// compatibility/ablation knob.
+    pub protocol: WireProtocol,
+    /// Per-chunk payload compression requested for v2 connections
+    /// (ignored under v1, which has no codec field). Defaults to
+    /// [`Compression::None`].
+    pub compression: Compression,
 }
 
 impl Default for TcpOptions {
@@ -115,6 +193,8 @@ impl Default for TcpOptions {
             connect_timeout: Duration::from_secs(15),
             read_grace: Duration::from_secs(15),
             nodelay: true,
+            protocol: WireProtocol::V2,
+            compression: Compression::None,
         }
     }
 }
@@ -137,6 +217,18 @@ impl TcpOptions {
         self.nodelay = nodelay;
         self
     }
+
+    /// Selects the frame-protocol revision offered in the hello.
+    pub fn with_protocol(mut self, protocol: WireProtocol) -> TcpOptions {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Selects per-chunk payload compression (effective under v2 only).
+    pub fn with_compression(mut self, compression: Compression) -> TcpOptions {
+        self.compression = compression;
+        self
+    }
 }
 
 /// Parses and resolves a `tcp://host:port` URL.
@@ -153,6 +245,13 @@ pub fn parse_url(url: &str) -> io::Result<SocketAddr> {
             format!("transport URL {url:?} resolved to no address"),
         )
     })
+}
+
+/// Appends a length-prefixed protocol string. Frame strings are tiny
+/// (stream names, reasons, error text), so the u32 length prefix of the
+/// underlying codec cannot overflow.
+fn put_wire_str(buf: &mut Vec<u8>, s: &str) {
+    sb_data::wire::put_str(buf, s).expect("protocol string exceeds u32::MAX bytes");
 }
 
 // ---- framing -------------------------------------------------------------
@@ -229,6 +328,22 @@ impl<'a> Cur<'a> {
     }
 }
 
+/// Parses the optional trailing `[u8 proto][u8 comp]` negotiation bytes a
+/// hello or `REPLY_STARTED` may carry. Their absence means the peer
+/// predates protocol v2 and speaks v1 uncompressed.
+fn negotiated(cur: &mut Cur<'_>) -> Result<(WireProtocol, Compression), String> {
+    if cur.0.is_empty() {
+        return Ok((WireProtocol::V1, Compression::None));
+    }
+    let proto = WireProtocol::from_tag(cur.u8("protocol tag")?)?;
+    let comp = Compression::from_tag(cur.u8("compression tag")?).map_err(|e| e.to_string())?;
+    // v1 frames have nowhere to record a codec; the pair degrades together.
+    if proto == WireProtocol::V1 {
+        return Ok((proto, Compression::None));
+    }
+    Ok((proto, comp))
+}
+
 fn proto_gone(stream: &str, detail: impl std::fmt::Display) -> StreamError {
     StreamError::PeerGone {
         stream: stream.to_string(),
@@ -245,15 +360,15 @@ fn encode_err(buf: &mut Vec<u8>, err: &StreamError) {
             detail,
         } => {
             buf.put_u8(REPLY_ERR_TIMEOUT);
-            put_str(buf, stream);
-            put_str(buf, waiting_for);
+            put_wire_str(buf, stream);
+            put_wire_str(buf, waiting_for);
             buf.put_u64_le(timeout.as_micros() as u64);
-            put_str(buf, detail);
+            put_wire_str(buf, detail);
         }
         StreamError::PeerGone { stream, reason } => {
             buf.put_u8(REPLY_ERR_PEER_GONE);
-            put_str(buf, stream);
-            put_str(buf, reason);
+            put_wire_str(buf, stream);
+            put_wire_str(buf, reason);
         }
     }
 }
@@ -275,7 +390,7 @@ fn decode_err(op: u8, cur: &mut Cur<'_>) -> Result<StreamError, String> {
 }
 
 fn encode_metrics(buf: &mut Vec<u8>, m: &StreamMetrics) {
-    put_str(buf, &m.stream);
+    put_wire_str(buf, &m.stream);
     buf.put_u64_le(m.bytes_written);
     buf.put_u64_le(m.bytes_read);
     buf.put_u64_le(m.steps_committed);
@@ -285,6 +400,10 @@ fn encode_metrics(buf: &mut Vec<u8>, m: &StreamMetrics) {
     buf.put_u64_le(m.bytes_copied);
     buf.put_u64_le(m.copies_elided);
     buf.put_u64_le(m.zero_fills_elided);
+    buf.put_u64_le(m.wire_writer_bytes);
+    buf.put_u64_le(m.wire_reader_bytes);
+    buf.put_u64_le(m.wire_uncompressed_bytes);
+    buf.put_u64_le(m.wire_compressed_bytes);
     buf.put_u64_le(m.bytes_on_wire);
 }
 
@@ -300,6 +419,10 @@ fn decode_metrics(cur: &mut Cur<'_>) -> Result<StreamMetrics, String> {
         bytes_copied: cur.u64("bytes_copied")?,
         copies_elided: cur.u64("copies_elided")?,
         zero_fills_elided: cur.u64("zero_fills_elided")?,
+        wire_writer_bytes: cur.u64("wire_writer_bytes")?,
+        wire_reader_bytes: cur.u64("wire_reader_bytes")?,
+        wire_uncompressed_bytes: cur.u64("wire_uncompressed_bytes")?,
+        wire_compressed_bytes: cur.u64("wire_compressed_bytes")?,
         bytes_on_wire: cur.u64("bytes_on_wire")?,
     })
 }
@@ -509,11 +632,32 @@ impl TcpTransport {
 
 struct TcpWriter {
     io: Result<ClientConn, StreamError>,
+    stream: String,
     counters: Arc<Counters>,
+    /// Protocol revision the broker accepted for this connection.
+    proto: WireProtocol,
+    /// Payload codec the broker accepted (always `None` under v1).
+    compression: Compression,
+    /// This connection's interning table (v2): definitions below
+    /// `defs_sent` have already been framed.
+    table: MetaInternTable,
+    defs_sent: u32,
+    /// Encoded definitions pending for the open step (v2).
+    defs: Vec<u8>,
+    ndefs: u32,
     /// Chunks of the open step, encoded as they are put; flushed as one
     /// `W_STEP` frame at `end_step` (writer-side batching).
     batch: Vec<u8>,
     nchunks: u32,
+    /// Payload bytes of the open step before/after the codec.
+    step_raw: u64,
+    step_wire: u64,
+    /// `put` is infallible by contract; an encode failure is stashed here
+    /// and surfaces from `end_step`, where the run loop handles errors.
+    encode_failure: Option<String>,
+    tracer: Arc<Tracer>,
+    trace_id: u32,
+    rank: usize,
     terminated: bool,
 }
 
@@ -524,6 +668,18 @@ impl TcpWriter {
             Err(e) => Err(e.clone()),
         }
     }
+
+    fn put_interned(&mut self, chunk: &Chunk) -> sb_data::DataResult<()> {
+        let id = self.table.intern(&chunk.meta)?;
+        if self.table.len() > self.defs_sent {
+            self.ndefs += self.table.append_defs_since(self.defs_sent, &mut self.defs);
+            self.defs_sent = self.table.len();
+        }
+        let enc = encode_chunk_interned(&mut self.batch, chunk, id, self.compression)?;
+        self.step_raw += enc.raw_payload as u64;
+        self.step_wire += enc.wire_payload as u64;
+        Ok(())
+    }
 }
 
 impl WriterEndpoint for TcpWriter {
@@ -533,27 +689,68 @@ impl WriterEndpoint for TcpWriter {
         let mut req = Vec::with_capacity(9);
         req.put_u8(W_BEGIN);
         req.put_u64_le(step);
-        counters.add_wire(4 + req.len());
+        counters.add_wire_writer(4 + req.len());
         conn.send(&req)?;
         conn.expect_ok("buffer space")
     }
 
     fn put(&mut self, _step: u64, chunk: Chunk) {
-        encode_chunk(&mut self.batch, &chunk);
-        self.nchunks += 1;
+        if self.encode_failure.is_some() {
+            return;
+        }
+        let result = match self.proto {
+            WireProtocol::V1 => encode_chunk(&mut self.batch, &chunk),
+            WireProtocol::V2 => self.put_interned(&chunk),
+        };
+        match result {
+            Ok(()) => self.nchunks += 1,
+            Err(e) => self.encode_failure = Some(e.to_string()),
+        }
     }
 
     fn end_step(&mut self, step: u64) -> StreamResult<()> {
+        if let Some(detail) = self.encode_failure.take() {
+            // Drop the poisoned batch but keep any pending defs: their ids
+            // are already marked sent in `defs_sent`, so they must still
+            // ride along with the next step that does go out.
+            self.batch.clear();
+            self.nchunks = 0;
+            self.step_raw = 0;
+            self.step_wire = 0;
+            return Err(StreamError::PeerGone {
+                stream: self.stream.clone(),
+                reason: format!("unencodable chunk: {detail}"),
+            });
+        }
         let batch = std::mem::take(&mut self.batch);
         let nchunks = std::mem::take(&mut self.nchunks);
+        let defs = std::mem::take(&mut self.defs);
+        let ndefs = std::mem::take(&mut self.ndefs);
+        let (step_raw, step_wire) = (self.step_raw, self.step_wire);
+        self.step_raw = 0;
+        self.step_wire = 0;
         let counters = Arc::clone(&self.counters);
-        let conn = self.conn()?;
-        let mut req = Vec::with_capacity(13 + batch.len());
+        let mut req = Vec::with_capacity(17 + defs.len() + batch.len());
         req.put_u8(W_STEP);
         req.put_u64_le(step);
+        if self.proto == WireProtocol::V2 {
+            req.put_u32_le(ndefs);
+            req.extend_from_slice(&defs);
+            // The writer-hop payload is encoded here, so this side charges
+            // the compression ledger (the broker charges the reader hop).
+            counters.add_compression(step_raw as usize, step_wire as usize);
+            if step_wire < step_raw {
+                self.tracer.instant(
+                    EventKind::Compressed,
+                    TraceSite::stream(self.trace_id, self.rank, step),
+                    step_raw - step_wire,
+                );
+            }
+        }
         req.put_u32_le(nchunks);
         req.extend_from_slice(&batch);
-        counters.add_wire(4 + req.len());
+        counters.add_wire_writer(4 + req.len());
+        let conn = self.conn()?;
         conn.send(&req)?;
         conn.expect_ok("step commit")
     }
@@ -589,6 +786,10 @@ impl WriterEndpoint for TcpWriter {
 struct TcpReader {
     io: Result<ClientConn, StreamError>,
     counters: Arc<Counters>,
+    /// Protocol revision the broker accepted for this connection.
+    proto: WireProtocol,
+    /// Definitions applied so far (v2 interning, per connection).
+    defs: MetaDefs,
     /// Step a `R_BEGIN` is in flight for (reader-side prefetch).
     pending: Option<u64>,
     eos: bool,
@@ -609,12 +810,12 @@ impl ReaderEndpoint for TcpReader {
             let mut req = Vec::with_capacity(9);
             req.put_u8(R_BEGIN);
             req.put_u64_le(step);
-            counters.add_wire(4 + req.len());
+            counters.add_wire_reader(4 + req.len());
             conn.send(&req)?;
             self.pending = Some(step);
         }
         let payload = conn.recv("a committed step")?;
-        counters.add_wire(4 + payload.len());
+        counters.add_wire_reader(4 + payload.len());
         self.pending = None;
         let name = conn.stream_name.clone();
         let mut cur = Cur(&payload);
@@ -627,10 +828,22 @@ impl ReaderEndpoint for TcpReader {
                         format!("broker sent step {got}, expected {step}"),
                     ));
                 }
+                if self.proto == WireProtocol::V2 {
+                    let ndefs = cur.u32("def count").map_err(|d| proto_gone(&name, d))?;
+                    for _ in 0..ndefs {
+                        self.defs
+                            .decode_def(&mut cur.0)
+                            .map_err(|e| proto_gone(&name, format!("bad meta def: {e}")))?;
+                    }
+                }
                 let nchunks = cur.u32("chunk count").map_err(|d| proto_gone(&name, d))?;
                 let mut vars: BTreeMap<String, VarSlot> = BTreeMap::new();
                 for _ in 0..nchunks {
-                    let chunk = cur.chunk().map_err(|d| proto_gone(&name, d))?;
+                    let chunk = match self.proto {
+                        WireProtocol::V1 => cur.chunk().map_err(|d| proto_gone(&name, d))?,
+                        WireProtocol::V2 => decode_chunk_interned(&mut cur.0, &self.defs)
+                            .map_err(|e| proto_gone(&name, format!("bad chunk frame: {e}")))?,
+                    };
                     vars.entry(chunk.meta.name.clone())
                         .or_insert_with(|| VarSlot {
                             meta: chunk.meta.clone(),
@@ -659,14 +872,14 @@ impl ReaderEndpoint for TcpReader {
             let mut req = Vec::with_capacity(9);
             req.put_u8(R_RELEASE);
             req.put_u64_le(step);
-            counters.add_wire(4 + req.len());
+            counters.add_wire_reader(4 + req.len());
             let _ = conn.send(&req);
             // Prefetch: pipeline the request for the next step so the
             // broker can push it while this rank computes.
             let mut next = Vec::with_capacity(9);
             next.put_u8(R_BEGIN);
             next.put_u64_le(step + 1);
-            counters.add_wire(4 + next.len());
+            counters.add_wire_reader(4 + next.len());
             if conn.send(&next).is_ok() {
                 self.pending = Some(step + 1);
             }
@@ -694,39 +907,55 @@ impl Transport for TcpTransport {
     ) -> WriterConnection {
         let trace_id = self.tracer.intern(name);
         let counters = self.stream_counters(name);
-        let opened = (|| -> StreamResult<(ClientConn, u64)> {
+        let opened = (|| -> StreamResult<(ClientConn, u64, WireProtocol, Compression)> {
             let mut conn = self.client_conn(name)?;
             let mut hello = Vec::with_capacity(64);
             hello.put_u8(HELLO_WRITER);
-            put_str(&mut hello, name);
+            put_wire_str(&mut hello, name);
             hello.put_u32_le(rank as u32);
             hello.put_u32_le(nranks as u32);
             hello.put_u32_le(options.queue_capacity as u32);
             hello.put_u8(options.rendezvous as u8);
             hello.put_u32_le(options.expected_reader_groups as u32);
+            hello.put_u8(self.options.protocol.tag());
+            hello.put_u8(self.options.compression.tag());
             conn.send(&hello)?;
             let payload = conn.recv("writer registration")?;
             let mut cur = Cur(&payload);
             match cur.u8("reply opcode").map_err(|d| proto_gone(name, d))? {
                 REPLY_STARTED => {
                     let start = cur.u64("start step").map_err(|d| proto_gone(name, d))?;
-                    Ok((conn, start))
+                    let (proto, comp) = negotiated(&mut cur).map_err(|d| proto_gone(name, d))?;
+                    Ok((conn, start, proto, comp))
                 }
                 op => Err(decode_err(op, &mut cur).unwrap_or_else(|d| proto_gone(name, d))),
             }
         })();
-        let (io, start_step) = match opened {
-            Ok((conn, start)) => (Ok(conn), start),
+        let (io, start_step, proto, compression) = match opened {
+            Ok((conn, start, proto, comp)) => (Ok(conn), start, proto, comp),
             // Opens stay infallible: the failure is stored and surfaces
             // from the first begin_step, where the run loop handles it.
-            Err(e) => (Err(e), 0),
+            Err(e) => (Err(e), 0, WireProtocol::V1, Compression::None),
         };
         WriterConnection::new(
             Box::new(TcpWriter {
                 io,
+                stream: name.to_string(),
                 counters,
+                proto,
+                compression,
+                table: MetaInternTable::default(),
+                defs_sent: 0,
+                defs: Vec::new(),
+                ndefs: 0,
                 batch: Vec::new(),
                 nchunks: 0,
+                step_raw: 0,
+                step_wire: 0,
+                encode_failure: None,
+                tracer: Arc::clone(&self.tracer),
+                trace_id,
+                rank,
                 terminated: false,
             }),
             start_step,
@@ -738,41 +967,46 @@ impl Transport for TcpTransport {
     fn open_reader(&self, name: &str, group: &str, rank: usize, nranks: usize) -> ReaderConnection {
         let trace_id = self.tracer.intern(name);
         let counters = self.stream_counters(name);
-        let opened = (|| -> StreamResult<(ClientConn, u64)> {
+        let opened = (|| -> StreamResult<(ClientConn, u64, WireProtocol)> {
             let mut conn = self.client_conn(name)?;
             let mut hello = Vec::with_capacity(64);
             hello.put_u8(HELLO_READER);
-            put_str(&mut hello, name);
-            put_str(&mut hello, group);
+            put_wire_str(&mut hello, name);
+            put_wire_str(&mut hello, group);
             hello.put_u32_le(rank as u32);
             hello.put_u32_le(nranks as u32);
+            hello.put_u8(self.options.protocol.tag());
+            hello.put_u8(self.options.compression.tag());
             conn.send(&hello)?;
             let payload = conn.recv("reader registration")?;
             let mut cur = Cur(&payload);
             match cur.u8("reply opcode").map_err(|d| proto_gone(name, d))? {
                 REPLY_STARTED => {
                     let first = cur.u64("first step").map_err(|d| proto_gone(name, d))?;
-                    Ok((conn, first))
+                    let (proto, _comp) = negotiated(&mut cur).map_err(|d| proto_gone(name, d))?;
+                    Ok((conn, first, proto))
                 }
                 op => Err(decode_err(op, &mut cur).unwrap_or_else(|d| proto_gone(name, d))),
             }
         })();
-        let (io, first_step, pending) = match opened {
-            Ok((mut conn, first)) => {
+        let (io, first_step, proto, pending) = match opened {
+            Ok((mut conn, first, proto)) => {
                 // Prefetch the first step right away.
                 let mut req = Vec::with_capacity(9);
                 req.put_u8(R_BEGIN);
                 req.put_u64_le(first);
-                counters.add_wire(4 + req.len());
+                counters.add_wire_reader(4 + req.len());
                 let pending = conn.send(&req).is_ok().then_some(first);
-                (Ok(conn), first, pending)
+                (Ok(conn), first, proto, pending)
             }
-            Err(e) => (Err(e), 0, None),
+            Err(e) => (Err(e), 0, WireProtocol::V1, None),
         };
         let mut rc = ReaderConnection::new(
             Box::new(TcpReader {
                 io,
                 counters: Arc::clone(&counters),
+                proto,
+                defs: MetaDefs::default(),
                 pending,
                 eos: false,
                 fetched: 0,
@@ -824,20 +1058,20 @@ impl Transport for TcpTransport {
 
     fn poison_all(&self, reason: &str) {
         let mut req = vec![C_POISON];
-        put_str(&mut req, reason);
+        put_wire_str(&mut req, reason);
         let _ = self.control_ok(&req, "poison acknowledgement");
     }
 
     fn force_end_of_stream(&self, name: &str) {
         let mut req = vec![C_FORCE_EOS];
-        put_str(&mut req, name);
+        put_wire_str(&mut req, name);
         let _ = self.control_ok(&req, "forced EOS acknowledgement");
     }
 
     fn detach_reader_group(&self, name: &str, group: &str) {
         let mut req = vec![C_DETACH];
-        put_str(&mut req, name);
-        put_str(&mut req, group);
+        put_wire_str(&mut req, name);
+        put_wire_str(&mut req, group);
         let _ = self.control_ok(&req, "detach acknowledgement");
     }
 
@@ -845,12 +1079,12 @@ impl Transport for TcpTransport {
         let mut req = vec![C_RESTART];
         req.put_u32_le(inputs.len() as u32);
         for (stream, group) in inputs {
-            put_str(&mut req, stream);
-            put_str(&mut req, group);
+            put_wire_str(&mut req, stream);
+            put_wire_str(&mut req, group);
         }
         req.put_u32_le(outputs.len() as u32);
         for stream in outputs {
-            put_str(&mut req, stream);
+            put_wire_str(&mut req, stream);
         }
         let _ = self.control_ok(&req, "restart preparation acknowledgement");
     }
@@ -910,6 +1144,7 @@ impl TcpBroker {
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let seen = Arc::new(AtomicUsize::new(0));
+        let relays = Arc::new(RelayTable::default());
         let accept = {
             let hub = Arc::clone(&hub);
             let shutdown = Arc::clone(&shutdown);
@@ -928,11 +1163,12 @@ impl TcpBroker {
                         seen.fetch_add(1, Ordering::SeqCst);
                         let guard = ConnGuard(Arc::clone(&active));
                         let hub = Arc::clone(&hub);
+                        let relays = Arc::clone(&relays);
                         let _ = std::thread::Builder::new()
                             .name("sb-tcp-session".to_string())
                             .spawn(move || {
                                 let _guard = guard;
-                                let _ = serve_session(&hub, sock);
+                                let _ = serve_session(&hub, &relays, sock);
                             });
                     }
                 })?
@@ -998,35 +1234,178 @@ fn session_err(detail: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, detail)
 }
 
-fn reply(sock: &mut TcpStream, counters: Option<&Counters>, payload: &[u8]) -> io::Result<()> {
-    let sent = send_frame(sock, payload)?;
-    if let Some(c) = counters {
-        c.add_wire(sent);
-    }
-    Ok(())
+/// Sends one reply frame, returning the frame bytes that crossed the
+/// socket. The caller charges them to the hop-appropriate wire counter —
+/// there is no counter parameter precisely so no call site can charge the
+/// wrong hop silently.
+fn reply(sock: &mut TcpStream, payload: &[u8]) -> io::Result<usize> {
+    send_frame(sock, payload)
 }
 
-fn reply_result(
-    sock: &mut TcpStream,
-    counters: &Counters,
-    result: StreamResult<()>,
-) -> io::Result<()> {
+fn reply_result(sock: &mut TcpStream, result: StreamResult<()>) -> io::Result<usize> {
     match result {
-        Ok(()) => reply(sock, Some(counters), &[REPLY_OK]),
+        Ok(()) => reply(sock, &[REPLY_OK]),
         Err(e) => {
             let mut buf = Vec::with_capacity(128);
             encode_err(&mut buf, &e);
-            reply(sock, Some(counters), &buf)
+            reply(sock, &buf)
         }
     }
 }
 
-fn serve_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> {
+// ---- broker encode-once relay (protocol v2) ------------------------------
+
+/// Broker-side per-stream relay state: the shared interning table plus the
+/// encode-once step cache. One per broker, keyed by stream name.
+#[derive(Default)]
+struct RelayTable {
+    streams: Mutex<HashMap<String, Arc<StreamRelay>>>,
+}
+
+impl RelayTable {
+    fn stream(&self, name: &str) -> Arc<StreamRelay> {
+        Arc::clone(self.streams.lock().entry(name.to_string()).or_default())
+    }
+}
+
+/// One stream's encode-once state, shared by every v2 reader session.
+#[derive(Default)]
+struct StreamRelay {
+    inner: Mutex<RelayInner>,
+    /// v2 reader sessions currently attached; once each has released a
+    /// cached step, the encoding is dropped.
+    readers: AtomicUsize,
+}
+
+#[derive(Default)]
+struct RelayInner {
+    /// Definitions interned across the whole stream — ids are global to
+    /// the broker side, and each session tracks its own high-water mark of
+    /// ids already sent.
+    table: MetaInternTable,
+    /// Encoded step bodies, keyed by `(step, codec tag)` so v2 readers
+    /// negotiating different codecs never share bytes they cannot decode.
+    cache: BTreeMap<(u64, u8), CachedStep>,
+}
+
+struct CachedStep {
+    nchunks: u32,
+    body: Vec<u8>,
+    releases: usize,
+}
+
+impl StreamRelay {
+    /// Builds the `REPLY_STEP` frame for `step`, encoding chunk bodies at
+    /// most once per `(step, codec)` across all attached readers — only the
+    /// per-session definition catch-up prelude differs. The lock is held
+    /// across the encode, which is what makes "at most once" exact.
+    ///
+    /// Returns the frame plus the payload bytes before/after the codec for
+    /// a *fresh* encode, `(0, 0)` on a cache hit — so compression totals
+    /// count each encode event exactly once.
+    fn encode_step(
+        &self,
+        step: u64,
+        comp: Compression,
+        contents: &StepContents,
+        defs_seen: &mut u32,
+    ) -> sb_data::DataResult<(Vec<u8>, u64, u64)> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let key = (step, comp.tag());
+        let mut fresh = (0u64, 0u64);
+        if !inner.cache.contains_key(&key) {
+            let mut body = Vec::with_capacity(256);
+            let mut nchunks = 0u32;
+            // BTreeMap order makes the encode deterministic, so every
+            // reader of a step sees byte-identical chunk bodies.
+            for slot in contents.values() {
+                for chunk in &slot.chunks {
+                    let id = inner.table.intern(&chunk.meta)?;
+                    let enc = encode_chunk_interned(&mut body, chunk, id, comp)?;
+                    fresh.0 += enc.raw_payload as u64;
+                    fresh.1 += enc.wire_payload as u64;
+                    nchunks += 1;
+                }
+            }
+            inner.cache.insert(
+                key,
+                CachedStep {
+                    nchunks,
+                    body,
+                    releases: 0,
+                },
+            );
+            while inner.cache.len() > RELAY_CACHE_CAP {
+                inner.cache.pop_first();
+            }
+        }
+        let cached = inner.cache.get(&key).expect("step cached above");
+        let mut defs = Vec::new();
+        let ndefs = inner.table.append_defs_since(*defs_seen, &mut defs);
+        *defs_seen = inner.table.len();
+        let mut frame = Vec::with_capacity(17 + defs.len() + cached.body.len());
+        frame.put_u8(REPLY_STEP);
+        frame.put_u64_le(step);
+        frame.put_u32_le(ndefs);
+        frame.extend_from_slice(&defs);
+        frame.put_u32_le(cached.nchunks);
+        frame.extend_from_slice(&cached.body);
+        Ok((frame, fresh.0, fresh.1))
+    }
+
+    /// Records one reader's release of `step`, dropping cached encodings
+    /// once every attached v2 reader has released them. A reader that hangs
+    /// up without releasing leaves the entry to the cache cap — a re-encode
+    /// at worst, never a correctness problem.
+    fn note_release(&self, step: u64) {
+        let readers = self.readers.load(Ordering::SeqCst);
+        let mut inner = self.inner.lock();
+        let keys: Vec<(u64, u8)> = inner
+            .cache
+            .range((step, 0)..=(step, u8::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            let cached = inner.cache.get_mut(&key).expect("key listed above");
+            cached.releases += 1;
+            if cached.releases >= readers {
+                inner.cache.remove(&key);
+            }
+        }
+    }
+}
+
+/// Keeps the v2-reader gauge of a [`StreamRelay`] honest across panics.
+struct ReaderCountGuard(Arc<StreamRelay>);
+
+impl ReaderCountGuard {
+    fn new(relay: Arc<StreamRelay>) -> ReaderCountGuard {
+        relay.readers.fetch_add(1, Ordering::SeqCst);
+        ReaderCountGuard(relay)
+    }
+}
+
+impl Drop for ReaderCountGuard {
+    fn drop(&mut self) {
+        self.0.readers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_session(
+    hub: &Arc<StreamHub>,
+    relays: &Arc<RelayTable>,
+    mut sock: TcpStream,
+) -> io::Result<()> {
     let hello = recv_frame(&mut sock)?;
+    // The sessions charge the full hello frame to their hop themselves;
+    // `hello_len` carries the length because the cursor they parse from is
+    // consumed by then.
+    let hello_len = 4 + hello.len();
     let mut cur = Cur(&hello);
     match cur.u8("hello opcode").map_err(session_err)? {
-        HELLO_WRITER => writer_session(hub, sock, &mut cur),
-        HELLO_READER => reader_session(hub, sock, &mut cur),
+        HELLO_WRITER => writer_session(hub, sock, &mut cur, hello_len),
+        HELLO_READER => reader_session(hub, relays, sock, &mut cur, hello_len),
         HELLO_CONTROL => control_session(hub, sock),
         op => Err(session_err(format!("unknown hello opcode {op:#04x}"))),
     }
@@ -1036,6 +1415,7 @@ fn writer_session(
     hub: &Arc<StreamHub>,
     mut sock: TcpStream,
     hello: &mut Cur<'_>,
+    hello_len: usize,
 ) -> io::Result<()> {
     let name = hello.string("stream name").map_err(session_err)?;
     let rank = hello.u32("rank").map_err(session_err)? as usize;
@@ -1043,6 +1423,7 @@ fn writer_session(
     let queue = hello.u32("queue capacity").map_err(session_err)? as usize;
     let rendezvous = hello.u8("rendezvous flag").map_err(session_err)? != 0;
     let groups = hello.u32("reader groups").map_err(session_err)? as usize;
+    let (proto, comp) = negotiated(hello).map_err(session_err)?;
     if rank >= nranks || queue == 0 || groups == 0 {
         return Err(session_err(format!(
             "invalid writer hello for {name:?}: rank {rank}/{nranks} queue {queue} groups {groups}"
@@ -1055,12 +1436,16 @@ fn writer_session(
     let conn = hub.transport().open_writer(&name, rank, nranks, options);
     let counters = conn.counters;
     let mut endpoint = conn.endpoint;
-    counters.add_wire(4 + hello.0.len());
+    counters.add_wire_writer(hello_len);
+    // Interned definitions this connection has applied (v2).
+    let mut defs = MetaDefs::default();
 
-    let mut started = Vec::with_capacity(9);
+    let mut started = Vec::with_capacity(11);
     started.put_u8(REPLY_STARTED);
     started.put_u64_le(conn.start_step);
-    reply(&mut sock, Some(&counters), &started)?;
+    started.put_u8(proto.tag());
+    started.put_u8(comp.tag());
+    counters.add_wire_writer(reply(&mut sock, &started)?);
 
     loop {
         let payload = match recv_frame(&mut sock) {
@@ -1074,24 +1459,48 @@ fn writer_session(
                 return Ok(());
             }
         };
-        counters.add_wire(4 + payload.len());
+        counters.add_wire_writer(4 + payload.len());
         let mut cur = Cur(&payload);
         match cur.u8("writer opcode").map_err(session_err)? {
             W_BEGIN => {
                 let step = cur.u64("step").map_err(session_err)?;
                 let result = endpoint.begin_step(step);
-                reply_result(&mut sock, &counters, result)?;
+                counters.add_wire_writer(reply_result(&mut sock, result)?);
             }
             W_STEP => {
                 let step = cur.u64("step").map_err(session_err)?;
-                let nchunks = cur.u32("chunk count").map_err(session_err)?;
                 let mut failed = None;
-                for _ in 0..nchunks {
-                    match cur.chunk() {
-                        Ok(chunk) => endpoint.put(step, chunk),
-                        Err(d) => {
-                            failed = Some(proto_gone(&name, d));
+                if proto == WireProtocol::V2 {
+                    let ndefs = cur.u32("def count").map_err(session_err)?;
+                    for _ in 0..ndefs {
+                        if let Err(e) = defs.decode_def(&mut cur.0) {
+                            failed = Some(proto_gone(&name, format!("bad meta def: {e}")));
                             break;
+                        }
+                    }
+                }
+                if failed.is_none() {
+                    match cur.u32("chunk count") {
+                        Err(d) => failed = Some(proto_gone(&name, d)),
+                        Ok(nchunks) => {
+                            for _ in 0..nchunks {
+                                let chunk = match proto {
+                                    WireProtocol::V1 => {
+                                        cur.chunk().map_err(|d| proto_gone(&name, d))
+                                    }
+                                    WireProtocol::V2 => decode_chunk_interned(&mut cur.0, &defs)
+                                        .map_err(|e| {
+                                            proto_gone(&name, format!("bad chunk frame: {e}"))
+                                        }),
+                                };
+                                match chunk {
+                                    Ok(chunk) => endpoint.put(step, chunk),
+                                    Err(e) => {
+                                        failed = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -1099,11 +1508,11 @@ fn writer_session(
                     Some(e) => Err(e),
                     None => endpoint.end_step(step),
                 };
-                reply_result(&mut sock, &counters, result)?;
+                counters.add_wire_writer(reply_result(&mut sock, result)?);
             }
             W_CLOSE => {
                 endpoint.close();
-                reply(&mut sock, Some(&counters), &[REPLY_OK])?;
+                counters.add_wire_writer(reply(&mut sock, &[REPLY_OK])?);
                 return Ok(());
             }
             W_ABANDON => {
@@ -1122,13 +1531,16 @@ fn writer_session(
 
 fn reader_session(
     hub: &Arc<StreamHub>,
+    relays: &Arc<RelayTable>,
     mut sock: TcpStream,
     hello: &mut Cur<'_>,
+    hello_len: usize,
 ) -> io::Result<()> {
     let name = hello.string("stream name").map_err(session_err)?;
     let group = hello.string("reader group").map_err(session_err)?;
     let rank = hello.u32("rank").map_err(session_err)? as usize;
     let nranks = hello.u32("nranks").map_err(session_err)? as usize;
+    let (proto, comp) = negotiated(hello).map_err(session_err)?;
     if rank >= nranks {
         return Err(session_err(format!(
             "invalid reader hello for {name:?}: rank {rank}/{nranks}"
@@ -1137,48 +1549,93 @@ fn reader_session(
     let conn = hub.transport().open_reader(&name, &group, rank, nranks);
     let counters = conn.counters;
     let mut endpoint = conn.endpoint;
-    counters.add_wire(4 + hello.0.len());
+    counters.add_wire_reader(hello_len);
+    let relay = relays.stream(&name);
+    let _gauge = (proto == WireProtocol::V2).then(|| ReaderCountGuard::new(Arc::clone(&relay)));
+    // Definition ids already sent to this session (v2 catch-up mark).
+    let mut defs_seen = 0u32;
+    let trace_id = hub.tracer().intern(&name);
 
-    let mut started = Vec::with_capacity(9);
+    let mut started = Vec::with_capacity(11);
     started.put_u8(REPLY_STARTED);
     started.put_u64_le(conn.first_step);
-    reply(&mut sock, Some(&counters), &started)?;
+    started.put_u8(proto.tag());
+    started.put_u8(comp.tag());
+    counters.add_wire_reader(reply(&mut sock, &started)?);
 
     loop {
         // A reader hanging up mid-stream needs no bookkeeping here: its
         // partial releases are reset by the supervisor on restart, or the
         // group is detached on degrade.
         let payload = recv_frame(&mut sock)?;
-        counters.add_wire(4 + payload.len());
+        counters.add_wire_reader(4 + payload.len());
         let mut cur = Cur(&payload);
         match cur.u8("reader opcode").map_err(session_err)? {
             R_BEGIN => {
                 let step = cur.u64("step").map_err(session_err)?;
                 match endpoint.fetch_step(step) {
                     Ok(Some(contents)) => {
-                        let mut buf = Vec::with_capacity(64);
-                        buf.put_u8(REPLY_STEP);
-                        buf.put_u64_le(step);
-                        let nchunks: usize = contents.values().map(|v| v.chunks.len()).sum();
-                        buf.put_u32_le(nchunks as u32);
-                        for slot in contents.values() {
-                            for chunk in &slot.chunks {
-                                encode_chunk(&mut buf, chunk);
+                        let encoded = match proto {
+                            WireProtocol::V1 => {
+                                // v1 re-sends every chunk self-described;
+                                // byte layout identical to the container.
+                                (|| {
+                                    let mut buf = Vec::with_capacity(64);
+                                    buf.put_u8(REPLY_STEP);
+                                    buf.put_u64_le(step);
+                                    let nchunks: usize =
+                                        contents.values().map(|v| v.chunks.len()).sum();
+                                    buf.put_u32_le(nchunks as u32);
+                                    for slot in contents.values() {
+                                        for chunk in &slot.chunks {
+                                            encode_chunk(&mut buf, chunk)?;
+                                        }
+                                    }
+                                    Ok((buf, 0, 0))
+                                })()
+                            }
+                            WireProtocol::V2 => {
+                                relay.encode_step(step, comp, &contents, &mut defs_seen)
+                            }
+                        };
+                        match encoded {
+                            Ok((frame, raw, wire)) => {
+                                if raw > 0 {
+                                    counters.add_compression(raw as usize, wire as usize);
+                                    if wire < raw {
+                                        hub.tracer().instant(
+                                            EventKind::Compressed,
+                                            TraceSite::stream(trace_id, rank, step),
+                                            raw - wire,
+                                        );
+                                    }
+                                }
+                                counters.add_wire_reader(reply(&mut sock, &frame)?);
+                            }
+                            Err(e) => {
+                                let mut buf = Vec::with_capacity(128);
+                                let gone = proto_gone(&name, format!("unencodable step: {e}"));
+                                encode_err(&mut buf, &gone);
+                                counters.add_wire_reader(reply(&mut sock, &buf)?);
                             }
                         }
-                        reply(&mut sock, Some(&counters), &buf)?;
                     }
-                    Ok(None) => reply(&mut sock, Some(&counters), &[REPLY_EOS])?,
+                    Ok(None) => {
+                        counters.add_wire_reader(reply(&mut sock, &[REPLY_EOS])?);
+                    }
                     Err(e) => {
                         let mut buf = Vec::with_capacity(128);
                         encode_err(&mut buf, &e);
-                        reply(&mut sock, Some(&counters), &buf)?;
+                        counters.add_wire_reader(reply(&mut sock, &buf)?);
                     }
                 }
             }
             R_RELEASE => {
                 let step = cur.u64("step").map_err(session_err)?;
                 endpoint.release_step(step);
+                if proto == WireProtocol::V2 {
+                    relay.note_release(step);
+                }
             }
             op => return Err(session_err(format!("unknown reader opcode {op:#04x}"))),
         }
@@ -1186,7 +1643,7 @@ fn reader_session(
 }
 
 fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> {
-    reply(&mut sock, None, &[REPLY_OK])?;
+    reply(&mut sock, &[REPLY_OK])?;
     loop {
         let payload = match recv_frame(&mut sock) {
             Ok(p) => p,
@@ -1197,18 +1654,18 @@ fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> 
             C_POISON => {
                 let reason = cur.string("poison reason").map_err(session_err)?;
                 hub.poison_all(&reason);
-                reply(&mut sock, None, &[REPLY_OK])?;
+                reply(&mut sock, &[REPLY_OK])?;
             }
             C_FORCE_EOS => {
                 let name = cur.string("stream name").map_err(session_err)?;
                 hub.force_end_of_stream(&name);
-                reply(&mut sock, None, &[REPLY_OK])?;
+                reply(&mut sock, &[REPLY_OK])?;
             }
             C_DETACH => {
                 let name = cur.string("stream name").map_err(session_err)?;
                 let group = cur.string("reader group").map_err(session_err)?;
                 hub.detach_reader_group(&name, &group);
-                reply(&mut sock, None, &[REPLY_OK])?;
+                reply(&mut sock, &[REPLY_OK])?;
             }
             C_RESTART => {
                 let nin = cur.u32("input count").map_err(session_err)?;
@@ -1224,12 +1681,12 @@ fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> 
                     outputs.push(cur.string("output stream").map_err(session_err)?);
                 }
                 hub.prepare_restart(&inputs, &outputs);
-                reply(&mut sock, None, &[REPLY_OK])?;
+                reply(&mut sock, &[REPLY_OK])?;
             }
             C_SET_TIMEOUT => {
                 let micros = cur.u64("timeout").map_err(session_err)?;
                 hub.set_wait_timeout(Duration::from_micros(micros));
-                reply(&mut sock, None, &[REPLY_OK])?;
+                reply(&mut sock, &[REPLY_OK])?;
             }
             C_METRICS => {
                 let all = hub.all_metrics();
@@ -1239,7 +1696,7 @@ fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> 
                 for m in &all {
                     encode_metrics(&mut buf, m);
                 }
-                reply(&mut sock, None, &buf)?;
+                reply(&mut sock, &buf)?;
             }
             op => return Err(session_err(format!("unknown control opcode {op:#04x}"))),
         }
@@ -1391,5 +1848,111 @@ mod tests {
     fn bad_url_is_rejected() {
         assert!(StreamHub::connect("udp://127.0.0.1:1").is_err());
         assert!(StreamHub::connect("tcp://not a host").is_err());
+    }
+
+    /// Pumps `steps` steps of `vals` through one stream and returns the
+    /// final metrics snapshot plus the payload bytes per step.
+    fn pump(hub: &Arc<StreamHub>, name: &str, steps: u64, vals: Vec<f64>) -> (StreamMetrics, u64) {
+        let payload = (vals.len() * 8) as u64;
+        let mut w = hub.open_writer(name, 0, 1, WriterOptions::default());
+        for _ in 0..steps {
+            w.begin_step().unwrap();
+            w.put_whole(var(vals.clone()));
+            w.end_step().unwrap();
+        }
+        w.close();
+        let mut r = hub.open_reader(name, 0, 1);
+        for step in 0..steps {
+            assert_eq!(r.begin_step().unwrap(), StepStatus::Ready(step));
+            let v = r.get_whole("x").unwrap();
+            assert_eq!(v.data.to_f64_vec(), vals);
+            r.end_step();
+        }
+        assert_eq!(r.begin_step().unwrap(), StepStatus::EndOfStream);
+        (hub.metrics(name).unwrap(), payload)
+    }
+
+    #[test]
+    fn v1_clients_still_round_trip() {
+        let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+        let hub = StreamHub::connect_with(
+            &broker.url(),
+            TcpOptions::default().with_protocol(WireProtocol::V1),
+        )
+        .unwrap();
+        let (m, payload) = pump(&hub, "v1.fp", 3, (0..32).map(f64::from).collect());
+        assert_eq!(m.steps_committed, 3);
+        assert_eq!(m.bytes_written, 3 * payload);
+        // v1 has no codec, so the compression ledger shows pass-through.
+        assert_eq!(m.wire_uncompressed_bytes, m.wire_compressed_bytes);
+    }
+
+    #[test]
+    fn per_hop_wire_accounting_is_single_counted() {
+        let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+        let hub = StreamHub::connect(&broker.url()).unwrap();
+        let steps = 4u64;
+        let (m, payload) = pump(&hub, "h.fp", steps, (0..1024).map(f64::from).collect());
+        let floor = steps * payload;
+        assert_eq!(m.bytes_on_wire, m.wire_writer_bytes + m.wire_reader_bytes);
+        // Each hop carries every payload byte exactly once, plus framing
+        // and protocol small-talk — nowhere near the doubled 2x-per-hop
+        // the old shared counter reported.
+        for (hop, bytes) in [
+            ("writer", m.wire_writer_bytes),
+            ("reader", m.wire_reader_bytes),
+        ] {
+            assert!(bytes >= floor, "{hop} hop lost bytes: {bytes} < {floor}");
+            assert!(
+                (bytes as f64) < (floor as f64) * 1.1,
+                "{hop} hop amplification too high: {bytes} vs payload {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_v2_round_trips_and_shrinks_payload() {
+        let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+        let hub = StreamHub::connect_with(
+            &broker.url(),
+            TcpOptions::default().with_compression(Compression::Lz),
+        )
+        .unwrap();
+        // A constant payload is maximally compressible.
+        let (m, payload) = pump(&hub, "z.fp", 3, vec![7.5; 2048]);
+        assert_eq!(m.bytes_written, 3 * payload);
+        assert!(
+            m.wire_compressed_bytes * 10 < m.wire_uncompressed_bytes,
+            "constant payload should collapse: {} vs {}",
+            m.wire_compressed_bytes,
+            m.wire_uncompressed_bytes
+        );
+        // Both hops move compressed frames, so each stays far under the
+        // raw payload volume.
+        assert!(m.wire_writer_bytes < 3 * payload / 4);
+        assert!(m.wire_reader_bytes < 3 * payload / 4);
+    }
+
+    #[test]
+    fn interning_sends_each_definition_once_per_connection() {
+        let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+        let hub = StreamHub::connect(&broker.url()).unwrap();
+        let steps = 4u64;
+        let (m, payload) = pump(&hub, "i.fp", steps, (0..256).map(f64::from).collect());
+        // v2 overhead per step is bounded by framing + the interned chunk
+        // header (~80 bytes); the meta definition itself travels only with
+        // step 0. The budget still catches a meta re-sent every step, which
+        // would add >60 bytes of name/dims/labels each time.
+        let budget = steps * (payload + 96) + 512;
+        assert!(
+            m.wire_writer_bytes <= budget,
+            "writer hop resends metadata: {} > {budget}",
+            m.wire_writer_bytes
+        );
+        assert!(
+            m.wire_reader_bytes <= budget,
+            "reader hop resends metadata: {} > {budget}",
+            m.wire_reader_bytes
+        );
     }
 }

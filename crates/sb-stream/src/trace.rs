@@ -116,6 +116,9 @@ pub enum EventKind {
     /// The supervisor degraded a failed component: outputs were forced to
     /// EOS and its input subscriptions detached.
     Degraded,
+    /// A wire codec compressed one step's payload before framing it
+    /// (`arg` holds the bytes saved: uncompressed minus wire size).
+    Compressed,
 }
 
 impl EventKind {
@@ -148,6 +151,7 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::RestartAttempt => "restart_attempt",
             EventKind::Degraded => "degraded",
+            EventKind::Compressed => "compressed",
         }
     }
 }
@@ -780,7 +784,8 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::ReaderBlocked
         | EventKind::StepCommitted
         | EventKind::EndOfStream
-        | EventKind::Poisoned => "stream",
+        | EventKind::Poisoned
+        | EventKind::Compressed => "stream",
         EventKind::FaultInjected | EventKind::RestartAttempt | EventKind::Degraded => "supervisor",
     }
 }

@@ -48,16 +48,21 @@ struct Args {
     list: bool,
     force: bool,
     hub_timeout: Option<Duration>,
+    protocol: sb_stream::WireProtocol,
+    compression: sb_stream::Compression,
 }
 
 fn usage() {
     eprintln!(
         "usage: sb-run --script FILE [--serve ADDR | --connect tcp://HOST:PORT]\n\
          \x20             [--components a,b,...] [--timeout SECONDS] [--list] [--force]\n\
+         \x20             [--protocol v1|v2] [--compress none|lz]\n\
          runs a SmartBlock launch script, whole or as one process of a\n\
          multi-process deployment (every process gets the same script);\n\
          scripts with error-level lint diagnostics are refused before any\n\
-         component starts unless --force is given"
+         component starts unless --force is given. --protocol and\n\
+         --compress shape the wire frames of this process's --connect\n\
+         sessions (v2 interns metadata; lz compresses chunk payloads)"
     );
 }
 
@@ -70,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         force: false,
         hub_timeout: None,
+        protocol: sb_stream::WireProtocol::default(),
+        compression: sb_stream::Compression::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -91,6 +98,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--timeout needs a number of seconds".to_string())?;
                 args.hub_timeout = Some(Duration::from_secs(secs));
+            }
+            "--protocol" => {
+                args.protocol = match value("--protocol")?.as_str() {
+                    "v1" => sb_stream::WireProtocol::V1,
+                    "v2" => sb_stream::WireProtocol::V2,
+                    other => return Err(format!("--protocol must be v1 or v2, got {other:?}")),
+                };
+            }
+            "--compress" => {
+                args.compression = match value("--compress")?.as_str() {
+                    "none" => sb_stream::Compression::None,
+                    "lz" => sb_stream::Compression::Lz,
+                    other => return Err(format!("--compress must be none or lz, got {other:?}")),
+                };
             }
             "--list" => args.list = true,
             "--force" => args.force = true,
@@ -271,7 +292,10 @@ fn main() -> ExitCode {
             eprintln!("sb-run: --connect needs --components (which part of the script runs here?)");
             return ExitCode::from(2);
         }
-        let hub = match StreamHub::connect(&url) {
+        let options = sb_stream::TcpOptions::default()
+            .with_protocol(args.protocol)
+            .with_compression(args.compression);
+        let hub = match StreamHub::connect_with(&url, options) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("sb-run: cannot connect to {url}: {e}");

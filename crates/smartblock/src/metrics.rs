@@ -308,16 +308,35 @@ impl WorkflowReport {
             .streams
             .iter()
             .map(|s| {
+                let codec = if s.wire_uncompressed_bytes == 0 {
+                    "-".to_string()
+                } else {
+                    format!(
+                        "{:.2}x",
+                        s.wire_uncompressed_bytes as f64 / s.wire_compressed_bytes.max(1) as f64
+                    )
+                };
                 vec![
                     s.stream.clone(),
                     s.steps_committed.to_string(),
                     format!("{}", s.bytes_written),
                     format!("{}", s.bytes_read),
+                    format!("{}", s.wire_writer_bytes),
+                    format!("{}", s.wire_reader_bytes),
+                    codec,
                 ]
             })
             .collect();
         out.push_str(&format_table(
-            &["stream", "steps", "written (B)", "read (B)"],
+            &[
+                "stream",
+                "steps",
+                "written (B)",
+                "read (B)",
+                "wire w->b (B)",
+                "wire b->r (B)",
+                "codec",
+            ],
             &rows,
         ));
         out
@@ -506,6 +525,10 @@ mod tests {
                 bytes_copied: 300,
                 copies_elided: 0,
                 zero_fills_elided: 0,
+                wire_writer_bytes: 0,
+                wire_reader_bytes: 0,
+                wire_uncompressed_bytes: 0,
+                wire_compressed_bytes: 0,
                 bytes_on_wire: 0,
             }],
             timeline: Timeline::default(),

@@ -562,6 +562,46 @@ fn tcp_backend_reproduces_inproc_chaos_outcomes() {
     assert_eq!(bin_histogram(&inproc_out), bin_histogram(&tcp_out));
 }
 
+/// Compression must be invisible to the supervisor: clients that negotiate
+/// v2 + LZ frames under the same seeded kill plan reproduce the in-proc
+/// restart count, collected values and histogram bit-for-bit. A codec that
+/// survives mid-step kills and restarts is a codec that cannot corrupt.
+#[test]
+fn compressed_tcp_backend_reproduces_inproc_chaos_outcomes() {
+    let run = |hub: Arc<StreamHub>| {
+        let (mut wf, out) = chaos_pipeline_on(hub, 4);
+        wf.hub()
+            .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
+        wf.set_fault_policy(
+            "magnitude",
+            FaultPolicy::restart(2).with_backoff(Duration::from_millis(5)),
+        );
+        let report = wf.run_with(RunOptions::default()).unwrap();
+        let mag = report.component("magnitude").unwrap();
+        assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
+        let got = out.lock().clone();
+        (report.restarts(), got)
+    };
+    let (inproc_restarts, inproc_out) = run(StreamHub::new());
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let lz = sb_stream::TcpOptions::default().with_compression(sb_stream::Compression::Lz);
+    let (lz_restarts, lz_out) = run(StreamHub::connect_with(&broker.url(), lz).unwrap());
+
+    assert!(
+        inproc_restarts >= 1,
+        "the kill directive must actually fire"
+    );
+    assert_eq!(
+        inproc_restarts, lz_restarts,
+        "restart counts must agree with compression on the wire"
+    );
+    assert_eq!(
+        inproc_out, lz_out,
+        "collected outputs must agree with compression on the wire"
+    );
+    assert_eq!(bin_histogram(&inproc_out), bin_histogram(&lz_out));
+}
+
 /// The stall plan over TCP degrades exactly like in-proc: the noisy
 /// disconnect crosses the wire, downstream observes PeerGone promptly, and
 /// the Degrade policy salvages the committed prefix on both backends.

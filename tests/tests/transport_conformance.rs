@@ -11,8 +11,13 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
+use sb_comm::LaunchHandle;
+use sb_data::decompose::default_partition;
+use sb_data::{Buffer, Chunk, DType, Shape, VariableMeta};
 use sb_stream::tcp::TcpBroker;
-use sb_stream::StreamHub;
+use sb_stream::{
+    Compression, StepStatus, StreamHub, StreamMetrics, TcpOptions, WireProtocol, WriterOptions,
+};
 use smartblock::metrics::WorkflowReport;
 use smartblock::prelude::*;
 use smartblock::workflows::{
@@ -112,6 +117,166 @@ fn gtcp_workflow_conforms_across_backends() {
 #[test]
 fn gromacs_workflow_conforms_across_backends() {
     assert_backends_conform("gromacs", gromacs_workflow_on);
+}
+
+/// The protocol half of the conformance contract: whatever frame grammar a
+/// client negotiates — legacy v1, interned v2, or v2 with LZ-compressed
+/// payloads — the bytes that arrive are the same bytes. Every preset must
+/// reproduce its golden through each variant.
+fn assert_wire_variant_conforms(variant: &str, options: TcpOptions) {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    for (name, preset) in [
+        ("lammps", lammps_workflow_on as Preset),
+        ("gtcp", gtcp_workflow_on as Preset),
+        ("gromacs", gromacs_workflow_on as Preset),
+    ] {
+        let hub = StreamHub::connect_with(&broker.url(), options).unwrap();
+        hub.set_wait_timeout(scale().wait_timeout);
+        let (out, steps) = run_on(hub, preset);
+        assert_eq!(
+            out,
+            golden(name),
+            "{name} over {variant}: output diverged from the recorded golden"
+        );
+        assert!(
+            steps.values().all(|&s| s == scale().io_steps),
+            "{name} over {variant}: every component must see every step: {steps:?}"
+        );
+    }
+}
+
+#[test]
+fn v1_tcp_clients_preserve_golden_outputs() {
+    assert_wire_variant_conforms(
+        "tcp-v1",
+        TcpOptions::default().with_protocol(WireProtocol::V1),
+    );
+}
+
+#[test]
+fn v2_interned_tcp_clients_preserve_golden_outputs() {
+    assert_wire_variant_conforms(
+        "tcp-v2",
+        TcpOptions::default().with_protocol(WireProtocol::V2),
+    );
+}
+
+#[test]
+fn compressed_tcp_clients_preserve_golden_outputs() {
+    assert_wire_variant_conforms(
+        "tcp-v2lz",
+        TcpOptions::default().with_compression(Compression::Lz),
+    );
+}
+
+/// Pumps `steps` steps of a `rows`-element f64 variable from a
+/// `writers`-rank group to a `readers`-rank slab-reading group over one TCP
+/// stream and returns the stream's counters (the local analogue of
+/// sb-bench's `run_wire_on`, kept here so the conformance suite needs no
+/// bench dependency).
+fn wire_pump(
+    hub: &Arc<StreamHub>,
+    stream: &str,
+    writers: usize,
+    readers: usize,
+    rows: usize,
+    steps: u64,
+) -> StreamMetrics {
+    let shape = Shape::linear("rows", rows);
+
+    let hub_w = Arc::clone(hub);
+    let shape_w = shape.clone();
+    let stream_w = stream.to_string();
+    let writer = LaunchHandle::spawn("conf-writer", writers, move |comm| {
+        let mut w = hub_w.open_writer(
+            &stream_w,
+            comm.rank(),
+            comm.size(),
+            WriterOptions::buffered(2),
+        );
+        let region = default_partition(&shape_w, comm.size(), comm.rank());
+        let meta = VariableMeta::new("x", shape_w.clone(), DType::F64);
+        let data = Buffer::F64((0..region.len()).map(|i| i as f64).collect());
+        for _ in 0..steps {
+            w.begin_step().unwrap();
+            w.put(Chunk::new(meta.clone(), region.clone(), data.clone()).unwrap());
+            w.end_step().unwrap();
+        }
+        w.close();
+    })
+    .expect("spawn conformance writers");
+
+    let hub_r = Arc::clone(hub);
+    let stream_r = stream.to_string();
+    let reader = LaunchHandle::spawn("conf-reader", readers, move |comm| {
+        let mut r = hub_r.open_reader(&stream_r, comm.rank(), comm.size());
+        let region = default_partition(&shape, comm.size(), comm.rank());
+        while let StepStatus::Ready(_) = r.begin_step().unwrap() {
+            let v = r.get("x", &region).unwrap();
+            assert_eq!(v.data.len(), region.len());
+            r.end_step();
+        }
+    })
+    .expect("spawn conformance readers");
+
+    writer.join().expect("conformance writers");
+    reader.join().expect("conformance readers");
+    hub.metrics(stream).expect("pumped stream metrics")
+}
+
+/// The honest-accounting contract across writer/reader fan-out shapes:
+/// each hop is metered once, where the broker sees it.
+///
+/// * the writer hop carries every committed payload byte exactly once,
+///   with at most 10% framing overhead;
+/// * the reader hop carries the full step to each reader connection
+///   (assembly is client-side), so its floor is `readers x` the payload;
+/// * `bytes_on_wire` is exactly the sum of the two hops — the seed
+///   counted both ends of both hops, reporting ~4x at 1x1.
+#[test]
+fn wire_accounting_matrix_is_single_counted() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let steps = 4u64;
+    let rows = 4096usize;
+    for (writers, readers) in [(1usize, 1usize), (2, 2), (4, 2)] {
+        let hub = StreamHub::connect(&broker.url()).unwrap();
+        let stream = format!("acct-w{writers}r{readers}.fp");
+        let m = wire_pump(&hub, &stream, writers, readers, rows, steps);
+
+        let moved = steps * (rows * 8) as u64;
+        assert_eq!(m.steps_committed, steps, "{stream}");
+        assert_eq!(m.bytes_written, moved, "{stream}");
+
+        let writer_floor = moved;
+        let reader_floor = moved * readers as u64;
+        assert!(
+            m.wire_writer_bytes >= writer_floor,
+            "{stream}: writer hop {} under payload floor {writer_floor}",
+            m.wire_writer_bytes
+        );
+        assert!(
+            (m.wire_writer_bytes as f64) <= 1.1 * writer_floor as f64,
+            "{stream}: writer hop {} exceeds 1.1x floor {writer_floor} — \
+             double-counting is back",
+            m.wire_writer_bytes
+        );
+        assert!(
+            m.wire_reader_bytes >= reader_floor,
+            "{stream}: reader hop {} under {readers}-reader floor {reader_floor}",
+            m.wire_reader_bytes
+        );
+        assert!(
+            (m.wire_reader_bytes as f64) <= 1.1 * reader_floor as f64,
+            "{stream}: reader hop {} exceeds 1.1x floor {reader_floor} — \
+             double-counting is back",
+            m.wire_reader_bytes
+        );
+        assert_eq!(
+            m.bytes_on_wire,
+            m.wire_writer_bytes + m.wire_reader_bytes,
+            "{stream}: the headline total must be exactly the sum of the hops"
+        );
+    }
 }
 
 /// Two workflows on one broker must not interfere: the paper's name-based
