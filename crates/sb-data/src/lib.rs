@@ -25,7 +25,9 @@
 //!   TCP backend frames steps with it), including the protocol-v2 meta
 //!   interning tables;
 //! * [`compress`] — the dependency-free LZ77 block codec v2 frames can
-//!   apply per chunk payload.
+//!   apply per chunk payload;
+//! * [`signal`] — the scalar signal board reactive workflow triggers
+//!   observe (latest `(component, signal)` values plus a synchronous hook).
 
 pub mod buffer;
 pub mod chunk;
@@ -36,6 +38,7 @@ pub mod decompose;
 pub mod dims;
 pub mod error;
 pub mod region;
+pub mod signal;
 pub mod variable;
 pub mod wire;
 

@@ -5,11 +5,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use sb_data::signal::SignalBoard;
 
 use crate::faults::{FaultPlan, InjectedFault};
 use crate::metrics::StreamMetrics;
 use crate::reader::StreamReader;
-use crate::stream::WriterOptions;
+use crate::stream::{StepContents, WriterOptions};
 use crate::tcp::{TcpOptions, TcpTransport};
 use crate::trace::Tracer;
 use crate::transport::{InProcTransport, Transport};
@@ -63,6 +64,9 @@ pub struct StreamHub {
     /// The hub's tracer; disabled (and costing one relaxed atomic load per
     /// instrumentation site) until the workflow runtime arms it.
     tracer: Arc<Tracer>,
+    /// The hub's scalar signal board; disarmed (one relaxed atomic load per
+    /// publication) until the workflow runtime arms a trigger hook on it.
+    signals: Arc<SignalBoard>,
 }
 
 impl StreamHub {
@@ -119,6 +123,7 @@ impl StreamHub {
             wait_timeout_micros,
             faults: Mutex::new(None),
             tracer,
+            signals: Arc::new(SignalBoard::new()),
         })
     }
 
@@ -137,6 +142,23 @@ impl StreamHub {
     /// streams that already exist start recording too.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// This hub's scalar signal board. Components publish per-step scalars
+    /// here (histogram stats, wait/compute ratios); the workflow runtime
+    /// arms a hook on it when reactive triggers are declared. Publications
+    /// cost one relaxed atomic load while nothing is armed.
+    pub fn signals(&self) -> &Arc<SignalBoard> {
+        &self.signals
+    }
+
+    /// A point-in-time copy of `name`'s currently buffered committed steps
+    /// (`(step, contents)` pairs, step order), without disturbing readers
+    /// or writers. Returns `None` when the stream does not exist on this
+    /// hub or the backend cannot snapshot (the TCP client side has no
+    /// request/response control path — snapshot on the broker's hub).
+    pub fn snapshot_stream(&self, name: &str) -> Option<Vec<(u64, StepContents)>> {
+        self.transport.snapshot_stream(name)
     }
 
     /// The current deadlock timeout for blocking stream operations.

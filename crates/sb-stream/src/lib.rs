@@ -56,6 +56,7 @@ pub use faults::{FaultKind, FaultOp, FaultPlan, InjectedFault};
 pub use hub::{StreamHub, DEFAULT_WAIT_TIMEOUT};
 pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
+pub use sb_data::signal::{SignalBoard, SignalHook};
 pub use sb_data::wire::Compression;
 pub use stream::WriterOptions;
 pub use tcp::{TcpBroker, TcpOptions, WireProtocol};

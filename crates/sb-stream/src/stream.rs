@@ -567,6 +567,25 @@ impl Stream {
         popped
     }
 
+    /// A point-in-time copy of every *committed* step currently buffered,
+    /// as `(step, contents)` pairs in step order. Steps are shared by `Arc`
+    /// clone (no payload copies) and the stream's protocol state is
+    /// untouched — readers and writers proceed as if nothing happened.
+    /// Used by the reactive-trigger `snapshot_stream` action.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, StepContents)> {
+        let state = self.state.lock();
+        state
+            .queue
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.ready
+                    .as_ref()
+                    .map(|ready| (state.base_step + i as u64, Arc::clone(ready)))
+            })
+            .collect()
+    }
+
     // ---- supervision hooks -----------------------------------------------------
 
     /// Marks the stream dead: every blocked (and future blocking) call

@@ -188,6 +188,16 @@ pub trait Transport: Send + Sync {
 
     /// Propagates a deadlock-timeout override into the backend.
     fn set_wait_timeout(&self, timeout: Duration);
+
+    /// A point-in-time copy of `name`'s currently buffered *committed*
+    /// steps, as `(step, contents)` pairs in step order, without disturbing
+    /// the stream protocol. `None` means the backend does not support
+    /// snapshots (the TCP client has no request/response control path —
+    /// snapshot on the broker side instead).
+    fn snapshot_stream(&self, name: &str) -> Option<Vec<(u64, StepContents)>> {
+        let _ = name;
+        None
+    }
 }
 
 // ---- the in-proc backend -------------------------------------------------
@@ -369,5 +379,9 @@ impl Transport for InProcTransport {
     fn set_wait_timeout(&self, _timeout: Duration) {
         // The hub and every stream share one AtomicU64; the hub already
         // stored the new value before delegating here.
+    }
+
+    fn snapshot_stream(&self, name: &str) -> Option<Vec<(u64, StepContents)>> {
+        self.streams.lock().get(name).map(|s| s.snapshot())
     }
 }

@@ -194,6 +194,35 @@ pub enum AnalysisIssue {
         /// The distinct URLs declared.
         urls: Vec<String>,
     },
+    /// A `.sbw` spec key or table the spec language does not define; the
+    /// compiler ignores it, which usually means a typo silently changes
+    /// behavior.
+    SpecUnknownKey {
+        /// The unknown key (or `[table]` header).
+        key: String,
+        /// The table it appeared in (`"(top level)"` for unknown tables).
+        table: String,
+    },
+    /// A `.sbw` trigger clause references a component label the spec does
+    /// not declare; the clause could never fire or act.
+    SpecUndeclaredRef {
+        /// The undeclared component label.
+        reference: String,
+    },
+    /// Two `.sbw` constructs contradict each other (duplicate singleton
+    /// tables, a component in two process groups, policy knobs the
+    /// declared action ignores).
+    SpecConflict {
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+    /// An inline `#@ policy` or `#@ process` directive in a launch script;
+    /// still supported, but a `.sbw` spec expresses the same thing in one
+    /// lintable artifact.
+    PreferSpec {
+        /// The directive kind (`"policy"` or `"process"`).
+        directive: String,
+    },
     /// The estimated wire cost of a cross-process stream exceeds the
     /// threshold: fan-out and per-chunk metadata amplify every payload
     /// byte into several bytes on the wire.
@@ -241,6 +270,10 @@ impl AnalysisIssue {
             | AnalysisIssue::UnreachableEndpoint { .. }
             | AnalysisIssue::EndpointCollision { .. } => "SB016",
             AnalysisIssue::WireAmplification { .. } => "SB017",
+            AnalysisIssue::SpecUnknownKey { .. } => "SB018",
+            AnalysisIssue::SpecUndeclaredRef { .. } => "SB019",
+            AnalysisIssue::SpecConflict { .. } => "SB020",
+            AnalysisIssue::PreferSpec { .. } => "SB021",
         };
         lint_by_id(id).expect("every issue maps to a registered lint")
     }
@@ -351,6 +384,16 @@ impl AnalysisIssue {
             }
             AnalysisIssue::DuplicateProcessName { process } => {
                 fields.push(("process", process.clone()));
+            }
+            AnalysisIssue::SpecUnknownKey { key, table } => {
+                fields.push(("key", key.clone()));
+                fields.push(("table", table.clone()));
+            }
+            AnalysisIssue::SpecUndeclaredRef { reference } => {
+                fields.push(("reference", reference.clone()));
+            }
+            AnalysisIssue::PreferSpec { directive } => {
+                fields.push(("directive", directive.clone()));
             }
             _ => {}
         }
@@ -484,6 +527,21 @@ impl fmt::Display for AnalysisIssue {
                 f,
                 "the script declares conflicting transport endpoints {urls:?}; every process \
                  must rendezvous on the same broker"
+            ),
+            AnalysisIssue::SpecUnknownKey { key, table } => write!(
+                f,
+                "unknown key {key:?} in {table}; the spec compiler ignores it"
+            ),
+            AnalysisIssue::SpecUndeclaredRef { reference } => write!(
+                f,
+                "trigger references component {reference:?} but the spec declares no such \
+                 component; the clause could never fire or act"
+            ),
+            AnalysisIssue::SpecConflict { detail } => f.write_str(detail),
+            AnalysisIssue::PreferSpec { directive } => write!(
+                f,
+                "inline `#@ {directive}` directive; a declarative `.sbw` spec expresses the \
+                 same thing in one lintable artifact"
             ),
             AnalysisIssue::WireAmplification {
                 stream,

@@ -161,6 +161,34 @@ pub const LINTS: &[Lint] = &[
         summary: "the estimated bytes-on-the-wire per payload byte of a cross-process stream \
                   exceeds the threshold",
     },
+    Lint {
+        id: "SB018",
+        name: "spec-unknown-key",
+        default_level: Level::Warn,
+        summary: "a `.sbw` spec key or table the spec language does not define; the compiler \
+                  ignores it",
+    },
+    Lint {
+        id: "SB019",
+        name: "spec-undeclared-ref",
+        default_level: Level::Deny,
+        summary: "a `.sbw` trigger clause references a component the spec does not declare; \
+                  the clause could never fire or act",
+    },
+    Lint {
+        id: "SB020",
+        name: "spec-conflict",
+        default_level: Level::Deny,
+        summary: "two `.sbw` constructs contradict each other: duplicate tables, a component \
+                  in two process groups, or policy knobs the declared action ignores",
+    },
+    Lint {
+        id: "SB021",
+        name: "prefer-spec",
+        default_level: Level::Warn,
+        summary: "inline `#@ policy`/`#@ process` directives still work but a declarative \
+                  `.sbw` spec expresses the same thing in one lintable artifact",
+    },
 ];
 
 /// Looks up a lint by its `SBxxx` ID.

@@ -33,7 +33,7 @@ pub use diagnostics::{
     check_report, render_report_json, AnalysisIssue, Diagnostic, ScriptLint, Severity,
 };
 pub use lints::{lint_by_id, lint_by_name, Level, Lint, LintConfig, LINTS};
-pub use script::{lint_script, WIRE_AMPLIFICATION_THRESHOLD_TENTHS};
+pub use script::{lint_script, lint_spec, WIRE_AMPLIFICATION_THRESHOLD_TENTHS};
 pub use spec::{
     unary_transfer, ArraySpec, DimSpec, Extent, PartitionRule, ReadSpec, Signature, SpecError,
     StepContract, StreamSpec, TransferFn,

@@ -54,6 +54,67 @@ struct BuiltEntry {
 /// Lints one launch script end to end. `name` is only used for rendering
 /// (the `script.sh:12:` prefix); `config` filters and re-levels lints.
 pub fn lint_script(name: &str, text: &str, config: &LintConfig) -> ScriptLint {
+    lint_script_impl(name, text, config, true)
+}
+
+/// Lints one `.sbw` workflow spec end to end: spec-level issues
+/// (SB018–SB020) plus every script-level pass over the spec's compiled
+/// form. Both layers report `.sbw` line numbers — the compiled script
+/// preserves them by construction.
+pub fn lint_spec(name: &str, text: &str, config: &LintConfig) -> ScriptLint {
+    let mut lint = ScriptLint {
+        name: name.to_string(),
+        diagnostics: Vec::new(),
+    };
+    let spec = match crate::spec::WorkflowSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let issue = AnalysisIssue::ScriptError { detail: e.detail };
+            let level = config.level_for(issue.lint());
+            if level != Level::Allow {
+                lint.diagnostics.push(Diagnostic {
+                    issue,
+                    level,
+                    line: Some(e.line),
+                });
+            }
+            return lint;
+        }
+    };
+    for issue in &spec.issues {
+        let line = Some(issue.line());
+        let issue = match issue.clone() {
+            crate::spec::SpecIssue::UnknownKey { key, table, .. } => {
+                AnalysisIssue::SpecUnknownKey { key, table }
+            }
+            crate::spec::SpecIssue::UndeclaredTriggerRef { reference, .. } => {
+                AnalysisIssue::SpecUndeclaredRef { reference }
+            }
+            crate::spec::SpecIssue::Conflict { detail, .. } => {
+                AnalysisIssue::SpecConflict { detail }
+            }
+        };
+        let level = config.level_for(issue.lint());
+        if level != Level::Allow {
+            lint.diagnostics.push(Diagnostic { issue, level, line });
+        }
+    }
+    // The directives in the compiled script are the spec's own, so the
+    // prefer-spec nudge (SB021) stays off on this path.
+    lint.diagnostics
+        .extend(lint_script_impl(name, &spec.script, config, false).diagnostics);
+    lint
+}
+
+/// The shared body of [`lint_script`] and [`lint_spec`];
+/// `flag_inline_directives` gates SB021 (only launch scripts written by
+/// hand should be nudged toward `.sbw`).
+fn lint_script_impl(
+    name: &str,
+    text: &str,
+    config: &LintConfig,
+    flag_inline_directives: bool,
+) -> ScriptLint {
     let mut lint = ScriptLint {
         name: name.to_string(),
         diagnostics: Vec::new(),
@@ -76,6 +137,27 @@ pub fn lint_script(name: &str, text: &str, config: &LintConfig) -> ScriptLint {
             return lint;
         }
     };
+
+    if flag_inline_directives {
+        for p in &directives.policies {
+            push(
+                &mut lint,
+                AnalysisIssue::PreferSpec {
+                    directive: "policy".to_string(),
+                },
+                Some(p.line),
+            );
+        }
+        for p in &directives.processes {
+            push(
+                &mut lint,
+                AnalysisIssue::PreferSpec {
+                    directive: "process".to_string(),
+                },
+                Some(p.line),
+            );
+        }
+    }
 
     // Instantiate every entry, trapping constructor panics (a histogram
     // with zero bins, a non-integer option) as SB000 on the entry's line.

@@ -1,12 +1,13 @@
 //! `sb-lint`: the SmartBlock lint engine CLI.
 //!
 //! Parses aprun-style launch scripts (the paper's Fig. 8 deployment
-//! format), assembles each workflow *without running it*, and reports
-//! every diagnostic the staged analyzer finds — wiring mistakes,
-//! subscription cycles, contract violations, over-decomposition, cadence
-//! mismatches, unsound fault policies, invalid partition plans, transport
-//! problems, and wire-amplification estimates — each under a stable
-//! `SBxxx` lint ID.
+//! format) and declarative `.sbw` workflow specs, assembles each workflow
+//! *without running it*, and reports every diagnostic the staged analyzer
+//! finds — wiring mistakes, subscription cycles, contract violations,
+//! over-decomposition, cadence mismatches, unsound fault policies, invalid
+//! partition plans, transport problems, wire-amplification estimates, and
+//! (for specs) spec-level issues — each under a stable `SBxxx` lint ID.
+//! Inputs named `*.sbw` lint as specs; everything else as launch scripts.
 //!
 //! ```text
 //! wf.sb:4: error[SB001] no-writer: stream "m.fp" has no writer; ...
@@ -20,7 +21,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use smartblock::analysis::{
-    check_report, lint_script, render_report_json, Level, LintConfig, ScriptLint, LINTS,
+    check_report, lint_script, lint_spec, render_report_json, Level, LintConfig, ScriptLint, LINTS,
 };
 
 const EX_USAGE: u8 = 64;
@@ -30,7 +31,8 @@ const EX_NOINPUT: u8 = 66;
 fn usage() {
     eprintln!(
         "usage: sb-lint [OPTIONS] SCRIPT... (or `-` for stdin)\n\
-         statically checks SmartBlock launch scripts without running them\n\
+         statically checks SmartBlock launch scripts (.sb) and workflow\n\
+         specs (.sbw) without running them\n\
          \n\
          options:\n\
          \x20 --format text|json   rendering (default text; json follows\n\
@@ -153,8 +155,15 @@ fn main() -> ExitCode {
     let mut unreadable = false;
     for script in &args.scripts {
         let name = if script == "-" { "<stdin>" } else { script };
+        // `.sbw` inputs lint as declarative specs (with the spec-level
+        // SB018–SB020 passes); everything else as launch scripts.
+        let lint = if name.ends_with(".sbw") {
+            lint_spec
+        } else {
+            lint_script
+        };
         match read_input(script) {
-            Ok(text) => reports.push(lint_script(name, &text, &args.config)),
+            Ok(text) => reports.push(lint(name, &text, &args.config)),
             Err(e) => {
                 eprintln!("sb-lint: {name}: {e}");
                 unreadable = true;

@@ -1,25 +1,28 @@
-//! `sb-run`: run a SmartBlock launch script, whole or as one process of a
-//! multi-process deployment.
+//! `sb-run`: run a SmartBlock workflow — a `.sb` launch script or a
+//! declarative `.sbw` spec — whole or as one process of a multi-process
+//! deployment.
 //!
 //! Modes:
 //!
-//! * `sb-run --script wf.sb`
-//!   — run the whole script in process (the classic single-process mode).
-//! * `sb-run --script wf.sb --serve ADDR [--components a,b]`
+//! * `sb-run --script wf.sbw`
+//!   — run the whole workflow in process (the classic single-process mode).
+//! * `sb-run --script wf.sbw --serve ADDR [--components a,b]`
 //!   — serve a TCP broker on `ADDR`, run the named components (default:
 //!   none, broker only) on the broker's own hub, then keep serving until
 //!   every remote connection has drained.
-//! * `sb-run --script wf.sb --connect tcp://HOST:PORT --components a,b`
+//! * `sb-run --script wf.sbw --connect tcp://HOST:PORT --components a,b`
 //!   — connect to a broker another process serves and run only the named
 //!   components there.
 //!
-//! All processes must be given the *same* script: it is the single source
-//! of truth for stream wiring and component labels (`--list` prints them).
-//! A `#@ transport tcp://host:port` directive in the script supplies the
-//! default for `--serve`/`--connect`; `#@ policy LABEL …` directives set
-//! per-component fault policies.
+//! All processes must be given the *same* source file: it is the single
+//! source of truth for stream wiring and component labels (`--list` prints
+//! them). A `#@ transport` directive (or a spec's `[transport]` table)
+//! supplies the default for `--serve`/`--connect`; `#@ policy` directives
+//! (or `[policy.*]` tables) set per-component fault policies. A spec may
+//! also default the wire protocol, compression, hub timeout, and trace
+//! config; explicit flags win over spec defaults.
 //!
-//! Before binding a broker or spawning any component, the script is run
+//! Before binding a broker or spawning any component, the source is run
 //! through the full lint engine (`sb-lint`); any error-level `SBxxx`
 //! diagnostic — an invalid partition plan, a subscription cycle, a contract
 //! violation — refuses the launch with exit `1`. `--force` downgrades the
@@ -33,11 +36,9 @@ use std::time::Duration;
 
 use sb_stream::tcp::TcpBroker;
 use sb_stream::StreamHub;
-use smartblock::analysis::{lint_script, LintConfig, ScriptLint};
-use smartblock::distributed::{
-    apply_policy_directives, partial_workflow, plan_script, PlannedComponent,
-};
-use smartblock::launch::{validate_transport_url, ScriptDirectives};
+use smartblock::analysis::{lint_script, lint_spec, LintConfig, ScriptLint};
+use smartblock::distributed::{load_workflow_source, LoadedScript};
+use smartblock::launch::validate_transport_url;
 use smartblock::supervisor::{RunOptions, Validation};
 
 struct Args {
@@ -48,8 +49,8 @@ struct Args {
     list: bool,
     force: bool,
     hub_timeout: Option<Duration>,
-    protocol: sb_stream::WireProtocol,
-    compression: sb_stream::Compression,
+    protocol: Option<sb_stream::WireProtocol>,
+    compression: Option<sb_stream::Compression>,
 }
 
 fn usage() {
@@ -57,12 +58,14 @@ fn usage() {
         "usage: sb-run --script FILE [--serve ADDR | --connect tcp://HOST:PORT]\n\
          \x20             [--components a,b,...] [--timeout SECONDS] [--list] [--force]\n\
          \x20             [--protocol v1|v2] [--compress none|lz]\n\
-         runs a SmartBlock launch script, whole or as one process of a\n\
-         multi-process deployment (every process gets the same script);\n\
-         scripts with error-level lint diagnostics are refused before any\n\
-         component starts unless --force is given. --protocol and\n\
-         --compress shape the wire frames of this process's --connect\n\
-         sessions (v2 interns metadata; lz compresses chunk payloads)"
+         runs a SmartBlock workflow — a .sb launch script or a .sbw\n\
+         declarative spec — whole or as one process of a multi-process\n\
+         deployment (every process gets the same file); sources with\n\
+         error-level lint diagnostics are refused before any component\n\
+         starts unless --force is given. --protocol and --compress shape\n\
+         the wire frames of this process's --connect sessions (v2 interns\n\
+         metadata; lz compresses chunk payloads); a spec's [transport]\n\
+         table supplies defaults for both, and explicit flags win"
     );
 }
 
@@ -75,8 +78,8 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         force: false,
         hub_timeout: None,
-        protocol: sb_stream::WireProtocol::default(),
-        compression: sb_stream::Compression::default(),
+        protocol: None,
+        compression: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -100,18 +103,18 @@ fn parse_args() -> Result<Args, String> {
                 args.hub_timeout = Some(Duration::from_secs(secs));
             }
             "--protocol" => {
-                args.protocol = match value("--protocol")?.as_str() {
+                args.protocol = Some(match value("--protocol")?.as_str() {
                     "v1" => sb_stream::WireProtocol::V1,
                     "v2" => sb_stream::WireProtocol::V2,
                     other => return Err(format!("--protocol must be v1 or v2, got {other:?}")),
-                };
+                });
             }
             "--compress" => {
-                args.compression = match value("--compress")?.as_str() {
+                args.compression = Some(match value("--compress")?.as_str() {
                     "none" => sb_stream::Compression::None,
                     "lz" => sb_stream::Compression::Lz,
                     other => return Err(format!("--compress must be none or lz, got {other:?}")),
-                };
+                });
             }
             "--list" => args.list = true,
             "--force" => args.force = true,
@@ -133,23 +136,23 @@ fn parse_args() -> Result<Args, String> {
 
 fn run(
     hub: Arc<StreamHub>,
-    plan: &[PlannedComponent],
+    loaded: &LoadedScript,
     select: &[String],
-    directives: &ScriptDirectives,
     hub_timeout: Option<Duration>,
 ) -> Result<(), ExitCode> {
     let mut options = RunOptions::new();
     if let Some(timeout) = hub_timeout {
         options = options.with_hub_timeout(timeout);
     }
-    let mut wf = match partial_workflow(hub, plan, select) {
+    // The loaded source carries policies, triggers, and (for specs) trace
+    // and timeout defaults; `workflow` applies them all.
+    let wf = match loaded.workflow(hub, select) {
         Ok(wf) => wf,
         Err(detail) => {
             eprintln!("sb-run: {detail}");
             return Err(ExitCode::from(2));
         }
     };
-    apply_policy_directives(&mut wf, directives);
     // This process sees only its slice of the wiring, so the fail-fast
     // validator would reject legitimate partial deployments; the full
     // script already passed the pre-launch lint gate.
@@ -165,15 +168,21 @@ fn run(
     }
 }
 
-/// The pre-launch gate: lint the whole script and refuse to launch on any
-/// error-level diagnostic. Runs before a broker is bound or a component is
-/// spawned, so a malformed plan never starts half a deployment.
+/// The pre-launch gate: lint the whole source (as a spec for `.sbw`) and
+/// refuse to launch on any error-level diagnostic. Runs before a broker is
+/// bound or a component is spawned, so a malformed plan never starts half
+/// a deployment.
 fn lint_gate(script_path: &str, text: &str, force: bool) -> Result<(), ExitCode> {
     // Constructor panics become SB000 diagnostics; silence the hook so the
     // diagnostic is the only output.
     let saved_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let report: ScriptLint = lint_script(script_path, text, &LintConfig::new());
+    let lint = if script_path.ends_with(".sbw") {
+        lint_spec
+    } else {
+        lint_script
+    };
+    let report: ScriptLint = lint(script_path, text, &LintConfig::new());
     std::panic::set_hook(saved_hook);
     if report.errors() > 0 {
         eprint!("{}", report.render_text());
@@ -211,15 +220,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (plan, directives) = match plan_script(&text) {
-        Ok(p) => p,
+    let loaded = match load_workflow_source(&script_path, &text) {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("sb-run: {script_path}: {e}");
             return ExitCode::from(2);
         }
     };
     if args.list {
-        for p in &plan {
+        for p in &loaded.plan {
             println!("{}\t-n {}", p.label, p.nranks);
         }
         return ExitCode::SUCCESS;
@@ -227,12 +236,17 @@ fn main() -> ExitCode {
     if let Err(code) = lint_gate(&script_path, &text, args.force) {
         return code;
     }
+    // A spec's [transport] table defaults the hub timeout and wire shape;
+    // explicit flags win.
+    let hub_timeout = args.hub_timeout.or(loaded.hub_timeout);
+    let protocol = args.protocol.or(loaded.protocol).unwrap_or_default();
+    let compression = args.compression.or(loaded.compression).unwrap_or_default();
 
-    // The script's transport directive is the fallback endpoint; explicit
-    // flags win. `--serve` wants a bare bind address, so strip the scheme.
+    // The source's transport endpoint is the fallback; explicit flags win.
+    // `--serve` wants a bare bind address, so strip the scheme.
     let connect = args
         .connect
-        .or_else(|| directives.transport.clone())
+        .or_else(|| loaded.directives.transport.clone())
         .filter(|_| args.serve.is_none());
     if let Some(url) = &connect {
         if let Err(e) = validate_transport_url(url) {
@@ -252,13 +266,16 @@ fn main() -> ExitCode {
         };
         eprintln!("sb-run: serving {}", broker.url());
         // Are parts of the script expected to arrive from other processes?
-        let remotes_expected =
-            args.components.is_empty() || plan.iter().any(|p| !args.components.contains(&p.label));
+        let remotes_expected = args.components.is_empty()
+            || loaded
+                .plan
+                .iter()
+                .any(|p| !args.components.contains(&p.label));
         let result = if args.components.is_empty() {
             Ok(())
         } else {
             let hub = Arc::clone(broker.hub());
-            run(hub, &plan, &args.components, &directives, args.hub_timeout)
+            run(hub, &loaded, &args.components, hub_timeout)
         };
         if remotes_expected {
             // Local components may finish before remotes even dial in (a
@@ -293,8 +310,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         let options = sb_stream::TcpOptions::default()
-            .with_protocol(args.protocol)
-            .with_compression(args.compression);
+            .with_protocol(protocol)
+            .with_compression(compression);
         let hub = match StreamHub::connect_with(&url, options) {
             Ok(h) => h,
             Err(e) => {
@@ -302,19 +319,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match run(hub, &plan, &args.components, &directives, args.hub_timeout) {
+        match run(hub, &loaded, &args.components, hub_timeout) {
             Ok(()) => ExitCode::SUCCESS,
             Err(code) => code,
         }
     } else {
-        // Single-process: the whole script on an in-proc hub.
-        match run(
-            StreamHub::new(),
-            &plan,
-            &args.components,
-            &directives,
-            args.hub_timeout,
-        ) {
+        // Single-process: the whole workflow on an in-proc hub.
+        match run(StreamHub::new(), &loaded, &args.components, hub_timeout) {
             Ok(()) => ExitCode::SUCCESS,
             Err(code) => code,
         }

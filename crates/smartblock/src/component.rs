@@ -168,6 +168,17 @@ pub trait Component: Send + Sync + 'static {
     fn signature(&self) -> crate::analysis::Signature {
         crate::analysis::Signature::opaque()
     }
+
+    /// Applies a runtime control request from a reactive trigger (e.g.
+    /// [`crate::triggers::ControlAction::SetOutputStride`]). Returns whether
+    /// the component honoured it; the default ignores every action, so
+    /// components opt in per action. Called from the triggering thread
+    /// while the component is running — implementations must route the
+    /// request through interior atomics/locks, not `&mut self`.
+    fn apply_control(&self, action: &crate::triggers::ControlAction) -> bool {
+        let _ = action;
+        false
+    }
 }
 
 /// What one rank produced for one step of a transform component.
@@ -267,6 +278,24 @@ pub fn fault_gate(
         Some(FaultOp::DropChunk) => Ok(StepFault::DropChunk),
         None => Ok(StepFault::Clean),
     }
+}
+
+/// Publishes a run loop's per-step wait/compute ratio on the hub's signal
+/// board (`<label>.wait_ratio`, in `[0, 1]`) for reactive triggers to
+/// observe. Free (one relaxed atomic load) while no trigger engine is
+/// armed.
+fn publish_wait_ratio(hub: &StreamHub, label: &str, step: u64, wait: Duration, compute: Duration) {
+    let signals = hub.signals();
+    if !signals.armed() {
+        return;
+    }
+    let total = wait.as_secs_f64() + compute.as_secs_f64();
+    let ratio = if total > 0.0 {
+        wait.as_secs_f64() / total
+    } else {
+        0.0
+    };
+    signals.publish(label, "wait_ratio", step, ratio);
 }
 
 pub(crate) fn stream_err(label: &str, step: u64, source: StreamError) -> ComponentError {
@@ -405,6 +434,7 @@ where
             out.compute,
             out.bytes_in,
         );
+        publish_wait_ratio(hub, label, step, wait + publish_wait, out.compute);
         trace.span(EventKind::Step, step, step_ns);
     }
     writer.close();
@@ -474,6 +504,7 @@ where
         trace.span(EventKind::Compute, step, compute_ns);
         reader.end_step();
         stats.record_step(step_start.elapsed(), wait, compute, bytes_in);
+        publish_wait_ratio(hub, label, step, wait, compute);
         trace.span(EventKind::Step, step, step_ns);
     }
     Ok(())
@@ -571,6 +602,7 @@ where
         wait += block_start.elapsed();
         trace.span(EventKind::Publish, step, publish_ns);
         stats.record_step(step_start.elapsed(), wait, compute, 0);
+        publish_wait_ratio(hub, label, step, wait, compute);
         trace.span(EventKind::Step, step, step_ns);
     }
     writer.close();

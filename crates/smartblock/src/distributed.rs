@@ -22,14 +22,17 @@
 //! `sb-lint` instead).
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use sb_stream::StreamHub;
+use sb_stream::{Compression, StreamHub, TraceConfig, WireProtocol};
 
 use crate::error::WorkflowError;
 use crate::launch::{parse_script_with_directives, LaunchEntry, LaunchError, ScriptDirectives};
 use crate::metrics::WorkflowReport;
 use crate::runtime::Workflow;
+use crate::spec::WorkflowSpec;
 use crate::supervisor::{RunOptions, Validation};
+use crate::triggers::Trigger;
 use crate::workflows::instantiate_entry;
 
 /// One script entry with the label every process agrees on.
@@ -67,6 +70,100 @@ pub fn plan_script(text: &str) -> Result<(Vec<PlannedComponent>, ScriptDirective
         });
     }
     Ok((plan, directives))
+}
+
+/// Which language a workflow source was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// An aprun-style `.sb` launch script with `#@` directives.
+    LaunchScript,
+    /// A declarative `.sbw` workflow spec.
+    Spec,
+}
+
+/// A workflow source resolved by [`load_workflow_source`]: the plan and
+/// directives every process agrees on, plus everything only a `.sbw` spec
+/// can carry (triggers, trace config, wire options). `sb-lint`, `sb-run`,
+/// and the library all consume this one form, so neither binary reparses
+/// directives on its own.
+#[derive(Debug, Clone)]
+pub struct LoadedScript {
+    /// Which language the source was written in.
+    pub kind: SourceKind,
+    /// Planned components with the labels every process agrees on.
+    pub plan: Vec<PlannedComponent>,
+    /// Transport, policy, and process directives (a spec's tables compile
+    /// to the same form).
+    pub directives: ScriptDirectives,
+    /// Reactive trigger clauses (always empty for a launch script).
+    pub triggers: Vec<Trigger>,
+    /// The spec's `[trace]` table, when present and enabled.
+    pub trace: Option<TraceConfig>,
+    /// The spec's `[transport] timeout_secs`, when declared.
+    pub hub_timeout: Option<Duration>,
+    /// The spec's `[transport] protocol`, when declared.
+    pub protocol: Option<WireProtocol>,
+    /// The spec's `[transport] compression`, when declared.
+    pub compression: Option<Compression>,
+}
+
+impl LoadedScript {
+    /// Builds this process's slice as a workflow: components selected by
+    /// label (all of them when `select` is empty), with the source's
+    /// policies, triggers, and run defaults applied.
+    pub fn workflow(&self, hub: Arc<StreamHub>, select: &[String]) -> Result<Workflow, String> {
+        let mut wf = partial_workflow(hub, &self.plan, select)?;
+        apply_policy_directives(&mut wf, &self.directives);
+        for trigger in &self.triggers {
+            wf.add_trigger(trigger.clone());
+        }
+        wf.default_trace = self.trace.clone();
+        wf.default_hub_timeout = self.hub_timeout;
+        Ok(wf)
+    }
+}
+
+/// Resolves workflow source text into one [`LoadedScript`], dispatching on
+/// the source name: `*.sbw` parses as a declarative spec, anything else as
+/// an aprun-style launch script. Spec-level deny issues (undeclared
+/// trigger references, conflicting constructs) refuse the load with their
+/// `.sbw` line.
+pub fn load_workflow_source(name: &str, text: &str) -> Result<LoadedScript, LaunchError> {
+    if name.ends_with(".sbw") {
+        let spec = WorkflowSpec::parse(text).map_err(|e| LaunchError {
+            line: e.line,
+            detail: e.detail,
+        })?;
+        if let Some(issue) = spec.issues.iter().find(|i| i.is_deny()) {
+            return Err(LaunchError {
+                line: issue.line(),
+                detail: issue.to_string(),
+            });
+        }
+        let (plan, directives) = plan_script(&spec.script)?;
+        Ok(LoadedScript {
+            kind: SourceKind::Spec,
+            plan,
+            directives,
+            triggers: spec.triggers,
+            trace: spec.trace,
+            hub_timeout: spec.hub_timeout,
+            protocol: spec.protocol,
+            compression: spec.compression,
+        })
+    } else {
+        let (plan, directives) = plan_script(text)?;
+        Ok(LoadedScript {
+            kind: SourceKind::LaunchScript,
+            plan,
+            directives,
+            triggers: Vec::new(),
+            trace: None,
+            hub_timeout: None,
+            protocol: None,
+            compression: None,
+        })
+    }
 }
 
 /// Builds the workflow containing only the components named in `select`
@@ -179,6 +276,55 @@ mod tests {
             Ok(_) => panic!("unknown label must be rejected"),
         };
         assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn loader_resolves_scripts_and_specs_to_the_same_plan() {
+        const SPEC: &str = r#"
+[transport]
+url = "tcp://127.0.0.1:7654"
+protocol = "v1"
+timeout_secs = 9
+
+[[component]]
+program = "gromacs"
+ranks = 2
+args = ["chains=4", "len=4", "steps=3", "interval=2"]
+
+[[component]]
+program = "magnitude"
+ranks = 2
+args = ["gromacs.fp", "coords", "m.fp", "r"]
+
+[[component]]
+program = "histogram"
+args = ["m.fp", "r", "4"]
+"#;
+        let script = load_workflow_source("wf.sb", SCRIPT).unwrap();
+        let spec = load_workflow_source("wf.sbw", SPEC).unwrap();
+        assert_eq!(script.kind, SourceKind::LaunchScript);
+        assert_eq!(spec.kind, SourceKind::Spec);
+        let labels =
+            |l: &LoadedScript| -> Vec<String> { l.plan.iter().map(|p| p.label.clone()).collect() };
+        assert_eq!(labels(&script), labels(&spec));
+        assert_eq!(script.directives.transport, spec.directives.transport);
+        assert_eq!(spec.protocol, Some(WireProtocol::V1));
+        assert_eq!(spec.hub_timeout, Some(Duration::from_secs(9)));
+        assert!(script.protocol.is_none(), "scripts carry no wire options");
+
+        let wf = spec.workflow(StreamHub::new(), &[]).unwrap();
+        assert_eq!(wf.labels(), vec!["gromacs", "magnitude", "histogram"]);
+    }
+
+    #[test]
+    fn loader_refuses_deny_level_spec_issues() {
+        let e = load_workflow_source(
+            "bad.sbw",
+            "[[component]]\nprogram = \"histogram\"\nargs = [\"a.fp\", \"x\", \"4\"]\n\n[[trigger]]\nwhen = \"ghost.max > 1\"\nthen = \"snapshot_stream a.fp /tmp/x\"\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.detail.contains("ghost"), "{e:?}");
     }
 
     #[test]

@@ -234,28 +234,6 @@ impl fmt::Display for WorkflowError {
 
 impl std::error::Error for WorkflowError {}
 
-/// Compatibility mapping for the deprecated [`crate::Workflow::run`] /
-/// [`crate::Workflow::run_unchecked`] wrappers, which still return
-/// [`CommError`].
-impl From<WorkflowError> for CommError {
-    fn from(e: WorkflowError) -> CommError {
-        match e {
-            WorkflowError::Invalid { issues } => CommError::InvalidWorkflow { issues },
-            WorkflowError::ComponentFailed { error, .. } => match error {
-                ComponentError::Panicked { rank, message, .. } => {
-                    CommError::RankPanicked { rank, message }
-                }
-                ComponentError::Launch { source, .. } => source,
-                other => CommError::RankPanicked {
-                    rank: other.rank().unwrap_or(0),
-                    message: other.to_string(),
-                },
-            },
-            WorkflowError::Launch(e) => e,
-        }
-    }
-}
-
 /// Rough wall-clock cost of retrying: linear backoff, attempt `n` (1-based)
 /// sleeps `n * backoff`. Kept here so the supervisor and its tests agree.
 pub(crate) fn backoff_delay(backoff: Duration, attempt: u32) -> Duration {

@@ -312,6 +312,16 @@ impl Component for Histogram {
                         counts,
                         nan_count: nan_total.unwrap_or(0),
                     };
+                    // Signals go out *before* this step is committed to the
+                    // output stream or file, so a trigger firing on step k
+                    // takes effect before anything downstream observes k.
+                    let signals = hub.signals();
+                    if signals.armed() {
+                        signals.publish("histogram", "min", step, result.min);
+                        signals.publish("histogram", "max", step, result.max);
+                        signals.publish("histogram", "total", step, result.total() as f64);
+                        signals.publish("histogram", "nan_count", step, result.nan_count as f64);
+                    }
                     if let Some(f) = file.as_mut() {
                         write_histogram(f, &result)?;
                     }

@@ -270,9 +270,10 @@ pub struct ScriptDirectives {
     pub processes: Vec<ProcessDirective>,
 }
 
-/// Parses the policy spec of a `#@ policy` directive:
+/// Parses the policy spec of a `#@ policy` directive (also used by `.sbw`
+/// policy tables and trigger clauses):
 /// `abort`, `degrade`, or `restart:N[:BACKOFF_MS]`.
-fn parse_policy_spec(spec: &str) -> Result<FaultPolicy, String> {
+pub(crate) fn parse_policy_spec(spec: &str) -> Result<FaultPolicy, String> {
     match spec {
         "abort" => return Ok(FaultPolicy::abort()),
         "degrade" => return Ok(FaultPolicy::degrade()),

@@ -81,25 +81,28 @@ pub mod metrics;
 pub mod reduce;
 pub mod runtime;
 pub mod select;
+pub mod spec;
 pub mod stats;
 pub mod supervisor;
 pub mod temporal;
 pub mod threshold;
 pub mod transpose;
+pub mod triggers;
 pub mod workflows;
 
 pub use all_in_one::AllInOne;
 pub use all_pairs::AllPairs;
 pub use analysis::{
-    lint_script, AnalysisIssue, ArraySpec, Diagnostic, DimSpec, Extent, Level, Lint, LintConfig,
-    PartitionRule, ReadSpec, ScriptLint, Severity, Signature, SpecError, StepContract, StreamSpec,
-    LINTS,
+    lint_script, lint_spec, AnalysisIssue, ArraySpec, Diagnostic, DimSpec, Extent, Level, Lint,
+    LintConfig, PartitionRule, ReadSpec, ScriptLint, Severity, Signature, SpecError, StepContract,
+    StreamSpec, LINTS,
 };
 pub use combine::{BinaryOp, Combine};
 pub use component::{Component, StepFault, StreamArray};
 pub use dim_reduce::DimReduce;
 pub use distributed::{
-    apply_policy_directives, partial_workflow, plan_script, run_components, PlannedComponent,
+    apply_policy_directives, load_workflow_source, partial_workflow, plan_script, run_components,
+    LoadedScript, PlannedComponent, SourceKind,
 };
 pub use error::{ComponentError, ComponentResult, StepError, StepResult, WorkflowError};
 pub use file_io::{FileRead, FileWrite};
@@ -113,11 +116,13 @@ pub use metrics::{ComponentOutcome, ComponentReport, ComponentStats, WorkflowRep
 pub use reduce::{Reduce, ReduceOp};
 pub use runtime::{WiringIssue, Workflow};
 pub use select::Select;
+pub use spec::{ParsedSpec, SpecIssue, SpecLoadError, SpecOptions, SpecParseError, WorkflowSpec};
 pub use stats::Stats;
 pub use supervisor::{FailureAction, FaultPolicy, RunOptions, Validation};
 pub use temporal::TemporalMean;
 pub use threshold::{Predicate, Threshold};
 pub use transpose::Transpose;
+pub use triggers::{ControlAction, Trigger, TriggerAction, TriggerFire, TriggerOp};
 
 /// Trace types re-exported from the stream layer: workflows configure
 /// tracing through [`RunOptions`] and consume the drained timeline off the
@@ -140,6 +145,10 @@ pub mod prelude {
         ComponentError, ComponentOutcome, ComponentReport, ComponentResult, ComponentStats,
         FailureAction, FaultPolicy, HistogramResult, RunOptions, StepError, StepResult, Validation,
         WorkflowError, WorkflowReport,
+    };
+    pub use crate::{
+        ParsedSpec, SpecIssue, SpecLoadError, SpecOptions, SpecParseError, Trigger, TriggerAction,
+        TriggerFire, TriggerOp, WorkflowSpec,
     };
     pub use sb_stream::{
         EventKind, FaultKind, FaultPlan, StepStatus, StreamError, StreamHub, Timeline, TraceConfig,

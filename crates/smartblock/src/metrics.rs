@@ -220,6 +220,9 @@ pub struct WorkflowReport {
     /// The step timeline recorded during the run; empty unless tracing was
     /// enabled via `RunOptions::with_tracing` or `SB_TRACE=1`.
     pub timeline: Timeline,
+    /// Reactive triggers that fired during the run, in firing order; empty
+    /// unless the workflow declared [`crate::Trigger`]s.
+    pub triggers: Vec<crate::triggers::TriggerFire>,
 }
 
 impl WorkflowReport {
@@ -532,6 +535,7 @@ mod tests {
                 bytes_on_wire: 0,
             }],
             timeline: Timeline::default(),
+            triggers: Vec::new(),
         };
         let s = rep.summary();
         assert!(s.contains("1 components"));

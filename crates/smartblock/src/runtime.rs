@@ -10,16 +10,18 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sb_comm::{CommError, CommResult, Communicator};
+use parking_lot::Mutex;
+use sb_comm::Communicator;
 use sb_data::decompose::default_partition;
 use sb_data::{Chunk, Variable, VariableMeta};
-use sb_stream::{StreamHub, WriterOptions};
+use sb_stream::{StreamHub, TraceConfig, WriterOptions};
 
 use crate::analysis::{self, AnalysisIssue, EntryView, Severity};
 use crate::component::Component;
 use crate::error::{ComponentResult, WorkflowError};
 use crate::metrics::{ComponentReport, WorkflowReport};
 use crate::supervisor::{supervise, FaultPolicy, RunOptions, Supervision, Validation};
+use crate::triggers::{Trigger, TriggerEngine};
 
 /// An ad-hoc source component built from a closure; every rank calls the
 /// closure identically and contributes its partition of the produced
@@ -204,6 +206,14 @@ pub struct Workflow {
     entries: Vec<Entry>,
     /// Per-component fault-policy overrides, by label.
     policies: BTreeMap<String, FaultPolicy>,
+    /// Reactive trigger clauses, evaluated against published signals.
+    triggers: Vec<Trigger>,
+    /// Trace config a `.sbw` spec declared; consulted when
+    /// [`RunOptions::trace`] is `None` (before the `SB_TRACE` fallback).
+    pub(crate) default_trace: Option<TraceConfig>,
+    /// Hub timeout a `.sbw` spec declared; consulted when
+    /// [`RunOptions::hub_timeout`] is `None`.
+    pub(crate) default_hub_timeout: Option<Duration>,
 }
 
 impl Default for Workflow {
@@ -225,6 +235,9 @@ impl Workflow {
             hub,
             entries: Vec::new(),
             policies: BTreeMap::new(),
+            triggers: Vec::new(),
+            default_trace: None,
+            default_hub_timeout: None,
         }
     }
 
@@ -357,6 +370,20 @@ impl Workflow {
         self
     }
 
+    /// Adds a reactive trigger clause: `when component.signal op value then
+    /// action`, evaluated synchronously at each matching signal publication
+    /// during [`Workflow::run_with`]. Triggers fire once; fired records land
+    /// on [`WorkflowReport::triggers`].
+    pub fn add_trigger(&mut self, trigger: Trigger) -> &mut Self {
+        self.triggers.push(trigger);
+        self
+    }
+
+    /// The declared trigger clauses, in declaration order.
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
     /// Static workflow analysis: wiring diagnostics (dangling or contested
     /// streams and reader groups), subscription-cycle detection, and
     /// [`ArraySpec`](crate::analysis::ArraySpec) propagation through every
@@ -427,32 +454,68 @@ impl Workflow {
             hub,
             entries,
             policies,
+            triggers,
+            default_trace,
+            default_hub_timeout,
         } = self;
-        if let Some(timeout) = options.hub_timeout {
+        if let Some(timeout) = options.hub_timeout.or(default_hub_timeout) {
             hub.set_wait_timeout(timeout);
         }
         // Arm the tracer before any component thread spawns so the very
-        // first step is on the timeline. `SB_TRACE` (non-empty, not "0")
-        // enables the default config without touching call sites.
+        // first step is on the timeline. Precedence: RunOptions, then the
+        // spec's `[trace]` table, then `SB_TRACE` (non-empty, not "0"),
+        // which enables the default config without touching call sites.
         let trace_config = options
             .trace
             .clone()
+            .or(default_trace)
             .or_else(|| match std::env::var("SB_TRACE") {
-                Ok(v) if !v.is_empty() && v != "0" => Some(sb_stream::TraceConfig::new()),
+                Ok(v) if !v.is_empty() && v != "0" => Some(TraceConfig::new()),
                 _ => None,
             });
         if let Some(config) = &trace_config {
             hub.tracer().enable(config);
+        }
+        // One live policy slot per component, shared between its supervisor
+        // (which re-reads it at each failure decision) and the trigger
+        // engine (whose `raise_fault_policy` action replaces the contents).
+        let policy_slots: BTreeMap<String, Arc<Mutex<FaultPolicy>>> = entries
+            .iter()
+            .map(|entry| {
+                let policy = policies
+                    .get(&entry.label)
+                    .cloned()
+                    .unwrap_or_else(|| options.fault_policy.clone());
+                (entry.label.clone(), Arc::new(Mutex::new(policy)))
+            })
+            .collect();
+        // Arm the trigger engine on the hub's signal board before any rank
+        // spawns: the hook runs synchronously at each signal publication.
+        let engine = (!triggers.is_empty()).then(|| {
+            let components: BTreeMap<String, Arc<dyn Component>> = entries
+                .iter()
+                .map(|entry| (entry.label.clone(), Arc::clone(&entry.component)))
+                .collect();
+            Arc::new(TriggerEngine::new(
+                triggers,
+                components,
+                Arc::clone(&hub),
+                policy_slots.clone(),
+            ))
+        });
+        if let Some(engine) = &engine {
+            let observer = Arc::clone(engine);
+            hub.signals()
+                .arm(Box::new(move |component, signal, step, value| {
+                    observer.observe(component, signal, step, value);
+                }));
         }
         let start = Instant::now();
         let sup = Arc::new(Supervision::new(Arc::clone(&hub)));
         let supervisors: Vec<std::thread::JoinHandle<ComponentReport>> = entries
             .into_iter()
             .map(|entry| {
-                let policy = policies
-                    .get(&entry.label)
-                    .cloned()
-                    .unwrap_or_else(|| options.fault_policy.clone());
+                let policy = Arc::clone(&policy_slots[&entry.label]);
                 let sup = Arc::clone(&sup);
                 std::thread::Builder::new()
                     .name(format!("supervisor/{}", entry.label))
@@ -466,6 +529,13 @@ impl Workflow {
             .into_iter()
             .map(|h| h.join().expect("a supervisor thread panicked"))
             .collect();
+        let fired = match &engine {
+            Some(engine) => {
+                hub.signals().disarm();
+                engine.take_fired()
+            }
+            None => Vec::new(),
+        };
         let timeline = if trace_config.is_some() {
             let timeline = hub.tracer().drain();
             hub.tracer().disable();
@@ -485,28 +555,8 @@ impl Workflow {
             components,
             streams: hub.all_metrics(),
             timeline,
+            triggers: fired,
         })
-    }
-
-    /// Deprecated alias for `run_with(RunOptions::default())`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use run_with(RunOptions::default()) and match on WorkflowError"
-    )]
-    pub fn run(self) -> CommResult<WorkflowReport> {
-        self.run_with(RunOptions::default())
-            .map_err(CommError::from)
-    }
-
-    /// Deprecated alias for
-    /// `run_with(RunOptions::new().with_validation(Validation::Skip))`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use run_with(RunOptions::new().with_validation(Validation::Skip))"
-    )]
-    pub fn run_unchecked(self) -> CommResult<WorkflowReport> {
-        self.run_with(RunOptions::new().with_validation(Validation::Skip))
-            .map_err(CommError::from)
     }
 }
 
@@ -634,21 +684,5 @@ mod tests {
             other => panic!("expected ComponentFailed, got {other:?}"),
         }
         assert!(err.to_string().contains("missing"), "{err}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_wrapper_keeps_comm_error_contract() {
-        // The thin `run()` compatibility wrapper must keep reporting
-        // component failures as CommError with "panicked" in the message,
-        // the contract pre-supervisor callers relied on.
-        let hub = StreamHub::with_timeout(Duration::from_millis(200));
-        let mut wf = Workflow::with_hub(hub);
-        wf.add_source("gen", 1, "w.fp", |step| {
-            (step < 1).then(|| counter_variable(step, 4))
-        });
-        wf.add(1, crate::Histogram::new(("w.fp", "missing"), 4));
-        let msg = wf.run().unwrap_err().to_string();
-        assert!(msg.contains("panicked"), "unexpected error: {msg}");
     }
 }

@@ -235,11 +235,15 @@ fn primary_error(errors: Vec<ComponentError>) -> Option<ComponentError> {
 /// Runs one component under supervision: spawn, reap all ranks, apply the
 /// fault policy, repeat while restarting. Returns the component's report;
 /// fatal failures are recorded on `sup` as a side effect.
+///
+/// The policy lives behind a shared slot rather than a plain reference so a
+/// reactive trigger (`raise_fault_policy`) can replace it while the
+/// component runs — the slot is re-read at each failure decision point.
 pub(crate) fn supervise(
     label: &str,
     nranks: usize,
     component: Arc<dyn Component>,
-    policy: &FaultPolicy,
+    policy: &Mutex<FaultPolicy>,
     sup: &Supervision,
 ) -> ComponentReport {
     let mut attempts = 0u32;
@@ -310,6 +314,9 @@ pub(crate) fn supervise(
             return failed_report(label, nranks, attempts, error);
         }
 
+        // Re-read the slot at the decision point: a trigger may have raised
+        // the policy since the component was launched.
+        let policy = policy.lock().clone();
         match policy.action {
             FailureAction::Restart if attempts <= policy.max_restarts => {
                 supervisor_event(sup, label, EventKind::RestartAttempt, (attempts + 1) as u64);

@@ -9,6 +9,7 @@
 //! so the memory cost is `window / nranks` of the global array per rank.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -96,7 +97,11 @@ pub struct TemporalMean {
     /// Publish one output step per `stride` input steps (1 = every step).
     /// The mean still updates on every consumed step; only publishing
     /// decimates, so `stride=n` smooths at full rate but reports at 1/n.
-    pub stride: usize,
+    ///
+    /// Shared and atomic so a reactive trigger
+    /// ([`crate::triggers::ControlAction::SetOutputStride`]) can retarget
+    /// the decimation mid-run; clones share the same cell.
+    stride: Arc<AtomicUsize>,
 }
 
 impl TemporalMean {
@@ -113,7 +118,7 @@ impl TemporalMean {
             output: output.into(),
             writer_options: WriterOptions::default(),
             reader_group: "default".into(),
-            stride: 1,
+            stride: Arc::new(AtomicUsize::new(1)),
         }
     }
 
@@ -124,10 +129,15 @@ impl TemporalMean {
     }
 
     /// Publishes one output step per `stride` input steps (builder style).
-    pub fn with_stride(mut self, stride: usize) -> TemporalMean {
+    pub fn with_stride(self, stride: usize) -> TemporalMean {
         assert!(stride >= 1, "stride must be at least 1");
-        self.stride = stride;
+        self.stride.store(stride, Ordering::Relaxed);
         self
+    }
+
+    /// The current output decimation stride.
+    pub fn stride(&self) -> usize {
+        self.stride.load(Ordering::Relaxed)
     }
 }
 
@@ -168,8 +178,18 @@ impl Component for TemporalMean {
                 },
             ),
         )
-        .with_steps(StepContract::Decimates(self.stride as u64))
+        .with_steps(StepContract::Decimates(self.stride() as u64))
         .with_stateful(true)
+    }
+
+    fn apply_control(&self, action: &crate::triggers::ControlAction) -> bool {
+        match action {
+            crate::triggers::ControlAction::SetOutputStride(stride) if *stride >= 1 => {
+                self.stride.store(*stride, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
     }
 
     fn run(&self, comm: &Communicator, hub: &Arc<StreamHub>) -> ComponentResult {
@@ -243,8 +263,9 @@ impl Component for TemporalMean {
             consumed += 1;
 
             // Decimating publish: the mean updates every consumed step,
-            // but only every stride-th step is pushed downstream.
-            if consumed.is_multiple_of(self.stride) {
+            // but only every stride-th step is pushed downstream. The
+            // stride is re-read each step so a trigger can retarget it.
+            if consumed.is_multiple_of(self.stride().max(1)) {
                 let mut out_meta =
                     VariableMeta::new(self.output.array.clone(), meta.shape.clone(), DType::F64);
                 out_meta.labels = meta.labels.clone();

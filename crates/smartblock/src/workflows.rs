@@ -57,6 +57,10 @@ impl Component for Box<dyn Component> {
     fn signature(&self) -> crate::analysis::Signature {
         (**self).signature()
     }
+
+    fn apply_control(&self, action: &crate::triggers::ControlAction) -> bool {
+        (**self).apply_control(action)
+    }
 }
 
 /// A simulation driver as a workflow component: the "driving scientific

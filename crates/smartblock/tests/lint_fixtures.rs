@@ -4,7 +4,9 @@
 //! clean-bill-of-health checks for the paper workflows and the checked-in
 //! example scripts.
 
-use smartblock::analysis::{lint_script, render_report_json, Level, LintConfig, LINTS};
+use smartblock::analysis::{
+    lint_script, lint_spec, render_report_json, Level, LintConfig, ScriptLint, LINTS,
+};
 use smartblock::workflows::{
     gromacs_workflow, gtcp_workflow, lammps_workflow, script_to_workflow, PresetScale,
 };
@@ -14,10 +16,26 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
 }
 
-fn ids_fired(name: &str) -> Vec<&'static str> {
-    let text = fixture(name);
-    let report = lint_script(name, &text, &LintConfig::new());
-    report.diagnostics.iter().map(|d| d.id()).collect()
+/// Lints the fixture `<stem>.sb` (launch script) or `<stem>.sbw` (workflow
+/// spec), whichever is checked in — spec-level lints (SB018–SB020) can
+/// only fire from a spec.
+fn lint_fixture(stem: &str) -> ScriptLint {
+    let dir = format!("{}/tests/fixtures/lint", env!("CARGO_MANIFEST_DIR"));
+    let sb = format!("{stem}.sb");
+    if std::path::Path::new(&format!("{dir}/{sb}")).exists() {
+        lint_script(&sb, &fixture(&sb), &LintConfig::new())
+    } else {
+        let sbw = format!("{stem}.sbw");
+        lint_spec(&sbw, &fixture(&sbw), &LintConfig::new())
+    }
+}
+
+fn ids_fired(stem: &str) -> Vec<&'static str> {
+    lint_fixture(stem)
+        .diagnostics
+        .iter()
+        .map(|d| d.id())
+        .collect()
 }
 
 /// Every lint has a positive fixture that fires it and a negative fixture
@@ -29,19 +47,16 @@ fn every_lint_has_a_firing_and_a_silent_fixture() {
     std::panic::set_hook(Box::new(|_| {}));
     let mut failures = Vec::new();
     for lint in LINTS {
-        let pos = ids_fired(&format!("{}-pos.sb", lint.id));
+        let pos = ids_fired(&format!("{}-pos", lint.id));
         if !pos.contains(&lint.id) {
             failures.push(format!(
-                "{}-pos.sb did not fire {} (got {pos:?})",
+                "{}-pos did not fire {} (got {pos:?})",
                 lint.id, lint.id
             ));
         }
-        let neg = ids_fired(&format!("{}-neg.sb", lint.id));
+        let neg = ids_fired(&format!("{}-neg", lint.id));
         if neg.contains(&lint.id) {
-            failures.push(format!(
-                "{}-neg.sb fired {} (got {neg:?})",
-                lint.id, lint.id
-            ));
+            failures.push(format!("{}-neg fired {} (got {neg:?})", lint.id, lint.id));
         }
     }
     std::panic::set_hook(hook);
@@ -53,18 +68,17 @@ fn every_lint_has_a_firing_and_a_silent_fixture() {
 #[test]
 fn fixture_diagnostics_carry_lines_and_default_levels() {
     for lint in LINTS {
-        let name = format!("{}-pos.sb", lint.id);
-        let text = fixture(&name);
-        let report = lint_script(&name, &text, &LintConfig::new());
+        let stem = format!("{}-pos", lint.id);
+        let report = lint_fixture(&stem);
         let d = report
             .diagnostics
             .iter()
             .find(|d| d.id() == lint.id)
-            .unwrap_or_else(|| panic!("{name} must fire {}", lint.id));
-        assert_eq!(d.level, lint.default_level, "{name}");
+            .unwrap_or_else(|| panic!("{stem} must fire {}", lint.id));
+        assert_eq!(d.level, lint.default_level, "{stem}");
         assert!(
             d.line.is_some(),
-            "{name}: {} has no line attribution",
+            "{stem}: {} has no line attribution",
             lint.id
         );
     }
@@ -131,10 +145,13 @@ fn paper_workflows_lint_clean() {
 
 /// Every checked-in example launch script parses, converts to a workflow,
 /// and lints clean — warnings included (CI runs them under
-/// `--deny-warnings`).
+/// `--deny-warnings --allow prefer-spec`; the legacy scripts keep their
+/// inline directives on purpose, as the directive-compatibility fixtures).
 #[test]
 fn example_scripts_lint_clean() {
     let dir = format!("{}/../../examples/scripts", env!("CARGO_MANIFEST_DIR"));
+    let mut config = LintConfig::new();
+    config.set("prefer-spec", Level::Allow).unwrap();
     let mut seen = 0;
     for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{dir}: {e}")) {
         let path = entry.unwrap().path();
@@ -143,7 +160,7 @@ fn example_scripts_lint_clean() {
         }
         seen += 1;
         let text = std::fs::read_to_string(&path).unwrap();
-        let report = lint_script(&path.display().to_string(), &text, &LintConfig::new());
+        let report = lint_script(&path.display().to_string(), &text, &config);
         assert!(report.diagnostics.is_empty(), "{}", report.render_text());
         // Single-process scripts must also assemble (the multi-process one
         // does too: process directives do not affect assembly).
