@@ -114,7 +114,9 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
     while i + MIN_MATCH <= n {
         let h = hash4(load4(input, i));
         let cand = table[h] as usize;
-        table[h] = (i + 1) as u32;
+        if let Some(slot) = table_slot(i) {
+            table[h] = slot;
+        }
         if cand > 0 {
             let c = cand - 1;
             if i - c <= MAX_OFFSET && load4(input, c) == load4(input, i) {
@@ -129,6 +131,20 @@ pub fn lz_compress(input: &[u8]) -> Vec<u8> {
     }
     put_sequence(&mut out, &input[lit_start..], None);
     out
+}
+
+/// The hash-table slot encoding for a match candidate at byte position `i`,
+/// or `None` when the position is not representable.
+///
+/// Slots store `i + 1` in a `u32` (0 is the empty sentinel), so the last
+/// indexable position is `u32::MAX - 1`. Past that a plain `as u32` cast
+/// would silently wrap and alias a low position — a later probe would then
+/// "match" against unrelated bytes ~4 GiB away and corrupt the stream. Not
+/// storing the slot instead degrades inputs beyond 4 GiB to literal runs,
+/// which stay byte-exact.
+#[inline]
+fn table_slot(i: usize) -> Option<u32> {
+    u32::try_from(i.checked_add(1)?).ok()
 }
 
 /// Reads a nibble-spilled length extension.
@@ -286,6 +302,23 @@ mod tests {
         // Wrong expected length is rejected, not padded or truncated.
         assert!(lz_decompress(&clean, data.len() + 1).is_err());
         assert!(lz_decompress(&clean, data.len().saturating_sub(1)).is_err());
+    }
+
+    #[test]
+    fn table_slot_guards_the_4gib_boundary() {
+        // Regression for the silent `(i + 1) as u32` wrap: past the last
+        // representable position the slot must be withheld (literal-run
+        // fallback), never aliased onto a low position. Exercised by
+        // injecting the boundary indices directly — no 4 GiB allocation.
+        assert_eq!(table_slot(0), Some(1));
+        assert_eq!(table_slot(u32::MAX as usize - 1), Some(u32::MAX));
+        // i + 1 == 2^32: the old cast produced 0 — the *empty* sentinel —
+        // erasing a real candidate; now it is simply not stored.
+        assert_eq!(table_slot(u32::MAX as usize), None);
+        // i + 1 == 2^32 + 5: the old cast produced 5, a match candidate at
+        // byte 4 — unrelated data ~4 GiB away. Must not be representable.
+        assert_eq!(table_slot(u32::MAX as usize + 5), None);
+        assert_eq!(table_slot(usize::MAX), None);
     }
 
     #[test]

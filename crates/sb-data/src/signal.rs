@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The synchronous observer a runtime arms on the board:
 /// `(component, signal, step, value)`.
@@ -31,7 +31,11 @@ pub struct SignalBoard {
     /// Latest `(step, value)` per `(component, signal)`.
     latest: Mutex<BTreeMap<(String, String), (u64, f64)>>,
     /// The armed observer, called synchronously from the publishing thread.
-    hook: Mutex<Option<SignalHook>>,
+    /// Kept behind an `Arc` so [`SignalBoard::publish`] can clone it out and
+    /// release the lock before calling: a hook is then free to publish
+    /// signals itself (a trigger action reporting progress) without
+    /// deadlocking on its own lock.
+    hook: Mutex<Option<Arc<SignalHook>>>,
 }
 
 impl SignalBoard {
@@ -50,7 +54,7 @@ impl SignalBoard {
     /// value and calls the hook synchronously on the publishing thread.
     /// Replaces any previously armed hook.
     pub fn arm(&self, hook: SignalHook) {
-        *self.hook.lock().expect("signal hook poisoned") = Some(hook);
+        *self.hook.lock().expect("signal hook poisoned") = Some(Arc::new(hook));
         self.armed.store(true, Ordering::SeqCst);
     }
 
@@ -76,12 +80,18 @@ impl SignalBoard {
             let mut latest = self.latest.lock().expect("signal board poisoned");
             latest.insert((component.to_string(), signal.to_string()), (step, value));
         }
-        // The latest-value lock is released before the hook runs so the
-        // hook may read the board; the hook lock is held, so actions must
-        // not publish signals themselves (none do — they flip atomics,
-        // snapshot streams, or swap policies).
-        let hook = self.hook.lock().expect("signal hook poisoned");
-        if let Some(hook) = hook.as_ref() {
+        // Both locks are released before the hook runs: the latest-value
+        // lock so the hook may read the board, and the hook lock so an
+        // action performed by the hook may itself publish a signal (a
+        // reentrant publication sees the same hook and recurses safely
+        // instead of deadlocking on the hook mutex).
+        let hook = self
+            .hook
+            .lock()
+            .expect("signal hook poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(hook) = hook {
             hook(component, signal, step, value);
         }
     }
@@ -157,6 +167,27 @@ mod tests {
                 ("b".to_string(), "x".to_string(), 2, 3.0),
             ]
         );
+    }
+
+    #[test]
+    fn hook_may_publish_reentrantly() {
+        // Regression: publish used to hold the hook mutex while calling the
+        // hook, so a hook that published a follow-up signal deadlocked.
+        let board = Arc::new(SignalBoard::new());
+        let b2 = Arc::clone(&board);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&depth);
+        board.arm(Box::new(move |c, _, step, v| {
+            d2.fetch_add(1, Ordering::SeqCst);
+            if c != "trigger" {
+                // The action reports its own progress signal from inside
+                // the hook — the publication that used to deadlock.
+                b2.publish("trigger", "fired", step, v + 1.0);
+            }
+        }));
+        board.publish("sim", "rate", 4, 1.0);
+        assert_eq!(depth.load(Ordering::SeqCst), 2, "reentrant publish ran");
+        assert_eq!(board.latest("trigger", "fired"), Some((4, 2.0)));
     }
 
     #[test]

@@ -84,21 +84,45 @@ impl StreamHub {
         Self::assemble(transport, wait, tracer)
     }
 
-    /// Creates a hub over TCP to the broker at `url` (`tcp://host:port`),
-    /// with default [`TcpOptions`] and the default deadlock timeout.
+    /// Creates a hub over a remote broker at `url` — `tcp://host:port` for
+    /// the socket backend, `shm://DIR` for the same-host shared-memory
+    /// backend — with default [`TcpOptions`] and the default deadlock
+    /// timeout.
     ///
-    /// The URL is validated and resolved here; actual sockets are dialed
-    /// when endpoints open, so the broker may come up later (within the
-    /// connect timeout) — launch-order independence across processes.
+    /// The URL is validated and resolved here; actual connections are
+    /// dialed when endpoints open, so the broker may come up later (within
+    /// the connect timeout) — launch-order independence across processes.
     pub fn connect(url: &str) -> std::io::Result<Arc<StreamHub>> {
         Self::connect_with(url, TcpOptions::default())
     }
 
     /// [`StreamHub::connect`] with explicit connect/read timeout options.
+    /// `shm://` URLs take the default ring capacity; use
+    /// [`StreamHub::connect_shm`] to tune it.
     pub fn connect_with(url: &str, options: TcpOptions) -> std::io::Result<Arc<StreamHub>> {
+        if url.starts_with("shm://") {
+            return Self::connect_shm(url, crate::shm::ShmOptions::default().with_wire(options));
+        }
         let wait = Arc::new(AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_micros() as u64));
         let tracer = Arc::new(Tracer::new());
         let transport = Arc::new(TcpTransport::connect(
+            url,
+            options,
+            Arc::clone(&wait),
+            Arc::clone(&tracer),
+        )?);
+        Ok(Self::assemble(transport, wait, tracer))
+    }
+
+    /// Creates a hub over the shared-memory backend at `url` (`shm://DIR`)
+    /// with explicit [`crate::shm::ShmOptions`].
+    pub fn connect_shm(
+        url: &str,
+        options: crate::shm::ShmOptions,
+    ) -> std::io::Result<Arc<StreamHub>> {
+        let wait = Arc::new(AtomicU64::new(DEFAULT_WAIT_TIMEOUT.as_micros() as u64));
+        let tracer = Arc::new(Tracer::new());
+        let transport = Arc::new(crate::shm::connect(
             url,
             options,
             Arc::clone(&wait),

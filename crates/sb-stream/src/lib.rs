@@ -45,6 +45,7 @@ pub mod faults;
 mod hub;
 mod metrics;
 mod reader;
+pub mod shm;
 mod stream;
 pub mod tcp;
 pub mod trace;
@@ -58,6 +59,7 @@ pub use metrics::StreamMetrics;
 pub use reader::{StepStatus, StreamReader};
 pub use sb_data::signal::{SignalBoard, SignalHook};
 pub use sb_data::wire::Compression;
+pub use shm::{ShmBroker, ShmOptions};
 pub use stream::WriterOptions;
 pub use tcp::{TcpBroker, TcpOptions, WireProtocol};
 pub use trace::{EventKind, PhaseHistogram, Timeline, TraceConfig, TraceEvent, TraceSite, Tracer};

@@ -35,6 +35,7 @@ pub(crate) struct Counters {
     pub zero_fills_elided: AtomicU64,
     pub wire_writer_bytes: AtomicU64,
     pub wire_reader_bytes: AtomicU64,
+    pub wire_shm_bytes: AtomicU64,
     pub wire_uncompressed_bytes: AtomicU64,
     pub wire_compressed_bytes: AtomicU64,
 }
@@ -83,6 +84,16 @@ impl Counters {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Attributes frame bytes to the shared-memory fabric. Charged by shm
+    /// broker sessions *in addition to* the per-hop counters above (same
+    /// single-authority rule: the broker session is the only side that
+    /// charges), so `wire_shm_bytes ≤ bytes_on_wire` and the hop totals stay
+    /// fabric-agnostic.
+    pub(crate) fn add_wire_shm(&self, bytes: usize) {
+        self.wire_shm_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Records one payload passing through the codec: its size before
     /// compression and the bytes that actually went on the wire. Charged at
     /// the encode site only, so client and broker contributions are
@@ -110,6 +121,7 @@ impl Counters {
             zero_fills_elided: self.zero_fills_elided.load(Ordering::Relaxed),
             wire_writer_bytes: wire_writer,
             wire_reader_bytes: wire_reader,
+            wire_shm_bytes: self.wire_shm_bytes.load(Ordering::Relaxed),
             wire_uncompressed_bytes: self.wire_uncompressed_bytes.load(Ordering::Relaxed),
             wire_compressed_bytes: self.wire_compressed_bytes.load(Ordering::Relaxed),
             bytes_on_wire: wire_writer + wire_reader,
@@ -174,6 +186,11 @@ pub struct StreamMetrics {
     /// Frame bytes that crossed the broker → reader socket hop, each
     /// counted once. Zero on the in-proc backend.
     pub wire_reader_bytes: u64,
+    /// Frame bytes that moved over the shared-memory ring fabric. A
+    /// fabric *attribution* of the hop totals, not a third hop: every byte
+    /// here is also in `wire_writer_bytes` or `wire_reader_bytes`. Zero on
+    /// the tcp and in-proc backends.
+    pub wire_shm_bytes: u64,
     /// Payload bytes entering the wire codec before compression. Equal to
     /// `wire_compressed_bytes` when compression is off or never won.
     pub wire_uncompressed_bytes: u64,

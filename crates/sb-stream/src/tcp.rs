@@ -107,7 +107,7 @@ const REPLY_METRICS: u8 = 0x86;
 
 /// Upper bound on a single frame; a corrupt length prefix fails cleanly
 /// instead of attempting a giant allocation.
-const MAX_FRAME: u32 = 1 << 30;
+pub(crate) const MAX_FRAME: u32 = 1 << 30;
 
 /// Cached encoded steps the broker keeps per stream before dropping the
 /// oldest. Eviction normally happens when every attached v2 reader has
@@ -247,14 +247,43 @@ pub fn parse_url(url: &str) -> io::Result<SocketAddr> {
     })
 }
 
-/// Appends a length-prefixed protocol string. Frame strings are tiny
-/// (stream names, reasons, error text), so the u32 length prefix of the
-/// underlying codec cannot overflow.
-fn put_wire_str(buf: &mut Vec<u8>, s: &str) {
-    sb_data::wire::put_str(buf, s).expect("protocol string exceeds u32::MAX bytes");
+/// Appends a length-prefixed protocol string. Frame strings are normally
+/// tiny (stream names, reasons, error text), but an oversized one must
+/// surface as the typed error path, never a client-thread panic.
+fn put_wire_str(buf: &mut Vec<u8>, s: &str) -> Result<(), String> {
+    check_wire_str_len(s.len())?;
+    sb_data::wire::put_str(buf, s).map_err(|e| e.to_string())
+}
+
+/// The length gate of [`put_wire_str`], split out so the >4 GiB boundary
+/// is testable by injecting a length instead of allocating one.
+fn check_wire_str_len(len: usize) -> Result<(), String> {
+    if u32::try_from(len).is_err() {
+        return Err(format!(
+            "protocol string of {len} bytes exceeds the u32 wire length field"
+        ));
+    }
+    Ok(())
 }
 
 // ---- framing -------------------------------------------------------------
+
+/// One framed, bidirectional byte channel: the seam between the protocol
+/// (hellos, steps, control verbs) and the fabric carrying it. The TCP
+/// socket and the shared-memory ring both implement it, so every client
+/// and broker-session codepath above this line is fabric-agnostic.
+pub(crate) trait FrameIo: Send {
+    /// Sends one `u32`-length-prefixed frame, returning the bytes that
+    /// crossed the fabric (header plus payload).
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<usize>;
+
+    /// Receives one frame payload.
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Sets the deadline applied to subsequent [`FrameIo::recv_frame`]
+    /// calls; expiry must surface as `WouldBlock` or `TimedOut`.
+    fn set_recv_deadline(&mut self, deadline: Option<Duration>);
+}
 
 fn send_frame(sock: &mut TcpStream, payload: &[u8]) -> io::Result<usize> {
     sock.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -283,6 +312,20 @@ fn recv_frame(sock: &mut TcpStream) -> io::Result<Vec<u8>> {
         ));
     }
     Ok(payload)
+}
+
+impl FrameIo for TcpStream {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<usize> {
+        send_frame(self, payload)
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        recv_frame(self)
+    }
+
+    fn set_recv_deadline(&mut self, deadline: Option<Duration>) {
+        let _ = self.set_read_timeout(deadline);
+    }
 }
 
 // ---- payload parsing helpers ---------------------------------------------
@@ -352,24 +395,38 @@ fn proto_gone(stream: &str, detail: impl std::fmt::Display) -> StreamError {
 }
 
 fn encode_err(buf: &mut Vec<u8>, err: &StreamError) {
-    match err {
-        StreamError::Timeout {
-            stream,
-            waiting_for,
-            timeout,
-            detail,
-        } => {
-            buf.put_u8(REPLY_ERR_TIMEOUT);
-            put_wire_str(buf, stream);
-            put_wire_str(buf, waiting_for);
-            buf.put_u64_le(timeout.as_micros() as u64);
-            put_wire_str(buf, detail);
+    let start = buf.len();
+    let framed = (|| -> Result<(), String> {
+        match err {
+            StreamError::Timeout {
+                stream,
+                waiting_for,
+                timeout,
+                detail,
+            } => {
+                buf.put_u8(REPLY_ERR_TIMEOUT);
+                put_wire_str(buf, stream)?;
+                put_wire_str(buf, waiting_for)?;
+                buf.put_u64_le(timeout.as_micros() as u64);
+                put_wire_str(buf, detail)?;
+            }
+            StreamError::PeerGone { stream, reason } => {
+                buf.put_u8(REPLY_ERR_PEER_GONE);
+                put_wire_str(buf, stream)?;
+                put_wire_str(buf, reason)?;
+            }
         }
-        StreamError::PeerGone { stream, reason } => {
-            buf.put_u8(REPLY_ERR_PEER_GONE);
-            put_wire_str(buf, stream);
-            put_wire_str(buf, reason);
-        }
+        Ok(())
+    })();
+    if framed.is_err() {
+        // An error whose strings cannot fit the frame must still reach the
+        // peer as *something* decodable; degrade to a constant PeerGone.
+        buf.truncate(start);
+        const DETAIL: &str = "unframeable error reply";
+        buf.put_u8(REPLY_ERR_PEER_GONE);
+        buf.put_u32_le(0); // empty stream name
+        buf.put_u32_le(DETAIL.len() as u32);
+        buf.extend_from_slice(DETAIL.as_bytes());
     }
 }
 
@@ -389,8 +446,8 @@ fn decode_err(op: u8, cur: &mut Cur<'_>) -> Result<StreamError, String> {
     }
 }
 
-fn encode_metrics(buf: &mut Vec<u8>, m: &StreamMetrics) {
-    put_wire_str(buf, &m.stream);
+fn encode_metrics(buf: &mut Vec<u8>, m: &StreamMetrics) -> Result<(), String> {
+    put_wire_str(buf, &m.stream)?;
     buf.put_u64_le(m.bytes_written);
     buf.put_u64_le(m.bytes_read);
     buf.put_u64_le(m.steps_committed);
@@ -402,9 +459,11 @@ fn encode_metrics(buf: &mut Vec<u8>, m: &StreamMetrics) {
     buf.put_u64_le(m.zero_fills_elided);
     buf.put_u64_le(m.wire_writer_bytes);
     buf.put_u64_le(m.wire_reader_bytes);
+    buf.put_u64_le(m.wire_shm_bytes);
     buf.put_u64_le(m.wire_uncompressed_bytes);
     buf.put_u64_le(m.wire_compressed_bytes);
     buf.put_u64_le(m.bytes_on_wire);
+    Ok(())
 }
 
 fn decode_metrics(cur: &mut Cur<'_>) -> Result<StreamMetrics, String> {
@@ -421,6 +480,7 @@ fn decode_metrics(cur: &mut Cur<'_>) -> Result<StreamMetrics, String> {
         zero_fills_elided: cur.u64("zero_fills_elided")?,
         wire_writer_bytes: cur.u64("wire_writer_bytes")?,
         wire_reader_bytes: cur.u64("wire_reader_bytes")?,
+        wire_shm_bytes: cur.u64("wire_shm_bytes")?,
         wire_uncompressed_bytes: cur.u64("wire_uncompressed_bytes")?,
         wire_compressed_bytes: cur.u64("wire_compressed_bytes")?,
         bytes_on_wire: cur.u64("bytes_on_wire")?,
@@ -431,16 +491,17 @@ fn decode_metrics(cur: &mut Cur<'_>) -> Result<StreamMetrics, String> {
 
 /// One endpoint's connection to the broker, with typed send/receive.
 struct ClientConn {
-    sock: TcpStream,
+    io: Box<dyn FrameIo>,
     stream_name: String,
-    addr: SocketAddr,
+    peer: String,
     wait_timeout_micros: Arc<AtomicU64>,
     read_grace: Duration,
 }
 
 impl ClientConn {
     fn send(&mut self, payload: &[u8]) -> StreamResult<()> {
-        send_frame(&mut self.sock, payload)
+        self.io
+            .send_frame(payload)
             .map(|_| ())
             .map_err(|e| StreamError::PeerGone {
                 stream: self.stream_name.clone(),
@@ -449,18 +510,18 @@ impl ClientConn {
     }
 
     /// Receives one reply frame. The broker enforces the hub timeout where
-    /// the blocking happens; the socket deadline only adds wire slack, and
+    /// the blocking happens; the fabric deadline only adds wire slack, and
     /// its expiry surfaces as the same [`StreamError::Timeout`].
     fn recv(&mut self, waiting_for: &str) -> StreamResult<Vec<u8>> {
         let base = Duration::from_micros(self.wait_timeout_micros.load(Ordering::Relaxed));
         let deadline = base + self.read_grace;
-        let _ = self.sock.set_read_timeout(Some(deadline));
-        recv_frame(&mut self.sock).map_err(|e| match e.kind() {
+        self.io.set_recv_deadline(Some(deadline));
+        self.io.recv_frame().map_err(|e| match e.kind() {
             io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => StreamError::Timeout {
                 stream: self.stream_name.clone(),
                 waiting_for: waiting_for.to_string(),
                 timeout: deadline,
-                detail: format!("no reply from broker at {}", self.addr),
+                detail: format!("no reply from broker at {}", self.peer),
             },
             _ => StreamError::PeerGone {
                 stream: self.stream_name.clone(),
@@ -520,10 +581,44 @@ fn dial(
     }
 }
 
-/// The client-side [`Transport`]: every endpoint is one framed TCP
-/// connection to the broker.
-pub struct TcpTransport {
+/// Dials one fabric connection per endpoint — the client-side seam that
+/// lets [`TcpTransport`] drive any [`FrameIo`] fabric. The shared-memory
+/// backend reuses the whole client protocol by substituting its dialer.
+pub(crate) trait Dialer: Send + Sync {
+    /// Backend name reported by [`Transport::backend`].
+    fn backend(&self) -> &'static str;
+
+    /// Opens one framed connection for `stream_name`'s endpoint.
+    fn dial(&self, stream_name: &str) -> Result<Box<dyn FrameIo>, StreamError>;
+
+    /// Peer identity for error detail text.
+    fn peer(&self) -> String;
+}
+
+struct TcpDialer {
     addr: SocketAddr,
+    options: TcpOptions,
+}
+
+impl Dialer for TcpDialer {
+    fn backend(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn dial(&self, stream_name: &str) -> Result<Box<dyn FrameIo>, StreamError> {
+        dial(self.addr, &self.options, stream_name).map(|sock| Box::new(sock) as Box<dyn FrameIo>)
+    }
+
+    fn peer(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+/// The client-side [`Transport`]: every endpoint is one framed connection
+/// to the broker, dialed through a fabric-specific [`Dialer`] (a TCP
+/// socket, or the shared-memory ring of [`crate::shm`]).
+pub struct TcpTransport {
+    dialer: Box<dyn Dialer>,
     url: String,
     options: TcpOptions,
     wait_timeout_micros: Arc<AtomicU64>,
@@ -545,15 +640,32 @@ impl TcpTransport {
         tracer: Arc<Tracer>,
     ) -> io::Result<TcpTransport> {
         let addr = parse_url(url)?;
-        Ok(TcpTransport {
-            addr,
-            url: url.to_string(),
+        Ok(TcpTransport::with_dialer(
+            url.to_string(),
+            Box::new(TcpDialer { addr, options }),
+            options,
+            wait_timeout_micros,
+            tracer,
+        ))
+    }
+
+    /// Assembles the client protocol over an arbitrary fabric dialer.
+    pub(crate) fn with_dialer(
+        url: String,
+        dialer: Box<dyn Dialer>,
+        options: TcpOptions,
+        wait_timeout_micros: Arc<AtomicU64>,
+        tracer: Arc<Tracer>,
+    ) -> TcpTransport {
+        TcpTransport {
+            dialer,
+            url,
             options,
             wait_timeout_micros,
             tracer,
             counters: Mutex::new(HashMap::new()),
             control: Mutex::new(None),
-        })
+        }
     }
 
     /// The URL this transport dials.
@@ -571,11 +683,11 @@ impl TcpTransport {
     }
 
     fn client_conn(&self, stream_name: &str) -> Result<ClientConn, StreamError> {
-        let sock = dial(self.addr, &self.options, stream_name)?;
+        let io = self.dialer.dial(stream_name)?;
         Ok(ClientConn {
-            sock,
+            io,
             stream_name: stream_name.to_string(),
-            addr: self.addr,
+            peer: self.dialer.peer(),
             wait_timeout_micros: Arc::clone(&self.wait_timeout_micros),
             read_grace: self.options.read_grace,
         })
@@ -895,7 +1007,7 @@ impl ReaderEndpoint for TcpReader {
 
 impl Transport for TcpTransport {
     fn backend(&self) -> &'static str {
-        "tcp"
+        self.dialer.backend()
     }
 
     fn open_writer(
@@ -911,7 +1023,7 @@ impl Transport for TcpTransport {
             let mut conn = self.client_conn(name)?;
             let mut hello = Vec::with_capacity(64);
             hello.put_u8(HELLO_WRITER);
-            put_wire_str(&mut hello, name);
+            put_wire_str(&mut hello, name).map_err(|d| proto_gone(name, d))?;
             hello.put_u32_le(rank as u32);
             hello.put_u32_le(nranks as u32);
             hello.put_u32_le(options.queue_capacity as u32);
@@ -971,8 +1083,8 @@ impl Transport for TcpTransport {
             let mut conn = self.client_conn(name)?;
             let mut hello = Vec::with_capacity(64);
             hello.put_u8(HELLO_READER);
-            put_wire_str(&mut hello, name);
-            put_wire_str(&mut hello, group);
+            put_wire_str(&mut hello, name).map_err(|d| proto_gone(name, d))?;
+            put_wire_str(&mut hello, group).map_err(|d| proto_gone(name, d))?;
             hello.put_u32_le(rank as u32);
             hello.put_u32_le(nranks as u32);
             hello.put_u8(self.options.protocol.tag());
@@ -1057,36 +1169,46 @@ impl Transport for TcpTransport {
     }
 
     fn poison_all(&self, reason: &str) {
-        let mut req = vec![C_POISON];
-        put_wire_str(&mut req, reason);
-        let _ = self.control_ok(&req, "poison acknowledgement");
+        // The control verbs are fire-and-forget; an unframeable argument
+        // degrades to a skipped verb, never a client panic.
+        let _ = (|| -> StreamResult<()> {
+            let mut req = vec![C_POISON];
+            put_wire_str(&mut req, reason).map_err(|d| proto_gone("<control>", d))?;
+            self.control_ok(&req, "poison acknowledgement")
+        })();
     }
 
     fn force_end_of_stream(&self, name: &str) {
-        let mut req = vec![C_FORCE_EOS];
-        put_wire_str(&mut req, name);
-        let _ = self.control_ok(&req, "forced EOS acknowledgement");
+        let _ = (|| -> StreamResult<()> {
+            let mut req = vec![C_FORCE_EOS];
+            put_wire_str(&mut req, name).map_err(|d| proto_gone(name, d))?;
+            self.control_ok(&req, "forced EOS acknowledgement")
+        })();
     }
 
     fn detach_reader_group(&self, name: &str, group: &str) {
-        let mut req = vec![C_DETACH];
-        put_wire_str(&mut req, name);
-        put_wire_str(&mut req, group);
-        let _ = self.control_ok(&req, "detach acknowledgement");
+        let _ = (|| -> StreamResult<()> {
+            let mut req = vec![C_DETACH];
+            put_wire_str(&mut req, name).map_err(|d| proto_gone(name, d))?;
+            put_wire_str(&mut req, group).map_err(|d| proto_gone(name, d))?;
+            self.control_ok(&req, "detach acknowledgement")
+        })();
     }
 
     fn prepare_restart(&self, inputs: &[(String, String)], outputs: &[String]) {
-        let mut req = vec![C_RESTART];
-        req.put_u32_le(inputs.len() as u32);
-        for (stream, group) in inputs {
-            put_wire_str(&mut req, stream);
-            put_wire_str(&mut req, group);
-        }
-        req.put_u32_le(outputs.len() as u32);
-        for stream in outputs {
-            put_wire_str(&mut req, stream);
-        }
-        let _ = self.control_ok(&req, "restart preparation acknowledgement");
+        let _ = (|| -> StreamResult<()> {
+            let mut req = vec![C_RESTART];
+            req.put_u32_le(inputs.len() as u32);
+            for (stream, group) in inputs {
+                put_wire_str(&mut req, stream).map_err(|d| proto_gone(stream, d))?;
+                put_wire_str(&mut req, group).map_err(|d| proto_gone(stream, d))?;
+            }
+            req.put_u32_le(outputs.len() as u32);
+            for stream in outputs {
+                put_wire_str(&mut req, stream).map_err(|d| proto_gone(stream, d))?;
+            }
+            self.control_ok(&req, "restart preparation acknowledgement")
+        })();
     }
 
     fn set_wait_timeout(&self, timeout: Duration) {
@@ -1168,7 +1290,8 @@ impl TcpBroker {
                             .name("sb-tcp-session".to_string())
                             .spawn(move || {
                                 let _guard = guard;
-                                let _ = serve_session(&hub, &relays, sock);
+                                let mut sock = sock;
+                                let _ = serve_session(&hub, &relays, &mut sock, false);
                             });
                     }
                 })?
@@ -1235,20 +1358,47 @@ fn session_err(detail: String) -> io::Error {
 }
 
 /// Sends one reply frame, returning the frame bytes that crossed the
-/// socket. The caller charges them to the hop-appropriate wire counter —
+/// fabric. The caller charges them to the hop-appropriate wire counter —
 /// there is no counter parameter precisely so no call site can charge the
 /// wrong hop silently.
-fn reply(sock: &mut TcpStream, payload: &[u8]) -> io::Result<usize> {
-    send_frame(sock, payload)
+fn reply(io: &mut dyn FrameIo, payload: &[u8]) -> io::Result<usize> {
+    io.send_frame(payload)
 }
 
-fn reply_result(sock: &mut TcpStream, result: StreamResult<()>) -> io::Result<usize> {
+fn reply_result(io: &mut dyn FrameIo, result: StreamResult<()>) -> io::Result<usize> {
     match result {
-        Ok(()) => reply(sock, &[REPLY_OK]),
+        Ok(()) => reply(io, &[REPLY_OK]),
         Err(e) => {
             let mut buf = Vec::with_capacity(128);
             encode_err(&mut buf, &e);
-            reply(sock, &buf)
+            reply(io, &buf)
+        }
+    }
+}
+
+/// Charges one session's frame bytes to its hop counter, attributing them
+/// to the shared-memory fabric ledger too when the session runs over the
+/// ring transport (see [`Counters::add_wire_shm`]).
+#[derive(Clone, Copy)]
+enum Hop {
+    Writer,
+    Reader,
+}
+
+struct HopLedger {
+    counters: Arc<Counters>,
+    hop: Hop,
+    shm: bool,
+}
+
+impl HopLedger {
+    fn charge(&self, bytes: usize) {
+        match self.hop {
+            Hop::Writer => self.counters.add_wire_writer(bytes),
+            Hop::Reader => self.counters.add_wire_reader(bytes),
+        }
+        if self.shm {
+            self.counters.add_wire_shm(bytes);
         }
     }
 }
@@ -1258,7 +1408,7 @@ fn reply_result(sock: &mut TcpStream, result: StreamResult<()>) -> io::Result<us
 /// Broker-side per-stream relay state: the shared interning table plus the
 /// encode-once step cache. One per broker, keyed by stream name.
 #[derive(Default)]
-struct RelayTable {
+pub(crate) struct RelayTable {
     streams: Mutex<HashMap<String, Arc<StreamRelay>>>,
 }
 
@@ -1392,30 +1542,35 @@ impl Drop for ReaderCountGuard {
     }
 }
 
-fn serve_session(
+/// Serves one accepted connection over any [`FrameIo`] fabric. `shm` marks
+/// sessions running over the shared-memory ring so their frame bytes are
+/// also attributed to the shm fabric ledger.
+pub(crate) fn serve_session(
     hub: &Arc<StreamHub>,
     relays: &Arc<RelayTable>,
-    mut sock: TcpStream,
+    io: &mut dyn FrameIo,
+    shm: bool,
 ) -> io::Result<()> {
-    let hello = recv_frame(&mut sock)?;
+    let hello = io.recv_frame()?;
     // The sessions charge the full hello frame to their hop themselves;
     // `hello_len` carries the length because the cursor they parse from is
     // consumed by then.
     let hello_len = 4 + hello.len();
     let mut cur = Cur(&hello);
     match cur.u8("hello opcode").map_err(session_err)? {
-        HELLO_WRITER => writer_session(hub, sock, &mut cur, hello_len),
-        HELLO_READER => reader_session(hub, relays, sock, &mut cur, hello_len),
-        HELLO_CONTROL => control_session(hub, sock),
+        HELLO_WRITER => writer_session(hub, io, &mut cur, hello_len, shm),
+        HELLO_READER => reader_session(hub, relays, io, &mut cur, hello_len, shm),
+        HELLO_CONTROL => control_session(hub, io),
         op => Err(session_err(format!("unknown hello opcode {op:#04x}"))),
     }
 }
 
 fn writer_session(
     hub: &Arc<StreamHub>,
-    mut sock: TcpStream,
+    io: &mut dyn FrameIo,
     hello: &mut Cur<'_>,
     hello_len: usize,
+    shm: bool,
 ) -> io::Result<()> {
     let name = hello.string("stream name").map_err(session_err)?;
     let rank = hello.u32("rank").map_err(session_err)? as usize;
@@ -1434,9 +1589,13 @@ fn writer_session(
         .with_rendezvous(rendezvous)
         .with_reader_groups(groups);
     let conn = hub.transport().open_writer(&name, rank, nranks, options);
-    let counters = conn.counters;
+    let ledger = HopLedger {
+        counters: Arc::clone(&conn.counters),
+        hop: Hop::Writer,
+        shm,
+    };
     let mut endpoint = conn.endpoint;
-    counters.add_wire_writer(hello_len);
+    ledger.charge(hello_len);
     // Interned definitions this connection has applied (v2).
     let mut defs = MetaDefs::default();
 
@@ -1445,10 +1604,10 @@ fn writer_session(
     started.put_u64_le(conn.start_step);
     started.put_u8(proto.tag());
     started.put_u8(comp.tag());
-    counters.add_wire_writer(reply(&mut sock, &started)?);
+    ledger.charge(reply(io, &started)?);
 
     loop {
-        let payload = match recv_frame(&mut sock) {
+        let payload = match io.recv_frame() {
             Ok(p) => p,
             Err(_) => {
                 // The connection dropped without a terminator — the process
@@ -1459,13 +1618,13 @@ fn writer_session(
                 return Ok(());
             }
         };
-        counters.add_wire_writer(4 + payload.len());
+        ledger.charge(4 + payload.len());
         let mut cur = Cur(&payload);
         match cur.u8("writer opcode").map_err(session_err)? {
             W_BEGIN => {
                 let step = cur.u64("step").map_err(session_err)?;
                 let result = endpoint.begin_step(step);
-                counters.add_wire_writer(reply_result(&mut sock, result)?);
+                ledger.charge(reply_result(io, result)?);
             }
             W_STEP => {
                 let step = cur.u64("step").map_err(session_err)?;
@@ -1508,11 +1667,11 @@ fn writer_session(
                     Some(e) => Err(e),
                     None => endpoint.end_step(step),
                 };
-                counters.add_wire_writer(reply_result(&mut sock, result)?);
+                ledger.charge(reply_result(io, result)?);
             }
             W_CLOSE => {
                 endpoint.close();
-                counters.add_wire_writer(reply(&mut sock, &[REPLY_OK])?);
+                ledger.charge(reply(io, &[REPLY_OK])?);
                 return Ok(());
             }
             W_ABANDON => {
@@ -1532,9 +1691,10 @@ fn writer_session(
 fn reader_session(
     hub: &Arc<StreamHub>,
     relays: &Arc<RelayTable>,
-    mut sock: TcpStream,
+    io: &mut dyn FrameIo,
     hello: &mut Cur<'_>,
     hello_len: usize,
+    shm: bool,
 ) -> io::Result<()> {
     let name = hello.string("stream name").map_err(session_err)?;
     let group = hello.string("reader group").map_err(session_err)?;
@@ -1548,8 +1708,13 @@ fn reader_session(
     }
     let conn = hub.transport().open_reader(&name, &group, rank, nranks);
     let counters = conn.counters;
+    let ledger = HopLedger {
+        counters: Arc::clone(&counters),
+        hop: Hop::Reader,
+        shm,
+    };
     let mut endpoint = conn.endpoint;
-    counters.add_wire_reader(hello_len);
+    ledger.charge(hello_len);
     let relay = relays.stream(&name);
     let _gauge = (proto == WireProtocol::V2).then(|| ReaderCountGuard::new(Arc::clone(&relay)));
     // Definition ids already sent to this session (v2 catch-up mark).
@@ -1561,14 +1726,14 @@ fn reader_session(
     started.put_u64_le(conn.first_step);
     started.put_u8(proto.tag());
     started.put_u8(comp.tag());
-    counters.add_wire_reader(reply(&mut sock, &started)?);
+    ledger.charge(reply(io, &started)?);
 
     loop {
         // A reader hanging up mid-stream needs no bookkeeping here: its
         // partial releases are reset by the supervisor on restart, or the
         // group is detached on degrade.
-        let payload = recv_frame(&mut sock)?;
-        counters.add_wire_reader(4 + payload.len());
+        let payload = io.recv_frame()?;
+        ledger.charge(4 + payload.len());
         let mut cur = Cur(&payload);
         match cur.u8("reader opcode").map_err(session_err)? {
             R_BEGIN => {
@@ -1610,23 +1775,23 @@ fn reader_session(
                                         );
                                     }
                                 }
-                                counters.add_wire_reader(reply(&mut sock, &frame)?);
+                                ledger.charge(reply(io, &frame)?);
                             }
                             Err(e) => {
                                 let mut buf = Vec::with_capacity(128);
                                 let gone = proto_gone(&name, format!("unencodable step: {e}"));
                                 encode_err(&mut buf, &gone);
-                                counters.add_wire_reader(reply(&mut sock, &buf)?);
+                                ledger.charge(reply(io, &buf)?);
                             }
                         }
                     }
                     Ok(None) => {
-                        counters.add_wire_reader(reply(&mut sock, &[REPLY_EOS])?);
+                        ledger.charge(reply(io, &[REPLY_EOS])?);
                     }
                     Err(e) => {
                         let mut buf = Vec::with_capacity(128);
                         encode_err(&mut buf, &e);
-                        counters.add_wire_reader(reply(&mut sock, &buf)?);
+                        ledger.charge(reply(io, &buf)?);
                     }
                 }
             }
@@ -1642,10 +1807,10 @@ fn reader_session(
     }
 }
 
-fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> {
-    reply(&mut sock, &[REPLY_OK])?;
+fn control_session(hub: &Arc<StreamHub>, io: &mut dyn FrameIo) -> io::Result<()> {
+    reply(io, &[REPLY_OK])?;
     loop {
-        let payload = match recv_frame(&mut sock) {
+        let payload = match io.recv_frame() {
             Ok(p) => p,
             Err(_) => return Ok(()),
         };
@@ -1654,18 +1819,18 @@ fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> 
             C_POISON => {
                 let reason = cur.string("poison reason").map_err(session_err)?;
                 hub.poison_all(&reason);
-                reply(&mut sock, &[REPLY_OK])?;
+                reply(io, &[REPLY_OK])?;
             }
             C_FORCE_EOS => {
                 let name = cur.string("stream name").map_err(session_err)?;
                 hub.force_end_of_stream(&name);
-                reply(&mut sock, &[REPLY_OK])?;
+                reply(io, &[REPLY_OK])?;
             }
             C_DETACH => {
                 let name = cur.string("stream name").map_err(session_err)?;
                 let group = cur.string("reader group").map_err(session_err)?;
                 hub.detach_reader_group(&name, &group);
-                reply(&mut sock, &[REPLY_OK])?;
+                reply(io, &[REPLY_OK])?;
             }
             C_RESTART => {
                 let nin = cur.u32("input count").map_err(session_err)?;
@@ -1681,22 +1846,31 @@ fn control_session(hub: &Arc<StreamHub>, mut sock: TcpStream) -> io::Result<()> 
                     outputs.push(cur.string("output stream").map_err(session_err)?);
                 }
                 hub.prepare_restart(&inputs, &outputs);
-                reply(&mut sock, &[REPLY_OK])?;
+                reply(io, &[REPLY_OK])?;
             }
             C_SET_TIMEOUT => {
                 let micros = cur.u64("timeout").map_err(session_err)?;
                 hub.set_wait_timeout(Duration::from_micros(micros));
-                reply(&mut sock, &[REPLY_OK])?;
+                reply(io, &[REPLY_OK])?;
             }
             C_METRICS => {
                 let all = hub.all_metrics();
-                let mut buf = Vec::with_capacity(64 + all.len() * 128);
-                buf.put_u8(REPLY_METRICS);
-                buf.put_u32_le(all.len() as u32);
+                // Each entry is framed into a scratch buffer first so one
+                // unframeable stream name drops that entry, not the reply.
+                let mut bodies = Vec::with_capacity(all.len());
                 for m in &all {
-                    encode_metrics(&mut buf, m);
+                    let mut body = Vec::with_capacity(128);
+                    if encode_metrics(&mut body, m).is_ok() {
+                        bodies.push(body);
+                    }
                 }
-                reply(&mut sock, &buf)?;
+                let mut buf = Vec::with_capacity(64 + bodies.len() * 128);
+                buf.put_u8(REPLY_METRICS);
+                buf.put_u32_le(bodies.len() as u32);
+                for body in &bodies {
+                    buf.extend_from_slice(body);
+                }
+                reply(io, &buf)?;
             }
             op => return Err(session_err(format!("unknown control opcode {op:#04x}"))),
         }
@@ -1711,6 +1885,49 @@ mod tests {
 
     fn var(vals: Vec<f64>) -> Variable {
         Variable::new("x", Shape::linear("n", vals.len()), Buffer::F64(vals)).unwrap()
+    }
+
+    #[test]
+    fn oversized_protocol_string_is_an_error_not_a_panic() {
+        // Regression: `put_wire_str` used to `.expect()` on the u32 length
+        // check, panicking the client thread on an oversized stream or
+        // group name. The length gate is exercised by injection — nobody
+        // allocates a >4 GiB name in a test.
+        assert!(check_wire_str_len(0).is_ok());
+        assert!(check_wire_str_len(u32::MAX as usize).is_ok());
+        let err = check_wire_str_len(u32::MAX as usize + 1).unwrap_err();
+        assert!(err.contains("exceeds the u32 wire length field"), "{err}");
+        assert!(check_wire_str_len(usize::MAX).is_err());
+
+        // The fallible path still frames ordinary strings byte-identically
+        // to the old infallible one.
+        let mut buf = Vec::new();
+        put_wire_str(&mut buf, "t.fp").unwrap();
+        let mut expect = Vec::new();
+        sb_data::wire::put_str(&mut expect, "t.fp").unwrap();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn unframeable_error_reply_degrades_to_constant_peer_gone() {
+        // An error whose strings cannot be framed must still produce a
+        // decodable reply; the fallback is byte-built without `put_wire_str`.
+        let mut buf = Vec::new();
+        const DETAIL: &str = "unframeable error reply";
+        buf.put_u8(REPLY_ERR_PEER_GONE);
+        buf.put_u32_le(0);
+        buf.put_u32_le(DETAIL.len() as u32);
+        buf.extend_from_slice(DETAIL.as_bytes());
+        let mut cur = Cur(&buf);
+        let op = cur.u8("reply opcode").unwrap();
+        let err = decode_err(op, &mut cur).unwrap();
+        match err {
+            StreamError::PeerGone { stream, reason } => {
+                assert_eq!(stream, "");
+                assert_eq!(reason, DETAIL);
+            }
+            other => panic!("expected PeerGone, got {other:?}"),
+        }
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub enum EventKind {
     /// A wire codec compressed one step's payload before framing it
     /// (`arg` holds the bytes saved: uncompressed minus wire size).
     Compressed,
+    /// A fired trigger action was skipped because the backend cannot
+    /// perform it (e.g. `snapshot_stream` on a transport that does not
+    /// expose buffered steps); the fired record carries the same outcome.
+    TriggerSkipped,
 }
 
 impl EventKind {
@@ -152,6 +156,7 @@ impl EventKind {
             EventKind::RestartAttempt => "restart_attempt",
             EventKind::Degraded => "degraded",
             EventKind::Compressed => "compressed",
+            EventKind::TriggerSkipped => "trigger_skipped",
         }
     }
 }
@@ -786,7 +791,10 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::EndOfStream
         | EventKind::Poisoned
         | EventKind::Compressed => "stream",
-        EventKind::FaultInjected | EventKind::RestartAttempt | EventKind::Degraded => "supervisor",
+        EventKind::FaultInjected
+        | EventKind::RestartAttempt
+        | EventKind::Degraded
+        | EventKind::TriggerSkipped => "supervisor",
     }
 }
 

@@ -514,8 +514,8 @@ impl fmt::Display for AnalysisIssue {
             } => write!(
                 f,
                 "stream {stream:?} crosses from process {writer_process:?} to process \
-                 {reader_process:?} but the script declares no `#@ transport tcp://host:port` \
-                 endpoint to carry it"
+                 {reader_process:?} but the script declares no `#@ transport` endpoint \
+                 (tcp://host:port or shm://DIR) to carry it"
             ),
             AnalysisIssue::UnreachableEndpoint { url, reason } => {
                 write!(

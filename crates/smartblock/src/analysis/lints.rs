@@ -152,7 +152,7 @@ pub const LINTS: &[Lint] = &[
         id: "SB016",
         name: "bad-transport",
         default_level: Level::Deny,
-        summary: "a cross-process stream has no usable tcp:// transport endpoint",
+        summary: "a cross-process stream has no usable transport endpoint (tcp:// or shm://)",
     },
     Lint {
         id: "SB017",

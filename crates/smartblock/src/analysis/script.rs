@@ -10,7 +10,7 @@
 //!   reader groups the script actually subscribes;
 //! - **partition plan** (SB015): `#@ process` assignments must cover every
 //!   component exactly once;
-//! - **transport** (SB016): cross-process streams need a usable `tcp://`
+//! - **transport** (SB016): cross-process streams need a usable `tcp://` or `shm://`
 //!   endpoint, and several `#@ transport` lines must agree;
 //! - **wire cost** (SB017): estimated bytes-on-the-wire per payload byte
 //!   of each cross-process stream, from the propagated specs.
@@ -382,8 +382,10 @@ fn transport_pass(
             distinct.push(url);
         }
         // `validate_transport_url` accepts any u16 port at parse time;
-        // port 0 survives parsing but is never connectable.
-        if url.ends_with(":0") {
+        // port 0 survives parsing but is never connectable. Only tcp://
+        // URLs carry a port — an shm:// rendezvous directory may legally
+        // end in ":0".
+        if url.starts_with("tcp://") && url.ends_with(":0") {
             push(
                 AnalysisIssue::UnreachableEndpoint {
                     url: url.clone(),

@@ -7,12 +7,13 @@
 //! * `sb-run --script wf.sbw`
 //!   — run the whole workflow in process (the classic single-process mode).
 //! * `sb-run --script wf.sbw --serve ADDR [--components a,b]`
-//!   — serve a TCP broker on `ADDR`, run the named components (default:
+//!   — serve a broker on `ADDR` (`HOST:PORT` binds TCP, `shm://DIR` opens a
+//!   same-host shared-memory rendezvous), run the named components (default:
 //!   none, broker only) on the broker's own hub, then keep serving until
 //!   every remote connection has drained.
 //! * `sb-run --script wf.sbw --connect tcp://HOST:PORT --components a,b`
-//!   — connect to a broker another process serves and run only the named
-//!   components there.
+//!   (or `--connect shm://DIR`) — connect to a broker another process
+//!   serves and run only the named components there.
 //!
 //! All processes must be given the *same* source file: it is the single
 //! source of truth for stream wiring and component labels (`--list` prints
@@ -35,7 +36,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sb_stream::tcp::TcpBroker;
-use sb_stream::StreamHub;
+use sb_stream::{ShmBroker, StreamHub};
 use smartblock::analysis::{lint_script, lint_spec, LintConfig, ScriptLint};
 use smartblock::distributed::{load_workflow_source, LoadedScript};
 use smartblock::launch::validate_transport_url;
@@ -55,18 +56,74 @@ struct Args {
 
 fn usage() {
     eprintln!(
-        "usage: sb-run --script FILE [--serve ADDR | --connect tcp://HOST:PORT]\n\
+        "usage: sb-run --script FILE [--serve ADDR | --connect URL]\n\
          \x20             [--components a,b,...] [--timeout SECONDS] [--list] [--force]\n\
          \x20             [--protocol v1|v2] [--compress none|lz]\n\
          runs a SmartBlock workflow — a .sb launch script or a .sbw\n\
          declarative spec — whole or as one process of a multi-process\n\
          deployment (every process gets the same file); sources with\n\
          error-level lint diagnostics are refused before any component\n\
-         starts unless --force is given. --protocol and --compress shape\n\
-         the wire frames of this process's --connect sessions (v2 interns\n\
-         metadata; lz compresses chunk payloads); a spec's [transport]\n\
-         table supplies defaults for both, and explicit flags win"
+         starts unless --force is given. --serve takes a TCP bind address\n\
+         (HOST:PORT, optionally tcp://) or a same-host shared-memory\n\
+         rendezvous (shm://DIR); --connect takes tcp://HOST:PORT or\n\
+         shm://DIR. --protocol and --compress shape the wire frames of\n\
+         this process's --connect sessions (v2 interns metadata; lz\n\
+         compresses chunk payloads); a spec's [transport] table supplies\n\
+         defaults for both, and explicit flags win"
     );
+}
+
+/// Either broker flavour behind one face: the serve branch's readiness and
+/// quiet-drain loop is fabric-agnostic, so `sb-run` should be too.
+enum Broker {
+    Tcp(TcpBroker),
+    Shm(ShmBroker),
+}
+
+impl Broker {
+    fn bind(serve: &str) -> std::io::Result<Broker> {
+        if serve.starts_with("shm://") {
+            ShmBroker::bind(serve).map(Broker::Shm)
+        } else {
+            let bind = serve.strip_prefix("tcp://").unwrap_or(serve);
+            TcpBroker::bind(bind).map(Broker::Tcp)
+        }
+    }
+
+    fn url(&self) -> String {
+        match self {
+            Broker::Tcp(b) => b.url(),
+            Broker::Shm(b) => b.url(),
+        }
+    }
+
+    fn hub(&self) -> &Arc<StreamHub> {
+        match self {
+            Broker::Tcp(b) => b.hub(),
+            Broker::Shm(b) => b.hub(),
+        }
+    }
+
+    fn connections_seen(&self) -> usize {
+        match self {
+            Broker::Tcp(b) => b.connections_seen(),
+            Broker::Shm(b) => b.connections_seen(),
+        }
+    }
+
+    fn active_connections(&self) -> usize {
+        match self {
+            Broker::Tcp(b) => b.active_connections(),
+            Broker::Shm(b) => b.active_connections(),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            Broker::Tcp(b) => b.shutdown(),
+            Broker::Shm(b) => b.shutdown(),
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -256,11 +313,10 @@ fn main() -> ExitCode {
     }
 
     if let Some(serve) = args.serve {
-        let bind = serve.strip_prefix("tcp://").unwrap_or(&serve);
-        let mut broker = match TcpBroker::bind(bind) {
+        let mut broker = match Broker::bind(&serve) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("sb-run: cannot serve on {bind}: {e}");
+                eprintln!("sb-run: cannot serve on {serve}: {e}");
                 return ExitCode::from(2);
             }
         };

@@ -299,13 +299,22 @@ pub(crate) fn parse_policy_spec(spec: &str) -> Result<FaultPolicy, String> {
     Ok(policy)
 }
 
-/// Syntactic check of a `tcp://host:port` transport URL (no DNS lookup, so
-/// lint can run offline); returns the reason when the URL is malformed.
-/// Actual resolution happens at connect time in `sb_stream::tcp`.
+/// Syntactic check of a transport URL — `tcp://host:port` or `shm://DIR`
+/// (no DNS lookup or filesystem probe, so lint can run offline); returns
+/// the reason when the URL is malformed. Actual resolution happens at
+/// connect time in `sb_stream::tcp` / `sb_stream::shm`.
 pub fn validate_transport_url(url: &str) -> Result<(), String> {
+    if let Some(dir) = url.strip_prefix("shm://") {
+        if dir.is_empty() {
+            return Err(format!(
+                "transport URL {url:?} needs a rendezvous directory after shm://"
+            ));
+        }
+        return Ok(());
+    }
     let rest = url
         .strip_prefix("tcp://")
-        .ok_or_else(|| format!("transport URL {url:?} must start with tcp://"))?;
+        .ok_or_else(|| format!("transport URL {url:?} must start with tcp:// or shm://"))?;
     let (host, port) = rest
         .rsplit_once(':')
         .ok_or_else(|| format!("transport URL {url:?} needs a host:port"))?;
@@ -355,7 +364,7 @@ pub fn parse_script_with_directives(
             match toks.next() {
                 Some("transport") => {
                     let (Some(url), None) = (toks.next(), toks.next()) else {
-                        return Err(err(line, "usage: #@ transport tcp://host:port"));
+                        return Err(err(line, "usage: #@ transport tcp://host:port | shm://DIR"));
                     };
                     validate_transport_url(url).map_err(|detail| err(line, detail))?;
                     if directives.transport.is_none() {
@@ -879,6 +888,9 @@ mod tests {
         assert!(validate_transport_url("tcp://[::1]:9000").is_ok());
         assert!(validate_transport_url("localhost:9000").is_err());
         assert!(validate_transport_url("tcp://x:70000").is_err());
+        assert!(validate_transport_url("shm:///tmp/sb-rendezvous").is_ok());
+        assert!(validate_transport_url("shm://rings").is_ok());
+        assert!(validate_transport_url("shm://").is_err());
     }
 
     #[test]

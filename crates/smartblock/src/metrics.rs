@@ -530,6 +530,7 @@ mod tests {
                 zero_fills_elided: 0,
                 wire_writer_bytes: 0,
                 wire_reader_bytes: 0,
+                wire_shm_bytes: 0,
                 wire_uncompressed_bytes: 0,
                 wire_compressed_bytes: 0,
                 bytes_on_wire: 0,

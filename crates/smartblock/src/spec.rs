@@ -13,7 +13,7 @@
 //!
 //! [transport]
 //! url = "tcp://127.0.0.1:7654"
-//! protocol = "v2"          # v1 | v2
+//! protocol = "v2"          # v1 | v2 | shm (shm pins url to shm://DIR)
 //! compression = "lz"       # none | lz
 //! timeout_secs = 30
 //!
@@ -356,18 +356,45 @@ impl WorkflowSpec {
                     warn_unknown(table, &["name"], &mut issues);
                 }
                 ("transport", 1) => {
-                    if let Some((url, line)) = table.get("url") {
+                    let url = if let Some((url, line)) = table.get("url") {
                         let url = expect_str(url, "url", line)?;
                         rendered.insert(line, format!("#@ transport {url}"));
-                    }
+                        Some(url)
+                    } else {
+                        None
+                    };
                     if let Some((v, line)) = table.get("protocol") {
-                        protocol = Some(match expect_str(v, "protocol", line)?.as_str() {
-                            "v1" => WireProtocol::V1,
-                            "v2" => WireProtocol::V2,
+                        match expect_str(v, "protocol", line)?.as_str() {
+                            "v1" => protocol = Some(WireProtocol::V1),
+                            "v2" => protocol = Some(WireProtocol::V2),
+                            // "shm" names the fabric, not a frame format: it
+                            // pins the declared endpoint to the shared-memory
+                            // scheme and leaves the wire protocol (v1/v2 over
+                            // the ring) at its default.
+                            "shm" => match url.as_deref() {
+                                Some(u) if u.starts_with("shm://") => {}
+                                Some(u) => {
+                                    return Err(err(
+                                        line,
+                                        format!("protocol \"shm\" needs an shm:// url, got {u:?}"),
+                                    ))
+                                }
+                                None => {
+                                    return Err(err(
+                                        line,
+                                        "protocol \"shm\" needs a [transport] url declaring an \
+                                         shm:// endpoint"
+                                            .to_string(),
+                                    ))
+                                }
+                            },
                             other => {
-                                return Err(err(line, format!("bad protocol {other:?} (v1 | v2)")))
+                                return Err(err(
+                                    line,
+                                    format!("bad protocol {other:?} (v1 | v2 | shm)"),
+                                ))
                             }
-                        });
+                        }
                     }
                     if let Some((v, line)) = table.get("compression") {
                         compression = Some(match expect_str(v, "compression", line)?.as_str() {
@@ -1193,10 +1220,26 @@ stride = 3
             ("[process.p]\nmembers = []", 2),
             ("[[trigger]]\nwhen = \"a.b > 1\"", 1),
             ("[transport]\nprotocol = \"v3\"", 2),
+            // protocol = "shm" pins the declared url to the shm:// scheme.
+            ("[transport]\nurl = \"tcp://h:1\"\nprotocol = \"shm\"", 3),
+            ("[transport]\nprotocol = \"shm\"", 2),
         ] {
             let e = WorkflowSpec::parse(text).unwrap_err();
             assert_eq!(e.line, line, "{text:?} -> {e}");
         }
+    }
+
+    #[test]
+    fn transport_protocol_shm_accepts_shm_url() {
+        let spec =
+            WorkflowSpec::parse("[transport]\nurl = \"shm:///tmp/sb-rings\"\nprotocol = \"shm\"\n")
+                .unwrap();
+        assert_eq!(
+            spec.directives.transport.as_deref(),
+            Some("shm:///tmp/sb-rings")
+        );
+        // The fabric keyword leaves the wire protocol at its default.
+        assert_eq!(spec.protocol, None);
     }
 
     #[test]

@@ -250,6 +250,23 @@ pub struct TriggerFire {
     /// Whether the action took effect (`false` e.g. when a stride target
     /// ignores control actions or a snapshot stream does not exist).
     pub applied: bool,
+    /// Whether the action was *skipped* rather than attempted: the backend
+    /// cannot perform it at all (e.g. `snapshot_stream` on a remote
+    /// transport that does not expose buffered steps). Skipped firings also
+    /// record a `trigger_skipped` trace instant. `skipped` implies
+    /// `!applied`.
+    pub skipped: bool,
+}
+
+/// How performing one trigger action went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActionOutcome {
+    /// The action took effect.
+    Applied,
+    /// The action was attempted but failed (missing target, I/O error).
+    Failed,
+    /// The backend cannot perform the action; nothing was attempted.
+    Skipped,
 }
 
 struct Armed {
@@ -315,36 +332,57 @@ impl TriggerEngine {
             }
         }
         for trigger in due {
-            let applied = self.perform(&trigger.action);
+            let outcome = self.perform(&trigger.action, step);
             self.fired.lock().push(TriggerFire {
                 trigger: trigger.to_string(),
                 step,
                 value,
-                applied,
+                applied: outcome == ActionOutcome::Applied,
+                skipped: outcome == ActionOutcome::Skipped,
             });
         }
     }
 
-    fn perform(&self, action: &TriggerAction) -> bool {
+    fn perform(&self, action: &TriggerAction, step: u64) -> ActionOutcome {
         match action {
-            TriggerAction::SetOutputStride { target, stride } => self
-                .components
-                .get(target)
-                .map(|c| c.apply_control(&ControlAction::SetOutputStride(*stride)))
-                .unwrap_or(false),
+            TriggerAction::SetOutputStride { target, stride } => {
+                match self
+                    .components
+                    .get(target)
+                    .map(|c| c.apply_control(&ControlAction::SetOutputStride(*stride)))
+                {
+                    Some(true) => ActionOutcome::Applied,
+                    _ => ActionOutcome::Failed,
+                }
+            }
             TriggerAction::SnapshotStream { stream, path } => {
                 match self.hub.snapshot_stream(stream) {
-                    Some(steps) => write_snapshot(path, stream, &steps).is_ok(),
-                    None => false,
+                    Some(steps) => {
+                        if write_snapshot(path, stream, &steps).is_ok() {
+                            ActionOutcome::Applied
+                        } else {
+                            ActionOutcome::Failed
+                        }
+                    }
+                    // The backend has no buffered-step view (e.g. a remote
+                    // transport client): the action cannot run here. Make
+                    // the skip visible instead of dropping it — a trace
+                    // instant now, a skipped fired record after the run.
+                    None => {
+                        let tracer = self.hub.tracer();
+                        let site = sb_stream::TraceSite::stream(tracer.intern(stream), 0, step);
+                        tracer.instant(sb_stream::EventKind::TriggerSkipped, site, 0);
+                        ActionOutcome::Skipped
+                    }
                 }
             }
             TriggerAction::RaiseFaultPolicy { target, policy } => {
                 match self.policy_slots.get(target) {
                     Some(slot) => {
                         *slot.lock() = policy.clone();
-                        true
+                        ActionOutcome::Applied
                     }
-                    None => false,
+                    None => ActionOutcome::Failed,
                 }
             }
         }
@@ -456,6 +494,45 @@ mod tests {
         ] {
             assert!(Trigger::parse_then(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn unsupported_snapshot_records_skip_and_trace_instant() {
+        // Regression: a snapshot_stream action whose backend returns `None`
+        // from `Transport::snapshot_stream` used to vanish as a plain
+        // `applied: false`. It must surface as a skipped outcome on the
+        // fired record plus a `trigger_skipped` trace instant.
+        use sb_stream::{EventKind, StreamHub, TraceConfig};
+        let hub = StreamHub::new();
+        hub.tracer().enable(&TraceConfig::new());
+        let engine = TriggerEngine::new(
+            vec![Trigger::new(
+                "histogram",
+                "max",
+                TriggerOp::Gt,
+                1.0,
+                TriggerAction::SnapshotStream {
+                    stream: "never.opened".into(),
+                    path: "/tmp/never_written_snap.txt".into(),
+                },
+            )],
+            BTreeMap::new(),
+            Arc::clone(&hub),
+            BTreeMap::new(),
+        );
+        engine.observe("histogram", "max", 9, 2.0);
+        let fired = engine.take_fired();
+        assert_eq!(fired.len(), 1, "trigger should have fired: {fired:?}");
+        assert!(!fired[0].applied);
+        assert!(fired[0].skipped, "unsupported snapshot must be skipped");
+        let timeline = hub.tracer().drain();
+        let skip = timeline
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::TriggerSkipped)
+            .expect("a trigger_skipped instant on the timeline");
+        assert_eq!(skip.stream, "never.opened");
+        assert_eq!(skip.step, 9);
     }
 
     #[test]

@@ -1,17 +1,18 @@
 //! Helper process for the real-process chaos tests: runs the source side
-//! of the chaos pipeline against a TCP broker in another process,
-//! optionally dying mid-run with no cleanup at all — the moral equivalent
-//! of a SIGKILL, as seen by the broker: a socket EOF with no
-//! close/abandon terminator.
+//! of the chaos pipeline against a broker in another process — TCP or
+//! shared-memory, by URL scheme — optionally dying mid-run with no cleanup
+//! at all. That is the moral equivalent of a SIGKILL as seen by the
+//! broker: a socket EOF with no close/abandon terminator over TCP, a dead
+//! pid behind a quiet ring over shm.
 //!
-//! Usage: `component_host tcp://HOST:PORT STEPS [abort-at=N]`
+//! Usage: `component_host (tcp://HOST:PORT | shm://DIR) STEPS [abort-at=N]`
 
 use sb_integration_tests::chaos_coords;
 use smartblock::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: component_host tcp://HOST:PORT STEPS [abort-at=N]";
+    let usage = "usage: component_host (tcp://HOST:PORT | shm://DIR) STEPS [abort-at=N]";
     let url = args.next().expect(usage);
     let steps: u64 = args.next().expect(usage).parse().expect(usage);
     let abort_at: Option<u64> = args.next().map(|a| {

@@ -518,48 +518,87 @@ fn seeded_chaos_runs_are_reproducible() {
 }
 
 // ---------------------------------------------------------------------------
-// Chaos across the TCP backend: the same seeded plans behind a loopback
-// broker, and component processes that really die.
+// Chaos across the remote backends: the same seeded plans behind a loopback
+// TCP broker and a shared-memory ring broker, and component processes that
+// really die.
 // ---------------------------------------------------------------------------
 
 use sb_stream::tcp::TcpBroker;
+use sb_stream::ShmBroker;
 
-/// The kill/restart plan behind a loopback TCP broker reproduces the
-/// in-proc outcome exactly: same seed, same restart count, same collected
-/// values, same histogram — the supervisor cannot tell the backends apart.
-#[test]
-fn tcp_backend_reproduces_inproc_chaos_outcomes() {
-    let run = |hub: Arc<StreamHub>| {
-        let (mut wf, out) = chaos_pipeline_on(hub, 4);
-        wf.hub()
-            .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
-        wf.set_fault_policy(
-            "magnitude",
-            FaultPolicy::restart(2).with_backoff(Duration::from_millis(5)),
-        );
-        let report = wf.run_with(RunOptions::default()).unwrap();
-        let mag = report.component("magnitude").unwrap();
-        assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
-        let got = out.lock().clone();
-        (report.restarts(), got)
-    };
-    let (inproc_restarts, inproc_out) = run(StreamHub::new());
-    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
-    let (tcp_restarts, tcp_out) = run(StreamHub::connect(&broker.url()).unwrap());
+/// A fresh rendezvous directory for an shm broker (no tempfile crate in
+/// tree; pid plus a counter keeps parallel test binaries apart).
+fn shm_scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sb-chaos-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shm_broker(tag: &str) -> ShmBroker {
+    let dir = shm_scratch(tag);
+    ShmBroker::bind(dir.to_str().unwrap()).unwrap()
+}
+
+/// One seeded kill/restart run of the chaos pipeline on `hub`: installs
+/// the kill-at-step-1 plan, rides it out under a Restart policy, and
+/// returns the restart count plus collected outputs.
+fn seeded_kill_restart_run(hub: Arc<StreamHub>) -> (u32, Vec<Vec<f64>>) {
+    let (mut wf, out) = chaos_pipeline_on(hub, 4);
+    wf.hub()
+        .install_faults(FaultPlan::seeded(chaos_seed()).kill_at("magnitude", 1));
+    wf.set_fault_policy(
+        "magnitude",
+        FaultPolicy::restart(2).with_backoff(Duration::from_millis(5)),
+    );
+    let report = wf.run_with(RunOptions::default()).unwrap();
+    let mag = report.component("magnitude").unwrap();
+    assert!(mag.outcome.is_completed(), "{:?}", mag.outcome);
+    let got = out.lock().clone();
+    (report.restarts(), got)
+}
+
+/// Asserts a remote backend's seeded kill/restart outcome matches in-proc:
+/// same restart count, same collected values, same histogram — the
+/// supervisor cannot tell the backends apart.
+fn assert_backend_reproduces_chaos(remote: Arc<StreamHub>, fabric: &str) {
+    let (inproc_restarts, inproc_out) = seeded_kill_restart_run(StreamHub::new());
+    let (remote_restarts, remote_out) = seeded_kill_restart_run(remote);
 
     assert!(
         inproc_restarts >= 1,
         "the kill directive must actually fire"
     );
     assert_eq!(
-        inproc_restarts, tcp_restarts,
-        "restart counts must agree across backends"
+        inproc_restarts, remote_restarts,
+        "restart counts must agree across backends ({fabric})"
     );
     assert_eq!(
-        inproc_out, tcp_out,
-        "collected outputs must agree across backends"
+        inproc_out, remote_out,
+        "collected outputs must agree across backends ({fabric})"
     );
-    assert_eq!(bin_histogram(&inproc_out), bin_histogram(&tcp_out));
+    assert_eq!(bin_histogram(&inproc_out), bin_histogram(&remote_out));
+}
+
+/// The kill/restart plan behind a loopback TCP broker reproduces the
+/// in-proc outcome exactly.
+#[test]
+fn tcp_backend_reproduces_inproc_chaos_outcomes() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    assert_backend_reproduces_chaos(StreamHub::connect(&broker.url()).unwrap(), "tcp");
+}
+
+/// The same seeded plan behind a shared-memory ring broker reproduces the
+/// in-proc outcome exactly.
+#[test]
+fn shm_backend_reproduces_inproc_chaos_outcomes() {
+    let broker = shm_broker("kill");
+    assert_backend_reproduces_chaos(StreamHub::connect(&broker.url()).unwrap(), "shm");
 }
 
 /// Compression must be invisible to the supervisor: clients that negotiate
@@ -602,36 +641,53 @@ fn compressed_tcp_backend_reproduces_inproc_chaos_outcomes() {
     assert_eq!(bin_histogram(&inproc_out), bin_histogram(&lz_out));
 }
 
+/// One seeded stall/degrade run of the chaos pipeline on `hub`: the
+/// committed prefix and whether magnitude degraded.
+fn seeded_stall_run(hub: Arc<StreamHub>) -> (Vec<Vec<f64>>, bool) {
+    let (mut wf, out) = chaos_pipeline_on(hub, 4);
+    wf.hub()
+        .install_faults(FaultPlan::seeded(chaos_seed()).stall_at("gen", 1));
+    wf.set_fault_policy("magnitude", FaultPolicy::degrade());
+    wf.set_fault_policy("collect", FaultPolicy::degrade());
+    let start = std::time::Instant::now();
+    let report = wf
+        .run_with(RunOptions::new().with_hub_timeout(Duration::from_secs(120)))
+        .unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "a noisy disconnect must surface promptly, not wait out the timeout"
+    );
+    let degraded = report.degraded().contains(&"magnitude");
+    let collected = out.lock().clone();
+    (collected, degraded)
+}
+
 /// The stall plan over TCP degrades exactly like in-proc: the noisy
 /// disconnect crosses the wire, downstream observes PeerGone promptly, and
 /// the Degrade policy salvages the committed prefix on both backends.
 #[test]
 fn tcp_backend_reproduces_inproc_stall_degradation() {
-    let run = |hub: Arc<StreamHub>| {
-        let (mut wf, out) = chaos_pipeline_on(hub, 4);
-        wf.hub()
-            .install_faults(FaultPlan::seeded(chaos_seed()).stall_at("gen", 1));
-        wf.set_fault_policy("magnitude", FaultPolicy::degrade());
-        wf.set_fault_policy("collect", FaultPolicy::degrade());
-        let start = std::time::Instant::now();
-        let report = wf
-            .run_with(RunOptions::new().with_hub_timeout(Duration::from_secs(120)))
-            .unwrap();
-        assert!(
-            start.elapsed() < Duration::from_secs(30),
-            "a noisy disconnect must surface promptly, not wait out the timeout"
-        );
-        let degraded = report.degraded().contains(&"magnitude");
-        let collected = out.lock().clone();
-        (collected, degraded)
-    };
-    let (inproc_out, inproc_degraded) = run(StreamHub::new());
+    let (inproc_out, inproc_degraded) = seeded_stall_run(StreamHub::new());
     let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
-    let (tcp_out, tcp_degraded) = run(StreamHub::connect(&broker.url()).unwrap());
+    let (tcp_out, tcp_degraded) = seeded_stall_run(StreamHub::connect(&broker.url()).unwrap());
 
     assert_eq!(inproc_out.len(), 1, "the step before the stall survives");
     assert_eq!(inproc_out, tcp_out, "backends disagree on salvaged output");
     assert!(inproc_degraded && tcp_degraded);
+}
+
+/// The stall plan over the shared-memory fabric degrades the same way:
+/// the noisy disconnect crosses the ring as a poison verb and PeerGone
+/// surfaces promptly.
+#[test]
+fn shm_backend_reproduces_inproc_stall_degradation() {
+    let (inproc_out, inproc_degraded) = seeded_stall_run(StreamHub::new());
+    let broker = shm_broker("stall");
+    let (shm_out, shm_degraded) = seeded_stall_run(StreamHub::connect(&broker.url()).unwrap());
+
+    assert_eq!(inproc_out.len(), 1, "the step before the stall survives");
+    assert_eq!(inproc_out, shm_out, "backends disagree on salvaged output");
+    assert!(inproc_degraded && shm_degraded);
 }
 
 /// Regression for the EOS race: a writer vanishing *between* `end_step`
@@ -666,10 +722,15 @@ fn abandoned_writer_after_end_step_surfaces_peer_gone_promptly() {
     let hub = StreamHub::connect(&broker.url()).unwrap();
     hub.set_wait_timeout(Duration::from_secs(120));
     check(hub);
+    let shm = shm_broker("race");
+    let hub = StreamHub::connect(&shm.url()).unwrap();
+    hub.set_wait_timeout(Duration::from_secs(120));
+    check(hub);
 }
 
 /// Spawns the `component_host` helper: the chaos source in its own OS
-/// process, connected over TCP, optionally dying mid-run.
+/// process, connected over TCP or shm by URL scheme, optionally dying
+/// mid-run.
 fn spawn_host(url: &str, steps: u64, abort_at: Option<u64>) -> std::process::Child {
     let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_component_host"));
     cmd.arg(url).arg(steps.to_string());
@@ -681,16 +742,15 @@ fn spawn_host(url: &str, steps: u64, abort_at: Option<u64>) -> std::process::Chi
 }
 
 /// A component *process* dying mid-step degrades its downstream exactly
-/// like an in-proc stall: the broker turns the socket EOF into a noisy
-/// disconnect, PeerGone surfaces promptly, and the Degrade policy keeps
-/// the step committed before the death.
-#[test]
-fn killed_component_process_degrades_downstream() {
-    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+/// like an in-proc stall: the broker turns the peer's death into a noisy
+/// disconnect (socket EOF over TCP, dead-pid detection behind the ring
+/// over shm), PeerGone surfaces promptly, and the Degrade policy keeps the
+/// step committed before the death.
+fn assert_killed_process_degrades(broker_hub: Arc<StreamHub>, url: &str) {
     let start = std::time::Instant::now();
-    let mut child = spawn_host(&broker.url(), 4, Some(1));
+    let mut child = spawn_host(url, 4, Some(1));
 
-    let mut wf = Workflow::with_hub(Arc::clone(broker.hub()));
+    let mut wf = Workflow::with_hub(broker_hub);
     let out = analysis_side(&mut wf);
     wf.set_fault_policy("magnitude", FaultPolicy::degrade());
     wf.set_fault_policy("collect", FaultPolicy::degrade());
@@ -714,21 +774,30 @@ fn killed_component_process_degrades_downstream() {
     );
 }
 
+#[test]
+fn killed_component_process_degrades_downstream() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    assert_killed_process_degrades(Arc::clone(broker.hub()), &broker.url());
+}
+
+#[test]
+fn killed_component_process_degrades_downstream_over_shm() {
+    let broker = shm_broker("pkill");
+    assert_killed_process_degrades(Arc::clone(broker.hub()), &broker.url());
+}
+
 /// A component process dying mid-step is *restartable*: a process-level
 /// supervisor (here, the test) clears the stream's gone-writer mark with
 /// [`StreamHub::prepare_restart`] and respawns the process, which replays
 /// the uncommitted step; downstream restart policies ride out the gap. The
 /// final output matches a no-fault in-proc golden run exactly.
-#[test]
-fn killed_component_process_restarts_and_replays_the_step() {
+fn assert_killed_process_restarts_to_golden(broker_hub: Arc<StreamHub>, url: String) {
     let (golden_wf, golden_out) = chaos_pipeline(4);
     golden_wf.run_with(RunOptions::default()).unwrap();
     let golden = golden_out.lock().clone();
     assert_eq!(golden.len(), 4);
 
-    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
-    let url = broker.url();
-    let respawn_hub = Arc::clone(broker.hub());
+    let respawn_hub = Arc::clone(&broker_hub);
     let respawner = std::thread::spawn(move || {
         let mut child = spawn_host(&url, 4, Some(1));
         let status = child.wait().unwrap();
@@ -740,7 +809,7 @@ fn killed_component_process_restarts_and_replays_the_step() {
         assert!(status.success(), "second incarnation must finish cleanly");
     });
 
-    let mut wf = Workflow::with_hub(Arc::clone(broker.hub()));
+    let mut wf = Workflow::with_hub(broker_hub);
     let out = analysis_side(&mut wf);
     // Magnitude sees PeerGone between the death and the respawn; a patient
     // restart policy rides the gap out.
@@ -760,4 +829,16 @@ fn killed_component_process_restarts_and_replays_the_step() {
         golden,
         "the replayed step must be neither lost nor duplicated"
     );
+}
+
+#[test]
+fn killed_component_process_restarts_and_replays_the_step() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    assert_killed_process_restarts_to_golden(Arc::clone(broker.hub()), broker.url());
+}
+
+#[test]
+fn killed_component_process_restarts_and_replays_the_step_over_shm() {
+    let broker = shm_broker("replay");
+    assert_killed_process_restarts_to_golden(Arc::clone(broker.hub()), broker.url());
 }

@@ -1,14 +1,15 @@
 //! Cross-backend transport conformance: each of the three paper workflows
 //! (LAMMPS, GTCP, GROMACS) must behave identically whether its streams run
-//! through the in-proc hub or through a loopback TCP broker — byte-identical
-//! histogram trajectories (checked against the recorded goldens in
-//! `tests/golden/`) and equal per-component step counts.
+//! through the in-proc hub, through a loopback TCP broker, or through a
+//! shared-memory ring broker — byte-identical histogram trajectories
+//! (checked against the recorded goldens in `tests/golden/`) and equal
+//! per-component step counts.
 //!
 //! This is the conformance contract of the `Transport` trait: a backend may
 //! change *how* steps move, never *what* arrives.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use sb_comm::LaunchHandle;
@@ -16,7 +17,8 @@ use sb_data::decompose::default_partition;
 use sb_data::{Buffer, Chunk, DType, Shape, VariableMeta};
 use sb_stream::tcp::TcpBroker;
 use sb_stream::{
-    Compression, StepStatus, StreamHub, StreamMetrics, TcpOptions, WireProtocol, WriterOptions,
+    Compression, ShmBroker, StepStatus, StreamHub, StreamMetrics, TcpOptions, WireProtocol,
+    WriterOptions,
 };
 use smartblock::metrics::WorkflowReport;
 use smartblock::prelude::*;
@@ -52,6 +54,20 @@ fn golden(name: &str) -> String {
         .unwrap_or_else(|e| panic!("cannot read golden file {path:?}: {e}"))
 }
 
+/// A fresh rendezvous directory for an shm broker (no tempfile crate in
+/// tree; pid plus a counter keeps parallel test binaries apart).
+fn shm_scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sb-conf-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 type Preset =
     fn(Arc<StreamHub>, &PresetScale) -> (Workflow, Arc<parking_lot::Mutex<Vec<HistogramResult>>>);
 
@@ -73,9 +89,10 @@ fn run_on(hub: Arc<StreamHub>, preset: Preset) -> (String, BTreeMap<String, u64>
     (rendered, step_counts(&report))
 }
 
-/// The conformance check: the workflow on the in-proc backend and on a
-/// loopback TCP broker must both reproduce the golden byte-for-byte, with
-/// identical per-component step counts.
+/// The conformance check: the workflow on the in-proc backend, on a
+/// loopback TCP broker, and on a shared-memory ring broker must all
+/// reproduce the golden byte-for-byte, with identical per-component step
+/// counts.
 fn assert_backends_conform(name: &str, preset: Preset) {
     let (inproc, inproc_steps) = run_on(StreamHub::with_timeout(scale().wait_timeout), preset);
     assert_eq!(
@@ -94,9 +111,26 @@ fn assert_backends_conform(name: &str, preset: Preset) {
         golden(name),
         "{name}: TCP output diverged from the recorded golden"
     );
+
+    let dir = shm_scratch(name);
+    let shm_broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
+    let hub = StreamHub::connect(&shm_broker.url()).unwrap();
+    hub.set_wait_timeout(scale().wait_timeout);
+    assert_eq!(hub.backend(), "shm");
+    let (shm, shm_steps) = run_on(hub, preset);
+    assert_eq!(
+        shm,
+        golden(name),
+        "{name}: shared-memory output diverged from the recorded golden"
+    );
+
     assert_eq!(
         inproc_steps, tcp_steps,
         "{name}: backends disagree on per-component step counts"
+    );
+    assert_eq!(
+        inproc_steps, shm_steps,
+        "{name}: the shm backend disagrees on per-component step counts"
     );
     assert!(
         inproc_steps.values().all(|&s| s == scale().io_steps),
@@ -121,16 +155,15 @@ fn gromacs_workflow_conforms_across_backends() {
 
 /// The protocol half of the conformance contract: whatever frame grammar a
 /// client negotiates — legacy v1, interned v2, or v2 with LZ-compressed
-/// payloads — the bytes that arrive are the same bytes. Every preset must
-/// reproduce its golden through each variant.
-fn assert_wire_variant_conforms(variant: &str, options: TcpOptions) {
-    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+/// payloads — the bytes that arrive are the same bytes, on either remote
+/// fabric. Every preset must reproduce its golden through each variant.
+fn assert_wire_variant_conforms(url: &str, variant: &str, options: TcpOptions) {
     for (name, preset) in [
         ("lammps", lammps_workflow_on as Preset),
         ("gtcp", gtcp_workflow_on as Preset),
         ("gromacs", gromacs_workflow_on as Preset),
     ] {
-        let hub = StreamHub::connect_with(&broker.url(), options).unwrap();
+        let hub = StreamHub::connect_with(url, options).unwrap();
         hub.set_wait_timeout(scale().wait_timeout);
         let (out, steps) = run_on(hub, preset);
         assert_eq!(
@@ -147,7 +180,9 @@ fn assert_wire_variant_conforms(variant: &str, options: TcpOptions) {
 
 #[test]
 fn v1_tcp_clients_preserve_golden_outputs() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
     assert_wire_variant_conforms(
+        &broker.url(),
         "tcp-v1",
         TcpOptions::default().with_protocol(WireProtocol::V1),
     );
@@ -155,7 +190,9 @@ fn v1_tcp_clients_preserve_golden_outputs() {
 
 #[test]
 fn v2_interned_tcp_clients_preserve_golden_outputs() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
     assert_wire_variant_conforms(
+        &broker.url(),
         "tcp-v2",
         TcpOptions::default().with_protocol(WireProtocol::V2),
     );
@@ -163,8 +200,43 @@ fn v2_interned_tcp_clients_preserve_golden_outputs() {
 
 #[test]
 fn compressed_tcp_clients_preserve_golden_outputs() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
     assert_wire_variant_conforms(
+        &broker.url(),
         "tcp-v2lz",
+        TcpOptions::default().with_compression(Compression::Lz),
+    );
+}
+
+#[test]
+fn v1_shm_clients_preserve_golden_outputs() {
+    let dir = shm_scratch("v1");
+    let broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
+    assert_wire_variant_conforms(
+        &broker.url(),
+        "shm-v1",
+        TcpOptions::default().with_protocol(WireProtocol::V1),
+    );
+}
+
+#[test]
+fn v2_interned_shm_clients_preserve_golden_outputs() {
+    let dir = shm_scratch("v2");
+    let broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
+    assert_wire_variant_conforms(
+        &broker.url(),
+        "shm-v2",
+        TcpOptions::default().with_protocol(WireProtocol::V2),
+    );
+}
+
+#[test]
+fn compressed_shm_clients_preserve_golden_outputs() {
+    let dir = shm_scratch("v2lz");
+    let broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
+    assert_wire_variant_conforms(
+        &broker.url(),
+        "shm-v2lz",
         TcpOptions::default().with_compression(Compression::Lz),
     );
 }
@@ -232,15 +304,16 @@ fn wire_pump(
 /// * the reader hop carries the full step to each reader connection
 ///   (assembly is client-side), so its floor is `readers x` the payload;
 /// * `bytes_on_wire` is exactly the sum of the two hops — the seed
-///   counted both ends of both hops, reporting ~4x at 1x1.
-#[test]
-fn wire_accounting_matrix_is_single_counted() {
-    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+///   counted both ends of both hops, reporting ~4x at 1x1;
+/// * `wire_shm_bytes` is a fabric *attribution*, not a third hop: on a
+///   shared-memory broker every frame byte is also in a hop counter, so
+///   it equals `bytes_on_wire` there and is zero on TCP.
+fn assert_accounting_matrix(url: &str, fabric: &str) {
     let steps = 4u64;
     let rows = 4096usize;
     for (writers, readers) in [(1usize, 1usize), (2, 2), (4, 2)] {
-        let hub = StreamHub::connect(&broker.url()).unwrap();
-        let stream = format!("acct-w{writers}r{readers}.fp");
+        let hub = StreamHub::connect(url).unwrap();
+        let stream = format!("acct-{fabric}-w{writers}r{readers}.fp");
         let m = wire_pump(&hub, &stream, writers, readers, rows, steps);
 
         let moved = steps * (rows * 8) as u64;
@@ -276,7 +349,26 @@ fn wire_accounting_matrix_is_single_counted() {
             m.wire_writer_bytes + m.wire_reader_bytes,
             "{stream}: the headline total must be exactly the sum of the hops"
         );
+        let shm_expected = if fabric == "shm" { m.bytes_on_wire } else { 0 };
+        assert_eq!(
+            m.wire_shm_bytes, shm_expected,
+            "{stream}: shared-memory attribution must cover every frame byte \
+             on shm and stay zero elsewhere"
+        );
     }
+}
+
+#[test]
+fn wire_accounting_matrix_is_single_counted() {
+    let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    assert_accounting_matrix(&broker.url(), "tcp");
+}
+
+#[test]
+fn shm_accounting_matrix_is_single_counted_and_attributed() {
+    let dir = shm_scratch("acct");
+    let broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
+    assert_accounting_matrix(&broker.url(), "shm");
 }
 
 /// Two workflows on one broker must not interfere: the paper's name-based
@@ -285,6 +377,28 @@ fn wire_accounting_matrix_is_single_counted() {
 #[test]
 fn concurrent_workflows_share_a_broker_without_crosstalk() {
     let broker = TcpBroker::bind("127.0.0.1:0").unwrap();
+    let url = broker.url();
+
+    let url_b = url.clone();
+    let gtcp = std::thread::spawn(move || {
+        let hub = StreamHub::connect(&url_b).unwrap();
+        run_on(hub, gtcp_workflow_on).0
+    });
+    let hub = StreamHub::connect(&url).unwrap();
+    let gromacs = run_on(hub, gromacs_workflow_on).0;
+    let gtcp = gtcp.join().unwrap();
+
+    assert_eq!(gromacs, golden("gromacs"));
+    assert_eq!(gtcp, golden("gtcp"));
+}
+
+/// Same crosstalk guarantee over the shared-memory fabric: two workflows'
+/// ring connections through one rendezvous directory stay scoped by
+/// stream name.
+#[test]
+fn concurrent_workflows_share_an_shm_broker_without_crosstalk() {
+    let dir = shm_scratch("xtalk");
+    let broker = ShmBroker::bind(dir.to_str().unwrap()).unwrap();
     let url = broker.url();
 
     let url_b = url.clone();
